@@ -1,0 +1,92 @@
+// Fig. 10 — "A network configuration with 50 nodes and three running
+// examples."
+//
+// The paper shows one 50-node deployment planned at a small, medium and
+// large bundle radius; the black line is the BC tour, the dotted red line
+// the BC-OPT tour. This bench prints the same three configurations as
+// coordinate listings (sensors, anchors, tours) plus summary metrics, so
+// the plots can be regenerated with any plotting tool.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "viz/plan_render.h"
+
+namespace {
+
+void print_plan(const bc::net::Deployment& deployment,
+                const bc::core::PlanResult& result) {
+  const auto& plan = result.plan;
+  std::cout << "  " << plan.algorithm << ": " << plan.stops.size()
+            << " stops, tour "
+            << bc::support::Table::num(result.metrics.tour_length_m, 1)
+            << " m, total energy "
+            << bc::support::Table::num(result.metrics.total_energy_j, 0)
+            << " J\n    tour: depot(" << plan.depot.x << "," << plan.depot.y
+            << ")";
+  for (const auto& stop : plan.stops) {
+    std::cout << " -> (" << bc::support::Table::num(stop.position.x, 1) << ","
+              << bc::support::Table::num(stop.position.y, 1) << ")x"
+              << stop.members.size();
+  }
+  std::cout << " -> depot\n";
+  (void)deployment;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bc::support::CliFlags flags(
+      "Fig. 10: three running examples on one 50-node configuration");
+  bc::bench::define_common_flags(flags);
+  flags.define_int("nodes", 50, "number of sensors");
+  flags.define_bool("dump-sensors", false,
+                    "also print the sensor coordinates");
+  flags.define_string("svg-dir", "",
+                      "when set, also write fig10_r<r>.svg plots "
+                      "(BC solid black, BC-OPT dashed red) there");
+  if (!flags.parse(argc, argv, std::cerr)) return 1;
+  if (flags.help_requested()) return 0;
+
+  const bc::core::Profile profile = bc::bench::profile_from_flags(flags);
+  bc::support::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const bc::net::Deployment deployment = bc::net::uniform_random_deployment(
+      static_cast<std::size_t>(flags.get_int("nodes")), profile.field, rng);
+
+  std::cout << "=== Fig. 10: running examples, " << deployment.size()
+            << " nodes ===\n";
+  if (flags.get_bool("dump-sensors")) {
+    std::cout << "sensors:";
+    for (const auto& s : deployment.sensors()) {
+      std::cout << " (" << bc::support::Table::num(s.position.x, 1) << ","
+                << bc::support::Table::num(s.position.y, 1) << ")";
+    }
+    std::cout << "\n";
+  }
+
+  // Small / medium / large bundle radii as in Fig. 10(a)-(c).
+  for (const double r : std::vector<double>{5.0, 40.0, 120.0}) {
+    bc::core::BundleChargingPlanner planner(profile);
+    planner.mutable_profile().planner.bundle_radius = r;
+    std::cout << "\n-- configuration r = " << r << " m --\n";
+    const auto bc_result = planner.plan(deployment, bc::tour::Algorithm::kBc);
+    const auto opt_result =
+        planner.plan(deployment, bc::tour::Algorithm::kBcOpt);
+    print_plan(deployment, bc_result);
+    print_plan(deployment, opt_result);
+    const std::string& svg_dir = flags.get_string("svg-dir");
+    if (!svg_dir.empty()) {
+      const std::string path = svg_dir + "/fig10_r" +
+                               bc::support::Table::num(r, 0) + ".svg";
+      const auto canvas = bc::viz::render_plan_pair(
+          deployment, bc_result.plan, opt_result.plan);
+      std::cout << (canvas.write_file(path) ? "  wrote " : "  FAILED to write ")
+                << path << "\n";
+    }
+  }
+  std::cout << "\nAs in the paper: at a small radius BC-OPT behaves like SC "
+               "(one stop per sensor, anchors slid toward the tour); larger "
+               "radii cut the stop count and tour length sharply.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 12 — "Different bundle radii": the four algorithms swept over the
+// bundle radius at fixed density.
+//
+// (a) total energy; (b) tour length; (c) average charging time per sensor.
+//
+// Expected shapes: BC-OPT lowest energy across the sweep and improving
+// with radius; SC is radius-independent; CSS shortens the tour like
+// BC-OPT but pays much more charging time (it ignores charging
+// efficiency when sliding stops).
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  bc::support::CliFlags flags("Fig. 12: metrics vs bundle radius");
+  bc::bench::define_common_flags(flags);
+  flags.define_int("nodes", 100, "number of sensors");
+  if (!flags.parse(argc, argv, std::cerr)) return 1;
+  if (flags.help_requested()) return 0;
+
+  const bc::core::Profile profile = bc::bench::profile_from_flags(flags);
+  const auto n = static_cast<std::size_t>(flags.get_int("nodes"));
+  constexpr bc::tour::Algorithm kAlgorithms[] = {
+      bc::tour::Algorithm::kSc, bc::tour::Algorithm::kCss,
+      bc::tour::Algorithm::kBc, bc::tour::Algorithm::kBcOpt};
+
+  std::cout << "=== Fig. 12: radius sweep (n = " << n << ", "
+            << flags.get_int("runs") << " runs/point) ===\n\n";
+
+  bc::support::Table energy({"radius [m]", "SC", "CSS", "BC", "BC-OPT"});
+  bc::support::Table tour({"radius [m]", "SC", "CSS", "BC", "BC-OPT"});
+  bc::support::Table charge({"radius [m]", "SC", "CSS", "BC", "BC-OPT"});
+  for (const double r : std::vector<double>{5, 10, 20, 40, 60, 80}) {
+    std::vector<std::string> row_e{bc::support::Table::num(r, 0)};
+    std::vector<std::string> row_t{bc::support::Table::num(r, 0)};
+    std::vector<std::string> row_c{bc::support::Table::num(r, 0)};
+    for (const auto algorithm : kAlgorithms) {
+      const auto agg = bc::sim::run_experiment(
+          bc::bench::spec_from_flags(flags, profile, n, algorithm, r));
+      row_e.push_back(bc::support::Table::num(agg.total_energy_j.mean(), 0));
+      row_t.push_back(bc::support::Table::num(agg.tour_length_m.mean(), 0));
+      row_c.push_back(bc::support::Table::num(
+          agg.avg_charge_time_per_sensor_s.mean(), 1));
+    }
+    energy.add_row(row_e);
+    tour.add_row(row_t);
+    charge.add_row(row_c);
+  }
+
+  std::cout << "-- Fig. 12(a): total energy [J] --\n";
+  bc::bench::print_table(flags, energy);
+  std::cout << "\n-- Fig. 12(b): tour length [m] --\n";
+  bc::bench::print_table(flags, tour);
+  std::cout << "\n-- Fig. 12(c): average charging time per sensor [s] --\n";
+  bc::bench::print_table(flags, charge);
+  std::cout << "\nExpected: BC-OPT lowest in (a); SC flat; CSS/BC-OPT "
+               "shortest in (b); CSS pays the most charging time in (c).\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared plumbing for the figure-reproduction benches: flag wiring for the
+// paper's experimental setting (§VI-A) and experiment-spec construction.
+
+#ifndef BUNDLECHARGE_BENCH_BENCH_UTIL_H_
+#define BUNDLECHARGE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "core/bundlecharge.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace bc::bench {
+
+// Declares the flags every simulation bench shares. The defaults follow
+// §VI-A; `runs` defaults below the paper's 100 to keep a full bench suite
+// run fast — pass --runs=100 for paper-strength averaging.
+inline void define_common_flags(support::CliFlags& flags) {
+  flags.define_int("runs", 25, "seeded repetitions per data point");
+  flags.define_int("seed", 2019, "base RNG seed");
+  flags.define_double("field", 1000.0, "square field side length (m)");
+  flags.define_double(
+      "cost-multiplier", 1.0,
+      "charger electrical draw as a multiple of radiated power "
+      "(1 = energy-conserving reading of the paper; ~4 = realistic PA)");
+  flags.define_bool("csv", false, "emit CSV instead of an aligned table");
+}
+
+// Builds the ICDCS'19 profile honouring the common flags.
+inline core::Profile profile_from_flags(const support::CliFlags& flags) {
+  core::Profile profile = core::icdcs2019_simulation_profile();
+  const double side = flags.get_double("field");
+  profile.field.field = {{0.0, 0.0}, {side, side}};
+  const double mult = flags.get_double("cost-multiplier");
+  profile.planner.charging =
+      charging::ChargingModel(36.0, 30.0, 3.0, 3.0 * mult);
+  profile.evaluation.charging = profile.planner.charging;
+  return profile;
+}
+
+inline sim::ExperimentSpec spec_from_flags(const support::CliFlags& flags,
+                                           const core::Profile& profile,
+                                           std::size_t n,
+                                           tour::Algorithm algorithm,
+                                           double radius) {
+  sim::ExperimentSpec spec;
+  spec.make_deployment = sim::uniform_factory(n, profile.field);
+  spec.algorithm = algorithm;
+  spec.planner = profile.planner;
+  spec.planner.bundle_radius = radius;
+  spec.evaluation = profile.evaluation;
+  spec.runs = static_cast<std::size_t>(flags.get_int("runs"));
+  spec.base_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  return spec;
+}
+
+inline void print_table(const support::CliFlags& flags,
+                        const support::Table& table) {
+  if (flags.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+}  // namespace bc::bench
+
+#endif  // BUNDLECHARGE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,68 @@
+// Example: sizing and operating a fleet of mobile chargers — the
+// minimum-chargers question of the paper's related work [26, 27].
+//
+//   ./charger_fleet [--nodes=200] [--radius=60] [--deadline-min=60]
+
+#include <iostream>
+
+#include "core/bundlecharge.h"
+#include "support/cli.h"
+#include "support/table.h"
+#include "tour/fleet.h"
+
+int main(int argc, char** argv) {
+  bc::support::CliFlags flags(
+      "charger_fleet: split a charging mission among k chargers");
+  flags.define_int("nodes", 200, "number of sensors");
+  flags.define_double("radius", 60.0, "bundle radius (m)");
+  flags.define_double("deadline-min", 60.0,
+                      "mission deadline in minutes (for fleet sizing)");
+  flags.define_int("seed", 41, "RNG seed");
+  if (!flags.parse(argc, argv, std::cerr)) return 1;
+  if (flags.help_requested()) return 0;
+
+  bc::core::Profile profile = bc::core::icdcs2019_simulation_profile();
+  profile.planner.bundle_radius = flags.get_double("radius");
+  bc::support::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const bc::net::Deployment deployment = bc::net::uniform_random_deployment(
+      static_cast<std::size_t>(flags.get_int("nodes")), profile.field, rng);
+
+  const bc::core::BundleChargingPlanner planner(profile);
+  const bc::core::PlanResult result =
+      planner.plan(deployment, bc::tour::Algorithm::kBcOpt);
+  const double solo_s = bc::tour::route_time_s(
+      deployment, result.plan, profile.planner.charging,
+      profile.planner.movement);
+  std::cout << "one charger finishes the BC-OPT mission in "
+            << bc::support::Table::num(solo_s / 60.0, 1) << " min\n\n";
+
+  bc::support::Table table({"chargers", "makespan [min]", "speedup",
+                            "total energy [J]", "energy overhead [%]"});
+  double base_energy = 0.0;
+  for (const std::size_t k : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    const bc::tour::FleetPlan fleet = bc::tour::split_among_chargers(
+        deployment, result.plan, profile.planner.charging,
+        profile.planner.movement, k);
+    const bc::tour::FleetMetrics m = bc::tour::evaluate_fleet(
+        deployment, fleet, profile.planner.charging,
+        profile.planner.movement);
+    if (k == 1) base_energy = m.total_energy_j;
+    table.add_row(
+        {bc::support::Table::num(static_cast<long long>(k)),
+         bc::support::Table::num(m.makespan_s / 60.0, 1),
+         bc::support::Table::num(solo_s / m.makespan_s, 2) + "x",
+         bc::support::Table::num(m.total_energy_j, 0),
+         bc::support::Table::num(
+             100.0 * (m.total_energy_j - base_energy) / base_energy, 1)});
+  }
+  table.print(std::cout);
+
+  const double deadline_s = flags.get_double("deadline-min") * 60.0;
+  const std::size_t needed = bc::tour::minimum_fleet_size(
+      deployment, result.plan, profile.planner.charging,
+      profile.planner.movement, deadline_s);
+  std::cout << "\nto finish within "
+            << bc::support::Table::num(deadline_s / 60.0, 0)
+            << " min you need " << needed << " charger(s).\n";
+  return 0;
+}

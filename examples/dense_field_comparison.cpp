@@ -1,0 +1,78 @@
+// Example: the paper's motivating scenario — a dense monitoring field
+// (habitat monitoring / smart dust, §III-B) where sensors arrive in
+// clusters. Compares all four planners on uniform vs clustered deployments
+// of the same size and shows where bundle charging pays off most.
+//
+//   ./dense_field_comparison [--nodes=200] [--radius=60] [--clusters=6]
+
+#include <iostream>
+
+#include "core/bundlecharge.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+namespace {
+
+void compare(const bc::core::BundleChargingPlanner& planner,
+             const bc::net::Deployment& deployment, const char* label) {
+  std::cout << "-- " << label << " (" << deployment.size()
+            << " sensors) --\n";
+  bc::support::Table table({"algorithm", "stops", "tour [m]",
+                            "charge time [s]", "total [J]", "vs SC [%]"});
+  double sc_energy = 0.0;
+  for (const auto algorithm :
+       {bc::tour::Algorithm::kSc, bc::tour::Algorithm::kCss,
+        bc::tour::Algorithm::kBc, bc::tour::Algorithm::kBcOpt}) {
+    const auto result = planner.plan(deployment, algorithm);
+    const auto& m = result.metrics;
+    if (algorithm == bc::tour::Algorithm::kSc) sc_energy = m.total_energy_j;
+    table.add_row(
+        {std::string(bc::tour::to_string(algorithm)),
+         bc::support::Table::num(static_cast<long long>(m.num_stops)),
+         bc::support::Table::num(m.tour_length_m, 0),
+         bc::support::Table::num(m.charge_time_s, 0),
+         bc::support::Table::num(m.total_energy_j, 0),
+         bc::support::Table::num(
+             100.0 * (sc_energy - m.total_energy_j) / sc_energy, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bc::support::CliFlags flags(
+      "dense_field_comparison: uniform vs clustered deployments");
+  flags.define_int("nodes", 200, "number of sensors");
+  flags.define_double("radius", 60.0, "bundle radius (m)");
+  flags.define_int("clusters", 6, "number of deployment hot-spots");
+  flags.define_double("sigma", 40.0, "hot-spot spread (m)");
+  flags.define_int("seed", 11, "RNG seed");
+  if (!flags.parse(argc, argv, std::cerr)) return 1;
+  if (flags.help_requested()) return 0;
+
+  bc::core::Profile profile = bc::core::icdcs2019_simulation_profile();
+  profile.planner.bundle_radius = flags.get_double("radius");
+  const bc::core::BundleChargingPlanner planner(profile);
+
+  const auto n = static_cast<std::size_t>(flags.get_int("nodes"));
+  bc::support::Rng rng_uniform(
+      static_cast<std::uint64_t>(flags.get_int("seed")));
+  bc::support::Rng rng_clustered(
+      static_cast<std::uint64_t>(flags.get_int("seed")));
+
+  compare(planner,
+          bc::net::uniform_random_deployment(n, profile.field, rng_uniform),
+          "uniform field");
+  compare(planner,
+          bc::net::clustered_deployment(
+              n, static_cast<std::size_t>(flags.get_int("clusters")),
+              flags.get_double("sigma"), profile.field, rng_clustered),
+          "clustered field");
+
+  std::cout << "Clustering is where bundle charging shines: whole hot-spots "
+               "collapse into single stops, so BC/BC-OPT save far more "
+               "energy than on the uniform field.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: plan a charging tour for a random 100-sensor field with all
+// four algorithms and print the energy breakdown of each.
+//
+//   ./quickstart [--nodes=100] [--radius=20] [--seed=7]
+
+#include <iostream>
+
+#include "core/bundlecharge.h"
+#include "support/cli.h"
+#include "support/table.h"
+
+int main(int argc, char** argv) {
+  bc::support::CliFlags flags(
+      "quickstart: compare SC/CSS/BC/BC-OPT on one random deployment");
+  flags.define_int("nodes", 100, "number of sensors");
+  flags.define_double("radius", 20.0, "bundle radius r (metres)");
+  flags.define_int("seed", 7, "deployment RNG seed");
+  if (!flags.parse(argc, argv, std::cerr)) return 1;
+  if (flags.help_requested()) return 0;
+
+  bc::core::Profile profile = bc::core::icdcs2019_simulation_profile();
+  profile.planner.bundle_radius = flags.get_double("radius");
+
+  bc::support::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const bc::net::Deployment deployment = bc::net::uniform_random_deployment(
+      static_cast<std::size_t>(flags.get_int("nodes")), profile.field, rng);
+
+  std::cout << "bundlecharge quickstart: " << deployment.size()
+            << " sensors, field " << profile.field.field.width() << " x "
+            << profile.field.field.height() << " m, r = "
+            << profile.planner.bundle_radius << " m\n\n";
+
+  const bc::core::BundleChargingPlanner planner(profile);
+  bc::support::Table table({"algorithm", "stops", "tour [m]", "move [J]",
+                            "charge time [s]", "charge [J]", "total [J]",
+                            "min demand frac"});
+  for (const bc::tour::Algorithm algorithm :
+       {bc::tour::Algorithm::kSc, bc::tour::Algorithm::kCss,
+        bc::tour::Algorithm::kBc, bc::tour::Algorithm::kBcOpt}) {
+    const bc::core::PlanResult result = planner.plan(deployment, algorithm);
+    const bc::sim::PlanMetrics& m = result.metrics;
+    table.add_row({std::string(bc::tour::to_string(algorithm)),
+                   bc::support::Table::num(
+                       static_cast<long long>(m.num_stops)),
+                   bc::support::Table::num(m.tour_length_m, 0),
+                   bc::support::Table::num(m.move_energy_j, 0),
+                   bc::support::Table::num(m.charge_time_s, 0),
+                   bc::support::Table::num(m.charge_energy_j, 0),
+                   bc::support::Table::num(m.total_energy_j, 0),
+                   bc::support::Table::num(m.min_demand_fraction, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nBC-OPT should post the lowest total energy; the paper's "
+               "Fig. 12(a) reports ~38 % below SC at favourable radii.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "bundle/bundle.h"
+
+#include <algorithm>
+
+#include "geometry/minidisk.h"
+#include "support/require.h"
+
+namespace bc::bundle {
+
+Bundle make_bundle(const net::Deployment& deployment,
+                   std::vector<net::SensorId> members) {
+  support::require(!members.empty(), "a bundle needs at least one member");
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  std::vector<geometry::Point2> pts;
+  pts.reserve(members.size());
+  for (const net::SensorId id : members) {
+    pts.push_back(deployment.sensor(id).position);
+  }
+  const geometry::Circle sed = geometry::smallest_enclosing_disk(pts);
+  return Bundle{sed.center, sed.radius, std::move(members)};
+}
+
+bool covers_all_sensors(const net::Deployment& deployment,
+                        std::span<const Bundle> bundles) {
+  std::vector<bool> covered(deployment.size(), false);
+  for (const Bundle& b : bundles) {
+    for (const net::SensorId id : b.members) {
+      if (id >= deployment.size()) return false;
+      covered[id] = true;
+    }
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](bool c) { return c; });
+}
+
+bool is_partition(const net::Deployment& deployment,
+                  std::span<const Bundle> bundles) {
+  std::vector<int> count(deployment.size(), 0);
+  for (const Bundle& b : bundles) {
+    for (const net::SensorId id : b.members) {
+      if (id >= deployment.size()) return false;
+      ++count[id];
+    }
+  }
+  return std::all_of(count.begin(), count.end(),
+                     [](int c) { return c == 1; });
+}
+
+double max_charging_distance(const net::Deployment& deployment,
+                             std::span<const Bundle> bundles) {
+  double worst = 0.0;
+  for (const Bundle& b : bundles) {
+    for (const net::SensorId id : b.members) {
+      worst = std::max(
+          worst, geometry::distance(b.anchor, deployment.sensor(id).position));
+    }
+  }
+  return worst;
+}
+
+}  // namespace bc::bundle

@@ -1,0 +1,94 @@
+#include "bundle/candidates.h"
+
+#include <algorithm>
+#include <set>
+
+#include "geometry/circle.h"
+#include "net/spatial_index.h"
+#include "support/require.h"
+
+namespace bc::bundle {
+
+using geometry::Point2;
+
+std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
+                                         double r,
+                                         const CandidateOptions& options) {
+  support::require(r >= 0.0, "candidate radius must be non-negative");
+  const auto positions = deployment.positions();
+  const std::size_t n = deployment.size();
+
+  // Collect distinct member sets; std::set gives deduplication for free.
+  std::set<std::vector<net::SensorId>> member_sets;
+
+  // Singletons guarantee feasibility of the cover.
+  for (net::SensorId id = 0; id < n; ++id) {
+    member_sets.insert({id});
+  }
+
+  if (r > 0.0 && n > 1) {
+    const net::SpatialIndex index(positions, std::max(r, 1e-9));
+    std::vector<net::SensorId> near_i;
+    std::vector<net::SensorId> members;
+    for (net::SensorId i = 0; i < n; ++i) {
+      // Partners within 2r of i; j > i avoids enumerating each pair twice.
+      index.within(positions[i], 2.0 * r, near_i);
+      for (const net::SensorId j : near_i) {
+        if (j <= i) continue;
+        const auto centers =
+            geometry::circles_through_pair(positions[i], positions[j], r);
+        if (!centers.has_value()) continue;
+        for (const Point2 center : {centers->first, centers->second}) {
+          // Relative slack: the defining pair sits exactly on the circle
+          // boundary and must not be lost to rounding in the construction
+          // of `center`.
+          index.within(center, r * (1.0 + 1e-9) + 1e-12, members);
+          if (members.size() < 2) continue;
+          member_sets.insert(members);
+          if (options.max_candidates != 0 &&
+              member_sets.size() >= options.max_candidates) {
+            goto enumeration_done;
+          }
+        }
+      }
+    }
+  }
+enumeration_done:
+
+  std::vector<std::vector<net::SensorId>> sets(member_sets.begin(),
+                                               member_sets.end());
+
+  if (options.prune_dominated) {
+    // A set is dominated if some other set strictly contains it. Sort by
+    // descending size, then test inclusion against kept supersets. The
+    // sets are small (bounded by local density), so the bitset-free check
+    // is fine at the paper's scales.
+    std::sort(sets.begin(), sets.end(),
+              [](const auto& a, const auto& b) { return a.size() > b.size(); });
+    std::vector<std::vector<net::SensorId>> kept;
+    for (auto& candidate : sets) {
+      const bool dominated = std::any_of(
+          kept.begin(), kept.end(), [&](const auto& super) {
+            return super.size() > candidate.size() &&
+                   std::includes(super.begin(), super.end(),
+                                 candidate.begin(), candidate.end());
+          });
+      if (!dominated) kept.push_back(std::move(candidate));
+    }
+    sets = std::move(kept);
+  }
+
+  std::vector<Bundle> candidates;
+  candidates.reserve(sets.size());
+  for (auto& members : sets) {
+    Bundle b = make_bundle(deployment, std::move(members));
+    // Numerical safety: the SED of an r-disk subset can exceed r only by
+    // rounding; clamp is unnecessary, but assert the invariant.
+    support::ensure(b.radius <= r * (1.0 + 1e-6) + 1e-9,
+                    "candidate bundle exceeds the generation radius");
+    candidates.push_back(std::move(b));
+  }
+  return candidates;
+}
+
+}  // namespace bc::bundle

@@ -1,0 +1,44 @@
+// Candidate charging-bundle enumeration.
+//
+// Algorithm 2 of the paper needs "all potential charging bundle
+// candidates" around every node, which is exponential if taken literally.
+// We exploit a standard geometric fact: every maximal set of points
+// coverable by a disk of radius r admits a covering disk with either two
+// points on its boundary or a single point at its centre. Enumerating, for
+// each sensor pair closer than 2r, the two radius-r circles through the
+// pair — and collecting the sensors inside each — therefore yields every
+// maximal candidate bundle. Greedy set cover over this universe is exactly
+// the paper's greedy with its ln n + 1 guarantee.
+
+#ifndef BUNDLECHARGE_BUNDLE_CANDIDATES_H_
+#define BUNDLECHARGE_BUNDLE_CANDIDATES_H_
+
+#include <vector>
+
+#include "bundle/bundle.h"
+#include "net/deployment.h"
+
+namespace bc::bundle {
+
+struct CandidateOptions {
+  // Drop candidates whose member set is a subset of another candidate
+  // (they can never be preferred by greedy or exact cover). Deduplication
+  // of identical sets is always performed.
+  bool prune_dominated = true;
+  // Safety valve for adversarial inputs: stop after this many distinct
+  // candidates (0 = unlimited). The paper's instances stay far below it.
+  std::size_t max_candidates = 0;
+};
+
+// All maximal candidate bundles of generation radius `r` (each bundle's
+// SED radius is <= r by construction; `make_bundle` recomputes the tight
+// anchor). Singletons are always included, so a cover always exists.
+// Preconditions: r >= 0.
+std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
+                                         double r,
+                                         const CandidateOptions& options =
+                                             CandidateOptions{});
+
+}  // namespace bc::bundle
+
+#endif  // BUNDLECHARGE_BUNDLE_CANDIDATES_H_

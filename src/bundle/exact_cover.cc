@@ -1,0 +1,196 @@
+#include "bundle/exact_cover.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "bundle/candidates.h"
+#include "bundle/greedy_cover.h"
+#include "support/require.h"
+
+namespace bc::bundle {
+
+namespace {
+
+// Fixed-width-word dynamic bitset tailored to the cover search.
+class BitSet {
+ public:
+  explicit BitSet(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set_all() {
+    for (auto& w : words_) w = ~std::uint64_t{0};
+    trim();
+  }
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (const auto w : words_) total += std::popcount(w);
+    return total;
+  }
+  bool none() const {
+    return std::all_of(words_.begin(), words_.end(),
+                       [](std::uint64_t w) { return w == 0; });
+  }
+  // Index of the lowest set bit; precondition: !none().
+  std::size_t first() const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] != 0) {
+        return (w << 6) + static_cast<std::size_t>(std::countr_zero(words_[w]));
+      }
+    }
+    support::ensure(false, "BitSet::first on empty set");
+    return 0;
+  }
+  std::size_t intersect_count(const BitSet& other) const {
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      total += std::popcount(words_[w] & other.words_[w]);
+    }
+    return total;
+  }
+  void subtract(const BitSet& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words_[w] &= ~other.words_[w];
+    }
+  }
+  bool intersects(const BitSet& other) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] & other.words_[w]) return true;
+    }
+    return false;
+  }
+
+ private:
+  void trim() {
+    const std::size_t extra = words_.size() * 64 - bits_;
+    if (extra > 0 && !words_.empty()) {
+      words_.back() &= (~std::uint64_t{0}) >> extra;
+    }
+  }
+
+  std::size_t bits_;
+  std::vector<std::uint64_t> words_;
+};
+
+struct SearchState {
+  const std::vector<BitSet>* masks = nullptr;
+  std::size_t max_candidate_size = 1;
+  std::size_t node_budget = 0;  // 0 = unlimited
+  std::size_t nodes = 0;
+  bool aborted = false;
+  std::vector<std::uint32_t> chosen;
+  std::vector<std::uint32_t> best;
+  std::size_t best_size = 0;  // incumbent bound (strictly improve on it)
+};
+
+void search(SearchState& state, BitSet uncovered) {
+  if (state.aborted) return;
+  if (state.node_budget != 0 && ++state.nodes > state.node_budget) {
+    state.aborted = true;
+    return;
+  }
+  if (uncovered.none()) {
+    if (state.chosen.size() < state.best_size) {
+      state.best = state.chosen;
+      state.best_size = state.chosen.size();
+    }
+    return;
+  }
+  // Lower bound: even perfect candidates need this many more sets.
+  const std::size_t remaining = uncovered.count();
+  const std::size_t lower =
+      (remaining + state.max_candidate_size - 1) / state.max_candidate_size;
+  if (state.chosen.size() + lower >= state.best_size) return;
+
+  // Branch on the lowest uncovered sensor: some chosen set must contain it.
+  const std::size_t pivot = uncovered.first();
+  std::vector<std::pair<std::size_t, std::uint32_t>> branches;
+  for (std::uint32_t c = 0; c < state.masks->size(); ++c) {
+    const BitSet& mask = (*state.masks)[c];
+    if (!mask.test(pivot)) continue;
+    branches.emplace_back(mask.intersect_count(uncovered), c);
+  }
+  // Try high-coverage candidates first for early tight incumbents.
+  std::sort(branches.begin(), branches.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [gain, c] : branches) {
+    BitSet next = uncovered;
+    next.subtract((*state.masks)[c]);
+    state.chosen.push_back(c);
+    search(state, std::move(next));
+    state.chosen.pop_back();
+    if (state.aborted) return;
+  }
+}
+
+}  // namespace
+
+std::optional<std::vector<Bundle>> exact_cover(
+    const net::Deployment& deployment, std::span<const Bundle> candidates,
+    const ExactCoverOptions& options) {
+  support::require(covers_all_sensors(deployment, candidates),
+                   "candidates must cover every sensor");
+  const std::size_t n = deployment.size();
+
+  std::vector<BitSet> masks;
+  masks.reserve(candidates.size());
+  std::size_t max_size = 1;
+  for (const Bundle& b : candidates) {
+    BitSet mask(n);
+    for (const net::SensorId id : b.members) mask.set(id);
+    max_size = std::max(max_size, b.members.size());
+    masks.push_back(std::move(mask));
+  }
+
+  // Greedy incumbent provides the initial upper bound.
+  const std::vector<Bundle> incumbent = greedy_cover(deployment, candidates);
+
+  SearchState state;
+  state.masks = &masks;
+  state.max_candidate_size = max_size;
+  state.node_budget = options.max_nodes;
+  state.best_size = incumbent.size() + 1;  // allow matching the greedy size
+
+  BitSet uncovered(n);
+  uncovered.set_all();
+  search(state, std::move(uncovered));
+  if (state.aborted) return std::nullopt;
+
+  if (state.best.empty()) {
+    // The search never found anything at least as small as greedy's cover,
+    // so the greedy cover is optimal.
+    return incumbent;
+  }
+
+  // Materialise the chosen candidates as a partition (first bundle keeps
+  // shared sensors), mirroring greedy's post-processing.
+  std::vector<bool> taken(n, false);
+  std::vector<Bundle> result;
+  result.reserve(state.best.size());
+  for (const std::uint32_t c : state.best) {
+    std::vector<net::SensorId> members;
+    for (const net::SensorId id : candidates[c].members) {
+      if (!taken[id]) {
+        taken[id] = true;
+        members.push_back(id);
+      }
+    }
+    support::ensure(!members.empty(),
+                    "exact cover selected a redundant candidate");
+    result.push_back(make_bundle(deployment, std::move(members)));
+  }
+  return result;
+}
+
+std::optional<std::vector<Bundle>> optimal_bundles(
+    const net::Deployment& deployment, double r,
+    const ExactCoverOptions& options) {
+  const std::vector<Bundle> candidates = enumerate_candidates(deployment, r);
+  return exact_cover(deployment, candidates, options);
+}
+
+}  // namespace bc::bundle

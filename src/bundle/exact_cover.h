@@ -1,0 +1,45 @@
+// Exact minimum charging-bundle cover — the paper's "optimal" baseline in
+// Fig. 11, obtained there "through the exhaustive search".
+//
+// Minimum set cover over the candidate universe, solved by depth-first
+// branch & bound: branch on the lowest-indexed uncovered sensor (one of
+// the candidates containing it must be chosen), bound with
+// ceil(remaining / largest_candidate) and prune against the greedy
+// incumbent. Exponential in the worst case; intended for the small
+// instances the paper uses it on.
+
+#ifndef BUNDLECHARGE_BUNDLE_EXACT_COVER_H_
+#define BUNDLECHARGE_BUNDLE_EXACT_COVER_H_
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bundle/bundle.h"
+#include "net/deployment.h"
+
+namespace bc::bundle {
+
+struct ExactCoverOptions {
+  // Abort knob: give up after this many branch-and-bound nodes and return
+  // nullopt (0 = unlimited). Keeps benches bounded on unlucky instances.
+  std::size_t max_nodes = 20'000'000;
+};
+
+// Minimum-cardinality subset of `candidates` covering all sensors, as a
+// partition with retightened anchors (same post-processing as greedy).
+// Returns nullopt iff the node budget was exhausted.
+// Precondition: candidates jointly cover all sensors.
+std::optional<std::vector<Bundle>> exact_cover(
+    const net::Deployment& deployment, std::span<const Bundle> candidates,
+    const ExactCoverOptions& options = ExactCoverOptions{});
+
+// Convenience: enumerate candidates of radius r, then solve exactly.
+std::optional<std::vector<Bundle>> optimal_bundles(
+    const net::Deployment& deployment, double r,
+    const ExactCoverOptions& options = ExactCoverOptions{});
+
+}  // namespace bc::bundle
+
+#endif  // BUNDLECHARGE_BUNDLE_EXACT_COVER_H_

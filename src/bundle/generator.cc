@@ -1,0 +1,45 @@
+#include "bundle/generator.h"
+
+#include "bundle/greedy_cover.h"
+#include "bundle/grid_cover.h"
+#include "bundle/sweep_cover.h"
+#include "support/require.h"
+
+namespace bc::bundle {
+
+std::string_view to_string(GeneratorKind kind) {
+  switch (kind) {
+    case GeneratorKind::kGrid:
+      return "grid";
+    case GeneratorKind::kGreedy:
+      return "greedy";
+    case GeneratorKind::kExact:
+      return "exact";
+    case GeneratorKind::kSweep:
+      return "sweep";
+  }
+  return "unknown";
+}
+
+std::vector<Bundle> generate_bundles(const net::Deployment& deployment,
+                                     double r,
+                                     const GeneratorOptions& options) {
+  support::require(r > 0.0, "bundle generation radius must be positive");
+  switch (options.kind) {
+    case GeneratorKind::kGrid:
+      return grid_bundles(deployment, r);
+    case GeneratorKind::kGreedy:
+      return greedy_bundles(deployment, r);
+    case GeneratorKind::kExact: {
+      auto exact = optimal_bundles(deployment, r, options.exact);
+      if (exact.has_value()) return std::move(*exact);
+      return greedy_bundles(deployment, r);
+    }
+    case GeneratorKind::kSweep:
+      return sweep_bundles(deployment, r);
+  }
+  support::ensure(false, "unreachable generator kind");
+  return {};
+}
+
+}  // namespace bc::bundle

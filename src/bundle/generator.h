@@ -1,0 +1,43 @@
+// Bundle-generation facade: one entry point over the three generators the
+// paper compares in Fig. 11 (grid, greedy, optimal).
+
+#ifndef BUNDLECHARGE_BUNDLE_GENERATOR_H_
+#define BUNDLECHARGE_BUNDLE_GENERATOR_H_
+
+#include <string_view>
+#include <vector>
+
+#include "bundle/bundle.h"
+#include "bundle/exact_cover.h"
+#include "net/deployment.h"
+
+namespace bc::bundle {
+
+enum class GeneratorKind {
+  kGrid,    // He et al. [8] grid baseline
+  kGreedy,  // Algorithm 2 (ln n + 1 approximation)
+  kExact,   // exhaustive-search optimum (branch & bound)
+  kSweep,   // TSP-order chain partition (this repo's extension; see
+            // bundle/sweep_cover.h for the motivation)
+};
+
+std::string_view to_string(GeneratorKind kind);
+
+struct GeneratorOptions {
+  GeneratorKind kind = GeneratorKind::kGreedy;
+  ExactCoverOptions exact;  // only consulted for kExact
+};
+
+// Generates a bundle partition of the deployment with generation radius r.
+// For kExact the branch & bound may exhaust its node budget, in which case
+// the greedy cover is returned instead (the paper only runs the optimum on
+// small instances; this keeps large sweeps total).
+// Preconditions: r > 0.
+std::vector<Bundle> generate_bundles(const net::Deployment& deployment,
+                                     double r,
+                                     const GeneratorOptions& options =
+                                         GeneratorOptions{});
+
+}  // namespace bc::bundle
+
+#endif  // BUNDLECHARGE_BUNDLE_GENERATOR_H_

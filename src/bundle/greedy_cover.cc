@@ -1,0 +1,65 @@
+#include "bundle/greedy_cover.h"
+
+#include <algorithm>
+
+#include "bundle/candidates.h"
+#include "support/require.h"
+
+namespace bc::bundle {
+
+std::vector<Bundle> greedy_cover(const net::Deployment& deployment,
+                                 std::span<const Bundle> candidates) {
+  support::require(covers_all_sensors(deployment, candidates),
+                   "candidates must cover every sensor");
+  const std::size_t n = deployment.size();
+  std::vector<bool> covered(n, false);
+  std::size_t remaining = n;
+
+  std::vector<Bundle> selected;
+  while (remaining > 0) {
+    // Pick the candidate covering the most uncovered sensors.
+    const Bundle* best = nullptr;
+    std::size_t best_gain = 0;
+    for (const Bundle& candidate : candidates) {
+      std::size_t gain = 0;
+      for (const net::SensorId id : candidate.members) {
+        if (!covered[id]) ++gain;
+      }
+      if (gain == 0) continue;
+      const bool wins =
+          best == nullptr || gain > best_gain ||
+          (gain == best_gain &&
+           (candidate.radius < best->radius ||
+            (candidate.radius == best->radius &&
+             candidate.members.front() < best->members.front())));
+      if (wins) {
+        best = &candidate;
+        best_gain = gain;
+      }
+    }
+    support::ensure(best != nullptr,
+                    "greedy cover ran out of useful candidates");
+
+    // Keep only the newly covered sensors so the output is a partition,
+    // then retighten the anchor around the survivors.
+    std::vector<net::SensorId> fresh;
+    fresh.reserve(best_gain);
+    for (const net::SensorId id : best->members) {
+      if (!covered[id]) {
+        covered[id] = true;
+        fresh.push_back(id);
+      }
+    }
+    remaining -= fresh.size();
+    selected.push_back(make_bundle(deployment, std::move(fresh)));
+  }
+  return selected;
+}
+
+std::vector<Bundle> greedy_bundles(const net::Deployment& deployment,
+                                   double r) {
+  const std::vector<Bundle> candidates = enumerate_candidates(deployment, r);
+  return greedy_cover(deployment, candidates);
+}
+
+}  // namespace bc::bundle

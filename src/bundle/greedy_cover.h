@@ -1,0 +1,34 @@
+// Greedy charging-bundle generation — Algorithm 2 of the paper.
+//
+// Repeatedly selects the candidate bundle covering the most still-uncovered
+// sensors, removes those sensors, and repeats until everything is covered.
+// This is greedy set cover and inherits its ln n + 1 approximation ratio
+// (Theorem 2). The output is post-processed into a partition: a sensor
+// grabbed by an earlier bundle is dropped from later ones and each bundle's
+// anchor is recomputed, which can only shrink charging distances.
+
+#ifndef BUNDLECHARGE_BUNDLE_GREEDY_COVER_H_
+#define BUNDLECHARGE_BUNDLE_GREEDY_COVER_H_
+
+#include <span>
+#include <vector>
+
+#include "bundle/bundle.h"
+#include "net/deployment.h"
+
+namespace bc::bundle {
+
+// Greedy cover over an explicit candidate universe. Ties are broken by the
+// smaller SED radius (denser bundle), then lower first member id, making
+// the result deterministic. Precondition: candidates jointly cover all
+// sensors.
+std::vector<Bundle> greedy_cover(const net::Deployment& deployment,
+                                 std::span<const Bundle> candidates);
+
+// Convenience: enumerate candidates of radius r, then run greedy_cover.
+std::vector<Bundle> greedy_bundles(const net::Deployment& deployment,
+                                   double r);
+
+}  // namespace bc::bundle
+
+#endif  // BUNDLECHARGE_BUNDLE_GREEDY_COVER_H_

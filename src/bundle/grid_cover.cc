@@ -1,0 +1,32 @@
+#include "bundle/grid_cover.h"
+
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <utility>
+
+#include "support/require.h"
+
+namespace bc::bundle {
+
+std::vector<Bundle> grid_bundles(const net::Deployment& deployment, double r) {
+  support::require(r > 0.0, "grid bundle radius must be positive");
+  const double cell = r * std::numbers::sqrt2;
+  const geometry::Box2& field = deployment.field();
+
+  std::map<std::pair<long, long>, std::vector<net::SensorId>> cells;
+  for (const net::Sensor& s : deployment.sensors()) {
+    const auto gx = static_cast<long>((s.position.x - field.lo.x) / cell);
+    const auto gy = static_cast<long>((s.position.y - field.lo.y) / cell);
+    cells[{gx, gy}].push_back(s.id);
+  }
+
+  std::vector<Bundle> bundles;
+  bundles.reserve(cells.size());
+  for (auto& [key, members] : cells) {
+    bundles.push_back(make_bundle(deployment, std::move(members)));
+  }
+  return bundles;
+}
+
+}  // namespace bc::bundle

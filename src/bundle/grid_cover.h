@@ -1,0 +1,24 @@
+// Grid-based charging-bundle generation — the baseline of He et al. [8]
+// used in Fig. 11.
+//
+// The field is partitioned into square cells whose circumradius equals the
+// generation radius r (cell side r * sqrt(2)); every non-empty cell forms
+// one bundle. Anchors are recomputed as the members' SED centre, matching
+// how the planner charges any bundle.
+
+#ifndef BUNDLECHARGE_BUNDLE_GRID_COVER_H_
+#define BUNDLECHARGE_BUNDLE_GRID_COVER_H_
+
+#include <vector>
+
+#include "bundle/bundle.h"
+#include "net/deployment.h"
+
+namespace bc::bundle {
+
+// Precondition: r > 0.
+std::vector<Bundle> grid_bundles(const net::Deployment& deployment, double r);
+
+}  // namespace bc::bundle
+
+#endif  // BUNDLECHARGE_BUNDLE_GRID_COVER_H_

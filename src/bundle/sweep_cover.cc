@@ -1,0 +1,42 @@
+#include "bundle/sweep_cover.h"
+
+#include <vector>
+
+#include "geometry/minidisk.h"
+#include "support/require.h"
+
+namespace bc::bundle {
+
+std::vector<Bundle> sweep_bundles(const net::Deployment& deployment,
+                                  double r,
+                                  const tsp::SolverOptions& tsp_options) {
+  support::require(r >= 0.0, "sweep radius must be non-negative");
+  const tsp::Tour order = tsp::solve_tsp(deployment.positions(), tsp_options);
+
+  std::vector<Bundle> bundles;
+  std::vector<net::SensorId> chain;
+  std::vector<geometry::Point2> chain_points;
+  const auto flush = [&]() {
+    if (chain.empty()) return;
+    bundles.push_back(make_bundle(deployment, chain));
+    chain.clear();
+    chain_points.clear();
+  };
+
+  for (const std::uint32_t index : order) {
+    const auto id = static_cast<net::SensorId>(index);
+    chain_points.push_back(deployment.sensor(id).position);
+    if (!geometry::fits_in_radius(chain_points, r)) {
+      chain_points.pop_back();
+      flush();
+      chain_points.push_back(deployment.sensor(id).position);
+    }
+    chain.push_back(id);
+  }
+  flush();
+  support::ensure(is_partition(deployment, bundles),
+                  "sweep cover must partition the sensors");
+  return bundles;
+}
+
+}  // namespace bc::bundle

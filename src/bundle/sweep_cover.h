@@ -1,0 +1,34 @@
+// Sweep (tour-order) bundle generation.
+//
+// An alternative generator surfaced by this reproduction's ablations:
+// Algorithm 2's greedy set cover maximises per-step cardinality, which
+// fragments chain-like sensor arrangements (the classic failure mode
+// behind its ln n bound). Partitioning instead along a TSP tour —
+// greedily extending a chain while the group still fits a radius-r disk —
+// respects spatial locality and, at mid radii on uniform fields, often
+// needs *fewer* bundles than greedy while being far cheaper to compute
+// (no candidate enumeration at all). It is exposed as
+// GeneratorKind::kSweep and measured in the Fig. 11 bench.
+
+#ifndef BUNDLECHARGE_BUNDLE_SWEEP_COVER_H_
+#define BUNDLECHARGE_BUNDLE_SWEEP_COVER_H_
+
+#include <vector>
+
+#include "bundle/bundle.h"
+#include "net/deployment.h"
+#include "tsp/solver.h"
+
+namespace bc::bundle {
+
+// Orders sensors along a TSP tour, then greedily chains tour-consecutive
+// sensors into bundles while the chain's smallest enclosing disk stays
+// within radius r. Preconditions: r >= 0.
+std::vector<Bundle> sweep_bundles(const net::Deployment& deployment,
+                                  double r,
+                                  const tsp::SolverOptions& tsp_options =
+                                      tsp::SolverOptions{});
+
+}  // namespace bc::bundle
+
+#endif  // BUNDLECHARGE_BUNDLE_SWEEP_COVER_H_

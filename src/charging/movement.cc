@@ -1,0 +1,30 @@
+#include "charging/movement.h"
+
+#include "support/require.h"
+
+namespace bc::charging {
+
+MovementModel::MovementModel(double joules_per_meter, double speed_m_per_s)
+    : joules_per_meter_(joules_per_meter), speed_m_per_s_(speed_m_per_s) {
+  bc::support::require(joules_per_meter > 0.0,
+                       "movement energy rate must be positive");
+  bc::support::require(speed_m_per_s > 0.0, "speed must be positive");
+}
+
+MovementModel MovementModel::icdcs2019() { return MovementModel(5.59, 1.0); }
+
+MovementModel MovementModel::testbed_robot() {
+  return MovementModel(5.59, 0.3);
+}
+
+double MovementModel::move_energy_j(double meters) const {
+  bc::support::require(meters >= 0.0, "distance must be non-negative");
+  return joules_per_meter_ * meters;
+}
+
+double MovementModel::move_time_s(double meters) const {
+  bc::support::require(meters >= 0.0, "distance must be non-negative");
+  return meters / speed_m_per_s_;
+}
+
+}  // namespace bc::charging

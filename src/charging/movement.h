@@ -1,0 +1,37 @@
+// Movement model of the mobile charger.
+//
+// The paper approximates movement cost as energy-per-metre of tour length
+// (5.59 J/m, from [4]); speed only matters for latency reporting.
+
+#ifndef BUNDLECHARGE_CHARGING_MOVEMENT_H_
+#define BUNDLECHARGE_CHARGING_MOVEMENT_H_
+
+namespace bc::charging {
+
+class MovementModel {
+ public:
+  // Preconditions: joules_per_meter > 0, speed_m_per_s > 0.
+  MovementModel(double joules_per_meter, double speed_m_per_s);
+
+  // ICDCS'19 value: 5.59 J/m; 1 m/s nominal speed for latency numbers.
+  static MovementModel icdcs2019();
+
+  // Testbed robot car: same 5.59 J/m, 0.3 m/s (§VII).
+  static MovementModel testbed_robot();
+
+  double joules_per_meter() const { return joules_per_meter_; }
+  double speed_m_per_s() const { return speed_m_per_s_; }
+
+  // Energy to travel `meters` (>= 0).
+  double move_energy_j(double meters) const;
+  // Travel time for `meters` (>= 0).
+  double move_time_s(double meters) const;
+
+ private:
+  double joules_per_meter_;
+  double speed_m_per_s_;
+};
+
+}  // namespace bc::charging
+
+#endif  // BUNDLECHARGE_CHARGING_MOVEMENT_H_

@@ -1,0 +1,60 @@
+#include "core/planner_api.h"
+
+#include "support/require.h"
+
+namespace bc::core {
+
+BundleChargingPlanner::BundleChargingPlanner(Profile profile)
+    : profile_(std::move(profile)) {}
+
+PlanResult BundleChargingPlanner::plan(const net::Deployment& deployment,
+                                       tour::Algorithm algorithm) const {
+  PlanResult result;
+  result.plan =
+      tour::plan_charging_tour(deployment, algorithm, profile_.planner);
+  result.metrics =
+      sim::evaluate_plan(deployment, result.plan, profile_.evaluation);
+  return result;
+}
+
+RadiusSweep BundleChargingPlanner::sweep_radius(
+    const net::Deployment& deployment, tour::Algorithm algorithm,
+    double min_radius, double max_radius, std::size_t steps) const {
+  support::require(min_radius > 0.0 && min_radius <= max_radius,
+                   "need 0 < min_radius <= max_radius");
+  support::require(steps >= 1, "need at least one sweep step");
+
+  RadiusSweep sweep;
+  Profile scratch = profile_;
+  double best_energy = 0.0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double radius =
+        steps == 1 ? min_radius
+                   : min_radius + (max_radius - min_radius) *
+                                      static_cast<double>(i) /
+                                      static_cast<double>(steps - 1);
+    scratch.planner.bundle_radius = radius;
+    const tour::ChargingPlan plan =
+        tour::plan_charging_tour(deployment, algorithm, scratch.planner);
+    const sim::PlanMetrics metrics =
+        sim::evaluate_plan(deployment, plan, scratch.evaluation);
+    if (sweep.points.empty() || metrics.total_energy_j < best_energy) {
+      best_energy = metrics.total_energy_j;
+      sweep.best_radius_m = radius;
+    }
+    sweep.points.push_back(RadiusPoint{radius, metrics});
+  }
+  return sweep;
+}
+
+PlanResult BundleChargingPlanner::plan_with_tuned_radius(
+    const net::Deployment& deployment, tour::Algorithm algorithm,
+    double min_radius, double max_radius, std::size_t steps) const {
+  const RadiusSweep sweep =
+      sweep_radius(deployment, algorithm, min_radius, max_radius, steps);
+  Profile tuned = profile_;
+  tuned.planner.bundle_radius = sweep.best_radius_m;
+  return BundleChargingPlanner(tuned).plan(deployment, algorithm);
+}
+
+}  // namespace bc::core

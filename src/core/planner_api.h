@@ -1,0 +1,66 @@
+// High-level facade: plan + evaluate in one call, and the bundle-radius
+// auto-tuner motivated by §IV-C ("it is good to try different charging
+// bundle radii until a best bundle radius r is found").
+
+#ifndef BUNDLECHARGE_CORE_PLANNER_API_H_
+#define BUNDLECHARGE_CORE_PLANNER_API_H_
+
+#include <vector>
+
+#include "core/profiles.h"
+#include "net/deployment.h"
+#include "sim/evaluate.h"
+#include "tour/planner.h"
+
+namespace bc::core {
+
+struct PlanResult {
+  tour::ChargingPlan plan;
+  sim::PlanMetrics metrics;
+};
+
+// One point of a radius sweep.
+struct RadiusPoint {
+  double radius_m = 0.0;
+  sim::PlanMetrics metrics;
+};
+
+struct RadiusSweep {
+  std::vector<RadiusPoint> points;  // in ascending radius order
+  double best_radius_m = 0.0;       // argmin of total energy
+};
+
+// The main entry point a downstream user calls.
+class BundleChargingPlanner {
+ public:
+  explicit BundleChargingPlanner(Profile profile);
+
+  const Profile& profile() const { return profile_; }
+  Profile& mutable_profile() { return profile_; }
+
+  // Plans with the requested algorithm and evaluates the result.
+  PlanResult plan(const net::Deployment& deployment,
+                  tour::Algorithm algorithm) const;
+
+  // Sweeps the bundle radius over [min_radius, max_radius] in `steps`
+  // evenly spaced values and returns the per-radius metrics plus the
+  // energy-optimal radius for this deployment (the experiment behind
+  // Figs. 6 and 14). Preconditions: 0 < min_radius <= max_radius,
+  // steps >= 1 (steps == 1 evaluates min_radius only).
+  RadiusSweep sweep_radius(const net::Deployment& deployment,
+                           tour::Algorithm algorithm, double min_radius,
+                           double max_radius, std::size_t steps) const;
+
+  // Convenience: sweep, then re-plan at the best radius.
+  PlanResult plan_with_tuned_radius(const net::Deployment& deployment,
+                                    tour::Algorithm algorithm,
+                                    double min_radius, double max_radius,
+                                    std::size_t steps) const;
+
+ private:
+  Profile profile_;
+};
+
+}  // namespace bc::core
+
+#endif  // BUNDLECHARGE_CORE_PLANNER_API_H_

@@ -1,0 +1,38 @@
+#include "core/profiles.h"
+
+namespace bc::core {
+
+Profile icdcs2019_simulation_profile() {
+  Profile p;
+  p.planner.bundle_radius = 20.0;
+  p.planner.charging = charging::ChargingModel::icdcs2019_simulation();
+  p.planner.movement = charging::MovementModel::icdcs2019();
+  p.evaluation.charging = p.planner.charging;
+  p.evaluation.movement = p.planner.movement;
+  p.field.field = {{0.0, 0.0}, {1000.0, 1000.0}};
+  p.field.depot = {0.0, 0.0};
+  p.field.demand_j = 2.0;
+  return p;
+}
+
+Profile icdcs2019_paper_cost_profile() {
+  Profile p = icdcs2019_simulation_profile();
+  p.planner.charging = charging::ChargingModel::icdcs2019_paper_cost();
+  p.evaluation.charging = p.planner.charging;
+  return p;
+}
+
+Profile testbed_profile() {
+  Profile p;
+  p.planner.bundle_radius = 1.2;
+  p.planner.charging = charging::ChargingModel::powercast_testbed();
+  p.planner.movement = charging::MovementModel::testbed_robot();
+  p.evaluation.charging = p.planner.charging;
+  p.evaluation.movement = p.planner.movement;
+  p.field.field = {{0.0, 0.0}, {5.0, 5.0}};
+  p.field.depot = {0.0, 0.0};
+  p.field.demand_j = 0.004;
+  return p;
+}
+
+}  // namespace bc::core

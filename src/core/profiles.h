@@ -1,0 +1,34 @@
+// Ready-made experiment profiles bundling charging model, movement model,
+// evaluation policy, and planner defaults.
+
+#ifndef BUNDLECHARGE_CORE_PROFILES_H_
+#define BUNDLECHARGE_CORE_PROFILES_H_
+
+#include "net/deployment.h"
+#include "sim/evaluate.h"
+#include "tour/planner.h"
+
+namespace bc::core {
+
+struct Profile {
+  tour::PlannerConfig planner{};
+  sim::EvaluationConfig evaluation{};
+  net::FieldSpec field{};
+};
+
+// The ICDCS'19 simulation setting (§VI-A): 1000 m x 1000 m field, depot at
+// the origin, alpha = 36, beta = 30, delta = 2 J, E_m = 5.59 J/m, default
+// bundle radius 20 m.
+Profile icdcs2019_simulation_profile();
+
+// As above but with the paper's literal 0.9 J/min charging consumption
+// (charging energy becomes negligible; used by the ablation bench).
+Profile icdcs2019_paper_cost_profile();
+
+// The §VII testbed: 5 m x 5 m office, Powercast TX91501 -> P2110,
+// 0.3 m/s robot car, 4 mJ per-sensor demand, default bundle radius 1.2 m.
+Profile testbed_profile();
+
+}  // namespace bc::core
+
+#endif  // BUNDLECHARGE_CORE_PROFILES_H_

@@ -1,0 +1,15 @@
+// Library version.
+
+#ifndef BUNDLECHARGE_CORE_VERSION_H_
+#define BUNDLECHARGE_CORE_VERSION_H_
+
+namespace bc::core {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace bc::core
+
+#endif  // BUNDLECHARGE_CORE_VERSION_H_

@@ -1,0 +1,39 @@
+#include "geometry/circle.h"
+
+#include <cmath>
+
+namespace bc::geometry {
+
+bool Circle::contains(Point2 p, double tolerance) const {
+  const double slack = radius * tolerance + tolerance;
+  return distance(center, p) <= radius + slack;
+}
+
+Circle circle_from_two(Point2 a, Point2 b) {
+  return Circle{midpoint(a, b), distance(a, b) / 2.0};
+}
+
+std::optional<Circle> circle_from_three(Point2 a, Point2 b, Point2 c) {
+  const Point2 ab = b - a;
+  const Point2 ac = c - a;
+  const double det = 2.0 * ab.cross(ac);
+  if (std::abs(det) < 1e-12) return std::nullopt;
+  const double ab2 = ab.norm_squared();
+  const double ac2 = ac.norm_squared();
+  const Point2 center{a.x + (ac.y * ab2 - ab.y * ac2) / det,
+                      a.y + (ab.x * ac2 - ac.x * ab2) / det};
+  return Circle{center, distance(center, a)};
+}
+
+std::optional<std::pair<Point2, Point2>> circles_through_pair(Point2 a,
+                                                              Point2 b,
+                                                              double r) {
+  const double half = distance(a, b) / 2.0;
+  if (half > r) return std::nullopt;
+  const Point2 mid = midpoint(a, b);
+  const double offset = std::sqrt(std::max(0.0, r * r - half * half));
+  const Point2 dir = (b - a).normalized().perp();
+  return std::make_pair(mid + dir * offset, mid - dir * offset);
+}
+
+}  // namespace bc::geometry

@@ -1,0 +1,44 @@
+// Circles: containment, circumcircles, and the two radius-r circles
+// through a point pair.
+//
+// Candidate charging bundles are enumerated from pair-circles (every
+// maximal set of sensors coverable by a radius-r disk admits a covering
+// disk with two sensors on its boundary), so `circles_through_pair` is the
+// geometric core of bundle generation.
+
+#ifndef BUNDLECHARGE_GEOMETRY_CIRCLE_H_
+#define BUNDLECHARGE_GEOMETRY_CIRCLE_H_
+
+#include <optional>
+#include <utility>
+
+#include "geometry/point.h"
+
+namespace bc::geometry {
+
+struct Circle {
+  Point2 center;
+  double radius = 0.0;
+
+  // Containment with a small relative slack so that boundary points
+  // produced by the constructions below always test inside.
+  bool contains(Point2 p, double tolerance = 1e-9) const;
+};
+
+// Smallest circle through two points (diameter = |ab|).
+Circle circle_from_two(Point2 a, Point2 b);
+
+// Circumcircle through three points. Returns nullopt when the points are
+// (numerically) collinear, in which case no finite circumcircle exists.
+std::optional<Circle> circle_from_three(Point2 a, Point2 b, Point2 c);
+
+// The centers of the (up to two) circles of radius `r` passing through both
+// `a` and `b`. Empty when |ab| > 2r; a single (duplicated) center when
+// |ab| == 2r.
+std::optional<std::pair<Point2, Point2>> circles_through_pair(Point2 a,
+                                                              Point2 b,
+                                                              double r);
+
+}  // namespace bc::geometry
+
+#endif  // BUNDLECHARGE_GEOMETRY_CIRCLE_H_

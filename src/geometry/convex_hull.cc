@@ -1,0 +1,48 @@
+#include "geometry/convex_hull.h"
+
+#include <algorithm>
+
+namespace bc::geometry {
+
+std::vector<Point2> convex_hull(std::span<const Point2> points) {
+  std::vector<Point2> pts(points.begin(), points.end());
+  std::sort(pts.begin(), pts.end(), [](Point2 a, Point2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  if (pts.size() <= 2) return pts;
+
+  std::vector<Point2> hull(2 * pts.size());
+  std::size_t k = 0;
+  // Lower hull.
+  for (const Point2 p : pts) {
+    while (k >= 2 &&
+           (hull[k - 1] - hull[k - 2]).cross(p - hull[k - 2]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = p;
+  }
+  // Upper hull.
+  const std::size_t lower = k + 1;
+  for (auto it = pts.rbegin() + 1; it != pts.rend(); ++it) {
+    while (k >= lower &&
+           (hull[k - 1] - hull[k - 2]).cross(*it - hull[k - 2]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = *it;
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+double hull_perimeter(std::span<const Point2> hull) {
+  if (hull.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    total += distance(hull[i], hull[(i + 1) % hull.size()]);
+  }
+  // For a 2-point "hull" the loop already counts the out-and-back distance.
+  return total;
+}
+
+}  // namespace bc::geometry

@@ -1,0 +1,27 @@
+// Convex hull (Andrew's monotone chain).
+//
+// Used as a lower-bound oracle in TSP tests (the optimal tour visits hull
+// vertices in hull order) and by examples for plotting field outlines.
+
+#ifndef BUNDLECHARGE_GEOMETRY_CONVEX_HULL_H_
+#define BUNDLECHARGE_GEOMETRY_CONVEX_HULL_H_
+
+#include <span>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace bc::geometry {
+
+// Returns hull vertices in counter-clockwise order, starting from the
+// lexicographically smallest point. Collinear points on hull edges are
+// dropped. Duplicates are tolerated. Empty input yields an empty hull.
+std::vector<Point2> convex_hull(std::span<const Point2> points);
+
+// Perimeter of the hull polygon (0 for fewer than 2 vertices; twice the
+// segment length for exactly 2).
+double hull_perimeter(std::span<const Point2> hull);
+
+}  // namespace bc::geometry
+
+#endif  // BUNDLECHARGE_GEOMETRY_CONVEX_HULL_H_

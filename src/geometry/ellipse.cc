@@ -1,0 +1,25 @@
+#include "geometry/ellipse.h"
+
+#include <cmath>
+
+namespace bc::geometry {
+
+Ellipse Ellipse::through_point(Point2 f1, Point2 f2, Point2 p) {
+  return Ellipse{f1, f2, focal_sum(f1, f2, p) / 2.0};
+}
+
+double Ellipse::level(Point2 p) const {
+  return focal_sum(focus_a, focus_b, p) - 2.0 * semi_major;
+}
+
+double Ellipse::semi_minor() const {
+  const double c = focal_distance() / 2.0;
+  const double b2 = semi_major * semi_major - c * c;
+  return b2 > 0.0 ? std::sqrt(b2) : 0.0;
+}
+
+double focal_sum(Point2 a, Point2 b, Point2 p) {
+  return distance(a, p) + distance(p, b);
+}
+
+}  // namespace bc::geometry

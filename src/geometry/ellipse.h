@@ -1,0 +1,41 @@
+// Ellipses defined by their two foci.
+//
+// Theorem 4 of the paper characterises the optimal relocated anchor point
+// as the tangency point between a circle around the bundle centre and the
+// smallest ellipse whose foci are the neighbouring tour stops. These
+// helpers express that family of confocal ellipses: an ellipse is the level
+// set { p : |p f1| + |p f2| = 2a }.
+
+#ifndef BUNDLECHARGE_GEOMETRY_ELLIPSE_H_
+#define BUNDLECHARGE_GEOMETRY_ELLIPSE_H_
+
+#include "geometry/point.h"
+
+namespace bc::geometry {
+
+struct Ellipse {
+  Point2 focus_a;
+  Point2 focus_b;
+  double semi_major = 0.0;  // a; the level value is 2a
+
+  // The confocal ellipse through `p` (degenerate if p is on the focal
+  // segment; still well defined as a level set).
+  static Ellipse through_point(Point2 f1, Point2 f2, Point2 p);
+
+  // Sum of focal distances of `p` minus the level value 2a: negative
+  // inside, zero on, positive outside the ellipse.
+  double level(Point2 p) const;
+
+  double focal_distance() const { return distance(focus_a, focus_b); }
+  // Semi-minor axis b = sqrt(a^2 - c^2) with c = half focal distance.
+  double semi_minor() const;
+  Point2 center() const { return midpoint(focus_a, focus_b); }
+};
+
+// Sum of distances |a p| + |p b| — the tour-detour cost of visiting `p`
+// between stops `a` and `b`.
+double focal_sum(Point2 a, Point2 b, Point2 p);
+
+}  // namespace bc::geometry
+
+#endif  // BUNDLECHARGE_GEOMETRY_ELLIPSE_H_

@@ -1,0 +1,29 @@
+#include "geometry/point.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace bc::geometry {
+
+Point2 Point2::normalized() const {
+  const double n = norm();
+  if (n == 0.0) return *this;
+  return {x / n, y / n};
+}
+
+double distance(Point2 a, Point2 b) { return (a - b).norm(); }
+
+bool almost_equal(Point2 a, Point2 b, double tolerance) {
+  return distance(a, b) <= tolerance;
+}
+
+std::ostream& operator<<(std::ostream& os, Point2 p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+Box2 Box2::expanded_to(Point2 p) const {
+  return Box2{{std::min(lo.x, p.x), std::min(lo.y, p.y)},
+              {std::max(hi.x, p.x), std::max(hi.y, p.y)}};
+}
+
+}  // namespace bc::geometry

@@ -1,0 +1,104 @@
+// 2-D point/vector algebra and axis-aligned boxes.
+//
+// All planner and simulator code works in a flat Euclidean plane, matching
+// the paper's obstacle-free field model (§III-B). Points are value types
+// with double coordinates; `Point2` doubles as a displacement vector.
+
+#ifndef BUNDLECHARGE_GEOMETRY_POINT_H_
+#define BUNDLECHARGE_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <iosfwd>
+
+namespace bc::geometry {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point2() = default;
+  constexpr Point2(double px, double py) : x(px), y(py) {}
+
+  constexpr Point2 operator+(Point2 other) const {
+    return {x + other.x, y + other.y};
+  }
+  constexpr Point2 operator-(Point2 other) const {
+    return {x - other.x, y - other.y};
+  }
+  constexpr Point2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Point2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Point2& operator+=(Point2 other) {
+    x += other.x;
+    y += other.y;
+    return *this;
+  }
+  constexpr Point2& operator-=(Point2 other) {
+    x -= other.x;
+    y -= other.y;
+    return *this;
+  }
+  friend constexpr Point2 operator*(double s, Point2 p) { return p * s; }
+  friend constexpr bool operator==(Point2 a, Point2 b) {
+    return a.x == b.x && a.y == b.y;
+  }
+
+  constexpr double dot(Point2 other) const { return x * other.x + y * other.y; }
+  // 2-D cross product (z-component); positive when `other` is CCW of *this.
+  constexpr double cross(Point2 other) const {
+    return x * other.y - y * other.x;
+  }
+  constexpr double norm_squared() const { return x * x + y * y; }
+  double norm() const { return std::hypot(x, y); }
+  // Unit vector in the same direction; the zero vector maps to itself.
+  Point2 normalized() const;
+  // Rotated 90 degrees counter-clockwise.
+  constexpr Point2 perp() const { return {-y, x}; }
+};
+
+// Euclidean distance between two points.
+double distance(Point2 a, Point2 b);
+// Squared distance (no sqrt); preferred in comparisons.
+constexpr double distance_squared(Point2 a, Point2 b) {
+  return (a - b).norm_squared();
+}
+// Midpoint of the segment ab.
+constexpr Point2 midpoint(Point2 a, Point2 b) {
+  return {(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+}
+// Linear interpolation: t=0 gives a, t=1 gives b.
+constexpr Point2 lerp(Point2 a, Point2 b, double t) {
+  return a + (b - a) * t;
+}
+// True when |a-b| <= tolerance in each coordinate sense (Euclidean).
+bool almost_equal(Point2 a, Point2 b, double tolerance = 1e-9);
+
+std::ostream& operator<<(std::ostream& os, Point2 p);
+
+// Axis-aligned bounding box; used for deployment fields and grid covers.
+struct Box2 {
+  Point2 lo;
+  Point2 hi;
+
+  constexpr double width() const { return hi.x - lo.x; }
+  constexpr double height() const { return hi.y - lo.y; }
+  constexpr double area() const { return width() * height(); }
+  constexpr Point2 center() const { return midpoint(lo, hi); }
+  constexpr bool contains(Point2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  // Smallest box containing both this box and `p`.
+  Box2 expanded_to(Point2 p) const;
+};
+
+// Bounding box of a non-empty point range.
+template <typename Range>
+Box2 bounding_box(const Range& points) {
+  auto it = points.begin();
+  Box2 box{*it, *it};
+  for (++it; it != points.end(); ++it) box = box.expanded_to(*it);
+  return box;
+}
+
+}  // namespace bc::geometry
+
+#endif  // BUNDLECHARGE_GEOMETRY_POINT_H_

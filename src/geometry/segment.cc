@@ -1,0 +1,23 @@
+#include "geometry/segment.h"
+
+#include <algorithm>
+
+namespace bc::geometry {
+
+double closest_parameter(const Segment& seg, Point2 p) {
+  const Point2 d = seg.b - seg.a;
+  const double len2 = d.norm_squared();
+  if (len2 == 0.0) return 0.0;  // degenerate segment
+  const double t = (p - seg.a).dot(d) / len2;
+  return std::clamp(t, 0.0, 1.0);
+}
+
+Point2 closest_point(const Segment& seg, Point2 p) {
+  return lerp(seg.a, seg.b, closest_parameter(seg, p));
+}
+
+double distance_to_segment(const Segment& seg, Point2 p) {
+  return distance(p, closest_point(seg, p));
+}
+
+}  // namespace bc::geometry

@@ -1,0 +1,31 @@
+// Line-segment utilities: projection, point-segment distance.
+//
+// The CSS planner's "substitute" move slides a stop toward the chord
+// between its neighbours; these helpers provide the projections it needs.
+
+#ifndef BUNDLECHARGE_GEOMETRY_SEGMENT_H_
+#define BUNDLECHARGE_GEOMETRY_SEGMENT_H_
+
+#include "geometry/point.h"
+
+namespace bc::geometry {
+
+struct Segment {
+  Point2 a;
+  Point2 b;
+
+  double length() const { return distance(a, b); }
+};
+
+// Parameter t in [0, 1] of the point on `seg` closest to `p`.
+double closest_parameter(const Segment& seg, Point2 p);
+
+// The point on `seg` closest to `p`.
+Point2 closest_point(const Segment& seg, Point2 p);
+
+// Euclidean distance from `p` to the segment.
+double distance_to_segment(const Segment& seg, Point2 p);
+
+}  // namespace bc::geometry
+
+#endif  // BUNDLECHARGE_GEOMETRY_SEGMENT_H_

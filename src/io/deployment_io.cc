@@ -1,0 +1,103 @@
+#include "io/deployment_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/require.h"
+
+namespace bc::io {
+
+namespace {
+
+bool parse_double_token(const std::string& token, double& out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r\n");
+  return text.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::optional<std::vector<geometry::Point2>> read_positions_csv(
+    std::istream& in, std::string* error) {
+  std::vector<geometry::Point2> positions;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto comma = trimmed.find(',');
+    if (comma == std::string::npos) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + ": expected 'x,y'";
+      }
+      return std::nullopt;
+    }
+    const std::string x_token = trim(trimmed.substr(0, comma));
+    const std::string y_token = trim(trimmed.substr(comma + 1));
+    double x = 0.0;
+    double y = 0.0;
+    if (!parse_double_token(x_token, x) || !parse_double_token(y_token, y)) {
+      // Tolerate exactly one non-numeric row as a header.
+      if (positions.empty() && line_number <= 1) continue;
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) +
+                 ": malformed coordinates '" + trimmed + "'";
+      }
+      return std::nullopt;
+    }
+    positions.push_back({x, y});
+  }
+  if (positions.empty()) {
+    if (error != nullptr) *error = "no sensor positions found";
+    return std::nullopt;
+  }
+  return positions;
+}
+
+std::optional<std::vector<geometry::Point2>> read_positions_csv_file(
+    const std::string& path, std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  return read_positions_csv(file, error);
+}
+
+void write_positions_csv(const net::Deployment& deployment,
+                         std::ostream& out) {
+  out << "x,y\n";
+  char buf[80];
+  for (const net::Sensor& s : deployment.sensors()) {
+    // Round-trip-exact doubles (max_digits10 = 17).
+    std::snprintf(buf, sizeof(buf), "%.17g,%.17g\n", s.position.x,
+                  s.position.y);
+    out << buf;
+  }
+}
+
+bool write_positions_csv_file(const net::Deployment& deployment,
+                              const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  write_positions_csv(deployment, file);
+  return static_cast<bool>(file);
+}
+
+net::Deployment deployment_from_positions(
+    std::vector<geometry::Point2> positions, geometry::Point2 depot,
+    double demand_j) {
+  return net::explicit_deployment(std::move(positions), depot, demand_j);
+}
+
+}  // namespace bc::io

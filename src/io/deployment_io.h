@@ -1,0 +1,46 @@
+// Deployment persistence.
+//
+// Real users bring their own sensor coordinates (site surveys, testbeds).
+// This module reads/writes deployments as simple CSV — one `x,y` row per
+// sensor with an optional header — plus a small sidecar-free convention
+// for the field/depot/demand (passed explicitly, since they are
+// experiment configuration rather than survey data).
+
+#ifndef BUNDLECHARGE_IO_DEPLOYMENT_IO_H_
+#define BUNDLECHARGE_IO_DEPLOYMENT_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/deployment.h"
+
+namespace bc::io {
+
+// Parses `x,y` rows (optionally with a leading "x,y" header; blank lines
+// and lines starting with '#' are skipped). Returns nullopt and fills
+// `error` on malformed input.
+std::optional<std::vector<geometry::Point2>> read_positions_csv(
+    std::istream& in, std::string* error = nullptr);
+
+// File variant; nullopt when the file cannot be opened or parsed.
+std::optional<std::vector<geometry::Point2>> read_positions_csv_file(
+    const std::string& path, std::string* error = nullptr);
+
+// Writes "x,y" header plus one row per sensor.
+void write_positions_csv(const net::Deployment& deployment,
+                         std::ostream& out);
+bool write_positions_csv_file(const net::Deployment& deployment,
+                              const std::string& path);
+
+// Builds a deployment from loaded positions (field = bounding box of the
+// positions expanded to the depot, as explicit_deployment does).
+// Preconditions: !positions.empty(), demand_j > 0.
+net::Deployment deployment_from_positions(
+    std::vector<geometry::Point2> positions, geometry::Point2 depot,
+    double demand_j);
+
+}  // namespace bc::io
+
+#endif  // BUNDLECHARGE_IO_DEPLOYMENT_IO_H_

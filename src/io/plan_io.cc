@@ -1,0 +1,73 @@
+#include "io/plan_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace bc::io {
+
+namespace {
+
+std::string num(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string plan_to_json(const net::Deployment& deployment,
+                         const tour::ChargingPlan& plan,
+                         const sim::EvaluationConfig& evaluation) {
+  const std::vector<double> times = sim::schedule_stop_times(
+      deployment, plan, evaluation.charging, evaluation.policy);
+  const sim::PlanMetrics metrics =
+      sim::evaluate_plan(deployment, plan, evaluation);
+
+  std::string out = "{\n";
+  out += "  \"algorithm\": \"" + plan.algorithm + "\",\n";
+  out += "  \"schedule_policy\": \"" +
+         std::string(sim::to_string(evaluation.policy)) + "\",\n";
+  out += "  \"depot\": [" + num(plan.depot.x) + ", " + num(plan.depot.y) +
+         "],\n";
+  out += "  \"stops\": [\n";
+  for (std::size_t i = 0; i < plan.stops.size(); ++i) {
+    const tour::Stop& stop = plan.stops[i];
+    out += "    {\"position\": [" + num(stop.position.x) + ", " +
+           num(stop.position.y) + "], \"stop_time_s\": " + num(times[i]) +
+           ", \"members\": [";
+    for (std::size_t j = 0; j < stop.members.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += std::to_string(stop.members[j]);
+    }
+    out += "]}";
+    out += (i + 1 < plan.stops.size()) ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  out += "  \"metrics\": {\n";
+  out += "    \"num_stops\": " + std::to_string(metrics.num_stops) + ",\n";
+  out += "    \"tour_length_m\": " + num(metrics.tour_length_m) + ",\n";
+  out += "    \"move_energy_j\": " + num(metrics.move_energy_j) + ",\n";
+  out += "    \"charge_time_s\": " + num(metrics.charge_time_s) + ",\n";
+  out += "    \"charge_energy_j\": " + num(metrics.charge_energy_j) + ",\n";
+  out += "    \"total_energy_j\": " + num(metrics.total_energy_j) + ",\n";
+  out += "    \"total_time_s\": " + num(metrics.total_time_s) + ",\n";
+  out +=
+      "    \"min_demand_fraction\": " + num(metrics.min_demand_fraction) +
+      "\n";
+  out += "  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool write_plan_json_file(const net::Deployment& deployment,
+                          const tour::ChargingPlan& plan,
+                          const sim::EvaluationConfig& evaluation,
+                          const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << plan_to_json(deployment, plan, evaluation);
+  return static_cast<bool>(file);
+}
+
+}  // namespace bc::io

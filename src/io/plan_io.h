@@ -1,0 +1,33 @@
+// Charging-plan export.
+//
+// Serialises a planned tour (and optionally its schedule/metrics) to JSON
+// so downstream tooling — robot controllers, plotters, notebooks — can
+// consume plans without linking the library. Writing only; plans are an
+// output artifact, not an input.
+
+#ifndef BUNDLECHARGE_IO_PLAN_IO_H_
+#define BUNDLECHARGE_IO_PLAN_IO_H_
+
+#include <string>
+
+#include "sim/evaluate.h"
+#include "tour/plan.h"
+
+namespace bc::io {
+
+// JSON document: algorithm, depot, stops (position, members, stop time
+// under the given policy), and the evaluated metrics block. The output is
+// deterministic and pretty-printed with two-space indentation.
+std::string plan_to_json(const net::Deployment& deployment,
+                         const tour::ChargingPlan& plan,
+                         const sim::EvaluationConfig& evaluation);
+
+// Writes plan_to_json to a file; false on I/O failure.
+bool write_plan_json_file(const net::Deployment& deployment,
+                          const tour::ChargingPlan& plan,
+                          const sim::EvaluationConfig& evaluation,
+                          const std::string& path);
+
+}  // namespace bc::io
+
+#endif  // BUNDLECHARGE_IO_PLAN_IO_H_

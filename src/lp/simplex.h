@@ -1,0 +1,57 @@
+// Dense two-phase simplex for small linear programs.
+//
+// The charging-time schedule of Eq. 3 is, for fixed stop positions, a
+// linear program: minimise total parked time subject to every sensor's
+// accumulated received energy meeting its demand,
+//
+//     min  sum_i t_i
+//     s.t. sum_i p_r(d(l_i, s_j)) * t_i >= delta_j   for every sensor j,
+//          t_i >= 0,
+//
+// (the one-to-many property makes the constraint matrix dense). Instances
+// are small — a few hundred stops by a few hundred sensors — so a dense
+// tableau simplex is simple, dependency-free and fast enough. Phase 1
+// drives artificial variables out of the basis; Bland's rule guarantees
+// termination.
+
+#ifndef BUNDLECHARGE_LP_SIMPLEX_H_
+#define BUNDLECHARGE_LP_SIMPLEX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace bc::lp {
+
+// min c.x  subject to  A x >= b,  x >= 0.
+// All rows share the ">=" sense (what the schedule needs); callers with
+// "<=" rows can negate them.
+struct Problem {
+  std::size_t num_vars = 0;
+  std::vector<double> objective;            // size num_vars
+  std::vector<std::vector<double>> rows;    // each size num_vars
+  std::vector<double> rhs;                  // size rows.size()
+};
+
+enum class Status { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct Solution {
+  Status status = Status::kIterationLimit;
+  std::vector<double> x;      // size num_vars when kOptimal
+  double objective = 0.0;     // c.x when kOptimal
+};
+
+struct SimplexOptions {
+  // Pivot iteration cap across both phases (0 = derive from size).
+  std::size_t max_iterations = 0;
+  // Values within this of zero are treated as zero during pivoting.
+  double epsilon = 1e-9;
+};
+
+// Solves the problem. Preconditions: consistent dimensions; finite
+// coefficients.
+Solution solve(const Problem& problem,
+               const SimplexOptions& options = SimplexOptions{});
+
+}  // namespace bc::lp
+
+#endif  // BUNDLECHARGE_LP_SIMPLEX_H_

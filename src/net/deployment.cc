@@ -1,0 +1,144 @@
+#include "net/deployment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/require.h"
+
+namespace bc::net {
+
+using geometry::Box2;
+using geometry::Point2;
+
+Deployment::Deployment(std::vector<Point2> positions, Box2 field, Point2 depot,
+                       double demand_j)
+    : Deployment(std::move(positions), field, depot,
+                 std::vector<double>()) {
+  support::require(demand_j > 0.0, "sensor demand must be positive");
+  for (Sensor& s : sensors_) s.demand_j = demand_j;
+  max_demand_j_ = demand_j;
+  uniform_demand_ = true;
+}
+
+Deployment::Deployment(std::vector<Point2> positions, Box2 field, Point2 depot,
+                       std::vector<double> demands_j)
+    : positions_(std::move(positions)), field_(field), depot_(depot) {
+  support::require(!positions_.empty(), "deployment needs at least one sensor");
+  // An empty demand vector is the delegation path of the uniform-demand
+  // constructor, which fills demands afterwards.
+  const bool explicit_demands = !demands_j.empty();
+  support::require(!explicit_demands || demands_j.size() == positions_.size(),
+                   "one demand per sensor");
+  sensors_.reserve(positions_.size());
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    support::require(field_.contains(positions_[i]),
+                     "sensor position outside the field");
+    const double demand = explicit_demands ? demands_j[i] : 1.0;
+    support::require(demand > 0.0, "sensor demand must be positive");
+    sensors_.push_back(Sensor{static_cast<SensorId>(i), positions_[i],
+                              demand});
+    max_demand_j_ = std::max(max_demand_j_, demand);
+  }
+  if (explicit_demands) {
+    uniform_demand_ = std::all_of(
+        sensors_.begin(), sensors_.end(),
+        [&](const Sensor& s) { return s.demand_j == sensors_[0].demand_j; });
+  }
+}
+
+Deployment with_demands(const Deployment& base,
+                        std::vector<double> demands_j) {
+  std::vector<Point2> positions(base.positions().begin(),
+                                base.positions().end());
+  return Deployment(std::move(positions), base.field(), base.depot(),
+                    std::move(demands_j));
+}
+
+const Sensor& Deployment::sensor(SensorId id) const {
+  support::require(id < sensors_.size(), "sensor id out of range");
+  return sensors_[id];
+}
+
+Deployment uniform_random_deployment(std::size_t n, const FieldSpec& spec,
+                                     support::Rng& rng) {
+  support::require(n > 0, "need at least one sensor");
+  std::vector<Point2> positions;
+  positions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back({rng.uniform(spec.field.lo.x, spec.field.hi.x),
+                         rng.uniform(spec.field.lo.y, spec.field.hi.y)});
+  }
+  return Deployment(std::move(positions), spec.field, spec.depot,
+                    spec.demand_j);
+}
+
+Deployment clustered_deployment(std::size_t n, std::size_t clusters,
+                                double sigma, const FieldSpec& spec,
+                                support::Rng& rng) {
+  support::require(n > 0, "need at least one sensor");
+  support::require(clusters > 0, "need at least one cluster");
+  support::require(sigma > 0.0, "cluster sigma must be positive");
+  std::vector<Point2> centers;
+  centers.reserve(clusters);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    centers.push_back({rng.uniform(spec.field.lo.x, spec.field.hi.x),
+                       rng.uniform(spec.field.lo.y, spec.field.hi.y)});
+  }
+  std::vector<Point2> positions;
+  positions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point2 center = centers[rng.below(clusters)];
+    Point2 p;
+    do {  // truncated normal: resample until inside the field
+      p = {rng.gaussian(center.x, sigma), rng.gaussian(center.y, sigma)};
+    } while (!spec.field.contains(p));
+    positions.push_back(p);
+  }
+  return Deployment(std::move(positions), spec.field, spec.depot,
+                    spec.demand_j);
+}
+
+Deployment jittered_grid_deployment(std::size_t n, double jitter_fraction,
+                                    const FieldSpec& spec, support::Rng& rng) {
+  support::require(n > 0, "need at least one sensor");
+  support::require(jitter_fraction >= 0.0 && jitter_fraction <= 1.0,
+                   "jitter fraction must be in [0, 1]");
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  const double cell_w = spec.field.width() / static_cast<double>(side);
+  const double cell_h = spec.field.height() / static_cast<double>(side);
+  std::vector<Point2> positions;
+  positions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t gx = i % side;
+    const std::size_t gy = i / side;
+    const Point2 cell_center{
+        spec.field.lo.x + (static_cast<double>(gx) + 0.5) * cell_w,
+        spec.field.lo.y + (static_cast<double>(gy) + 0.5) * cell_h};
+    const double jx = rng.uniform(-0.5, 0.5) * jitter_fraction * cell_w;
+    const double jy = rng.uniform(-0.5, 0.5) * jitter_fraction * cell_h;
+    Point2 p = cell_center + Point2{jx, jy};
+    p.x = std::clamp(p.x, spec.field.lo.x, spec.field.hi.x);
+    p.y = std::clamp(p.y, spec.field.lo.y, spec.field.hi.y);
+    positions.push_back(p);
+  }
+  return Deployment(std::move(positions), spec.field, spec.depot,
+                    spec.demand_j);
+}
+
+Deployment explicit_deployment(std::vector<Point2> positions, Point2 depot,
+                               double demand_j) {
+  support::require(!positions.empty(), "need at least one sensor");
+  Box2 box = geometry::bounding_box(positions);
+  box = box.expanded_to(depot);
+  return Deployment(std::move(positions), box, depot, demand_j);
+}
+
+Deployment testbed_deployment() {
+  std::vector<Point2> positions{{1.0, 1.0}, {1.0, 3.0}, {1.0, 4.0},
+                                {2.0, 4.0}, {4.0, 4.0}, {4.0, 1.0}};
+  return Deployment(std::move(positions), Box2{{0.0, 0.0}, {5.0, 5.0}},
+                    /*depot=*/{0.0, 0.0}, /*demand_j=*/0.004);
+}
+
+}  // namespace bc::net

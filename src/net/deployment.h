@@ -1,0 +1,99 @@
+// Sensor deployments: the network model of §III-B plus the workload
+// generators used by the evaluation (§VI-A deploys n in [40, 200] sensors
+// uniformly over a 1000 m x 1000 m field; §VII uses six fixed coordinates
+// in a 5 m x 5 m office).
+
+#ifndef BUNDLECHARGE_NET_DEPLOYMENT_H_
+#define BUNDLECHARGE_NET_DEPLOYMENT_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/point.h"
+#include "net/sensor.h"
+#include "support/rng.h"
+
+namespace bc::net {
+
+// An immutable collection of sensors in a rectangular field, plus the
+// depot the mobile charger starts from and returns to.
+class Deployment {
+ public:
+  // Builds from explicit sensor positions with a uniform demand. Ids are
+  // assigned 0..n-1 in order. Preconditions: !positions.empty(),
+  // demand_j > 0, every position inside `field`.
+  Deployment(std::vector<geometry::Point2> positions, geometry::Box2 field,
+             geometry::Point2 depot, double demand_j);
+
+  // Heterogeneous-demand variant (Eq. 3's constraint is per-sensor, so
+  // nothing downstream assumes uniformity). Preconditions: one positive
+  // demand per position.
+  Deployment(std::vector<geometry::Point2> positions, geometry::Box2 field,
+             geometry::Point2 depot, std::vector<double> demands_j);
+
+  std::size_t size() const { return sensors_.size(); }
+  const Sensor& sensor(SensorId id) const;
+  std::span<const Sensor> sensors() const { return sensors_; }
+  // Positions only, aligned with ids (useful for geometry calls).
+  std::span<const geometry::Point2> positions() const { return positions_; }
+
+  const geometry::Box2& field() const { return field_; }
+  geometry::Point2 depot() const { return depot_; }
+  // Largest per-sensor demand (equals the uniform demand when demands are
+  // uniform); sizing quantities like BC-OPT's displacement cap use it.
+  double demand_j() const { return max_demand_j_; }
+  // True when every sensor has the same demand.
+  bool uniform_demand() const { return uniform_demand_; }
+
+ private:
+  std::vector<Sensor> sensors_;
+  std::vector<geometry::Point2> positions_;
+  geometry::Box2 field_;
+  geometry::Point2 depot_;
+  double max_demand_j_ = 0.0;
+  bool uniform_demand_ = true;
+};
+
+// Copy of `base` with the given per-sensor demands (one per sensor, all
+// positive). Lets workload code attach surveyed/heterogeneous demands to
+// any generated deployment.
+Deployment with_demands(const Deployment& base,
+                        std::vector<double> demands_j);
+
+// Workload generators -------------------------------------------------------
+
+struct FieldSpec {
+  geometry::Box2 field{{0.0, 0.0}, {1000.0, 1000.0}};
+  geometry::Point2 depot{0.0, 0.0};
+  double demand_j = 2.0;  // the paper's 2 J charging capacity
+};
+
+// n sensors i.i.d. uniform over the field (the paper's main workload).
+Deployment uniform_random_deployment(std::size_t n, const FieldSpec& spec,
+                                     support::Rng& rng);
+
+// Sensors around `clusters` Gaussian hot-spots (dense-jungle/battlefield
+// motivation of §III-B: bundling pays off most here). Cluster centres are
+// uniform; points are truncated-normal around them with given sigma.
+Deployment clustered_deployment(std::size_t n, std::size_t clusters,
+                                double sigma, const FieldSpec& spec,
+                                support::Rng& rng);
+
+// Jittered grid: ceil(sqrt(n))^2 lattice, keep n cells, jitter each point
+// uniformly within a fraction of the cell. Models engineered deployments.
+Deployment jittered_grid_deployment(std::size_t n, double jitter_fraction,
+                                    const FieldSpec& spec, support::Rng& rng);
+
+// Explicit coordinates (e.g. the testbed's six sensors). The field is the
+// bounding box of the coordinates expanded to include the depot.
+Deployment explicit_deployment(std::vector<geometry::Point2> positions,
+                               geometry::Point2 depot, double demand_j);
+
+// The §VII testbed: six sensors at (1,1), (1,3), (1,4), (2,4), (4,4),
+// (4,1) in a 5 m x 5 m room, depot at the origin, 4 mJ demand.
+Deployment testbed_deployment();
+
+}  // namespace bc::net
+
+#endif  // BUNDLECHARGE_NET_DEPLOYMENT_H_

@@ -1,0 +1,27 @@
+// Sensor node model.
+//
+// A sensor is a position plus a charging demand (the paper's threshold
+// delta, "each sensor should be charged at least delta", §III-B). Ids index
+// into the owning Deployment, so bundles and plans can store plain integer
+// member lists.
+
+#ifndef BUNDLECHARGE_NET_SENSOR_H_
+#define BUNDLECHARGE_NET_SENSOR_H_
+
+#include <cstdint>
+
+#include "geometry/point.h"
+
+namespace bc::net {
+
+using SensorId = std::uint32_t;
+
+struct Sensor {
+  SensorId id = 0;
+  geometry::Point2 position;
+  double demand_j = 0.0;  // minimum energy this sensor must receive
+};
+
+}  // namespace bc::net
+
+#endif  // BUNDLECHARGE_NET_SENSOR_H_

@@ -1,0 +1,86 @@
+#include "net/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/require.h"
+
+namespace bc::net {
+
+using geometry::Point2;
+
+SpatialIndex::SpatialIndex(std::span<const Point2> positions, double cell_size)
+    : positions_(positions.begin(), positions.end()), cell_size_(cell_size) {
+  support::require(!positions_.empty(), "spatial index needs points");
+  support::require(cell_size > 0.0, "cell size must be positive");
+  bounds_ = geometry::bounding_box(positions_);
+  // Clamp the grid so a tiny cell size over a large field cannot blow up
+  // memory; a coarser grid only costs extra distance checks.
+  constexpr double kMaxCellsPerAxis = 2048.0;
+  cell_size_ = std::max({cell_size_, bounds_.width() / kMaxCellsPerAxis,
+                         bounds_.height() / kMaxCellsPerAxis});
+  cols_ = static_cast<std::size_t>(bounds_.width() / cell_size_) + 1;
+  rows_ = static_cast<std::size_t>(bounds_.height() / cell_size_) + 1;
+
+  // Counting sort into CSR buckets.
+  const std::size_t cells = cols_ * rows_;
+  std::vector<std::uint32_t> counts(cells, 0);
+  for (const Point2& p : positions_) ++counts[cell_of(p)];
+  cell_start_.assign(cells + 1, 0);
+  for (std::size_t c = 0; c < cells; ++c) {
+    cell_start_[c + 1] = cell_start_[c] + counts[c];
+  }
+  cell_items_.resize(positions_.size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(),
+                                    cell_start_.end() - 1);
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    cell_items_[cursor[cell_of(positions_[i])]++] =
+        static_cast<SensorId>(i);
+  }
+}
+
+std::size_t SpatialIndex::cell_of(Point2 p) const {
+  auto gx = static_cast<std::size_t>(
+      std::max(0.0, (p.x - bounds_.lo.x) / cell_size_));
+  auto gy = static_cast<std::size_t>(
+      std::max(0.0, (p.y - bounds_.lo.y) / cell_size_));
+  gx = std::min(gx, cols_ - 1);
+  gy = std::min(gy, rows_ - 1);
+  return gy * cols_ + gx;
+}
+
+std::vector<SensorId> SpatialIndex::within(Point2 query, double radius) const {
+  std::vector<SensorId> out;
+  within(query, radius, out);
+  return out;
+}
+
+void SpatialIndex::within(Point2 query, double radius,
+                          std::vector<SensorId>& out) const {
+  support::require(radius >= 0.0, "radius must be non-negative");
+  out.clear();
+  const double r2 = radius * radius;
+  const auto reach = static_cast<std::ptrdiff_t>(radius / cell_size_) + 1;
+  const auto qx = static_cast<std::ptrdiff_t>(
+      std::floor((query.x - bounds_.lo.x) / cell_size_));
+  const auto qy = static_cast<std::ptrdiff_t>(
+      std::floor((query.y - bounds_.lo.y) / cell_size_));
+  for (std::ptrdiff_t gy = qy - reach; gy <= qy + reach; ++gy) {
+    if (gy < 0 || gy >= static_cast<std::ptrdiff_t>(rows_)) continue;
+    for (std::ptrdiff_t gx = qx - reach; gx <= qx + reach; ++gx) {
+      if (gx < 0 || gx >= static_cast<std::ptrdiff_t>(cols_)) continue;
+      const std::size_t cell = static_cast<std::size_t>(gy) * cols_ +
+                               static_cast<std::size_t>(gx);
+      for (std::uint32_t i = cell_start_[cell]; i < cell_start_[cell + 1];
+           ++i) {
+        const SensorId id = cell_items_[i];
+        if (geometry::distance_squared(positions_[id], query) <= r2) {
+          out.push_back(id);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace bc::net

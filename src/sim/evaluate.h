@@ -1,0 +1,61 @@
+// Plan evaluation: the energy/latency breakdown the paper's figures plot.
+//
+// Total energy = movement energy (E_m x tour length) + charging energy
+// (charger draw x total parked time) — the objective of Eq. 3. The
+// evaluator also verifies feasibility: with the scheduled stop times, every
+// sensor's physically received energy must meet its demand.
+
+#ifndef BUNDLECHARGE_SIM_EVALUATE_H_
+#define BUNDLECHARGE_SIM_EVALUATE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "charging/model.h"
+#include "charging/movement.h"
+#include "net/deployment.h"
+#include "sim/schedule.h"
+#include "tour/plan.h"
+
+namespace bc::sim {
+
+struct PlanMetrics {
+  std::size_t num_stops = 0;
+  double tour_length_m = 0.0;
+  double move_energy_j = 0.0;
+  double move_time_s = 0.0;
+  double charge_time_s = 0.0;    // total parked time, sum of stop times
+  double charge_energy_j = 0.0;  // charger-side energy while parked
+  double total_energy_j = 0.0;   // move + charge (the paper's objective)
+  double total_time_s = 0.0;     // tour latency: moving + parked
+  // Charging time averaged over sensors ("average charging time for each
+  // sensor", Figs. 12(c)/13(c)).
+  double avg_charge_time_per_sensor_s = 0.0;
+  // Feasibility check: minimum over sensors of received/demand; >= 1 means
+  // every sensor met its demand (small tolerance applied by the checker).
+  double min_demand_fraction = 0.0;
+};
+
+struct EvaluationConfig {
+  charging::ChargingModel charging =
+      charging::ChargingModel::icdcs2019_simulation();
+  charging::MovementModel movement = charging::MovementModel::icdcs2019();
+  SchedulePolicy policy = SchedulePolicy::kIsolated;
+};
+
+// Evaluates a plan. Precondition: the plan partitions the deployment's
+// sensors (every planner in this library guarantees that).
+PlanMetrics evaluate_plan(const net::Deployment& deployment,
+                          const tour::ChargingPlan& plan,
+                          const EvaluationConfig& config);
+
+// True iff the plan's schedule delivers at least (1 - tolerance) x demand
+// to every sensor.
+bool plan_is_feasible(const net::Deployment& deployment,
+                      const tour::ChargingPlan& plan,
+                      const EvaluationConfig& config,
+                      double tolerance = 1e-6);
+
+}  // namespace bc::sim
+
+#endif  // BUNDLECHARGE_SIM_EVALUATE_H_

@@ -1,0 +1,47 @@
+#include "sim/experiment.h"
+
+#include "support/require.h"
+
+namespace bc::sim {
+
+void AggregateMetrics::add(const PlanMetrics& m) {
+  num_stops.add(static_cast<double>(m.num_stops));
+  tour_length_m.add(m.tour_length_m);
+  move_energy_j.add(m.move_energy_j);
+  charge_time_s.add(m.charge_time_s);
+  charge_energy_j.add(m.charge_energy_j);
+  total_energy_j.add(m.total_energy_j);
+  total_time_s.add(m.total_time_s);
+  avg_charge_time_per_sensor_s.add(m.avg_charge_time_per_sensor_s);
+  min_demand_fraction.add(m.min_demand_fraction);
+}
+
+AggregateMetrics run_experiment(const ExperimentSpec& spec) {
+  support::require(static_cast<bool>(spec.make_deployment),
+                   "experiment needs a deployment factory");
+  support::require(spec.runs >= 1, "experiment needs at least one run");
+
+  AggregateMetrics aggregate;
+  for (std::size_t run = 0; run < spec.runs; ++run) {
+    support::Rng rng(spec.base_seed + run);
+    const net::Deployment deployment = spec.make_deployment(rng);
+    const tour::ChargingPlan plan =
+        tour::plan_charging_tour(deployment, spec.algorithm, spec.planner);
+    const PlanMetrics metrics =
+        evaluate_plan(deployment, plan, spec.evaluation);
+    if (spec.verify_feasibility) {
+      support::ensure(metrics.min_demand_fraction >= 1.0 - 1e-6,
+                      "scheduled plan failed to meet a sensor's demand");
+    }
+    aggregate.add(metrics);
+  }
+  return aggregate;
+}
+
+DeploymentFactory uniform_factory(std::size_t n, net::FieldSpec field_spec) {
+  return [n, field_spec](support::Rng& rng) {
+    return net::uniform_random_deployment(n, field_spec, rng);
+  };
+}
+
+}  // namespace bc::sim

@@ -1,0 +1,63 @@
+// Multi-seed experiment runner.
+//
+// Every point in the paper's figures is "an average of 100 runs with
+// different random seeds" (§VI-A). This runner regenerates the deployment
+// per seed, plans with a given algorithm, evaluates, and aggregates each
+// metric into a RunningStat.
+
+#ifndef BUNDLECHARGE_SIM_EXPERIMENT_H_
+#define BUNDLECHARGE_SIM_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "net/deployment.h"
+#include "sim/evaluate.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "tour/planner.h"
+
+namespace bc::sim {
+
+// Aggregated metrics over repeated runs; field names mirror PlanMetrics.
+struct AggregateMetrics {
+  support::RunningStat num_stops;
+  support::RunningStat tour_length_m;
+  support::RunningStat move_energy_j;
+  support::RunningStat charge_time_s;
+  support::RunningStat charge_energy_j;
+  support::RunningStat total_energy_j;
+  support::RunningStat total_time_s;
+  support::RunningStat avg_charge_time_per_sensor_s;
+  support::RunningStat min_demand_fraction;
+
+  void add(const PlanMetrics& m);
+};
+
+// Builds a fresh deployment for one run; receives a per-run child RNG.
+using DeploymentFactory = std::function<net::Deployment(support::Rng&)>;
+
+struct ExperimentSpec {
+  DeploymentFactory make_deployment;
+  tour::Algorithm algorithm = tour::Algorithm::kBc;
+  tour::PlannerConfig planner{};
+  EvaluationConfig evaluation{};
+  std::size_t runs = 100;
+  std::uint64_t base_seed = 2019;
+  // When true (default), every run asserts plan feasibility and the runner
+  // throws on violation — benches should never silently report an
+  // infeasible plan.
+  bool verify_feasibility = true;
+};
+
+// Runs the experiment and returns aggregated metrics.
+// Preconditions: spec.make_deployment set, spec.runs >= 1.
+AggregateMetrics run_experiment(const ExperimentSpec& spec);
+
+// Convenience factory for the paper's main workload: n sensors uniform
+// over the given field.
+DeploymentFactory uniform_factory(std::size_t n, net::FieldSpec field_spec);
+
+}  // namespace bc::sim
+
+#endif  // BUNDLECHARGE_SIM_EXPERIMENT_H_

@@ -1,0 +1,148 @@
+#include "sim/lifetime.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/require.h"
+
+namespace bc::sim {
+
+namespace {
+
+// Advances all levels by `dt` of pure drain, tracking the worst fraction.
+void drain_levels(std::vector<double>& levels,
+                  const std::vector<double>& drain_w, double dt,
+                  double capacity, LifetimeStats& stats) {
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    levels[i] = std::max(0.0, levels[i] - drain_w[i] * dt);
+    stats.min_level_fraction =
+        std::min(stats.min_level_fraction, levels[i] / capacity);
+  }
+}
+
+}  // namespace
+
+LifetimeStats simulate_lifetime(const net::Deployment& deployment,
+                                const LifetimeConfig& config) {
+  support::require(config.battery_capacity_j > 0.0,
+                   "battery capacity must be positive");
+  support::require(
+      config.trigger_fraction > 0.0 && config.trigger_fraction < 1.0,
+      "trigger fraction must be in (0, 1)");
+  support::require(
+      config.initial_fraction > 0.0 && config.initial_fraction <= 1.0,
+      "initial fraction must be in (0, 1]");
+  support::require(config.horizon_s > 0.0, "horizon must be positive");
+  support::require(config.drain_w.size() == 1 ||
+                       config.drain_w.size() == deployment.size(),
+                   "one drain value, or one per sensor");
+  for (const double w : config.drain_w) {
+    support::require(w > 0.0, "drain must be positive");
+  }
+
+  std::vector<double> drain(deployment.size());
+  for (std::size_t i = 0; i < drain.size(); ++i) {
+    drain[i] = config.drain_w.size() == 1 ? config.drain_w[0]
+                                          : config.drain_w[i];
+  }
+
+  const double capacity = config.battery_capacity_j;
+  const double trigger_level = config.trigger_fraction * capacity;
+  std::vector<double> levels(deployment.size(),
+                             config.initial_fraction * capacity);
+
+  LifetimeStats stats;
+  stats.min_level_fraction = config.initial_fraction;
+  double now = 0.0;
+
+  while (now < config.horizon_s) {
+    // Time until the first sensor crosses the trigger level.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      if (levels[i] <= trigger_level) {
+        dt = 0.0;
+        break;
+      }
+      dt = std::min(dt, (levels[i] - trigger_level) / drain[i]);
+    }
+    if (now + dt >= config.horizon_s) {
+      drain_levels(levels, drain, config.horizon_s - now, capacity, stats);
+      now = config.horizon_s;
+      break;
+    }
+    drain_levels(levels, drain, dt, capacity, stats);
+    now += dt;
+
+    // Dispatch a mission over the current deficits.
+    std::vector<double> deficits(levels.size());
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      deficits[i] = std::max(capacity - levels[i], 1e-9);
+    }
+    const net::Deployment mission =
+        net::with_demands(deployment, std::move(deficits));
+    const tour::ChargingPlan plan =
+        tour::plan_charging_tour(mission, config.algorithm, config.planner);
+    const std::vector<double> times = schedule_stop_times(
+        mission, plan, config.evaluation.charging, config.evaluation.policy);
+    const std::vector<double> received = received_energy_j(
+        mission, plan, config.evaluation.charging, times);
+
+    double mission_time =
+        config.evaluation.movement.move_time_s(tour::plan_tour_length(plan));
+    double radiated_time = 0.0;
+    for (const double t : times) {
+      mission_time += t;
+      radiated_time += t;
+    }
+    stats.charger_energy_j +=
+        config.evaluation.movement.move_energy_j(
+            tour::plan_tour_length(plan)) +
+        config.evaluation.charging.cost_of_stop_j(radiated_time);
+    stats.charger_busy_s += mission_time;
+    ++stats.missions;
+
+    // Drain through the mission (recharge credited at the end —
+    // conservative); account sensor-seconds spent flat.
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      const double survive_s = levels[i] / drain[i];
+      if (survive_s < mission_time) {
+        stats.dead_time_sensor_s += mission_time - survive_s;
+        stats.perpetual = false;
+      }
+      const double drained = std::max(0.0, levels[i] -
+                                               drain[i] * mission_time);
+      stats.min_level_fraction =
+          std::min(stats.min_level_fraction, drained / capacity);
+      levels[i] = std::min(capacity, drained + received[i]);
+    }
+    now += mission_time;
+  }
+
+  stats.simulated_s = now;
+  return stats;
+}
+
+double max_sustainable_drain_w(const net::Deployment& deployment,
+                               LifetimeConfig config, double lo_w,
+                               double hi_w, std::size_t probes) {
+  support::require(0.0 < lo_w && lo_w < hi_w, "need 0 < lo < hi");
+  const auto sustainable = [&](double w) {
+    config.drain_w = {w};
+    return simulate_lifetime(deployment, config).perpetual;
+  };
+  if (sustainable(hi_w)) return hi_w;
+  if (!sustainable(lo_w)) return 0.0;
+  double lo = lo_w;
+  double hi = hi_w;
+  for (std::size_t i = 0; i < probes; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    if (sustainable(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace bc::sim

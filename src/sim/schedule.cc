@@ -1,0 +1,112 @@
+#include "sim/schedule.h"
+
+#include <algorithm>
+
+#include "lp/simplex.h"
+#include "support/require.h"
+
+namespace bc::sim {
+
+std::string_view to_string(SchedulePolicy policy) {
+  switch (policy) {
+    case SchedulePolicy::kIsolated:
+      return "isolated";
+    case SchedulePolicy::kCumulative:
+      return "cumulative";
+    case SchedulePolicy::kOptimalLp:
+      return "optimal-lp";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// The exact Eq. 3 schedule as a linear program over the stop times.
+std::vector<double> optimal_lp_times(const net::Deployment& deployment,
+                                     const tour::ChargingPlan& plan,
+                                     const charging::ChargingModel& model) {
+  lp::Problem problem;
+  problem.num_vars = plan.stops.size();
+  problem.objective.assign(problem.num_vars, 1.0);
+  problem.rows.reserve(deployment.size());
+  problem.rhs.reserve(deployment.size());
+  for (const net::Sensor& s : deployment.sensors()) {
+    std::vector<double> row(problem.num_vars);
+    for (std::size_t i = 0; i < plan.stops.size(); ++i) {
+      const double d = geometry::distance(plan.stops[i].position, s.position);
+      row[i] = model.received_power_w(d);
+    }
+    problem.rows.push_back(std::move(row));
+    problem.rhs.push_back(s.demand_j);
+  }
+  const lp::Solution solution = lp::solve(problem);
+  support::ensure(solution.status == lp::Status::kOptimal,
+                  "the Eq. 3 schedule LP is always feasible and bounded");
+  return solution.x;
+}
+
+}  // namespace
+
+std::vector<double> schedule_stop_times(const net::Deployment& deployment,
+                                        const tour::ChargingPlan& plan,
+                                        const charging::ChargingModel& model,
+                                        SchedulePolicy policy) {
+  support::require(tour::plan_is_partition(deployment, plan),
+                   "plan must assign every sensor to exactly one stop");
+  std::vector<double> times;
+  times.reserve(plan.stops.size());
+
+  if (policy == SchedulePolicy::kIsolated) {
+    for (const tour::Stop& stop : plan.stops) {
+      times.push_back(tour::isolated_stop_time_s(deployment, stop, model));
+    }
+    return times;
+  }
+
+  if (policy == SchedulePolicy::kOptimalLp) {
+    return optimal_lp_times(deployment, plan, model);
+  }
+
+  // Cumulative: walk the tour, tracking what each sensor has received so
+  // far from every earlier stop, and park only long enough to clear the
+  // current stop's members' remaining deficits.
+  std::vector<double> received(deployment.size(), 0.0);
+  for (const tour::Stop& stop : plan.stops) {
+    double t = 0.0;
+    for (const net::SensorId id : stop.members) {
+      const net::Sensor& s = deployment.sensor(id);
+      const double deficit = s.demand_j - received[id];
+      if (deficit <= 0.0) continue;
+      const double d = geometry::distance(stop.position, s.position);
+      t = std::max(t, deficit / model.received_power_w(d));
+    }
+    times.push_back(t);
+    if (t > 0.0) {
+      for (const net::Sensor& s : deployment.sensors()) {
+        const double d = geometry::distance(stop.position, s.position);
+        received[s.id] += model.received_power_w(d) * t;
+      }
+    }
+  }
+  return times;
+}
+
+std::vector<double> received_energy_j(const net::Deployment& deployment,
+                                      const tour::ChargingPlan& plan,
+                                      const charging::ChargingModel& model,
+                                      const std::vector<double>& stop_times_s) {
+  support::require(stop_times_s.size() == plan.stops.size(),
+                   "one stop time per stop");
+  std::vector<double> received(deployment.size(), 0.0);
+  for (std::size_t i = 0; i < plan.stops.size(); ++i) {
+    if (stop_times_s[i] <= 0.0) continue;
+    for (const net::Sensor& s : deployment.sensors()) {
+      const double d =
+          geometry::distance(plan.stops[i].position, s.position);
+      received[s.id] += model.received_power_w(d) * stop_times_s[i];
+    }
+  }
+  return received;
+}
+
+}  // namespace bc::sim

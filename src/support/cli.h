@@ -1,0 +1,68 @@
+// Minimal command-line flag parser for examples and bench harnesses.
+//
+// Accepts `--name=value`, `--name value`, and boolean `--name` forms. Flags
+// are declared with defaults, so every binary is runnable with no
+// arguments; `--help` prints the declared flags and exits the parse with
+// `help_requested() == true`.
+
+#ifndef BUNDLECHARGE_SUPPORT_CLI_H_
+#define BUNDLECHARGE_SUPPORT_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bc::support {
+
+class CliFlags {
+ public:
+  // `program_summary` is printed at the top of --help output.
+  explicit CliFlags(std::string program_summary);
+
+  // Declaration API: call once per flag before parse().
+  void define_int(const std::string& name, std::int64_t default_value,
+                  const std::string& help);
+  void define_double(const std::string& name, double default_value,
+                     const std::string& help);
+  void define_string(const std::string& name, const std::string& default_value,
+                     const std::string& help);
+  void define_bool(const std::string& name, bool default_value,
+                   const std::string& help);
+
+  // Parses argv. Returns false (and prints a diagnostic) on malformed input
+  // or an unknown flag. On `--help`, prints usage and sets help_requested().
+  bool parse(int argc, const char* const* argv, std::ostream& err);
+
+  bool help_requested() const { return help_requested_; }
+
+  // Accessors; precondition: the flag was defined with the matching type.
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  void print_help(std::ostream& os) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical textual value
+  };
+
+  const Flag& find(const std::string& name, Kind kind) const;
+  bool assign(const std::string& name, const std::string& value,
+              std::ostream& err);
+
+  std::string summary_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> declaration_order_;
+  bool help_requested_ = false;
+};
+
+}  // namespace bc::support
+
+#endif  // BUNDLECHARGE_SUPPORT_CLI_H_

@@ -1,0 +1,36 @@
+#include "support/require.h"
+
+#include <string>
+
+namespace bc::support::detail {
+
+namespace {
+
+std::string format_message(std::string_view kind, std::string_view what,
+                           const std::source_location& loc) {
+  std::string msg;
+  msg.reserve(what.size() + 128);
+  msg.append(kind);
+  msg.append(" violated at ");
+  msg.append(loc.file_name());
+  msg.push_back(':');
+  msg.append(std::to_string(loc.line()));
+  msg.append(" (");
+  msg.append(loc.function_name());
+  msg.append("): ");
+  msg.append(what);
+  return msg;
+}
+
+}  // namespace
+
+void throw_precondition(std::string_view what,
+                        const std::source_location& loc) {
+  throw PreconditionError(format_message("precondition", what, loc));
+}
+
+void throw_invariant(std::string_view what, const std::source_location& loc) {
+  throw InvariantError(format_message("invariant", what, loc));
+}
+
+}  // namespace bc::support::detail

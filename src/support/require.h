@@ -1,0 +1,56 @@
+// Contract-checking helpers for public API boundaries.
+//
+// Following the C++ Core Guidelines (I.6/I.8), preconditions on public
+// functions are checked eagerly and violations reported as exceptions that
+// carry the failing expression and a caller-supplied explanation. Internal
+// invariants use bc_assert(), which is compiled out in release builds.
+
+#ifndef BUNDLECHARGE_SUPPORT_REQUIRE_H_
+#define BUNDLECHARGE_SUPPORT_REQUIRE_H_
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace bc::support {
+
+// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+// Thrown when an internal postcondition/invariant fails (a library bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] void throw_precondition(std::string_view what,
+                                     const std::source_location& loc);
+[[noreturn]] void throw_invariant(std::string_view what,
+                                  const std::source_location& loc);
+
+}  // namespace detail
+
+// Precondition check: `require(n > 0, "n must be positive")`.
+inline void require(
+    bool condition, std::string_view what,
+    const std::source_location& loc = std::source_location::current()) {
+  if (!condition) detail::throw_precondition(what, loc);
+}
+
+// Invariant/postcondition check for conditions the library itself
+// guarantees; failure indicates a bug in this library, not in the caller.
+inline void ensure(
+    bool condition, std::string_view what,
+    const std::source_location& loc = std::source_location::current()) {
+  if (!condition) detail::throw_invariant(what, loc);
+}
+
+}  // namespace bc::support
+
+#endif  // BUNDLECHARGE_SUPPORT_REQUIRE_H_

@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation.
+//
+// Experiments in this repository must be reproducible from a single integer
+// seed, independent of the standard library implementation, so we carry our
+// own generators: SplitMix64 for seeding and xoshiro256++ as the workhorse.
+// Both are public-domain algorithms by Blackman & Vigna.
+
+#ifndef BUNDLECHARGE_SUPPORT_RNG_H_
+#define BUNDLECHARGE_SUPPORT_RNG_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace bc::support {
+
+// SplitMix64: a tiny, statistically strong 64-bit generator used here to
+// expand one seed into the larger state of xoshiro256++.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256++ 1.0 — fast, 256-bit state, passes BigCrush. Satisfies the
+// UniformRandomBitGenerator concept so it also works with <random>
+// distributions when needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  // Seeds the full state via SplitMix64 so that nearby seeds give
+  // uncorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+  result_type next();
+
+  // Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n);
+  // Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+  // Standard normal via Marsaglia polar method.
+  double gaussian();
+  // Normal with given mean and standard deviation (stddev >= 0).
+  double gaussian(double mean, double stddev);
+  // Bernoulli trial with probability p in [0, 1].
+  bool chance(double p);
+
+  // Fisher–Yates shuffle of any random-access range.
+  template <typename RandomIt>
+  void shuffle(RandomIt first, RandomIt last) {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+      const auto j = below(i);
+      using std::swap;
+      swap(first[i - 1], first[j]);
+    }
+  }
+
+  // Derives an independent child generator; useful to give each experiment
+  // repetition its own stream while keeping a single top-level seed.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace bc::support
+
+#endif  // BUNDLECHARGE_SUPPORT_RNG_H_

@@ -1,0 +1,83 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/require.h"
+
+namespace bc::support {
+
+void RunningStat::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::mean() const {
+  require(count_ > 0, "mean() of empty RunningStat");
+  return mean_;
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const {
+  require(count_ > 0, "min() of empty RunningStat");
+  return min_;
+}
+
+double RunningStat::max() const {
+  require(count_ > 0, "max() of empty RunningStat");
+  return max_;
+}
+
+double RunningStat::ci95_half_width() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double percentile(std::span<const double> samples, double q) {
+  require(!samples.empty(), "percentile of empty sample set");
+  require(q >= 0.0 && q <= 1.0, "percentile q must be in [0, 1]");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::string format_mean_ci(const RunningStat& stat, int precision) {
+  require(!stat.empty(), "format_mean_ci of empty RunningStat");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f ± %.*f", precision, stat.mean(),
+                precision, stat.ci95_half_width());
+  return buf;
+}
+
+}  // namespace bc::support

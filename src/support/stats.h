@@ -1,0 +1,56 @@
+// Streaming statistics and multi-run experiment summaries.
+//
+// Benches average each data point over many seeded runs (the paper uses
+// 100 runs per point); RunningStat accumulates mean/variance in one pass
+// using Welford's algorithm, and Summary renders them with a 95 %
+// confidence interval.
+
+#ifndef BUNDLECHARGE_SUPPORT_STATS_H_
+#define BUNDLECHARGE_SUPPORT_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bc::support {
+
+// One-pass mean / variance / extrema accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& other);
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Mean of the accumulated samples. Precondition: !empty().
+  double mean() const;
+  // Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  // Sample standard deviation.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  // Half-width of the 95 % normal-approximation confidence interval.
+  double ci95_half_width() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exact percentile (linear interpolation) over a copied sample set.
+// Precondition: !samples.empty() and 0 <= q <= 1.
+double percentile(std::span<const double> samples, double q);
+
+// Formats "mean ± ci95" with the given precision; used by bench tables.
+std::string format_mean_ci(const RunningStat& stat, int precision = 1);
+
+}  // namespace bc::support
+
+#endif  // BUNDLECHARGE_SUPPORT_STATS_H_

@@ -1,0 +1,45 @@
+// Column-aligned plain-text tables and CSV output for bench harnesses.
+//
+// Every figure-reproduction bench prints one table whose rows match the
+// series the paper plots, so results can be eyeballed or piped to a CSV
+// for external plotting.
+
+#ifndef BUNDLECHARGE_SUPPORT_TABLE_H_
+#define BUNDLECHARGE_SUPPORT_TABLE_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bc::support {
+
+class Table {
+ public:
+  // Creates a table with the given column headers (at least one).
+  explicit Table(std::vector<std::string> headers);
+  Table(std::initializer_list<std::string> headers);
+
+  // Appends a row; the cell count must equal the header count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats arithmetic values with fixed precision.
+  static std::string num(double value, int precision = 2);
+  static std::string num(long long value);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+  // Renders with padded columns and a header underline.
+  void print(std::ostream& os) const;
+  // Renders as RFC-4180-ish CSV (cells containing commas are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bc::support
+
+#endif  // BUNDLECHARGE_SUPPORT_TABLE_H_

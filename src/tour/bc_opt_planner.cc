@@ -1,0 +1,157 @@
+// BC-OPT — Algorithm 3: charging-tour optimisation on top of BC.
+//
+// Each anchor C_i may be displaced toward its tour neighbours: parking
+// farther from the bundle trades longer charging (quadratically worse
+// received power for the farthest member) against a shorter tour. For a
+// fixed displacement radius d, the best position on the circle around C_i
+// is the tangency point of the confocal ellipse through the neighbours
+// (Theorem 4), found in O(log h) via the bisector property (Theorem 5) —
+// implemented by geometry::optimal_point_on_circle. The displacement
+// radius is swept over a discretised range, exactly the paper's
+// "for d = 0 : max" loop.
+//
+// Charging time is bounded conservatively by the bundle's covering-circle
+// geometry: a member can be at most (sed_radius + d) from the displaced
+// anchor, and exactly sed_radius from the original anchor (the SED always
+// has boundary members). Accepting a move under this bound therefore never
+// overstates the improvement: the evaluator's exact per-member times can
+// only be smaller. Setting `exact_charging_eval` evaluates the true
+// farthest-member time at each candidate instead (a strictly stronger but
+// not paper-described variant, measured in the ablation bench).
+
+#include <algorithm>
+#include <vector>
+
+#include "geometry/anchor_search.h"
+#include "geometry/ellipse.h"
+#include "support/require.h"
+#include "tour/planner.h"
+
+namespace bc::tour {
+
+namespace {
+
+using geometry::Point2;
+
+struct StopGeometry {
+  Point2 home;        // original SED anchor C_i
+  double sed_radius;  // farthest member distance from home
+  double demand_j;    // largest member demand
+};
+
+// Conservative stop time when parked at displacement d from home.
+double conservative_time_s(const StopGeometry& g,
+                           const charging::ChargingModel& model, double d) {
+  return model.charge_time_s(g.sed_radius + d, g.demand_j);
+}
+
+}  // namespace
+
+ChargingPlan plan_bc_opt(const net::Deployment& deployment,
+                         const PlannerConfig& config) {
+  support::require(config.opt.radius_steps >= 1,
+                   "BC-OPT needs at least one displacement step");
+  ChargingPlan plan = plan_bc(deployment, config);
+  plan.algorithm = "BC-OPT";
+  if (plan.stops.empty()) return plan;
+
+  const charging::ChargingModel& model = config.charging;
+  const double e_m = config.movement.joules_per_meter();
+
+  // Geometry snapshot; homes stay fixed while positions move.
+  std::vector<StopGeometry> geo;
+  geo.reserve(plan.stops.size());
+  for (const Stop& stop : plan.stops) {
+    double demand = 0.0;
+    for (const net::SensorId id : stop.members) {
+      demand = std::max(demand, deployment.sensor(id).demand_j);
+    }
+    geo.push_back(StopGeometry{stop.position,
+                               stop_max_distance(deployment, stop), demand});
+  }
+
+  // Marginal-cost cap: displacing beyond D* (where the conservative
+  // charging cost grows as fast as the best-case 2*E_m movement saving)
+  // can never pay. d/dD [cost_w * delta * (beta+D)^2 / (alpha*p_tx)]
+  // = 2*cost_w*delta*(beta+D)/(alpha*p_tx) == 2*E_m  =>  D*.
+  const auto displacement_cap = [&](const StopGeometry& g) {
+    if (config.opt.max_displacement_m > 0.0) {
+      return config.opt.max_displacement_m;
+    }
+    if (g.demand_j <= 0.0) return 0.0;
+    const double reach = e_m * model.alpha() * model.transmit_power_w() /
+                         (model.charge_cost_w() * g.demand_j);
+    const double conservative_cap =
+        std::max(0.0, reach - model.beta() - g.sed_radius);
+    if (!config.opt.exact_charging_eval) return conservative_cap;
+    // With exact evaluation the farthest-member distance grows by less
+    // than 1 m per metre of displacement (often much less, when moving
+    // perpendicular to the farthest member), so profitable moves exist
+    // beyond the conservative bound; triple the reach as a generous,
+    // still-finite sweep range (moves are only accepted on improvement).
+    return std::max(conservative_cap,
+                    3.0 * reach - model.beta() - g.sed_radius);
+  };
+
+  const std::size_t n = plan.stops.size();
+  for (std::size_t round = 0; round < config.opt.max_rounds; ++round) {
+    bool improved = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point2 prev = i == 0 ? plan.depot : plan.stops[i - 1].position;
+      const Point2 next =
+          i + 1 == n ? plan.depot : plan.stops[i + 1].position;
+      const StopGeometry& g = geo[i];
+
+      double cap = displacement_cap(g);
+      // Moving past both neighbours is never useful.
+      cap = std::min(cap, std::max(geometry::distance(g.home, prev),
+                                   geometry::distance(g.home, next)));
+      if (cap <= 0.0) continue;
+
+      const auto stop_cost = [&](Point2 p, double displacement) {
+        const double time =
+            config.opt.exact_charging_eval
+                ? isolated_stop_time_s(deployment,
+                                       Stop{p, plan.stops[i].members}, model)
+                : conservative_time_s(g, model, displacement);
+        return e_m * geometry::focal_sum(prev, next, p) +
+               model.cost_of_stop_j(time);
+      };
+
+      const double current_displacement =
+          geometry::distance(plan.stops[i].position, g.home);
+      double best_cost =
+          stop_cost(plan.stops[i].position, current_displacement);
+      Point2 best_position = plan.stops[i].position;
+      bool moved = false;
+
+      // d = 0 re-centres the stop; k >= 1 sweeps the displacement circles.
+      for (std::size_t k = 0; k <= config.opt.radius_steps; ++k) {
+        const double d =
+            cap * static_cast<double>(k) /
+            static_cast<double>(config.opt.radius_steps);
+        Point2 candidate;
+        if (k == 0) {
+          candidate = g.home;
+        } else {
+          candidate =
+              geometry::optimal_point_on_circle(prev, next, g.home, d).point;
+        }
+        const double cost = stop_cost(candidate, d);
+        if (cost < best_cost - 1e-9) {
+          best_cost = cost;
+          best_position = candidate;
+          moved = true;
+        }
+      }
+      if (moved) {
+        plan.stops[i].position = best_position;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return plan;
+}
+
+}  // namespace bc::tour

@@ -1,0 +1,202 @@
+#include "tour/fleet.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/require.h"
+
+namespace bc::tour {
+
+namespace {
+
+ChargingPlan route_slice(const ChargingPlan& plan, std::size_t first,
+                         std::size_t last_exclusive) {
+  ChargingPlan route;
+  route.algorithm = plan.algorithm;
+  route.depot = plan.depot;
+  route.stops.assign(plan.stops.begin() + static_cast<std::ptrdiff_t>(first),
+                     plan.stops.begin() +
+                         static_cast<std::ptrdiff_t>(last_exclusive));
+  return route;
+}
+
+// Greedy consecutive split: true iff the stop sequence fits into at most
+// `k` routes of mission time <= `deadline`.
+bool splits_within(const net::Deployment& deployment,
+                   const ChargingPlan& plan,
+                   const charging::ChargingModel& charging,
+                   const charging::MovementModel& movement, double deadline,
+                   std::size_t k, std::vector<std::size_t>* cuts) {
+  if (cuts != nullptr) cuts->clear();
+  std::size_t routes = 0;
+  std::size_t first = 0;
+  while (first < plan.stops.size()) {
+    if (++routes > k) return false;
+    std::size_t last = first + 1;
+    if (route_time_s(deployment, route_slice(plan, first, last), charging,
+                     movement) > deadline) {
+      return false;  // a single stop alone misses the deadline
+    }
+    while (last < plan.stops.size() &&
+           route_time_s(deployment, route_slice(plan, first, last + 1),
+                        charging, movement) <= deadline) {
+      ++last;
+    }
+    if (cuts != nullptr) cuts->push_back(last);
+    first = last;
+  }
+  return true;
+}
+
+}  // namespace
+
+double route_time_s(const net::Deployment& deployment,
+                    const ChargingPlan& route,
+                    const charging::ChargingModel& charging,
+                    const charging::MovementModel& movement) {
+  double total = movement.move_time_s(plan_tour_length(route));
+  for (const Stop& stop : route.stops) {
+    total += isolated_stop_time_s(deployment, stop, charging);
+  }
+  return total;
+}
+
+FleetPlan split_among_chargers(const net::Deployment& deployment,
+                               const ChargingPlan& plan,
+                               const charging::ChargingModel& charging,
+                               const charging::MovementModel& movement,
+                               std::size_t num_chargers) {
+  support::require(num_chargers >= 1, "fleet needs at least one charger");
+  FleetPlan fleet;
+  if (plan.stops.empty()) {
+    fleet.routes.assign(num_chargers, ChargingPlan{plan.algorithm,
+                                                   plan.depot,
+                                                   {}});
+    return fleet;
+  }
+
+  // Binary search the makespan between the largest single-stop mission
+  // and the whole-tour mission.
+  double lo = 0.0;
+  for (std::size_t i = 0; i < plan.stops.size(); ++i) {
+    lo = std::max(lo, route_time_s(deployment, route_slice(plan, i, i + 1),
+                                   charging, movement));
+  }
+  double hi = route_time_s(deployment, plan, charging, movement);
+  std::vector<std::size_t> best_cuts;
+  support::ensure(splits_within(deployment, plan, charging, movement, hi,
+                                num_chargers, &best_cuts),
+                  "the whole tour must fit one charger at its own time");
+  for (int iter = 0; iter < 48 && hi - lo > 1e-6 * hi; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    std::vector<std::size_t> cuts;
+    if (splits_within(deployment, plan, charging, movement, mid,
+                      num_chargers, &cuts)) {
+      hi = mid;
+      best_cuts = std::move(cuts);
+    } else {
+      lo = mid;
+    }
+  }
+
+  std::size_t first = 0;
+  for (const std::size_t cut : best_cuts) {
+    fleet.routes.push_back(route_slice(plan, first, cut));
+    first = cut;
+  }
+  // Pad with idle chargers so routes.size() == num_chargers.
+  while (fleet.routes.size() < num_chargers) {
+    fleet.routes.push_back(ChargingPlan{plan.algorithm, plan.depot, {}});
+  }
+
+  // Boundary improvement: move a boundary stop to the adjacent route when
+  // it reduces the larger of the two route times.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t r = 0; r + 1 < fleet.routes.size(); ++r) {
+      ChargingPlan& left = fleet.routes[r];
+      ChargingPlan& right = fleet.routes[r + 1];
+      if (left.stops.empty() && right.stops.empty()) continue;
+      const double before = std::max(
+          route_time_s(deployment, left, charging, movement),
+          route_time_s(deployment, right, charging, movement));
+      const auto try_shift = [&](ChargingPlan& from, ChargingPlan& to,
+                                 bool from_back) {
+        if (from.stops.empty()) return false;
+        ChargingPlan new_from = from;
+        ChargingPlan new_to = to;
+        if (from_back) {
+          new_to.stops.insert(new_to.stops.begin(), new_from.stops.back());
+          new_from.stops.pop_back();
+        } else {
+          new_to.stops.push_back(new_from.stops.front());
+          new_from.stops.erase(new_from.stops.begin());
+        }
+        const double after = std::max(
+            route_time_s(deployment, new_from, charging, movement),
+            route_time_s(deployment, new_to, charging, movement));
+        if (after < before - 1e-9) {
+          from = std::move(new_from);
+          to = std::move(new_to);
+          return true;
+        }
+        return false;
+      };
+      if (try_shift(left, right, /*from_back=*/true) ||
+          try_shift(right, left, /*from_back=*/false)) {
+        improved = true;
+      }
+    }
+  }
+  return fleet;
+}
+
+FleetMetrics evaluate_fleet(const net::Deployment& deployment,
+                            const FleetPlan& fleet,
+                            const charging::ChargingModel& charging,
+                            const charging::MovementModel& movement) {
+  FleetMetrics m;
+  for (const ChargingPlan& route : fleet.routes) {
+    if (route.stops.empty()) continue;
+    ++m.num_routes;
+    const double time =
+        route_time_s(deployment, route, charging, movement);
+    m.route_times_s.push_back(time);
+    m.makespan_s = std::max(m.makespan_s, time);
+    const double length = plan_tour_length(route);
+    m.total_tour_length_m += length;
+    double charge_time = 0.0;
+    for (const Stop& stop : route.stops) {
+      charge_time += isolated_stop_time_s(deployment, stop, charging);
+    }
+    m.total_energy_j += movement.move_energy_j(length) +
+                        charging.cost_of_stop_j(charge_time);
+  }
+  return m;
+}
+
+std::size_t minimum_fleet_size(const net::Deployment& deployment,
+                               const ChargingPlan& plan,
+                               const charging::ChargingModel& charging,
+                               const charging::MovementModel& movement,
+                               double deadline_s) {
+  support::require(deadline_s > 0.0, "deadline must be positive");
+  for (std::size_t i = 0; i < plan.stops.size(); ++i) {
+    support::require(
+        route_time_s(deployment, route_slice(plan, i, i + 1), charging,
+                     movement) <= deadline_s,
+        "a single stop alone misses the deadline; no fleet size can help");
+  }
+  if (plan.stops.empty()) return 0;
+  // The greedy split is monotone in k, so scan up from 1; the split count
+  // with unlimited k is the answer.
+  std::vector<std::size_t> cuts;
+  const bool ok =
+      splits_within(deployment, plan, charging, movement, deadline_s,
+                    plan.stops.size(), &cuts);
+  support::ensure(ok, "per-stop feasibility implies a feasible split");
+  return cuts.size();
+}
+
+}  // namespace bc::tour

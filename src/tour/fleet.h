@@ -1,0 +1,72 @@
+// Multi-charger fleet planning.
+//
+// The paper's related work ([26, 27]) asks the dual question: how many
+// mobile chargers does a network need, and how should sensors be divided
+// among them? Given any single-charger plan (whose TSP order already
+// groups nearby stops), this module splits the stop sequence into k
+// depot-anchored routes, minimising the fleet *makespan* — the slowest
+// charger's mission time (driving + parking) — via binary search over the
+// makespan with a greedy consecutive-split feasibility check, followed by
+// a boundary-shift improvement pass. It also answers the [26, 27] sizing
+// question directly: the smallest fleet that meets a mission deadline.
+
+#ifndef BUNDLECHARGE_TOUR_FLEET_H_
+#define BUNDLECHARGE_TOUR_FLEET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "charging/model.h"
+#include "charging/movement.h"
+#include "tour/plan.h"
+
+namespace bc::tour {
+
+struct FleetPlan {
+  // One depot-closed route per charger, in tour order; concatenating the
+  // routes' members reproduces the original partition. Some routes may be
+  // empty when k exceeds the number of stops.
+  std::vector<ChargingPlan> routes;
+};
+
+struct FleetMetrics {
+  std::size_t num_routes = 0;       // non-empty routes
+  double makespan_s = 0.0;          // slowest route's mission time
+  double total_energy_j = 0.0;      // summed over routes
+  double total_tour_length_m = 0.0;
+  std::vector<double> route_times_s;  // per route (non-empty only)
+};
+
+// Mission time of one route: driving (depot legs included) + isolated
+// stop times.
+double route_time_s(const net::Deployment& deployment,
+                    const ChargingPlan& route,
+                    const charging::ChargingModel& charging,
+                    const charging::MovementModel& movement);
+
+// Splits `plan` among `num_chargers` chargers, minimising the makespan.
+// Preconditions: num_chargers >= 1.
+FleetPlan split_among_chargers(const net::Deployment& deployment,
+                               const ChargingPlan& plan,
+                               const charging::ChargingModel& charging,
+                               const charging::MovementModel& movement,
+                               std::size_t num_chargers);
+
+FleetMetrics evaluate_fleet(const net::Deployment& deployment,
+                            const FleetPlan& fleet,
+                            const charging::ChargingModel& charging,
+                            const charging::MovementModel& movement);
+
+// Smallest fleet whose makespan meets `deadline_s` (the [26, 27] sizing
+// question). Returns nullopt-like 0 never: there is always some k that
+// works as long as every single stop individually meets the deadline —
+// otherwise a PreconditionError is thrown. Preconditions: deadline_s > 0.
+std::size_t minimum_fleet_size(const net::Deployment& deployment,
+                               const ChargingPlan& plan,
+                               const charging::ChargingModel& charging,
+                               const charging::MovementModel& movement,
+                               double deadline_s);
+
+}  // namespace bc::tour
+
+#endif  // BUNDLECHARGE_TOUR_FLEET_H_

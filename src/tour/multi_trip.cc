@@ -1,0 +1,153 @@
+#include "tour/multi_trip.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+
+namespace bc::tour {
+
+namespace {
+
+ChargingPlan make_trip(const ChargingPlan& plan, std::size_t first,
+                       std::size_t last_exclusive) {
+  ChargingPlan trip;
+  trip.algorithm = plan.algorithm;
+  trip.depot = plan.depot;
+  trip.stops.assign(plan.stops.begin() + static_cast<std::ptrdiff_t>(first),
+                    plan.stops.begin() +
+                        static_cast<std::ptrdiff_t>(last_exclusive));
+  return trip;
+}
+
+}  // namespace
+
+double trip_energy_j(const net::Deployment& deployment,
+                     const ChargingPlan& trip,
+                     const charging::ChargingModel& charging,
+                     const charging::MovementModel& movement) {
+  double charge = 0.0;
+  for (const Stop& stop : trip.stops) {
+    charge +=
+        charging.cost_of_stop_j(isolated_stop_time_s(deployment, stop,
+                                                     charging));
+  }
+  return movement.move_energy_j(plan_tour_length(trip)) + charge;
+}
+
+MultiTripPlan split_into_trips(const net::Deployment& deployment,
+                               const ChargingPlan& plan,
+                               const charging::ChargingModel& charging,
+                               const charging::MovementModel& movement,
+                               double battery_capacity_j) {
+  support::require(battery_capacity_j > 0.0,
+                   "battery capacity must be positive");
+  // Single-stop feasibility: out-and-back plus that stop's charge cost.
+  for (const Stop& stop : plan.stops) {
+    ChargingPlan lone;
+    lone.depot = plan.depot;
+    lone.stops = {stop};
+    support::require(
+        trip_energy_j(deployment, lone, charging, movement) <=
+            battery_capacity_j,
+        "a single stop exceeds the battery capacity; no split can help");
+  }
+
+  // Greedy split in tour order.
+  MultiTripPlan result;
+  std::size_t first = 0;
+  while (first < plan.stops.size()) {
+    std::size_t last = first + 1;
+    while (last < plan.stops.size()) {
+      const ChargingPlan extended = make_trip(plan, first, last + 1);
+      if (trip_energy_j(deployment, extended, charging, movement) >
+          battery_capacity_j) {
+        break;
+      }
+      ++last;
+    }
+    result.trips.push_back(make_trip(plan, first, last));
+    first = last;
+  }
+
+  // Boundary improvement: shifting the first stop of a trip back into its
+  // predecessor (or vice versa) can shorten the extra depot legs; accept
+  // shifts that stay feasible and reduce the summed trip energy.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t t = 0; t + 1 < result.trips.size(); ++t) {
+      ChargingPlan& left = result.trips[t];
+      ChargingPlan& right = result.trips[t + 1];
+      const double before =
+          trip_energy_j(deployment, left, charging, movement) +
+          trip_energy_j(deployment, right, charging, movement);
+
+      // Try moving the head of `right` onto the tail of `left`.
+      if (!right.stops.empty()) {
+        ChargingPlan new_left = left;
+        new_left.stops.push_back(right.stops.front());
+        ChargingPlan new_right = right;
+        new_right.stops.erase(new_right.stops.begin());
+        const double e_left =
+            trip_energy_j(deployment, new_left, charging, movement);
+        const double e_right =
+            trip_energy_j(deployment, new_right, charging, movement);
+        if (e_left <= battery_capacity_j && e_left + e_right < before - 1e-9) {
+          left = std::move(new_left);
+          right = std::move(new_right);
+          improved = true;
+          continue;
+        }
+      }
+      // Try moving the tail of `left` onto the head of `right`.
+      if (!left.stops.empty()) {
+        ChargingPlan new_left = left;
+        Stop moved = new_left.stops.back();
+        new_left.stops.pop_back();
+        ChargingPlan new_right = right;
+        new_right.stops.insert(new_right.stops.begin(), std::move(moved));
+        const double e_left =
+            trip_energy_j(deployment, new_left, charging, movement);
+        const double e_right =
+            trip_energy_j(deployment, new_right, charging, movement);
+        if (e_right <= battery_capacity_j &&
+            e_left + e_right < before - 1e-9) {
+          left = std::move(new_left);
+          right = std::move(new_right);
+          improved = true;
+        }
+      }
+    }
+    // Drop trips emptied by shifting.
+    std::erase_if(result.trips, [](const ChargingPlan& trip) {
+      return trip.stops.empty();
+    });
+  }
+  return result;
+}
+
+MultiTripMetrics evaluate_trips(const net::Deployment& deployment,
+                                const MultiTripPlan& trips,
+                                const charging::ChargingModel& charging,
+                                const charging::MovementModel& movement) {
+  MultiTripMetrics m;
+  m.num_trips = trips.trips.size();
+  for (const ChargingPlan& trip : trips.trips) {
+    const double length = plan_tour_length(trip);
+    double charge_time = 0.0;
+    for (const Stop& stop : trip.stops) {
+      charge_time += isolated_stop_time_s(deployment, stop, charging);
+    }
+    const double trip_total = movement.move_energy_j(length) +
+                              charging.cost_of_stop_j(charge_time);
+    m.tour_length_m += length;
+    m.move_energy_j += movement.move_energy_j(length);
+    m.charge_time_s += charge_time;
+    m.charge_energy_j += charging.cost_of_stop_j(charge_time);
+    m.total_energy_j += trip_total;
+    m.max_trip_energy_j = std::max(m.max_trip_energy_j, trip_total);
+  }
+  return m;
+}
+
+}  // namespace bc::tour

@@ -1,0 +1,66 @@
+// Capacitated multi-trip planning.
+//
+// The paper (like its baseline [4] — "recharging schedules with vehicle
+// movement costs and capacity constraints") notes that a real mobile
+// charger carries a finite battery. This extension splits a single
+// charging tour into depot-anchored trips such that no trip's energy
+// (movement including both depot legs + charging at its stops) exceeds
+// the charger's battery capacity, keeping the stop order of the
+// underlying plan (which the TSP already optimised) and adding return
+// legs where needed.
+
+#ifndef BUNDLECHARGE_TOUR_MULTI_TRIP_H_
+#define BUNDLECHARGE_TOUR_MULTI_TRIP_H_
+
+#include <vector>
+
+#include "charging/model.h"
+#include "charging/movement.h"
+#include "tour/plan.h"
+
+namespace bc::tour {
+
+struct MultiTripPlan {
+  // Each trip is itself a depot-closed ChargingPlan over a slice of the
+  // original stops; concatenating the trips' members reproduces the
+  // original partition.
+  std::vector<ChargingPlan> trips;
+};
+
+struct MultiTripMetrics {
+  std::size_t num_trips = 0;
+  double tour_length_m = 0.0;    // all trips, including depot legs
+  double move_energy_j = 0.0;
+  double charge_time_s = 0.0;
+  double charge_energy_j = 0.0;
+  double total_energy_j = 0.0;
+  double max_trip_energy_j = 0.0;  // must be <= the battery capacity
+};
+
+// Splits `plan` into battery-feasible trips (greedy in tour order, then a
+// boundary-shift improvement pass). Stop times follow the isolated
+// policy. Preconditions: battery_capacity_j > 0 and every single stop is
+// individually feasible (out-and-back plus its charge cost fits the
+// battery) — otherwise a PreconditionError is thrown.
+MultiTripPlan split_into_trips(const net::Deployment& deployment,
+                               const ChargingPlan& plan,
+                               const charging::ChargingModel& charging,
+                               const charging::MovementModel& movement,
+                               double battery_capacity_j);
+
+// Energy/latency accounting of a multi-trip plan (isolated stop times).
+MultiTripMetrics evaluate_trips(const net::Deployment& deployment,
+                                const MultiTripPlan& trips,
+                                const charging::ChargingModel& charging,
+                                const charging::MovementModel& movement);
+
+// Energy of one trip (depot legs + movement + charging, isolated times);
+// the feasibility quantity the splitter bounds by the battery capacity.
+double trip_energy_j(const net::Deployment& deployment,
+                     const ChargingPlan& trip,
+                     const charging::ChargingModel& charging,
+                     const charging::MovementModel& movement);
+
+}  // namespace bc::tour
+
+#endif  // BUNDLECHARGE_TOUR_MULTI_TRIP_H_

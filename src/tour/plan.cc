@@ -1,0 +1,55 @@
+#include "tour/plan.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+
+namespace bc::tour {
+
+double plan_tour_length(const ChargingPlan& plan) {
+  if (plan.stops.empty()) return 0.0;
+  double total = geometry::distance(plan.depot, plan.stops.front().position);
+  for (std::size_t i = 0; i + 1 < plan.stops.size(); ++i) {
+    total += geometry::distance(plan.stops[i].position,
+                                plan.stops[i + 1].position);
+  }
+  total += geometry::distance(plan.stops.back().position, plan.depot);
+  return total;
+}
+
+double stop_max_distance(const net::Deployment& deployment, const Stop& stop) {
+  double worst = 0.0;
+  for (const net::SensorId id : stop.members) {
+    worst = std::max(
+        worst, geometry::distance(stop.position,
+                                  deployment.sensor(id).position));
+  }
+  return worst;
+}
+
+double isolated_stop_time_s(const net::Deployment& deployment,
+                            const Stop& stop,
+                            const charging::ChargingModel& model) {
+  double time = 0.0;
+  for (const net::SensorId id : stop.members) {
+    const net::Sensor& s = deployment.sensor(id);
+    const double d = geometry::distance(stop.position, s.position);
+    time = std::max(time, model.charge_time_s(d, s.demand_j));
+  }
+  return time;
+}
+
+bool plan_is_partition(const net::Deployment& deployment,
+                       const ChargingPlan& plan) {
+  std::vector<int> count(deployment.size(), 0);
+  for (const Stop& stop : plan.stops) {
+    for (const net::SensorId id : stop.members) {
+      if (id >= deployment.size()) return false;
+      ++count[id];
+    }
+  }
+  return std::all_of(count.begin(), count.end(),
+                     [](int c) { return c == 1; });
+}
+
+}  // namespace bc::tour

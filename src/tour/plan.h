@@ -1,0 +1,54 @@
+// Charging plan data model shared by all planners.
+//
+// A plan is an ordered list of stops; at each stop the mobile charger
+// parks and radiates until every sensor *assigned* to that stop has met
+// its demand. The tour starts and ends at the deployment depot. Stop
+// times are not stored: they are a function of the charging model and the
+// scheduling policy (see sim/schedule.h), so the evaluator derives them.
+
+#ifndef BUNDLECHARGE_TOUR_PLAN_H_
+#define BUNDLECHARGE_TOUR_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "charging/model.h"
+#include "geometry/point.h"
+#include "net/deployment.h"
+#include "net/sensor.h"
+
+namespace bc::tour {
+
+struct Stop {
+  geometry::Point2 position;            // parking/anchor position
+  std::vector<net::SensorId> members;   // sensors this stop must satisfy
+};
+
+struct ChargingPlan {
+  std::string algorithm;      // "SC", "CSS", "BC", "BC-OPT"
+  geometry::Point2 depot;     // tour start/end
+  std::vector<Stop> stops;    // visiting order
+};
+
+// Closed tour length: depot -> stops... -> depot. A plan with no stops has
+// length 0.
+double plan_tour_length(const ChargingPlan& plan);
+
+// Farthest member distance at a stop (0 for an empty member list).
+double stop_max_distance(const net::Deployment& deployment, const Stop& stop);
+
+// Stop time under the isolated-bundle policy: the farthest assigned member
+// dictates the time to push `demand_j` through the attenuation model
+// (the paper's "t is determined by the sensor with the farthest charging
+// distance", §I). Used directly by BC-OPT's local energy evaluation.
+double isolated_stop_time_s(const net::Deployment& deployment,
+                            const Stop& stop,
+                            const charging::ChargingModel& model);
+
+// True iff every sensor of the deployment is assigned to exactly one stop.
+bool plan_is_partition(const net::Deployment& deployment,
+                       const ChargingPlan& plan);
+
+}  // namespace bc::tour
+
+#endif  // BUNDLECHARGE_TOUR_PLAN_H_

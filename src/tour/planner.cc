@@ -1,0 +1,42 @@
+#include "tour/planner.h"
+
+#include "support/require.h"
+
+namespace bc::tour {
+
+std::string_view to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kSc:
+      return "SC";
+    case Algorithm::kCss:
+      return "CSS";
+    case Algorithm::kBc:
+      return "BC";
+    case Algorithm::kBcOpt:
+      return "BC-OPT";
+    case Algorithm::kTspn:
+      return "TSPN";
+  }
+  return "unknown";
+}
+
+ChargingPlan plan_charging_tour(const net::Deployment& deployment,
+                                Algorithm algorithm,
+                                const PlannerConfig& config) {
+  switch (algorithm) {
+    case Algorithm::kSc:
+      return plan_sc(deployment, config);
+    case Algorithm::kCss:
+      return plan_css(deployment, config);
+    case Algorithm::kBc:
+      return plan_bc(deployment, config);
+    case Algorithm::kBcOpt:
+      return plan_bc_opt(deployment, config);
+    case Algorithm::kTspn:
+      return plan_tspn(deployment, config);
+  }
+  support::ensure(false, "unreachable planner algorithm");
+  return {};
+}
+
+}  // namespace bc::tour

@@ -1,0 +1,38 @@
+#include "tour/route_util.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/require.h"
+#include "tsp/tour.h"
+
+namespace bc::tour {
+
+void order_stops_by_tsp(geometry::Point2 depot, std::vector<Stop>& stops,
+                        const tsp::SolverOptions& options) {
+  if (stops.size() < 2) return;
+  std::vector<geometry::Point2> points;
+  points.reserve(stops.size() + 1);
+  points.push_back(depot);  // index 0 = depot
+  for (const Stop& s : stops) points.push_back(s.position);
+
+  tsp::Tour order = tsp::solve_tsp(points, options);
+  tsp::rotate_to_front(order, 0);
+  support::ensure(order.size() == stops.size() + 1,
+                  "tsp order must cover depot and all stops");
+
+  // Normalise the direction: prefer the orientation whose first stop has
+  // the smaller original index.
+  if (order.size() >= 3 && order[1] > order.back()) {
+    std::reverse(order.begin() + 1, order.end());
+  }
+
+  std::vector<Stop> ordered;
+  ordered.reserve(stops.size());
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    ordered.push_back(std::move(stops[order[i] - 1]));
+  }
+  stops = std::move(ordered);
+}
+
+}  // namespace bc::tour

@@ -1,0 +1,25 @@
+// Internal helper shared by the planners: order a set of stops into a
+// closed tour anchored at the depot.
+
+#ifndef BUNDLECHARGE_TOUR_ROUTE_UTIL_H_
+#define BUNDLECHARGE_TOUR_ROUTE_UTIL_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+#include "tour/plan.h"
+#include "tsp/solver.h"
+
+namespace bc::tour {
+
+// Reorders `stops` in place along a TSP tour over {depot} ∪ stop
+// positions, with the depot first (so stops follow the charger's visiting
+// order). The tour orientation is normalised so that the first stop after
+// the depot has the lower index of the two possible directions, making
+// results deterministic.
+void order_stops_by_tsp(geometry::Point2 depot, std::vector<Stop>& stops,
+                        const tsp::SolverOptions& options);
+
+}  // namespace bc::tour
+
+#endif  // BUNDLECHARGE_TOUR_ROUTE_UTIL_H_

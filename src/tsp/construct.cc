@@ -1,0 +1,112 @@
+#include "tsp/construct.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <numeric>
+
+#include "support/require.h"
+
+namespace bc::tsp {
+
+using geometry::Point2;
+
+Tour nearest_neighbor_tour(std::span<const Point2> points,
+                           std::uint32_t start) {
+  support::require(!points.empty(), "nearest_neighbor_tour needs points");
+  support::require(start < points.size(), "start index out of range");
+  const std::size_t n = points.size();
+  std::vector<bool> visited(n, false);
+  Tour order;
+  order.reserve(n);
+  std::uint32_t current = start;
+  visited[current] = true;
+  order.push_back(current);
+  for (std::size_t step = 1; step < n; ++step) {
+    std::uint32_t best = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (std::uint32_t candidate = 0; candidate < n; ++candidate) {
+      if (visited[candidate]) continue;
+      const double d2 =
+          geometry::distance_squared(points[current], points[candidate]);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = candidate;
+      }
+    }
+    visited[best] = true;
+    order.push_back(best);
+    current = best;
+  }
+  return order;
+}
+
+Tour greedy_edge_tour(std::span<const Point2> points) {
+  support::require(!points.empty(), "greedy_edge_tour needs points");
+  const std::size_t n = points.size();
+  if (n == 1) return Tour{0};
+  if (n == 2) return Tour{0, 1};
+
+  struct Edge {
+    double d2;
+    std::uint32_t a;
+    std::uint32_t b;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      edges.push_back({geometry::distance_squared(points[i], points[j]), i, j});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& x, const Edge& y) { return x.d2 < y.d2; });
+
+  // Union-find to reject premature subcycles; degree counters to keep the
+  // result a single Hamiltonian cycle.
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::vector<int> degree(n, 0);
+  std::vector<std::array<std::uint32_t, 2>> adjacent(
+      n, {std::numeric_limits<std::uint32_t>::max(),
+          std::numeric_limits<std::uint32_t>::max()});
+  std::size_t added = 0;
+  for (const Edge& e : edges) {
+    if (added == n) break;
+    if (degree[e.a] == 2 || degree[e.b] == 2) continue;
+    const auto ra = find(e.a);
+    const auto rb = find(e.b);
+    // Allow closing the cycle only as the final edge.
+    if (ra == rb && added + 1 != n) continue;
+    parent[ra] = rb;
+    adjacent[e.a][degree[e.a]++] = e.b;
+    adjacent[e.b][degree[e.b]++] = e.a;
+    ++added;
+  }
+  support::ensure(added == n, "greedy edge construction must close a cycle");
+
+  // Walk the cycle from node 0.
+  Tour order;
+  order.reserve(n);
+  std::uint32_t prev = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t current = 0;
+  for (std::size_t step = 0; step < n; ++step) {
+    order.push_back(current);
+    const std::uint32_t next =
+        adjacent[current][0] == prev ? adjacent[current][1]
+                                     : adjacent[current][0];
+    prev = current;
+    current = next;
+  }
+  support::ensure(is_valid_tour(order, n), "greedy edge walk must be a tour");
+  return order;
+}
+
+}  // namespace bc::tsp

@@ -1,0 +1,28 @@
+// Tour construction heuristics: nearest neighbour and greedy edge.
+//
+// Both are classical O(n^2 log n) constructors; the solver facade runs
+// them and keeps the shorter tour before handing off to local search.
+
+#ifndef BUNDLECHARGE_TSP_CONSTRUCT_H_
+#define BUNDLECHARGE_TSP_CONSTRUCT_H_
+
+#include <span>
+
+#include "tsp/tour.h"
+
+namespace bc::tsp {
+
+// Starts at `start` and repeatedly visits the closest unvisited point.
+// Precondition: start < points.size(), points non-empty.
+Tour nearest_neighbor_tour(std::span<const geometry::Point2> points,
+                           std::uint32_t start = 0);
+
+// Greedy edge matching: sorts all edges by length and adds an edge unless
+// it would create a vertex of degree 3 or close a premature cycle.
+// Produces a single Hamiltonian cycle; typically a few percent shorter
+// than nearest neighbour.
+Tour greedy_edge_tour(std::span<const geometry::Point2> points);
+
+}  // namespace bc::tsp
+
+#endif  // BUNDLECHARGE_TSP_CONSTRUCT_H_

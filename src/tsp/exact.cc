@@ -1,0 +1,81 @@
+#include "tsp/exact.h"
+
+#include <limits>
+#include <vector>
+
+#include "support/require.h"
+
+namespace bc::tsp {
+
+using geometry::Point2;
+
+Tour held_karp_tour(std::span<const Point2> points) {
+  const std::size_t n = points.size();
+  support::require(n >= 1, "held_karp_tour needs points");
+  support::require(n <= kHeldKarpLimit, "held_karp_tour instance too large");
+  if (n == 1) return Tour{0};
+  if (n == 2) return Tour{0, 1};
+
+  std::vector<double> dist(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      dist[i * n + j] = geometry::distance(points[i], points[j]);
+    }
+  }
+
+  // dp[mask][v]: shortest path starting at 0, visiting exactly the set
+  // `mask` (which contains 0 and v), ending at v.
+  const std::size_t full = std::size_t{1} << n;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(full * n, kInf);
+  std::vector<std::uint32_t> parent(full * n,
+                                    std::numeric_limits<std::uint32_t>::max());
+  dp[(std::size_t{1} << 0) * n + 0] = 0.0;
+
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    if ((mask & 1) == 0) continue;  // paths always include the start 0
+    for (std::size_t v = 0; v < n; ++v) {
+      if ((mask & (std::size_t{1} << v)) == 0) continue;
+      const double here = dp[mask * n + v];
+      if (here == kInf) continue;
+      for (std::size_t w = 0; w < n; ++w) {
+        if (mask & (std::size_t{1} << w)) continue;
+        const std::size_t next_mask = mask | (std::size_t{1} << w);
+        const double candidate = here + dist[v * n + w];
+        if (candidate < dp[next_mask * n + w]) {
+          dp[next_mask * n + w] = candidate;
+          parent[next_mask * n + w] = static_cast<std::uint32_t>(v);
+        }
+      }
+    }
+  }
+
+  // Close the tour back to 0.
+  const std::size_t all = full - 1;
+  double best = kInf;
+  std::size_t best_end = 0;
+  for (std::size_t v = 1; v < n; ++v) {
+    const double candidate = dp[all * n + v] + dist[v * n + 0];
+    if (candidate < best) {
+      best = candidate;
+      best_end = v;
+    }
+  }
+  support::ensure(best < kInf, "held_karp must find a tour");
+
+  Tour order(n);
+  std::size_t mask = all;
+  std::size_t v = best_end;
+  for (std::size_t slot = n; slot-- > 0;) {
+    order[slot] = static_cast<std::uint32_t>(v);
+    const std::uint32_t p = parent[mask * n + v];
+    mask &= ~(std::size_t{1} << v);
+    v = p;
+    if (slot == 1) break;  // slot 0 is the start
+  }
+  order[0] = 0;
+  support::ensure(is_valid_tour(order, n), "held_karp output must be a tour");
+  return order;
+}
+
+}  // namespace bc::tsp

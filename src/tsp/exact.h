@@ -1,0 +1,24 @@
+// Exact TSP via Held–Karp dynamic programming.
+//
+// O(2^n * n^2) time, O(2^n * n) memory — practical to ~18 points. Used for
+// tiny planner instances (e.g. the 6-sensor testbed) and as the ground
+// truth oracle for heuristic tests.
+
+#ifndef BUNDLECHARGE_TSP_EXACT_H_
+#define BUNDLECHARGE_TSP_EXACT_H_
+
+#include <span>
+
+#include "tsp/tour.h"
+
+namespace bc::tsp {
+
+// Largest instance held_karp_tour accepts.
+inline constexpr std::size_t kHeldKarpLimit = 18;
+
+// Optimal closed tour. Preconditions: 1 <= points.size() <= kHeldKarpLimit.
+Tour held_karp_tour(std::span<const geometry::Point2> points);
+
+}  // namespace bc::tsp
+
+#endif  // BUNDLECHARGE_TSP_EXACT_H_

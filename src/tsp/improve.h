@@ -1,0 +1,42 @@
+// Local-search tour improvement: 2-opt and Or-opt.
+//
+// 2-opt removes crossing edges by reversing segments; Or-opt relocates
+// short chains (1-3 points) elsewhere in the tour. Together they close
+// most of the gap to optimal on the instance sizes the paper evaluates
+// (tens to low hundreds of stops).
+
+#ifndef BUNDLECHARGE_TSP_IMPROVE_H_
+#define BUNDLECHARGE_TSP_IMPROVE_H_
+
+#include <cstddef>
+#include <span>
+
+#include "tsp/tour.h"
+
+namespace bc::tsp {
+
+struct ImproveOptions {
+  // Upper bound on full improvement passes (each pass scans all moves);
+  // local search almost always converges much earlier.
+  std::size_t max_passes = 64;
+  // A move must improve the tour by more than this to be taken, which
+  // keeps floating-point noise from cycling.
+  double min_gain = 1e-9;
+};
+
+// First-improvement 2-opt until no move helps. Returns total gain (length
+// reduction, >= 0). `order` must be a valid tour over `points`.
+double two_opt(std::span<const geometry::Point2> points, Tour& order,
+               const ImproveOptions& options = ImproveOptions{});
+
+// Or-opt: tries moving chains of length 1..3 between all other edges.
+double or_opt(std::span<const geometry::Point2> points, Tour& order,
+              const ImproveOptions& options = ImproveOptions{});
+
+// Alternates 2-opt and Or-opt until neither improves.
+double improve_tour(std::span<const geometry::Point2> points, Tour& order,
+                    const ImproveOptions& options = ImproveOptions{});
+
+}  // namespace bc::tsp
+
+#endif  // BUNDLECHARGE_TSP_IMPROVE_H_

@@ -1,0 +1,43 @@
+#include "tsp/solver.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+#include "tsp/construct.h"
+#include "tsp/exact.h"
+
+namespace bc::tsp {
+
+using geometry::Point2;
+
+Tour solve_tsp(std::span<const Point2> points, const SolverOptions& options) {
+  support::require(options.exact_threshold <= kHeldKarpLimit,
+                   "exact_threshold exceeds the Held-Karp limit");
+  const std::size_t n = points.size();
+  if (n == 0) return Tour{};
+  if (n <= 3) {
+    Tour trivial(n);
+    for (std::uint32_t i = 0; i < n; ++i) trivial[i] = i;
+    return trivial;
+  }
+  if (n <= options.exact_threshold) return held_karp_tour(points);
+
+  Tour best = greedy_edge_tour(points);
+  improve_tour(points, best, options.improve);
+  double best_len = tour_length(points, best);
+
+  const std::size_t starts = std::max<std::size_t>(1, options.nn_starts);
+  for (std::size_t s = 0; s < starts; ++s) {
+    const auto start = static_cast<std::uint32_t>((s * n) / starts);
+    Tour candidate = nearest_neighbor_tour(points, start);
+    improve_tour(points, candidate, options.improve);
+    const double len = tour_length(points, candidate);
+    if (len < best_len) {
+      best_len = len;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+}  // namespace bc::tsp

@@ -1,0 +1,35 @@
+// TSP solver facade.
+//
+// Picks the exact Held–Karp solver for tiny instances and
+// multi-start-construction + 2-opt/Or-opt local search otherwise. All four
+// compared planners (SC, CSS, BC, BC-OPT) route their tours through this
+// single entry point so that tour quality never confounds the comparison.
+
+#ifndef BUNDLECHARGE_TSP_SOLVER_H_
+#define BUNDLECHARGE_TSP_SOLVER_H_
+
+#include <cstddef>
+#include <span>
+
+#include "tsp/improve.h"
+#include "tsp/tour.h"
+
+namespace bc::tsp {
+
+struct SolverOptions {
+  // Instances up to this size are solved exactly (must be
+  // <= kHeldKarpLimit).
+  std::size_t exact_threshold = 12;
+  // Number of nearest-neighbour starts to try (spread over the points);
+  // greedy-edge construction is always tried as well.
+  std::size_t nn_starts = 4;
+  ImproveOptions improve;
+};
+
+// Returns a closed tour over all points. Empty input yields an empty tour.
+Tour solve_tsp(std::span<const geometry::Point2> points,
+               const SolverOptions& options = SolverOptions{});
+
+}  // namespace bc::tsp
+
+#endif  // BUNDLECHARGE_TSP_SOLVER_H_

@@ -1,0 +1,47 @@
+#include "tsp/tour.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+
+namespace bc::tsp {
+
+bool is_valid_tour(std::span<const std::uint32_t> order, std::size_t n) {
+  if (order.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (const std::uint32_t idx : order) {
+    if (idx >= n || seen[idx]) return false;
+    seen[idx] = true;
+  }
+  return true;
+}
+
+double tour_length(std::span<const geometry::Point2> points,
+                   std::span<const std::uint32_t> order) {
+  if (order.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto a = order[i];
+    const auto b = order[(i + 1) % order.size()];
+    total += geometry::distance(points[a], points[b]);
+  }
+  return total;
+}
+
+double path_length(std::span<const geometry::Point2> points,
+                   std::span<const std::uint32_t> order) {
+  if (order.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    total += geometry::distance(points[order[i]], points[order[i + 1]]);
+  }
+  return total;
+}
+
+void rotate_to_front(Tour& order, std::uint32_t first) {
+  auto it = std::find(order.begin(), order.end(), first);
+  support::require(it != order.end(), "rotate_to_front: index not in tour");
+  std::rotate(order.begin(), it, order.end());
+}
+
+}  // namespace bc::tsp

@@ -1,0 +1,111 @@
+#include "viz/plan_render.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace bc::viz {
+
+namespace {
+
+using geometry::Point2;
+
+void draw_field(SvgCanvas& canvas, const net::Deployment& deployment,
+                const PlanRenderOptions& options) {
+  if (options.draw_sensors) {
+    Style sensor_style;
+    sensor_style.stroke = "#1f77b4";
+    sensor_style.stroke_width = 1.5;
+    const double mark = deployment.field().width() / 120.0;
+    for (const net::Sensor& s : deployment.sensors()) {
+      canvas.add_marker(s.position, mark, sensor_style);
+    }
+  }
+  if (options.draw_depot) {
+    Style depot_style;
+    depot_style.stroke = "#2ca02c";
+    depot_style.fill = "#2ca02c";
+    canvas.add_circle(deployment.depot(),
+                      deployment.field().width() / 150.0, depot_style);
+  }
+}
+
+void draw_tour(SvgCanvas& canvas, const net::Deployment& deployment,
+               const tour::ChargingPlan& plan,
+               const PlanRenderOptions& options) {
+  if (options.draw_bundle_disks) {
+    Style disk_style;
+    disk_style.stroke = "#888888";
+    disk_style.dash = "3,3";
+    disk_style.stroke_width = 0.8;
+    for (const tour::Stop& stop : plan.stops) {
+      const double r = tour::stop_max_distance(deployment, stop);
+      if (r > 0.0) canvas.add_circle(stop.position, r, disk_style);
+    }
+  }
+
+  Style tour_style;
+  tour_style.stroke = options.tour_color;
+  tour_style.stroke_width = 1.6;
+  tour_style.dash = options.tour_dash;
+  std::vector<Point2> waypoints;
+  waypoints.reserve(plan.stops.size() + 1);
+  waypoints.push_back(plan.depot);
+  for (const tour::Stop& stop : plan.stops) {
+    waypoints.push_back(stop.position);
+  }
+  canvas.add_polyline(waypoints, tour_style, /*closed=*/true);
+
+  Style anchor_style;
+  anchor_style.stroke = "#d62728";
+  anchor_style.fill = "#d62728";
+  for (const tour::Stop& stop : plan.stops) {
+    canvas.add_circle(stop.position, deployment.field().width() / 250.0,
+                      anchor_style);
+  }
+}
+
+}  // namespace
+
+SvgCanvas render_plan(const net::Deployment& deployment,
+                      const tour::ChargingPlan& plan,
+                      const PlanRenderOptions& options) {
+  SvgCanvas canvas(deployment.field(), options.pixel_width);
+  draw_field(canvas, deployment, options);
+  draw_tour(canvas, deployment, plan, options);
+  canvas.add_text({deployment.field().lo.x +
+                       deployment.field().width() * 0.02,
+                   deployment.field().hi.y -
+                       deployment.field().height() * 0.04},
+                  plan.algorithm, options.pixel_width / 40.0,
+                  options.tour_color);
+  return canvas;
+}
+
+SvgCanvas render_plan_pair(const net::Deployment& deployment,
+                           const tour::ChargingPlan& base_plan,
+                           const tour::ChargingPlan& overlay_plan,
+                           double pixel_width) {
+  PlanRenderOptions base_options;
+  base_options.pixel_width = pixel_width;
+  SvgCanvas canvas(deployment.field(), pixel_width);
+  draw_field(canvas, deployment, base_options);
+  draw_tour(canvas, deployment, base_plan, base_options);
+
+  PlanRenderOptions overlay_options;
+  overlay_options.tour_color = "#d62728";
+  overlay_options.tour_dash = "7,5";
+  overlay_options.draw_bundle_disks = false;
+  overlay_options.pixel_width = pixel_width;
+  draw_tour(canvas, deployment, overlay_plan, overlay_options);
+
+  canvas.add_text({deployment.field().lo.x +
+                       deployment.field().width() * 0.02,
+                   deployment.field().hi.y -
+                       deployment.field().height() * 0.04},
+                  base_plan.algorithm + " (solid) vs " +
+                      overlay_plan.algorithm + " (dashed)",
+                  pixel_width / 45.0);
+  return canvas;
+}
+
+}  // namespace bc::viz

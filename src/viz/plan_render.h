@@ -1,0 +1,39 @@
+// Renders deployments and charging plans to SVG — regenerates the style
+// of the paper's Fig. 10 (sensors as stars, anchors as triangles, bundle
+// disks dotted, BC tour solid black, BC-OPT tour dashed red).
+
+#ifndef BUNDLECHARGE_VIZ_PLAN_RENDER_H_
+#define BUNDLECHARGE_VIZ_PLAN_RENDER_H_
+
+#include <string>
+
+#include "net/deployment.h"
+#include "tour/plan.h"
+#include "viz/svg.h"
+
+namespace bc::viz {
+
+struct PlanRenderOptions {
+  std::string tour_color = "black";
+  std::string tour_dash;           // empty = solid
+  bool draw_bundle_disks = true;   // dotted member-covering circles
+  bool draw_sensors = true;
+  bool draw_depot = true;
+  double pixel_width = 800.0;
+};
+
+// Draws one plan onto a fresh canvas sized to the deployment field.
+SvgCanvas render_plan(const net::Deployment& deployment,
+                      const tour::ChargingPlan& plan,
+                      const PlanRenderOptions& options = PlanRenderOptions{});
+
+// Draws two plans over the same deployment (e.g. BC solid vs BC-OPT
+// dashed), Fig. 10 style.
+SvgCanvas render_plan_pair(const net::Deployment& deployment,
+                           const tour::ChargingPlan& base_plan,
+                           const tour::ChargingPlan& overlay_plan,
+                           double pixel_width = 800.0);
+
+}  // namespace bc::viz
+
+#endif  // BUNDLECHARGE_VIZ_PLAN_RENDER_H_

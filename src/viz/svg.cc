@@ -1,0 +1,146 @@
+#include "viz/svg.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "support/require.h"
+
+namespace bc::viz {
+
+namespace {
+
+std::string fmt(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.2f", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+SvgCanvas::SvgCanvas(geometry::Box2 world, double pixel_width)
+    : world_(world), pixel_width_(pixel_width) {
+  support::require(world.width() > 0.0 && world.height() > 0.0,
+                   "SVG world box must have positive extent");
+  support::require(pixel_width > 0.0, "pixel width must be positive");
+  scale_ = pixel_width_ / world_.width();
+  pixel_height_ = world_.height() * scale_;
+}
+
+geometry::Point2 SvgCanvas::to_screen(geometry::Point2 p) const {
+  return {(p.x - world_.lo.x) * scale_,
+          pixel_height_ - (p.y - world_.lo.y) * scale_};
+}
+
+double SvgCanvas::to_screen_length(double world_length) const {
+  return world_length * scale_;
+}
+
+std::string SvgCanvas::style_attrs(const Style& style) const {
+  std::string out = " fill=\"" + escape_xml(style.fill) + "\" stroke=\"" +
+                    escape_xml(style.stroke) + "\" stroke-width=\"" +
+                    fmt(style.stroke_width) + "\"";
+  if (!style.dash.empty()) {
+    out += " stroke-dasharray=\"" + escape_xml(style.dash) + "\"";
+  }
+  if (style.opacity != 1.0) {
+    out += " opacity=\"" + fmt(style.opacity) + "\"";
+  }
+  return out;
+}
+
+void SvgCanvas::add_circle(geometry::Point2 center, double radius,
+                           const Style& style) {
+  const geometry::Point2 c = to_screen(center);
+  elements_.push_back("<circle cx=\"" + fmt(c.x) + "\" cy=\"" + fmt(c.y) +
+                      "\" r=\"" + fmt(to_screen_length(radius)) + "\"" +
+                      style_attrs(style) + "/>");
+}
+
+void SvgCanvas::add_line(geometry::Point2 a, geometry::Point2 b,
+                         const Style& style) {
+  const geometry::Point2 sa = to_screen(a);
+  const geometry::Point2 sb = to_screen(b);
+  elements_.push_back("<line x1=\"" + fmt(sa.x) + "\" y1=\"" + fmt(sa.y) +
+                      "\" x2=\"" + fmt(sb.x) + "\" y2=\"" + fmt(sb.y) +
+                      "\"" + style_attrs(style) + "/>");
+}
+
+void SvgCanvas::add_polyline(const std::vector<geometry::Point2>& points,
+                             const Style& style, bool closed) {
+  if (points.size() < 2) return;
+  std::string attr = closed ? "<polygon points=\"" : "<polyline points=\"";
+  for (const geometry::Point2& p : points) {
+    const geometry::Point2 s = to_screen(p);
+    attr += fmt(s.x) + "," + fmt(s.y) + " ";
+  }
+  attr.pop_back();
+  attr += "\"" + style_attrs(style) + "/>";
+  elements_.push_back(std::move(attr));
+}
+
+void SvgCanvas::add_marker(geometry::Point2 at, double size,
+                           const Style& style) {
+  const double h = size / 2.0;
+  add_line({at.x - h, at.y - h}, {at.x + h, at.y + h}, style);
+  add_line({at.x - h, at.y + h}, {at.x + h, at.y - h}, style);
+}
+
+void SvgCanvas::add_text(geometry::Point2 at, const std::string& text,
+                         double font_size, const std::string& color) {
+  const geometry::Point2 s = to_screen(at);
+  elements_.push_back("<text x=\"" + fmt(s.x) + "\" y=\"" + fmt(s.y) +
+                      "\" font-size=\"" + fmt(font_size) + "\" fill=\"" +
+                      escape_xml(color) + "\">" + escape_xml(text) +
+                      "</text>");
+}
+
+std::string SvgCanvas::render() const {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+         fmt(pixel_width_) + "\" height=\"" + fmt(pixel_height_) +
+         "\" viewBox=\"0 0 " + fmt(pixel_width_) + " " +
+         fmt(pixel_height_) + "\">\n";
+  out += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const std::string& element : elements_) {
+    out += element;
+    out += '\n';
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+bool SvgCanvas::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << render();
+  return static_cast<bool>(file);
+}
+
+}  // namespace bc::viz

@@ -1,0 +1,69 @@
+// Minimal SVG document builder.
+//
+// Fig. 10 of the paper is a plotted network configuration (sensors,
+// bundle disks, BC tour in black, BC-OPT tour in dashed red); this module
+// lets benches and examples regenerate such plots as standalone .svg
+// files without any external dependency. Only the primitives the plan
+// renderer needs are implemented.
+
+#ifndef BUNDLECHARGE_VIZ_SVG_H_
+#define BUNDLECHARGE_VIZ_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace bc::viz {
+
+// Styling for a drawable element; empty fields are omitted.
+struct Style {
+  std::string fill = "none";
+  std::string stroke = "black";
+  double stroke_width = 1.0;
+  std::string dash;       // e.g. "6,4" for a dashed line
+  double opacity = 1.0;
+};
+
+// An SVG canvas over a world-coordinate viewport. World y grows upward
+// (mathematical convention); the writer flips it into SVG screen space.
+class SvgCanvas {
+ public:
+  // `world` is the visible region; `pixel_width` sets the raster scale
+  // (height follows the aspect ratio). Preconditions: positive extents.
+  SvgCanvas(geometry::Box2 world, double pixel_width = 800.0);
+
+  void add_circle(geometry::Point2 center, double radius,
+                  const Style& style);
+  void add_line(geometry::Point2 a, geometry::Point2 b, const Style& style);
+  void add_polyline(const std::vector<geometry::Point2>& points,
+                    const Style& style, bool closed = false);
+  // A small marker (cross) used for sensors/anchors.
+  void add_marker(geometry::Point2 at, double size, const Style& style);
+  void add_text(geometry::Point2 at, const std::string& text,
+                double font_size, const std::string& color = "black");
+
+  // Serialises the document. Always well-formed XML.
+  std::string render() const;
+
+  // Convenience: render() to a file. Returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  geometry::Point2 to_screen(geometry::Point2 world_point) const;
+  double to_screen_length(double world_length) const;
+  std::string style_attrs(const Style& style) const;
+
+  geometry::Box2 world_;
+  double pixel_width_;
+  double pixel_height_;
+  double scale_;
+  std::vector<std::string> elements_;
+};
+
+// Escapes <, >, & and quotes for use in SVG text nodes/attributes.
+std::string escape_xml(const std::string& text);
+
+}  // namespace bc::viz
+
+#endif  // BUNDLECHARGE_VIZ_SVG_H_

@@ -1,0 +1,72 @@
+// Tests for the Bundle data model helpers.
+
+#include "bundle/bundle.h"
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+
+namespace bc::bundle {
+namespace {
+
+using geometry::Box2;
+using geometry::Point2;
+
+net::Deployment square_deployment() {
+  return net::Deployment(
+      {{0.0, 0.0}, {4.0, 0.0}, {4.0, 4.0}, {0.0, 4.0}, {2.0, 2.0}},
+      Box2{{0.0, 0.0}, {10.0, 10.0}}, {0.0, 0.0}, 2.0);
+}
+
+TEST(MakeBundleTest, ComputesSedAnchor) {
+  const net::Deployment d = square_deployment();
+  const Bundle b = make_bundle(d, {0, 1, 2, 3});
+  EXPECT_TRUE(almost_equal(b.anchor, {2.0, 2.0}, 1e-9));
+  EXPECT_NEAR(b.radius, std::sqrt(8.0), 1e-9);
+  EXPECT_EQ(b.members, (std::vector<net::SensorId>{0, 1, 2, 3}));
+}
+
+TEST(MakeBundleTest, SingletonBundleIsZeroRadius) {
+  const net::Deployment d = square_deployment();
+  const Bundle b = make_bundle(d, {4});
+  EXPECT_EQ(b.anchor, (Point2{2.0, 2.0}));
+  EXPECT_DOUBLE_EQ(b.radius, 0.0);
+}
+
+TEST(MakeBundleTest, SortsAndDeduplicatesMembers) {
+  const net::Deployment d = square_deployment();
+  const Bundle b = make_bundle(d, {3, 1, 3, 1});
+  EXPECT_EQ(b.members, (std::vector<net::SensorId>{1, 3}));
+}
+
+TEST(MakeBundleTest, EmptyMembersRejected) {
+  const net::Deployment d = square_deployment();
+  EXPECT_THROW(make_bundle(d, {}), support::PreconditionError);
+}
+
+TEST(CoverageTest, DetectsFullAndPartialCover) {
+  const net::Deployment d = square_deployment();
+  const std::vector<Bundle> full{make_bundle(d, {0, 1}),
+                                 make_bundle(d, {2, 3, 4})};
+  EXPECT_TRUE(covers_all_sensors(d, full));
+  EXPECT_TRUE(is_partition(d, full));
+  const std::vector<Bundle> partial{make_bundle(d, {0, 1})};
+  EXPECT_FALSE(covers_all_sensors(d, partial));
+  EXPECT_FALSE(is_partition(d, partial));
+  // Overlap: covered, but not a partition.
+  const std::vector<Bundle> overlap{make_bundle(d, {0, 1, 2}),
+                                    make_bundle(d, {2, 3, 4})};
+  EXPECT_TRUE(covers_all_sensors(d, overlap));
+  EXPECT_FALSE(is_partition(d, overlap));
+}
+
+TEST(MaxChargingDistanceTest, TracksFarthestMember) {
+  const net::Deployment d = square_deployment();
+  const std::vector<Bundle> bundles{make_bundle(d, {0, 1, 2, 3}),
+                                    make_bundle(d, {4})};
+  EXPECT_NEAR(max_charging_distance(d, bundles), std::sqrt(8.0), 1e-9);
+  EXPECT_DOUBLE_EQ(max_charging_distance(d, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace bc::bundle

@@ -1,0 +1,77 @@
+// Tests for the bundle-generation facade.
+
+#include "bundle/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+#include "support/rng.h"
+
+namespace bc::bundle {
+namespace {
+
+net::Deployment random_deployment(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  net::FieldSpec spec;
+  spec.field = geometry::Box2{{0.0, 0.0}, {100.0, 100.0}};
+  return net::uniform_random_deployment(n, spec, rng);
+}
+
+TEST(GeneratorTest, AllKindsProduceFeasiblePartitions) {
+  const net::Deployment d = random_deployment(40, 1);
+  for (const GeneratorKind kind :
+       {GeneratorKind::kGrid, GeneratorKind::kGreedy, GeneratorKind::kExact}) {
+    GeneratorOptions options;
+    options.kind = kind;
+    const auto bundles = generate_bundles(d, 10.0, options);
+    ASSERT_TRUE(is_partition(d, bundles)) << to_string(kind);
+    ASSERT_LE(max_charging_distance(d, bundles), 10.0 + 1e-6)
+        << to_string(kind);
+  }
+}
+
+TEST(GeneratorTest, OrderingExactLeGreedyLeGrid) {
+  // Averaged over seeds: optimal <= greedy, and greedy <= grid at small
+  // radii (Fig. 11(a)).
+  double exact_total = 0.0;
+  double greedy_total = 0.0;
+  double grid_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const net::Deployment d = random_deployment(35, 20 + seed);
+    GeneratorOptions options;
+    options.kind = GeneratorKind::kExact;
+    exact_total += static_cast<double>(
+        generate_bundles(d, 8.0, options).size());
+    options.kind = GeneratorKind::kGreedy;
+    greedy_total += static_cast<double>(
+        generate_bundles(d, 8.0, options).size());
+    options.kind = GeneratorKind::kGrid;
+    grid_total += static_cast<double>(
+        generate_bundles(d, 8.0, options).size());
+  }
+  EXPECT_LE(exact_total, greedy_total);
+  EXPECT_LT(greedy_total, grid_total);
+}
+
+TEST(GeneratorTest, ExactFallsBackToGreedyOnBudgetExhaustion) {
+  const net::Deployment d = random_deployment(60, 30);
+  GeneratorOptions options;
+  options.kind = GeneratorKind::kExact;
+  options.exact.max_nodes = 1;  // force exhaustion
+  const auto bundles = generate_bundles(d, 15.0, options);
+  EXPECT_TRUE(is_partition(d, bundles));  // greedy fallback still feasible
+}
+
+TEST(GeneratorTest, InvalidRadiusRejected) {
+  const net::Deployment d = random_deployment(5, 40);
+  EXPECT_THROW(generate_bundles(d, 0.0), support::PreconditionError);
+}
+
+TEST(GeneratorTest, KindNamesAreStable) {
+  EXPECT_EQ(to_string(GeneratorKind::kGrid), "grid");
+  EXPECT_EQ(to_string(GeneratorKind::kGreedy), "greedy");
+  EXPECT_EQ(to_string(GeneratorKind::kExact), "exact");
+}
+
+}  // namespace
+}  // namespace bc::bundle

@@ -1,0 +1,123 @@
+// Tests for Algorithm 2 (greedy bundle generation).
+
+#include "bundle/greedy_cover.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bundle/candidates.h"
+#include "geometry/minidisk.h"
+#include "support/require.h"
+#include "support/rng.h"
+
+namespace bc::bundle {
+namespace {
+
+using geometry::Box2;
+
+net::Deployment random_deployment(std::size_t n, std::uint64_t seed,
+                                  double side = 100.0) {
+  support::Rng rng(seed);
+  net::FieldSpec spec;
+  spec.field = Box2{{0.0, 0.0}, {side, side}};
+  return net::uniform_random_deployment(n, spec, rng);
+}
+
+TEST(GreedyCoverTest, OutputIsAPartitionWithinRadius) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const net::Deployment d = random_deployment(60, seed);
+    for (const double r : {3.0, 10.0, 30.0}) {
+      const auto bundles = greedy_bundles(d, r);
+      ASSERT_TRUE(is_partition(d, bundles));
+      ASSERT_LE(max_charging_distance(d, bundles), r + 1e-6);
+    }
+  }
+}
+
+TEST(GreedyCoverTest, TinyRadiusYieldsSingletons) {
+  const net::Deployment d = random_deployment(30, 4);
+  const auto bundles = greedy_bundles(d, 1e-6);
+  EXPECT_EQ(bundles.size(), d.size());
+}
+
+TEST(GreedyCoverTest, HugeRadiusYieldsOneBundle) {
+  const net::Deployment d = random_deployment(30, 5);
+  const auto bundles = greedy_bundles(d, 1000.0);
+  EXPECT_EQ(bundles.size(), 1u);
+  EXPECT_EQ(bundles[0].members.size(), d.size());
+}
+
+TEST(GreedyCoverTest, BundleCountDecreasesWithRadius) {
+  const net::Deployment d = random_deployment(100, 6);
+  std::size_t previous = d.size() + 1;
+  for (const double r : {1.0, 5.0, 10.0, 20.0, 40.0, 80.0}) {
+    const std::size_t count = greedy_bundles(d, r).size();
+    ASSERT_LE(count, previous) << "r=" << r;
+    previous = count;
+  }
+}
+
+TEST(GreedyCoverTest, PicksMaxCardinalityFirst) {
+  // Cluster of 3 near the origin, 2 farther out, 1 isolated: greedy must
+  // select the triple before the pair.
+  const net::Deployment d(
+      {{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}, {10.0, 10.0}, {11.0, 10.0},
+       {50.0, 50.0}},
+      Box2{{0.0, 0.0}, {60.0, 60.0}}, {0.0, 0.0}, 2.0);
+  const auto bundles = greedy_bundles(d, 1.0);
+  ASSERT_EQ(bundles.size(), 3u);
+  EXPECT_EQ(bundles[0].members, (std::vector<net::SensorId>{0, 1, 2}));
+  EXPECT_EQ(bundles[1].members, (std::vector<net::SensorId>{3, 4}));
+  EXPECT_EQ(bundles[2].members, (std::vector<net::SensorId>{5}));
+}
+
+TEST(GreedyCoverTest, RequiresCoveringCandidates) {
+  const net::Deployment d = random_deployment(5, 7);
+  const std::vector<Bundle> partial{make_bundle(d, {0, 1})};
+  EXPECT_THROW(greedy_cover(d, partial), support::PreconditionError);
+}
+
+TEST(GreedyCoverTest, PartitionAnchorsAreRetightened) {
+  // When a later bundle loses members to an earlier one, its anchor must
+  // be the SED centre of the *remaining* members.
+  const net::Deployment d = random_deployment(80, 8);
+  const auto bundles = greedy_bundles(d, 15.0);
+  for (const Bundle& b : bundles) {
+    std::vector<geometry::Point2> pts;
+    for (const net::SensorId id : b.members) {
+      pts.push_back(d.sensor(id).position);
+    }
+    const auto sed = geometry::smallest_enclosing_disk(pts);
+    ASSERT_NEAR(b.radius, sed.radius, 1e-9);
+    ASSERT_TRUE(geometry::almost_equal(b.anchor, sed.center, 1e-6));
+  }
+}
+
+TEST(GreedyCoverTest, LnNApproximationBoundHolds) {
+  // Compare against a trivially valid lower bound: ceil(n / max bundle
+  // size). The greedy output must satisfy the Theorem 2 guarantee
+  // |greedy| <= (ln n + 1) * OPT for every instance.
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    const net::Deployment d = random_deployment(50, seed, 60.0);
+    const double r = 12.0;
+    const auto candidates = enumerate_candidates(d, r);
+    std::size_t max_size = 1;
+    for (const Bundle& b : candidates) {
+      max_size = std::max(max_size, b.members.size());
+    }
+    const double lower_bound =
+        std::ceil(static_cast<double>(d.size()) /
+                  static_cast<double>(max_size));
+    const auto greedy = greedy_cover(d, candidates);
+    const double guarantee =
+        (std::log(static_cast<double>(d.size())) + 1.0) * lower_bound;
+    // OPT >= lower_bound, so violating this would violate Theorem 2.
+    ASSERT_LE(static_cast<double>(greedy.size()),
+              guarantee + 1e-9)
+        << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace bc::bundle

@@ -1,0 +1,73 @@
+// Tests for the grid-based bundle generation baseline.
+
+#include "bundle/grid_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "bundle/greedy_cover.h"
+#include "support/require.h"
+#include "support/rng.h"
+
+namespace bc::bundle {
+namespace {
+
+using geometry::Box2;
+
+net::Deployment random_deployment(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  net::FieldSpec spec;
+  spec.field = Box2{{0.0, 0.0}, {100.0, 100.0}};
+  return net::uniform_random_deployment(n, spec, rng);
+}
+
+TEST(GridCoverTest, OutputIsAPartitionWithinRadius) {
+  const net::Deployment d = random_deployment(100, 1);
+  for (const double r : {2.0, 10.0, 50.0}) {
+    const auto bundles = grid_bundles(d, r);
+    ASSERT_TRUE(is_partition(d, bundles));
+    // Cell circumradius equals r, so every member is within r of the SED
+    // anchor.
+    ASSERT_LE(max_charging_distance(d, bundles), r + 1e-6);
+  }
+}
+
+TEST(GridCoverTest, CellAssignmentIsGeometric) {
+  // 4 sensors in distinct cells of a 10sqrt(2)-cell grid.
+  const net::Deployment d({{1.0, 1.0}, {30.0, 1.0}, {1.0, 30.0},
+                           {30.0, 30.0}},
+                          Box2{{0.0, 0.0}, {40.0, 40.0}}, {0.0, 0.0}, 2.0);
+  const auto bundles = grid_bundles(d, 10.0);
+  EXPECT_EQ(bundles.size(), 4u);
+}
+
+TEST(GridCoverTest, NeverBeatsItsOwnRadiusGuarantee) {
+  EXPECT_THROW(grid_bundles(random_deployment(5, 2), 0.0),
+               support::PreconditionError);
+}
+
+TEST(GridCoverTest, GreedyIsNeverWorseOnSmallRadii) {
+  // The paper's Fig. 11(a): greedy clearly beats the grid when the radius
+  // is small relative to the sensor spacing. Averaged over seeds to avoid
+  // instance luck.
+  double grid_total = 0.0;
+  double greedy_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const net::Deployment d = random_deployment(120, 10 + seed);
+    grid_total += static_cast<double>(grid_bundles(d, 6.0).size());
+    greedy_total += static_cast<double>(greedy_bundles(d, 6.0).size());
+  }
+  EXPECT_LT(greedy_total, grid_total);
+}
+
+TEST(GridCoverTest, EmptyCellsProduceNoBundles) {
+  // All sensors in one corner: exactly one non-empty cell.
+  const net::Deployment d({{1.0, 1.0}, {2.0, 1.0}, {1.0, 2.0}},
+                          Box2{{0.0, 0.0}, {1000.0, 1000.0}}, {0.0, 0.0},
+                          2.0);
+  const auto bundles = grid_bundles(d, 10.0);
+  EXPECT_EQ(bundles.size(), 1u);
+  EXPECT_EQ(bundles[0].members.size(), 3u);
+}
+
+}  // namespace
+}  // namespace bc::bundle

@@ -1,0 +1,90 @@
+// Tests for the sweep (tour-order chain) bundle generator.
+
+#include "bundle/sweep_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "bundle/generator.h"
+#include "bundle/greedy_cover.h"
+#include "support/require.h"
+#include "support/rng.h"
+
+namespace bc::bundle {
+namespace {
+
+using geometry::Box2;
+
+net::Deployment random_deployment(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  net::FieldSpec spec;
+  return net::uniform_random_deployment(n, spec, rng);
+}
+
+TEST(SweepCoverTest, OutputIsAPartitionWithinRadius) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const net::Deployment d = random_deployment(80, seed);
+    for (const double r : {10.0, 40.0, 100.0}) {
+      const auto bundles = sweep_bundles(d, r);
+      ASSERT_TRUE(is_partition(d, bundles));
+      ASSERT_LE(max_charging_distance(d, bundles), r + 1e-6);
+    }
+  }
+}
+
+TEST(SweepCoverTest, ZeroRadiusYieldsSingletons) {
+  const net::Deployment d = random_deployment(25, 4);
+  EXPECT_EQ(sweep_bundles(d, 0.0).size(), d.size());
+}
+
+TEST(SweepCoverTest, HugeRadiusYieldsOneBundle) {
+  const net::Deployment d = random_deployment(25, 5);
+  EXPECT_EQ(sweep_bundles(d, 5000.0).size(), 1u);
+}
+
+TEST(SweepCoverTest, ChainsAreTourContiguous) {
+  // A line of sensors 10 apart with r = 10.01 (disk diameter covers two
+  // spacings): the sweep must emit ceil(7/3) = 3 chains of consecutive
+  // sensors, never interleaved groups.
+  std::vector<geometry::Point2> line;
+  for (int i = 0; i < 7; ++i) line.push_back({10.0 * i, 0.0});
+  const net::Deployment d(std::move(line), Box2{{-5.0, -5.0}, {70.0, 5.0}},
+                          {0.0, 0.0}, 2.0);
+  const auto bundles = sweep_bundles(d, 10.01);
+  ASSERT_EQ(bundles.size(), 3u);
+  for (const Bundle& b : bundles) {
+    for (std::size_t i = 1; i < b.members.size(); ++i) {
+      ASSERT_EQ(b.members[i], b.members[i - 1] + 1);
+    }
+  }
+}
+
+TEST(SweepCoverTest, CompetitiveWithGreedyOnUniformFields) {
+  // The finding that motivated this generator: on uniform fields at mid
+  // radii the sweep is at least close to greedy (within 15 % more
+  // bundles) and frequently strictly better. Seed-averaged.
+  double sweep_total = 0.0;
+  double greedy_total = 0.0;
+  for (std::uint64_t seed = 10; seed < 16; ++seed) {
+    const net::Deployment d = random_deployment(150, seed);
+    sweep_total += static_cast<double>(sweep_bundles(d, 50.0).size());
+    greedy_total += static_cast<double>(greedy_bundles(d, 50.0).size());
+  }
+  EXPECT_LE(sweep_total, greedy_total * 1.15);
+}
+
+TEST(SweepCoverTest, AvailableThroughTheGeneratorFacade) {
+  const net::Deployment d = random_deployment(40, 20);
+  GeneratorOptions options;
+  options.kind = GeneratorKind::kSweep;
+  const auto bundles = generate_bundles(d, 30.0, options);
+  EXPECT_TRUE(is_partition(d, bundles));
+  EXPECT_EQ(to_string(GeneratorKind::kSweep), "sweep");
+}
+
+TEST(SweepCoverTest, NegativeRadiusRejected) {
+  const net::Deployment d = random_deployment(5, 30);
+  EXPECT_THROW(sweep_bundles(d, -1.0), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace bc::bundle

@@ -1,0 +1,121 @@
+// Tests for the quadratic-attenuation charging model (Eq. 1).
+
+#include "charging/model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+
+namespace bc::charging {
+namespace {
+
+TEST(ChargingModelTest, ConstructorValidatesParameters) {
+  EXPECT_THROW(ChargingModel(0.0, 30.0, 3.0, 3.0),
+               support::PreconditionError);
+  EXPECT_THROW(ChargingModel(36.0, 0.0, 3.0, 3.0),
+               support::PreconditionError);
+  EXPECT_THROW(ChargingModel(36.0, 30.0, 0.0, 3.0),
+               support::PreconditionError);
+  EXPECT_THROW(ChargingModel(36.0, 30.0, 3.0, -1.0),
+               support::PreconditionError);
+}
+
+TEST(ChargingModelTest, ReceivedPowerMatchesEquationOne) {
+  const ChargingModel m = ChargingModel::icdcs2019_simulation();
+  // p_r(d) = 36 / (d + 30)^2 * 3 W.
+  EXPECT_DOUBLE_EQ(m.received_power_w(0.0), 36.0 / 900.0 * 3.0);
+  EXPECT_DOUBLE_EQ(m.received_power_w(30.0), 36.0 / 3600.0 * 3.0);
+  EXPECT_THROW(m.received_power_w(-1.0), support::PreconditionError);
+}
+
+TEST(ChargingModelTest, PowerDecaysQuadratically) {
+  const ChargingModel m = ChargingModel::icdcs2019_simulation();
+  // Doubling (d + beta) quarters the received power.
+  const double p1 = m.received_power_w(0.0);    // d + beta = 30
+  const double p2 = m.received_power_w(30.0);   // d + beta = 60
+  EXPECT_NEAR(p1 / p2, 4.0, 1e-12);
+}
+
+TEST(ChargingModelTest, PowerIsStrictlyDecreasingInDistance) {
+  const ChargingModel m = ChargingModel::icdcs2019_simulation();
+  double previous = m.received_power_w(0.0);
+  for (double d = 1.0; d <= 200.0; d += 1.0) {
+    const double current = m.received_power_w(d);
+    ASSERT_LT(current, previous);
+    previous = current;
+  }
+}
+
+TEST(ChargingModelTest, ChargeTimeInvertsPower) {
+  const ChargingModel m = ChargingModel::icdcs2019_simulation();
+  const double t = m.charge_time_s(10.0, 2.0);
+  EXPECT_NEAR(t * m.received_power_w(10.0), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.charge_time_s(10.0, 0.0), 0.0);
+  EXPECT_THROW(m.charge_time_s(10.0, -1.0), support::PreconditionError);
+}
+
+TEST(ChargingModelTest, ChargeTimeGrowsQuadraticallyWithDistance) {
+  // The WISP anecdote from §I: charging time scales with (d + beta)^2.
+  const ChargingModel m = ChargingModel::icdcs2019_simulation();
+  const double t0 = m.charge_time_s(0.0, 2.0);
+  const double t30 = m.charge_time_s(30.0, 2.0);
+  EXPECT_NEAR(t30 / t0, 4.0, 1e-12);
+}
+
+TEST(ChargingModelTest, CostAccountsChargerDraw) {
+  const ChargingModel m(36.0, 30.0, 3.0, 12.0);  // 25 % efficient PA
+  const double t = m.charge_time_s(5.0, 2.0);
+  EXPECT_DOUBLE_EQ(m.charge_cost_j(5.0, 2.0), 12.0 * t);
+  EXPECT_DOUBLE_EQ(m.cost_of_stop_j(10.0), 120.0);
+  EXPECT_THROW(m.cost_of_stop_j(-1.0), support::PreconditionError);
+}
+
+TEST(ChargingModelTest, EnergyConservingProfileCostIsPowerIndependent) {
+  // With charge_cost == transmit power, the charger-side energy to deliver
+  // `e` at distance d is e * (d + beta)^2 / alpha — independent of the
+  // absolute power. This is what makes Fig. 6(b)'s trade-off well defined.
+  const ChargingModel weak(36.0, 30.0, 1.0, 1.0);
+  const ChargingModel strong(36.0, 30.0, 10.0, 10.0);
+  EXPECT_NEAR(weak.charge_cost_j(12.0, 2.0), strong.charge_cost_j(12.0, 2.0),
+              1e-9);
+  EXPECT_NEAR(weak.charge_cost_j(12.0, 2.0), 2.0 * 42.0 * 42.0 / 36.0, 1e-9);
+}
+
+TEST(ChargingModelTest, PaperCostProfileMatchesQuotedRate) {
+  const ChargingModel m = ChargingModel::icdcs2019_paper_cost();
+  // 0.9 J/min = 0.015 W.
+  EXPECT_NEAR(m.cost_of_stop_j(60.0), 0.9, 1e-12);
+}
+
+TEST(ChargingModelTest, RangeForPowerInvertsReceivedPower) {
+  const ChargingModel m = ChargingModel::icdcs2019_simulation();
+  const double d = m.range_for_power_m(0.01);
+  EXPECT_NEAR(m.received_power_w(d), 0.01, 1e-9);
+  // Asking for more power than available at contact clamps to zero.
+  EXPECT_DOUBLE_EQ(m.range_for_power_m(1e9), 0.0);
+  EXPECT_THROW(m.range_for_power_m(0.0), support::PreconditionError);
+}
+
+TEST(ChargingModelTest, FriisConstructionIsPhysical) {
+  const ChargingModel m = ChargingModel::powercast_testbed();
+  // A 3 W 915 MHz transmitter should deliver on the order of milliwatts at
+  // 1 m — the P2110 datasheet regime — not watts, not microwatts.
+  const double p_1m = m.received_power_w(1.0);
+  EXPECT_GT(p_1m, 5e-4);
+  EXPECT_LT(p_1m, 5e-2);
+  // Friis parameter validation.
+  EXPECT_THROW(ChargingModel::from_friis(8.0, 2.0, -0.33, 0.25, 2.0, 0.1,
+                                         3.0, 3.0),
+               support::PreconditionError);
+  EXPECT_THROW(ChargingModel::from_friis(8.0, 2.0, 0.33, 1.5, 2.0, 0.1, 3.0,
+                                         3.0),
+               support::PreconditionError);
+  EXPECT_THROW(ChargingModel::from_friis(8.0, 2.0, 0.33, 0.25, 0.5, 0.1, 3.0,
+                                         3.0),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace bc::charging

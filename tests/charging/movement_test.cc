@@ -1,0 +1,41 @@
+// Tests for the movement model.
+
+#include "charging/movement.h"
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+
+namespace bc::charging {
+namespace {
+
+TEST(MovementModelTest, ValidatesParameters) {
+  EXPECT_THROW(MovementModel(0.0, 1.0), support::PreconditionError);
+  EXPECT_THROW(MovementModel(5.59, 0.0), support::PreconditionError);
+  EXPECT_THROW(MovementModel(-5.59, 1.0), support::PreconditionError);
+}
+
+TEST(MovementModelTest, EnergyIsLinearInDistance) {
+  const MovementModel m = MovementModel::icdcs2019();
+  EXPECT_DOUBLE_EQ(m.joules_per_meter(), 5.59);
+  EXPECT_DOUBLE_EQ(m.move_energy_j(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.move_energy_j(100.0), 559.0);
+  EXPECT_DOUBLE_EQ(m.move_energy_j(250.0), 2.5 * m.move_energy_j(100.0));
+  EXPECT_THROW(m.move_energy_j(-1.0), support::PreconditionError);
+}
+
+TEST(MovementModelTest, TimeFollowsSpeed) {
+  const MovementModel m = MovementModel::testbed_robot();
+  EXPECT_DOUBLE_EQ(m.speed_m_per_s(), 0.3);
+  EXPECT_NEAR(m.move_time_s(3.0), 10.0, 1e-12);
+  EXPECT_THROW(m.move_time_s(-1.0), support::PreconditionError);
+}
+
+TEST(MovementModelTest, PresetsMatchPaperConstants) {
+  EXPECT_DOUBLE_EQ(MovementModel::icdcs2019().joules_per_meter(), 5.59);
+  EXPECT_DOUBLE_EQ(MovementModel::testbed_robot().joules_per_meter(), 5.59);
+  EXPECT_DOUBLE_EQ(MovementModel::testbed_robot().speed_m_per_s(), 0.3);
+}
+
+}  // namespace
+}  // namespace bc::charging

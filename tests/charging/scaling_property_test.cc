@@ -1,0 +1,78 @@
+// Metamorphic scaling laws of the charging model (Eq. 1).
+//
+// These pin down the model's algebraic structure: how received power,
+// charge time, and charger cost must respond to scaling alpha, beta,
+// power, distance, and demand. Violations indicate unit mistakes — the
+// most dangerous class of bug in an energy simulator.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "charging/model.h"
+
+namespace bc::charging {
+namespace {
+
+class ScalingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ScalingPropertyTest, AlphaScalesPowerLinearly) {
+  const auto [d, e] = GetParam();
+  const ChargingModel base(36.0, 30.0, 3.0, 3.0);
+  const ChargingModel doubled(72.0, 30.0, 3.0, 3.0);
+  EXPECT_NEAR(doubled.received_power_w(d), 2.0 * base.received_power_w(d),
+              1e-12);
+  EXPECT_NEAR(doubled.charge_time_s(d, e), base.charge_time_s(d, e) / 2.0,
+              1e-9);
+}
+
+TEST_P(ScalingPropertyTest, TransmitPowerScalesPowerLinearly) {
+  const auto [d, e] = GetParam();
+  const ChargingModel base(36.0, 30.0, 3.0, 3.0);
+  const ChargingModel strong(36.0, 30.0, 9.0, 3.0);
+  EXPECT_NEAR(strong.received_power_w(d), 3.0 * base.received_power_w(d),
+              1e-12);
+  // Same electrical draw, 3x radiated power: cost per delivered joule
+  // drops 3x.
+  EXPECT_NEAR(strong.charge_cost_j(d, e), base.charge_cost_j(d, e) / 3.0,
+              1e-9);
+}
+
+TEST_P(ScalingPropertyTest, JointDistanceBetaScaleIsQuadratic) {
+  const auto [d, e] = GetParam();
+  // Scaling all lengths (d and beta) by k divides power by k^2.
+  const double k = 2.5;
+  const ChargingModel base(36.0, 30.0, 3.0, 3.0);
+  const ChargingModel scaled(36.0, 30.0 * k, 3.0, 3.0);
+  EXPECT_NEAR(scaled.received_power_w(d * k),
+              base.received_power_w(d) / (k * k), 1e-12);
+  (void)e;
+}
+
+TEST_P(ScalingPropertyTest, DemandScalesTimeAndCostLinearly) {
+  const auto [d, e] = GetParam();
+  const ChargingModel m(36.0, 30.0, 3.0, 3.0);
+  EXPECT_NEAR(m.charge_time_s(d, 2.0 * e), 2.0 * m.charge_time_s(d, e),
+              1e-9);
+  EXPECT_NEAR(m.charge_cost_j(d, 2.0 * e), 2.0 * m.charge_cost_j(d, e),
+              1e-9);
+}
+
+TEST_P(ScalingPropertyTest, EnergyConservingCostClosedForm) {
+  // With draw == radiated power, cost to deliver e at distance d is
+  // exactly e (d + beta)^2 / alpha.
+  const auto [d, e] = GetParam();
+  const ChargingModel m(36.0, 30.0, 3.0, 3.0);
+  EXPECT_NEAR(m.charge_cost_j(d, e), e * (d + 30.0) * (d + 30.0) / 36.0,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistanceDemandGrid, ScalingPropertyTest,
+    ::testing::Combine(::testing::Values(0.0, 1.0, 10.0, 55.0, 200.0),
+                       ::testing::Values(0.004, 2.0, 15.0)));
+
+}  // namespace
+}  // namespace bc::charging

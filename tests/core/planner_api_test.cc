@@ -1,0 +1,92 @@
+// Tests for the BundleChargingPlanner facade.
+
+#include "core/planner_api.h"
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+#include "support/rng.h"
+
+namespace bc::core {
+namespace {
+
+net::Deployment sample_deployment(std::size_t n = 80,
+                                  std::uint64_t seed = 7) {
+  support::Rng rng(seed);
+  return net::uniform_random_deployment(
+      n, icdcs2019_simulation_profile().field, rng);
+}
+
+TEST(PlannerApiTest, PlanEvaluatesWhatItPlans) {
+  const BundleChargingPlanner planner(icdcs2019_simulation_profile());
+  const net::Deployment d = sample_deployment();
+  const PlanResult result = planner.plan(d, tour::Algorithm::kBc);
+  EXPECT_EQ(result.plan.algorithm, "BC");
+  EXPECT_NEAR(result.metrics.tour_length_m,
+              tour::plan_tour_length(result.plan), 1e-9);
+  EXPECT_GE(result.metrics.min_demand_fraction, 1.0 - 1e-9);
+}
+
+TEST(PlannerApiTest, SweepCoversTheRequestedRange) {
+  const BundleChargingPlanner planner(icdcs2019_simulation_profile());
+  const net::Deployment d = sample_deployment();
+  const RadiusSweep sweep =
+      planner.sweep_radius(d, tour::Algorithm::kBc, 10.0, 100.0, 10);
+  ASSERT_EQ(sweep.points.size(), 10u);
+  EXPECT_DOUBLE_EQ(sweep.points.front().radius_m, 10.0);
+  EXPECT_DOUBLE_EQ(sweep.points.back().radius_m, 100.0);
+  // best_radius_m is the argmin of total energy over the sweep.
+  double best = sweep.points.front().metrics.total_energy_j;
+  double best_r = sweep.points.front().radius_m;
+  for (const RadiusPoint& p : sweep.points) {
+    if (p.metrics.total_energy_j < best) {
+      best = p.metrics.total_energy_j;
+      best_r = p.radius_m;
+    }
+  }
+  EXPECT_DOUBLE_EQ(sweep.best_radius_m, best_r);
+}
+
+TEST(PlannerApiTest, SingleStepSweepUsesMinRadius) {
+  const BundleChargingPlanner planner(icdcs2019_simulation_profile());
+  const net::Deployment d = sample_deployment(30, 9);
+  const RadiusSweep sweep =
+      planner.sweep_radius(d, tour::Algorithm::kBc, 25.0, 100.0, 1);
+  ASSERT_EQ(sweep.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(sweep.points[0].radius_m, 25.0);
+  EXPECT_DOUBLE_EQ(sweep.best_radius_m, 25.0);
+}
+
+TEST(PlannerApiTest, SweepValidatesArguments) {
+  const BundleChargingPlanner planner(icdcs2019_simulation_profile());
+  const net::Deployment d = sample_deployment(10, 11);
+  EXPECT_THROW(planner.sweep_radius(d, tour::Algorithm::kBc, 0.0, 10.0, 3),
+               support::PreconditionError);
+  EXPECT_THROW(planner.sweep_radius(d, tour::Algorithm::kBc, 10.0, 5.0, 3),
+               support::PreconditionError);
+  EXPECT_THROW(planner.sweep_radius(d, tour::Algorithm::kBc, 5.0, 10.0, 0),
+               support::PreconditionError);
+}
+
+TEST(PlannerApiTest, TunedPlanMatchesBestSweepPoint) {
+  const BundleChargingPlanner planner(icdcs2019_simulation_profile());
+  const net::Deployment d = sample_deployment(60, 13);
+  const RadiusSweep sweep =
+      planner.sweep_radius(d, tour::Algorithm::kBc, 20.0, 120.0, 6);
+  const PlanResult tuned = planner.plan_with_tuned_radius(
+      d, tour::Algorithm::kBc, 20.0, 120.0, 6);
+  double best_energy = sweep.points.front().metrics.total_energy_j;
+  for (const RadiusPoint& p : sweep.points) {
+    best_energy = std::min(best_energy, p.metrics.total_energy_j);
+  }
+  EXPECT_NEAR(tuned.metrics.total_energy_j, best_energy, 1e-6);
+}
+
+TEST(PlannerApiTest, ProfileIsMutable) {
+  BundleChargingPlanner planner(icdcs2019_simulation_profile());
+  planner.mutable_profile().planner.bundle_radius = 77.0;
+  EXPECT_DOUBLE_EQ(planner.profile().planner.bundle_radius, 77.0);
+}
+
+}  // namespace
+}  // namespace bc::core

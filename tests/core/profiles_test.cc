@@ -1,0 +1,51 @@
+// Tests for the experiment profiles.
+
+#include "core/profiles.h"
+
+#include <gtest/gtest.h>
+
+namespace bc::core {
+namespace {
+
+TEST(ProfilesTest, SimulationProfileMatchesSectionSixA) {
+  const Profile p = icdcs2019_simulation_profile();
+  EXPECT_DOUBLE_EQ(p.planner.charging.alpha(), 36.0);
+  EXPECT_DOUBLE_EQ(p.planner.charging.beta(), 30.0);
+  EXPECT_DOUBLE_EQ(p.planner.movement.joules_per_meter(), 5.59);
+  EXPECT_DOUBLE_EQ(p.field.demand_j, 2.0);
+  EXPECT_DOUBLE_EQ(p.field.field.width(), 1000.0);
+  EXPECT_DOUBLE_EQ(p.field.field.height(), 1000.0);
+  EXPECT_GT(p.planner.bundle_radius, 0.0);
+}
+
+TEST(ProfilesTest, EvaluationModelsMatchPlannerModels) {
+  for (const Profile& p :
+       {icdcs2019_simulation_profile(), icdcs2019_paper_cost_profile(),
+        testbed_profile()}) {
+    EXPECT_DOUBLE_EQ(p.planner.charging.alpha(), p.evaluation.charging.alpha());
+    EXPECT_DOUBLE_EQ(p.planner.charging.charge_cost_w(),
+                     p.evaluation.charging.charge_cost_w());
+    EXPECT_DOUBLE_EQ(p.planner.movement.joules_per_meter(),
+                     p.evaluation.movement.joules_per_meter());
+  }
+}
+
+TEST(ProfilesTest, PaperCostProfileUsesLiteralRate) {
+  const Profile p = icdcs2019_paper_cost_profile();
+  EXPECT_NEAR(p.planner.charging.charge_cost_w(), 0.015, 1e-12);
+  // Attenuation constants unchanged.
+  EXPECT_DOUBLE_EQ(p.planner.charging.alpha(), 36.0);
+}
+
+TEST(ProfilesTest, TestbedProfileMatchesSectionSeven) {
+  const Profile p = testbed_profile();
+  EXPECT_DOUBLE_EQ(p.field.demand_j, 0.004);
+  EXPECT_DOUBLE_EQ(p.field.field.width(), 5.0);
+  EXPECT_DOUBLE_EQ(p.planner.movement.speed_m_per_s(), 0.3);
+  EXPECT_DOUBLE_EQ(p.planner.bundle_radius, 1.2);
+  // Friis-derived alpha is small (milliwatt-scale delivery).
+  EXPECT_LT(p.planner.charging.alpha(), 0.1);
+}
+
+}  // namespace
+}  // namespace bc::core

@@ -1,0 +1,105 @@
+// Tests for circle constructions.
+
+#include "geometry/circle.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace bc::geometry {
+namespace {
+
+TEST(CircleTest, ContainmentWithTolerance) {
+  const Circle c{{0.0, 0.0}, 1.0};
+  EXPECT_TRUE(c.contains({0.5, 0.5}));
+  EXPECT_TRUE(c.contains({1.0, 0.0}));  // boundary
+  EXPECT_TRUE(c.contains({1.0 + 1e-12, 0.0}));
+  EXPECT_FALSE(c.contains({1.1, 0.0}));
+}
+
+TEST(CircleFromTwoTest, DiametralCircle) {
+  const Circle c = circle_from_two({0.0, 0.0}, {4.0, 0.0});
+  EXPECT_EQ(c.center, (Point2{2.0, 0.0}));
+  EXPECT_DOUBLE_EQ(c.radius, 2.0);
+  EXPECT_TRUE(c.contains({0.0, 0.0}));
+  EXPECT_TRUE(c.contains({4.0, 0.0}));
+}
+
+TEST(CircleFromThreeTest, KnownCircumcircle) {
+  // Right triangle: circumcentre is the hypotenuse midpoint.
+  const auto c = circle_from_three({0.0, 0.0}, {6.0, 0.0}, {0.0, 8.0});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(c->center.x, 3.0, 1e-9);
+  EXPECT_NEAR(c->center.y, 4.0, 1e-9);
+  EXPECT_NEAR(c->radius, 5.0, 1e-9);
+}
+
+TEST(CircleFromThreeTest, CollinearReturnsNullopt) {
+  EXPECT_FALSE(
+      circle_from_three({0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}).has_value());
+  EXPECT_FALSE(
+      circle_from_three({0.0, 0.0}, {0.0, 0.0}, {1.0, 0.0}).has_value());
+}
+
+TEST(CircleFromThreeTest, AllVerticesEquidistantProperty) {
+  support::Rng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point2 a{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Point2 b{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const Point2 p{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const auto c = circle_from_three(a, b, p);
+    if (!c.has_value()) continue;
+    EXPECT_NEAR(distance(c->center, a), c->radius, 1e-6);
+    EXPECT_NEAR(distance(c->center, b), c->radius, 1e-6);
+    EXPECT_NEAR(distance(c->center, p), c->radius, 1e-6);
+  }
+}
+
+TEST(CirclesThroughPairTest, CentersPassThroughBothPoints) {
+  const Point2 a{0.0, 0.0};
+  const Point2 b{2.0, 0.0};
+  const double r = 2.0;
+  const auto centers = circles_through_pair(a, b, r);
+  ASSERT_TRUE(centers.has_value());
+  for (const Point2 c : {centers->first, centers->second}) {
+    EXPECT_NEAR(distance(c, a), r, 1e-9);
+    EXPECT_NEAR(distance(c, b), r, 1e-9);
+  }
+  // The two centers are mirror images across the chord.
+  EXPECT_NEAR(centers->first.y, -centers->second.y, 1e-9);
+}
+
+TEST(CirclesThroughPairTest, TooFarApartReturnsNullopt) {
+  EXPECT_FALSE(circles_through_pair({0.0, 0.0}, {10.0, 0.0}, 4.9).has_value());
+}
+
+TEST(CirclesThroughPairTest, ExactDiameterGivesMidpoint) {
+  const auto centers = circles_through_pair({0.0, 0.0}, {4.0, 0.0}, 2.0);
+  ASSERT_TRUE(centers.has_value());
+  EXPECT_TRUE(almost_equal(centers->first, {2.0, 0.0}, 1e-9));
+  EXPECT_TRUE(almost_equal(centers->second, {2.0, 0.0}, 1e-9));
+}
+
+TEST(CirclesThroughPairTest, RandomPairsProperty) {
+  support::Rng rng(17);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Point2 a{rng.uniform(0, 100), rng.uniform(0, 100)};
+    const Point2 b{rng.uniform(0, 100), rng.uniform(0, 100)};
+    const double r = rng.uniform(0.1, 80.0);
+    const auto centers = circles_through_pair(a, b, r);
+    if (distance(a, b) > 2.0 * r) {
+      EXPECT_FALSE(centers.has_value());
+      continue;
+    }
+    ASSERT_TRUE(centers.has_value());
+    for (const Point2 c : {centers->first, centers->second}) {
+      EXPECT_NEAR(distance(c, a), r, 1e-6);
+      EXPECT_NEAR(distance(c, b), r, 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bc::geometry

@@ -1,0 +1,94 @@
+// Tests for the monotone-chain convex hull.
+
+#include "geometry/convex_hull.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace bc::geometry {
+namespace {
+
+bool point_in_or_on_hull(const std::vector<Point2>& hull, Point2 p) {
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Point2 a = hull[i];
+    const Point2 b = hull[(i + 1) % hull.size()];
+    if ((b - a).cross(p - a) < -1e-9) return false;
+  }
+  return true;
+}
+
+TEST(ConvexHullTest, SmallInputsPassThrough) {
+  EXPECT_TRUE(convex_hull({}).empty());
+  const std::vector<Point2> one{{1.0, 2.0}};
+  EXPECT_EQ(convex_hull(one).size(), 1u);
+  const std::vector<Point2> two{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(convex_hull(two).size(), 2u);
+}
+
+TEST(ConvexHullTest, SquareWithInteriorPoint) {
+  const std::vector<Point2> pts{
+      {0.0, 0.0}, {4.0, 0.0}, {4.0, 4.0}, {0.0, 4.0}, {2.0, 2.0}};
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  // Interior point excluded.
+  EXPECT_EQ(std::count(hull.begin(), hull.end(), Point2{2.0, 2.0}), 0);
+}
+
+TEST(ConvexHullTest, CollinearEdgePointsDropped) {
+  const std::vector<Point2> pts{
+      {0.0, 0.0}, {2.0, 0.0}, {4.0, 0.0}, {4.0, 4.0}, {0.0, 4.0}};
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_EQ(std::count(hull.begin(), hull.end(), Point2{2.0, 0.0}), 0);
+}
+
+TEST(ConvexHullTest, DuplicatesTolerated) {
+  const std::vector<Point2> pts{
+      {0.0, 0.0}, {0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {1.0, 1.0}};
+  const auto hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST(ConvexHullTest, OutputIsCounterClockwise) {
+  const std::vector<Point2> pts{{0.0, 0.0}, {4.0, 0.0}, {4.0, 4.0},
+                                {0.0, 4.0}};
+  const auto hull = convex_hull(pts);
+  double signed_area = 0.0;
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Point2 a = hull[i];
+    const Point2 b = hull[(i + 1) % hull.size()];
+    signed_area += a.cross(b);
+  }
+  EXPECT_GT(signed_area, 0.0);
+}
+
+TEST(ConvexHullTest, RandomPointsAllContained) {
+  support::Rng rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Point2> pts;
+    for (int i = 0; i < 60; ++i) {
+      pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+    }
+    const auto hull = convex_hull(pts);
+    ASSERT_GE(hull.size(), 3u);
+    for (const Point2 p : pts) {
+      ASSERT_TRUE(point_in_or_on_hull(hull, p));
+    }
+  }
+}
+
+TEST(HullPerimeterTest, KnownShapes) {
+  const std::vector<Point2> square{
+      {0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}};
+  EXPECT_DOUBLE_EQ(hull_perimeter(convex_hull(square)), 4.0);
+  const std::vector<Point2> segment{{0.0, 0.0}, {3.0, 0.0}};
+  EXPECT_DOUBLE_EQ(hull_perimeter(convex_hull(segment)), 6.0);  // out & back
+  EXPECT_DOUBLE_EQ(hull_perimeter(std::vector<Point2>{{1.0, 1.0}}), 0.0);
+}
+
+}  // namespace
+}  // namespace bc::geometry

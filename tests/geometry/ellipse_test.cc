@@ -1,0 +1,63 @@
+// Tests for focal-form ellipses.
+
+#include "geometry/ellipse.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace bc::geometry {
+namespace {
+
+TEST(EllipseTest, ThroughPointHasZeroLevelThere) {
+  const Point2 f1{-3.0, 0.0};
+  const Point2 f2{3.0, 0.0};
+  const Point2 p{0.0, 4.0};
+  const Ellipse e = Ellipse::through_point(f1, f2, p);
+  EXPECT_NEAR(e.level(p), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(e.semi_major, 5.0);  // |pf1| + |pf2| = 10
+}
+
+TEST(EllipseTest, AxesSatisfyFocalRelation) {
+  const Ellipse e{{-3.0, 0.0}, {3.0, 0.0}, 5.0};
+  EXPECT_DOUBLE_EQ(e.focal_distance(), 6.0);
+  EXPECT_DOUBLE_EQ(e.semi_minor(), 4.0);  // b = sqrt(25 - 9)
+  EXPECT_EQ(e.center(), (Point2{0.0, 0.0}));
+}
+
+TEST(EllipseTest, DegenerateCircleWhenFociCoincide) {
+  const Ellipse e{{1.0, 1.0}, {1.0, 1.0}, 2.0};
+  EXPECT_DOUBLE_EQ(e.semi_minor(), 2.0);
+  // Every point at distance 2 from the focus is on the level set.
+  EXPECT_NEAR(e.level({3.0, 1.0}), 0.0, 1e-12);
+}
+
+TEST(EllipseTest, LevelSignSeparatesInsideOutside) {
+  const Ellipse e{{-3.0, 0.0}, {3.0, 0.0}, 5.0};
+  EXPECT_LT(e.level({0.0, 0.0}), 0.0);   // centre inside
+  EXPECT_GT(e.level({0.0, 10.0}), 0.0);  // far point outside
+  EXPECT_NEAR(e.level({5.0, 0.0}), 0.0, 1e-12);  // vertex on
+}
+
+TEST(EllipseTest, SemiMinorClampsDegenerate) {
+  // 2a below the focal distance would give imaginary b; clamp to 0.
+  const Ellipse e{{-3.0, 0.0}, {3.0, 0.0}, 2.0};
+  EXPECT_DOUBLE_EQ(e.semi_minor(), 0.0);
+}
+
+TEST(FocalSumTest, MatchesDistances) {
+  EXPECT_DOUBLE_EQ(focal_sum({0.0, 0.0}, {6.0, 0.0}, {3.0, 4.0}), 10.0);
+  // Triangle inequality: focal sum is minimal on the focal segment.
+  support::Rng rng(23);
+  const Point2 a{0.0, 0.0};
+  const Point2 b{10.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    const Point2 p{rng.uniform(-20, 20), rng.uniform(-20, 20)};
+    EXPECT_GE(focal_sum(a, b, p), distance(a, b) - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace bc::geometry

@@ -1,0 +1,111 @@
+// Tests for Point2 / Box2 algebra.
+
+#include "geometry/point.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bc::geometry {
+namespace {
+
+TEST(Point2Test, ArithmeticOperators) {
+  const Point2 a{1.0, 2.0};
+  const Point2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, (Point2{4.0, -2.0}));
+  EXPECT_EQ(a - b, (Point2{-2.0, 6.0}));
+  EXPECT_EQ(a * 2.0, (Point2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Point2{2.0, 4.0}));
+  EXPECT_EQ(b / 2.0, (Point2{1.5, -2.0}));
+  Point2 c = a;
+  c += b;
+  EXPECT_EQ(c, a + b);
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(Point2Test, DotAndCross) {
+  const Point2 a{1.0, 0.0};
+  const Point2 b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 1.0);   // b is CCW of a
+  EXPECT_DOUBLE_EQ(b.cross(a), -1.0);
+  EXPECT_DOUBLE_EQ(a.dot(a), 1.0);
+}
+
+TEST(Point2Test, NormAndNormalize) {
+  const Point2 p{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(p.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(p.norm_squared(), 25.0);
+  const Point2 unit = p.normalized();
+  EXPECT_NEAR(unit.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(unit.x, 0.6, 1e-12);
+  // The zero vector normalises to itself rather than NaN.
+  const Point2 zero{0.0, 0.0};
+  EXPECT_EQ(zero.normalized(), zero);
+}
+
+TEST(Point2Test, PerpRotatesCcw) {
+  const Point2 p{1.0, 0.0};
+  EXPECT_EQ(p.perp(), (Point2{0.0, 1.0}));
+  EXPECT_DOUBLE_EQ(p.dot(p.perp()), 0.0);
+}
+
+TEST(Point2Test, DistanceHelpers) {
+  const Point2 a{0.0, 0.0};
+  const Point2 b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(distance_squared(a, b), 25.0);
+  EXPECT_EQ(midpoint(a, b), (Point2{1.5, 2.0}));
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), midpoint(a, b));
+}
+
+TEST(Point2Test, AlmostEqualRespectsTolerance) {
+  EXPECT_TRUE(almost_equal({1.0, 1.0}, {1.0, 1.0 + 1e-10}));
+  EXPECT_FALSE(almost_equal({1.0, 1.0}, {1.0, 1.001}));
+  EXPECT_TRUE(almost_equal({1.0, 1.0}, {1.0, 1.001}, 0.01));
+}
+
+TEST(Point2Test, StreamsReadably) {
+  std::ostringstream os;
+  os << Point2{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+TEST(Box2Test, GeometryAndContainment) {
+  const Box2 box{{0.0, 0.0}, {4.0, 2.0}};
+  EXPECT_DOUBLE_EQ(box.width(), 4.0);
+  EXPECT_DOUBLE_EQ(box.height(), 2.0);
+  EXPECT_DOUBLE_EQ(box.area(), 8.0);
+  EXPECT_EQ(box.center(), (Point2{2.0, 1.0}));
+  EXPECT_TRUE(box.contains({0.0, 0.0}));   // boundary included
+  EXPECT_TRUE(box.contains({4.0, 2.0}));
+  EXPECT_TRUE(box.contains({2.0, 1.0}));
+  EXPECT_FALSE(box.contains({4.1, 1.0}));
+  EXPECT_FALSE(box.contains({2.0, -0.1}));
+}
+
+TEST(Box2Test, ExpandedToGrowsMinimally) {
+  const Box2 box{{0.0, 0.0}, {1.0, 1.0}};
+  const Box2 grown = box.expanded_to({3.0, -1.0});
+  EXPECT_EQ(grown.lo, (Point2{0.0, -1.0}));
+  EXPECT_EQ(grown.hi, (Point2{3.0, 1.0}));
+  // Expanding to an interior point is a no-op.
+  const Box2 same = box.expanded_to({0.5, 0.5});
+  EXPECT_EQ(same.lo, box.lo);
+  EXPECT_EQ(same.hi, box.hi);
+}
+
+TEST(Box2Test, BoundingBoxOfPoints) {
+  const std::vector<Point2> pts{{1.0, 5.0}, {-2.0, 3.0}, {4.0, -1.0}};
+  const Box2 box = bounding_box(pts);
+  EXPECT_EQ(box.lo, (Point2{-2.0, -1.0}));
+  EXPECT_EQ(box.hi, (Point2{4.0, 5.0}));
+}
+
+}  // namespace
+}  // namespace bc::geometry

@@ -1,0 +1,84 @@
+// Metamorphic rigid-motion invariance of the geometry kernels.
+//
+// Distances, smallest enclosing disks and anchor-search detours must be
+// invariant under translation and rotation; the outputs must transform
+// covariantly. Any asymmetry here would silently bias the planners.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/anchor_search.h"
+#include "geometry/ellipse.h"
+#include "geometry/minidisk.h"
+#include "support/rng.h"
+
+namespace bc::geometry {
+namespace {
+
+struct RigidMotion {
+  double angle;
+  Point2 shift;
+
+  Point2 apply(Point2 p) const {
+    const double c = std::cos(angle);
+    const double s = std::sin(angle);
+    return Point2{c * p.x - s * p.y, s * p.x + c * p.y} + shift;
+  }
+};
+
+class RigidMotionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RigidMotionTest, SedTransformsCovariantly) {
+  support::Rng rng(3000 + static_cast<std::uint64_t>(GetParam()));
+  const RigidMotion motion{rng.uniform(0.0, 6.28),
+                           {rng.uniform(-500, 500), rng.uniform(-500, 500)}};
+  std::vector<Point2> pts;
+  std::vector<Point2> moved;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+    moved.push_back(motion.apply(pts.back()));
+  }
+  const Circle original = smallest_enclosing_disk(pts);
+  const Circle transformed = smallest_enclosing_disk(moved);
+  EXPECT_NEAR(transformed.radius, original.radius, 1e-7);
+  EXPECT_TRUE(almost_equal(transformed.center,
+                           motion.apply(original.center), 1e-6));
+}
+
+TEST_P(RigidMotionTest, AnchorSearchDetourIsInvariant) {
+  support::Rng rng(4000 + static_cast<std::uint64_t>(GetParam()));
+  const RigidMotion motion{rng.uniform(0.0, 6.28),
+                           {rng.uniform(-200, 200), rng.uniform(-200, 200)}};
+  const Point2 a{rng.uniform(-50, 50), rng.uniform(-50, 50)};
+  const Point2 b{rng.uniform(-50, 50), rng.uniform(-50, 50)};
+  const Point2 c{rng.uniform(-50, 50), rng.uniform(-50, 50)};
+  const double r = rng.uniform(1.0, 20.0);
+  const auto original = optimal_point_on_circle(a, b, c, r);
+  const auto transformed = optimal_point_on_circle(
+      motion.apply(a), motion.apply(b), motion.apply(c), r);
+  EXPECT_NEAR(transformed.detour, original.detour, 1e-6);
+  // The optimal point itself transforms covariantly (up to reflection
+  // symmetry when a == b; detour equality is the strong check).
+  EXPECT_NEAR(distance(transformed.point, motion.apply(c)), r, 1e-6);
+}
+
+TEST_P(RigidMotionTest, FocalSumIsInvariant) {
+  support::Rng rng(5000 + static_cast<std::uint64_t>(GetParam()));
+  const RigidMotion motion{rng.uniform(0.0, 6.28),
+                           {rng.uniform(-100, 100), rng.uniform(-100, 100)}};
+  for (int i = 0; i < 50; ++i) {
+    const Point2 f1{rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    const Point2 f2{rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    const Point2 p{rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    ASSERT_NEAR(
+        focal_sum(motion.apply(f1), motion.apply(f2), motion.apply(p)),
+        focal_sum(f1, f2, p), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RigidMotionTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace bc::geometry

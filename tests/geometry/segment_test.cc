@@ -1,0 +1,45 @@
+// Tests for segment projection / distance.
+
+#include "geometry/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace bc::geometry {
+namespace {
+
+TEST(SegmentTest, LengthIsEuclidean) {
+  EXPECT_DOUBLE_EQ((Segment{{0.0, 0.0}, {3.0, 4.0}}.length()), 5.0);
+}
+
+TEST(SegmentTest, ProjectionInsideSegment) {
+  const Segment seg{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_DOUBLE_EQ(closest_parameter(seg, {4.0, 3.0}), 0.4);
+  EXPECT_EQ(closest_point(seg, {4.0, 3.0}), (Point2{4.0, 0.0}));
+  EXPECT_DOUBLE_EQ(distance_to_segment(seg, {4.0, 3.0}), 3.0);
+}
+
+TEST(SegmentTest, ProjectionClampsToEndpoints) {
+  const Segment seg{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_DOUBLE_EQ(closest_parameter(seg, {-5.0, 1.0}), 0.0);
+  EXPECT_EQ(closest_point(seg, {-5.0, 0.0}), (Point2{0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(closest_parameter(seg, {15.0, 1.0}), 1.0);
+  EXPECT_EQ(closest_point(seg, {15.0, 0.0}), (Point2{10.0, 0.0}));
+  EXPECT_DOUBLE_EQ(distance_to_segment(seg, {13.0, 4.0}), 5.0);
+}
+
+TEST(SegmentTest, DegenerateSegmentActsAsPoint) {
+  const Segment seg{{2.0, 2.0}, {2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(closest_parameter(seg, {5.0, 6.0}), 0.0);
+  EXPECT_EQ(closest_point(seg, {5.0, 6.0}), (Point2{2.0, 2.0}));
+  EXPECT_DOUBLE_EQ(distance_to_segment(seg, {5.0, 6.0}), 5.0);
+}
+
+TEST(SegmentTest, PointOnSegmentHasZeroDistance) {
+  const Segment seg{{0.0, 0.0}, {4.0, 4.0}};
+  EXPECT_DOUBLE_EQ(distance_to_segment(seg, {2.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(distance_to_segment(seg, {0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(distance_to_segment(seg, {4.0, 4.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace bc::geometry

@@ -1,0 +1,123 @@
+// End-to-end exercises of the public API across workloads, profiles and
+// policies — the integration surface a downstream user actually touches.
+
+#include <gtest/gtest.h>
+
+#include "core/bundlecharge.h"
+
+namespace bc {
+namespace {
+
+TEST(EndToEndTest, QuickstartFlowFromTheReadme) {
+  support::Rng rng(7);
+  const core::Profile profile = core::icdcs2019_simulation_profile();
+  const net::Deployment deployment =
+      net::uniform_random_deployment(100, profile.field, rng);
+  const core::BundleChargingPlanner planner(profile);
+  const core::PlanResult result =
+      planner.plan(deployment, tour::Algorithm::kBcOpt);
+  EXPECT_EQ(result.plan.algorithm, "BC-OPT");
+  EXPECT_GT(result.metrics.total_energy_j, 0.0);
+  EXPECT_GE(result.metrics.min_demand_fraction, 1.0 - 1e-9);
+}
+
+TEST(EndToEndTest, AllWorkloadGeneratorsFlowThroughAllPlanners) {
+  const core::Profile profile = core::icdcs2019_simulation_profile();
+  support::Rng rng(11);
+  const std::vector<net::Deployment> deployments{
+      net::uniform_random_deployment(40, profile.field, rng),
+      net::clustered_deployment(40, 4, 30.0, profile.field, rng),
+      net::jittered_grid_deployment(40, 0.6, profile.field, rng),
+  };
+  const core::BundleChargingPlanner planner(profile);
+  for (const net::Deployment& d : deployments) {
+    for (const auto algorithm :
+         {tour::Algorithm::kSc, tour::Algorithm::kCss, tour::Algorithm::kBc,
+          tour::Algorithm::kBcOpt}) {
+      const auto result = planner.plan(d, algorithm);
+      ASSERT_TRUE(tour::plan_is_partition(d, result.plan))
+          << tour::to_string(algorithm);
+      ASSERT_GE(result.metrics.min_demand_fraction, 1.0 - 1e-9)
+          << tour::to_string(algorithm);
+    }
+  }
+}
+
+TEST(EndToEndTest, ClusteredWorkloadsBenefitMostFromBundling) {
+  // The paper's motivation: dense (clustered) deployments are where
+  // bundle charging shines. The BC-vs-SC energy ratio must be lower
+  // (better) on clustered fields than on uniform ones, seed-averaged.
+  const core::Profile profile = core::icdcs2019_simulation_profile();
+  double uniform_ratio = 0.0;
+  double clustered_ratio = 0.0;
+  constexpr int kSeeds = 4;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    core::BundleChargingPlanner planner(profile);
+    planner.mutable_profile().planner.bundle_radius = 60.0;
+    support::Rng rng_u(50 + seed);
+    const net::Deployment uniform =
+        net::uniform_random_deployment(150, profile.field, rng_u);
+    support::Rng rng_c(50 + seed);
+    const net::Deployment clustered =
+        net::clustered_deployment(150, 6, 40.0, profile.field, rng_c);
+    uniform_ratio +=
+        planner.plan(uniform, tour::Algorithm::kBc).metrics.total_energy_j /
+        planner.plan(uniform, tour::Algorithm::kSc).metrics.total_energy_j;
+    clustered_ratio +=
+        planner.plan(clustered, tour::Algorithm::kBc).metrics.total_energy_j /
+        planner.plan(clustered, tour::Algorithm::kSc).metrics.total_energy_j;
+  }
+  EXPECT_LT(clustered_ratio, uniform_ratio);
+}
+
+TEST(EndToEndTest, PaperCostProfileShiftsTheTradeoff) {
+  // Under the literal 0.9 J/min charging draw, charging energy is nearly
+  // free, so larger radii keep paying off: total energy at a large radius
+  // must beat the small radius more decisively than under the
+  // energy-conserving profile.
+  support::Rng rng(13);
+  const core::Profile paper_cost = core::icdcs2019_paper_cost_profile();
+  const net::Deployment d =
+      net::uniform_random_deployment(150, paper_cost.field, rng);
+  core::BundleChargingPlanner planner(paper_cost);
+  planner.mutable_profile().planner.bundle_radius = 150.0;
+  const double large =
+      planner.plan(d, tour::Algorithm::kBc).metrics.total_energy_j;
+  planner.mutable_profile().planner.bundle_radius = 5.0;
+  const double small =
+      planner.plan(d, tour::Algorithm::kBc).metrics.total_energy_j;
+  EXPECT_LT(large, small);
+}
+
+TEST(EndToEndTest, RadiusTuningPicksAUsefulRadius) {
+  support::Rng rng(17);
+  const core::Profile profile = core::icdcs2019_simulation_profile();
+  const net::Deployment d =
+      net::uniform_random_deployment(120, profile.field, rng);
+  const core::BundleChargingPlanner planner(profile);
+  const core::PlanResult tuned = planner.plan_with_tuned_radius(
+      d, tour::Algorithm::kBc, 5.0, 300.0, 8);
+  const core::PlanResult fixed = planner.plan(d, tour::Algorithm::kBc);
+  EXPECT_LE(tuned.metrics.total_energy_j,
+            fixed.metrics.total_energy_j + 1e-6);
+}
+
+TEST(EndToEndTest, CumulativePolicyIsAStrictRefinement) {
+  support::Rng rng(19);
+  core::Profile profile = core::icdcs2019_simulation_profile();
+  const net::Deployment d =
+      net::uniform_random_deployment(100, profile.field, rng);
+  profile.planner.bundle_radius = 80.0;
+  profile.evaluation.policy = sim::SchedulePolicy::kCumulative;
+  const core::BundleChargingPlanner cumulative(profile);
+  profile.evaluation.policy = sim::SchedulePolicy::kIsolated;
+  const core::BundleChargingPlanner isolated(profile);
+  const double e_cum =
+      cumulative.plan(d, tour::Algorithm::kBc).metrics.total_energy_j;
+  const double e_iso =
+      isolated.plan(d, tour::Algorithm::kBc).metrics.total_energy_j;
+  EXPECT_LT(e_cum, e_iso);
+}
+
+}  // namespace
+}  // namespace bc

@@ -1,0 +1,149 @@
+// Integration tests: the qualitative shapes of the paper's figures must
+// hold on small, fixed-seed versions of each experiment. The full-scale
+// reproductions live in bench/; these tests are the fast regression gate
+// for the same claims.
+
+#include <gtest/gtest.h>
+
+#include "bundle/generator.h"
+#include "core/bundlecharge.h"
+
+namespace bc {
+namespace {
+
+sim::ExperimentSpec base_spec(std::size_t n, double radius,
+                              tour::Algorithm algorithm) {
+  sim::ExperimentSpec spec;
+  const core::Profile profile = core::icdcs2019_simulation_profile();
+  spec.make_deployment = sim::uniform_factory(n, profile.field);
+  spec.algorithm = algorithm;
+  spec.planner = profile.planner;
+  spec.planner.bundle_radius = radius;
+  spec.evaluation = profile.evaluation;
+  spec.runs = 5;
+  spec.base_seed = 321;
+  return spec;
+}
+
+// Fig. 6(a): with growing bundle radius, the tour shortens and the total
+// charging time grows.
+TEST(FigureTrendsTest, Fig6TradeoffDirections) {
+  const auto small = sim::run_experiment(base_spec(120, 10.0,
+                                                   tour::Algorithm::kBc));
+  const auto large = sim::run_experiment(base_spec(120, 120.0,
+                                                   tour::Algorithm::kBc));
+  EXPECT_LT(large.tour_length_m.mean(), small.tour_length_m.mean());
+  EXPECT_GT(large.charge_time_s.mean(), small.charge_time_s.mean());
+}
+
+// Fig. 6(b)/14(b): total energy vs radius is U-shaped — both a very small
+// and a very large radius lose to an intermediate one.
+TEST(FigureTrendsTest, Fig6InteriorOptimumExists) {
+  const double tiny =
+      sim::run_experiment(base_spec(200, 2.0, tour::Algorithm::kBc))
+          .total_energy_j.mean();
+  const double mid =
+      sim::run_experiment(base_spec(200, 150.0, tour::Algorithm::kBc))
+          .total_energy_j.mean();
+  const double huge =
+      sim::run_experiment(base_spec(200, 450.0, tour::Algorithm::kBc))
+          .total_energy_j.mean();
+  EXPECT_LT(mid, tiny);
+  EXPECT_LT(mid, huge);
+}
+
+// Fig. 11: bundle counts ordered exact <= greedy <= grid (small radius).
+TEST(FigureTrendsTest, Fig11GeneratorOrdering) {
+  const core::Profile profile = core::icdcs2019_simulation_profile();
+  double exact_total = 0.0;
+  double greedy_total = 0.0;
+  double grid_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    support::Rng rng(100 + seed);
+    const net::Deployment d =
+        net::uniform_random_deployment(40, profile.field, rng);
+    bundle::GeneratorOptions options;
+    options.kind = bundle::GeneratorKind::kExact;
+    exact_total += static_cast<double>(
+        bundle::generate_bundles(d, 60.0, options).size());
+    options.kind = bundle::GeneratorKind::kGreedy;
+    greedy_total += static_cast<double>(
+        bundle::generate_bundles(d, 60.0, options).size());
+    options.kind = bundle::GeneratorKind::kGrid;
+    grid_total += static_cast<double>(
+        bundle::generate_bundles(d, 60.0, options).size());
+  }
+  EXPECT_LE(exact_total, greedy_total);
+  EXPECT_LT(greedy_total, grid_total);
+  // "Very close to the optimal solution" (Fig. 11(a) discussion).
+  EXPECT_LE(greedy_total, exact_total * 1.35);
+}
+
+// Fig. 12(a)/13(a): BC-OPT posts the lowest total energy of the four and
+// SC the highest, in the bundling-friendly dense regime.
+TEST(FigureTrendsTest, Fig13AlgorithmOrderingDense) {
+  const double r = 70.0;
+  const std::size_t n = 200;
+  const double sc =
+      sim::run_experiment(base_spec(n, r, tour::Algorithm::kSc))
+          .total_energy_j.mean();
+  const double css =
+      sim::run_experiment(base_spec(n, r, tour::Algorithm::kCss))
+          .total_energy_j.mean();
+  const double bc =
+      sim::run_experiment(base_spec(n, r, tour::Algorithm::kBc))
+          .total_energy_j.mean();
+  const double opt =
+      sim::run_experiment(base_spec(n, r, tour::Algorithm::kBcOpt))
+          .total_energy_j.mean();
+  EXPECT_LT(opt, bc);
+  EXPECT_LT(bc, css);
+  EXPECT_LT(css, sc);
+}
+
+// Fig. 13: SC's disadvantage grows with density (relative savings of BC
+// at n = 200 exceed those at n = 40).
+TEST(FigureTrendsTest, Fig13DensityGrowsTheGap) {
+  const double r = 70.0;
+  const double sparse_sc =
+      sim::run_experiment(base_spec(40, r, tour::Algorithm::kSc))
+          .total_energy_j.mean();
+  const double sparse_bc =
+      sim::run_experiment(base_spec(40, r, tour::Algorithm::kBc))
+          .total_energy_j.mean();
+  const double dense_sc =
+      sim::run_experiment(base_spec(200, r, tour::Algorithm::kSc))
+          .total_energy_j.mean();
+  const double dense_bc =
+      sim::run_experiment(base_spec(200, r, tour::Algorithm::kBc))
+          .total_energy_j.mean();
+  EXPECT_GT(dense_sc / dense_bc, sparse_sc / sparse_bc);
+}
+
+// Figs. 12(c)/13(c): CSS pays more charging time than BC-OPT (it slides
+// stops without regard for charging efficiency).
+TEST(FigureTrendsTest, CssChargingTimeExceedsBc) {
+  const auto css =
+      sim::run_experiment(base_spec(150, 40.0, tour::Algorithm::kCss));
+  const auto bc =
+      sim::run_experiment(base_spec(150, 40.0, tour::Algorithm::kBc));
+  EXPECT_GT(css.avg_charge_time_per_sensor_s.mean(),
+            bc.avg_charge_time_per_sensor_s.mean());
+}
+
+// Fig. 16: the testbed scenario — BC and BC-OPT beat SC at r = 1.2 m, with
+// BC-OPT also shortening the tour by ~20 %.
+TEST(FigureTrendsTest, Fig16TestbedShape) {
+  const core::Profile profile = core::testbed_profile();
+  const net::Deployment d = net::testbed_deployment();
+  const core::BundleChargingPlanner planner(profile);
+  const auto sc = planner.plan(d, tour::Algorithm::kSc);
+  const auto bc = planner.plan(d, tour::Algorithm::kBc);
+  const auto opt = planner.plan(d, tour::Algorithm::kBcOpt);
+  EXPECT_LE(bc.metrics.total_energy_j, sc.metrics.total_energy_j);
+  EXPECT_LT(opt.metrics.total_energy_j, sc.metrics.total_energy_j * 0.95);
+  EXPECT_LT(opt.metrics.tour_length_m, sc.metrics.tour_length_m * 0.85);
+}
+
+}  // namespace
+}  // namespace bc

@@ -1,0 +1,155 @@
+// Randomized cross-cutting invariants ("fuzz" sweeps).
+//
+// For a grid of seeds x workload shapes, every planner must uphold the
+// library-wide contracts, and the documented dominance relations between
+// algorithms, generators and schedule policies must hold. These tests are
+// the broadest net in the suite: any planner/geometry/schedule regression
+// tends to trip one of them.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "bundle/generator.h"
+#include "support/require.h"
+#include "core/bundlecharge.h"
+
+namespace bc {
+namespace {
+
+enum class Workload { kUniform, kClustered, kGrid };
+
+net::Deployment make_workload(Workload workload, std::size_t n,
+                              std::uint64_t seed) {
+  support::Rng rng(seed);
+  net::FieldSpec spec;
+  switch (workload) {
+    case Workload::kUniform:
+      return net::uniform_random_deployment(n, spec, rng);
+    case Workload::kClustered:
+      return net::clustered_deployment(n, 1 + n / 40, 35.0, spec, rng);
+    case Workload::kGrid:
+      return net::jittered_grid_deployment(n, 0.8, spec, rng);
+  }
+  support::ensure(false, "unreachable workload");
+  return net::uniform_random_deployment(n, spec, rng);
+}
+
+class FuzzInvariantsTest
+    : public ::testing::TestWithParam<std::tuple<int, Workload>> {};
+
+TEST_P(FuzzInvariantsTest, AllPlannersUpholdAllContracts) {
+  const auto [seed, workload] = GetParam();
+  const std::size_t n = 30 + static_cast<std::size_t>(seed) * 17 % 90;
+  const net::Deployment d =
+      make_workload(workload, n, 9000 + static_cast<std::uint64_t>(seed));
+  tour::PlannerConfig config;
+  config.bundle_radius = 10.0 + (seed * 23) % 90;
+
+  const sim::EvaluationConfig eval;
+  double bc_energy = 0.0;
+  double bc_opt_energy = 0.0;
+  for (const auto algorithm :
+       {tour::Algorithm::kSc, tour::Algorithm::kCss, tour::Algorithm::kBc,
+        tour::Algorithm::kBcOpt, tour::Algorithm::kTspn}) {
+    const tour::ChargingPlan plan =
+        tour::plan_charging_tour(d, algorithm, config);
+    // Contract 1: partition.
+    ASSERT_TRUE(tour::plan_is_partition(d, plan))
+        << tour::to_string(algorithm) << " seed=" << seed;
+    // Contract 2: stops inside a sane envelope (field inflated by 2r).
+    for (const tour::Stop& stop : plan.stops) {
+      ASSERT_GE(stop.position.x, d.field().lo.x - 2 * config.bundle_radius);
+      ASSERT_LE(stop.position.x, d.field().hi.x + 2 * config.bundle_radius);
+    }
+    // Contract 3: feasibility under every schedule policy.
+    const sim::PlanMetrics m = sim::evaluate_plan(d, plan, eval);
+    ASSERT_GE(m.min_demand_fraction, 1.0 - 1e-6)
+        << tour::to_string(algorithm);
+    ASSERT_GT(m.total_energy_j, 0.0);
+    if (algorithm == tour::Algorithm::kBc) bc_energy = m.total_energy_j;
+    if (algorithm == tour::Algorithm::kBcOpt) {
+      bc_opt_energy = m.total_energy_j;
+    }
+  }
+  // Dominance: Algorithm 3 only accepts improving moves.
+  EXPECT_LE(bc_opt_energy, bc_energy + 1e-6);
+}
+
+TEST_P(FuzzInvariantsTest, GeneratorAndPolicyDominance) {
+  const auto [seed, workload] = GetParam();
+  const std::size_t n = 25 + static_cast<std::size_t>(seed) * 13 % 60;
+  const net::Deployment d =
+      make_workload(workload, n, 5000 + static_cast<std::uint64_t>(seed));
+  const double r = 15.0 + (seed * 31) % 80;
+
+  // Generators: every kind covers within radius; exact <= greedy count.
+  bundle::GeneratorOptions options;
+  options.kind = bundle::GeneratorKind::kGreedy;
+  const auto greedy = bundle::generate_bundles(d, r, options);
+  options.kind = bundle::GeneratorKind::kGrid;
+  const auto grid = bundle::generate_bundles(d, r, options);
+  for (const auto* bundles : {&greedy, &grid}) {
+    ASSERT_TRUE(bundle::is_partition(d, *bundles));
+    ASSERT_LE(bundle::max_charging_distance(d, *bundles), r + 1e-6);
+  }
+  if (n <= 60) {
+    options.kind = bundle::GeneratorKind::kExact;
+    const auto exact = bundle::generate_bundles(d, r, options);
+    ASSERT_TRUE(bundle::is_partition(d, exact));
+    ASSERT_LE(exact.size(), greedy.size());
+  }
+
+  // Policies: optimal-lp <= cumulative <= isolated on total charge time.
+  tour::PlannerConfig config;
+  config.bundle_radius = r;
+  const auto plan = tour::plan_bc(d, config);
+  sim::EvaluationConfig eval;
+  eval.policy = sim::SchedulePolicy::kIsolated;
+  const double t_iso = sim::evaluate_plan(d, plan, eval).charge_time_s;
+  eval.policy = sim::SchedulePolicy::kCumulative;
+  const double t_cum = sim::evaluate_plan(d, plan, eval).charge_time_s;
+  eval.policy = sim::SchedulePolicy::kOptimalLp;
+  const double t_lp = sim::evaluate_plan(d, plan, eval).charge_time_s;
+  EXPECT_LE(t_cum, t_iso + 1e-6);
+  EXPECT_LE(t_lp, t_cum + 1e-6);
+}
+
+TEST_P(FuzzInvariantsTest, TranslationInvariance) {
+  // Metamorphic: shifting the whole deployment (sensors + depot) rigidly
+  // must not change any energy metric.
+  const auto [seed, workload] = GetParam();
+  const net::Deployment d =
+      make_workload(workload, 40, 7000 + static_cast<std::uint64_t>(seed));
+  const geometry::Point2 shift{137.0, -91.0};
+  std::vector<geometry::Point2> moved;
+  for (const auto& p : d.positions()) moved.push_back(p + shift);
+  const geometry::Box2 field{d.field().lo + shift, d.field().hi + shift};
+  const net::Deployment shifted(std::move(moved), field, d.depot() + shift,
+                                d.demand_j());
+
+  tour::PlannerConfig config;
+  config.bundle_radius = 45.0;
+  const sim::EvaluationConfig eval;
+  for (const auto algorithm :
+       {tour::Algorithm::kBc, tour::Algorithm::kBcOpt}) {
+    const auto base = sim::evaluate_plan(
+        d, tour::plan_charging_tour(d, algorithm, config), eval);
+    const auto moved_metrics = sim::evaluate_plan(
+        shifted, tour::plan_charging_tour(shifted, algorithm, config), eval);
+    EXPECT_NEAR(base.total_energy_j, moved_metrics.total_energy_j,
+                base.total_energy_j * 1e-9)
+        << tour::to_string(algorithm);
+    EXPECT_EQ(base.num_stops, moved_metrics.num_stops);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndWorkloads, FuzzInvariantsTest,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Values(Workload::kUniform,
+                                         Workload::kClustered,
+                                         Workload::kGrid)));
+
+}  // namespace
+}  // namespace bc

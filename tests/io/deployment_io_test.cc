@@ -1,0 +1,93 @@
+// Tests for deployment CSV I/O.
+
+#include "io/deployment_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace bc::io {
+namespace {
+
+using geometry::Point2;
+
+TEST(DeploymentIoTest, ReadsPlainRows) {
+  std::istringstream in("1.5,2.5\n3,4\n");
+  const auto positions = read_positions_csv(in);
+  ASSERT_TRUE(positions.has_value());
+  ASSERT_EQ(positions->size(), 2u);
+  EXPECT_EQ((*positions)[0], (Point2{1.5, 2.5}));
+  EXPECT_EQ((*positions)[1], (Point2{3.0, 4.0}));
+}
+
+TEST(DeploymentIoTest, SkipsHeaderCommentsAndBlanks) {
+  std::istringstream in("x,y\n# comment\n\n 10 , 20 \n");
+  const auto positions = read_positions_csv(in);
+  ASSERT_TRUE(positions.has_value());
+  ASSERT_EQ(positions->size(), 1u);
+  EXPECT_EQ((*positions)[0], (Point2{10.0, 20.0}));
+}
+
+TEST(DeploymentIoTest, ReportsMalformedRows) {
+  std::string error;
+  std::istringstream missing_comma("1.0 2.0\n");
+  EXPECT_FALSE(read_positions_csv(missing_comma, &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+
+  std::istringstream bad_number("1,2\nfoo,3\n");
+  EXPECT_FALSE(read_positions_csv(bad_number, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(DeploymentIoTest, EmptyInputIsAnError) {
+  std::string error;
+  std::istringstream in("# only comments\n");
+  EXPECT_FALSE(read_positions_csv(in, &error).has_value());
+  EXPECT_NE(error.find("no sensor positions"), std::string::npos);
+}
+
+TEST(DeploymentIoTest, RoundTripsThroughWriter) {
+  support::Rng rng(3);
+  net::FieldSpec spec;
+  const net::Deployment original =
+      net::uniform_random_deployment(50, spec, rng);
+  std::ostringstream out;
+  write_positions_csv(original, out);
+  std::istringstream in(out.str());
+  const auto positions = read_positions_csv(in);
+  ASSERT_TRUE(positions.has_value());
+  ASSERT_EQ(positions->size(), original.size());
+  for (std::size_t i = 0; i < positions->size(); ++i) {
+    ASSERT_NEAR((*positions)[i].x, original.sensor(i).position.x, 1e-4);
+    ASSERT_NEAR((*positions)[i].y, original.sensor(i).position.y, 1e-4);
+  }
+}
+
+TEST(DeploymentIoTest, FileRoundTrip) {
+  support::Rng rng(5);
+  net::FieldSpec spec;
+  const net::Deployment original =
+      net::uniform_random_deployment(10, spec, rng);
+  const std::string path = ::testing::TempDir() + "/bc_deploy.csv";
+  ASSERT_TRUE(write_positions_csv_file(original, path));
+  const auto positions = read_positions_csv_file(path);
+  ASSERT_TRUE(positions.has_value());
+  EXPECT_EQ(positions->size(), original.size());
+  std::string error;
+  EXPECT_FALSE(
+      read_positions_csv_file("/no/such/file.csv", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(DeploymentIoTest, DeploymentFromPositionsIncludesDepot) {
+  const net::Deployment d = deployment_from_positions(
+      {{10.0, 10.0}, {20.0, 5.0}}, {0.0, 0.0}, 2.0);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_TRUE(d.field().contains({0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(d.demand_j(), 2.0);
+}
+
+}  // namespace
+}  // namespace bc::io

@@ -1,0 +1,97 @@
+// Tests for plan JSON export.
+
+#include "io/plan_io.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "tour/planner.h"
+
+namespace bc::io {
+namespace {
+
+struct Fixture {
+  net::Deployment deployment;
+  tour::ChargingPlan plan;
+  sim::EvaluationConfig evaluation{};
+};
+
+Fixture make_fixture() {
+  support::Rng rng(7);
+  net::FieldSpec spec;
+  net::Deployment d = net::uniform_random_deployment(25, spec, rng);
+  tour::PlannerConfig config;
+  config.bundle_radius = 60.0;
+  tour::ChargingPlan plan = tour::plan_bc(d, config);
+  return Fixture{std::move(d), std::move(plan)};
+}
+
+TEST(PlanIoTest, JsonContainsAllSections) {
+  const Fixture f = make_fixture();
+  const std::string json = plan_to_json(f.deployment, f.plan, f.evaluation);
+  EXPECT_NE(json.find("\"algorithm\": \"BC\""), std::string::npos);
+  EXPECT_NE(json.find("\"schedule_policy\": \"isolated\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"depot\": [0, 0]"), std::string::npos);
+  EXPECT_NE(json.find("\"stops\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"stop_time_s\":"), std::string::npos);
+  EXPECT_NE(json.find("\"total_energy_j\":"), std::string::npos);
+}
+
+TEST(PlanIoTest, StopCountMatchesPlan) {
+  const Fixture f = make_fixture();
+  const std::string json = plan_to_json(f.deployment, f.plan, f.evaluation);
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"position\"");
+       pos != std::string::npos; pos = json.find("\"position\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, f.plan.stops.size());
+}
+
+TEST(PlanIoTest, JsonBracesBalance) {
+  const Fixture f = make_fixture();
+  const std::string json = plan_to_json(f.deployment, f.plan, f.evaluation);
+  long braces = 0;
+  long brackets = 0;
+  for (const char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(PlanIoTest, PolicyAffectsReportedTimes) {
+  const Fixture f = make_fixture();
+  sim::EvaluationConfig lp = f.evaluation;
+  lp.policy = sim::SchedulePolicy::kOptimalLp;
+  const std::string a = plan_to_json(f.deployment, f.plan, f.evaluation);
+  const std::string b = plan_to_json(f.deployment, f.plan, lp);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b.find("\"schedule_policy\": \"optimal-lp\""),
+            std::string::npos);
+}
+
+TEST(PlanIoTest, WritesFile) {
+  const Fixture f = make_fixture();
+  const std::string path = ::testing::TempDir() + "/bc_plan.json";
+  ASSERT_TRUE(
+      write_plan_json_file(f.deployment, f.plan, f.evaluation, path));
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, plan_to_json(f.deployment, f.plan, f.evaluation));
+  EXPECT_FALSE(write_plan_json_file(f.deployment, f.plan, f.evaluation,
+                                    "/no/such/dir/plan.json"));
+}
+
+}  // namespace
+}  // namespace bc::io

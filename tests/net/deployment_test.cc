@@ -1,0 +1,150 @@
+// Tests for deployments and workload generators.
+
+#include "net/deployment.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+
+namespace bc::net {
+namespace {
+
+using geometry::Box2;
+using geometry::Point2;
+
+TEST(DeploymentTest, ConstructionAssignsSequentialIds) {
+  Deployment d({{1.0, 1.0}, {2.0, 2.0}}, Box2{{0.0, 0.0}, {5.0, 5.0}},
+               {0.0, 0.0}, 2.0);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.sensor(0).id, 0u);
+  EXPECT_EQ(d.sensor(1).id, 1u);
+  EXPECT_EQ(d.sensor(1).position, (Point2{2.0, 2.0}));
+  EXPECT_DOUBLE_EQ(d.sensor(0).demand_j, 2.0);
+  EXPECT_DOUBLE_EQ(d.demand_j(), 2.0);
+  EXPECT_EQ(d.positions().size(), 2u);
+  EXPECT_THROW(d.sensor(2), support::PreconditionError);
+}
+
+TEST(DeploymentTest, ValidatesInputs) {
+  const Box2 field{{0.0, 0.0}, {5.0, 5.0}};
+  EXPECT_THROW(Deployment({}, field, {0.0, 0.0}, 2.0),
+               support::PreconditionError);
+  EXPECT_THROW(Deployment({{6.0, 1.0}}, field, {0.0, 0.0}, 2.0),
+               support::PreconditionError);
+  EXPECT_THROW(Deployment({{1.0, 1.0}}, field, {0.0, 0.0}, 0.0),
+               support::PreconditionError);
+}
+
+TEST(UniformRandomDeploymentTest, StaysInFieldAndIsSeeded) {
+  FieldSpec spec;
+  spec.field = Box2{{100.0, 200.0}, {300.0, 500.0}};
+  support::Rng rng1(42);
+  const Deployment a = uniform_random_deployment(200, spec, rng1);
+  EXPECT_EQ(a.size(), 200u);
+  for (const Sensor& s : a.sensors()) {
+    ASSERT_TRUE(spec.field.contains(s.position));
+  }
+  support::Rng rng2(42);
+  const Deployment b = uniform_random_deployment(200, spec, rng2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.sensor(i).position, b.sensor(i).position);
+  }
+  support::Rng rng3(43);
+  const Deployment c = uniform_random_deployment(200, spec, rng3);
+  EXPECT_NE(a.sensor(0).position, c.sensor(0).position);
+}
+
+TEST(UniformRandomDeploymentTest, CoversTheWholeField) {
+  FieldSpec spec;  // 1000 x 1000 default
+  support::Rng rng(7);
+  const Deployment d = uniform_random_deployment(2000, spec, rng);
+  // All four quadrants should be populated.
+  int quadrant_counts[4] = {0, 0, 0, 0};
+  for (const Sensor& s : d.sensors()) {
+    const int qx = s.position.x < 500.0 ? 0 : 1;
+    const int qy = s.position.y < 500.0 ? 0 : 1;
+    ++quadrant_counts[qy * 2 + qx];
+  }
+  for (const int count : quadrant_counts) EXPECT_GT(count, 300);
+}
+
+TEST(ClusteredDeploymentTest, PointsConcentrateAroundFewSpots) {
+  FieldSpec spec;
+  support::Rng rng(11);
+  const Deployment d = clustered_deployment(300, 3, 25.0, spec, rng);
+  EXPECT_EQ(d.size(), 300u);
+  for (const Sensor& s : d.sensors()) {
+    ASSERT_TRUE(spec.field.contains(s.position));
+  }
+  // With sigma = 25 on a 1000 m field, the average pairwise distance is
+  // far below the uniform expectation (~521 m).
+  double sum = 0.0;
+  int pairs = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = i + 1; j < 100; ++j) {
+      sum += geometry::distance(d.sensor(i).position, d.sensor(j).position);
+      ++pairs;
+    }
+  }
+  EXPECT_LT(sum / pairs, 450.0);
+}
+
+TEST(ClusteredDeploymentTest, ValidatesArguments) {
+  FieldSpec spec;
+  support::Rng rng(1);
+  EXPECT_THROW(clustered_deployment(10, 0, 5.0, spec, rng),
+               support::PreconditionError);
+  EXPECT_THROW(clustered_deployment(10, 2, 0.0, spec, rng),
+               support::PreconditionError);
+  EXPECT_THROW(clustered_deployment(0, 2, 5.0, spec, rng),
+               support::PreconditionError);
+}
+
+TEST(JitteredGridDeploymentTest, ZeroJitterIsALattice) {
+  FieldSpec spec;
+  spec.field = Box2{{0.0, 0.0}, {100.0, 100.0}};
+  support::Rng rng(3);
+  const Deployment d = jittered_grid_deployment(16, 0.0, spec, rng);
+  EXPECT_EQ(d.size(), 16u);
+  // 4x4 lattice with cell 25: positions at 12.5 + 25k.
+  std::set<double> xs;
+  for (const Sensor& s : d.sensors()) xs.insert(s.position.x);
+  EXPECT_EQ(xs.size(), 4u);
+  EXPECT_DOUBLE_EQ(*xs.begin(), 12.5);
+}
+
+TEST(JitteredGridDeploymentTest, JitterStaysInField) {
+  FieldSpec spec;
+  support::Rng rng(5);
+  const Deployment d = jittered_grid_deployment(97, 1.0, spec, rng);
+  EXPECT_EQ(d.size(), 97u);
+  for (const Sensor& s : d.sensors()) {
+    ASSERT_TRUE(spec.field.contains(s.position));
+  }
+  EXPECT_THROW(jittered_grid_deployment(10, 1.5, spec, rng),
+               support::PreconditionError);
+}
+
+TEST(ExplicitDeploymentTest, FieldCoversPointsAndDepot) {
+  const Deployment d =
+      explicit_deployment({{5.0, 5.0}, {10.0, 2.0}}, {-1.0, 0.0}, 0.5);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_TRUE(d.field().contains({-1.0, 0.0}));
+  EXPECT_TRUE(d.field().contains({10.0, 2.0}));
+  EXPECT_EQ(d.depot(), (Point2{-1.0, 0.0}));
+}
+
+TEST(TestbedDeploymentTest, MatchesSectionSeven) {
+  const Deployment d = testbed_deployment();
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_EQ(d.sensor(0).position, (Point2{1.0, 1.0}));
+  EXPECT_EQ(d.sensor(5).position, (Point2{4.0, 1.0}));
+  EXPECT_DOUBLE_EQ(d.demand_j(), 0.004);
+  EXPECT_DOUBLE_EQ(d.field().width(), 5.0);
+  EXPECT_DOUBLE_EQ(d.field().height(), 5.0);
+}
+
+}  // namespace
+}  // namespace bc::net

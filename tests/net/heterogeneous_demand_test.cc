@@ -1,0 +1,123 @@
+// Tests for heterogeneous per-sensor demands (Eq. 3's delta_j).
+
+#include <gtest/gtest.h>
+
+#include "net/deployment.h"
+#include "sim/evaluate.h"
+#include "support/require.h"
+#include "support/rng.h"
+#include "tour/planner.h"
+
+namespace bc::net {
+namespace {
+
+using geometry::Box2;
+using geometry::Point2;
+
+TEST(HeterogeneousDemandTest, ConstructorStoresPerSensorDemands) {
+  const Deployment d({{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}},
+                     Box2{{0.0, 0.0}, {5.0, 5.0}}, {0.0, 0.0},
+                     std::vector<double>{1.0, 2.0, 0.5});
+  EXPECT_DOUBLE_EQ(d.sensor(0).demand_j, 1.0);
+  EXPECT_DOUBLE_EQ(d.sensor(1).demand_j, 2.0);
+  EXPECT_DOUBLE_EQ(d.sensor(2).demand_j, 0.5);
+  EXPECT_DOUBLE_EQ(d.demand_j(), 2.0);  // max
+  EXPECT_FALSE(d.uniform_demand());
+}
+
+TEST(HeterogeneousDemandTest, UniformConstructorReportsUniform) {
+  const Deployment d({{1.0, 1.0}}, Box2{{0.0, 0.0}, {5.0, 5.0}}, {0.0, 0.0},
+                     2.0);
+  EXPECT_TRUE(d.uniform_demand());
+  EXPECT_DOUBLE_EQ(d.demand_j(), 2.0);
+}
+
+TEST(HeterogeneousDemandTest, ValidatesDemands) {
+  const Box2 field{{0.0, 0.0}, {5.0, 5.0}};
+  EXPECT_THROW(Deployment({{1.0, 1.0}}, field, {0.0, 0.0},
+                          std::vector<double>{0.0}),
+               support::PreconditionError);
+  EXPECT_THROW(Deployment({{1.0, 1.0}, {2.0, 2.0}}, field, {0.0, 0.0},
+                          std::vector<double>{1.0}),
+               support::PreconditionError);
+}
+
+TEST(HeterogeneousDemandTest, WithDemandsRebindsAnyDeployment) {
+  support::Rng rng(3);
+  FieldSpec spec;
+  const Deployment base = uniform_random_deployment(10, spec, rng);
+  std::vector<double> demands(10);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    demands[i] = 0.5 + static_cast<double>(i);
+  }
+  const Deployment hetero = with_demands(base, demands);
+  EXPECT_EQ(hetero.size(), base.size());
+  EXPECT_EQ(hetero.sensor(3).position, base.sensor(3).position);
+  EXPECT_DOUBLE_EQ(hetero.sensor(3).demand_j, 3.5);
+  EXPECT_FALSE(hetero.uniform_demand());
+}
+
+TEST(HeterogeneousDemandTest, AllPlannersStayFeasible) {
+  support::Rng rng(5);
+  FieldSpec spec;
+  const Deployment base = uniform_random_deployment(50, spec, rng);
+  std::vector<double> demands;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    demands.push_back(rng.uniform(0.5, 6.0));
+  }
+  const Deployment d = with_demands(base, demands);
+  tour::PlannerConfig config;
+  config.bundle_radius = 50.0;
+  for (const auto algorithm :
+       {tour::Algorithm::kSc, tour::Algorithm::kCss, tour::Algorithm::kBc,
+        tour::Algorithm::kBcOpt, tour::Algorithm::kTspn}) {
+    const auto plan = tour::plan_charging_tour(d, algorithm, config);
+    ASSERT_TRUE(tour::plan_is_partition(d, plan)) << tour::to_string(algorithm);
+    for (const auto policy :
+         {sim::SchedulePolicy::kIsolated, sim::SchedulePolicy::kCumulative,
+          sim::SchedulePolicy::kOptimalLp}) {
+      sim::EvaluationConfig eval;
+      eval.policy = policy;
+      ASSERT_TRUE(sim::plan_is_feasible(d, plan, eval))
+          << tour::to_string(algorithm) << "/" << sim::to_string(policy);
+    }
+  }
+}
+
+TEST(HeterogeneousDemandTest, StopTimeTracksTheBindingSensor) {
+  // Two sensors at equal distance: the one with triple demand dictates
+  // the isolated stop time.
+  const Deployment d({{10.0, 0.0}, {-10.0, 0.0}},
+                     Box2{{-20.0, -20.0}, {20.0, 20.0}}, {0.0, 0.0},
+                     std::vector<double>{1.0, 3.0});
+  const auto model = charging::ChargingModel::icdcs2019_simulation();
+  const tour::Stop stop{{0.0, 0.0}, {0, 1}};
+  EXPECT_DOUBLE_EQ(tour::isolated_stop_time_s(d, stop, model),
+                   model.charge_time_s(10.0, 3.0));
+}
+
+TEST(HeterogeneousDemandTest, LpExploitsLowDemandSensors) {
+  // With the far sensor's demand tiny, the LP schedule should spend less
+  // total time than with uniform high demand.
+  support::Rng rng(9);
+  FieldSpec spec;
+  const Deployment base = uniform_random_deployment(30, spec, rng);
+  std::vector<double> low(base.size(), 2.0);
+  for (std::size_t i = 0; i < low.size(); i += 2) low[i] = 0.2;
+  const Deployment mixed = with_demands(base, low);
+
+  tour::PlannerConfig config;
+  config.bundle_radius = 60.0;
+  const auto plan_uniform = tour::plan_bc(base, config);
+  const auto plan_mixed = tour::plan_bc(mixed, config);
+  sim::EvaluationConfig eval;
+  eval.policy = sim::SchedulePolicy::kOptimalLp;
+  const double t_uniform =
+      sim::evaluate_plan(base, plan_uniform, eval).charge_time_s;
+  const double t_mixed =
+      sim::evaluate_plan(mixed, plan_mixed, eval).charge_time_s;
+  EXPECT_LT(t_mixed, t_uniform);
+}
+
+}  // namespace
+}  // namespace bc::net

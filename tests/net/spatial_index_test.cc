@@ -1,0 +1,99 @@
+// Tests for the uniform-grid spatial index, including property sweeps
+// against a brute-force scan.
+
+#include "net/spatial_index.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+#include "support/rng.h"
+
+namespace bc::net {
+namespace {
+
+using geometry::Point2;
+
+std::vector<SensorId> brute_within(const std::vector<Point2>& pts,
+                                   Point2 query, double radius) {
+  std::vector<SensorId> out;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (geometry::distance(pts[i], query) <= radius) {
+      out.push_back(static_cast<SensorId>(i));
+    }
+  }
+  return out;
+}
+
+TEST(SpatialIndexTest, ValidatesConstruction) {
+  const std::vector<Point2> pts{{1.0, 1.0}};
+  EXPECT_THROW(SpatialIndex({}, 1.0), support::PreconditionError);
+  EXPECT_THROW(SpatialIndex(pts, 0.0), support::PreconditionError);
+}
+
+TEST(SpatialIndexTest, FindsExactAndBoundaryMatches) {
+  const std::vector<Point2> pts{{0.0, 0.0}, {3.0, 0.0}, {10.0, 10.0}};
+  const SpatialIndex index(pts, 2.0);
+  EXPECT_EQ(index.within({0.0, 0.0}, 3.0), (std::vector<SensorId>{0, 1}));
+  EXPECT_EQ(index.within({0.0, 0.0}, 2.9), (std::vector<SensorId>{0}));
+  EXPECT_EQ(index.within({5.0, 5.0}, 1.0), (std::vector<SensorId>{}));
+  EXPECT_THROW(index.within({0.0, 0.0}, -1.0), support::PreconditionError);
+}
+
+TEST(SpatialIndexTest, QueriesOutsideTheBoundsWork) {
+  const std::vector<Point2> pts{{0.0, 0.0}, {1.0, 1.0}};
+  const SpatialIndex index(pts, 0.5);
+  EXPECT_EQ(index.within({-100.0, -100.0}, 150.0),
+            (std::vector<SensorId>{0, 1}));
+  EXPECT_TRUE(index.within({-100.0, -100.0}, 10.0).empty());
+}
+
+TEST(SpatialIndexTest, ResultsAreSortedById) {
+  support::Rng rng(3);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  }
+  const SpatialIndex index(pts, 10.0);
+  const auto hits = index.within({50.0, 50.0}, 30.0);
+  EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end()));
+  EXPECT_FALSE(hits.empty());
+}
+
+// Property sweep: grid answers equal brute force for assorted cell sizes
+// and query radii (radius smaller, equal and larger than the cell).
+class SpatialIndexPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SpatialIndexPropertyTest, MatchesBruteForce) {
+  const auto [cell_size, radius] = GetParam();
+  support::Rng rng(17);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 400; ++i) {
+    pts.push_back({rng.uniform(0, 200), rng.uniform(0, 200)});
+  }
+  const SpatialIndex index(pts, cell_size);
+  for (int q = 0; q < 50; ++q) {
+    const Point2 query{rng.uniform(-20, 220), rng.uniform(-20, 220)};
+    ASSERT_EQ(index.within(query, radius), brute_within(pts, query, radius))
+        << "cell=" << cell_size << " radius=" << radius;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CellAndRadius, SpatialIndexPropertyTest,
+    ::testing::Combine(::testing::Values(1.0, 7.5, 25.0, 300.0),
+                       ::testing::Values(0.0, 5.0, 25.0, 80.0)));
+
+TEST(SpatialIndexTest, ReusableOutputBufferIsCleared) {
+  const std::vector<Point2> pts{{0.0, 0.0}, {1.0, 0.0}};
+  const SpatialIndex index(pts, 1.0);
+  std::vector<SensorId> buffer{99, 98, 97};
+  index.within({0.0, 0.0}, 0.5, buffer);
+  EXPECT_EQ(buffer, (std::vector<SensorId>{0}));
+}
+
+}  // namespace
+}  // namespace bc::net

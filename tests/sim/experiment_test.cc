@@ -1,0 +1,74 @@
+// Tests for the multi-seed experiment runner.
+
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+
+namespace bc::sim {
+namespace {
+
+ExperimentSpec small_spec() {
+  ExperimentSpec spec;
+  spec.make_deployment = uniform_factory(30, net::FieldSpec{});
+  spec.algorithm = tour::Algorithm::kBc;
+  spec.planner.bundle_radius = 40.0;
+  spec.runs = 5;
+  return spec;
+}
+
+TEST(ExperimentTest, AggregatesTheRequestedNumberOfRuns) {
+  const AggregateMetrics agg = run_experiment(small_spec());
+  EXPECT_EQ(agg.total_energy_j.count(), 5u);
+  EXPECT_EQ(agg.tour_length_m.count(), 5u);
+  EXPECT_GT(agg.total_energy_j.mean(), 0.0);
+  EXPECT_GE(agg.min_demand_fraction.min(), 1.0 - 1e-9);
+}
+
+TEST(ExperimentTest, SameSeedIsReproducible) {
+  const AggregateMetrics a = run_experiment(small_spec());
+  const AggregateMetrics b = run_experiment(small_spec());
+  EXPECT_DOUBLE_EQ(a.total_energy_j.mean(), b.total_energy_j.mean());
+  EXPECT_DOUBLE_EQ(a.tour_length_m.mean(), b.tour_length_m.mean());
+}
+
+TEST(ExperimentTest, DifferentSeedsChangeTheSamples) {
+  ExperimentSpec spec = small_spec();
+  const AggregateMetrics a = run_experiment(spec);
+  spec.base_seed = 777;
+  const AggregateMetrics b = run_experiment(spec);
+  EXPECT_NE(a.total_energy_j.mean(), b.total_energy_j.mean());
+}
+
+TEST(ExperimentTest, RunsVaryAcrossSeedsWithinOneExperiment) {
+  ExperimentSpec spec = small_spec();
+  spec.runs = 10;
+  const AggregateMetrics agg = run_experiment(spec);
+  // Ten random deployments cannot all have the same tour length.
+  EXPECT_GT(agg.tour_length_m.stddev(), 0.0);
+}
+
+TEST(ExperimentTest, ValidatesSpec) {
+  ExperimentSpec spec = small_spec();
+  spec.runs = 0;
+  EXPECT_THROW(run_experiment(spec), support::PreconditionError);
+  spec = small_spec();
+  spec.make_deployment = nullptr;
+  EXPECT_THROW(run_experiment(spec), support::PreconditionError);
+}
+
+TEST(ExperimentTest, AllAlgorithmsRunUnderTheRunner) {
+  for (const auto algorithm :
+       {tour::Algorithm::kSc, tour::Algorithm::kCss, tour::Algorithm::kBc,
+        tour::Algorithm::kBcOpt}) {
+    ExperimentSpec spec = small_spec();
+    spec.algorithm = algorithm;
+    spec.runs = 2;
+    const AggregateMetrics agg = run_experiment(spec);
+    EXPECT_EQ(agg.total_energy_j.count(), 2u) << tour::to_string(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace bc::sim

@@ -1,0 +1,139 @@
+// Tests for the WRSN lifetime simulator.
+
+#include "sim/lifetime.h"
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+#include "support/rng.h"
+
+namespace bc::sim {
+namespace {
+
+net::Deployment small_deployment(std::uint64_t seed = 3) {
+  support::Rng rng(seed);
+  net::FieldSpec spec;
+  spec.field = geometry::Box2{{0.0, 0.0}, {300.0, 300.0}};
+  return net::uniform_random_deployment(20, spec, rng);
+}
+
+LifetimeConfig quick_config() {
+  LifetimeConfig config;
+  config.planner.bundle_radius = 60.0;
+  config.horizon_s = 2.0 * 24.0 * 3600.0;
+  config.drain_w = {1e-4};
+  return config;
+}
+
+TEST(LifetimeTest, ValidatesConfig) {
+  const net::Deployment d = small_deployment();
+  LifetimeConfig config = quick_config();
+  config.battery_capacity_j = 0.0;
+  EXPECT_THROW(simulate_lifetime(d, config), support::PreconditionError);
+  config = quick_config();
+  config.trigger_fraction = 1.5;
+  EXPECT_THROW(simulate_lifetime(d, config), support::PreconditionError);
+  config = quick_config();
+  config.drain_w = {1e-4, 1e-4};  // neither 1 nor n values
+  EXPECT_THROW(simulate_lifetime(d, config), support::PreconditionError);
+  config = quick_config();
+  config.drain_w = {-1.0};
+  EXPECT_THROW(simulate_lifetime(d, config), support::PreconditionError);
+}
+
+TEST(LifetimeTest, LowDrainRunsPerpetually) {
+  const net::Deployment d = small_deployment();
+  LifetimeConfig config = quick_config();
+  // 1e-4 W on a 20 J battery reaches the 40 % trigger after ~1.4 days, so
+  // the 2-day horizon sees at least one mission — and stays perpetual.
+  config.drain_w = {1e-4};
+  const LifetimeStats stats = simulate_lifetime(d, config);
+  EXPECT_TRUE(stats.perpetual);
+  EXPECT_DOUBLE_EQ(stats.dead_time_sensor_s, 0.0);
+  EXPECT_GT(stats.missions, 0u);
+  EXPECT_GT(stats.min_level_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(stats.simulated_s, config.horizon_s);
+}
+
+TEST(LifetimeTest, ExtremeDrainKillsSensors) {
+  const net::Deployment d = small_deployment();
+  LifetimeConfig config = quick_config();
+  config.drain_w = {0.05};
+  config.horizon_s = 6.0 * 3600.0;
+  const LifetimeStats stats = simulate_lifetime(d, config);
+  EXPECT_FALSE(stats.perpetual);
+  EXPECT_GT(stats.dead_time_sensor_s, 0.0);
+  EXPECT_DOUBLE_EQ(stats.min_level_fraction, 0.0);
+}
+
+TEST(LifetimeTest, NoMissionBeforeTheTriggerIsReached) {
+  const net::Deployment d = small_deployment();
+  LifetimeConfig config = quick_config();
+  // Draining from 100 % to the 40 % trigger at 1e-5 W on a 20 J battery
+  // takes 12 J / 1e-5 W = 1.2e6 s; a shorter horizon sees no mission.
+  config.drain_w = {1e-5};
+  config.horizon_s = 1e6;
+  const LifetimeStats stats = simulate_lifetime(d, config);
+  EXPECT_EQ(stats.missions, 0u);
+  EXPECT_DOUBLE_EQ(stats.charger_energy_j, 0.0);
+  EXPECT_GT(stats.min_level_fraction, config.trigger_fraction);
+}
+
+TEST(LifetimeTest, MissionsRefillTowardCapacity) {
+  const net::Deployment d = small_deployment();
+  LifetimeConfig config = quick_config();
+  config.drain_w = {1e-4};
+  const LifetimeStats stats = simulate_lifetime(d, config);
+  ASSERT_GT(stats.missions, 0u);
+  // With missions firing, the worst level stays between dead and trigger.
+  EXPECT_GT(stats.min_level_fraction, 0.0);
+  EXPECT_LE(stats.min_level_fraction, config.trigger_fraction + 1e-9);
+  EXPECT_GT(stats.charger_energy_j, 0.0);
+  EXPECT_GT(stats.charger_busy_s, 0.0);
+}
+
+TEST(LifetimeTest, HigherDrainMeansMoreMissions) {
+  const net::Deployment d = small_deployment();
+  LifetimeConfig config = quick_config();
+  config.drain_w = {5e-5};
+  const auto low = simulate_lifetime(d, config);
+  config.drain_w = {2e-4};
+  const auto high = simulate_lifetime(d, config);
+  EXPECT_GT(high.missions, low.missions);
+  EXPECT_GT(high.charger_energy_j, low.charger_energy_j);
+}
+
+TEST(LifetimeTest, HeterogeneousDrainsAreHonoured) {
+  const net::Deployment d = small_deployment();
+  LifetimeConfig config = quick_config();
+  config.drain_w.assign(d.size(), 1e-5);
+  config.drain_w[0] = 3e-4;  // one hot sensor forces frequent missions
+  const LifetimeStats stats = simulate_lifetime(d, config);
+  EXPECT_GT(stats.missions, 3u);
+}
+
+TEST(LifetimeTest, DeterministicForIdenticalInputs) {
+  const net::Deployment d = small_deployment();
+  const LifetimeConfig config = quick_config();
+  const auto a = simulate_lifetime(d, config);
+  const auto b = simulate_lifetime(d, config);
+  EXPECT_EQ(a.missions, b.missions);
+  EXPECT_DOUBLE_EQ(a.charger_energy_j, b.charger_energy_j);
+  EXPECT_DOUBLE_EQ(a.min_level_fraction, b.min_level_fraction);
+}
+
+TEST(LifetimeTest, SustainableDrainSearchBrackets) {
+  const net::Deployment d = small_deployment();
+  LifetimeConfig config = quick_config();
+  config.horizon_s = 1.0 * 24.0 * 3600.0;
+  const double w =
+      max_sustainable_drain_w(d, config, 1e-6, 0.05, /*probes=*/4);
+  EXPECT_GT(w, 0.0);
+  EXPECT_LT(w, 0.05);
+  // The found rate must itself be sustainable.
+  config.drain_w = {w};
+  EXPECT_TRUE(simulate_lifetime(d, config).perpetual);
+}
+
+}  // namespace
+}  // namespace bc::sim

@@ -1,0 +1,177 @@
+// Tests for the charging-time scheduling policies.
+
+#include "sim/schedule.h"
+
+#include <limits>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+#include "support/rng.h"
+#include "tour/planner.h"
+
+namespace bc::sim {
+namespace {
+
+using geometry::Box2;
+
+net::Deployment line_deployment() {
+  return net::Deployment({{10.0, 0.0}, {20.0, 0.0}, {30.0, 0.0}},
+                         Box2{{0.0, 0.0}, {50.0, 50.0}}, {0.0, 0.0}, 2.0);
+}
+
+tour::ChargingPlan simple_plan(const net::Deployment& d) {
+  tour::ChargingPlan plan;
+  plan.algorithm = "test";
+  plan.depot = d.depot();
+  plan.stops = {tour::Stop{{10.0, 0.0}, {0, 1}},
+                tour::Stop{{30.0, 0.0}, {2}}};
+  return plan;
+}
+
+TEST(ScheduleTest, IsolatedTimesMatchFarthestMember) {
+  const net::Deployment d = line_deployment();
+  const auto model = charging::ChargingModel::icdcs2019_simulation();
+  const auto plan = simple_plan(d);
+  const auto times =
+      schedule_stop_times(d, plan, model, SchedulePolicy::kIsolated);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], model.charge_time_s(10.0, 2.0));
+  EXPECT_DOUBLE_EQ(times[1], model.charge_time_s(0.0, 2.0));
+}
+
+TEST(ScheduleTest, CumulativeNeverExceedsIsolatedPerStop) {
+  support::Rng rng(3);
+  net::FieldSpec spec;
+  const net::Deployment d = net::uniform_random_deployment(80, spec, rng);
+  tour::PlannerConfig config;
+  config.bundle_radius = 40.0;
+  const auto plan = tour::plan_bc(d, config);
+  const auto model = charging::ChargingModel::icdcs2019_simulation();
+  const auto isolated =
+      schedule_stop_times(d, plan, model, SchedulePolicy::kIsolated);
+  const auto cumulative =
+      schedule_stop_times(d, plan, model, SchedulePolicy::kCumulative);
+  ASSERT_EQ(isolated.size(), cumulative.size());
+  for (std::size_t i = 0; i < isolated.size(); ++i) {
+    ASSERT_LE(cumulative[i], isolated[i] + 1e-9);
+  }
+  const double total_iso =
+      std::accumulate(isolated.begin(), isolated.end(), 0.0);
+  const double total_cum =
+      std::accumulate(cumulative.begin(), cumulative.end(), 0.0);
+  EXPECT_LT(total_cum, total_iso);
+}
+
+TEST(ScheduleTest, CumulativeStillMeetsEveryDemand) {
+  support::Rng rng(5);
+  net::FieldSpec spec;
+  const net::Deployment d = net::uniform_random_deployment(60, spec, rng);
+  tour::PlannerConfig config;
+  config.bundle_radius = 60.0;
+  const auto plan = tour::plan_bc(d, config);
+  const auto model = charging::ChargingModel::icdcs2019_simulation();
+  const auto times =
+      schedule_stop_times(d, plan, model, SchedulePolicy::kCumulative);
+  const auto received = received_energy_j(d, plan, model, times);
+  for (const net::Sensor& s : d.sensors()) {
+    ASSERT_GE(received[s.id], s.demand_j * (1.0 - 1e-9));
+  }
+}
+
+TEST(ScheduleTest, ReceivedEnergyIsOneToMany) {
+  // Every stop radiates to every sensor: a sensor not assigned to any
+  // nearby stop still collects energy.
+  const net::Deployment d = line_deployment();
+  const auto model = charging::ChargingModel::icdcs2019_simulation();
+  const auto plan = simple_plan(d);
+  const std::vector<double> times{100.0, 0.0};
+  const auto received = received_energy_j(d, plan, model, times);
+  // Sensor 2 (assigned to the zero-time stop) still got cross-charged
+  // from the first stop at distance 20.
+  EXPECT_NEAR(received[2], model.received_power_w(20.0) * 100.0, 1e-9);
+}
+
+TEST(ScheduleTest, RejectsNonPartitionPlans) {
+  const net::Deployment d = line_deployment();
+  tour::ChargingPlan plan = simple_plan(d);
+  plan.stops[1].members = {1, 2};  // duplicate sensor 1
+  const auto model = charging::ChargingModel::icdcs2019_simulation();
+  EXPECT_THROW(
+      schedule_stop_times(d, plan, model, SchedulePolicy::kIsolated),
+      support::PreconditionError);
+}
+
+TEST(ScheduleTest, MismatchedTimesVectorRejected) {
+  const net::Deployment d = line_deployment();
+  const auto plan = simple_plan(d);
+  const auto model = charging::ChargingModel::icdcs2019_simulation();
+  EXPECT_THROW(received_energy_j(d, plan, model, {1.0}),
+               support::PreconditionError);
+}
+
+TEST(ScheduleTest, PolicyNamesAreStable) {
+  EXPECT_EQ(to_string(SchedulePolicy::kIsolated), "isolated");
+  EXPECT_EQ(to_string(SchedulePolicy::kCumulative), "cumulative");
+  EXPECT_EQ(to_string(SchedulePolicy::kOptimalLp), "optimal-lp");
+}
+
+TEST(ScheduleTest, OptimalLpLowerBoundsBothHeuristics) {
+  support::Rng rng(7);
+  net::FieldSpec spec;
+  const net::Deployment d = net::uniform_random_deployment(70, spec, rng);
+  tour::PlannerConfig config;
+  config.bundle_radius = 60.0;
+  const auto plan = tour::plan_bc(d, config);
+  const auto model = charging::ChargingModel::icdcs2019_simulation();
+  const auto total = [](const std::vector<double>& v) {
+    return std::accumulate(v.begin(), v.end(), 0.0);
+  };
+  const double t_iso = total(
+      schedule_stop_times(d, plan, model, SchedulePolicy::kIsolated));
+  const double t_cum = total(
+      schedule_stop_times(d, plan, model, SchedulePolicy::kCumulative));
+  const double t_lp = total(
+      schedule_stop_times(d, plan, model, SchedulePolicy::kOptimalLp));
+  EXPECT_LE(t_lp, t_cum + 1e-6);
+  EXPECT_LE(t_cum, t_iso + 1e-6);
+}
+
+TEST(ScheduleTest, OptimalLpExactlyMeetsEveryDemand) {
+  support::Rng rng(9);
+  net::FieldSpec spec;
+  const net::Deployment d = net::uniform_random_deployment(50, spec, rng);
+  tour::PlannerConfig config;
+  config.bundle_radius = 70.0;
+  const auto plan = tour::plan_bc(d, config);
+  const auto model = charging::ChargingModel::icdcs2019_simulation();
+  const auto times =
+      schedule_stop_times(d, plan, model, SchedulePolicy::kOptimalLp);
+  for (const double t : times) ASSERT_GE(t, -1e-9);
+  const auto received = received_energy_j(d, plan, model, times);
+  double min_fraction = std::numeric_limits<double>::infinity();
+  for (const net::Sensor& s : d.sensors()) {
+    ASSERT_GE(received[s.id], s.demand_j * (1.0 - 1e-6));
+    min_fraction = std::min(min_fraction, received[s.id] / s.demand_j);
+  }
+  // The LP leaves no slack on the binding sensor.
+  EXPECT_NEAR(min_fraction, 1.0, 1e-6);
+}
+
+TEST(ScheduleTest, OptimalLpOnSingleStopMatchesIsolated) {
+  const net::Deployment d = line_deployment();
+  tour::ChargingPlan plan;
+  plan.depot = d.depot();
+  plan.stops = {tour::Stop{{20.0, 0.0}, {0, 1, 2}}};
+  const auto model = charging::ChargingModel::icdcs2019_simulation();
+  const auto lp_times =
+      schedule_stop_times(d, plan, model, SchedulePolicy::kOptimalLp);
+  const auto iso_times =
+      schedule_stop_times(d, plan, model, SchedulePolicy::kIsolated);
+  ASSERT_EQ(lp_times.size(), 1u);
+  EXPECT_NEAR(lp_times[0], iso_times[0], 1e-6);
+}
+
+}  // namespace
+}  // namespace bc::sim

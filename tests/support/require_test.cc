@@ -1,0 +1,43 @@
+// Tests for the contract-check helpers.
+
+#include "support/require.h"
+
+#include <gtest/gtest.h>
+
+namespace bc::support {
+namespace {
+
+TEST(RequireTest, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(require(true, "never fires"));
+  EXPECT_NO_THROW(ensure(true, "never fires"));
+}
+
+TEST(RequireTest, FailureThrowsPreconditionError) {
+  EXPECT_THROW(require(false, "boom"), PreconditionError);
+}
+
+TEST(RequireTest, EnsureFailureThrowsInvariantError) {
+  EXPECT_THROW(ensure(false, "boom"), InvariantError);
+}
+
+TEST(RequireTest, MessageCarriesLocationAndText) {
+  try {
+    require(false, "the-reason");
+    FAIL() << "require must throw";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the-reason"), std::string::npos);
+    EXPECT_NE(what.find("require_test.cc"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(RequireTest, ErrorTypesAreDistinct) {
+  // InvariantError signals a library bug, PreconditionError caller misuse;
+  // they must not share a catch handler accidentally.
+  EXPECT_FALSE((std::is_base_of_v<PreconditionError, InvariantError>));
+  EXPECT_FALSE((std::is_base_of_v<InvariantError, PreconditionError>));
+}
+
+}  // namespace
+}  // namespace bc::support

@@ -1,0 +1,121 @@
+// Tests for RunningStat / percentile / formatting.
+
+#include "support/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+#include "support/rng.h"
+
+namespace bc::support {
+namespace {
+
+TEST(RunningStatTest, EmptyStateIsReported) {
+  RunningStat s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW(s.mean(), PreconditionError);
+  EXPECT_THROW(s.min(), PreconditionError);
+  EXPECT_THROW(s.max(), PreconditionError);
+}
+
+TEST(RunningStatTest, SingleSample) {
+  RunningStat s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance of this classic set is 4; sample variance 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequentialAccumulation) {
+  Rng rng(3);
+  RunningStat whole;
+  RunningStat left;
+  RunningStat right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.gaussian(3.0, 7.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatTest, MergeWithEmptySidesIsIdentity) {
+  RunningStat a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStat empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStat target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(RunningStatTest, Ci95ShrinksWithSamples) {
+  Rng rng(5);
+  RunningStat small;
+  RunningStat large;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    if (i < 100) small.add(x);
+    large.add(x);
+  }
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  const std::vector<double> samples{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 1.0 / 3.0), 20.0);
+}
+
+TEST(PercentileTest, UnsortedInputIsHandled) {
+  const std::vector<double> samples{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.5), 25.0);
+}
+
+TEST(PercentileTest, RejectsBadArguments) {
+  const std::vector<double> samples{1.0};
+  EXPECT_THROW(percentile({}, 0.5), PreconditionError);
+  EXPECT_THROW(percentile(samples, -0.1), PreconditionError);
+  EXPECT_THROW(percentile(samples, 1.1), PreconditionError);
+}
+
+TEST(FormatMeanCiTest, RendersMeanAndHalfWidth) {
+  RunningStat s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  const std::string text = format_mean_ci(s, 2);
+  EXPECT_NE(text.find("2.00"), std::string::npos);
+  EXPECT_NE(text.find("±"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bc::support

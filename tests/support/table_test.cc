@@ -1,0 +1,67 @@
+// Tests for the table/CSV printer.
+
+#include "support/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+
+namespace bc::support {
+namespace {
+
+TEST(TableTest, RejectsEmptyHeaderAndMismatchedRows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), PreconditionError);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), PreconditionError);
+}
+
+TEST(TableTest, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, separator, two data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Both value cells start at the same column.
+  const auto line_start_of = [&](const std::string& needle) {
+    const auto pos = out.find(needle);
+    EXPECT_NE(pos, std::string::npos) << needle;
+    const auto line_begin = out.rfind('\n', pos);
+    return pos - (line_begin == std::string::npos ? 0 : line_begin + 1);
+  };
+  EXPECT_EQ(line_start_of("1"), line_start_of("22"));
+}
+
+TEST(TableTest, CsvQuotesSpecialCells) {
+  Table t({"a", "b"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quote\"inside", "line\nbreak"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(out.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsWithPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+}
+
+TEST(TableTest, CountsRowsAndColumns) {
+  Table t({"x", "y", "z"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace bc::support

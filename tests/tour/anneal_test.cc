@@ -1,0 +1,130 @@
+// Tests for the simulated-annealing joint optimiser.
+
+#include "tour/anneal.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/evaluate.h"
+#include "support/require.h"
+#include "support/rng.h"
+#include "tour/planner.h"
+
+namespace bc::tour {
+namespace {
+
+struct Fixture {
+  net::Deployment deployment;
+  ChargingPlan plan;
+  charging::ChargingModel charging =
+      charging::ChargingModel::icdcs2019_simulation();
+  charging::MovementModel movement = charging::MovementModel::icdcs2019();
+};
+
+Fixture make_fixture(std::size_t n = 60, std::uint64_t seed = 1,
+                     double radius = 50.0) {
+  support::Rng rng(seed);
+  net::FieldSpec spec;
+  net::Deployment d = net::uniform_random_deployment(n, spec, rng);
+  PlannerConfig config;
+  config.bundle_radius = radius;
+  ChargingPlan plan = plan_bc(d, config);
+  return Fixture{std::move(d), std::move(plan)};
+}
+
+AnnealOptions quick_options() {
+  AnnealOptions options;
+  options.iterations = 4000;
+  return options;
+}
+
+TEST(AnnealTest, ObjectiveMatchesEvaluator) {
+  const Fixture f = make_fixture();
+  const double direct =
+      plan_energy_j(f.deployment, f.plan, f.charging, f.movement);
+  const sim::PlanMetrics m =
+      sim::evaluate_plan(f.deployment, f.plan, sim::EvaluationConfig{});
+  EXPECT_NEAR(direct, m.total_energy_j, 1e-6);
+}
+
+TEST(AnnealTest, NeverReturnsAWorsePlan) {
+  const Fixture f = make_fixture();
+  const AnnealResult result = anneal_plan(f.deployment, f.plan, f.charging,
+                                          f.movement, quick_options());
+  EXPECT_LE(result.best_energy_j, result.initial_energy_j + 1e-6);
+  EXPECT_NEAR(result.best_energy_j,
+              plan_energy_j(f.deployment, result.plan, f.charging,
+                            f.movement),
+              1e-6);
+}
+
+TEST(AnnealTest, OutputIsAFeasiblePartition) {
+  const Fixture f = make_fixture(50, 3);
+  const AnnealResult result = anneal_plan(f.deployment, f.plan, f.charging,
+                                          f.movement, quick_options());
+  ASSERT_TRUE(plan_is_partition(f.deployment, result.plan));
+  EXPECT_TRUE(sim::plan_is_feasible(f.deployment, result.plan,
+                                    sim::EvaluationConfig{}));
+}
+
+TEST(AnnealTest, ActuallyImprovesABcPlan) {
+  // BC leaves movement on the table (SED anchors, frozen order); a few
+  // thousand annealing steps must find some of it.
+  const Fixture f = make_fixture(80, 5);
+  AnnealOptions options;
+  options.iterations = 12000;
+  const AnnealResult result =
+      anneal_plan(f.deployment, f.plan, f.charging, f.movement, options);
+  EXPECT_LT(result.best_energy_j, result.initial_energy_j * 0.995);
+  EXPECT_GT(result.accepted_moves, 0u);
+}
+
+TEST(AnnealTest, DeterministicForFixedSeed) {
+  const Fixture f = make_fixture(40, 7);
+  const AnnealResult a = anneal_plan(f.deployment, f.plan, f.charging,
+                                     f.movement, quick_options());
+  const AnnealResult b = anneal_plan(f.deployment, f.plan, f.charging,
+                                     f.movement, quick_options());
+  EXPECT_DOUBLE_EQ(a.best_energy_j, b.best_energy_j);
+  EXPECT_EQ(a.accepted_moves, b.accepted_moves);
+}
+
+TEST(AnnealTest, ZeroTemperatureIsPureDescent) {
+  const Fixture f = make_fixture(40, 9);
+  AnnealOptions options = quick_options();
+  options.initial_temperature_fraction = 0.0;
+  const AnnealResult result =
+      anneal_plan(f.deployment, f.plan, f.charging, f.movement, options);
+  EXPECT_LE(result.best_energy_j, result.initial_energy_j + 1e-9);
+}
+
+TEST(AnnealTest, ValidatesInput) {
+  const Fixture f = make_fixture(10, 11);
+  ChargingPlan broken = f.plan;
+  broken.stops[0].members.clear();
+  EXPECT_THROW(anneal_plan(f.deployment, broken, f.charging, f.movement,
+                           quick_options()),
+               support::PreconditionError);
+  AnnealOptions bad = quick_options();
+  bad.cooling = 0.0;
+  EXPECT_THROW(
+      anneal_plan(f.deployment, f.plan, f.charging, f.movement, bad),
+      support::PreconditionError);
+}
+
+TEST(AnnealTest, BoundsBcOptHeadroom) {
+  // The reference use case: annealing from BC-OPT quantifies how much the
+  // Algorithm 3 decomposition leaves behind. It must never be negative,
+  // and on these sizes is typically a few percent.
+  const Fixture f = make_fixture(60, 13);
+  PlannerConfig config;
+  config.bundle_radius = 50.0;
+  const ChargingPlan opt = plan_bc_opt(f.deployment, config);
+  AnnealOptions options;
+  options.iterations = 8000;
+  const AnnealResult result =
+      anneal_plan(f.deployment, opt, f.charging, f.movement, options);
+  EXPECT_LE(result.best_energy_j, result.initial_energy_j + 1e-6);
+}
+
+}  // namespace
+}  // namespace bc::tour

@@ -1,0 +1,118 @@
+// Tests for the BC-OPT planner (Algorithm 3).
+
+#include <gtest/gtest.h>
+
+#include "sim/evaluate.h"
+#include "support/require.h"
+#include "support/rng.h"
+#include "tour/planner.h"
+
+namespace bc::tour {
+namespace {
+
+net::Deployment random_deployment(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  net::FieldSpec spec;
+  return net::uniform_random_deployment(n, spec, rng);
+}
+
+double total_energy(const net::Deployment& d, const ChargingPlan& plan) {
+  return sim::evaluate_plan(d, plan, sim::EvaluationConfig{}).total_energy_j;
+}
+
+TEST(BcOptPlannerTest, NeverWorseThanBc) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const net::Deployment d = random_deployment(100, seed);
+    for (const double r : {10.0, 40.0, 80.0}) {
+      PlannerConfig config;
+      config.bundle_radius = r;
+      const ChargingPlan bc = plan_bc(d, config);
+      const ChargingPlan opt = plan_bc_opt(d, config);
+      ASSERT_LE(total_energy(d, opt), total_energy(d, bc) + 1e-6)
+          << "seed=" << seed << " r=" << r;
+    }
+  }
+}
+
+TEST(BcOptPlannerTest, ExactEvalNeverWorseThanBcEither) {
+  const net::Deployment d = random_deployment(80, 5);
+  PlannerConfig config;
+  config.bundle_radius = 30.0;
+  config.opt.exact_charging_eval = true;
+  const ChargingPlan bc = plan_bc(d, config);
+  const ChargingPlan opt = plan_bc_opt(d, config);
+  EXPECT_LE(total_energy(d, opt), total_energy(d, bc) + 1e-6);
+}
+
+TEST(BcOptPlannerTest, KeepsTheAssignmentFixed) {
+  // Algorithm 3 relocates anchors but never reassigns sensors.
+  const net::Deployment d = random_deployment(70, 6);
+  PlannerConfig config;
+  config.bundle_radius = 40.0;
+  const ChargingPlan bc = plan_bc(d, config);
+  const ChargingPlan opt = plan_bc_opt(d, config);
+  ASSERT_EQ(bc.stops.size(), opt.stops.size());
+  for (std::size_t i = 0; i < bc.stops.size(); ++i) {
+    ASSERT_EQ(bc.stops[i].members, opt.stops[i].members);
+  }
+  ASSERT_TRUE(plan_is_partition(d, opt));
+}
+
+TEST(BcOptPlannerTest, ShortensTheTour) {
+  // The whole point of the displacement: trading charging efficiency for
+  // tour length. Under the default (cheap-charging) profile the tour must
+  // shrink on dense instances.
+  const net::Deployment d = random_deployment(150, 7);
+  PlannerConfig config;
+  config.bundle_radius = 20.0;
+  const ChargingPlan bc = plan_bc(d, config);
+  const ChargingPlan opt = plan_bc_opt(d, config);
+  EXPECT_LT(plan_tour_length(opt), plan_tour_length(bc));
+}
+
+TEST(BcOptPlannerTest, RemainsFeasible) {
+  const net::Deployment d = random_deployment(60, 8);
+  PlannerConfig config;
+  config.bundle_radius = 50.0;
+  const ChargingPlan opt = plan_bc_opt(d, config);
+  sim::EvaluationConfig eval;
+  EXPECT_TRUE(sim::plan_is_feasible(d, opt, eval));
+}
+
+TEST(BcOptPlannerTest, MaxDisplacementOverrideLimitsMoves) {
+  const net::Deployment d = random_deployment(60, 9);
+  PlannerConfig config;
+  config.bundle_radius = 20.0;
+  config.opt.max_displacement_m = 0.5;
+  const ChargingPlan bc = plan_bc(d, config);
+  const ChargingPlan opt = plan_bc_opt(d, config);
+  for (std::size_t i = 0; i < bc.stops.size(); ++i) {
+    ASSERT_LE(geometry::distance(bc.stops[i].position, opt.stops[i].position),
+              0.5 + 1e-9);
+  }
+}
+
+TEST(BcOptPlannerTest, ExpensiveChargingFreezesAnchors) {
+  // With a very high charger draw, any displacement loses energy, so
+  // BC-OPT must keep every SED anchor (conservative evaluation).
+  const net::Deployment d = random_deployment(50, 10);
+  PlannerConfig config;
+  config.bundle_radius = 20.0;
+  config.charging = charging::ChargingModel(36.0, 30.0, 3.0, 3000.0);
+  const ChargingPlan bc = plan_bc(d, config);
+  const ChargingPlan opt = plan_bc_opt(d, config);
+  for (std::size_t i = 0; i < bc.stops.size(); ++i) {
+    ASSERT_LE(geometry::distance(bc.stops[i].position, opt.stops[i].position),
+              1e-9);
+  }
+}
+
+TEST(BcOptPlannerTest, ValidatesOptions) {
+  const net::Deployment d = random_deployment(10, 11);
+  PlannerConfig config;
+  config.opt.radius_steps = 0;
+  EXPECT_THROW(plan_bc_opt(d, config), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace bc::tour

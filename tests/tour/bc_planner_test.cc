@@ -1,0 +1,93 @@
+// Tests for the BC (bundle charging) planner.
+
+#include <gtest/gtest.h>
+
+#include "geometry/minidisk.h"
+#include "support/require.h"
+#include "support/rng.h"
+#include "tour/planner.h"
+
+namespace bc::tour {
+namespace {
+
+using geometry::Box2;
+
+net::Deployment random_deployment(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  net::FieldSpec spec;
+  return net::uniform_random_deployment(n, spec, rng);
+}
+
+TEST(BcPlannerTest, StopsAreSedAnchorsOfTheirMembers) {
+  const net::Deployment d = random_deployment(90, 1);
+  PlannerConfig config;
+  config.bundle_radius = 50.0;
+  const ChargingPlan plan = plan_bc(d, config);
+  ASSERT_TRUE(plan_is_partition(d, plan));
+  for (const Stop& stop : plan.stops) {
+    std::vector<geometry::Point2> pts;
+    for (const net::SensorId id : stop.members) {
+      pts.push_back(d.sensor(id).position);
+    }
+    const auto sed = geometry::smallest_enclosing_disk(pts);
+    ASSERT_TRUE(geometry::almost_equal(stop.position, sed.center, 1e-6));
+    ASSERT_LE(sed.radius, config.bundle_radius + 1e-6);
+  }
+}
+
+TEST(BcPlannerTest, DenseNetworksGetFewerStopsThanSensors) {
+  const net::Deployment d = random_deployment(200, 2);
+  PlannerConfig config;
+  config.bundle_radius = 60.0;
+  const ChargingPlan plan = plan_bc(d, config);
+  EXPECT_LT(plan.stops.size(), d.size() / 2);
+}
+
+TEST(BcPlannerTest, TinyRadiusDegeneratesToSc) {
+  const net::Deployment d = random_deployment(40, 3);
+  PlannerConfig config;
+  config.bundle_radius = 1e-3;
+  const ChargingPlan bc = plan_bc(d, config);
+  const ChargingPlan sc = plan_sc(d, config);
+  EXPECT_EQ(bc.stops.size(), sc.stops.size());
+  EXPECT_NEAR(plan_tour_length(bc), plan_tour_length(sc), 1e-6);
+}
+
+TEST(BcPlannerTest, GeneratorKindIsHonoured) {
+  const net::Deployment d = random_deployment(60, 4);
+  PlannerConfig config;
+  config.bundle_radius = 40.0;
+  config.generator.kind = bundle::GeneratorKind::kGrid;
+  const ChargingPlan grid_plan = plan_bc(d, config);
+  config.generator.kind = bundle::GeneratorKind::kGreedy;
+  const ChargingPlan greedy_plan = plan_bc(d, config);
+  ASSERT_TRUE(plan_is_partition(d, grid_plan));
+  ASSERT_TRUE(plan_is_partition(d, greedy_plan));
+  // Greedy needs no more stops than the grid on average-sized instances;
+  // allow equality.
+  EXPECT_LE(greedy_plan.stops.size(), grid_plan.stops.size() + 2);
+}
+
+TEST(BcPlannerTest, RequiresPositiveRadius) {
+  const net::Deployment d = random_deployment(5, 5);
+  PlannerConfig config;
+  config.bundle_radius = -1.0;
+  EXPECT_THROW(plan_bc(d, config), support::PreconditionError);
+}
+
+TEST(BcPlannerTest, TourLengthShrinksWithRadiusOnAverage) {
+  double small_total = 0.0;
+  double large_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const net::Deployment d = random_deployment(120, 20 + seed);
+    PlannerConfig config;
+    config.bundle_radius = 5.0;
+    small_total += plan_tour_length(plan_bc(d, config));
+    config.bundle_radius = 80.0;
+    large_total += plan_tour_length(plan_bc(d, config));
+  }
+  EXPECT_LT(large_total, small_total);
+}
+
+}  // namespace
+}  // namespace bc::tour

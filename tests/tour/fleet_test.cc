@@ -1,0 +1,157 @@
+// Tests for multi-charger fleet planning.
+
+#include "tour/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+#include "support/rng.h"
+#include "tour/planner.h"
+
+namespace bc::tour {
+namespace {
+
+struct Fixture {
+  net::Deployment deployment;
+  ChargingPlan plan;
+  charging::ChargingModel charging =
+      charging::ChargingModel::icdcs2019_simulation();
+  charging::MovementModel movement = charging::MovementModel::icdcs2019();
+};
+
+Fixture make_fixture(std::size_t n = 80, std::uint64_t seed = 1,
+                     double radius = 60.0) {
+  support::Rng rng(seed);
+  net::FieldSpec spec;
+  net::Deployment d = net::uniform_random_deployment(n, spec, rng);
+  PlannerConfig config;
+  config.bundle_radius = radius;
+  ChargingPlan plan = plan_bc(d, config);
+  return Fixture{std::move(d), std::move(plan)};
+}
+
+std::vector<net::SensorId> all_members(const FleetPlan& fleet) {
+  std::vector<net::SensorId> ids;
+  for (const auto& route : fleet.routes) {
+    for (const auto& stop : route.stops) {
+      ids.insert(ids.end(), stop.members.begin(), stop.members.end());
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(FleetTest, SingleChargerEqualsTheOriginalPlan) {
+  const Fixture f = make_fixture();
+  const FleetPlan fleet = split_among_chargers(
+      f.deployment, f.plan, f.charging, f.movement, 1);
+  ASSERT_EQ(fleet.routes.size(), 1u);
+  EXPECT_EQ(fleet.routes[0].stops.size(), f.plan.stops.size());
+  const FleetMetrics m =
+      evaluate_fleet(f.deployment, fleet, f.charging, f.movement);
+  EXPECT_NEAR(m.makespan_s,
+              route_time_s(f.deployment, f.plan, f.charging, f.movement),
+              1e-6);
+}
+
+TEST(FleetTest, MembershipIsPreserved) {
+  const Fixture f = make_fixture(90, 3);
+  const FleetPlan fleet = split_among_chargers(
+      f.deployment, f.plan, f.charging, f.movement, 4);
+  std::vector<net::SensorId> expected;
+  for (const auto& stop : f.plan.stops) {
+    expected.insert(expected.end(), stop.members.begin(),
+                    stop.members.end());
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(all_members(fleet), expected);
+}
+
+TEST(FleetTest, MoreChargersNeverRaiseTheMakespan) {
+  const Fixture f = make_fixture();
+  double previous = std::numeric_limits<double>::infinity();
+  for (const std::size_t k : {1u, 2u, 3u, 5u, 8u}) {
+    const FleetPlan fleet = split_among_chargers(
+        f.deployment, f.plan, f.charging, f.movement, k);
+    const FleetMetrics m =
+        evaluate_fleet(f.deployment, fleet, f.charging, f.movement);
+    ASSERT_LE(m.makespan_s, previous + 1e-6) << "k=" << k;
+    ASSERT_LE(m.num_routes, k);
+    previous = m.makespan_s;
+  }
+}
+
+TEST(FleetTest, ParallelismCutsTheMakespanSubstantially) {
+  const Fixture f = make_fixture(120, 5);
+  const double solo =
+      route_time_s(f.deployment, f.plan, f.charging, f.movement);
+  const FleetPlan fleet = split_among_chargers(
+      f.deployment, f.plan, f.charging, f.movement, 4);
+  const FleetMetrics m =
+      evaluate_fleet(f.deployment, fleet, f.charging, f.movement);
+  // Perfect speedup is 4x; depot overheads eat some of it. Expect at
+  // least 2x.
+  EXPECT_LT(m.makespan_s, solo / 2.0);
+  // Parallelism costs total energy (extra depot legs) versus one charger.
+  const FleetPlan single = split_among_chargers(
+      f.deployment, f.plan, f.charging, f.movement, 1);
+  EXPECT_GT(m.total_energy_j,
+            evaluate_fleet(f.deployment, single, f.charging, f.movement)
+                .total_energy_j);
+}
+
+TEST(FleetTest, ExcessChargersLeaveIdleRoutes) {
+  const Fixture f = make_fixture(10, 7, 300.0);  // few stops
+  const std::size_t k = 20;
+  const FleetPlan fleet = split_among_chargers(
+      f.deployment, f.plan, f.charging, f.movement, k);
+  EXPECT_EQ(fleet.routes.size(), k);
+  const FleetMetrics m =
+      evaluate_fleet(f.deployment, fleet, f.charging, f.movement);
+  EXPECT_LE(m.num_routes, f.plan.stops.size());
+}
+
+TEST(FleetTest, MinimumFleetSizeIsConsistentWithTheSplit) {
+  const Fixture f = make_fixture(60, 9);
+  const double solo =
+      route_time_s(f.deployment, f.plan, f.charging, f.movement);
+  // A deadline of half the solo time needs at least 2 chargers; the size
+  // reported must actually achieve the deadline when splitting.
+  const double deadline = solo / 2.0;
+  const std::size_t k = minimum_fleet_size(f.deployment, f.plan, f.charging,
+                                           f.movement, deadline);
+  ASSERT_GE(k, 2u);
+  const FleetPlan fleet = split_among_chargers(
+      f.deployment, f.plan, f.charging, f.movement, k);
+  const FleetMetrics m =
+      evaluate_fleet(f.deployment, fleet, f.charging, f.movement);
+  EXPECT_LE(m.makespan_s, deadline + 1e-6);
+  // And k-1 chargers must miss it (minimality), unless k == 1.
+  const FleetPlan smaller = split_among_chargers(
+      f.deployment, f.plan, f.charging, f.movement, k - 1);
+  EXPECT_GT(evaluate_fleet(f.deployment, smaller, f.charging, f.movement)
+                .makespan_s,
+            deadline);
+}
+
+TEST(FleetTest, GenerousDeadlineNeedsOneCharger) {
+  const Fixture f = make_fixture(40, 11);
+  const double solo =
+      route_time_s(f.deployment, f.plan, f.charging, f.movement);
+  EXPECT_EQ(minimum_fleet_size(f.deployment, f.plan, f.charging,
+                               f.movement, solo * 1.01),
+            1u);
+}
+
+TEST(FleetTest, ImpossibleDeadlineIsRejected) {
+  const Fixture f = make_fixture(20, 13);
+  EXPECT_THROW(minimum_fleet_size(f.deployment, f.plan, f.charging,
+                                  f.movement, 1.0),
+               support::PreconditionError);
+  EXPECT_THROW(split_among_chargers(f.deployment, f.plan, f.charging,
+                                    f.movement, 0),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace bc::tour

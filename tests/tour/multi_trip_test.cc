@@ -1,0 +1,153 @@
+// Tests for the capacitated multi-trip splitter.
+
+#include "tour/multi_trip.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+#include "support/rng.h"
+#include "tour/planner.h"
+
+namespace bc::tour {
+namespace {
+
+net::Deployment random_deployment(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  net::FieldSpec spec;
+  return net::uniform_random_deployment(n, spec, rng);
+}
+
+struct Fixture {
+  net::Deployment deployment;
+  ChargingPlan plan;
+  charging::ChargingModel charging =
+      charging::ChargingModel::icdcs2019_simulation();
+  charging::MovementModel movement = charging::MovementModel::icdcs2019();
+};
+
+Fixture make_fixture(std::size_t n = 80, std::uint64_t seed = 1,
+                 double radius = 60.0) {
+  PlannerConfig config;
+  config.bundle_radius = radius;
+  net::Deployment d = random_deployment(n, seed);
+  ChargingPlan plan = plan_bc(d, config);
+  return Fixture{std::move(d), std::move(plan)};
+}
+
+// Smallest battery for which every stop is individually reachable.
+double min_feasible_capacity(const Fixture& s) {
+  double worst = 0.0;
+  for (const Stop& stop : s.plan.stops) {
+    ChargingPlan lone;
+    lone.depot = s.plan.depot;
+    lone.stops = {stop};
+    worst = std::max(worst,
+                     trip_energy_j(s.deployment, lone, s.charging,
+                                   s.movement));
+  }
+  return worst;
+}
+
+std::vector<net::SensorId> all_members(const MultiTripPlan& trips) {
+  std::vector<net::SensorId> ids;
+  for (const auto& trip : trips.trips) {
+    for (const auto& stop : trip.stops) {
+      ids.insert(ids.end(), stop.members.begin(), stop.members.end());
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(MultiTripTest, UnlimitedBatteryKeepsOneTrip) {
+  const Fixture s = make_fixture();
+  const MultiTripPlan trips = split_into_trips(
+      s.deployment, s.plan, s.charging, s.movement, 1e12);
+  ASSERT_EQ(trips.trips.size(), 1u);
+  EXPECT_EQ(trips.trips[0].stops.size(), s.plan.stops.size());
+}
+
+TEST(MultiTripTest, EveryTripRespectsTheBattery) {
+  const Fixture s = make_fixture();
+  const double single =
+      trip_energy_j(s.deployment, s.plan, s.charging, s.movement);
+  const double capacity =
+      std::max(single / 4.0, min_feasible_capacity(s) * 1.05);
+  const MultiTripPlan trips = split_into_trips(
+      s.deployment, s.plan, s.charging, s.movement, capacity);
+  EXPECT_GE(trips.trips.size(), 2u);
+  for (const auto& trip : trips.trips) {
+    ASSERT_LE(trip_energy_j(s.deployment, trip, s.charging, s.movement),
+              capacity + 1e-6);
+  }
+  const MultiTripMetrics m =
+      evaluate_trips(s.deployment, trips, s.charging, s.movement);
+  EXPECT_LE(m.max_trip_energy_j, capacity + 1e-6);
+  EXPECT_EQ(m.num_trips, trips.trips.size());
+}
+
+TEST(MultiTripTest, MembershipIsPreserved) {
+  const Fixture s = make_fixture(100, 3);
+  const double capacity = std::max(
+      trip_energy_j(s.deployment, s.plan, s.charging, s.movement) / 3.0,
+      min_feasible_capacity(s) * 1.05);
+  const MultiTripPlan trips = split_into_trips(
+      s.deployment, s.plan, s.charging, s.movement, capacity);
+  std::vector<net::SensorId> expected;
+  for (const auto& stop : s.plan.stops) {
+    expected.insert(expected.end(), stop.members.begin(),
+                    stop.members.end());
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(all_members(trips), expected);
+}
+
+TEST(MultiTripTest, SplittingCostsExtraDepotLegs) {
+  const Fixture s = make_fixture();
+  const double full =
+      trip_energy_j(s.deployment, s.plan, s.charging, s.movement);
+  const MultiTripPlan trips = split_into_trips(
+      s.deployment, s.plan, s.charging, s.movement, full / 3.0);
+  const MultiTripMetrics m =
+      evaluate_trips(s.deployment, trips, s.charging, s.movement);
+  EXPECT_GT(m.total_energy_j, full);
+  EXPECT_GT(m.tour_length_m, plan_tour_length(s.plan));
+  // Charging cost is unchanged by splitting (same stops, same times).
+  double charge = 0.0;
+  for (const auto& stop : s.plan.stops) {
+    charge += s.charging.cost_of_stop_j(
+        isolated_stop_time_s(s.deployment, stop, s.charging));
+  }
+  EXPECT_NEAR(m.charge_energy_j, charge, 1e-6);
+}
+
+TEST(MultiTripTest, TighterBatteryNeverMeansFewerTrips) {
+  const Fixture s = make_fixture(90, 5);
+  const double full =
+      trip_energy_j(s.deployment, s.plan, s.charging, s.movement);
+  const double floor_capacity = min_feasible_capacity(s) * 1.05;
+  std::size_t previous = 1;
+  for (const double divider : {1.5, 2.5, 4.0, 6.0}) {
+    const double capacity = std::max(full / divider, floor_capacity);
+    const MultiTripPlan trips = split_into_trips(
+        s.deployment, s.plan, s.charging, s.movement, capacity);
+    ASSERT_GE(trips.trips.size(), previous);
+    previous = trips.trips.size();
+  }
+}
+
+TEST(MultiTripTest, ImpossibleCapacityIsRejected) {
+  const Fixture s = make_fixture(20, 7);
+  EXPECT_THROW(split_into_trips(s.deployment, s.plan, s.charging,
+                                s.movement, 0.0),
+               support::PreconditionError);
+  // A capacity below any single out-and-back is also rejected.
+  EXPECT_THROW(split_into_trips(s.deployment, s.plan, s.charging,
+                                s.movement, 1.0),
+               support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace bc::tour

@@ -1,0 +1,67 @@
+// Tests for the ChargingPlan data model helpers.
+
+#include "tour/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace bc::tour {
+namespace {
+
+using geometry::Box2;
+using geometry::Point2;
+
+net::Deployment line_deployment() {
+  return net::Deployment({{10.0, 0.0}, {20.0, 0.0}, {30.0, 0.0}},
+                         Box2{{0.0, 0.0}, {50.0, 50.0}}, {0.0, 0.0}, 2.0);
+}
+
+TEST(PlanTourLengthTest, ClosedThroughDepot) {
+  ChargingPlan plan;
+  plan.depot = {0.0, 0.0};
+  plan.stops = {Stop{{10.0, 0.0}, {0}}, Stop{{20.0, 0.0}, {1}},
+                Stop{{30.0, 0.0}, {2}}};
+  EXPECT_DOUBLE_EQ(plan_tour_length(plan), 60.0);  // out along the line, back
+}
+
+TEST(PlanTourLengthTest, EmptyAndSingleStop) {
+  ChargingPlan plan;
+  plan.depot = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(plan_tour_length(plan), 0.0);
+  plan.stops = {Stop{{3.0, 4.0}, {0}}};
+  EXPECT_DOUBLE_EQ(plan_tour_length(plan), 10.0);  // there and back
+}
+
+TEST(StopMaxDistanceTest, FarthestAssignedMember) {
+  const net::Deployment d = line_deployment();
+  const Stop stop{{15.0, 0.0}, {0, 1, 2}};
+  EXPECT_DOUBLE_EQ(stop_max_distance(d, stop), 15.0);
+  const Stop empty{{15.0, 0.0}, {}};
+  EXPECT_DOUBLE_EQ(stop_max_distance(d, empty), 0.0);
+}
+
+TEST(IsolatedStopTimeTest, DictatedByFarthestMember) {
+  const net::Deployment d = line_deployment();
+  const auto model = charging::ChargingModel::icdcs2019_simulation();
+  const Stop stop{{10.0, 0.0}, {0, 1}};  // distances 0 and 10
+  const double expected = model.charge_time_s(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(isolated_stop_time_s(d, stop, model), expected);
+  // Must exceed the single-sensor time at distance 0.
+  EXPECT_GT(expected, model.charge_time_s(0.0, 2.0));
+}
+
+TEST(PlanPartitionTest, DetectsMissingAndDuplicatedSensors) {
+  const net::Deployment d = line_deployment();
+  ChargingPlan plan;
+  plan.depot = d.depot();
+  plan.stops = {Stop{{10.0, 0.0}, {0, 1}}, Stop{{30.0, 0.0}, {2}}};
+  EXPECT_TRUE(plan_is_partition(d, plan));
+  plan.stops[1].members = {1, 2};  // sensor 1 duplicated
+  EXPECT_FALSE(plan_is_partition(d, plan));
+  plan.stops[1].members = {};  // sensor 2 missing
+  EXPECT_FALSE(plan_is_partition(d, plan));
+  plan.stops[1].members = {7};  // out of range
+  EXPECT_FALSE(plan_is_partition(d, plan));
+}
+
+}  // namespace
+}  // namespace bc::tour

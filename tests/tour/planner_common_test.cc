@@ -1,0 +1,84 @@
+// Cross-planner invariants: every algorithm must produce a feasible
+// partition plan, and the facade must dispatch correctly.
+
+#include <gtest/gtest.h>
+
+#include "sim/evaluate.h"
+#include "support/rng.h"
+#include "tour/planner.h"
+
+namespace bc::tour {
+namespace {
+
+net::Deployment random_deployment(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  net::FieldSpec spec;  // paper defaults: 1000 m field, 2 J demand
+  return net::uniform_random_deployment(n, spec, rng);
+}
+
+constexpr Algorithm kAll[] = {Algorithm::kSc, Algorithm::kCss, Algorithm::kBc,
+                              Algorithm::kBcOpt};
+
+TEST(PlannerCommonTest, AllAlgorithmsPartitionTheSensors) {
+  const net::Deployment d = random_deployment(80, 1);
+  PlannerConfig config;
+  config.bundle_radius = 30.0;
+  for (const Algorithm algorithm : kAll) {
+    const ChargingPlan plan = plan_charging_tour(d, algorithm, config);
+    ASSERT_TRUE(plan_is_partition(d, plan)) << to_string(algorithm);
+    EXPECT_EQ(plan.algorithm, to_string(algorithm));
+    EXPECT_EQ(plan.depot, d.depot());
+  }
+}
+
+TEST(PlannerCommonTest, AllPlansAreFeasibleUnderBothPolicies) {
+  const net::Deployment d = random_deployment(60, 2);
+  PlannerConfig config;
+  config.bundle_radius = 40.0;
+  sim::EvaluationConfig eval;
+  for (const Algorithm algorithm : kAll) {
+    const ChargingPlan plan = plan_charging_tour(d, algorithm, config);
+    for (const auto policy :
+         {sim::SchedulePolicy::kIsolated, sim::SchedulePolicy::kCumulative}) {
+      eval.policy = policy;
+      ASSERT_TRUE(sim::plan_is_feasible(d, plan, eval))
+          << to_string(algorithm) << "/" << sim::to_string(policy);
+    }
+  }
+}
+
+TEST(PlannerCommonTest, PlansAreDeterministic) {
+  const net::Deployment d = random_deployment(50, 3);
+  PlannerConfig config;
+  config.bundle_radius = 25.0;
+  for (const Algorithm algorithm : kAll) {
+    const ChargingPlan a = plan_charging_tour(d, algorithm, config);
+    const ChargingPlan b = plan_charging_tour(d, algorithm, config);
+    ASSERT_EQ(a.stops.size(), b.stops.size()) << to_string(algorithm);
+    for (std::size_t i = 0; i < a.stops.size(); ++i) {
+      ASSERT_EQ(a.stops[i].position, b.stops[i].position);
+      ASSERT_EQ(a.stops[i].members, b.stops[i].members);
+    }
+  }
+}
+
+TEST(PlannerCommonTest, SingleSensorNetworksWork) {
+  const net::Deployment d = random_deployment(1, 4);
+  PlannerConfig config;
+  config.bundle_radius = 10.0;
+  for (const Algorithm algorithm : kAll) {
+    const ChargingPlan plan = plan_charging_tour(d, algorithm, config);
+    ASSERT_EQ(plan.stops.size(), 1u) << to_string(algorithm);
+    ASSERT_EQ(plan.stops[0].members, (std::vector<net::SensorId>{0}));
+  }
+}
+
+TEST(PlannerCommonTest, AlgorithmNamesAreStable) {
+  EXPECT_EQ(to_string(Algorithm::kSc), "SC");
+  EXPECT_EQ(to_string(Algorithm::kCss), "CSS");
+  EXPECT_EQ(to_string(Algorithm::kBc), "BC");
+  EXPECT_EQ(to_string(Algorithm::kBcOpt), "BC-OPT");
+}
+
+}  // namespace
+}  // namespace bc::tour

@@ -1,0 +1,97 @@
+// Tests for the shared stop-ordering helper.
+
+#include "tour/route_util.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace bc::tour {
+namespace {
+
+using geometry::Point2;
+
+std::vector<Stop> stops_at(const std::vector<Point2>& positions) {
+  std::vector<Stop> stops;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    stops.push_back(Stop{positions[i], {static_cast<net::SensorId>(i)}});
+  }
+  return stops;
+}
+
+double closed_length(Point2 depot, const std::vector<Stop>& stops) {
+  ChargingPlan plan;
+  plan.depot = depot;
+  plan.stops = stops;
+  return plan_tour_length(plan);
+}
+
+TEST(RouteUtilTest, SmallCountsAreNoops) {
+  std::vector<Stop> empty;
+  order_stops_by_tsp({0.0, 0.0}, empty, tsp::SolverOptions{});
+  EXPECT_TRUE(empty.empty());
+  std::vector<Stop> one = stops_at({{5.0, 5.0}});
+  order_stops_by_tsp({0.0, 0.0}, one, tsp::SolverOptions{});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].position, (Point2{5.0, 5.0}));
+}
+
+TEST(RouteUtilTest, PreservesTheStopMultiset) {
+  support::Rng rng(3);
+  std::vector<Point2> positions;
+  for (int i = 0; i < 20; ++i) {
+    positions.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  }
+  std::vector<Stop> stops = stops_at(positions);
+  order_stops_by_tsp({0.0, 0.0}, stops, tsp::SolverOptions{});
+  ASSERT_EQ(stops.size(), positions.size());
+  std::vector<net::SensorId> members;
+  for (const Stop& s : stops) members.push_back(s.members[0]);
+  std::sort(members.begin(), members.end());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    ASSERT_EQ(members[i], i);
+  }
+}
+
+TEST(RouteUtilTest, OrderingBeatsIdentityOrder) {
+  support::Rng rng(7);
+  std::vector<Point2> positions;
+  for (int i = 0; i < 40; ++i) {
+    positions.push_back({rng.uniform(0, 1000), rng.uniform(0, 1000)});
+  }
+  const Point2 depot{0.0, 0.0};
+  std::vector<Stop> ordered = stops_at(positions);
+  const double naive = closed_length(depot, ordered);
+  order_stops_by_tsp(depot, ordered, tsp::SolverOptions{});
+  EXPECT_LT(closed_length(depot, ordered), naive);
+}
+
+TEST(RouteUtilTest, SmallInstancesAreOrderedOptimally) {
+  // Four collinear stops: the optimal depot tour visits them in line
+  // order (out and back).
+  const Point2 depot{0.0, 0.0};
+  std::vector<Stop> stops =
+      stops_at({{30.0, 0.0}, {10.0, 0.0}, {40.0, 0.0}, {20.0, 0.0}});
+  order_stops_by_tsp(depot, stops, tsp::SolverOptions{});
+  EXPECT_DOUBLE_EQ(closed_length(depot, stops), 80.0);
+}
+
+TEST(RouteUtilTest, DeterministicDirectionNormalisation) {
+  support::Rng rng(11);
+  std::vector<Point2> positions;
+  for (int i = 0; i < 15; ++i) {
+    positions.push_back({rng.uniform(0, 500), rng.uniform(0, 500)});
+  }
+  std::vector<Stop> a = stops_at(positions);
+  std::vector<Stop> b = stops_at(positions);
+  order_stops_by_tsp({0.0, 0.0}, a, tsp::SolverOptions{});
+  order_stops_by_tsp({0.0, 0.0}, b, tsp::SolverOptions{});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].members, b[i].members);
+  }
+}
+
+}  // namespace
+}  // namespace bc::tour

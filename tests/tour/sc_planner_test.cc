@@ -1,0 +1,65 @@
+// Tests for the SC (single charging) baseline planner.
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "tour/planner.h"
+
+namespace bc::tour {
+namespace {
+
+using geometry::Point2;
+
+net::Deployment random_deployment(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  net::FieldSpec spec;
+  return net::uniform_random_deployment(n, spec, rng);
+}
+
+TEST(ScPlannerTest, OneStopPerSensorAtItsPosition) {
+  const net::Deployment d = random_deployment(40, 1);
+  const ChargingPlan plan = plan_sc(d, PlannerConfig{});
+  ASSERT_EQ(plan.stops.size(), d.size());
+  for (const Stop& stop : plan.stops) {
+    ASSERT_EQ(stop.members.size(), 1u);
+    ASSERT_EQ(stop.position, d.sensor(stop.members[0]).position);
+  }
+}
+
+TEST(ScPlannerTest, ZeroChargingDistance) {
+  const net::Deployment d = random_deployment(30, 2);
+  const ChargingPlan plan = plan_sc(d, PlannerConfig{});
+  for (const Stop& stop : plan.stops) {
+    ASSERT_DOUBLE_EQ(stop_max_distance(d, stop), 0.0);
+  }
+}
+
+TEST(ScPlannerTest, TourIsLocallyOptimalOrdering) {
+  // SC's stop order comes from the shared TSP solver: its closed tour
+  // through the depot should beat a naive id-order tour on random fields.
+  const net::Deployment d = random_deployment(60, 3);
+  const ChargingPlan plan = plan_sc(d, PlannerConfig{});
+  ChargingPlan naive = plan;
+  naive.stops.clear();
+  for (const net::Sensor& s : d.sensors()) {
+    naive.stops.push_back(Stop{s.position, {s.id}});
+  }
+  EXPECT_LT(plan_tour_length(plan), plan_tour_length(naive));
+}
+
+TEST(ScPlannerTest, IgnoresBundleRadius) {
+  const net::Deployment d = random_deployment(20, 4);
+  PlannerConfig small;
+  small.bundle_radius = 1.0;
+  PlannerConfig large;
+  large.bundle_radius = 500.0;
+  const ChargingPlan a = plan_sc(d, small);
+  const ChargingPlan b = plan_sc(d, large);
+  ASSERT_EQ(a.stops.size(), b.stops.size());
+  for (std::size_t i = 0; i < a.stops.size(); ++i) {
+    ASSERT_EQ(a.stops[i].position, b.stops[i].position);
+  }
+}
+
+}  // namespace
+}  // namespace bc::tour

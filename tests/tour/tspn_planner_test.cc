@@ -1,0 +1,121 @@
+// Tests for the TSPN (reach-only) baseline planner.
+
+#include <gtest/gtest.h>
+
+#include "sim/evaluate.h"
+#include "support/require.h"
+#include "support/rng.h"
+#include "tour/planner.h"
+
+namespace bc::tour {
+namespace {
+
+net::Deployment random_deployment(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  net::FieldSpec spec;
+  return net::uniform_random_deployment(n, spec, rng);
+}
+
+TEST(TspnPlannerTest, ProducesAFeasiblePartition) {
+  const net::Deployment d = random_deployment(80, 1);
+  PlannerConfig config;
+  config.bundle_radius = 50.0;
+  const ChargingPlan plan = plan_tspn(d, config);
+  EXPECT_EQ(plan.algorithm, "TSPN");
+  ASSERT_TRUE(plan_is_partition(d, plan));
+  EXPECT_TRUE(sim::plan_is_feasible(d, plan, sim::EvaluationConfig{}));
+}
+
+TEST(TspnPlannerTest, StopsStayWithinTheirNeighbourhood) {
+  // Every stop remains within r of its bundle's disk centre, so every
+  // member is within 2r of the stop.
+  const net::Deployment d = random_deployment(90, 2);
+  PlannerConfig config;
+  config.bundle_radius = 40.0;
+  const ChargingPlan bc = plan_bc(d, config);
+  const ChargingPlan tspn = plan_tspn(d, config);
+  ASSERT_EQ(bc.stops.size(), tspn.stops.size());
+  for (std::size_t i = 0; i < bc.stops.size(); ++i) {
+    ASSERT_LE(geometry::distance(bc.stops[i].position,
+                                 tspn.stops[i].position),
+              config.bundle_radius + 1e-6);
+    ASSERT_LE(stop_max_distance(d, tspn.stops[i]),
+              2.0 * config.bundle_radius + 1e-6);
+  }
+}
+
+TEST(TspnPlannerTest, TourIsNeverLongerThanBc) {
+  for (const std::uint64_t seed : {3u, 4u, 5u}) {
+    const net::Deployment d = random_deployment(100, seed);
+    PlannerConfig config;
+    config.bundle_radius = 60.0;
+    EXPECT_LE(plan_tour_length(plan_tspn(d, config)),
+              plan_tour_length(plan_bc(d, config)) + 1e-6)
+        << "seed=" << seed;
+  }
+}
+
+TEST(TspnPlannerTest, PaysMoreChargingTimeThanBc) {
+  // The paper's §II criticism quantified: reach-only stops are farther
+  // from their sensors, so total charging time exceeds BC's.
+  const net::Deployment d = random_deployment(120, 6);
+  PlannerConfig config;
+  config.bundle_radius = 50.0;
+  const sim::EvaluationConfig eval;
+  const auto bc = sim::evaluate_plan(d, plan_bc(d, config), eval);
+  const auto tspn = sim::evaluate_plan(d, plan_tspn(d, config), eval);
+  EXPECT_GT(tspn.charge_time_s, bc.charge_time_s);
+  EXPECT_LT(tspn.tour_length_m, bc.tour_length_m);
+}
+
+TEST(TspnPlannerTest, BcOptBeatsTspnOnTotalEnergy) {
+  // BC-OPT makes the same move (sliding stops toward the tour) but
+  // energy-aware; it must never lose to the blind version on average.
+  double tspn_total = 0.0;
+  double opt_total = 0.0;
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    const net::Deployment d = random_deployment(100, seed);
+    PlannerConfig config;
+    config.bundle_radius = 40.0;
+    const sim::EvaluationConfig eval;
+    tspn_total +=
+        sim::evaluate_plan(d, plan_tspn(d, config), eval).total_energy_j;
+    opt_total +=
+        sim::evaluate_plan(d, plan_bc_opt(d, config), eval).total_energy_j;
+  }
+  EXPECT_LT(opt_total, tspn_total);
+}
+
+TEST(TspnPlannerTest, ChordCrossingStopsLandOnTheChord) {
+  // Three collinear bundles: the middle disk is pierced by the leg
+  // between its neighbours, so its stop lies on that line.
+  const net::Deployment d(
+      {{200.0, 500.0}, {500.0, 500.0}, {800.0, 500.0}},
+      geometry::Box2{{0.0, 0.0}, {1000.0, 1000.0}}, {200.0, 500.0}, 2.0);
+  PlannerConfig config;
+  config.bundle_radius = 30.0;
+  const ChargingPlan plan = plan_tspn(d, config);
+  for (const Stop& stop : plan.stops) {
+    EXPECT_NEAR(stop.position.y, 500.0, 1e-6);
+  }
+}
+
+TEST(TspnPlannerTest, DispatchesThroughTheFacade) {
+  const net::Deployment d = random_deployment(30, 20);
+  PlannerConfig config;
+  config.bundle_radius = 30.0;
+  const ChargingPlan plan =
+      plan_charging_tour(d, Algorithm::kTspn, config);
+  EXPECT_EQ(plan.algorithm, "TSPN");
+  EXPECT_EQ(to_string(Algorithm::kTspn), "TSPN");
+}
+
+TEST(TspnPlannerTest, RequiresPositiveRadius) {
+  const net::Deployment d = random_deployment(5, 21);
+  PlannerConfig config;
+  config.bundle_radius = 0.0;
+  EXPECT_THROW(plan_tspn(d, config), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace bc::tour

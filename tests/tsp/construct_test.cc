@@ -1,0 +1,75 @@
+// Tests for tour construction heuristics.
+
+#include "tsp/construct.h"
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+#include "support/rng.h"
+
+namespace bc::tsp {
+namespace {
+
+using geometry::Point2;
+
+std::vector<Point2> random_points(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, 1000), rng.uniform(0, 1000)});
+  }
+  return pts;
+}
+
+TEST(NearestNeighborTest, ProducesValidTourFromAnyStart) {
+  const auto pts = random_points(60, 1);
+  for (const std::uint32_t start : {0u, 17u, 59u}) {
+    const Tour tour = nearest_neighbor_tour(pts, start);
+    ASSERT_TRUE(is_valid_tour(tour, pts.size()));
+    EXPECT_EQ(tour.front(), start);
+  }
+}
+
+TEST(NearestNeighborTest, GreedilyPicksClosest) {
+  const std::vector<Point2> pts{{0.0, 0.0}, {10.0, 0.0}, {1.0, 0.0},
+                                {5.0, 0.0}};
+  const Tour tour = nearest_neighbor_tour(pts, 0);
+  EXPECT_EQ(tour, (Tour{0, 2, 3, 1}));
+}
+
+TEST(NearestNeighborTest, ValidatesInput) {
+  EXPECT_THROW(nearest_neighbor_tour({}, 0), support::PreconditionError);
+  const std::vector<Point2> pts{{0.0, 0.0}};
+  EXPECT_THROW(nearest_neighbor_tour(pts, 1), support::PreconditionError);
+}
+
+TEST(GreedyEdgeTest, ProducesValidTours) {
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 10u, 50u, 120u}) {
+    const auto pts = random_points(n, 100 + n);
+    const Tour tour = greedy_edge_tour(pts);
+    ASSERT_TRUE(is_valid_tour(tour, n)) << "n=" << n;
+  }
+}
+
+TEST(GreedyEdgeTest, UsuallyBeatsOrMatchesNearestNeighbor) {
+  // Not guaranteed per-instance, so compare averaged over instances.
+  double nn_total = 0.0;
+  double ge_total = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pts = random_points(80, 500 + trial);
+    nn_total += tour_length(pts, nearest_neighbor_tour(pts, 0));
+    ge_total += tour_length(pts, greedy_edge_tour(pts));
+  }
+  EXPECT_LT(ge_total, nn_total);
+}
+
+TEST(GreedyEdgeTest, CoincidentPointsHandled) {
+  const std::vector<Point2> pts{{1.0, 1.0}, {1.0, 1.0}, {2.0, 2.0},
+                                {1.0, 1.0}};
+  const Tour tour = greedy_edge_tour(pts);
+  EXPECT_TRUE(is_valid_tour(tour, pts.size()));
+}
+
+}  // namespace
+}  // namespace bc::tsp

@@ -1,0 +1,98 @@
+// Tests for Held–Karp and heuristic-vs-optimal properties.
+
+#include "tsp/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+#include "support/rng.h"
+#include "tsp/construct.h"
+#include "tsp/improve.h"
+
+namespace bc::tsp {
+namespace {
+
+using geometry::Point2;
+
+std::vector<Point2> random_points(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, 100), rng.uniform(0, 100)});
+  }
+  return pts;
+}
+
+// Brute-force optimal tour length via permutations (n <= 8).
+double brute_force_optimal(const std::vector<Point2>& pts) {
+  std::vector<std::uint32_t> order(pts.size());
+  for (std::uint32_t i = 0; i < pts.size(); ++i) order[i] = i;
+  double best = tour_length(pts, order);
+  // Fix order[0] = 0: tours are rotation invariant.
+  std::sort(order.begin() + 1, order.end());
+  do {
+    best = std::min(best, tour_length(pts, order));
+  } while (std::next_permutation(order.begin() + 1, order.end()));
+  return best;
+}
+
+TEST(HeldKarpTest, TrivialInstances) {
+  const std::vector<Point2> one{{1.0, 1.0}};
+  EXPECT_EQ(held_karp_tour(one), (Tour{0}));
+  const std::vector<Point2> two{{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_EQ(held_karp_tour(two), (Tour{0, 1}));
+}
+
+TEST(HeldKarpTest, ValidatesSize) {
+  EXPECT_THROW(held_karp_tour({}), support::PreconditionError);
+  const auto too_big = random_points(kHeldKarpLimit + 1, 3);
+  EXPECT_THROW(held_karp_tour(too_big), support::PreconditionError);
+}
+
+TEST(HeldKarpTest, SquarePlusCenterIsObvious) {
+  const std::vector<Point2> pts{
+      {0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}, {0.0, 10.0}, {5.0, -1.0}};
+  const Tour tour = held_karp_tour(pts);
+  ASSERT_TRUE(is_valid_tour(tour, pts.size()));
+  // Optimal: perimeter visiting 4 between 0 and 1 (detour via (5,-1)).
+  const double expected =
+      30.0 + 2.0 * std::hypot(5.0, 1.0);
+  EXPECT_NEAR(tour_length(pts, tour), expected, 1e-9);
+}
+
+// Property: Held–Karp equals the permutation brute force.
+class HeldKarpPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeldKarpPropertyTest, MatchesPermutationBruteForce) {
+  const int n = GetParam();
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto pts =
+        random_points(n, 7000 + static_cast<std::uint64_t>(n) * 31 + trial);
+    const Tour tour = held_karp_tour(pts);
+    ASSERT_TRUE(is_valid_tour(tour, pts.size()));
+    ASSERT_NEAR(tour_length(pts, tour), brute_force_optimal(pts), 1e-9)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HeldKarpPropertyTest,
+                         ::testing::Values(3, 4, 5, 6, 7, 8));
+
+// Property: heuristics are never better than the optimum, and 2-opt gets
+// within a modest factor on small instances.
+TEST(HeuristicVsOptimalTest, HeuristicsBoundedByOptimum) {
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto pts = random_points(11, 1234 + trial);
+    const double optimal = tour_length(pts, held_karp_tour(pts));
+    Tour heuristic = greedy_edge_tour(pts);
+    improve_tour(pts, heuristic);
+    const double improved = tour_length(pts, heuristic);
+    ASSERT_GE(improved, optimal - 1e-9);
+    ASSERT_LE(improved, optimal * 1.15)
+        << "2-opt unusually weak on trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace bc::tsp

@@ -1,0 +1,104 @@
+// Tests for 2-opt / Or-opt local search.
+
+#include "tsp/improve.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "tsp/construct.h"
+
+namespace bc::tsp {
+namespace {
+
+using geometry::Point2;
+
+std::vector<Point2> random_points(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, 1000), rng.uniform(0, 1000)});
+  }
+  return pts;
+}
+
+TEST(TwoOptTest, UncrossesASimpleCrossing) {
+  const std::vector<Point2> square{{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0},
+                                   {0.0, 1.0}};
+  Tour crossed{0, 2, 1, 3};
+  const double gain = two_opt(square, crossed);
+  EXPECT_GT(gain, 0.0);
+  EXPECT_DOUBLE_EQ(tour_length(square, crossed), 4.0);
+}
+
+TEST(TwoOptTest, GainMatchesLengthReduction) {
+  const auto pts = random_points(70, 7);
+  Tour tour = nearest_neighbor_tour(pts, 0);
+  const double before = tour_length(pts, tour);
+  const double gain = two_opt(pts, tour);
+  EXPECT_TRUE(is_valid_tour(tour, pts.size()));
+  EXPECT_NEAR(tour_length(pts, tour), before - gain, 1e-6);
+  EXPECT_GE(gain, 0.0);
+}
+
+TEST(TwoOptTest, ConvergedTourIsStable) {
+  const auto pts = random_points(40, 11);
+  Tour tour = nearest_neighbor_tour(pts, 0);
+  two_opt(pts, tour);
+  // Running again finds nothing.
+  EXPECT_DOUBLE_EQ(two_opt(pts, tour), 0.0);
+}
+
+TEST(TwoOptTest, SmallToursAreNoops) {
+  const std::vector<Point2> pts{{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+  Tour tour{0, 1, 2};
+  EXPECT_DOUBLE_EQ(two_opt(pts, tour), 0.0);
+  EXPECT_EQ(tour, (Tour{0, 1, 2}));
+}
+
+TEST(OrOptTest, RelocatesAStrandedPoint) {
+  // Points on a line, but the tour visits one far point mid-sequence —
+  // relocation fixes what a pure segment reversal cannot always express.
+  const std::vector<Point2> pts{{0.0, 0.0}, {1.0, 0.0}, {9.0, 0.0},
+                                {2.0, 0.0}, {3.0, 0.0}, {10.0, 0.0}};
+  Tour tour{0, 1, 2, 3, 4, 5};
+  const double before = tour_length(pts, tour);
+  const double gain = or_opt(pts, tour);
+  EXPECT_TRUE(is_valid_tour(tour, pts.size()));
+  EXPECT_GT(gain, 0.0);
+  EXPECT_NEAR(tour_length(pts, tour), before - gain, 1e-9);
+}
+
+TEST(OrOptTest, GainIsConsistentOnRandomInstances) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto pts = random_points(50, 900 + trial);
+    Tour tour = nearest_neighbor_tour(pts, 0);
+    const double before = tour_length(pts, tour);
+    const double gain = or_opt(pts, tour);
+    ASSERT_TRUE(is_valid_tour(tour, pts.size()));
+    ASSERT_NEAR(tour_length(pts, tour), before - gain, 1e-6);
+  }
+}
+
+TEST(ImproveTourTest, CombinedNeverWorseThanSinglePass) {
+  const auto pts = random_points(80, 21);
+  Tour two_opt_only = nearest_neighbor_tour(pts, 0);
+  Tour combined = two_opt_only;
+  two_opt(pts, two_opt_only);
+  improve_tour(pts, combined);
+  EXPECT_LE(tour_length(pts, combined) - 1e-9,
+            tour_length(pts, two_opt_only));
+  EXPECT_TRUE(is_valid_tour(combined, pts.size()));
+}
+
+TEST(ImproveTourTest, RespectsMaxPasses) {
+  const auto pts = random_points(60, 31);
+  Tour tour = nearest_neighbor_tour(pts, 0);
+  ImproveOptions options;
+  options.max_passes = 1;
+  improve_tour(pts, tour, options);  // must terminate quickly and validly
+  EXPECT_TRUE(is_valid_tour(tour, pts.size()));
+}
+
+}  // namespace
+}  // namespace bc::tsp

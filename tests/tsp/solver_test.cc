@@ -1,0 +1,79 @@
+// Tests for the TSP solver facade.
+
+#include "tsp/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+#include "support/rng.h"
+#include "tsp/exact.h"
+
+namespace bc::tsp {
+namespace {
+
+using geometry::Point2;
+
+std::vector<Point2> random_points(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, 1000), rng.uniform(0, 1000)});
+  }
+  return pts;
+}
+
+TEST(SolverTest, EmptyAndTinyInputs) {
+  EXPECT_TRUE(solve_tsp({}).empty());
+  const std::vector<Point2> one{{1.0, 1.0}};
+  EXPECT_EQ(solve_tsp(one), (Tour{0}));
+  const std::vector<Point2> three{{0.0, 0.0}, {5.0, 0.0}, {0.0, 5.0}};
+  EXPECT_EQ(solve_tsp(three), (Tour{0, 1, 2}));
+}
+
+TEST(SolverTest, SmallInstancesAreSolvedExactly) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto pts = random_points(10, 50 + trial);
+    const Tour solved = solve_tsp(pts);
+    const Tour exact = held_karp_tour(pts);
+    ASSERT_NEAR(tour_length(pts, solved), tour_length(pts, exact), 1e-9);
+  }
+}
+
+TEST(SolverTest, LargeInstancesAreValidAndReasonable) {
+  const auto pts = random_points(150, 3);
+  const Tour tour = solve_tsp(pts);
+  ASSERT_TRUE(is_valid_tour(tour, pts.size()));
+  // Beardwood–Halton–Hammersley: optimal is ~0.7 * sqrt(n * A); a solved
+  // tour should be well below a naive random ordering and in the BHH
+  // ballpark (allow +25 %).
+  const double length = tour_length(pts, tour);
+  const double bhh = 0.7 * std::sqrt(150.0 * 1000.0 * 1000.0);
+  EXPECT_LT(length, bhh * 1.25);
+}
+
+TEST(SolverTest, DeterministicForSameInput) {
+  const auto pts = random_points(80, 5);
+  EXPECT_EQ(solve_tsp(pts), solve_tsp(pts));
+}
+
+TEST(SolverTest, ExactThresholdIsValidated) {
+  SolverOptions options;
+  options.exact_threshold = kHeldKarpLimit + 5;
+  const std::vector<Point2> pts{{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_THROW(solve_tsp(pts, options), support::PreconditionError);
+}
+
+TEST(SolverTest, MoreNnStartsNeverHurtMuch) {
+  const auto pts = random_points(100, 9);
+  SolverOptions few;
+  few.nn_starts = 1;
+  SolverOptions many;
+  many.nn_starts = 8;
+  const double len_few = tour_length(pts, solve_tsp(pts, few));
+  const double len_many = tour_length(pts, solve_tsp(pts, many));
+  EXPECT_LE(len_many, len_few + 1e-9);
+}
+
+}  // namespace
+}  // namespace bc::tsp

@@ -1,0 +1,63 @@
+// Tests for tour validation / measurement.
+
+#include "tsp/tour.h"
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+
+namespace bc::tsp {
+namespace {
+
+using geometry::Point2;
+
+const std::vector<Point2> kSquare{{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0},
+                                  {0.0, 1.0}};
+
+TEST(TourValidationTest, AcceptsPermutations) {
+  EXPECT_TRUE(is_valid_tour(Tour{0, 1, 2, 3}, 4));
+  EXPECT_TRUE(is_valid_tour(Tour{3, 1, 0, 2}, 4));
+  EXPECT_TRUE(is_valid_tour(Tour{}, 0));
+}
+
+TEST(TourValidationTest, RejectsBadTours) {
+  EXPECT_FALSE(is_valid_tour(Tour{0, 1, 2}, 4));      // too short
+  EXPECT_FALSE(is_valid_tour(Tour{0, 1, 2, 2}, 4));   // duplicate
+  EXPECT_FALSE(is_valid_tour(Tour{0, 1, 2, 4}, 4));   // out of range
+}
+
+TEST(TourLengthTest, ClosedSquare) {
+  EXPECT_DOUBLE_EQ(tour_length(kSquare, Tour{0, 1, 2, 3}), 4.0);
+  // A crossing order is longer.
+  EXPECT_GT(tour_length(kSquare, Tour{0, 2, 1, 3}), 4.0);
+}
+
+TEST(TourLengthTest, DegenerateTours) {
+  EXPECT_DOUBLE_EQ(tour_length(kSquare, Tour{}), 0.0);
+  EXPECT_DOUBLE_EQ(tour_length(kSquare, Tour{2}), 0.0);
+  // Two points: out and back.
+  EXPECT_DOUBLE_EQ(tour_length(kSquare, Tour{0, 1}), 2.0);
+}
+
+TEST(PathLengthTest, OpenPathSkipsClosingEdge) {
+  EXPECT_DOUBLE_EQ(path_length(kSquare, Tour{0, 1, 2, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(path_length(kSquare, Tour{0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(path_length(kSquare, Tour{0}), 0.0);
+}
+
+TEST(RotateToFrontTest, PreservesCyclicOrderAndLength) {
+  Tour order{2, 0, 3, 1};
+  const double before = tour_length(kSquare, order);
+  rotate_to_front(order, 0);
+  EXPECT_EQ(order.front(), 0u);
+  EXPECT_EQ(order, (Tour{0, 3, 1, 2}));
+  EXPECT_DOUBLE_EQ(tour_length(kSquare, order), before);
+}
+
+TEST(RotateToFrontTest, MissingIndexThrows) {
+  Tour order{0, 1, 2};
+  EXPECT_THROW(rotate_to_front(order, 9), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace bc::tsp

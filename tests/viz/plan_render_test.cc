@@ -1,0 +1,64 @@
+// Tests for the plan renderer.
+
+#include "viz/plan_render.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "tour/planner.h"
+
+namespace bc::viz {
+namespace {
+
+net::Deployment sample_deployment() {
+  support::Rng rng(5);
+  net::FieldSpec spec;
+  return net::uniform_random_deployment(30, spec, rng);
+}
+
+TEST(PlanRenderTest, RendersAllPrimitives) {
+  const net::Deployment d = sample_deployment();
+  tour::PlannerConfig config;
+  config.bundle_radius = 60.0;
+  const auto plan = tour::plan_bc(d, config);
+  const std::string svg = render_plan(d, plan).render();
+  EXPECT_NE(svg.find("<line"), std::string::npos);      // sensor markers
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);   // closed tour
+  EXPECT_NE(svg.find("<circle"), std::string::npos);    // anchors/depot
+  EXPECT_NE(svg.find(">BC</text>"), std::string::npos);  // label
+}
+
+TEST(PlanRenderTest, OptionsSuppressLayers) {
+  const net::Deployment d = sample_deployment();
+  tour::PlannerConfig config;
+  config.bundle_radius = 60.0;
+  const auto plan = tour::plan_bc(d, config);
+  PlanRenderOptions options;
+  options.draw_bundle_disks = false;
+  options.draw_sensors = false;
+  options.draw_depot = false;
+  const std::string svg = render_plan(d, plan, options).render();
+  // Without markers/disks, the only lines are the tour polygon & anchors.
+  EXPECT_EQ(svg.find("stroke-dasharray=\"3,3\""), std::string::npos);
+}
+
+TEST(PlanRenderTest, PairOverlayShowsBothTours) {
+  const net::Deployment d = sample_deployment();
+  tour::PlannerConfig config;
+  config.bundle_radius = 60.0;
+  const auto bc = tour::plan_bc(d, config);
+  const auto opt = tour::plan_bc_opt(d, config);
+  const std::string svg = render_plan_pair(d, bc, opt).render();
+  EXPECT_NE(svg.find("BC (solid) vs BC-OPT (dashed)"), std::string::npos);
+  EXPECT_NE(svg.find("stroke-dasharray=\"7,5\""), std::string::npos);
+  // Two closed tours rendered.
+  std::size_t polygons = 0;
+  for (std::size_t pos = svg.find("<polygon"); pos != std::string::npos;
+       pos = svg.find("<polygon", pos + 1)) {
+    ++polygons;
+  }
+  EXPECT_EQ(polygons, 2u);
+}
+
+}  // namespace
+}  // namespace bc::viz

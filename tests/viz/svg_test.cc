@@ -1,0 +1,112 @@
+// Tests for the SVG builder.
+
+#include "viz/svg.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+
+namespace bc::viz {
+namespace {
+
+using geometry::Box2;
+using geometry::Point2;
+
+SvgCanvas unit_canvas() {
+  return SvgCanvas(Box2{{0.0, 0.0}, {100.0, 50.0}}, 200.0);
+}
+
+TEST(SvgTest, ValidatesConstruction) {
+  EXPECT_THROW(SvgCanvas(Box2{{0.0, 0.0}, {0.0, 10.0}}),
+               support::PreconditionError);
+  EXPECT_THROW(SvgCanvas(Box2{{0.0, 0.0}, {10.0, 10.0}}, 0.0),
+               support::PreconditionError);
+}
+
+TEST(SvgTest, EmptyDocumentIsWellFormed) {
+  const std::string svg = unit_canvas().render();
+  EXPECT_NE(svg.find("<?xml"), std::string::npos);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Aspect ratio preserved: 100x50 world at 200 px wide -> 100 px tall.
+  EXPECT_NE(svg.find("height=\"100.00\""), std::string::npos);
+}
+
+TEST(SvgTest, WorldToScreenFlipsY) {
+  SvgCanvas canvas = unit_canvas();
+  // World origin (bottom-left) must land at screen bottom-left (0, 100).
+  Style style;
+  canvas.add_circle({0.0, 0.0}, 1.0, style);
+  const std::string svg = canvas.render();
+  EXPECT_NE(svg.find("cx=\"0.00\" cy=\"100.00\""), std::string::npos);
+}
+
+TEST(SvgTest, ElementsAreEmitted) {
+  SvgCanvas canvas = unit_canvas();
+  Style style;
+  style.stroke = "red";
+  style.dash = "4,2";
+  canvas.add_circle({50.0, 25.0}, 5.0, style);
+  canvas.add_line({0.0, 0.0}, {100.0, 50.0}, style);
+  canvas.add_polyline({{0.0, 0.0}, {10.0, 10.0}, {20.0, 0.0}}, style, true);
+  canvas.add_marker({30.0, 30.0}, 4.0, style);
+  canvas.add_text({5.0, 45.0}, "label", 10.0, "blue");
+  const std::string svg = canvas.render();
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);
+  EXPECT_NE(svg.find(">label</text>"), std::string::npos);
+  EXPECT_NE(svg.find("stroke-dasharray=\"4,2\""), std::string::npos);
+  EXPECT_NE(svg.find("stroke=\"red\""), std::string::npos);
+}
+
+TEST(SvgTest, PolylineNeedsTwoPoints) {
+  SvgCanvas canvas = unit_canvas();
+  canvas.add_polyline({{1.0, 1.0}}, Style{});
+  EXPECT_EQ(canvas.render().find("<polyline"), std::string::npos);
+}
+
+TEST(SvgTest, TagsAreBalanced) {
+  SvgCanvas canvas = unit_canvas();
+  canvas.add_text({1.0, 1.0}, "x", 8.0);
+  canvas.add_circle({2.0, 2.0}, 1.0, Style{});
+  const std::string svg = canvas.render();
+  const auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = svg.find(needle); pos != std::string::npos;
+         pos = svg.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("<svg"), 1u);
+  EXPECT_EQ(count("</svg>"), 1u);
+  EXPECT_EQ(count("<text"), count("</text>"));
+}
+
+TEST(SvgTest, EscapesXmlEntities) {
+  EXPECT_EQ(escape_xml("a<b&c>\"d'"), "a&lt;b&amp;c&gt;&quot;d&apos;");
+  SvgCanvas canvas = unit_canvas();
+  canvas.add_text({1.0, 1.0}, "<tag>&", 8.0);
+  const std::string svg = canvas.render();
+  EXPECT_EQ(svg.find("<tag>"), std::string::npos);
+  EXPECT_NE(svg.find("&lt;tag&gt;&amp;"), std::string::npos);
+}
+
+TEST(SvgTest, WritesFiles) {
+  SvgCanvas canvas = unit_canvas();
+  canvas.add_circle({1.0, 1.0}, 0.5, Style{});
+  const std::string path = ::testing::TempDir() + "/bc_svg_test.svg";
+  ASSERT_TRUE(canvas.write_file(path));
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, canvas.render());
+  EXPECT_FALSE(canvas.write_file("/nonexistent-dir/x.svg"));
+}
+
+}  // namespace
+}  // namespace bc::viz
