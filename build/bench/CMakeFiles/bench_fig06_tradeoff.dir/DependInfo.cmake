@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig06_tradeoff.cpp" "bench/CMakeFiles/bench_fig06_tradeoff.dir/bench_fig06_tradeoff.cpp.o" "gcc" "bench/CMakeFiles/bench_fig06_tradeoff.dir/bench_fig06_tradeoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_tour.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_bundle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_tsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_charging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

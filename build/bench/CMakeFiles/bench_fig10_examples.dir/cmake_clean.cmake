@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_examples.dir/bench_fig10_examples.cpp.o"
+  "CMakeFiles/bench_fig10_examples.dir/bench_fig10_examples.cpp.o.d"
+  "bench_fig10_examples"
+  "bench_fig10_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacitated_charger.dir/capacitated_charger.cpp.o"
+  "CMakeFiles/capacitated_charger.dir/capacitated_charger.cpp.o.d"
+  "capacitated_charger"
+  "capacitated_charger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacitated_charger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charger_fleet.dir/charger_fleet.cpp.o"
+  "CMakeFiles/charger_fleet.dir/charger_fleet.cpp.o.d"
+  "charger_fleet"
+  "charger_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charger_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

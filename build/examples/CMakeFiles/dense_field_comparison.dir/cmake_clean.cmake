@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_field_comparison.dir/dense_field_comparison.cpp.o"
+  "CMakeFiles/dense_field_comparison.dir/dense_field_comparison.cpp.o.d"
+  "dense_field_comparison"
+  "dense_field_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_field_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perpetual_operation.dir/perpetual_operation.cpp.o"
+  "CMakeFiles/perpetual_operation.dir/perpetual_operation.cpp.o.d"
+  "perpetual_operation"
+  "perpetual_operation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perpetual_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

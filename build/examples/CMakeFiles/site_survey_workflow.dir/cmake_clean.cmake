@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_survey_workflow.dir/site_survey_workflow.cpp.o"
+  "CMakeFiles/site_survey_workflow.dir/site_survey_workflow.cpp.o.d"
+  "site_survey_workflow"
+  "site_survey_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_survey_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,129 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "bundlecharge::bc_support" for configuration "RelWithDebInfo"
+set_property(TARGET bundlecharge::bc_support APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(bundlecharge::bc_support PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbc_support.a"
+  )
+
+list(APPEND _cmake_import_check_targets bundlecharge::bc_support )
+list(APPEND _cmake_import_check_files_for_bundlecharge::bc_support "${_IMPORT_PREFIX}/lib/libbc_support.a" )
+
+# Import target "bundlecharge::bc_lp" for configuration "RelWithDebInfo"
+set_property(TARGET bundlecharge::bc_lp APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(bundlecharge::bc_lp PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbc_lp.a"
+  )
+
+list(APPEND _cmake_import_check_targets bundlecharge::bc_lp )
+list(APPEND _cmake_import_check_files_for_bundlecharge::bc_lp "${_IMPORT_PREFIX}/lib/libbc_lp.a" )
+
+# Import target "bundlecharge::bc_geometry" for configuration "RelWithDebInfo"
+set_property(TARGET bundlecharge::bc_geometry APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(bundlecharge::bc_geometry PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbc_geometry.a"
+  )
+
+list(APPEND _cmake_import_check_targets bundlecharge::bc_geometry )
+list(APPEND _cmake_import_check_files_for_bundlecharge::bc_geometry "${_IMPORT_PREFIX}/lib/libbc_geometry.a" )
+
+# Import target "bundlecharge::bc_charging" for configuration "RelWithDebInfo"
+set_property(TARGET bundlecharge::bc_charging APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(bundlecharge::bc_charging PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbc_charging.a"
+  )
+
+list(APPEND _cmake_import_check_targets bundlecharge::bc_charging )
+list(APPEND _cmake_import_check_files_for_bundlecharge::bc_charging "${_IMPORT_PREFIX}/lib/libbc_charging.a" )
+
+# Import target "bundlecharge::bc_net" for configuration "RelWithDebInfo"
+set_property(TARGET bundlecharge::bc_net APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(bundlecharge::bc_net PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbc_net.a"
+  )
+
+list(APPEND _cmake_import_check_targets bundlecharge::bc_net )
+list(APPEND _cmake_import_check_files_for_bundlecharge::bc_net "${_IMPORT_PREFIX}/lib/libbc_net.a" )
+
+# Import target "bundlecharge::bc_tsp" for configuration "RelWithDebInfo"
+set_property(TARGET bundlecharge::bc_tsp APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(bundlecharge::bc_tsp PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbc_tsp.a"
+  )
+
+list(APPEND _cmake_import_check_targets bundlecharge::bc_tsp )
+list(APPEND _cmake_import_check_files_for_bundlecharge::bc_tsp "${_IMPORT_PREFIX}/lib/libbc_tsp.a" )
+
+# Import target "bundlecharge::bc_bundle" for configuration "RelWithDebInfo"
+set_property(TARGET bundlecharge::bc_bundle APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(bundlecharge::bc_bundle PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbc_bundle.a"
+  )
+
+list(APPEND _cmake_import_check_targets bundlecharge::bc_bundle )
+list(APPEND _cmake_import_check_files_for_bundlecharge::bc_bundle "${_IMPORT_PREFIX}/lib/libbc_bundle.a" )
+
+# Import target "bundlecharge::bc_tour" for configuration "RelWithDebInfo"
+set_property(TARGET bundlecharge::bc_tour APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(bundlecharge::bc_tour PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbc_tour.a"
+  )
+
+list(APPEND _cmake_import_check_targets bundlecharge::bc_tour )
+list(APPEND _cmake_import_check_files_for_bundlecharge::bc_tour "${_IMPORT_PREFIX}/lib/libbc_tour.a" )
+
+# Import target "bundlecharge::bc_sim" for configuration "RelWithDebInfo"
+set_property(TARGET bundlecharge::bc_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(bundlecharge::bc_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbc_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets bundlecharge::bc_sim )
+list(APPEND _cmake_import_check_files_for_bundlecharge::bc_sim "${_IMPORT_PREFIX}/lib/libbc_sim.a" )
+
+# Import target "bundlecharge::bc_viz" for configuration "RelWithDebInfo"
+set_property(TARGET bundlecharge::bc_viz APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(bundlecharge::bc_viz PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbc_viz.a"
+  )
+
+list(APPEND _cmake_import_check_targets bundlecharge::bc_viz )
+list(APPEND _cmake_import_check_files_for_bundlecharge::bc_viz "${_IMPORT_PREFIX}/lib/libbc_viz.a" )
+
+# Import target "bundlecharge::bc_io" for configuration "RelWithDebInfo"
+set_property(TARGET bundlecharge::bc_io APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(bundlecharge::bc_io PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbc_io.a"
+  )
+
+list(APPEND _cmake_import_check_targets bundlecharge::bc_io )
+list(APPEND _cmake_import_check_files_for_bundlecharge::bc_io "${_IMPORT_PREFIX}/lib/libbc_io.a" )
+
+# Import target "bundlecharge::bc_core" for configuration "RelWithDebInfo"
+set_property(TARGET bundlecharge::bc_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(bundlecharge::bc_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libbc_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets bundlecharge::bc_core )
+list(APPEND _cmake_import_check_files_for_bundlecharge::bc_core "${_IMPORT_PREFIX}/lib/libbc_core.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

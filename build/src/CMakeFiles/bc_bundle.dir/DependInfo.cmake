@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bundle/bundle.cc" "src/CMakeFiles/bc_bundle.dir/bundle/bundle.cc.o" "gcc" "src/CMakeFiles/bc_bundle.dir/bundle/bundle.cc.o.d"
+  "/root/repo/src/bundle/candidates.cc" "src/CMakeFiles/bc_bundle.dir/bundle/candidates.cc.o" "gcc" "src/CMakeFiles/bc_bundle.dir/bundle/candidates.cc.o.d"
+  "/root/repo/src/bundle/exact_cover.cc" "src/CMakeFiles/bc_bundle.dir/bundle/exact_cover.cc.o" "gcc" "src/CMakeFiles/bc_bundle.dir/bundle/exact_cover.cc.o.d"
+  "/root/repo/src/bundle/generator.cc" "src/CMakeFiles/bc_bundle.dir/bundle/generator.cc.o" "gcc" "src/CMakeFiles/bc_bundle.dir/bundle/generator.cc.o.d"
+  "/root/repo/src/bundle/greedy_cover.cc" "src/CMakeFiles/bc_bundle.dir/bundle/greedy_cover.cc.o" "gcc" "src/CMakeFiles/bc_bundle.dir/bundle/greedy_cover.cc.o.d"
+  "/root/repo/src/bundle/grid_cover.cc" "src/CMakeFiles/bc_bundle.dir/bundle/grid_cover.cc.o" "gcc" "src/CMakeFiles/bc_bundle.dir/bundle/grid_cover.cc.o.d"
+  "/root/repo/src/bundle/sweep_cover.cc" "src/CMakeFiles/bc_bundle.dir/bundle/sweep_cover.cc.o" "gcc" "src/CMakeFiles/bc_bundle.dir/bundle/sweep_cover.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_tsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

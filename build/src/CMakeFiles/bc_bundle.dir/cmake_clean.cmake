@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_bundle.dir/bundle/bundle.cc.o"
+  "CMakeFiles/bc_bundle.dir/bundle/bundle.cc.o.d"
+  "CMakeFiles/bc_bundle.dir/bundle/candidates.cc.o"
+  "CMakeFiles/bc_bundle.dir/bundle/candidates.cc.o.d"
+  "CMakeFiles/bc_bundle.dir/bundle/exact_cover.cc.o"
+  "CMakeFiles/bc_bundle.dir/bundle/exact_cover.cc.o.d"
+  "CMakeFiles/bc_bundle.dir/bundle/generator.cc.o"
+  "CMakeFiles/bc_bundle.dir/bundle/generator.cc.o.d"
+  "CMakeFiles/bc_bundle.dir/bundle/greedy_cover.cc.o"
+  "CMakeFiles/bc_bundle.dir/bundle/greedy_cover.cc.o.d"
+  "CMakeFiles/bc_bundle.dir/bundle/grid_cover.cc.o"
+  "CMakeFiles/bc_bundle.dir/bundle/grid_cover.cc.o.d"
+  "CMakeFiles/bc_bundle.dir/bundle/sweep_cover.cc.o"
+  "CMakeFiles/bc_bundle.dir/bundle/sweep_cover.cc.o.d"
+  "libbc_bundle.a"
+  "libbc_bundle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_bundle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

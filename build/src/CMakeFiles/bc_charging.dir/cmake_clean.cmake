@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_charging.dir/charging/model.cc.o"
+  "CMakeFiles/bc_charging.dir/charging/model.cc.o.d"
+  "CMakeFiles/bc_charging.dir/charging/movement.cc.o"
+  "CMakeFiles/bc_charging.dir/charging/movement.cc.o.d"
+  "libbc_charging.a"
+  "libbc_charging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_core.dir/core/planner_api.cc.o"
+  "CMakeFiles/bc_core.dir/core/planner_api.cc.o.d"
+  "CMakeFiles/bc_core.dir/core/profiles.cc.o"
+  "CMakeFiles/bc_core.dir/core/profiles.cc.o.d"
+  "libbc_core.a"
+  "libbc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

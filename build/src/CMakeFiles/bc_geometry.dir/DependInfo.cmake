@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/anchor_search.cc" "src/CMakeFiles/bc_geometry.dir/geometry/anchor_search.cc.o" "gcc" "src/CMakeFiles/bc_geometry.dir/geometry/anchor_search.cc.o.d"
+  "/root/repo/src/geometry/circle.cc" "src/CMakeFiles/bc_geometry.dir/geometry/circle.cc.o" "gcc" "src/CMakeFiles/bc_geometry.dir/geometry/circle.cc.o.d"
+  "/root/repo/src/geometry/convex_hull.cc" "src/CMakeFiles/bc_geometry.dir/geometry/convex_hull.cc.o" "gcc" "src/CMakeFiles/bc_geometry.dir/geometry/convex_hull.cc.o.d"
+  "/root/repo/src/geometry/ellipse.cc" "src/CMakeFiles/bc_geometry.dir/geometry/ellipse.cc.o" "gcc" "src/CMakeFiles/bc_geometry.dir/geometry/ellipse.cc.o.d"
+  "/root/repo/src/geometry/minidisk.cc" "src/CMakeFiles/bc_geometry.dir/geometry/minidisk.cc.o" "gcc" "src/CMakeFiles/bc_geometry.dir/geometry/minidisk.cc.o.d"
+  "/root/repo/src/geometry/point.cc" "src/CMakeFiles/bc_geometry.dir/geometry/point.cc.o" "gcc" "src/CMakeFiles/bc_geometry.dir/geometry/point.cc.o.d"
+  "/root/repo/src/geometry/segment.cc" "src/CMakeFiles/bc_geometry.dir/geometry/segment.cc.o" "gcc" "src/CMakeFiles/bc_geometry.dir/geometry/segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

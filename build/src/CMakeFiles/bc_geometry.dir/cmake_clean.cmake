@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_geometry.dir/geometry/anchor_search.cc.o"
+  "CMakeFiles/bc_geometry.dir/geometry/anchor_search.cc.o.d"
+  "CMakeFiles/bc_geometry.dir/geometry/circle.cc.o"
+  "CMakeFiles/bc_geometry.dir/geometry/circle.cc.o.d"
+  "CMakeFiles/bc_geometry.dir/geometry/convex_hull.cc.o"
+  "CMakeFiles/bc_geometry.dir/geometry/convex_hull.cc.o.d"
+  "CMakeFiles/bc_geometry.dir/geometry/ellipse.cc.o"
+  "CMakeFiles/bc_geometry.dir/geometry/ellipse.cc.o.d"
+  "CMakeFiles/bc_geometry.dir/geometry/minidisk.cc.o"
+  "CMakeFiles/bc_geometry.dir/geometry/minidisk.cc.o.d"
+  "CMakeFiles/bc_geometry.dir/geometry/point.cc.o"
+  "CMakeFiles/bc_geometry.dir/geometry/point.cc.o.d"
+  "CMakeFiles/bc_geometry.dir/geometry/segment.cc.o"
+  "CMakeFiles/bc_geometry.dir/geometry/segment.cc.o.d"
+  "libbc_geometry.a"
+  "libbc_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

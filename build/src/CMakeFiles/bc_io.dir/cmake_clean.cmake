@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_io.dir/io/deployment_io.cc.o"
+  "CMakeFiles/bc_io.dir/io/deployment_io.cc.o.d"
+  "CMakeFiles/bc_io.dir/io/plan_io.cc.o"
+  "CMakeFiles/bc_io.dir/io/plan_io.cc.o.d"
+  "libbc_io.a"
+  "libbc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

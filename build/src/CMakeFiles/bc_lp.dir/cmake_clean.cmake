@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_lp.dir/lp/simplex.cc.o"
+  "CMakeFiles/bc_lp.dir/lp/simplex.cc.o.d"
+  "libbc_lp.a"
+  "libbc_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

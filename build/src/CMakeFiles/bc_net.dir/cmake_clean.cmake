@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_net.dir/net/deployment.cc.o"
+  "CMakeFiles/bc_net.dir/net/deployment.cc.o.d"
+  "CMakeFiles/bc_net.dir/net/spatial_index.cc.o"
+  "CMakeFiles/bc_net.dir/net/spatial_index.cc.o.d"
+  "libbc_net.a"
+  "libbc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_sim.dir/sim/evaluate.cc.o"
+  "CMakeFiles/bc_sim.dir/sim/evaluate.cc.o.d"
+  "CMakeFiles/bc_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/bc_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/bc_sim.dir/sim/lifetime.cc.o"
+  "CMakeFiles/bc_sim.dir/sim/lifetime.cc.o.d"
+  "CMakeFiles/bc_sim.dir/sim/schedule.cc.o"
+  "CMakeFiles/bc_sim.dir/sim/schedule.cc.o.d"
+  "libbc_sim.a"
+  "libbc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_support.dir/support/cli.cc.o"
+  "CMakeFiles/bc_support.dir/support/cli.cc.o.d"
+  "CMakeFiles/bc_support.dir/support/require.cc.o"
+  "CMakeFiles/bc_support.dir/support/require.cc.o.d"
+  "CMakeFiles/bc_support.dir/support/rng.cc.o"
+  "CMakeFiles/bc_support.dir/support/rng.cc.o.d"
+  "CMakeFiles/bc_support.dir/support/stats.cc.o"
+  "CMakeFiles/bc_support.dir/support/stats.cc.o.d"
+  "CMakeFiles/bc_support.dir/support/table.cc.o"
+  "CMakeFiles/bc_support.dir/support/table.cc.o.d"
+  "libbc_support.a"
+  "libbc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

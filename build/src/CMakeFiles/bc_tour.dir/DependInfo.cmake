@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tour/anneal.cc" "src/CMakeFiles/bc_tour.dir/tour/anneal.cc.o" "gcc" "src/CMakeFiles/bc_tour.dir/tour/anneal.cc.o.d"
+  "/root/repo/src/tour/bc_opt_planner.cc" "src/CMakeFiles/bc_tour.dir/tour/bc_opt_planner.cc.o" "gcc" "src/CMakeFiles/bc_tour.dir/tour/bc_opt_planner.cc.o.d"
+  "/root/repo/src/tour/bc_planner.cc" "src/CMakeFiles/bc_tour.dir/tour/bc_planner.cc.o" "gcc" "src/CMakeFiles/bc_tour.dir/tour/bc_planner.cc.o.d"
+  "/root/repo/src/tour/css_planner.cc" "src/CMakeFiles/bc_tour.dir/tour/css_planner.cc.o" "gcc" "src/CMakeFiles/bc_tour.dir/tour/css_planner.cc.o.d"
+  "/root/repo/src/tour/fleet.cc" "src/CMakeFiles/bc_tour.dir/tour/fleet.cc.o" "gcc" "src/CMakeFiles/bc_tour.dir/tour/fleet.cc.o.d"
+  "/root/repo/src/tour/multi_trip.cc" "src/CMakeFiles/bc_tour.dir/tour/multi_trip.cc.o" "gcc" "src/CMakeFiles/bc_tour.dir/tour/multi_trip.cc.o.d"
+  "/root/repo/src/tour/plan.cc" "src/CMakeFiles/bc_tour.dir/tour/plan.cc.o" "gcc" "src/CMakeFiles/bc_tour.dir/tour/plan.cc.o.d"
+  "/root/repo/src/tour/planner.cc" "src/CMakeFiles/bc_tour.dir/tour/planner.cc.o" "gcc" "src/CMakeFiles/bc_tour.dir/tour/planner.cc.o.d"
+  "/root/repo/src/tour/route_util.cc" "src/CMakeFiles/bc_tour.dir/tour/route_util.cc.o" "gcc" "src/CMakeFiles/bc_tour.dir/tour/route_util.cc.o.d"
+  "/root/repo/src/tour/sc_planner.cc" "src/CMakeFiles/bc_tour.dir/tour/sc_planner.cc.o" "gcc" "src/CMakeFiles/bc_tour.dir/tour/sc_planner.cc.o.d"
+  "/root/repo/src/tour/tspn_planner.cc" "src/CMakeFiles/bc_tour.dir/tour/tspn_planner.cc.o" "gcc" "src/CMakeFiles/bc_tour.dir/tour/tspn_planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bc_bundle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_tsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_charging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_tour.dir/tour/anneal.cc.o"
+  "CMakeFiles/bc_tour.dir/tour/anneal.cc.o.d"
+  "CMakeFiles/bc_tour.dir/tour/bc_opt_planner.cc.o"
+  "CMakeFiles/bc_tour.dir/tour/bc_opt_planner.cc.o.d"
+  "CMakeFiles/bc_tour.dir/tour/bc_planner.cc.o"
+  "CMakeFiles/bc_tour.dir/tour/bc_planner.cc.o.d"
+  "CMakeFiles/bc_tour.dir/tour/css_planner.cc.o"
+  "CMakeFiles/bc_tour.dir/tour/css_planner.cc.o.d"
+  "CMakeFiles/bc_tour.dir/tour/fleet.cc.o"
+  "CMakeFiles/bc_tour.dir/tour/fleet.cc.o.d"
+  "CMakeFiles/bc_tour.dir/tour/multi_trip.cc.o"
+  "CMakeFiles/bc_tour.dir/tour/multi_trip.cc.o.d"
+  "CMakeFiles/bc_tour.dir/tour/plan.cc.o"
+  "CMakeFiles/bc_tour.dir/tour/plan.cc.o.d"
+  "CMakeFiles/bc_tour.dir/tour/planner.cc.o"
+  "CMakeFiles/bc_tour.dir/tour/planner.cc.o.d"
+  "CMakeFiles/bc_tour.dir/tour/route_util.cc.o"
+  "CMakeFiles/bc_tour.dir/tour/route_util.cc.o.d"
+  "CMakeFiles/bc_tour.dir/tour/sc_planner.cc.o"
+  "CMakeFiles/bc_tour.dir/tour/sc_planner.cc.o.d"
+  "CMakeFiles/bc_tour.dir/tour/tspn_planner.cc.o"
+  "CMakeFiles/bc_tour.dir/tour/tspn_planner.cc.o.d"
+  "libbc_tour.a"
+  "libbc_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

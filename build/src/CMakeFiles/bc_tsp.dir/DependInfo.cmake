@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsp/construct.cc" "src/CMakeFiles/bc_tsp.dir/tsp/construct.cc.o" "gcc" "src/CMakeFiles/bc_tsp.dir/tsp/construct.cc.o.d"
+  "/root/repo/src/tsp/exact.cc" "src/CMakeFiles/bc_tsp.dir/tsp/exact.cc.o" "gcc" "src/CMakeFiles/bc_tsp.dir/tsp/exact.cc.o.d"
+  "/root/repo/src/tsp/improve.cc" "src/CMakeFiles/bc_tsp.dir/tsp/improve.cc.o" "gcc" "src/CMakeFiles/bc_tsp.dir/tsp/improve.cc.o.d"
+  "/root/repo/src/tsp/solver.cc" "src/CMakeFiles/bc_tsp.dir/tsp/solver.cc.o" "gcc" "src/CMakeFiles/bc_tsp.dir/tsp/solver.cc.o.d"
+  "/root/repo/src/tsp/tour.cc" "src/CMakeFiles/bc_tsp.dir/tsp/tour.cc.o" "gcc" "src/CMakeFiles/bc_tsp.dir/tsp/tour.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_tsp.dir/tsp/construct.cc.o"
+  "CMakeFiles/bc_tsp.dir/tsp/construct.cc.o.d"
+  "CMakeFiles/bc_tsp.dir/tsp/exact.cc.o"
+  "CMakeFiles/bc_tsp.dir/tsp/exact.cc.o.d"
+  "CMakeFiles/bc_tsp.dir/tsp/improve.cc.o"
+  "CMakeFiles/bc_tsp.dir/tsp/improve.cc.o.d"
+  "CMakeFiles/bc_tsp.dir/tsp/solver.cc.o"
+  "CMakeFiles/bc_tsp.dir/tsp/solver.cc.o.d"
+  "CMakeFiles/bc_tsp.dir/tsp/tour.cc.o"
+  "CMakeFiles/bc_tsp.dir/tsp/tour.cc.o.d"
+  "libbc_tsp.a"
+  "libbc_tsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_tsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_viz.dir/viz/plan_render.cc.o"
+  "CMakeFiles/bc_viz.dir/viz/plan_render.cc.o.d"
+  "CMakeFiles/bc_viz.dir/viz/svg.cc.o"
+  "CMakeFiles/bc_viz.dir/viz/svg.cc.o.d"
+  "libbc_viz.a"
+  "libbc_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

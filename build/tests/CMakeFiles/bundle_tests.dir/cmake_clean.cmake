@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bundle_tests.dir/bundle/bundle_test.cc.o"
+  "CMakeFiles/bundle_tests.dir/bundle/bundle_test.cc.o.d"
+  "CMakeFiles/bundle_tests.dir/bundle/candidates_test.cc.o"
+  "CMakeFiles/bundle_tests.dir/bundle/candidates_test.cc.o.d"
+  "CMakeFiles/bundle_tests.dir/bundle/exact_cover_test.cc.o"
+  "CMakeFiles/bundle_tests.dir/bundle/exact_cover_test.cc.o.d"
+  "CMakeFiles/bundle_tests.dir/bundle/generator_test.cc.o"
+  "CMakeFiles/bundle_tests.dir/bundle/generator_test.cc.o.d"
+  "CMakeFiles/bundle_tests.dir/bundle/greedy_cover_test.cc.o"
+  "CMakeFiles/bundle_tests.dir/bundle/greedy_cover_test.cc.o.d"
+  "CMakeFiles/bundle_tests.dir/bundle/grid_cover_test.cc.o"
+  "CMakeFiles/bundle_tests.dir/bundle/grid_cover_test.cc.o.d"
+  "CMakeFiles/bundle_tests.dir/bundle/sweep_cover_test.cc.o"
+  "CMakeFiles/bundle_tests.dir/bundle/sweep_cover_test.cc.o.d"
+  "bundle_tests"
+  "bundle_tests.pdb"
+  "bundle_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bundle_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charging_tests.dir/charging/model_test.cc.o"
+  "CMakeFiles/charging_tests.dir/charging/model_test.cc.o.d"
+  "CMakeFiles/charging_tests.dir/charging/movement_test.cc.o"
+  "CMakeFiles/charging_tests.dir/charging/movement_test.cc.o.d"
+  "CMakeFiles/charging_tests.dir/charging/scaling_property_test.cc.o"
+  "CMakeFiles/charging_tests.dir/charging/scaling_property_test.cc.o.d"
+  "charging_tests"
+  "charging_tests.pdb"
+  "charging_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charging_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

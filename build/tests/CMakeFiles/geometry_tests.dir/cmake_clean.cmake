@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_tests.dir/geometry/anchor_search_test.cc.o"
+  "CMakeFiles/geometry_tests.dir/geometry/anchor_search_test.cc.o.d"
+  "CMakeFiles/geometry_tests.dir/geometry/circle_test.cc.o"
+  "CMakeFiles/geometry_tests.dir/geometry/circle_test.cc.o.d"
+  "CMakeFiles/geometry_tests.dir/geometry/convex_hull_test.cc.o"
+  "CMakeFiles/geometry_tests.dir/geometry/convex_hull_test.cc.o.d"
+  "CMakeFiles/geometry_tests.dir/geometry/ellipse_test.cc.o"
+  "CMakeFiles/geometry_tests.dir/geometry/ellipse_test.cc.o.d"
+  "CMakeFiles/geometry_tests.dir/geometry/minidisk_test.cc.o"
+  "CMakeFiles/geometry_tests.dir/geometry/minidisk_test.cc.o.d"
+  "CMakeFiles/geometry_tests.dir/geometry/point_test.cc.o"
+  "CMakeFiles/geometry_tests.dir/geometry/point_test.cc.o.d"
+  "CMakeFiles/geometry_tests.dir/geometry/rigid_motion_test.cc.o"
+  "CMakeFiles/geometry_tests.dir/geometry/rigid_motion_test.cc.o.d"
+  "CMakeFiles/geometry_tests.dir/geometry/segment_test.cc.o"
+  "CMakeFiles/geometry_tests.dir/geometry/segment_test.cc.o.d"
+  "geometry_tests"
+  "geometry_tests.pdb"
+  "geometry_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

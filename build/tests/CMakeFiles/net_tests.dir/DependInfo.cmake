@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/deployment_test.cc" "tests/CMakeFiles/net_tests.dir/net/deployment_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/deployment_test.cc.o.d"
+  "/root/repo/tests/net/heterogeneous_demand_test.cc" "tests/CMakeFiles/net_tests.dir/net/heterogeneous_demand_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/heterogeneous_demand_test.cc.o.d"
+  "/root/repo/tests/net/spatial_index_test.cc" "tests/CMakeFiles/net_tests.dir/net/spatial_index_test.cc.o" "gcc" "tests/CMakeFiles/net_tests.dir/net/spatial_index_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_tour.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_bundle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_tsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_charging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/evaluate_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/evaluate_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/experiment_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/experiment_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/lifetime_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/lifetime_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/schedule_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/schedule_test.cc.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tour/anneal_test.cc" "tests/CMakeFiles/tour_tests.dir/tour/anneal_test.cc.o" "gcc" "tests/CMakeFiles/tour_tests.dir/tour/anneal_test.cc.o.d"
+  "/root/repo/tests/tour/bc_opt_planner_test.cc" "tests/CMakeFiles/tour_tests.dir/tour/bc_opt_planner_test.cc.o" "gcc" "tests/CMakeFiles/tour_tests.dir/tour/bc_opt_planner_test.cc.o.d"
+  "/root/repo/tests/tour/bc_planner_test.cc" "tests/CMakeFiles/tour_tests.dir/tour/bc_planner_test.cc.o" "gcc" "tests/CMakeFiles/tour_tests.dir/tour/bc_planner_test.cc.o.d"
+  "/root/repo/tests/tour/css_planner_test.cc" "tests/CMakeFiles/tour_tests.dir/tour/css_planner_test.cc.o" "gcc" "tests/CMakeFiles/tour_tests.dir/tour/css_planner_test.cc.o.d"
+  "/root/repo/tests/tour/fleet_test.cc" "tests/CMakeFiles/tour_tests.dir/tour/fleet_test.cc.o" "gcc" "tests/CMakeFiles/tour_tests.dir/tour/fleet_test.cc.o.d"
+  "/root/repo/tests/tour/multi_trip_test.cc" "tests/CMakeFiles/tour_tests.dir/tour/multi_trip_test.cc.o" "gcc" "tests/CMakeFiles/tour_tests.dir/tour/multi_trip_test.cc.o.d"
+  "/root/repo/tests/tour/plan_test.cc" "tests/CMakeFiles/tour_tests.dir/tour/plan_test.cc.o" "gcc" "tests/CMakeFiles/tour_tests.dir/tour/plan_test.cc.o.d"
+  "/root/repo/tests/tour/planner_common_test.cc" "tests/CMakeFiles/tour_tests.dir/tour/planner_common_test.cc.o" "gcc" "tests/CMakeFiles/tour_tests.dir/tour/planner_common_test.cc.o.d"
+  "/root/repo/tests/tour/route_util_test.cc" "tests/CMakeFiles/tour_tests.dir/tour/route_util_test.cc.o" "gcc" "tests/CMakeFiles/tour_tests.dir/tour/route_util_test.cc.o.d"
+  "/root/repo/tests/tour/sc_planner_test.cc" "tests/CMakeFiles/tour_tests.dir/tour/sc_planner_test.cc.o" "gcc" "tests/CMakeFiles/tour_tests.dir/tour/sc_planner_test.cc.o.d"
+  "/root/repo/tests/tour/tspn_planner_test.cc" "tests/CMakeFiles/tour_tests.dir/tour/tspn_planner_test.cc.o" "gcc" "tests/CMakeFiles/tour_tests.dir/tour/tspn_planner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_tour.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_bundle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_tsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_charging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tour_tests.dir/tour/anneal_test.cc.o"
+  "CMakeFiles/tour_tests.dir/tour/anneal_test.cc.o.d"
+  "CMakeFiles/tour_tests.dir/tour/bc_opt_planner_test.cc.o"
+  "CMakeFiles/tour_tests.dir/tour/bc_opt_planner_test.cc.o.d"
+  "CMakeFiles/tour_tests.dir/tour/bc_planner_test.cc.o"
+  "CMakeFiles/tour_tests.dir/tour/bc_planner_test.cc.o.d"
+  "CMakeFiles/tour_tests.dir/tour/css_planner_test.cc.o"
+  "CMakeFiles/tour_tests.dir/tour/css_planner_test.cc.o.d"
+  "CMakeFiles/tour_tests.dir/tour/fleet_test.cc.o"
+  "CMakeFiles/tour_tests.dir/tour/fleet_test.cc.o.d"
+  "CMakeFiles/tour_tests.dir/tour/multi_trip_test.cc.o"
+  "CMakeFiles/tour_tests.dir/tour/multi_trip_test.cc.o.d"
+  "CMakeFiles/tour_tests.dir/tour/plan_test.cc.o"
+  "CMakeFiles/tour_tests.dir/tour/plan_test.cc.o.d"
+  "CMakeFiles/tour_tests.dir/tour/planner_common_test.cc.o"
+  "CMakeFiles/tour_tests.dir/tour/planner_common_test.cc.o.d"
+  "CMakeFiles/tour_tests.dir/tour/route_util_test.cc.o"
+  "CMakeFiles/tour_tests.dir/tour/route_util_test.cc.o.d"
+  "CMakeFiles/tour_tests.dir/tour/sc_planner_test.cc.o"
+  "CMakeFiles/tour_tests.dir/tour/sc_planner_test.cc.o.d"
+  "CMakeFiles/tour_tests.dir/tour/tspn_planner_test.cc.o"
+  "CMakeFiles/tour_tests.dir/tour/tspn_planner_test.cc.o.d"
+  "tour_tests"
+  "tour_tests.pdb"
+  "tour_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tour_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_tests.dir/tsp/construct_test.cc.o"
+  "CMakeFiles/tsp_tests.dir/tsp/construct_test.cc.o.d"
+  "CMakeFiles/tsp_tests.dir/tsp/exact_test.cc.o"
+  "CMakeFiles/tsp_tests.dir/tsp/exact_test.cc.o.d"
+  "CMakeFiles/tsp_tests.dir/tsp/improve_test.cc.o"
+  "CMakeFiles/tsp_tests.dir/tsp/improve_test.cc.o.d"
+  "CMakeFiles/tsp_tests.dir/tsp/solver_test.cc.o"
+  "CMakeFiles/tsp_tests.dir/tsp/solver_test.cc.o.d"
+  "CMakeFiles/tsp_tests.dir/tsp/tour_test.cc.o"
+  "CMakeFiles/tsp_tests.dir/tsp/tour_test.cc.o.d"
+  "tsp_tests"
+  "tsp_tests.pdb"
+  "tsp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/lp_tests[1]_include.cmake")
+include("/root/repo/build/tests/geometry_tests[1]_include.cmake")
+include("/root/repo/build/tests/charging_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/tsp_tests[1]_include.cmake")
+include("/root/repo/build/tests/bundle_tests[1]_include.cmake")
+include("/root/repo/build/tests/tour_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/viz_tests[1]_include.cmake")
+include("/root/repo/build/tests/io_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
