@@ -41,13 +41,15 @@ void BM_MinDisk(benchmark::State& state) {
 }
 BENCHMARK(BM_MinDisk)->RangeMultiplier(4)->Range(8, 2048)->Complexity();
 
+// Runs on the global pool; set BC_THREADS to measure parallel scaling
+// (the enumerated candidate set is identical at every thread count).
 void BM_CandidateEnumeration(benchmark::State& state) {
   const auto d = make_deployment(static_cast<std::size_t>(state.range(0)), 2);
   for (auto _ : state) {
     benchmark::DoNotOptimize(bc::bundle::enumerate_candidates(d, 60.0));
   }
 }
-BENCHMARK(BM_CandidateEnumeration)->Arg(50)->Arg(100)->Arg(200);
+BENCHMARK(BM_CandidateEnumeration)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
 
 void BM_GreedyCover(benchmark::State& state) {
   const auto d = make_deployment(static_cast<std::size_t>(state.range(0)), 3);

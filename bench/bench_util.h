@@ -10,6 +10,7 @@
 
 #include "core/bundlecharge.h"
 #include "support/cli.h"
+#include "support/parallel.h"
 #include "support/table.h"
 
 namespace bc::bench {
@@ -26,10 +27,17 @@ inline void define_common_flags(support::CliFlags& flags) {
       "charger electrical draw as a multiple of radiated power "
       "(1 = energy-conserving reading of the paper; ~4 = realistic PA)");
   flags.define_bool("csv", false, "emit CSV instead of an aligned table");
+  flags.define_int("threads", 0,
+                   "worker threads (0 = BC_THREADS env or hardware); "
+                   "results are identical at every thread count");
 }
 
-// Builds the ICDCS'19 profile honouring the common flags.
+// Builds the ICDCS'19 profile honouring the common flags, and applies the
+// requested thread count to the global pool so every stage of the bench
+// (experiment sweeps and the planners inside them) uses it.
 inline core::Profile profile_from_flags(const support::CliFlags& flags) {
+  support::set_thread_count(
+      static_cast<std::size_t>(flags.get_int("threads")));
   core::Profile profile = core::icdcs2019_simulation_profile();
   const double side = flags.get_double("field");
   profile.field.field = {{0.0, 0.0}, {side, side}};

@@ -20,10 +20,14 @@ int main(int argc, char** argv) {
   flags.define_double("max-radius", 300.0, "sweep upper bound (m)");
   flags.define_int("steps", 12, "sweep steps");
   flags.define_int("seed", 21, "RNG seed");
+  flags.define_int("threads", 0,
+                   "worker threads (0 = BC_THREADS env or hardware)");
   if (!flags.parse(argc, argv, std::cerr)) return 1;
   if (flags.help_requested()) return 0;
 
-  const bc::core::Profile profile = bc::core::icdcs2019_simulation_profile();
+  bc::core::Profile profile = bc::core::icdcs2019_simulation_profile();
+  profile.threads.threads =
+      static_cast<std::size_t>(flags.get_int("threads"));
   bc::support::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
   const bc::net::Deployment deployment = bc::net::uniform_random_deployment(
       static_cast<std::size_t>(flags.get_int("nodes")), profile.field, rng);

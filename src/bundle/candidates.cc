@@ -2,14 +2,51 @@
 
 #include <algorithm>
 #include <set>
+#include <span>
 
 #include "geometry/circle.h"
 #include "net/spatial_index.h"
+#include "support/parallel.h"
 #include "support/require.h"
 
 namespace bc::bundle {
 
 using geometry::Point2;
+
+namespace {
+
+// Pair-circle enumeration seeded at sensors [begin, end): for each i, the
+// two radius-r circles through every pair (i, j > i) within 2r, collecting
+// the sensors inside each circle. Pure function of the geometry, so chunks
+// can run on any thread.
+std::vector<std::vector<net::SensorId>> enumerate_seeded_at(
+    std::span<const Point2> positions, const net::SpatialIndex& index,
+    double r, std::size_t begin, std::size_t end) {
+  std::vector<std::vector<net::SensorId>> found;
+  std::vector<net::SensorId> near_i;
+  std::vector<net::SensorId> members;
+  for (std::size_t i = begin; i < end; ++i) {
+    // Partners within 2r of i; j > i avoids enumerating each pair twice.
+    index.within(positions[i], 2.0 * r, near_i);
+    for (const net::SensorId j : near_i) {
+      if (j <= i) continue;
+      const auto centers =
+          geometry::circles_through_pair(positions[i], positions[j], r);
+      if (!centers.has_value()) continue;
+      for (const Point2 center : {centers->first, centers->second}) {
+        // Relative slack: the defining pair sits exactly on the circle
+        // boundary and must not be lost to rounding in the construction
+        // of `center`.
+        index.within(center, r * (1.0 + 1e-9) + 1e-12, members);
+        if (members.size() < 2) continue;
+        found.push_back(members);
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace
 
 std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
                                          double r,
@@ -18,7 +55,11 @@ std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
   const auto positions = deployment.positions();
   const std::size_t n = deployment.size();
 
-  // Collect distinct member sets; std::set gives deduplication for free.
+  // Collect distinct member sets; std::set gives deduplication for free,
+  // and its lexicographic iteration order is the canonical candidate order
+  // every later stage sees. Parallel chunks below merge through this set,
+  // so the canonical order — and every downstream cover and tour — is
+  // independent of how many threads enumerated.
   std::set<std::vector<net::SensorId>> member_sets;
 
   // Singletons guarantee feasibility of the cover.
@@ -28,27 +69,45 @@ std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
 
   if (r > 0.0 && n > 1) {
     const net::SpatialIndex index(positions, std::max(r, 1e-9));
-    std::vector<net::SensorId> near_i;
-    std::vector<net::SensorId> members;
-    for (net::SensorId i = 0; i < n; ++i) {
-      // Partners within 2r of i; j > i avoids enumerating each pair twice.
-      index.within(positions[i], 2.0 * r, near_i);
-      for (const net::SensorId j : near_i) {
-        if (j <= i) continue;
-        const auto centers =
-            geometry::circles_through_pair(positions[i], positions[j], r);
-        if (!centers.has_value()) continue;
-        for (const Point2 center : {centers->first, centers->second}) {
-          // Relative slack: the defining pair sits exactly on the circle
-          // boundary and must not be lost to rounding in the construction
-          // of `center`.
-          index.within(center, r * (1.0 + 1e-9) + 1e-12, members);
-          if (members.size() < 2) continue;
-          member_sets.insert(members);
-          if (options.max_candidates != 0 &&
-              member_sets.size() >= options.max_candidates) {
-            goto enumeration_done;
+    if (options.max_candidates != 0) {
+      // The candidate cap is an early-exit whose cut point depends on
+      // visit order, so honour it with the serial scan.
+      std::vector<net::SensorId> near_i;
+      std::vector<net::SensorId> members;
+      for (net::SensorId i = 0; i < n; ++i) {
+        index.within(positions[i], 2.0 * r, near_i);
+        for (const net::SensorId j : near_i) {
+          if (j <= i) continue;
+          const auto centers =
+              geometry::circles_through_pair(positions[i], positions[j], r);
+          if (!centers.has_value()) continue;
+          for (const Point2 center : {centers->first, centers->second}) {
+            index.within(center, r * (1.0 + 1e-9) + 1e-12, members);
+            if (members.size() < 2) continue;
+            member_sets.insert(members);
+            if (member_sets.size() >= options.max_candidates) {
+              goto enumeration_done;
+            }
           }
+        }
+      }
+    } else {
+      // Uncapped path: the O(n^2)-pairs scan dominates bundle generation,
+      // so fan the seed sensors out over the pool. The grain is fixed (not
+      // derived from the thread count) and each chunk returns its own
+      // partial list; the set merge above makes the union order-blind.
+      constexpr std::size_t kGrain = 8;
+      const std::size_t num_chunks = (n + kGrain - 1) / kGrain;
+      auto partials =
+          support::parallel_map<std::vector<std::vector<net::SensorId>>>(
+              num_chunks, 1, [&](std::size_t chunk) {
+                const std::size_t begin = chunk * kGrain;
+                const std::size_t end = std::min(n, begin + kGrain);
+                return enumerate_seeded_at(positions, index, r, begin, end);
+              });
+      for (auto& partial : partials) {
+        for (auto& members : partial) {
+          member_sets.insert(std::move(members));
         }
       }
     }

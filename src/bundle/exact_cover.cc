@@ -6,6 +6,7 @@
 
 #include "bundle/candidates.h"
 #include "bundle/greedy_cover.h"
+#include "support/parallel.h"
 #include "support/require.h"
 
 namespace bc::bundle {
@@ -157,8 +158,54 @@ std::optional<std::vector<Bundle>> exact_cover(
 
   BitSet uncovered(n);
   uncovered.set_all();
-  search(state, std::move(uncovered));
-  if (state.aborted) return std::nullopt;
+  if (options.max_nodes == 0) {
+    // Unlimited budget: fan the root branches out over the pool. Each
+    // branch subtree is searched independently with the greedy bound, and
+    // the per-branch winners are merged serially in branch order with the
+    // same strict-improvement rule the serial DFS applies. Because the
+    // bound-pruning can only skip subtrees that contain no strictly
+    // better solution, every branch returns the same minimal cover the
+    // serial search would have recorded in it, and the ordered merge
+    // reproduces the serial result bit for bit. (A shared node counter
+    // would make abortion order scheduling-dependent, which is why the
+    // budgeted path below stays serial.)
+    const std::size_t lower = (n + max_size - 1) / max_size;
+    if (lower < state.best_size) {
+      const std::size_t pivot = uncovered.first();
+      std::vector<std::pair<std::size_t, std::uint32_t>> branches;
+      for (std::uint32_t c = 0; c < masks.size(); ++c) {
+        if (!masks[c].test(pivot)) continue;
+        branches.emplace_back(masks[c].intersect_count(uncovered), c);
+      }
+      std::sort(branches.begin(), branches.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+
+      struct BranchResult {
+        std::vector<std::uint32_t> best;  // empty = nothing under the bound
+      };
+      const auto results = support::parallel_map<BranchResult>(
+          branches.size(), /*grain=*/1, [&](std::size_t b) {
+            SearchState branch_state;
+            branch_state.masks = &masks;
+            branch_state.max_candidate_size = max_size;
+            branch_state.best_size = incumbent.size() + 1;
+            branch_state.chosen.push_back(branches[b].second);
+            BitSet next = uncovered;
+            next.subtract(masks[branches[b].second]);
+            search(branch_state, std::move(next));
+            return BranchResult{std::move(branch_state.best)};
+          });
+      for (const BranchResult& result : results) {
+        if (!result.best.empty() && result.best.size() < state.best_size) {
+          state.best = result.best;
+          state.best_size = result.best.size();
+        }
+      }
+    }
+  } else {
+    search(state, std::move(uncovered));
+    if (state.aborted) return std::nullopt;
+  }
 
   if (state.best.empty()) {
     // The search never found anything at least as small as greedy's cover,

@@ -1,5 +1,6 @@
 #include "core/planner_api.h"
 
+#include "support/parallel.h"
 #include "support/require.h"
 
 namespace bc::core {
@@ -9,6 +10,7 @@ BundleChargingPlanner::BundleChargingPlanner(Profile profile)
 
 PlanResult BundleChargingPlanner::plan(const net::Deployment& deployment,
                                        tour::Algorithm algorithm) const {
+  profile_.threads.apply();
   PlanResult result;
   result.plan =
       tour::plan_charging_tour(deployment, algorithm, profile_.planner);
@@ -23,26 +25,34 @@ RadiusSweep BundleChargingPlanner::sweep_radius(
   support::require(min_radius > 0.0 && min_radius <= max_radius,
                    "need 0 < min_radius <= max_radius");
   support::require(steps >= 1, "need at least one sweep step");
+  profile_.threads.apply();
 
+  // Sweep cells are independent (planning draws no randomness), so each
+  // radius plans on its own worker; per-cell results land in index order
+  // and the argmin scan below is serial, keeping the first-minimum
+  // tie-break identical to the historical serial loop.
   RadiusSweep sweep;
-  Profile scratch = profile_;
+  sweep.points = support::parallel_map<RadiusPoint>(
+      steps, /*grain=*/1, [&](std::size_t i) {
+        const double radius =
+            steps == 1 ? min_radius
+                       : min_radius + (max_radius - min_radius) *
+                                          static_cast<double>(i) /
+                                          static_cast<double>(steps - 1);
+        tour::PlannerConfig planner = profile_.planner;
+        planner.bundle_radius = radius;
+        const tour::ChargingPlan plan =
+            tour::plan_charging_tour(deployment, algorithm, planner);
+        const sim::PlanMetrics metrics =
+            sim::evaluate_plan(deployment, plan, profile_.evaluation);
+        return RadiusPoint{radius, metrics};
+      });
   double best_energy = 0.0;
-  for (std::size_t i = 0; i < steps; ++i) {
-    const double radius =
-        steps == 1 ? min_radius
-                   : min_radius + (max_radius - min_radius) *
-                                      static_cast<double>(i) /
-                                      static_cast<double>(steps - 1);
-    scratch.planner.bundle_radius = radius;
-    const tour::ChargingPlan plan =
-        tour::plan_charging_tour(deployment, algorithm, scratch.planner);
-    const sim::PlanMetrics metrics =
-        sim::evaluate_plan(deployment, plan, scratch.evaluation);
-    if (sweep.points.empty() || metrics.total_energy_j < best_energy) {
-      best_energy = metrics.total_energy_j;
-      sweep.best_radius_m = radius;
+  for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+    if (i == 0 || sweep.points[i].metrics.total_energy_j < best_energy) {
+      best_energy = sweep.points[i].metrics.total_energy_j;
+      sweep.best_radius_m = sweep.points[i].radius_m;
     }
-    sweep.points.push_back(RadiusPoint{radius, metrics});
   }
   return sweep;
 }

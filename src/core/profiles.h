@@ -6,6 +6,7 @@
 
 #include "net/deployment.h"
 #include "sim/evaluate.h"
+#include "support/parallel.h"
 #include "tour/planner.h"
 
 namespace bc::core {
@@ -14,6 +15,9 @@ struct Profile {
   tour::PlannerConfig planner{};
   sim::EvaluationConfig evaluation{};
   net::FieldSpec field{};
+  // Worker threads for planning and sweeps (0 = keep the global setting,
+  // i.e. BC_THREADS or hardware_concurrency). Results never depend on it.
+  support::ThreadsOption threads{};
 };
 
 // The ICDCS'19 simulation setting (§VI-A): 1000 m x 1000 m field, depot at

@@ -1,5 +1,6 @@
 #include "sim/experiment.h"
 
+#include "support/parallel.h"
 #include "support/require.h"
 
 namespace bc::sim {
@@ -21,18 +22,36 @@ AggregateMetrics run_experiment(const ExperimentSpec& spec) {
                    "experiment needs a deployment factory");
   support::require(spec.runs >= 1, "experiment needs at least one run");
 
+  spec.threads.apply();
+
+  // Every run is an independent cell of the sweep: its RNG stream is
+  // derived from (base_seed + run) — the Rng constructor expands that seed
+  // through SplitMix64, so nearby cells get uncorrelated streams — and is
+  // never shared across cells. Each cell writes only its own slot of the
+  // pre-sized result vector, so the parallel sweep is bit-identical to the
+  // serial seed run at any thread count.
+  const std::vector<PlanMetrics> per_run =
+      support::parallel_map<PlanMetrics>(
+          spec.runs, /*grain=*/1, [&spec](std::size_t run) {
+            support::Rng rng(spec.base_seed + run);
+            const net::Deployment deployment = spec.make_deployment(rng);
+            const tour::ChargingPlan plan = tour::plan_charging_tour(
+                deployment, spec.algorithm, spec.planner);
+            const PlanMetrics metrics =
+                evaluate_plan(deployment, plan, spec.evaluation);
+            if (spec.verify_feasibility) {
+              support::ensure(
+                  metrics.min_demand_fraction >= 1.0 - 1e-6,
+                  "scheduled plan failed to meet a sensor's demand");
+            }
+            return metrics;
+          });
+
+  // Aggregation stays serial and in run order: RunningStat updates are not
+  // associative under floating point, so the merge order is part of the
+  // determinism contract.
   AggregateMetrics aggregate;
-  for (std::size_t run = 0; run < spec.runs; ++run) {
-    support::Rng rng(spec.base_seed + run);
-    const net::Deployment deployment = spec.make_deployment(rng);
-    const tour::ChargingPlan plan =
-        tour::plan_charging_tour(deployment, spec.algorithm, spec.planner);
-    const PlanMetrics metrics =
-        evaluate_plan(deployment, plan, spec.evaluation);
-    if (spec.verify_feasibility) {
-      support::ensure(metrics.min_demand_fraction >= 1.0 - 1e-6,
-                      "scheduled plan failed to meet a sensor's demand");
-    }
+  for (const PlanMetrics& metrics : per_run) {
     aggregate.add(metrics);
   }
   return aggregate;

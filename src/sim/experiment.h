@@ -13,6 +13,7 @@
 
 #include "net/deployment.h"
 #include "sim/evaluate.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "tour/planner.h"
@@ -35,6 +36,9 @@ struct AggregateMetrics {
 };
 
 // Builds a fresh deployment for one run; receives a per-run child RNG.
+// Runs may execute concurrently, so the factory must be safe to call from
+// several threads at once (draw all randomness from the passed Rng and
+// don't mutate captured state).
 using DeploymentFactory = std::function<net::Deployment(support::Rng&)>;
 
 struct ExperimentSpec {
@@ -48,9 +52,14 @@ struct ExperimentSpec {
   // throws on violation — benches should never silently report an
   // infeasible plan.
   bool verify_feasibility = true;
+  // Worker threads for the run sweep (0 = keep the global setting). Runs
+  // are independent cells with per-cell RNG streams, so the aggregate is
+  // bit-identical at any thread count.
+  support::ThreadsOption threads{};
 };
 
-// Runs the experiment and returns aggregated metrics.
+// Runs the experiment and returns aggregated metrics. Runs execute in
+// parallel on the global pool; results are identical to a serial sweep.
 // Preconditions: spec.make_deployment set, spec.runs >= 1.
 AggregateMetrics run_experiment(const ExperimentSpec& spec);
 

@@ -1,0 +1,255 @@
+#include "support/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/require.h"
+
+namespace bc::support {
+
+namespace {
+
+// Hard ceiling on the pool size: far above any sane oversubscription, low
+// enough that a stray huge value (BC_THREADS=99999999, --threads=-1 cast
+// to size_t) cannot exhaust process resources spawning threads.
+constexpr std::size_t kMaxThreads = 1024;
+
+thread_local bool t_in_worker = false;
+
+std::size_t auto_thread_count() {
+  if (const char* env = std::getenv("BC_THREADS")) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 1) {
+      // Oversized values clamp rather than abort: an env var is not a
+      // checked API boundary. Malformed ones fall through to hardware.
+      return std::min(static_cast<std::size_t>(value), kMaxThreads);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+// One parallel_for invocation. Chunks are claimed from an atomic counter;
+// which thread runs which chunk is the only scheduling freedom, and no
+// output depends on it.
+struct Job {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::size_t num_chunks = 0;
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+
+  std::atomic<std::size_t> next_chunk{0};
+
+  std::mutex mutex;
+  std::exception_ptr error;
+  std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
+
+  void work() {
+    for (;;) {
+      const std::size_t chunk =
+          next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      const std::size_t begin = chunk * grain;
+      const std::size_t end = std::min(n, begin + grain);
+      try {
+        (*fn)(begin, end);
+      } catch (...) {
+        // Keep the exception from the lowest-indexed throwing chunk so the
+        // rethrown error is the one serial execution would have raised.
+        std::lock_guard<std::mutex> lock(mutex);
+        if (chunk < error_chunk) {
+          error_chunk = chunk;
+          error = std::current_exception();
+        }
+      }
+    }
+  }
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  std::size_t thread_count() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (configured_ == 0) configured_ = auto_thread_count();
+    return configured_;
+  }
+
+  void set_thread_count(std::size_t n) {
+    stop_workers();
+    std::lock_guard<std::mutex> lock(mutex_);
+    configured_ = n == 0 ? auto_thread_count() : n;
+  }
+
+  // Runs `job` on the pool workers plus the calling thread and returns
+  // once every chunk has been executed. Top-level sections are serialised
+  // by region_mutex_ — the library issues one parallel section at a time;
+  // a second concurrent caller simply waits its turn.
+  void run(Job& job) {
+    std::lock_guard<std::mutex> region(region_mutex_);
+    std::size_t helpers;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (configured_ == 0) configured_ = auto_thread_count();
+      const std::size_t wanted = configured_ - 1;
+      if (workers_.size() != wanted) {
+        start_workers_locked(lock, wanted);
+      }
+      helpers = workers_.size();
+      job_ = &job;
+      ++job_seq_;
+      pending_ = helpers;
+      cv_.notify_all();
+    }
+
+    // The caller is a participant too; with zero helpers this is simply
+    // the serial loop.
+    t_in_worker = true;
+    job.work();
+    t_in_worker = false;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+
+  ~Pool() { stop_workers(); }
+
+ private:
+  void start_workers_locked(std::unique_lock<std::mutex>& lock,
+                            std::size_t wanted) {
+    // Resize by full restart; worker counts change rarely (benches and
+    // tests sweeping thread counts), never inside a parallel section.
+    if (!workers_.empty()) {
+      stopping_ = true;
+      cv_.notify_all();
+      lock.unlock();
+      for (auto& worker : workers_) worker.join();
+      lock.lock();
+      workers_.clear();
+      stopping_ = false;
+    }
+    workers_.reserve(wanted);
+    for (std::size_t i = 0; i < wanted; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void stop_workers() {
+    std::vector<std::thread> to_join;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (workers_.empty()) return;
+      stopping_ = true;
+      cv_.notify_all();
+      to_join = std::move(workers_);
+      workers_.clear();
+    }
+    for (auto& worker : to_join) worker.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = false;
+  }
+
+  void worker_loop() {
+    t_in_worker = true;
+    std::uint64_t seen_seq = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] {
+          return stopping_ || (job_ != nullptr && job_seq_ != seen_seq);
+        });
+        if (stopping_) return;
+        job = job_;
+        seen_seq = job_seq_;
+      }
+      job->work();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex region_mutex_;  // one top-level parallel section at a time
+
+  std::mutex mutex_;
+  std::condition_variable cv_;       // wakes workers for a new job or stop
+  std::condition_variable done_cv_;  // wakes the caller when helpers finish
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;
+  std::uint64_t job_seq_ = 0;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+  std::size_t configured_ = 0;  // 0 = not yet resolved
+};
+
+// Same contract as the pooled path — every chunk runs, the first chunk's
+// exception wins — so side effects are identical at every thread count.
+void run_inline(std::size_t n, std::size_t grain,
+                const std::function<void(std::size_t, std::size_t)>& fn) {
+  std::exception_ptr error;
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    try {
+      fn(begin, std::min(n, begin + grain));
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+std::size_t thread_count() { return Pool::instance().thread_count(); }
+
+void set_thread_count(std::size_t n) {
+  require(n <= kMaxThreads,
+          "thread count must be between 0 (= automatic) and 1024");
+  Pool::instance().set_thread_count(n);
+}
+
+bool in_parallel_worker() { return t_in_worker; }
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = thread_count();
+  if (grain == 0) {
+    // Automatic grain: ~4 chunks per worker for load balance. Depends on
+    // the worker count, so only per-index-slot writers should rely on it.
+    grain = std::max<std::size_t>(1, n / (4 * workers));
+  }
+  const std::size_t num_chunks = (n + grain - 1) / grain;
+  if (workers == 1 || num_chunks == 1 || t_in_worker) {
+    run_inline(n, grain, fn);
+    return;
+  }
+
+  Job job;
+  job.n = n;
+  job.grain = grain;
+  job.num_chunks = num_chunks;
+  job.fn = &fn;
+  Pool::instance().run(job);
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadsOption::apply() const {
+  if (threads != 0) set_thread_count(threads);
+}
+
+}  // namespace bc::support

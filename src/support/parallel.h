@@ -1,0 +1,88 @@
+// Deterministic thread-pool parallelism.
+//
+// A lazily-started global worker pool executes chunked index loops. The
+// design rule that makes the rest of the library safe to parallelise is
+// *determinism by construction*: work is partitioned into contiguous index
+// chunks whose boundaries never depend on the thread count, every result is
+// written to a slot selected by its index, and callers merge in index
+// order. Under that contract a run with 8 workers is bit-identical to a run
+// with 1 — the pool only changes wall-clock time.
+//
+// The worker count resolves, in priority order, from set_thread_count(),
+// the BC_THREADS environment variable, and hardware_concurrency().
+// BC_THREADS=1 (or set_thread_count(1)) forces single-threaded execution:
+// every parallel section then runs inline on the calling thread with no
+// pool started at all, which is the reference behaviour the multi-threaded
+// runs must reproduce exactly.
+
+#ifndef BUNDLECHARGE_SUPPORT_PARALLEL_H_
+#define BUNDLECHARGE_SUPPORT_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace bc::support {
+
+// Worker threads parallel sections may use, >= 1. First call resolves the
+// automatic value (BC_THREADS env var, else hardware_concurrency).
+std::size_t thread_count();
+
+// Overrides the worker count; n = 0 restores the automatic value. Any
+// running pool is stopped and restarted lazily on the next parallel call.
+// Call between parallel sections only (benches sweeping thread counts,
+// tests pinning 1/2/8) — not concurrently with parallel work.
+// Precondition: n <= 1024 (oversized env values clamp instead).
+void set_thread_count(std::size_t n);
+
+// True on a pool worker thread. Nested parallel sections detect this and
+// execute inline, so library layers can parallelise independently without
+// deadlocking the pool.
+bool in_parallel_worker();
+
+// Chunked parallel loop over [0, n): partitions the range into contiguous
+// chunks of `grain` indices (the tail chunk may be shorter) and invokes
+// fn(begin, end) once per chunk, in parallel. grain = 0 picks a chunk size
+// automatically — note that the automatic grain depends on the worker
+// count, so pass an explicit grain wherever chunk boundaries must be
+// thread-count-invariant (they are invisible to callers that only write
+// per-index slots, which is the recommended pattern).
+//
+// Exceptions thrown by fn are caught per chunk; after all chunks have run,
+// the exception from the lowest-indexed throwing chunk is rethrown on the
+// calling thread. Chunks are never cancelled — every chunk executes even
+// when an earlier one threw — so both the rethrown exception and all side
+// effects are identical at every thread count, inline path included.
+//
+// Runs inline (in chunk order, on the calling thread) when the worker
+// count is 1, when there is a single chunk, or when called from inside a
+// pool worker.
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+// out[i] = fn(i) for i in [0, n), evaluated in parallel with the chunking
+// rules of parallel_for. The output vector is pre-sized so every worker
+// writes only its own slots; result order is index order, independent of
+// the thread count. T must be default-constructible.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, std::size_t grain, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(n, grain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+// Thread-count request carried through configuration structs (profiles,
+// experiment specs, CLI flags) down to the pool.
+struct ThreadsOption {
+  // 0 leaves the current global setting untouched; any other value is
+  // applied as if by set_thread_count(threads).
+  std::size_t threads = 0;
+
+  void apply() const;
+};
+
+}  // namespace bc::support
+
+#endif  // BUNDLECHARGE_SUPPORT_PARALLEL_H_

@@ -1,0 +1,148 @@
+// Cross-thread-count determinism: the parallel layer's contract is that
+// every result is bit-identical at 1, 2, and 8 workers. These tests pin
+// the pool to each count and compare full outputs with exact (==)
+// floating-point equality — any reduction reorder or shared RNG stream
+// would fail them. The CI TSan job additionally runs this file under
+// BC_THREADS=8 and BC_THREADS=1 to cross-check the env-driven default.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bundle/candidates.h"
+#include "bundle/exact_cover.h"
+#include "core/bundlecharge.h"
+#include "sim/experiment.h"
+#include "support/parallel.h"
+
+namespace bc {
+namespace {
+
+const std::size_t kThreadCounts[] = {1, 2, 8};
+
+net::Deployment test_deployment(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  return net::uniform_random_deployment(
+      n, core::icdcs2019_simulation_profile().field, rng);
+}
+
+void expect_same_bundles(const std::vector<bundle::Bundle>& a,
+                         const std::vector<bundle::Bundle>& b,
+                         std::size_t threads) {
+  ASSERT_EQ(a.size(), b.size()) << "at " << threads << " threads";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].members, b[i].members) << "bundle " << i;
+    EXPECT_EQ(a[i].anchor.x, b[i].anchor.x) << "bundle " << i;
+    EXPECT_EQ(a[i].anchor.y, b[i].anchor.y) << "bundle " << i;
+    EXPECT_EQ(a[i].radius, b[i].radius) << "bundle " << i;
+  }
+}
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  ~ParallelDeterminismTest() override { support::set_thread_count(0); }
+};
+
+TEST_F(ParallelDeterminismTest, CandidateEnumerationIsThreadCountInvariant) {
+  const net::Deployment deployment = test_deployment(120, 42);
+  support::set_thread_count(1);
+  const std::vector<bundle::Bundle> reference =
+      bundle::enumerate_candidates(deployment, 60.0);
+  // The parallel pair scan actually found multi-member candidates (the
+  // count can be below n: domination pruning absorbs covered singletons).
+  EXPECT_TRUE(std::any_of(reference.begin(), reference.end(),
+                          [](const bundle::Bundle& b) {
+                            return b.members.size() >= 2;
+                          }));
+  for (const std::size_t threads : kThreadCounts) {
+    support::set_thread_count(threads);
+    expect_same_bundles(reference,
+                        bundle::enumerate_candidates(deployment, 60.0),
+                        threads);
+  }
+}
+
+TEST_F(ParallelDeterminismTest, ExperimentSweepIsThreadCountInvariant) {
+  sim::ExperimentSpec spec;
+  spec.make_deployment = sim::uniform_factory(40, net::FieldSpec{});
+  spec.algorithm = tour::Algorithm::kBcOpt;
+  spec.planner.bundle_radius = 60.0;
+  spec.runs = 12;
+
+  support::set_thread_count(1);
+  const sim::AggregateMetrics reference = run_experiment(spec);
+  for (const std::size_t threads : kThreadCounts) {
+    support::set_thread_count(threads);
+    const sim::AggregateMetrics got = run_experiment(spec);
+    // Exact equality: per-run metrics land in run order, so even the
+    // non-associative RunningStat reductions must match bit for bit.
+    EXPECT_EQ(got.total_energy_j.mean(), reference.total_energy_j.mean());
+    EXPECT_EQ(got.total_energy_j.stddev(), reference.total_energy_j.stddev());
+    EXPECT_EQ(got.tour_length_m.mean(), reference.tour_length_m.mean());
+    EXPECT_EQ(got.charge_time_s.mean(), reference.charge_time_s.mean());
+    EXPECT_EQ(got.num_stops.mean(), reference.num_stops.mean());
+    EXPECT_EQ(got.min_demand_fraction.min(),
+              reference.min_demand_fraction.min());
+  }
+}
+
+TEST_F(ParallelDeterminismTest, RadiusSweepIsThreadCountInvariant) {
+  const net::Deployment deployment = test_deployment(60, 7);
+  const core::BundleChargingPlanner planner(
+      core::icdcs2019_simulation_profile());
+
+  support::set_thread_count(1);
+  const core::RadiusSweep reference =
+      planner.sweep_radius(deployment, tour::Algorithm::kBc, 10.0, 120.0, 8);
+  for (const std::size_t threads : kThreadCounts) {
+    support::set_thread_count(threads);
+    const core::RadiusSweep got =
+        planner.sweep_radius(deployment, tour::Algorithm::kBc, 10.0, 120.0, 8);
+    EXPECT_EQ(got.best_radius_m, reference.best_radius_m);
+    ASSERT_EQ(got.points.size(), reference.points.size());
+    for (std::size_t i = 0; i < got.points.size(); ++i) {
+      EXPECT_EQ(got.points[i].radius_m, reference.points[i].radius_m);
+      EXPECT_EQ(got.points[i].metrics.total_energy_j,
+                reference.points[i].metrics.total_energy_j);
+      EXPECT_EQ(got.points[i].metrics.tour_length_m,
+                reference.points[i].metrics.tour_length_m);
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, ExactCoverRootFanOutIsThreadCountInvariant) {
+  const net::Deployment deployment = test_deployment(30, 11);
+  bundle::ExactCoverOptions options;
+  options.max_nodes = 0;  // unlimited budget enables the root fan-out
+
+  support::set_thread_count(1);
+  const auto reference = bundle::optimal_bundles(deployment, 80.0, options);
+  ASSERT_TRUE(reference.has_value());
+  for (const std::size_t threads : kThreadCounts) {
+    support::set_thread_count(threads);
+    const auto got = bundle::optimal_bundles(deployment, 80.0, options);
+    ASSERT_TRUE(got.has_value());
+    expect_same_bundles(*reference, *got, threads);
+  }
+}
+
+TEST_F(ParallelDeterminismTest,
+       UnlimitedBudgetFanOutMatchesTheBudgetedSerialSearch) {
+  const net::Deployment deployment = test_deployment(24, 3);
+  bundle::ExactCoverOptions parallel_options;
+  parallel_options.max_nodes = 0;
+  bundle::ExactCoverOptions serial_options;  // default budget, serial DFS
+
+  support::set_thread_count(8);
+  const auto fanned = bundle::optimal_bundles(deployment, 70.0,
+                                              parallel_options);
+  const auto serial = bundle::optimal_bundles(deployment, 70.0,
+                                              serial_options);
+  ASSERT_TRUE(fanned.has_value());
+  ASSERT_TRUE(serial.has_value());
+  expect_same_bundles(*serial, *fanned, 8);
+}
+
+}  // namespace
+}  // namespace bc

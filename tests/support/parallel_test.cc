@@ -1,0 +1,198 @@
+// Tests for the deterministic thread-pool layer.
+
+#include "support/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace bc::support {
+namespace {
+
+// Restores the automatic thread count after each test so the pinned counts
+// used here never leak into the rest of the binary.
+class ParallelTest : public ::testing::Test {
+ protected:
+  ~ParallelTest() override { set_thread_count(0); }
+};
+
+TEST_F(ParallelTest, ThreadCountIsAtLeastOne) {
+  EXPECT_GE(thread_count(), 1u);
+}
+
+TEST_F(ParallelTest, RejectsAbsurdThreadCounts) {
+  // A negative CLI value cast to size_t must fail loudly, not try to
+  // spawn billions of threads.
+  EXPECT_THROW(set_thread_count(static_cast<std::size_t>(-1)),
+               PreconditionError);
+  EXPECT_THROW(set_thread_count(100000), PreconditionError);
+  set_thread_count(1024);  // the documented ceiling is accepted
+  EXPECT_EQ(thread_count(), 1024u);
+}
+
+TEST_F(ParallelTest, SetThreadCountOverridesAndZeroRestoresAuto) {
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3u);
+  set_thread_count(1);
+  EXPECT_EQ(thread_count(), 1u);
+  set_thread_count(0);
+  EXPECT_GE(thread_count(), 1u);
+}
+
+TEST_F(ParallelTest, EmptyRangeNeverInvokesTheBody) {
+  for (const std::size_t threads : {1u, 4u}) {
+    set_thread_count(threads);
+    std::atomic<int> calls{0};
+    parallel_for(0, 1, [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+  }
+}
+
+TEST_F(ParallelTest, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    for (const std::size_t grain : {1u, 7u, 64u, 5000u}) {
+      set_thread_count(threads);
+      std::vector<int> hits(kN, 0);
+      parallel_for(kN, grain, [&](std::size_t begin, std::size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, kN);
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+      });
+      EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+                static_cast<int>(kN))
+          << "threads=" << threads << " grain=" << grain;
+      EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                              [](int h) { return h == 1; }));
+    }
+  }
+}
+
+TEST_F(ParallelTest, ZeroGrainPicksAnAutomaticChunkSize) {
+  set_thread_count(4);
+  std::vector<int> hits(100, 0);
+  parallel_for(100, 0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_TRUE(
+      std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+}
+
+TEST_F(ParallelTest, GrainLargerThanRangeMakesASingleChunk) {
+  set_thread_count(8);
+  std::atomic<int> chunks{0};
+  parallel_for(10, 1000, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+    ++chunks;
+  });
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST_F(ParallelTest, ExceptionsPropagateToTheCaller) {
+  for (const std::size_t threads : {1u, 4u}) {
+    set_thread_count(threads);
+    EXPECT_THROW(
+        parallel_for(100, 1,
+                     [&](std::size_t begin, std::size_t) {
+                       if (begin == 37) throw std::runtime_error("boom");
+                     }),
+        std::runtime_error);
+  }
+}
+
+TEST_F(ParallelTest, LowestChunkExceptionWinsAndAllChunksStillRun) {
+  for (const std::size_t threads : {1u, 4u}) {
+    set_thread_count(threads);
+    std::vector<int> hits(100, 0);
+    try {
+      parallel_for(100, 1, [&](std::size_t begin, std::size_t) {
+        ++hits[begin];
+        if (begin == 20) throw std::runtime_error("chunk 20");
+        if (begin == 80) throw std::logic_error("chunk 80");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk 20");
+    }
+    // No cancellation: the error path has the same side effects at every
+    // thread count.
+    EXPECT_TRUE(
+        std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+  }
+}
+
+TEST_F(ParallelTest, PoolIsUsableAfterAnException) {
+  set_thread_count(4);
+  EXPECT_THROW(parallel_for(8, 1,
+                            [](std::size_t, std::size_t) {
+                              throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  std::atomic<std::size_t> sum{0};
+  parallel_for(8, 1, [&](std::size_t begin, std::size_t) { sum += begin; });
+  EXPECT_EQ(sum.load(), 28u);
+}
+
+TEST_F(ParallelTest, ParallelMapReturnsResultsInIndexOrder) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    set_thread_count(threads);
+    const std::vector<std::size_t> out = parallel_map<std::size_t>(
+        257, 3, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], i * i);
+    }
+  }
+}
+
+TEST_F(ParallelTest, NestedSectionsRunInlineWithoutDeadlock) {
+  set_thread_count(4);
+  std::vector<std::size_t> totals(16, 0);
+  parallel_for(16, 1, [&](std::size_t begin, std::size_t) {
+    EXPECT_TRUE(in_parallel_worker());
+    const auto inner = parallel_map<std::size_t>(
+        32, 4, [](std::size_t i) { return i; });
+    totals[begin] = std::accumulate(inner.begin(), inner.end(), std::size_t{0});
+  });
+  for (const std::size_t total : totals) {
+    EXPECT_EQ(total, 32u * 31u / 2u);
+  }
+}
+
+TEST_F(ParallelTest, CallerThreadIsNotAWorkerOutsideSections) {
+  EXPECT_FALSE(in_parallel_worker());
+  set_thread_count(2);
+  parallel_for(4, 1, [](std::size_t, std::size_t) {
+    EXPECT_TRUE(in_parallel_worker());
+  });
+  EXPECT_FALSE(in_parallel_worker());
+}
+
+TEST_F(ParallelTest, ThreadsOptionAppliesOnlyWhenNonZero) {
+  set_thread_count(5);
+  ThreadsOption keep{};  // 0 = leave untouched
+  keep.apply();
+  EXPECT_EQ(thread_count(), 5u);
+  ThreadsOption two{2};
+  two.apply();
+  EXPECT_EQ(thread_count(), 2u);
+}
+
+TEST_F(ParallelTest, SingleThreadModeStaysOnTheCallingThread) {
+  set_thread_count(1);
+  const auto caller = std::this_thread::get_id();
+  parallel_for(64, 4, [&](std::size_t, std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+}  // namespace
+}  // namespace bc::support
