@@ -53,11 +53,15 @@ ChargingModel ChargingModel::from_friis(double tx_gain_dbi, double rx_gain_dbi,
                                         double polarization_loss, double beta,
                                         double transmit_power_w,
                                         double charge_cost_w) {
-  bc::support::require(wavelength_m > 0.0, "wavelength must be positive");
+  bc::support::require(std::isfinite(tx_gain_dbi) && std::isfinite(rx_gain_dbi),
+                       "antenna gains must be finite");
+  bc::support::require(std::isfinite(wavelength_m) && wavelength_m > 0.0,
+                       "wavelength must be positive and finite");
   bc::support::require(rectifier_eff > 0.0 && rectifier_eff <= 1.0,
                        "rectifier efficiency must be in (0, 1]");
-  bc::support::require(polarization_loss >= 1.0,
-                       "polarisation loss is a linear factor >= 1");
+  bc::support::require(
+      std::isfinite(polarization_loss) && polarization_loss >= 1.0,
+      "polarisation loss is a linear factor >= 1");
   const double four_pi = 4.0 * std::numbers::pi;
   const double alpha = dbi_to_linear(tx_gain_dbi) * dbi_to_linear(rx_gain_dbi) *
                        wavelength_m * wavelength_m * rectifier_eff /
@@ -68,7 +72,9 @@ ChargingModel ChargingModel::from_friis(double tx_gain_dbi, double rx_gain_dbi,
 double ChargingModel::received_power_w(double distance_m) const {
   bc::support::require(distance_m >= 0.0, "distance must be non-negative");
   const double denom = (distance_m + beta_) * (distance_m + beta_);
-  return alpha_ / denom * transmit_power_w_;
+  // Energy conservation: Eq. 1 is an attenuation fit, and with alpha >
+  // beta^2 its raw value would exceed the radiated power at short range.
+  return std::min(1.0, alpha_ / denom) * transmit_power_w_;
 }
 
 double ChargingModel::charge_time_s(double distance_m, double energy_j) const {
@@ -88,6 +94,9 @@ double ChargingModel::cost_of_stop_j(double seconds) const {
 
 double ChargingModel::range_for_power_m(double power_w) const {
   bc::support::require(power_w > 0.0, "power must be positive");
+  // Above the conservation clamp nothing is ever received, so the range
+  // collapses to 0 (consistent with the clamp in received_power_w).
+  if (power_w >= transmit_power_w_) return 0.0;
   const double d = std::sqrt(alpha_ * transmit_power_w_ / power_w) - beta_;
   return d > 0.0 ? d : 0.0;
 }

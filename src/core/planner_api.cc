@@ -19,6 +19,31 @@ PlanResult BundleChargingPlanner::plan(const net::Deployment& deployment,
   return result;
 }
 
+support::Expected<ExecutionResult> BundleChargingPlanner::plan_under_faults(
+    const net::Deployment& deployment, tour::Algorithm algorithm,
+    const sim::FaultModel& faults, const sim::ExecutorConfig& executor) const {
+  profile_.threads.apply();
+  ExecutionResult result;
+  result.plan =
+      tour::plan_charging_tour(deployment, algorithm, profile_.planner);
+  result.planned_metrics =
+      sim::evaluate_plan(deployment, result.plan, profile_.evaluation);
+
+  sim::ExecutorConfig config = executor;
+  config.planner = profile_.planner;
+  config.charging = profile_.evaluation.charging;
+  config.movement = profile_.evaluation.movement;
+  std::vector<double> demand(deployment.size());
+  for (net::SensorId id = 0; id < deployment.size(); ++id) {
+    demand[id] = deployment.sensor(id).demand_j;
+  }
+  auto executed = sim::execute_mission(deployment, demand, result.plan, faults,
+                                       /*start_time_s=*/0.0, config);
+  if (!executed) return executed.fault();
+  result.report = std::move(executed.value());
+  return result;
+}
+
 RadiusSweep BundleChargingPlanner::sweep_radius(
     const net::Deployment& deployment, tour::Algorithm algorithm,
     double min_radius, double max_radius, std::size_t steps) const {

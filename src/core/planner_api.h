@@ -10,6 +10,9 @@
 #include "core/profiles.h"
 #include "net/deployment.h"
 #include "sim/evaluate.h"
+#include "sim/faults.h"
+#include "sim/mission_executor.h"
+#include "support/expected.h"
 #include "tour/planner.h"
 
 namespace bc::core {
@@ -17,6 +20,15 @@ namespace bc::core {
 struct PlanResult {
   tour::ChargingPlan plan;
   sim::PlanMetrics metrics;
+};
+
+// Result of planning + executing one mission against a faulted world: the
+// plan as dispatched, the nominal (fault-free) metrics the planner believed,
+// and what actually happened.
+struct ExecutionResult {
+  tour::ChargingPlan plan;
+  sim::PlanMetrics planned_metrics;
+  sim::MissionReport report;
 };
 
 // One point of a radius sweep.
@@ -41,6 +53,18 @@ class BundleChargingPlanner {
   // Plans with the requested algorithm and evaluates the result.
   PlanResult plan(const net::Deployment& deployment,
                   tour::Algorithm algorithm) const;
+
+  // Plans a full-demand mission, then executes it through the
+  // disruption-tolerant executor against `faults`. The executor inherits
+  // the profile's planner and physics models so planning, execution, and
+  // any online replans share one configuration; the remaining executor
+  // knobs (policies, tolerance, replan budget) come from `executor`.
+  // Structured faults (e.g. a malformed plan) come back on the fault
+  // channel; runtime disruptions land inside the report.
+  support::Expected<ExecutionResult> plan_under_faults(
+      const net::Deployment& deployment, tour::Algorithm algorithm,
+      const sim::FaultModel& faults,
+      const sim::ExecutorConfig& executor = {}) const;
 
   // Sweeps the bundle radius over [min_radius, max_radius] in `steps`
   // evenly spaced values and returns the per-radius metrics plus the

@@ -1,5 +1,6 @@
 #include "io/deployment_io.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -10,11 +11,17 @@ namespace bc::io {
 
 namespace {
 
-bool parse_double_token(const std::string& token, double& out) {
-  if (token.empty()) return false;
+enum class TokenParse { kOk, kNotANumber, kNotFinite };
+
+// Finite numbers only: strtod's "nan"/"inf" spellings parse but poison
+// every geometric computation downstream, so they are distinguished from
+// plain text — a non-finite value is always an error, never a header.
+TokenParse parse_double_token(const std::string& token, double& out) {
+  if (token.empty()) return TokenParse::kNotANumber;
   char* end = nullptr;
   out = std::strtod(token.c_str(), &end);
-  return end == token.c_str() + token.size();
+  if (end != token.c_str() + token.size()) return TokenParse::kNotANumber;
+  return std::isfinite(out) ? TokenParse::kOk : TokenParse::kNotFinite;
 }
 
 std::string trim(const std::string& text) {
@@ -24,6 +31,20 @@ std::string trim(const std::string& text) {
   return text.substr(begin, end - begin + 1);
 }
 
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(trim(line.substr(start)));
+      return fields;
+    }
+    fields.push_back(trim(line.substr(start, comma - start)));
+    start = comma + 1;
+  }
+}
+
 }  // namespace
 
 std::optional<std::vector<geometry::Point2>> read_positions_csv(
@@ -31,29 +52,37 @@ std::optional<std::vector<geometry::Point2>> read_positions_csv(
   std::vector<geometry::Point2> positions;
   std::string line;
   std::size_t line_number = 0;
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_number) + ": " + what;
+    }
+    return std::nullopt;
+  };
   while (std::getline(in, line)) {
     ++line_number;
+    // getline stops at '\n' only; an embedded NUL would silently truncate
+    // strtod's view of the token, so it is malformed input, not whitespace.
+    if (line.find('\0') != std::string::npos) {
+      return fail("embedded NUL byte");
+    }
     const std::string trimmed = trim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
-    const auto comma = trimmed.find(',');
-    if (comma == std::string::npos) {
-      if (error != nullptr) {
-        *error = "line " + std::to_string(line_number) + ": expected 'x,y'";
-      }
-      return std::nullopt;
+    const std::vector<std::string> fields = split_fields(trimmed);
+    if (fields.size() != 2) {
+      return fail("expected 2 fields, got " + std::to_string(fields.size()));
     }
-    const std::string x_token = trim(trimmed.substr(0, comma));
-    const std::string y_token = trim(trimmed.substr(comma + 1));
     double x = 0.0;
     double y = 0.0;
-    if (!parse_double_token(x_token, x) || !parse_double_token(y_token, y)) {
-      // Tolerate exactly one non-numeric row as a header.
+    const TokenParse px = parse_double_token(fields[0], x);
+    const TokenParse py = parse_double_token(fields[1], y);
+    if (px == TokenParse::kNotFinite || py == TokenParse::kNotFinite) {
+      return fail("non-finite coordinate in '" + trimmed + "'");
+    }
+    if (px != TokenParse::kOk || py != TokenParse::kOk) {
+      // Tolerate exactly one non-numeric two-field row as a header
+      // ("x,y"); anything later, or with the wrong shape, is an error.
       if (positions.empty() && line_number <= 1) continue;
-      if (error != nullptr) {
-        *error = "line " + std::to_string(line_number) +
-                 ": malformed coordinates '" + trimmed + "'";
-      }
-      return std::nullopt;
+      return fail("malformed coordinates '" + trimmed + "'");
     }
     positions.push_back({x, y});
   }

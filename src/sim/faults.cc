@@ -1,0 +1,148 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/require.h"
+#include "support/rng.h"
+
+namespace bc::sim {
+
+namespace {
+
+constexpr double kSecondsPerDay = 24.0 * 3600.0;
+
+// Stream tags keep the four fault dimensions on independent SplitMix64
+// lanes: enabling or re-parameterising one dimension never shifts the
+// draws of another, so scenario A-vs-B comparisons stay paired.
+enum StreamTag : std::uint64_t {
+  kDeathStream = 0x5eed0001,
+  kOutageStream = 0x5eed0002,
+  kEfficiencyStream = 0x5eed0003,
+  kPositionStream = 0x5eed0004,
+};
+
+// Per-sensor child generator: one SplitMix64 step ties (seed, tag, id) to
+// a full xoshiro state, so sensors are mutually independent.
+support::Rng sensor_stream(std::uint64_t seed, std::uint64_t tag,
+                           net::SensorId id) {
+  support::SplitMix64 mix(seed ^ (tag * 0x9e3779b97f4a7c15ULL));
+  const std::uint64_t base = mix.next();
+  return support::Rng(base + 0x9e3779b97f4a7c15ULL * (id + 1));
+}
+
+double exponential(support::Rng& rng, double mean) {
+  // Inverse CDF; uniform() < 1 so the log argument stays positive.
+  return -mean * std::log1p(-rng.uniform());
+}
+
+}  // namespace
+
+FaultModel::FaultModel(const net::Deployment& deployment,
+                       const FaultConfig& config)
+    : config_(config) {
+  support::require(config.permanent_death_rate_per_day >= 0.0,
+                   "death rate must be non-negative");
+  support::require(config.transient_outage_rate_per_day >= 0.0,
+                   "outage rate must be non-negative");
+  support::require(config.transient_outage_mean_s > 0.0,
+                   "outage mean duration must be positive");
+  support::require(
+      config.max_efficiency_loss >= 0.0 && config.max_efficiency_loss < 1.0,
+      "efficiency loss must be in [0, 1)");
+  support::require(config.position_noise_stddev_m >= 0.0,
+                   "position noise must be non-negative");
+  support::require(config.mc_battery_capacity_j >= 0.0,
+                   "MC battery capacity must be non-negative (0 = unlimited)");
+  support::require(config.horizon_s > 0.0, "fault horizon must be positive");
+
+  const std::size_t n = deployment.size();
+  death_time_s_.resize(n, std::numeric_limits<double>::infinity());
+  outages_.resize(n);
+  efficiency_.resize(n, 1.0);
+  true_positions_.assign(deployment.positions().begin(),
+                         deployment.positions().end());
+
+  for (net::SensorId id = 0; id < n; ++id) {
+    if (config.permanent_death_rate_per_day > 0.0) {
+      support::Rng rng = sensor_stream(config.seed, kDeathStream, id);
+      const double mean_s =
+          kSecondsPerDay / config.permanent_death_rate_per_day;
+      const double t = exponential(rng, mean_s);
+      if (t <= config.horizon_s) death_time_s_[id] = t;
+    }
+    if (config.transient_outage_rate_per_day > 0.0) {
+      support::Rng rng = sensor_stream(config.seed, kOutageStream, id);
+      const double gap_mean_s =
+          kSecondsPerDay / config.transient_outage_rate_per_day;
+      double t = 0.0;
+      while (true) {
+        t += exponential(rng, gap_mean_s);
+        if (t > config.horizon_s) break;
+        const double duration =
+            exponential(rng, config.transient_outage_mean_s);
+        outages_[id].push_back({t, t + duration});
+        t += duration;
+      }
+    }
+    if (config.max_efficiency_loss > 0.0) {
+      support::Rng rng = sensor_stream(config.seed, kEfficiencyStream, id);
+      efficiency_[id] = 1.0 - rng.uniform(0.0, config.max_efficiency_loss);
+    }
+    if (config.position_noise_stddev_m > 0.0) {
+      support::Rng rng = sensor_stream(config.seed, kPositionStream, id);
+      const double sigma = config.position_noise_stddev_m;
+      true_positions_[id] += {rng.gaussian(0.0, sigma),
+                              rng.gaussian(0.0, sigma)};
+    }
+  }
+}
+
+bool FaultModel::is_failed(net::SensorId id, double t_s) const {
+  support::require(id < size(), "sensor id out of range");
+  if (t_s >= death_time_s_[id]) return true;
+  const std::vector<Outage>& windows = outages_[id];
+  // Last outage starting at or before t; membership is a range check.
+  auto it = std::upper_bound(
+      windows.begin(), windows.end(), t_s,
+      [](double t, const Outage& o) { return t < o.start_s; });
+  return it != windows.begin() && t_s < std::prev(it)->end_s;
+}
+
+bool FaultModel::permanently_failed_by(net::SensorId id, double t_s) const {
+  support::require(id < size(), "sensor id out of range");
+  return t_s >= death_time_s_[id];
+}
+
+double FaultModel::death_time_s(net::SensorId id) const {
+  support::require(id < size(), "sensor id out of range");
+  return death_time_s_[id];
+}
+
+std::size_t FaultModel::permanent_failures_by(double t_s) const {
+  std::size_t count = 0;
+  for (const double t : death_time_s_) {
+    if (t_s >= t) ++count;
+  }
+  return count;
+}
+
+double FaultModel::efficiency(net::SensorId id) const {
+  support::require(id < size(), "sensor id out of range");
+  return efficiency_[id];
+}
+
+geometry::Point2 FaultModel::true_position(net::SensorId id) const {
+  support::require(id < size(), "sensor id out of range");
+  return true_positions_[id];
+}
+
+double FaultModel::received_power_w(const charging::ChargingModel& model,
+                                    geometry::Point2 charger_pos,
+                                    net::SensorId id) const {
+  const double d = geometry::distance(charger_pos, true_position(id));
+  return efficiency(id) * model.received_power_w(d);
+}
+
+}  // namespace bc::sim

@@ -1,0 +1,108 @@
+// Deterministic fault injection for WRSN mission execution.
+//
+// The paper's motivating loop assumes every planned mission executes
+// perfectly; real deployments do not. This model injects the four failure
+// modes that dominate field reports: sensor death (permanent hardware
+// failure and transient outages), per-sensor charging-efficiency
+// degradation (a harvester whose effective alpha of Eq. 1 has decayed),
+// position noise relative to the surveyed deployment (the planner parks
+// where the survey said the sensor is; physics happens where it actually
+// is), and a hard mobile-charger battery cap with stranding semantics.
+//
+// Determinism contract (same as the parallel layer, PR 1): every fault
+// timeline is materialised at construction from SplitMix64-derived
+// sub-streams of a single seed — one independent stream per fault
+// dimension, one child per sensor — so results are bit-identical at every
+// BC_THREADS value and across reruns, and enabling one fault dimension
+// never shifts another's draws.
+
+#ifndef BUNDLECHARGE_SIM_FAULTS_H_
+#define BUNDLECHARGE_SIM_FAULTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "charging/model.h"
+#include "geometry/point.h"
+#include "net/deployment.h"
+#include "net/sensor.h"
+
+namespace bc::sim {
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  // Permanent hardware death: exponential hazard per sensor, expressed as
+  // expected failures per sensor per simulated day. 0 disables.
+  double permanent_death_rate_per_day = 0.0;
+  // Transient outages (radio sleep, harvester brown-out): arrival rate per
+  // sensor per day; each outage lasts an exponential time with this mean.
+  double transient_outage_rate_per_day = 0.0;
+  double transient_outage_mean_s = 3600.0;
+  // Charging-efficiency degradation: each sensor's harvester keeps a factor
+  // drawn uniformly from [1 - max_efficiency_loss, 1]; it scales the
+  // effective alpha of Eq. 1 for that sensor. 0 disables.
+  double max_efficiency_loss = 0.0;
+  // Gaussian noise (stddev, metres, per coordinate) between the surveyed
+  // position the planner uses and the position the physics uses. 0 disables.
+  double position_noise_stddev_m = 0.0;
+  // Mobile-charger battery per mission (J); a mission whose projected
+  // movement + radiated energy would exceed it must degrade (truncate or
+  // replan) or strand. 0 = unlimited.
+  double mc_battery_capacity_j = 0.0;
+  // Fault timelines (deaths, outages) are materialised through this
+  // horizon; queries beyond it saturate at the last known state.
+  double horizon_s = 30.0 * 24.0 * 3600.0;
+};
+
+// Immutable per-deployment fault realisation. Thread-safe by construction:
+// all state is precomputed, queries are pure reads.
+class FaultModel {
+ public:
+  // Preconditions: rates/losses/noise non-negative, max_efficiency_loss < 1,
+  // horizon > 0, outage mean > 0, battery cap >= 0.
+  FaultModel(const net::Deployment& deployment, const FaultConfig& config);
+
+  const FaultConfig& config() const { return config_; }
+  std::size_t size() const { return true_positions_.size(); }
+
+  // True when the sensor cannot sense, drain, or harvest at time t
+  // (permanently failed, or inside a transient outage window).
+  bool is_failed(net::SensorId id, double t_s) const;
+  // Permanent hardware death only.
+  bool permanently_failed_by(net::SensorId id, double t_s) const;
+  // Time of permanent death (infinity when the sensor never fails).
+  double death_time_s(net::SensorId id) const;
+  // Count of sensors permanently failed by time t.
+  std::size_t permanent_failures_by(double t_s) const;
+
+  // Harvester efficiency factor in (0, 1]; scales effective alpha.
+  double efficiency(net::SensorId id) const;
+  // Where the sensor actually is (surveyed position + noise).
+  geometry::Point2 true_position(net::SensorId id) const;
+
+  double mc_battery_capacity_j() const { return config_.mc_battery_capacity_j; }
+  bool has_battery_cap() const { return config_.mc_battery_capacity_j > 0.0; }
+
+  // Power a (non-failed) sensor harvests from a charger parked at
+  // `charger_pos`, using the true position and the degraded alpha.
+  double received_power_w(const charging::ChargingModel& model,
+                          geometry::Point2 charger_pos,
+                          net::SensorId id) const;
+
+ private:
+  struct Outage {
+    double start_s;
+    double end_s;
+  };
+
+  FaultConfig config_;
+  std::vector<double> death_time_s_;          // per sensor, inf = never
+  std::vector<std::vector<Outage>> outages_;  // per sensor, sorted by start
+  std::vector<double> efficiency_;            // per sensor, (0, 1]
+  std::vector<geometry::Point2> true_positions_;
+};
+
+}  // namespace bc::sim
+
+#endif  // BUNDLECHARGE_SIM_FAULTS_H_

@@ -15,7 +15,12 @@
 // Simplifications (documented, conservative): drain continues during a
 // mission but recharge is credited at mission end, so a sensor that would
 // die mid-mission counts as dead until the mission completes; the charger
-// is always available at the depot between missions.
+// is always available at the depot between missions. Dead-seconds are
+// accounted in *every* phase — missions, inter-mission drain windows, and
+// the triggering scan at t = 0 when initial_fraction <= trigger_fraction —
+// not only mid-mission, so the totals stay correct even when a mission
+// fails to lift a sensor back above the trigger (the fault-aware loop
+// below relies on this).
 
 #ifndef BUNDLECHARGE_SIM_LIFETIME_H_
 #define BUNDLECHARGE_SIM_LIFETIME_H_
@@ -25,6 +30,9 @@
 
 #include "net/deployment.h"
 #include "sim/evaluate.h"
+#include "sim/faults.h"
+#include "sim/mission_executor.h"
+#include "support/expected.h"
 #include "tour/planner.h"
 
 namespace bc::sim {
@@ -70,6 +78,57 @@ LifetimeStats simulate_lifetime(const net::Deployment& deployment,
 double max_sustainable_drain_w(const net::Deployment& deployment,
                                LifetimeConfig config, double lo_w,
                                double hi_w, std::size_t probes = 12);
+
+// Fault-aware lifetime loop -------------------------------------------------
+//
+// Same trigger -> plan -> execute cycle, but missions run through the
+// disruption-tolerant executor against a FaultModel: sensors can be dead
+// or degraded, positions can be mis-surveyed, and the charger battery can
+// be capped. Planning uses what the charger *believes* (surveyed
+// positions, permanent deaths known at dispatch); transient outages are
+// discovered mid-mission by the executor. Drain model: permanently failed
+// sensors stop draining at their death time; transient outages suspend
+// harvesting (and mission membership) but not drain.
+
+struct FaultLifetimeConfig {
+  LifetimeConfig base;
+  FaultConfig faults;
+  ExecutorConfig executor;
+  // Copy base.planner / base.evaluation models into the executor config so
+  // planning, execution, and replanning share one physics. Set false only
+  // to deliberately mismatch them.
+  bool sync_executor_models = true;
+  // Wall time the charger waits before re-triggering after a mission that
+  // made no progress (e.g. immediate battery shortfall); bounds the loop.
+  double recovery_wait_s = 600.0;
+};
+
+// One point of the network survival curve (event-sampled at t = 0, each
+// mission end, and the horizon).
+struct SurvivalPoint {
+  double t_s = 0.0;
+  // Fraction of sensors neither permanently failed nor at battery level 0.
+  double alive_fraction = 1.0;
+};
+
+struct FaultLifetimeStats {
+  LifetimeStats base;
+  std::size_t missions_completed = 0;  // executor reported full delivery
+  std::size_t missions_degraded = 0;   // at least one disruption
+  std::size_t replans = 0;
+  std::size_t strandings = 0;
+  std::size_t sensors_failed = 0;  // permanent hardware deaths by the end
+  std::size_t total_disruptions = 0;
+  // Indexed by static_cast<size_t>(FaultKind).
+  std::vector<std::size_t> disruptions_by_kind;
+  std::vector<SurvivalPoint> survival;
+};
+
+// Runs the fault-aware lifetime loop. Preconditions as simulate_lifetime
+// plus the FaultModel's. Structured faults (never asserts) are returned
+// for unexecutable scenarios; disruptions land in the stats.
+support::Expected<FaultLifetimeStats> simulate_lifetime_with_faults(
+    const net::Deployment& deployment, const FaultLifetimeConfig& config);
 
 }  // namespace bc::sim
 

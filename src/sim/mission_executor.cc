@@ -1,0 +1,293 @@
+#include "sim/mission_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "support/require.h"
+
+namespace bc::sim {
+
+namespace {
+
+using support::Fault;
+using support::FaultKind;
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+std::string_view to_string(DisruptionPolicy policy) {
+  switch (policy) {
+    case DisruptionPolicy::kSkip:
+      return "skip";
+    case DisruptionPolicy::kTruncate:
+      return "truncate";
+    case DisruptionPolicy::kReplan:
+      return "replan";
+  }
+  return "unknown";
+}
+
+std::size_t MissionReport::count(support::FaultKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(disruptions.begin(), disruptions.end(),
+                    [&](const Disruption& d) { return d.kind == kind; }));
+}
+
+support::Expected<MissionReport> execute_mission(
+    const net::Deployment& deployment, const std::vector<double>& demand_j,
+    const tour::ChargingPlan& plan, const FaultModel& faults,
+    double start_time_s, const ExecutorConfig& config) {
+  support::require(demand_j.size() == deployment.size(),
+                   "one demand per sensor");
+  support::require(config.stop_time_tolerance >= 1.0,
+                   "stop-time tolerance must be >= 1");
+  support::require(faults.size() == deployment.size(),
+                   "fault model built for a different deployment");
+  for (const tour::Stop& stop : plan.stops) {
+    for (const net::SensorId id : stop.members) {
+      if (id >= deployment.size()) {
+        return Fault{FaultKind::kInvalidInput,
+                     "plan references sensor " + std::to_string(id) +
+                         " outside the deployment"};
+      }
+    }
+  }
+
+  const charging::ChargingModel& charging = config.charging;
+  const charging::MovementModel& movement = config.movement;
+  const bool capped = faults.has_battery_cap();
+  const bool reckless =
+      config.on_battery_shortfall == DisruptionPolicy::kSkip;
+
+  MissionReport report;
+  report.stops_planned = plan.stops.size();
+  report.delivered_j.assign(deployment.size(), 0.0);
+  report.final_position = plan.depot;
+
+  std::vector<double> remaining = demand_j;
+  double battery =
+      capped ? faults.mc_battery_capacity_j()
+             : std::numeric_limits<double>::infinity();
+  geometry::Point2 at = plan.depot;
+  double now = start_time_s;
+  std::size_t visit = 0;
+
+  std::vector<tour::Stop> stops = plan.stops;
+  std::size_t next = 0;
+
+  const auto disrupt = [&](FaultKind kind, std::string message) {
+    report.disruptions.push_back({kind, visit, std::move(message)});
+  };
+
+  // Drives toward `target`; in reckless mode the battery can die mid-leg,
+  // leaving the charger stranded part-way. Returns false when stranded.
+  const auto travel_to = [&](geometry::Point2 target) {
+    const double dist = geometry::distance(at, target);
+    if (dist == 0.0) return true;
+    const double cost = movement.move_energy_j(dist);
+    if (capped && cost > battery + kEps) {
+      const double fraction = std::max(0.0, battery / cost);
+      at = geometry::lerp(at, target, fraction);
+      report.tour_length_m += dist * fraction;
+      report.mission_time_s += movement.move_time_s(dist) * fraction;
+      report.move_energy_j += battery;
+      report.battery_used_j += battery;
+      battery = 0.0;
+      report.stranded = true;
+      report.completed = false;
+      disrupt(FaultKind::kMcStranded,
+              "battery died " +
+                  std::to_string(geometry::distance(at, plan.depot)) +
+                  " m short of the depot");
+      return false;
+    }
+    battery -= cost;
+    at = target;
+    report.tour_length_m += dist;
+    report.mission_time_s += movement.move_time_s(dist);
+    report.move_energy_j += cost;
+    report.battery_used_j += cost;
+    now += movement.move_time_s(dist);
+    return true;
+  };
+
+  // Online replan over the believed-alive, still-owed sensors. Returns
+  // true when a new work list was installed (possibly empty).
+  const auto try_replan = [&]() {
+    if (report.replans >= config.max_replans) {
+      disrupt(FaultKind::kReplanExhausted,
+              "mission replan budget (" + std::to_string(config.max_replans) +
+                  ") exhausted");
+      return false;
+    }
+    tour::ReplanRequest request;
+    request.current_position = at;
+    for (net::SensorId id = 0; id < deployment.size(); ++id) {
+      if (remaining[id] > kEps && !faults.is_failed(id, now)) {
+        request.remaining.push_back(id);
+        request.deficits_j.push_back(remaining[id]);
+      }
+    }
+    auto replanned =
+        tour::replan_tour(deployment, request, config.planner, config.replan);
+    if (!replanned) {
+      disrupt(replanned.fault().kind, replanned.fault().message);
+      return false;
+    }
+    stops = std::move(replanned.value().stops);
+    next = 0;
+    ++report.replans;
+    return true;
+  };
+
+  while (next < stops.size()) {
+    const tour::Stop stop = stops[next];
+    ++visit;
+
+    // (1) Membership health: members that died since planning, and members
+    // already topped up by one-to-many spill from earlier stops.
+    std::vector<net::SensorId> live;
+    std::size_t dead = 0;
+    for (const net::SensorId id : stop.members) {
+      if (faults.is_failed(id, now)) {
+        ++dead;
+      } else if (remaining[id] > kEps) {
+        live.push_back(id);
+      }
+    }
+    if (dead > 0) {
+      disrupt(FaultKind::kSensorDead,
+              std::to_string(dead) + " of " +
+                  std::to_string(stop.members.size()) +
+                  " members dead (policy: " +
+                  std::string(to_string(config.on_dead_member)) + ")");
+      if (config.on_dead_member == DisruptionPolicy::kTruncate) {
+        report.completed = false;
+        break;
+      }
+      if (config.on_dead_member == DisruptionPolicy::kReplan && try_replan()) {
+        continue;
+      }
+      // kSkip (or a failed replan): serve the surviving members below.
+    }
+    if (live.empty()) {
+      ++report.stops_skipped;
+      ++next;
+      continue;
+    }
+
+    // (2) Stop time: the plan's belief (surveyed positions, nominal
+    // harvesters) versus the faulted world's reality.
+    double planned_t = 0.0;
+    for (const net::SensorId id : stop.members) {
+      const double d =
+          geometry::distance(stop.position, deployment.sensor(id).position);
+      planned_t = std::max(planned_t, charging.charge_time_s(d, demand_j[id]));
+    }
+    double actual_t = 0.0;
+    for (const net::SensorId id : live) {
+      const double p = faults.received_power_w(charging, stop.position, id);
+      actual_t = std::max(actual_t, remaining[id] / p);
+    }
+    double park_t = actual_t;
+    bool replan_after_stop = false;
+    if (actual_t > config.stop_time_tolerance * planned_t + kEps) {
+      disrupt(FaultKind::kStopOverrun,
+              "needs " + std::to_string(actual_t) + " s vs " +
+                  std::to_string(planned_t) + " s planned (policy: " +
+                  std::string(to_string(config.on_overrun)) + ")");
+      switch (config.on_overrun) {
+        case DisruptionPolicy::kSkip:
+          break;  // accept the overrun, park the full actual time
+        case DisruptionPolicy::kTruncate:
+          park_t = config.stop_time_tolerance * planned_t;
+          break;
+        case DisruptionPolicy::kReplan:
+          park_t = config.stop_time_tolerance * planned_t;
+          replan_after_stop = true;
+          break;
+      }
+    }
+
+    // (3) Battery projection: can we serve this stop and still make the
+    // depot? Reckless mode skips the projection — that is what makes
+    // physical stranding reachable.
+    if (capped && !reckless) {
+      const double projected =
+          movement.move_energy_j(geometry::distance(at, stop.position)) +
+          charging.cost_of_stop_j(park_t) +
+          movement.move_energy_j(geometry::distance(stop.position, plan.depot));
+      if (projected > battery + kEps) {
+        disrupt(FaultKind::kBatteryShortfall,
+                "stop needs " + std::to_string(projected) + " J, " +
+                    std::to_string(battery) + " J left (policy: " +
+                    std::string(to_string(config.on_battery_shortfall)) + ")");
+        if (config.on_battery_shortfall == DisruptionPolicy::kReplan &&
+            try_replan()) {
+          continue;
+        }
+        report.completed = false;
+        break;
+      }
+    }
+
+    // (4) Travel and park. In reckless mode the park is cut short the
+    // moment the battery dies.
+    if (!travel_to(stop.position)) break;
+    bool strand_after_park = false;
+    if (capped && charging.cost_of_stop_j(park_t) > battery + kEps) {
+      park_t = battery / charging.charge_cost_w();
+      strand_after_park = true;
+    }
+    // One-to-many: every live sensor harvests from this stop (Eq. 3's
+    // constraint sums over all stops), at its true position and degraded
+    // efficiency; failed sensors harvest nothing.
+    for (net::SensorId id = 0; id < deployment.size(); ++id) {
+      if (faults.is_failed(id, now)) continue;
+      const double got =
+          park_t * faults.received_power_w(charging, stop.position, id);
+      report.delivered_j[id] += got;
+      remaining[id] = std::max(0.0, remaining[id] - got);
+    }
+    const double park_cost = charging.cost_of_stop_j(park_t);
+    report.charge_time_s += park_t;
+    report.charge_energy_j += park_cost;
+    report.battery_used_j += park_cost;
+    report.mission_time_s += park_t;
+    battery -= park_cost;
+    now += park_t;
+    ++report.stops_visited;
+    ++next;
+    if (strand_after_park) {
+      report.stranded = true;
+      report.completed = false;
+      report.final_position = at;
+      disrupt(FaultKind::kMcStranded,
+              "battery died while charging; parked at stop, " +
+                  std::to_string(geometry::distance(at, plan.depot)) +
+                  " m from the depot");
+      break;
+    }
+    if (replan_after_stop && try_replan()) continue;
+  }
+
+  if (!report.stranded) {
+    travel_to(plan.depot);
+  }
+  report.final_position = at;
+
+  // Completion: every believed-alive mission sensor met its target.
+  for (net::SensorId id = 0; id < deployment.size(); ++id) {
+    if (demand_j[id] <= 0.0 || faults.is_failed(id, now)) continue;
+    if (remaining[id] > std::max(kEps, 1e-6 * demand_j[id])) {
+      report.completed = false;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace bc::sim

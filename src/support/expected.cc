@@ -1,0 +1,40 @@
+#include "support/expected.h"
+
+namespace bc::support {
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kSensorDead:
+      return "sensor-dead";
+    case FaultKind::kStopOverrun:
+      return "stop-overrun";
+    case FaultKind::kBatteryShortfall:
+      return "battery-shortfall";
+    case FaultKind::kMcStranded:
+      return "mc-stranded";
+    case FaultKind::kReplanExhausted:
+      return "replan-exhausted";
+    case FaultKind::kCoverageGap:
+      return "coverage-gap";
+    case FaultKind::kInvalidInput:
+      return "invalid-input";
+    case FaultKind::kNumFaultKinds:
+      break;
+  }
+  return "unknown";
+}
+
+std::string describe(const Fault& fault) {
+  std::string text(to_string(fault.kind));
+  if (fault.stop_index != kNoStop) {
+    text += " at stop " + std::to_string(fault.stop_index);
+  }
+  if (!fault.message.empty()) {
+    text += ": " + fault.message;
+  }
+  return text;
+}
+
+}  // namespace bc::support

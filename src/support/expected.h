@@ -1,0 +1,96 @@
+// Structured error reporting for fallible operations.
+//
+// Disruption-tolerant execution must degrade instead of asserting: a dead
+// bundle member or a stranded charger is an *outcome* to report, not a
+// programming error. Fallible layers (mission executor, online replanner,
+// deployment IO) therefore return Expected<T> — either a value or a Fault
+// carrying a machine-readable FaultKind, a human-readable message, and,
+// where it applies, the plan stop index the fault was detected at.
+// BC_REQUIRE-style exceptions remain reserved for genuine contract
+// violations (bad arguments, library bugs).
+
+#ifndef BUNDLECHARGE_SUPPORT_EXPECTED_H_
+#define BUNDLECHARGE_SUPPORT_EXPECTED_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "support/require.h"
+
+namespace bc::support {
+
+// Taxonomy of runtime disruptions and recoverable failures. Keep
+// kNumFaultKinds last: per-kind counters index by it.
+enum class FaultKind {
+  kNone = 0,           // no fault (default-constructed Fault)
+  kSensorDead,         // a planned bundle member is dead (permanent or outage)
+  kStopOverrun,        // actual stop time exceeded plan x tolerance
+  kBatteryShortfall,   // projected MC battery cannot cover stop + depot return
+  kMcStranded,        // MC battery exhausted before reaching the depot
+  kReplanExhausted,    // bounded-retry replanning ran out of attempts
+  kCoverageGap,        // a candidate replan failed to cover every sensor
+  kInvalidInput,       // malformed external input (IO, config)
+  kNumFaultKinds,      // count sentinel, not a fault
+};
+
+std::string_view to_string(FaultKind kind);
+
+// No stop index applies (fault not tied to a particular plan stop).
+inline constexpr std::size_t kNoStop = static_cast<std::size_t>(-1);
+
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  std::string message;
+  std::size_t stop_index = kNoStop;
+};
+
+// "fault kind at stop 3: message" / "fault kind: message".
+std::string describe(const Fault& fault);
+
+// Minimal expected/result type: holds either a T or a Fault. Intentionally
+// smaller than std::expected (C++23): no monadic chaining, just checked
+// access, which keeps call sites explicit about the degraded path.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : state_(std::move(value)) {}            // NOLINT
+  Expected(Fault fault) : state_(std::move(fault)) {}        // NOLINT
+  Expected(FaultKind kind, std::string message,
+           std::size_t stop_index = kNoStop)
+      : state_(Fault{kind, std::move(message), stop_index}) {}
+
+  bool has_value() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return has_value(); }
+
+  // Checked access; calling the wrong accessor is a caller bug.
+  const T& value() const& {
+    require(has_value(), "Expected holds a fault, not a value");
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    require(has_value(), "Expected holds a fault, not a value");
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    require(has_value(), "Expected holds a fault, not a value");
+    return std::get<T>(std::move(state_));
+  }
+  const Fault& fault() const {
+    require(!has_value(), "Expected holds a value, not a fault");
+    return std::get<Fault>(state_);
+  }
+
+  T value_or(T fallback) const {
+    return has_value() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Fault> state_;
+};
+
+}  // namespace bc::support
+
+#endif  // BUNDLECHARGE_SUPPORT_EXPECTED_H_

@@ -1,0 +1,160 @@
+#include "tour/replan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "bundle/exact_cover.h"
+#include "bundle/generator.h"
+#include "support/require.h"
+
+namespace bc::tour {
+
+namespace {
+
+using support::Expected;
+using support::Fault;
+using support::FaultKind;
+
+// One rung of the degradation ladder.
+struct Rung {
+  bundle::GeneratorKind kind;
+  std::size_t node_budget = 0;  // only meaningful for kExact
+};
+
+std::vector<Rung> build_ladder(const PlannerConfig& config,
+                               const ReplanOptions& options) {
+  std::vector<Rung> ladder;
+  if (config.generator.kind == bundle::GeneratorKind::kExact) {
+    double budget = static_cast<double>(options.initial_node_budget);
+    for (std::size_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+      const auto nodes =
+          std::max<std::size_t>(1, static_cast<std::size_t>(budget));
+      ladder.push_back({bundle::GeneratorKind::kExact, nodes});
+      budget *= options.budget_backoff;
+    }
+  } else {
+    ladder.push_back({config.generator.kind, 0});
+  }
+  if (options.fallback_to_heuristics) {
+    for (const bundle::GeneratorKind kind :
+         {bundle::GeneratorKind::kGreedy, bundle::GeneratorKind::kGrid,
+          bundle::GeneratorKind::kSweep}) {
+      if (kind != config.generator.kind) ladder.push_back({kind, 0});
+    }
+  }
+  return ladder;
+}
+
+// Deterministic nearest-neighbour path from `start` over the stops,
+// ending wherever the chain ends (the executor adds the depot leg). Ties
+// break toward the lower stop index, so the order is reproducible.
+void order_stops_from(geometry::Point2 start, std::vector<Stop>& stops) {
+  geometry::Point2 at = start;
+  for (std::size_t filled = 0; filled + 1 < stops.size(); ++filled) {
+    std::size_t best = filled;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t j = filled; j < stops.size(); ++j) {
+      const double d = geometry::distance_squared(at, stops[j].position);
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    std::swap(stops[filled], stops[best]);
+    at = stops[filled].position;
+  }
+}
+
+}  // namespace
+
+Expected<ChargingPlan> replan_tour(const net::Deployment& deployment,
+                                   const ReplanRequest& request,
+                                   const PlannerConfig& config,
+                                   const ReplanOptions& options) {
+  support::require(request.remaining.size() == request.deficits_j.size(),
+                   "one deficit per remaining sensor");
+  support::require(std::is_sorted(request.remaining.begin(),
+                                  request.remaining.end(),
+                                  std::less_equal<net::SensorId>()),
+                   "remaining ids must be strictly ascending");
+  support::require(config.bundle_radius > 0.0,
+                   "bundle radius must be positive");
+  support::require(options.max_attempts >= 1, "need at least one attempt");
+  support::require(
+      options.budget_backoff > 0.0 && options.budget_backoff < 1.0,
+      "budget backoff must shrink the budget");
+
+  ChargingPlan plan;
+  plan.algorithm = "REPLAN";
+  plan.depot = deployment.depot();
+  if (request.remaining.empty()) return plan;
+
+  // Sub-deployment over the remaining sensors; ids are remapped back to
+  // the original deployment when stops are emitted. Planning uses surveyed
+  // positions: the planner only knows the survey, faults live in physics.
+  std::vector<geometry::Point2> positions;
+  std::vector<double> demands;
+  positions.reserve(request.remaining.size());
+  demands.reserve(request.remaining.size());
+  for (std::size_t i = 0; i < request.remaining.size(); ++i) {
+    const net::SensorId id = request.remaining[i];
+    support::require(id < deployment.size(), "remaining id out of range");
+    positions.push_back(deployment.sensor(id).position);
+    demands.push_back(std::max(request.deficits_j[i], 1e-9));
+  }
+  const net::Deployment remaining(std::move(positions), deployment.field(),
+                                  deployment.depot(), std::move(demands));
+
+  const std::vector<Rung> ladder = build_ladder(config, options);
+  std::string attempts_log;
+  for (const Rung& rung : ladder) {
+    std::vector<bundle::Bundle> bundles;
+    if (rung.kind == bundle::GeneratorKind::kExact) {
+      bundle::ExactCoverOptions exact = config.generator.exact;
+      exact.max_nodes = rung.node_budget;
+      auto found =
+          bundle::optimal_bundles(remaining, config.bundle_radius, exact);
+      if (!found.has_value()) {
+        attempts_log += std::string(bundle::to_string(rung.kind)) + "(budget " +
+                        std::to_string(rung.node_budget) + ") ";
+        continue;  // budget exhausted: back off or fall down the ladder
+      }
+      bundles = std::move(*found);
+    } else {
+      bundle::GeneratorOptions generator = config.generator;
+      generator.kind = rung.kind;
+      bundles = bundle::generate_bundles(remaining, config.bundle_radius,
+                                         generator);
+    }
+    if (!bundle::is_partition(remaining, bundles)) {
+      attempts_log += std::string(bundle::to_string(rung.kind)) + "(gap) ";
+      continue;  // kCoverageGap for this rung; try the next one
+    }
+
+    plan.stops.clear();
+    plan.stops.reserve(bundles.size());
+    for (const bundle::Bundle& b : bundles) {
+      Stop stop;
+      stop.position = b.anchor;
+      stop.members.reserve(b.members.size());
+      for (const net::SensorId local : b.members) {
+        stop.members.push_back(request.remaining[local]);
+      }
+      plan.stops.push_back(std::move(stop));
+    }
+    order_stops_from(request.current_position, plan.stops);
+    plan.algorithm =
+        "REPLAN(" + std::string(bundle::to_string(rung.kind)) + ")";
+    return plan;
+  }
+
+  return Fault{FaultKind::kReplanExhausted,
+               "no generator rung produced a covering partition for " +
+                   std::to_string(request.remaining.size()) +
+                   " sensors (tried: " + attempts_log + ")"};
+}
+
+}  // namespace bc::tour

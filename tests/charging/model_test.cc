@@ -3,6 +3,7 @@
 #include "charging/model.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -115,6 +116,65 @@ TEST(ChargingModelTest, FriisConstructionIsPhysical) {
   EXPECT_THROW(ChargingModel::from_friis(8.0, 2.0, 0.33, 0.25, 0.5, 0.1, 3.0,
                                          3.0),
                support::PreconditionError);
+}
+
+TEST(ChargingModelTest, ReceivedPowerNeverExceedsTransmitPower) {
+  // A model with alpha > beta^2 would, read literally, receive more than
+  // it radiates at short range; the conservation clamp caps it at p_tx.
+  const ChargingModel hot(/*alpha=*/36.0, /*beta=*/0.01,
+                          /*transmit_power_w=*/3.0, /*charge_cost_w=*/3.0);
+  EXPECT_DOUBLE_EQ(hot.received_power_w(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(hot.received_power_w(1.0), 3.0);  // still inside the clamp
+  for (double d = 0.0; d < 50.0; d += 0.5) {
+    EXPECT_LE(hot.received_power_w(d), hot.transmit_power_w());
+  }
+  // Beyond sqrt(alpha) - beta the unclamped law takes over again.
+  EXPECT_LT(hot.received_power_w(10.0), 3.0);
+  EXPECT_NEAR(hot.received_power_w(10.0), 36.0 / (10.01 * 10.01) * 3.0,
+              1e-12);
+}
+
+TEST(ChargingModelTest, ClampLeavesStandardProfilesUntouched) {
+  // icdcs2019 has alpha / beta^2 = 0.04 << 1: the clamp never binds, so
+  // every published number is unchanged.
+  const ChargingModel m = ChargingModel::icdcs2019_simulation();
+  EXPECT_DOUBLE_EQ(m.received_power_w(0.0), 36.0 / 900.0 * 3.0);
+  EXPECT_DOUBLE_EQ(m.received_power_w(20.0), 36.0 / 2500.0 * 3.0);
+}
+
+TEST(ChargingModelTest, ChargeTimeIsFiniteInsideTheClamp) {
+  const ChargingModel hot(/*alpha=*/100.0, /*beta=*/1.0,
+                          /*transmit_power_w=*/3.0, /*charge_cost_w=*/3.0);
+  // At contact the sensor absorbs exactly p_tx, no more.
+  EXPECT_DOUBLE_EQ(hot.charge_time_s(0.0, 6.0), 2.0);
+}
+
+TEST(ChargingModelTest, RangeForPowerConsistentWithClamp) {
+  const ChargingModel hot(/*alpha=*/36.0, /*beta=*/0.01,
+                          /*transmit_power_w=*/3.0, /*charge_cost_w=*/3.0);
+  // Requests at or above the radiated power collapse to zero range...
+  EXPECT_DOUBLE_EQ(hot.range_for_power_m(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(hot.range_for_power_m(10.0), 0.0);
+  // ...while requests below it still invert the attenuation law.
+  const double d = hot.range_for_power_m(0.5);
+  EXPECT_NEAR(hot.received_power_w(d), 0.5, 1e-9);
+}
+
+TEST(ChargingModelTest, FriisRejectsNonFiniteInputs) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(
+      ChargingModel::from_friis(inf, 2.0, 0.33, 0.25, 2.0, 0.1, 3.0, 3.0),
+      support::PreconditionError);
+  EXPECT_THROW(
+      ChargingModel::from_friis(8.0, nan, 0.33, 0.25, 2.0, 0.1, 3.0, 3.0),
+      support::PreconditionError);
+  EXPECT_THROW(
+      ChargingModel::from_friis(8.0, 2.0, inf, 0.25, 2.0, 0.1, 3.0, 3.0),
+      support::PreconditionError);
+  EXPECT_THROW(
+      ChargingModel::from_friis(8.0, 2.0, 0.33, 0.25, inf, 0.1, 3.0, 3.0),
+      support::PreconditionError);
 }
 
 }  // namespace

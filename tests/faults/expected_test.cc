@@ -1,0 +1,65 @@
+// Tests for the Expected<T> result type and the FaultKind taxonomy.
+
+#include "support/expected.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace bc::support {
+namespace {
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> e(42);
+  EXPECT_TRUE(e.has_value());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(e.value_or(-1), 42);
+  EXPECT_THROW(e.fault(), PreconditionError);
+}
+
+TEST(ExpectedTest, HoldsFault) {
+  Expected<int> e(Fault{FaultKind::kSensorDead, "member 3 dead", 2});
+  EXPECT_FALSE(e.has_value());
+  EXPECT_FALSE(static_cast<bool>(e));
+  EXPECT_EQ(e.fault().kind, FaultKind::kSensorDead);
+  EXPECT_EQ(e.fault().message, "member 3 dead");
+  EXPECT_EQ(e.fault().stop_index, 2u);
+  EXPECT_EQ(e.value_or(-1), -1);
+  EXPECT_THROW(e.value(), PreconditionError);
+}
+
+TEST(ExpectedTest, InlineFaultConstructor) {
+  Expected<std::string> e(FaultKind::kReplanExhausted, "budget spent");
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.fault().kind, FaultKind::kReplanExhausted);
+  EXPECT_EQ(e.fault().stop_index, kNoStop);
+}
+
+TEST(ExpectedTest, MutableValueAccess) {
+  Expected<std::string> e(std::string("abc"));
+  e.value() += "def";
+  EXPECT_EQ(e.value(), "abcdef");
+  EXPECT_EQ(std::move(e).value(), "abcdef");
+}
+
+TEST(ExpectedTest, EveryKindHasAName) {
+  for (int k = 0; k < static_cast<int>(FaultKind::kNumFaultKinds); ++k) {
+    EXPECT_FALSE(to_string(static_cast<FaultKind>(k)).empty());
+    EXPECT_NE(to_string(static_cast<FaultKind>(k)), "unknown");
+  }
+}
+
+TEST(ExpectedTest, DescribeIncludesStopIndex) {
+  const Fault at_stop{FaultKind::kStopOverrun, "too slow", 4};
+  const std::string text = describe(at_stop);
+  EXPECT_NE(text.find("stop-overrun"), std::string::npos);
+  EXPECT_NE(text.find("4"), std::string::npos);
+  EXPECT_NE(text.find("too slow"), std::string::npos);
+
+  const Fault no_stop{FaultKind::kMcStranded, "out of juice"};
+  EXPECT_EQ(describe(no_stop).find("stop"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bc::support

@@ -1,0 +1,198 @@
+// Tests for the deterministic fault-injection model.
+
+#include "sim/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "support/require.h"
+#include "support/rng.h"
+
+namespace bc::sim {
+namespace {
+
+net::Deployment grid_deployment(std::size_t n = 25) {
+  std::vector<geometry::Point2> positions;
+  const std::size_t side = static_cast<std::size_t>(std::ceil(std::sqrt(n)));
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back({20.0 + 40.0 * static_cast<double>(i % side),
+                         20.0 + 40.0 * static_cast<double>(i / side)});
+  }
+  return net::Deployment(std::move(positions),
+                         geometry::Box2{{0.0, 0.0}, {300.0, 300.0}},
+                         {0.0, 0.0}, 2.0);
+}
+
+TEST(FaultModelTest, ValidatesConfig) {
+  const net::Deployment d = grid_deployment();
+  FaultConfig config;
+  config.permanent_death_rate_per_day = -1.0;
+  EXPECT_THROW(FaultModel(d, config), support::PreconditionError);
+  config = {};
+  config.max_efficiency_loss = 1.0;
+  EXPECT_THROW(FaultModel(d, config), support::PreconditionError);
+  config = {};
+  config.transient_outage_mean_s = 0.0;
+  EXPECT_THROW(FaultModel(d, config), support::PreconditionError);
+  config = {};
+  config.mc_battery_capacity_j = -5.0;
+  EXPECT_THROW(FaultModel(d, config), support::PreconditionError);
+  config = {};
+  config.horizon_s = 0.0;
+  EXPECT_THROW(FaultModel(d, config), support::PreconditionError);
+}
+
+TEST(FaultModelTest, DefaultConfigInjectsNothing) {
+  const net::Deployment d = grid_deployment();
+  const FaultModel faults(d, FaultConfig{});
+  for (net::SensorId id = 0; id < d.size(); ++id) {
+    EXPECT_FALSE(faults.is_failed(id, 0.0));
+    EXPECT_FALSE(faults.is_failed(id, 1e9));
+    EXPECT_EQ(faults.death_time_s(id),
+              std::numeric_limits<double>::infinity());
+    EXPECT_EQ(faults.efficiency(id), 1.0);
+    EXPECT_EQ(faults.true_position(id).x, d.sensor(id).position.x);
+    EXPECT_EQ(faults.true_position(id).y, d.sensor(id).position.y);
+  }
+  EXPECT_FALSE(faults.has_battery_cap());
+  EXPECT_EQ(faults.permanent_failures_by(1e12), 0u);
+}
+
+TEST(FaultModelTest, SameSeedIsBitIdentical) {
+  const net::Deployment d = grid_deployment();
+  FaultConfig config;
+  config.seed = 7;
+  config.permanent_death_rate_per_day = 0.05;
+  config.transient_outage_rate_per_day = 1.0;
+  config.max_efficiency_loss = 0.4;
+  config.position_noise_stddev_m = 3.0;
+  const FaultModel a(d, config);
+  const FaultModel b(d, config);
+  for (net::SensorId id = 0; id < d.size(); ++id) {
+    EXPECT_EQ(a.death_time_s(id), b.death_time_s(id));
+    EXPECT_EQ(a.efficiency(id), b.efficiency(id));
+    EXPECT_EQ(a.true_position(id).x, b.true_position(id).x);
+    EXPECT_EQ(a.true_position(id).y, b.true_position(id).y);
+    for (double t = 0.0; t < 200000.0; t += 7321.0) {
+      EXPECT_EQ(a.is_failed(id, t), b.is_failed(id, t));
+    }
+  }
+}
+
+TEST(FaultModelTest, FaultDimensionsAreIndependentStreams) {
+  // Enabling outages must not move the death times, the efficiencies, or
+  // the noisy positions: each dimension draws from its own stream.
+  const net::Deployment d = grid_deployment();
+  FaultConfig base;
+  base.seed = 11;
+  base.permanent_death_rate_per_day = 0.05;
+  base.max_efficiency_loss = 0.4;
+  base.position_noise_stddev_m = 3.0;
+  FaultConfig with_outages = base;
+  with_outages.transient_outage_rate_per_day = 2.0;
+  const FaultModel a(d, base);
+  const FaultModel b(d, with_outages);
+  for (net::SensorId id = 0; id < d.size(); ++id) {
+    EXPECT_EQ(a.death_time_s(id), b.death_time_s(id));
+    EXPECT_EQ(a.efficiency(id), b.efficiency(id));
+    EXPECT_EQ(a.true_position(id).x, b.true_position(id).x);
+    EXPECT_EQ(a.true_position(id).y, b.true_position(id).y);
+  }
+}
+
+TEST(FaultModelTest, PermanentDeathIsForever) {
+  const net::Deployment d = grid_deployment();
+  FaultConfig config;
+  config.permanent_death_rate_per_day = 0.5;  // mean life of 2 days
+  config.horizon_s = 100.0 * 24.0 * 3600.0;
+  const FaultModel faults(d, config);
+  std::size_t died = 0;
+  for (net::SensorId id = 0; id < d.size(); ++id) {
+    const double t = faults.death_time_s(id);
+    if (!std::isfinite(t)) continue;
+    ++died;
+    EXPECT_FALSE(faults.is_failed(id, t - 1.0));
+    EXPECT_TRUE(faults.is_failed(id, t));
+    EXPECT_TRUE(faults.is_failed(id, t + 1e6));
+    EXPECT_FALSE(faults.permanently_failed_by(id, t - 1.0));
+    EXPECT_TRUE(faults.permanently_failed_by(id, t));
+  }
+  // Mean life 2 days over a 100 day horizon: essentially everyone dies.
+  EXPECT_GT(died, d.size() / 2);
+  EXPECT_EQ(faults.permanent_failures_by(config.horizon_s), died);
+  EXPECT_EQ(faults.permanent_failures_by(0.0), 0u);
+}
+
+TEST(FaultModelTest, TransientOutagesEnd) {
+  const net::Deployment d = grid_deployment();
+  FaultConfig config;
+  config.transient_outage_rate_per_day = 4.0;
+  config.transient_outage_mean_s = 1800.0;
+  config.horizon_s = 10.0 * 24.0 * 3600.0;
+  const FaultModel faults(d, config);
+  // No permanent deaths, so every failure observed must later clear.
+  std::size_t observed_outage = 0;
+  std::size_t observed_recovery = 0;
+  for (net::SensorId id = 0; id < d.size(); ++id) {
+    EXPECT_EQ(faults.death_time_s(id),
+              std::numeric_limits<double>::infinity());
+    bool was_failed = false;
+    for (double t = 0.0; t < config.horizon_s; t += 600.0) {
+      const bool failed = faults.is_failed(id, t);
+      if (failed) ++observed_outage;
+      if (was_failed && !failed) ++observed_recovery;
+      was_failed = failed;
+    }
+  }
+  EXPECT_GT(observed_outage, 0u);
+  EXPECT_GT(observed_recovery, 0u);
+}
+
+TEST(FaultModelTest, EfficiencyDegradesReceivedPower) {
+  const net::Deployment d = grid_deployment();
+  FaultConfig config;
+  config.max_efficiency_loss = 0.5;
+  const FaultModel faults(d, config);
+  const charging::ChargingModel model =
+      charging::ChargingModel::icdcs2019_simulation();
+  bool any_degraded = false;
+  for (net::SensorId id = 0; id < d.size(); ++id) {
+    const double eff = faults.efficiency(id);
+    EXPECT_GT(eff, 0.5 - 1e-12);
+    EXPECT_LE(eff, 1.0);
+    if (eff < 1.0) any_degraded = true;
+    const geometry::Point2 charger = d.sensor(id).position;
+    const double expected = eff * model.received_power_w(0.0);
+    EXPECT_DOUBLE_EQ(faults.received_power_w(model, charger, id), expected);
+  }
+  EXPECT_TRUE(any_degraded);
+}
+
+TEST(FaultModelTest, PositionNoiseMovesPhysicsNotSurvey) {
+  const net::Deployment d = grid_deployment();
+  FaultConfig config;
+  config.position_noise_stddev_m = 5.0;
+  const FaultModel faults(d, config);
+  double total_displacement = 0.0;
+  for (net::SensorId id = 0; id < d.size(); ++id) {
+    total_displacement +=
+        geometry::distance(faults.true_position(id), d.sensor(id).position);
+  }
+  // Mean displacement of a 2-D Gaussian with sigma = 5 is ~6.27 m; with 25
+  // sensors the total is far from 0 with overwhelming probability.
+  EXPECT_GT(total_displacement, 25.0);
+}
+
+TEST(FaultModelTest, QueriesRejectOutOfRangeIds) {
+  const net::Deployment d = grid_deployment(4);
+  const FaultModel faults(d, FaultConfig{});
+  EXPECT_THROW(faults.is_failed(4, 0.0), support::PreconditionError);
+  EXPECT_THROW(faults.death_time_s(4), support::PreconditionError);
+  EXPECT_THROW(faults.efficiency(4), support::PreconditionError);
+  EXPECT_THROW(faults.true_position(4), support::PreconditionError);
+}
+
+}  // namespace
+}  // namespace bc::sim

@@ -1,0 +1,172 @@
+// Tests for the bounded-retry online replanner.
+
+#include "tour/replan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/require.h"
+
+namespace bc::tour {
+namespace {
+
+net::Deployment line_deployment(std::size_t n = 8) {
+  std::vector<geometry::Point2> positions;
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back({50.0 + 30.0 * static_cast<double>(i), 100.0});
+  }
+  return net::Deployment(std::move(positions),
+                         geometry::Box2{{0.0, 0.0}, {400.0, 200.0}},
+                         {0.0, 0.0}, 2.0);
+}
+
+PlannerConfig quick_config() {
+  PlannerConfig config;
+  config.bundle_radius = 25.0;
+  return config;
+}
+
+std::set<net::SensorId> covered_ids(const ChargingPlan& plan) {
+  std::set<net::SensorId> ids;
+  for (const Stop& stop : plan.stops) {
+    ids.insert(stop.members.begin(), stop.members.end());
+  }
+  return ids;
+}
+
+TEST(ReplanTest, ValidatesRequest) {
+  const net::Deployment d = line_deployment();
+  ReplanRequest request;
+  request.current_position = {10.0, 10.0};
+  request.remaining = {1, 3};
+  request.deficits_j = {1.0};  // size mismatch
+  EXPECT_THROW(replan_tour(d, request, quick_config()),
+               support::PreconditionError);
+  request.deficits_j = {1.0, 1.0, 1.0};
+  request.remaining = {3, 1, 2};  // not ascending
+  EXPECT_THROW(replan_tour(d, request, quick_config()),
+               support::PreconditionError);
+  request.remaining = {1, 1, 2};  // not strictly ascending
+  EXPECT_THROW(replan_tour(d, request, quick_config()),
+               support::PreconditionError);
+  request.remaining = {1, 2, 99};  // out of range
+  EXPECT_THROW(replan_tour(d, request, quick_config()),
+               support::PreconditionError);
+}
+
+TEST(ReplanTest, EmptyRemainingYieldsEmptyPlan) {
+  const net::Deployment d = line_deployment();
+  ReplanRequest request;
+  request.current_position = {10.0, 10.0};
+  auto result = replan_tour(d, request, quick_config());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result.value().stops.empty());
+  EXPECT_EQ(result.value().depot.x, d.depot().x);
+}
+
+TEST(ReplanTest, CoversExactlyTheRemainingIds) {
+  const net::Deployment d = line_deployment();
+  ReplanRequest request;
+  request.current_position = {200.0, 100.0};
+  request.remaining = {1, 4, 6};
+  request.deficits_j = {0.5, 1.5, 2.0};
+  auto result = replan_tour(d, request, quick_config());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(covered_ids(result.value()),
+            std::set<net::SensorId>({1, 4, 6}));
+}
+
+TEST(ReplanTest, StartsNearTheCurrentPosition) {
+  const net::Deployment d = line_deployment();
+  PlannerConfig config = quick_config();
+  config.bundle_radius = 5.0;  // singleton bundles: one stop per sensor
+  ReplanRequest request;
+  request.remaining = {0, 3, 7};
+  request.deficits_j = {1.0, 1.0, 1.0};
+
+  // Standing on top of sensor 7 -> it must be the first stop.
+  request.current_position = d.sensor(7).position;
+  auto from_right = replan_tour(d, request, config);
+  ASSERT_TRUE(from_right.has_value());
+  ASSERT_EQ(from_right.value().stops.size(), 3u);
+  EXPECT_EQ(from_right.value().stops[0].members,
+            std::vector<net::SensorId>{7});
+
+  // Standing on sensor 0 -> order flips.
+  request.current_position = d.sensor(0).position;
+  auto from_left = replan_tour(d, request, config);
+  ASSERT_TRUE(from_left.has_value());
+  EXPECT_EQ(from_left.value().stops[0].members,
+            std::vector<net::SensorId>{0});
+}
+
+TEST(ReplanTest, IsDeterministic) {
+  const net::Deployment d = line_deployment();
+  ReplanRequest request;
+  request.current_position = {123.0, 45.0};
+  request.remaining = {0, 2, 3, 5, 6};
+  request.deficits_j = {1.0, 0.2, 0.7, 1.9, 0.4};
+  auto a = replan_tour(d, request, quick_config());
+  auto b = replan_tour(d, request, quick_config());
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  ASSERT_EQ(a.value().stops.size(), b.value().stops.size());
+  for (std::size_t i = 0; i < a.value().stops.size(); ++i) {
+    EXPECT_EQ(a.value().stops[i].members, b.value().stops[i].members);
+    EXPECT_EQ(a.value().stops[i].position.x, b.value().stops[i].position.x);
+    EXPECT_EQ(a.value().stops[i].position.y, b.value().stops[i].position.y);
+  }
+}
+
+TEST(ReplanTest, ExactBudgetExhaustionFallsBackToHeuristics) {
+  const net::Deployment d = line_deployment();
+  PlannerConfig config = quick_config();
+  config.generator.kind = bundle::GeneratorKind::kExact;
+  ReplanOptions options;
+  options.initial_node_budget = 1;  // every exact attempt exhausts
+  ReplanRequest request;
+  request.current_position = {10.0, 10.0};
+  for (net::SensorId id = 0; id < d.size(); ++id) {
+    request.remaining.push_back(id);
+    request.deficits_j.push_back(1.0);
+  }
+  auto result = replan_tour(d, request, config, options);
+  ASSERT_TRUE(result.has_value());
+  // The ladder slid down to a heuristic generator and still covered all.
+  EXPECT_EQ(covered_ids(result.value()).size(), d.size());
+  EXPECT_NE(result.value().algorithm.find("REPLAN("), std::string::npos);
+  EXPECT_EQ(result.value().algorithm.find("exact"), std::string::npos);
+}
+
+TEST(ReplanTest, ExhaustionWithoutFallbackIsAStructuredFault) {
+  const net::Deployment d = line_deployment();
+  PlannerConfig config = quick_config();
+  config.generator.kind = bundle::GeneratorKind::kExact;
+  ReplanOptions options;
+  options.initial_node_budget = 1;
+  options.fallback_to_heuristics = false;
+  ReplanRequest request;
+  request.current_position = {10.0, 10.0};
+  request.remaining = {0, 1, 2, 3, 4, 5, 6, 7};
+  request.deficits_j.assign(8, 1.0);
+  auto result = replan_tour(d, request, config, options);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.fault().kind, support::FaultKind::kReplanExhausted);
+  EXPECT_NE(result.fault().message.find("tried:"), std::string::npos);
+}
+
+TEST(ReplanTest, NonPositiveDeficitsAreClamped) {
+  const net::Deployment d = line_deployment();
+  ReplanRequest request;
+  request.current_position = {10.0, 10.0};
+  request.remaining = {2, 5};
+  request.deficits_j = {0.0, -3.0};  // stale bookkeeping must not throw
+  auto result = replan_tour(d, request, quick_config());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(covered_ids(result.value()), std::set<net::SensorId>({2, 5}));
+}
+
+}  // namespace
+}  // namespace bc::tour

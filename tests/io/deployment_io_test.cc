@@ -81,6 +81,73 @@ TEST(DeploymentIoTest, FileRoundTrip) {
   EXPECT_NE(error.find("cannot open"), std::string::npos);
 }
 
+// Hostile-input hardening: every rejection names the offending line.
+// (CI's Release job selects these by the "Hardening" suite name.)
+
+TEST(DeploymentIoHardeningTest, RejectsNonFiniteCoordinates) {
+  for (const char* row : {"nan,1.0\n", "1.0,nan\n", "inf,1.0\n", "1.0,-inf\n",
+                          "INFINITY,2\n"}) {
+    std::string error;
+    std::istringstream in(std::string("5,5\n") + row);
+    EXPECT_FALSE(read_positions_csv(in, &error).has_value()) << row;
+    EXPECT_NE(error.find("line 2"), std::string::npos) << row;
+    EXPECT_NE(error.find("non-finite"), std::string::npos) << row;
+  }
+}
+
+TEST(DeploymentIoHardeningTest, NonFiniteFirstLineIsNotAHeader) {
+  // "nan,inf" parses as numbers, so it must be rejected as data, never
+  // silently swallowed by the header tolerance.
+  std::string error;
+  std::istringstream in("nan,inf\n1,2\n");
+  EXPECT_FALSE(read_positions_csv(in, &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_NE(error.find("non-finite"), std::string::npos);
+}
+
+TEST(DeploymentIoHardeningTest, RejectsEmbeddedNul) {
+  std::string error;
+  std::string text = "1,2\n3,4\n";
+  text[2] = '\0';  // "1,\0\n3,4\n" — strtod would silently truncate
+  std::istringstream in(text);
+  EXPECT_FALSE(read_positions_csv(in, &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_NE(error.find("NUL"), std::string::npos);
+}
+
+TEST(DeploymentIoHardeningTest, RejectsWrongFieldCounts) {
+  std::string error;
+  std::istringstream three("1,2\n3,4,5\n");
+  EXPECT_FALSE(read_positions_csv(three, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("expected 2 fields, got 3"), std::string::npos);
+
+  std::istringstream trailing("1,2,\n");
+  EXPECT_FALSE(read_positions_csv(trailing, &error).has_value());
+  EXPECT_NE(error.find("expected 2 fields, got 3"), std::string::npos);
+
+  std::istringstream one("42\n");
+  EXPECT_FALSE(read_positions_csv(one, &error).has_value());
+  EXPECT_NE(error.find("expected 2 fields, got 1"), std::string::npos);
+}
+
+TEST(DeploymentIoHardeningTest, HeaderToleranceIsExactlyOneTwoFieldRow) {
+  // A three-field first line is a shape error, not a header.
+  std::string error;
+  std::istringstream three_field_header("x,y,z\n1,2\n");
+  EXPECT_FALSE(read_positions_csv(three_field_header, &error).has_value());
+  EXPECT_NE(error.find("expected 2 fields, got 3"), std::string::npos);
+
+  // A non-numeric row after data is an error even if it looks header-ish.
+  std::istringstream late_header("1,2\nx,y\n");
+  EXPECT_FALSE(read_positions_csv(late_header, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+
+  // The legitimate header still works.
+  std::istringstream ok("x,y\n1,2\n");
+  EXPECT_TRUE(read_positions_csv(ok, &error).has_value());
+}
+
 TEST(DeploymentIoTest, DeploymentFromPositionsIncludesDepot) {
   const net::Deployment d = deployment_from_positions(
       {{10.0, 10.0}, {20.0, 5.0}}, {0.0, 0.0}, 2.0);

@@ -135,5 +135,58 @@ TEST(LifetimeTest, SustainableDrainSearchBrackets) {
   EXPECT_TRUE(simulate_lifetime(d, config).perpetual);
 }
 
+TEST(LifetimeTest, DeadSecondsPinnedWhenStartingBelowTrigger) {
+  // One sensor at (10, 0), depot at the origin, starting *below* the
+  // trigger: the t = 0 scan dispatches a mission immediately and the
+  // sensor goes flat mid-mission. Every quantity is analytic:
+  //   level(0)      = 0.2 * 20 = 4 J, trigger level 8 J
+  //   deficit       = 20 - 4 = 16 J
+  //   mission time  = 20 m / 1 m/s + 16 J / 0.12 W = 20 + 400/3 s
+  //   survive       = 4 J / 0.05 W = 80 s
+  //   dead seconds  = (20 + 400/3) - 80 = 220/3
+  // Afterwards the loop is steady (trigger at 8 J survives 160 s versus a
+  // 120 s recharge mission), so 220/3 is the horizon total.
+  const net::Deployment d({{10.0, 0.0}},
+                          geometry::Box2{{-5.0, -5.0}, {50.0, 5.0}},
+                          {0.0, 0.0}, 2.0);
+  LifetimeConfig config;
+  config.battery_capacity_j = 20.0;
+  config.trigger_fraction = 0.4;
+  config.initial_fraction = 0.2;
+  config.drain_w = {0.05};
+  config.horizon_s = 2000.0;
+  config.algorithm = tour::Algorithm::kSc;
+  config.planner.bundle_radius = 5.0;
+  const LifetimeStats stats = simulate_lifetime(d, config);
+  EXPECT_FALSE(stats.perpetual);
+  EXPECT_NEAR(stats.dead_time_sensor_s, 220.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.min_level_fraction, 0.0);
+  EXPECT_GE(stats.missions, 2u);
+}
+
+TEST(LifetimeTest, DeadSecondsHeterogeneousDrainsPinned) {
+  // Two sensors, both below the trigger at t = 0, with different drains:
+  // only the hot one dies during the immediate mission.
+  //   tour: depot -> (10,0) -> (12,0) -> depot = 24 m -> 24 s
+  //   charge: 16 J / 0.12 W per sensor     -> 800/3 s
+  //   hot sensor survives 4 J / 0.05 W = 80 s, cold one 4 / 0.01 = 400 s
+  //   dead = (24 + 800/3) - 80; the cold sensor outlives the mission.
+  const net::Deployment d({{10.0, 0.0}, {12.0, 0.0}},
+                          geometry::Box2{{-5.0, -5.0}, {50.0, 5.0}},
+                          {0.0, 0.0}, 2.0);
+  LifetimeConfig config;
+  config.battery_capacity_j = 20.0;
+  config.trigger_fraction = 0.4;
+  config.initial_fraction = 0.2;
+  config.drain_w = {0.05, 0.01};
+  config.horizon_s = 350.0;  // one mission plus a quiet tail window
+  config.algorithm = tour::Algorithm::kSc;
+  config.planner.bundle_radius = 5.0;
+  const LifetimeStats stats = simulate_lifetime(d, config);
+  EXPECT_FALSE(stats.perpetual);
+  ASSERT_EQ(stats.missions, 1u);
+  EXPECT_NEAR(stats.dead_time_sensor_s, (24.0 + 800.0 / 3.0) - 80.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace bc::sim
