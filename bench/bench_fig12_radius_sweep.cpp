@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
 
   const bc::core::Profile profile = bc::bench::profile_from_flags(flags);
   const auto n = static_cast<std::size_t>(flags.get_int("nodes"));
+  bc::bench::SweepControl control = bc::bench::sweep_control_from_flags(
+      flags, "fig12", "nodes=" + std::to_string(n));
   constexpr bc::tour::Algorithm kAlgorithms[] = {
       bc::tour::Algorithm::kSc, bc::tour::Algorithm::kCss,
       bc::tour::Algorithm::kBc, bc::tour::Algorithm::kBcOpt};
@@ -37,8 +39,10 @@ int main(int argc, char** argv) {
     std::vector<std::string> row_t{bc::support::Table::num(r, 0)};
     std::vector<std::string> row_c{bc::support::Table::num(r, 0)};
     for (const auto algorithm : kAlgorithms) {
-      const auto agg = bc::sim::run_experiment(
-          bc::bench::spec_from_flags(flags, profile, n, algorithm, r));
+      const auto agg = bc::bench::run_cells(
+          control, bc::bench::spec_from_flags(flags, profile, n, algorithm, r),
+          "r=" + bc::bench::num_token(r) + "_alg=" +
+              std::string(bc::tour::to_string(algorithm)));
       row_e.push_back(bc::support::Table::num(agg.total_energy_j.mean(), 0));
       row_t.push_back(bc::support::Table::num(agg.tour_length_m.mean(), 0));
       row_c.push_back(bc::support::Table::num(

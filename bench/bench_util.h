@@ -5,11 +5,18 @@
 #define BUNDLECHARGE_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "core/bundlecharge.h"
+#include "sim/checkpoint.h"
+#include "support/atomic_file.h"
 #include "support/cli.h"
+#include "support/deadline.h"
 #include "support/parallel.h"
 #include "support/table.h"
 
@@ -30,6 +37,15 @@ inline void define_common_flags(support::CliFlags& flags) {
   flags.define_int("threads", 0,
                    "worker threads (0 = BC_THREADS env or hardware); "
                    "results are identical at every thread count");
+  support::define_budget_flags(flags);  // --deadline, --node-budget
+  flags.define_string(
+      "checkpoint", "",
+      "journal completed (config, run) cells to <dir>/<bench>.ckpt; an "
+      "existing journal is resumed (completed cells are not recomputed)");
+  flags.define_string(
+      "resume", "",
+      "like --checkpoint, but the journal must already exist — guards "
+      "against typos silently starting a sweep from scratch");
 }
 
 // Builds the ICDCS'19 profile honouring the common flags, and applies the
@@ -45,6 +61,10 @@ inline core::Profile profile_from_flags(const support::CliFlags& flags) {
   profile.planner.charging =
       charging::ChargingModel(36.0, 30.0, 3.0, 3.0 * mult);
   profile.evaluation.charging = profile.planner.charging;
+  // Per-planning-call budget (--deadline / --node-budget): every solver
+  // stage inside each experiment cell degrades anytime-style instead of
+  // hanging. Node caps keep cells deterministic; deadlines do not.
+  profile.planner.budget = support::budget_from_flags(flags);
   return profile;
 }
 
@@ -62,6 +82,91 @@ inline sim::ExperimentSpec spec_from_flags(const support::CliFlags& flags,
   spec.runs = static_cast<std::size_t>(flags.get_int("runs"));
   spec.base_seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   return spec;
+}
+
+// Compact float formatting for sweep ids and cell keys ("20", not
+// "20.000000").
+inline std::string num_token(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+// Fingerprints every result-affecting flag plus the bench's own parameters
+// (`extra`) into a whitespace-free sweep id. Threads and output format are
+// excluded: they never change results. A journal written under a
+// different id refuses to resume — cached cells from another
+// configuration would silently poison the sweep.
+inline std::string sweep_id_from_flags(const support::CliFlags& flags,
+                                       const std::string& bench_name,
+                                       const std::string& extra = "") {
+  std::string id = bench_name;
+  id += "|runs=" + std::to_string(flags.get_int("runs"));
+  id += "|seed=" + std::to_string(flags.get_int("seed"));
+  id += "|field=" + num_token(flags.get_double("field"));
+  id += "|cost=" + num_token(flags.get_double("cost-multiplier"));
+  id += "|deadline=" + num_token(flags.get_double("deadline"));
+  id += "|node-budget=" + std::to_string(flags.get_int("node-budget"));
+  if (!extra.empty()) id += "|" + extra;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", support::crc32(id));
+  return bench_name + "-" + buf;
+}
+
+// Journal + cancellation state for one bench process.
+struct SweepControl {
+  std::optional<sim::CheckpointJournal> journal;
+  support::CancelToken cancel{};
+  bool enabled() const { return journal.has_value(); }
+};
+
+// Honours --checkpoint/--resume: opens (or creates) <dir>/<bench>.ckpt
+// and installs SIGINT/SIGTERM -> cancel, so an interrupt flushes the
+// journal and exits cleanly instead of losing the sweep. Prints a
+// diagnostic and exits on an unusable journal.
+inline SweepControl sweep_control_from_flags(const support::CliFlags& flags,
+                                             const std::string& bench_name,
+                                             const std::string& extra_id) {
+  SweepControl control;
+  const std::string resume_dir = flags.get_string("resume");
+  const std::string dir =
+      resume_dir.empty() ? flags.get_string("checkpoint") : resume_dir;
+  if (dir.empty()) return control;
+  const std::string path = dir + "/" + bench_name + ".ckpt";
+  if (!resume_dir.empty() && !support::file_exists(path)) {
+    std::cerr << "--resume: no journal at " << path << "\n";
+    std::exit(1);
+  }
+  auto journal = sim::CheckpointJournal::open(
+      path, sweep_id_from_flags(flags, bench_name, extra_id));
+  if (!journal.has_value()) {
+    std::cerr << support::describe(journal.fault()) << "\n";
+    std::exit(1);
+  }
+  control.journal.emplace(std::move(journal.value()));
+  support::cancel_on_signals(control.cancel);
+  return control;
+}
+
+// One configuration cell's aggregate, journaled and resumable when
+// `control` is enabled. A cancelled sweep exits 130 (like an interrupted
+// shell command) with all completed cells flushed for --resume.
+inline sim::AggregateMetrics run_cells(SweepControl& control,
+                                       const sim::ExperimentSpec& spec,
+                                       const std::string& cell_prefix) {
+  if (!control.enabled()) return sim::run_experiment(spec);
+  sim::ExperimentControl ctl;
+  ctl.journal = &control.journal.value();
+  ctl.cell_prefix = cell_prefix;
+  ctl.cancel = control.cancel;
+  auto result = sim::run_experiment_resumable(spec, ctl);
+  if (!result.has_value()) {
+    std::cerr << "\n" << support::describe(result.fault()) << "\n";
+    std::exit(result.fault().kind == support::FaultKind::kBudgetExhausted
+                  ? 130
+                  : 1);
+  }
+  return result.value();
 }
 
 inline void print_table(const support::CliFlags& flags,

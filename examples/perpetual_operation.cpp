@@ -87,6 +87,7 @@ int main(int argc, char** argv) {
                       "charger battery per mission (J, 0 = unlimited)");
   flags.define_bool("no-replan", false,
                     "skip the with-replanning run (--faults)");
+  bc::support::define_budget_flags(flags);  // --deadline, --node-budget
   if (!flags.parse(argc, argv, std::cerr)) return 1;
   if (flags.help_requested()) return 0;
 
@@ -98,6 +99,9 @@ int main(int argc, char** argv) {
   bc::sim::LifetimeConfig config;
   config.planner = profile.planner;
   config.planner.bundle_radius = flags.get_double("radius");
+  // Every planning call inside the lifetime loop (including online
+  // replans) runs under this budget and degrades anytime-style on a trip.
+  config.planner.budget = bc::support::budget_from_flags(flags);
   config.evaluation = profile.evaluation;
   config.horizon_s = flags.get_double("days") * 24.0 * 3600.0;
   config.drain_w = {flags.get_double("drain-mw") * 1e-3};

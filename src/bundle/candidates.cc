@@ -50,7 +50,8 @@ std::vector<std::vector<net::SensorId>> enumerate_seeded_at(
 
 std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
                                          double r,
-                                         const CandidateOptions& options) {
+                                         const CandidateOptions& options,
+                                         support::BudgetMeter* meter) {
   support::require(r >= 0.0, "candidate radius must be non-negative");
   const auto positions = deployment.positions();
   const std::size_t n = deployment.size();
@@ -69,15 +70,16 @@ std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
 
   if (r > 0.0 && n > 1) {
     const net::SpatialIndex index(positions, std::max(r, 1e-9));
-    if (options.max_candidates != 0) {
-      // The candidate cap is an early-exit whose cut point depends on
-      // visit order, so honour it with the serial scan.
+    if (options.max_candidates != 0 || meter != nullptr) {
+      // The candidate cap and the budget are early-exits whose cut points
+      // depend on visit order, so honour them with the serial scan.
       std::vector<net::SensorId> near_i;
       std::vector<net::SensorId> members;
       for (net::SensorId i = 0; i < n; ++i) {
         index.within(positions[i], 2.0 * r, near_i);
         for (const net::SensorId j : near_i) {
           if (j <= i) continue;
+          if (meter != nullptr && !meter->charge()) goto enumeration_done;
           const auto centers =
               geometry::circles_through_pair(positions[i], positions[j], r);
           if (!centers.has_value()) continue;
@@ -85,7 +87,8 @@ std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
             index.within(center, r * (1.0 + 1e-9) + 1e-12, members);
             if (members.size() < 2) continue;
             member_sets.insert(members);
-            if (member_sets.size() >= options.max_candidates) {
+            if (options.max_candidates != 0 &&
+                member_sets.size() >= options.max_candidates) {
               goto enumeration_done;
             }
           }

@@ -17,6 +17,7 @@
 
 #include "bundle/bundle.h"
 #include "net/deployment.h"
+#include "support/deadline.h"
 
 namespace bc::bundle {
 
@@ -33,11 +34,15 @@ struct CandidateOptions {
 // All maximal candidate bundles of generation radius `r` (each bundle's
 // SED radius is <= r by construction; `make_bundle` recomputes the tight
 // anchor). Singletons are always included, so a cover always exists.
+// A non-null `meter` is charged one unit per seed pair examined; when it
+// trips, enumeration stops early — the singleton floor keeps the result a
+// valid (if coarse) candidate universe. A metered call scans serially so
+// node-cap cut points are thread-count-invariant.
 // Preconditions: r >= 0.
-std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
-                                         double r,
-                                         const CandidateOptions& options =
-                                             CandidateOptions{});
+std::vector<Bundle> enumerate_candidates(
+    const net::Deployment& deployment, double r,
+    const CandidateOptions& options = CandidateOptions{},
+    support::BudgetMeter* meter = nullptr);
 
 }  // namespace bc::bundle
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <utility>
 
 #include "bundle/candidates.h"
 #include "bundle/greedy_cover.h"
@@ -80,9 +81,13 @@ class BitSet {
 struct SearchState {
   const std::vector<BitSet>* masks = nullptr;
   std::size_t max_candidate_size = 1;
-  std::size_t node_budget = 0;  // 0 = unlimited
+  std::size_t node_budget = 0;  // per-call cap (0 = unlimited)
   std::size_t nodes = 0;
   bool aborted = false;
+  // Shared meter charged one unit per node; null = unmetered. Node-cap
+  // trips are a function of the serial expansion count alone, so they are
+  // bit-identical at every thread count.
+  support::BudgetMeter* meter = nullptr;
   std::vector<std::uint32_t> chosen;
   std::vector<std::uint32_t> best;
   std::size_t best_size = 0;  // incumbent bound (strictly improve on it)
@@ -90,7 +95,12 @@ struct SearchState {
 
 void search(SearchState& state, BitSet uncovered) {
   if (state.aborted) return;
-  if (state.node_budget != 0 && ++state.nodes > state.node_budget) {
+  ++state.nodes;
+  if (state.node_budget != 0 && state.nodes > state.node_budget) {
+    state.aborted = true;
+    return;
+  }
+  if (state.meter != nullptr && !state.meter->charge()) {
     state.aborted = true;
     return;
   }
@@ -128,15 +138,45 @@ void search(SearchState& state, BitSet uncovered) {
   }
 }
 
+// Materialise chosen candidates as a partition (first bundle keeps shared
+// sensors), mirroring greedy's post-processing.
+std::vector<Bundle> materialise(const net::Deployment& deployment,
+                                std::span<const Bundle> candidates,
+                                const std::vector<std::uint32_t>& chosen) {
+  std::vector<bool> taken(deployment.size(), false);
+  std::vector<Bundle> result;
+  result.reserve(chosen.size());
+  for (const std::uint32_t c : chosen) {
+    std::vector<net::SensorId> members;
+    for (const net::SensorId id : candidates[c].members) {
+      if (!taken[id]) {
+        taken[id] = true;
+        members.push_back(id);
+      }
+    }
+    support::ensure(!members.empty(),
+                    "exact cover selected a redundant candidate");
+    result.push_back(make_bundle(deployment, std::move(members)));
+  }
+  return result;
+}
+
 }  // namespace
 
-std::optional<std::vector<Bundle>> exact_cover(
+support::Expected<CoverSolution> exact_cover_anytime(
     const net::Deployment& deployment, std::span<const Bundle> candidates,
-    const ExactCoverOptions& options) {
+    const ExactCoverOptions& options, support::BudgetMeter* meter) {
   support::require(covers_all_sensors(deployment, candidates),
                    "candidates must cover every sensor");
-  const std::size_t n = deployment.size();
+  support::BudgetMeter local_meter(options.budget);
+  const bool metered = meter != nullptr || !options.budget.unlimited();
+  if (meter == nullptr) meter = &local_meter;
+  if (meter->exhausted() || !meter->check()) {
+    return support::Fault{support::FaultKind::kBudgetExhausted,
+                          "exact cover: " + support::describe_trip(*meter)};
+  }
 
+  const std::size_t n = deployment.size();
   std::vector<BitSet> masks;
   masks.reserve(candidates.size());
   std::size_t max_size = 1;
@@ -147,18 +187,20 @@ std::optional<std::vector<Bundle>> exact_cover(
     masks.push_back(std::move(mask));
   }
 
-  // Greedy incumbent provides the initial upper bound.
+  // Greedy incumbent provides the initial upper bound — and the anytime
+  // answer if the budget trips before the search finds anything better.
   const std::vector<Bundle> incumbent = greedy_cover(deployment, candidates);
 
   SearchState state;
   state.masks = &masks;
   state.max_candidate_size = max_size;
   state.node_budget = options.max_nodes;
+  state.meter = metered ? meter : nullptr;
   state.best_size = incumbent.size() + 1;  // allow matching the greedy size
 
   BitSet uncovered(n);
   uncovered.set_all();
-  if (options.max_nodes == 0) {
+  if (options.max_nodes == 0 && !metered) {
     // Unlimited budget: fan the root branches out over the pool. Each
     // branch subtree is searched independently with the greedy bound, and
     // the per-branch winners are merged serially in branch order with the
@@ -167,8 +209,8 @@ std::optional<std::vector<Bundle>> exact_cover(
     // better solution, every branch returns the same minimal cover the
     // serial search would have recorded in it, and the ordered merge
     // reproduces the serial result bit for bit. (A shared node counter
-    // would make abortion order scheduling-dependent, which is why the
-    // budgeted path below stays serial.)
+    // would make abortion order scheduling-dependent, which is why every
+    // budgeted path stays serial.)
     const std::size_t lower = (n + max_size - 1) / max_size;
     if (lower < state.best_size) {
       const std::size_t pivot = uncovered.first();
@@ -182,6 +224,7 @@ std::optional<std::vector<Bundle>> exact_cover(
 
       struct BranchResult {
         std::vector<std::uint32_t> best;  // empty = nothing under the bound
+        std::size_t nodes = 0;
       };
       const auto results = support::parallel_map<BranchResult>(
           branches.size(), /*grain=*/1, [&](std::size_t b) {
@@ -193,9 +236,11 @@ std::optional<std::vector<Bundle>> exact_cover(
             BitSet next = uncovered;
             next.subtract(masks[branches[b].second]);
             search(branch_state, std::move(next));
-            return BranchResult{std::move(branch_state.best)};
+            return BranchResult{std::move(branch_state.best),
+                                branch_state.nodes};
           });
       for (const BranchResult& result : results) {
+        state.nodes += result.nodes;
         if (!result.best.empty() && result.best.size() < state.best_size) {
           state.best = result.best;
           state.best_size = result.best.size();
@@ -204,33 +249,27 @@ std::optional<std::vector<Bundle>> exact_cover(
     }
   } else {
     search(state, std::move(uncovered));
-    if (state.aborted) return std::nullopt;
   }
 
-  if (state.best.empty()) {
-    // The search never found anything at least as small as greedy's cover,
-    // so the greedy cover is optimal.
-    return incumbent;
+  CoverSolution solution;
+  solution.optimal = !state.aborted;
+  solution.nodes_expanded = state.nodes;
+  solution.trip = meter->trip();
+  if (state.aborted && solution.trip == support::BudgetTrip::kNone) {
+    solution.trip = support::BudgetTrip::kNodeCap;  // per-call max_nodes
   }
+  solution.bundles = state.best.empty()
+                         ? incumbent
+                         : materialise(deployment, candidates, state.best);
+  return solution;
+}
 
-  // Materialise the chosen candidates as a partition (first bundle keeps
-  // shared sensors), mirroring greedy's post-processing.
-  std::vector<bool> taken(n, false);
-  std::vector<Bundle> result;
-  result.reserve(state.best.size());
-  for (const std::uint32_t c : state.best) {
-    std::vector<net::SensorId> members;
-    for (const net::SensorId id : candidates[c].members) {
-      if (!taken[id]) {
-        taken[id] = true;
-        members.push_back(id);
-      }
-    }
-    support::ensure(!members.empty(),
-                    "exact cover selected a redundant candidate");
-    result.push_back(make_bundle(deployment, std::move(members)));
-  }
-  return result;
+std::optional<std::vector<Bundle>> exact_cover(
+    const net::Deployment& deployment, std::span<const Bundle> candidates,
+    const ExactCoverOptions& options) {
+  auto solution = exact_cover_anytime(deployment, candidates, options);
+  if (!solution || !solution.value().optimal) return std::nullopt;
+  return std::move(solution.value().bundles);
 }
 
 std::optional<std::vector<Bundle>> optimal_bundles(

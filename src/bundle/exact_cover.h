@@ -7,6 +7,11 @@
 // ceil(remaining / largest_candidate) and prune against the greedy
 // incumbent. Exponential in the worst case; intended for the small
 // instances the paper uses it on.
+//
+// The search is *anytime*: it always starts from the greedy cover as the
+// incumbent, so when a budget (node cap, wall-clock deadline, external
+// cancellation) trips mid-search, the best cover found so far is a valid
+// — possibly suboptimal — answer, returned with `optimal == false`.
 
 #ifndef BUNDLECHARGE_BUNDLE_EXACT_COVER_H_
 #define BUNDLECHARGE_BUNDLE_EXACT_COVER_H_
@@ -18,19 +23,49 @@
 
 #include "bundle/bundle.h"
 #include "net/deployment.h"
+#include "support/deadline.h"
+#include "support/expected.h"
 
 namespace bc::bundle {
 
 struct ExactCoverOptions {
-  // Abort knob: give up after this many branch-and-bound nodes and return
-  // nullopt (0 = unlimited). Keeps benches bounded on unlucky instances.
+  // Per-call node cap: give up after this many branch-and-bound nodes
+  // (0 = unlimited). Kept distinct from `budget.node_cap`, which may be a
+  // *shared* allowance spanning several solver calls (the replan ladder);
+  // whichever trips first wins.
   std::size_t max_nodes = 20'000'000;
+  // Deadline / shared node cap / cancellation. Any non-unlimited budget
+  // forces the serial search path so that node-cap cutoffs stay
+  // bit-identical across thread counts.
+  support::Budget budget{};
 };
 
-// Minimum-cardinality subset of `candidates` covering all sensors, as a
-// partition with retightened anchors (same post-processing as greedy).
-// Returns nullopt iff the node budget was exhausted.
+// A cover solution with its provenance. `bundles` is always a valid
+// partition covering every sensor.
+struct CoverSolution {
+  std::vector<Bundle> bundles;
+  // True when the branch & bound ran to completion (bundles is a
+  // minimum-cardinality cover); false when a budget tripped and `bundles`
+  // is the best incumbent at that point.
+  bool optimal = true;
+  std::size_t nodes_expanded = 0;
+  support::BudgetTrip trip = support::BudgetTrip::kNone;
+};
+
+// Anytime exact cover. When `meter` is non-null it is charged one unit per
+// search node and shared with the caller (ladder budgets); otherwise a
+// local meter is built from `options.budget`. The fault channel
+// (kBudgetExhausted) fires only when the meter is already exhausted on
+// entry — once the search starts, a tripped budget returns the incumbent
+// with `optimal == false` instead.
 // Precondition: candidates jointly cover all sensors.
+support::Expected<CoverSolution> exact_cover_anytime(
+    const net::Deployment& deployment, std::span<const Bundle> candidates,
+    const ExactCoverOptions& options = ExactCoverOptions{},
+    support::BudgetMeter* meter = nullptr);
+
+// Legacy strict form: the minimum cover, or nullopt iff any budget
+// tripped (the replan ladder keys its backoff off this).
 std::optional<std::vector<Bundle>> exact_cover(
     const net::Deployment& deployment, std::span<const Bundle> candidates,
     const ExactCoverOptions& options = ExactCoverOptions{});

@@ -29,14 +29,18 @@ struct GeneratorOptions {
 };
 
 // Generates a bundle partition of the deployment with generation radius r.
-// For kExact the branch & bound may exhaust its node budget, in which case
-// the greedy cover is returned instead (the paper only runs the optimum on
-// small instances; this keeps large sweeps total).
+// For kExact the branch & bound is anytime: when a budget trips mid-search
+// the best incumbent found so far is returned (a valid, possibly
+// suboptimal cover); only a budget already exhausted on entry falls back
+// to the greedy cover (the paper only runs the optimum on small instances;
+// this keeps large sweeps total). A non-null `meter` threads a shared
+// ladder budget through every generator kind.
 // Preconditions: r > 0.
 std::vector<Bundle> generate_bundles(const net::Deployment& deployment,
                                      double r,
                                      const GeneratorOptions& options =
-                                         GeneratorOptions{});
+                                         GeneratorOptions{},
+                                     support::BudgetMeter* meter = nullptr);
 
 }  // namespace bc::bundle
 

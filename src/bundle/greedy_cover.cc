@@ -8,7 +8,8 @@
 namespace bc::bundle {
 
 std::vector<Bundle> greedy_cover(const net::Deployment& deployment,
-                                 std::span<const Bundle> candidates) {
+                                 std::span<const Bundle> candidates,
+                                 support::BudgetMeter* meter) {
   support::require(covers_all_sensors(deployment, candidates),
                    "candidates must cover every sensor");
   const std::size_t n = deployment.size();
@@ -17,10 +18,12 @@ std::vector<Bundle> greedy_cover(const net::Deployment& deployment,
 
   std::vector<Bundle> selected;
   while (remaining > 0) {
+    if (meter != nullptr && !meter->check()) break;
     // Pick the candidate covering the most uncovered sensors.
     const Bundle* best = nullptr;
     std::size_t best_gain = 0;
     for (const Bundle& candidate : candidates) {
+      if (meter != nullptr && !meter->charge()) break;
       std::size_t gain = 0;
       for (const net::SensorId id : candidate.members) {
         if (!covered[id]) ++gain;
@@ -37,6 +40,7 @@ std::vector<Bundle> greedy_cover(const net::Deployment& deployment,
         best_gain = gain;
       }
     }
+    if (best == nullptr && meter != nullptr && meter->exhausted()) break;
     support::ensure(best != nullptr,
                     "greedy cover ran out of useful candidates");
 
@@ -53,13 +57,25 @@ std::vector<Bundle> greedy_cover(const net::Deployment& deployment,
     remaining -= fresh.size();
     selected.push_back(make_bundle(deployment, std::move(fresh)));
   }
+
+  // Budget tripped mid-cover: finish the uncovered tail as singletons.
+  // Always radius-feasible, deterministic under a node cap, and the
+  // partition invariant every caller relies on still holds.
+  if (remaining > 0) {
+    for (net::SensorId id = 0; id < n; ++id) {
+      if (!covered[id]) {
+        selected.push_back(make_bundle(deployment, {id}));
+      }
+    }
+  }
   return selected;
 }
 
 std::vector<Bundle> greedy_bundles(const net::Deployment& deployment,
-                                   double r) {
-  const std::vector<Bundle> candidates = enumerate_candidates(deployment, r);
-  return greedy_cover(deployment, candidates);
+                                   double r, support::BudgetMeter* meter) {
+  const std::vector<Bundle> candidates =
+      enumerate_candidates(deployment, r, CandidateOptions{}, meter);
+  return greedy_cover(deployment, candidates, meter);
 }
 
 }  // namespace bc::bundle

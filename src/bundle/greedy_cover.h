@@ -15,19 +15,25 @@
 
 #include "bundle/bundle.h"
 #include "net/deployment.h"
+#include "support/deadline.h"
 
 namespace bc::bundle {
 
 // Greedy cover over an explicit candidate universe. Ties are broken by the
 // smaller SED radius (denser bundle), then lower first member id, making
-// the result deterministic. Precondition: candidates jointly cover all
-// sensors.
+// the result deterministic. A non-null `meter` is charged one unit per
+// candidate scanned; when it trips, the remaining uncovered sensors are
+// finished as singleton bundles — a valid (coarser) cover, never a hang.
+// Precondition: candidates jointly cover all sensors.
 std::vector<Bundle> greedy_cover(const net::Deployment& deployment,
-                                 std::span<const Bundle> candidates);
+                                 std::span<const Bundle> candidates,
+                                 support::BudgetMeter* meter = nullptr);
 
 // Convenience: enumerate candidates of radius r, then run greedy_cover.
+// The meter spans both enumeration and covering.
 std::vector<Bundle> greedy_bundles(const net::Deployment& deployment,
-                                   double r);
+                                   double r,
+                                   support::BudgetMeter* meter = nullptr);
 
 }  // namespace bc::bundle
 

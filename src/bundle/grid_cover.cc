@@ -9,8 +9,10 @@
 
 namespace bc::bundle {
 
-std::vector<Bundle> grid_bundles(const net::Deployment& deployment, double r) {
+std::vector<Bundle> grid_bundles(const net::Deployment& deployment, double r,
+                                 support::BudgetMeter* meter) {
   support::require(r > 0.0, "grid bundle radius must be positive");
+  if (meter != nullptr) meter->charge(deployment.size());
   const double cell = r * std::numbers::sqrt2;
   const geometry::Box2& field = deployment.field();
 

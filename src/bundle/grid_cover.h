@@ -13,11 +13,15 @@
 
 #include "bundle/bundle.h"
 #include "net/deployment.h"
+#include "support/deadline.h"
 
 namespace bc::bundle {
 
-// Precondition: r > 0.
-std::vector<Bundle> grid_bundles(const net::Deployment& deployment, double r);
+// Precondition: r > 0. Binning is a single linear pass that cannot hang,
+// so a non-null `meter` is charged one unit per sensor for ladder
+// accounting but never aborts the cover.
+std::vector<Bundle> grid_bundles(const net::Deployment& deployment, double r,
+                                 support::BudgetMeter* meter = nullptr);
 
 }  // namespace bc::bundle
 

@@ -9,9 +9,11 @@ namespace bc::bundle {
 
 std::vector<Bundle> sweep_bundles(const net::Deployment& deployment,
                                   double r,
-                                  const tsp::SolverOptions& tsp_options) {
+                                  const tsp::SolverOptions& tsp_options,
+                                  support::BudgetMeter* meter) {
   support::require(r >= 0.0, "sweep radius must be non-negative");
-  const tsp::Tour order = tsp::solve_tsp(deployment.positions(), tsp_options);
+  const tsp::Tour order =
+      tsp::solve_tsp(deployment.positions(), tsp_options, meter);
 
   std::vector<Bundle> bundles;
   std::vector<net::SensorId> chain;

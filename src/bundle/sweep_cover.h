@@ -23,11 +23,14 @@ namespace bc::bundle {
 
 // Orders sensors along a TSP tour, then greedily chains tour-consecutive
 // sensors into bundles while the chain's smallest enclosing disk stays
-// within radius r. Preconditions: r >= 0.
+// within radius r. A non-null `meter` bounds the TSP ordering stage (the
+// only superlinear step); the chaining pass always completes, so the
+// result is a partition regardless of the budget. Preconditions: r >= 0.
 std::vector<Bundle> sweep_bundles(const net::Deployment& deployment,
                                   double r,
                                   const tsp::SolverOptions& tsp_options =
-                                      tsp::SolverOptions{});
+                                      tsp::SolverOptions{},
+                                  support::BudgetMeter* meter = nullptr);
 
 }  // namespace bc::bundle
 

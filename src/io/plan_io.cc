@@ -1,8 +1,11 @@
 #include "io/plan_io.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
-#include <string>
+#include <sstream>
+#include <utility>
 
 namespace bc::io {
 
@@ -12,6 +15,210 @@ std::string num(double value) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.6g", value);
   return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal line-tracking JSON reader for the plan document subset: objects,
+// arrays, strings, and finite numbers (no bool/null — the writer never
+// emits them). Every parse and validation error carries the 1-based line
+// it was detected on, mirroring deployment_io's CSV hardening.
+
+struct JsonValue {
+  enum class Type { kObject, kArray, kString, kNumber };
+  Type type = Type::kObject;
+  std::size_t line = 0;  // line the value starts on
+  double number = 0.0;
+  std::string text;
+  std::vector<std::pair<std::string, JsonValue>> members;  // objects
+  std::vector<JsonValue> items;                            // arrays
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [name, value] : members) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  // Parses the whole document into `out`; on failure `error()` holds a
+  // line-prefixed message.
+  bool parse(JsonValue& out) {
+    if (!parse_value(out, /*depth=*/0)) return false;
+    skip_whitespace();
+    if (pos_ != text_.size()) return fail("trailing content after document");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 32;
+
+  bool fail(const std::string& what) {
+    error_ = "line " + std::to_string(line_) + ": " + what;
+    return false;
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') ++line_;
+      if (c != ' ' && c != '\t' && c != '\r' && c != '\n') break;
+      ++pos_;
+    }
+  }
+
+  bool expect(char c) {
+    skip_whitespace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      // The writer never emits escapes, control characters, or NULs in
+      // strings; reading them back would mean a corrupted document.
+      if (c == '\\' || c == '\n' || c == '\0') {
+        return fail("unsupported escape or control character in string");
+      }
+      out += c;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size()) {
+      return fail("malformed number '" + token + "'");
+    }
+    // strtod maps overflow ("1e999") to Inf without an error; non-finite
+    // values poison every downstream computation, so reject here.
+    if (!std::isfinite(value)) {
+      return fail("non-finite number '" + token + "'");
+    }
+    out.type = JsonValue::Type::kNumber;
+    out.number = value;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, std::size_t depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_whitespace();
+    out.line = line_;
+    if (pos_ >= text_.size()) return fail("unexpected end of document");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out, depth);
+    if (c == '[') return parse_array(out, depth);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return parse_string(out.text);
+    }
+    return parse_number(out);
+  }
+
+  bool parse_object(JsonValue& out, std::size_t depth) {
+    out.type = JsonValue::Type::kObject;
+    if (!expect('{')) return false;
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!expect(':')) return false;
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      skip_whitespace();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out, std::size_t depth) {
+    out.type = JsonValue::Type::kArray;
+    if (!expect('[')) return false;
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!parse_value(item, depth + 1)) return false;
+      out.items.push_back(std::move(item));
+      skip_whitespace();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::string error_;
+};
+
+support::Fault invalid(std::size_t line, const std::string& what) {
+  return support::Fault{support::FaultKind::kInvalidInput,
+                        "line " + std::to_string(line) + ": " + what};
+}
+
+// Reads an [x, y] pair, rejecting wrong arity and non-number elements
+// (non-finite numbers were already rejected by the tokenizer).
+support::Expected<geometry::Point2> read_point(const JsonValue& value,
+                                               const std::string& what) {
+  if (value.type != JsonValue::Type::kArray || value.items.size() != 2) {
+    return invalid(value.line, what + " must be a 2-element [x, y] array");
+  }
+  for (const JsonValue& item : value.items) {
+    if (item.type != JsonValue::Type::kNumber) {
+      return invalid(item.line, what + " coordinate is not a number");
+    }
+  }
+  return geometry::Point2{value.items[0].number, value.items[1].number};
 }
 
 }  // namespace
@@ -68,6 +275,125 @@ bool write_plan_json_file(const net::Deployment& deployment,
   if (!file) return false;
   file << plan_to_json(deployment, plan, evaluation);
   return static_cast<bool>(file);
+}
+
+support::Expected<LoadedPlan> read_plan_json(const std::string& text,
+                                             std::size_t expected_sensors) {
+  if (text.find('\0') != std::string::npos) {
+    return support::Fault{support::FaultKind::kInvalidInput,
+                          "plan document contains an embedded NUL byte"};
+  }
+  JsonValue root;
+  JsonParser parser(text);
+  if (!parser.parse(root)) {
+    return support::Fault{support::FaultKind::kInvalidInput, parser.error()};
+  }
+  if (root.type != JsonValue::Type::kObject) {
+    return invalid(root.line, "plan document must be a JSON object");
+  }
+
+  LoadedPlan loaded;
+
+  const JsonValue* algorithm = root.find("algorithm");
+  if (algorithm == nullptr || algorithm->type != JsonValue::Type::kString) {
+    return invalid(root.line, "missing string field \"algorithm\"");
+  }
+  loaded.plan.algorithm = algorithm->text;
+
+  const JsonValue* depot = root.find("depot");
+  if (depot == nullptr) return invalid(root.line, "missing field \"depot\"");
+  auto depot_point = read_point(*depot, "\"depot\"");
+  if (!depot_point.has_value()) return depot_point.fault();
+  loaded.plan.depot = depot_point.value();
+
+  const JsonValue* stops = root.find("stops");
+  if (stops == nullptr || stops->type != JsonValue::Type::kArray) {
+    return invalid(root.line, "missing array field \"stops\"");
+  }
+
+  // Tracks which sensor each member id was claimed by, to diagnose
+  // double assignment; sized lazily when expected_sensors is 0.
+  std::vector<bool> claimed(expected_sensors, false);
+  for (const JsonValue& entry : stops->items) {
+    if (entry.type != JsonValue::Type::kObject) {
+      return invalid(entry.line, "stop entry is not an object");
+    }
+    tour::Stop stop;
+
+    const JsonValue* position = entry.find("position");
+    if (position == nullptr) {
+      return invalid(entry.line, "stop is missing \"position\"");
+    }
+    auto point = read_point(*position, "stop \"position\"");
+    if (!point.has_value()) return point.fault();
+    stop.position = point.value();
+
+    const JsonValue* stop_time = entry.find("stop_time_s");
+    if (stop_time == nullptr ||
+        stop_time->type != JsonValue::Type::kNumber) {
+      return invalid(entry.line, "stop is missing numeric \"stop_time_s\"");
+    }
+    if (stop_time->number < 0.0) {
+      return invalid(stop_time->line, "negative stop time " +
+                                          std::to_string(stop_time->number));
+    }
+
+    const JsonValue* members = entry.find("members");
+    if (members == nullptr || members->type != JsonValue::Type::kArray) {
+      return invalid(entry.line, "stop is missing array \"members\"");
+    }
+    for (const JsonValue& member : members->items) {
+      if (member.type != JsonValue::Type::kNumber ||
+          member.number != std::floor(member.number) ||
+          member.number < 0.0) {
+        return invalid(member.line,
+                       "member id is not a non-negative integer");
+      }
+      const auto id = static_cast<std::size_t>(member.number);
+      if (expected_sensors > 0) {
+        if (id >= expected_sensors) {
+          return invalid(member.line,
+                         "member index " + std::to_string(id) +
+                             " out of range for " +
+                             std::to_string(expected_sensors) + " sensors");
+        }
+        if (claimed[id]) {
+          return invalid(member.line, "sensor " + std::to_string(id) +
+                                          " assigned to more than one stop");
+        }
+        claimed[id] = true;
+      }
+      stop.members.push_back(id);
+    }
+
+    loaded.plan.stops.push_back(std::move(stop));
+    loaded.stop_times_s.push_back(stop_time->number);
+  }
+
+  if (expected_sensors > 0) {
+    for (std::size_t id = 0; id < expected_sensors; ++id) {
+      if (!claimed[id]) {
+        return support::Fault{
+            support::FaultKind::kInvalidInput,
+            "sensor " + std::to_string(id) +
+                " is not assigned to any stop (plan is not a partition of " +
+                std::to_string(expected_sensors) + " sensors)"};
+      }
+    }
+  }
+  return loaded;
+}
+
+support::Expected<LoadedPlan> read_plan_json_file(
+    const std::string& path, std::size_t expected_sensors) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return support::Fault{support::FaultKind::kInvalidInput,
+                          "cannot open '" + path + "'"};
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return read_plan_json(contents.str(), expected_sensors);
 }
 
 }  // namespace bc::io

@@ -1,16 +1,21 @@
-// Charging-plan export.
+// Charging-plan export and hardened re-import.
 //
 // Serialises a planned tour (and optionally its schedule/metrics) to JSON
 // so downstream tooling — robot controllers, plotters, notebooks — can
-// consume plans without linking the library. Writing only; plans are an
-// output artifact, not an input.
+// consume plans without linking the library. The read path accepts those
+// documents back (e.g. a controller replaying a previously exported
+// mission) and treats them as untrusted input: every malformed byte maps
+// to a line-numbered support::Fault instead of undefined planner state.
 
 #ifndef BUNDLECHARGE_IO_PLAN_IO_H_
 #define BUNDLECHARGE_IO_PLAN_IO_H_
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "sim/evaluate.h"
+#include "support/expected.h"
 #include "tour/plan.h"
 
 namespace bc::io {
@@ -27,6 +32,35 @@ bool write_plan_json_file(const net::Deployment& deployment,
                           const tour::ChargingPlan& plan,
                           const sim::EvaluationConfig& evaluation,
                           const std::string& path);
+
+// A plan read back from a plan_to_json document. Stop times are carried
+// alongside the plan (the plan model itself derives them from a schedule
+// policy, but the exported document pins the times that were actually
+// planned). stop_times_s is parallel to plan.stops.
+struct LoadedPlan {
+  tour::ChargingPlan plan;
+  std::vector<double> stop_times_s;
+};
+
+// Parses a plan document produced by plan_to_json. Hardened against
+// malformed and corrupted input, every rejection a kInvalidInput fault
+// with the offending line number:
+//   - non-finite numbers anywhere (NaN/Inf poison geometry downstream;
+//     "1e999" overflows to Inf and is rejected the same way),
+//   - wrong field counts (depot/position must be exactly [x, y]),
+//   - missing or wrongly-typed required keys,
+//   - negative stop times, non-integer member ids,
+//   - member indices out of range for `expected_sensors`, and sensors
+//     assigned to zero or multiple stops (exported plans are partitions;
+//     anything else is corruption). Pass expected_sensors = 0 to skip the
+//     partition check when the target deployment is unknown.
+// The "metrics" block is derived data and is ignored on read.
+support::Expected<LoadedPlan> read_plan_json(const std::string& text,
+                                             std::size_t expected_sensors);
+
+// File variant; cannot-open is reported as kInvalidInput.
+support::Expected<LoadedPlan> read_plan_json_file(
+    const std::string& path, std::size_t expected_sensors);
 
 }  // namespace bc::io
 

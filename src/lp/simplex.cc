@@ -40,9 +40,12 @@ class Tableau {
   // One simplex phase over the cost vector `cost` (length cols_ - 1).
   // Entering columns with `allow(col) == false` are skipped. Returns the
   // status of the phase; kOptimal means reduced costs are non-negative.
+  // A non-null `meter` is charged one unit per pivot iteration.
   template <typename Allow>
   Status minimize(const std::vector<double>& cost, const Allow& allow,
-                  std::size_t max_iterations, std::size_t& iterations) {
+                  std::size_t max_iterations, std::size_t& iterations,
+                  std::size_t degenerate_switch,
+                  support::BudgetMeter* meter) {
     // Reduced cost row r = c - c_B * B^{-1}A, plus -z in the rhs slot.
     std::vector<double> reduced(cols_, 0.0);
     for (std::size_t j = 0; j + 1 < cols_; ++j) reduced[j] = cost[j];
@@ -65,15 +68,36 @@ class Tableau {
     }
     const double serious_threshold = 1e-5 * cost_scale;
 
+    // Dantzig pricing until `degenerate_switch` consecutive degenerate
+    // pivots, then Bland's rule (which cannot cycle) until a pivot makes
+    // strict progress again.
+    bool use_bland = false;
+    std::size_t degenerate_run = 0;
+
     while (true) {
       if (++iterations > max_iterations) return Status::kIterationLimit;
-      // Bland's rule: smallest-index improving column.
+      if (meter != nullptr && !meter->charge()) {
+        return Status::kBudgetExhausted;
+      }
       std::size_t entering = cols_;
-      for (std::size_t j = 0; j + 1 < cols_; ++j) {
-        if (!allow(j) || banned[j]) continue;
-        if (reduced[j] < -epsilon_) {
-          entering = j;
-          break;
+      if (use_bland) {
+        // Bland's rule: smallest-index improving column.
+        for (std::size_t j = 0; j + 1 < cols_; ++j) {
+          if (!allow(j) || banned[j]) continue;
+          if (reduced[j] < -epsilon_) {
+            entering = j;
+            break;
+          }
+        }
+      } else {
+        // Dantzig's rule: most-negative reduced cost.
+        double most_negative = -epsilon_;
+        for (std::size_t j = 0; j + 1 < cols_; ++j) {
+          if (!allow(j) || banned[j]) continue;
+          if (reduced[j] < most_negative) {
+            most_negative = reduced[j];
+            entering = j;
+          }
         }
       }
       if (entering == cols_) return Status::kOptimal;
@@ -103,6 +127,12 @@ class Tableau {
         continue;
       }
 
+      if (best_ratio <= epsilon_) {
+        if (++degenerate_run >= degenerate_switch) use_bland = true;
+      } else {
+        degenerate_run = 0;
+        use_bland = false;
+      }
       pivot(leaving, entering, reduced);
     }
   }
@@ -180,7 +210,38 @@ class Tableau {
 
 }  // namespace
 
-Solution solve(const Problem& problem, const SimplexOptions& options) {
+std::string_view to_string(Status status) {
+  switch (status) {
+    case Status::kOptimal:
+      return "optimal";
+    case Status::kInfeasible:
+      return "infeasible";
+    case Status::kUnbounded:
+      return "unbounded";
+    case Status::kIterationLimit:
+      return "iteration-limit";
+    case Status::kBudgetExhausted:
+      return "budget-exhausted";
+  }
+  return "unknown";
+}
+
+support::FaultKind to_fault_kind(Status status) {
+  switch (status) {
+    case Status::kOptimal:
+      return support::FaultKind::kNone;
+    case Status::kInfeasible:
+    case Status::kUnbounded:
+      return support::FaultKind::kInvalidInput;
+    case Status::kIterationLimit:
+    case Status::kBudgetExhausted:
+      return support::FaultKind::kBudgetExhausted;
+  }
+  return support::FaultKind::kInvalidInput;
+}
+
+Solution solve(const Problem& problem, const SimplexOptions& options,
+               support::BudgetMeter* meter) {
   support::require(problem.objective.size() == problem.num_vars,
                    "objective size must equal num_vars");
   support::require(problem.rows.size() == problem.rhs.size(),
@@ -226,6 +287,10 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
     }
   }
 
+  support::BudgetMeter local_meter(options.budget);
+  const bool metered = meter != nullptr || !options.budget.unlimited();
+  if (meter == nullptr) meter = &local_meter;
+
   Tableau tableau(scaled, options.epsilon);
   std::size_t iterations = 0;
 
@@ -234,7 +299,8 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
   for (std::size_t j = n + m; j < n + 2 * m; ++j) phase1_cost[j] = 1.0;
   const Status phase1 = tableau.minimize(
       phase1_cost, [](std::size_t) { return true; }, iteration_cap,
-      iterations);
+      iterations, options.degenerate_pivot_switch,
+      metered ? meter : nullptr);
   if (phase1 != Status::kOptimal) {
     solution.status = phase1;
     return solution;
@@ -253,7 +319,8 @@ Solution solve(const Problem& problem, const SimplexOptions& options) {
   const Status phase2 = tableau.minimize(
       phase2_cost,
       [&](std::size_t col) { return !tableau.is_artificial(col); },
-      iteration_cap, iterations);
+      iteration_cap, iterations, options.degenerate_pivot_switch,
+      metered ? meter : nullptr);
   if (phase2 != Status::kOptimal) {
     solution.status = phase2;
     return solution;

@@ -11,14 +11,26 @@
 // (the one-to-many property makes the constraint matrix dense). Instances
 // are small — a few hundred stops by a few hundred sensors — so a dense
 // tableau simplex is simple, dependency-free and fast enough. Phase 1
-// drives artificial variables out of the basis; Bland's rule guarantees
-// termination.
+// drives artificial variables out of the basis.
+//
+// Pricing is Dantzig's most-negative rule while the walk makes progress,
+// falling back to Bland's smallest-index rule after a run of consecutive
+// degenerate pivots (the classic anti-cycling switch): Dantzig converges
+// in fewer pivots on healthy instances but can cycle on degenerate ones,
+// Bland cannot cycle, so the combination terminates on every input. A
+// pivot-iteration cap and an optional support::Budget bound the work
+// regardless; a tripped budget reports kBudgetExhausted instead of
+// looping.
 
 #ifndef BUNDLECHARGE_LP_SIMPLEX_H_
 #define BUNDLECHARGE_LP_SIMPLEX_H_
 
 #include <cstddef>
+#include <string_view>
 #include <vector>
+
+#include "support/deadline.h"
+#include "support/expected.h"
 
 namespace bc::lp {
 
@@ -32,7 +44,21 @@ struct Problem {
   std::vector<double> rhs;                  // size rows.size()
 };
 
-enum class Status { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+enum class Status {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,    // the pivot-iteration cap tripped
+  kBudgetExhausted,   // the caller's Budget (deadline/node cap/cancel) tripped
+};
+
+std::string_view to_string(Status status);
+
+// Maps a non-optimal Status onto the repo-wide fault taxonomy so LP
+// callers can surface failures through support::Expected uniformly:
+// kIterationLimit and kBudgetExhausted are budget trips, kInfeasible and
+// kUnbounded are malformed inputs, kOptimal maps to kNone.
+support::FaultKind to_fault_kind(Status status);
 
 struct Solution {
   Status status = Status::kIterationLimit;
@@ -45,12 +71,21 @@ struct SimplexOptions {
   std::size_t max_iterations = 0;
   // Values within this of zero are treated as zero during pivoting.
   double epsilon = 1e-9;
+  // Consecutive degenerate pivots tolerated under Dantzig pricing before
+  // switching to Bland's rule for the rest of the phase.
+  std::size_t degenerate_pivot_switch = 12;
+  // Deadline / node cap / cancellation; one unit is charged per pivot
+  // iteration. A trip yields Status::kBudgetExhausted.
+  support::Budget budget{};
 };
 
-// Solves the problem. Preconditions: consistent dimensions; finite
+// Solves the problem. A non-null `meter` shares a caller-owned budget
+// (charged one unit per pivot); otherwise a local meter is built from
+// `options.budget`. Preconditions: consistent dimensions; finite
 // coefficients.
 Solution solve(const Problem& problem,
-               const SimplexOptions& options = SimplexOptions{});
+               const SimplexOptions& options = SimplexOptions{},
+               support::BudgetMeter* meter = nullptr);
 
 }  // namespace bc::lp
 

@@ -1,0 +1,184 @@
+#include "sim/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "support/atomic_file.h"
+#include "support/require.h"
+
+namespace bc::sim {
+
+namespace {
+
+using support::Expected;
+using support::Fault;
+using support::FaultKind;
+
+constexpr std::string_view kMagic = "bundlecharge-checkpoint";
+constexpr std::string_view kVersion = "v1";
+
+bool is_clean_token(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\0') {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Splits a line into whitespace-separated tokens.
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) out.push_back(std::move(token));
+  return out;
+}
+
+std::string crc_hex(std::string_view data) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08" PRIx32, support::crc32(data));
+  return buf;
+}
+
+Fault corrupt(const std::string& path, std::size_t line_no,
+              const std::string& why) {
+  return Fault{FaultKind::kInvalidInput,
+               path + ":" + std::to_string(line_no) +
+                   ": corrupt checkpoint (" + why + ")"};
+}
+
+}  // namespace
+
+Expected<CheckpointJournal> CheckpointJournal::open(std::string path,
+                                                    std::string sweep_id) {
+  support::require(is_clean_token(sweep_id),
+                   "sweep id must be a non-empty whitespace-free token");
+  CheckpointJournal journal(std::move(path), std::move(sweep_id));
+  if (!support::file_exists(journal.path_)) return journal;
+
+  auto contents = support::read_file(journal.path_);
+  if (!contents.has_value()) return contents.fault();
+
+  std::istringstream in(contents.value());
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // A torn final line (no trailing newline and fewer fields than a
+    // record needs) is dropped: it can only be the last append of a
+    // crashed writer that bypassed the atomic path.
+    const bool is_final_torn = in.eof() && !contents.value().empty() &&
+                               contents.value().back() != '\n';
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = tokens_of(line);
+    if (!saw_header) {
+      if (fields.size() != 3 || fields[0] != kMagic) {
+        return corrupt(journal.path_, line_no, "missing header");
+      }
+      if (fields[1] != kVersion) {
+        return corrupt(journal.path_, line_no,
+                       "unsupported version " + fields[1]);
+      }
+      if (fields[2] != journal.sweep_id_) {
+        return Fault{FaultKind::kInvalidInput,
+                     journal.path_ + ": sweep id mismatch (journal " +
+                         fields[2] + ", caller " + journal.sweep_id_ +
+                         ") — refusing to mix sweeps"};
+      }
+      saw_header = true;
+      continue;
+    }
+    if (fields.size() != 4 || fields[0] != "cell") {
+      if (is_final_torn) break;
+      return corrupt(journal.path_, line_no, "malformed record");
+    }
+    const std::string body = fields[2] + " " + fields[3];
+    if (crc_hex(body) != fields[1]) {
+      if (is_final_torn) break;
+      return corrupt(journal.path_, line_no, "CRC mismatch for " + fields[2]);
+    }
+    journal.cells_[fields[2]] = fields[3];
+  }
+  if (!saw_header) {
+    // Empty file: treat as a fresh journal (e.g. touch(1) before running).
+    journal.cells_.clear();
+  }
+  return journal;
+}
+
+bool CheckpointJournal::contains(const std::string& key) const {
+  return cells_.find(key) != cells_.end();
+}
+
+const std::string* CheckpointJournal::lookup(const std::string& key) const {
+  const auto it = cells_.find(key);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+void CheckpointJournal::record(const std::string& key,
+                               const std::string& payload) {
+  support::require(is_clean_token(key), "cell key must be whitespace-free");
+  support::require(is_clean_token(payload),
+                   "cell payload must be whitespace-free");
+  cells_[key] = payload;
+}
+
+Expected<bool> CheckpointJournal::flush() const {
+  std::string out;
+  out.reserve(64 + cells_.size() * 96);
+  out.append(kMagic);
+  out.push_back(' ');
+  out.append(kVersion);
+  out.push_back(' ');
+  out.append(sweep_id_);
+  out.push_back('\n');
+  for (const auto& [key, payload] : cells_) {
+    const std::string body = key + " " + payload;
+    out.append("cell ");
+    out.append(crc_hex(body));
+    out.push_back(' ');
+    out.append(body);
+    out.push_back('\n');
+  }
+  return support::write_file_atomic(path_, out);
+}
+
+std::string encode_metrics(const PlanMetrics& metrics) {
+  char buf[352];
+  std::snprintf(buf, sizeof(buf), "%zu,%a,%a,%a,%a,%a,%a,%a,%a,%a",
+                metrics.num_stops, metrics.tour_length_m,
+                metrics.move_energy_j, metrics.move_time_s,
+                metrics.charge_time_s, metrics.charge_energy_j,
+                metrics.total_energy_j, metrics.total_time_s,
+                metrics.avg_charge_time_per_sensor_s,
+                metrics.min_demand_fraction);
+  return buf;
+}
+
+Expected<PlanMetrics> decode_metrics(const std::string& payload) {
+  PlanMetrics m;
+  const int fields = std::sscanf(
+      payload.c_str(), "%zu,%la,%la,%la,%la,%la,%la,%la,%la,%la",
+      &m.num_stops, &m.tour_length_m, &m.move_energy_j, &m.move_time_s,
+      &m.charge_time_s, &m.charge_energy_j, &m.total_energy_j,
+      &m.total_time_s, &m.avg_charge_time_per_sensor_s,
+      &m.min_demand_fraction);
+  if (fields != 10) {
+    return Fault{FaultKind::kInvalidInput,
+                 "malformed metrics payload (" + std::to_string(fields) +
+                     "/10 fields): " + payload};
+  }
+  return m;
+}
+
+std::string cell_key(const std::string& prefix, std::size_t run) {
+  support::require(is_clean_token(prefix),
+                   "cell prefix must be whitespace-free");
+  return prefix + ":run=" + std::to_string(run);
+}
+
+}  // namespace bc::sim

@@ -1,0 +1,89 @@
+// Crash-safe checkpoint journal for experiment sweeps.
+//
+// A figure bench is a grid of independent cells — one (config, seed, run)
+// triple each. Because every cell draws from its own RNG stream (derived
+// from base_seed + run), a finished cell's metrics are a pure function of
+// its key; losing the process loses nothing but un-journaled cells. The
+// journal records each completed cell so an interrupted sweep (SIGKILL,
+// deadline, Ctrl-C) resumes by recomputing only the missing cells and
+// reproduces the uninterrupted output bit for bit.
+//
+// On-disk format (version 1), one record per line:
+//
+//   bundlecharge-checkpoint v1 <sweep_id>
+//   cell <crc32hex> <key> <payload>
+//
+// `sweep_id` fingerprints every result-affecting parameter of the sweep;
+// opening a journal whose id differs from the caller's is an error (the
+// cached cells would silently poison the new sweep). Keys and payloads are
+// whitespace-free tokens; metrics payloads serialise doubles as C99
+// hexfloats so a decoded cell is bit-identical to the computed one. Each
+// record carries a CRC-32 (IEEE) over "<key> <payload>".
+//
+// Durability: flush() rewrites the whole file through
+// support::write_file_atomic (write temp, fsync, rename), so a crash
+// leaves either the old or the new journal, never a torn one. A torn
+// *final* line (possible only with external tampering or partial copies)
+// is tolerated and dropped; corruption anywhere else is an
+// kInvalidInput fault — better to recompute a sweep than to average
+// garbage.
+
+#ifndef BUNDLECHARGE_SIM_CHECKPOINT_H_
+#define BUNDLECHARGE_SIM_CHECKPOINT_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/evaluate.h"
+#include "support/expected.h"
+
+namespace bc::sim {
+
+class CheckpointJournal {
+ public:
+  // Opens `path`, creating an empty journal if the file does not exist.
+  // An existing file must carry a matching version and sweep id.
+  static support::Expected<CheckpointJournal> open(std::string path,
+                                                   std::string sweep_id);
+
+  const std::string& path() const { return path_; }
+  const std::string& sweep_id() const { return sweep_id_; }
+  std::size_t size() const { return cells_.size(); }
+
+  bool contains(const std::string& key) const;
+  // Payload for `key`, or nullptr when the cell is not journaled.
+  const std::string* lookup(const std::string& key) const;
+
+  // Records a completed cell in memory (last write wins). Preconditions:
+  // key and payload are non-empty and contain no whitespace/newlines.
+  void record(const std::string& key, const std::string& payload);
+
+  // Atomically persists header + every recorded cell. Record order is
+  // sorted by key, so the bytes on disk are independent of completion
+  // order (and therefore of thread count and resume history).
+  support::Expected<bool> flush() const;
+
+ private:
+  CheckpointJournal(std::string path, std::string sweep_id)
+      : path_(std::move(path)), sweep_id_(std::move(sweep_id)) {}
+
+  std::string path_;
+  std::string sweep_id_;
+  std::map<std::string, std::string> cells_;  // key -> payload
+};
+
+// PlanMetrics <-> whitespace-free payload token. Doubles round-trip
+// exactly (hexfloat), so resumed aggregates match uninterrupted ones bit
+// for bit.
+std::string encode_metrics(const PlanMetrics& metrics);
+support::Expected<PlanMetrics> decode_metrics(const std::string& payload);
+
+// Canonical cell key, e.g. "r=20/alg=BC:run=17". `prefix` names the
+// configuration cell; the run index is appended by the runner.
+std::string cell_key(const std::string& prefix, std::size_t run);
+
+}  // namespace bc::sim
+
+#endif  // BUNDLECHARGE_SIM_CHECKPOINT_H_

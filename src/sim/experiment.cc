@@ -1,9 +1,33 @@
 #include "sim/experiment.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "support/parallel.h"
 #include "support/require.h"
 
 namespace bc::sim {
+
+namespace {
+
+// One cell of the sweep: plan + evaluate run `run` of `spec`. Pure
+// function of (spec, run) — the basis of both parallel determinism and
+// checkpoint/resume correctness.
+PlanMetrics run_cell(const ExperimentSpec& spec, std::size_t run) {
+  support::Rng rng(spec.base_seed + run);
+  const net::Deployment deployment = spec.make_deployment(rng);
+  const tour::ChargingPlan plan =
+      tour::plan_charging_tour(deployment, spec.algorithm, spec.planner);
+  const PlanMetrics metrics = evaluate_plan(deployment, plan, spec.evaluation);
+  if (spec.verify_feasibility) {
+    support::ensure(metrics.min_demand_fraction >= 1.0 - 1e-6,
+                    "scheduled plan failed to meet a sensor's demand");
+  }
+  return metrics;
+}
+
+}  // namespace
 
 void AggregateMetrics::add(const PlanMetrics& m) {
   num_stops.add(static_cast<double>(m.num_stops));
@@ -32,24 +56,91 @@ AggregateMetrics run_experiment(const ExperimentSpec& spec) {
   // serial seed run at any thread count.
   const std::vector<PlanMetrics> per_run =
       support::parallel_map<PlanMetrics>(
-          spec.runs, /*grain=*/1, [&spec](std::size_t run) {
-            support::Rng rng(spec.base_seed + run);
-            const net::Deployment deployment = spec.make_deployment(rng);
-            const tour::ChargingPlan plan = tour::plan_charging_tour(
-                deployment, spec.algorithm, spec.planner);
-            const PlanMetrics metrics =
-                evaluate_plan(deployment, plan, spec.evaluation);
-            if (spec.verify_feasibility) {
-              support::ensure(
-                  metrics.min_demand_fraction >= 1.0 - 1e-6,
-                  "scheduled plan failed to meet a sensor's demand");
-            }
-            return metrics;
-          });
+          spec.runs, /*grain=*/1,
+          [&spec](std::size_t run) { return run_cell(spec, run); });
 
   // Aggregation stays serial and in run order: RunningStat updates are not
   // associative under floating point, so the merge order is part of the
   // determinism contract.
+  AggregateMetrics aggregate;
+  for (const PlanMetrics& metrics : per_run) {
+    aggregate.add(metrics);
+  }
+  return aggregate;
+}
+
+support::Expected<AggregateMetrics> run_experiment_resumable(
+    const ExperimentSpec& spec, const ExperimentControl& control) {
+  support::require(static_cast<bool>(spec.make_deployment),
+                   "experiment needs a deployment factory");
+  support::require(spec.runs >= 1, "experiment needs at least one run");
+  support::require(control.journal == nullptr || !control.cell_prefix.empty(),
+                   "journaling needs a cell prefix");
+  support::require(control.chunk >= 1, "chunk must be at least 1");
+
+  spec.threads.apply();
+
+  // Pre-fill cells the journal already holds. A decode failure is a
+  // corrupt journal, not a recoverable cell: fault out rather than mix
+  // recomputed values into a file that claims different ones.
+  std::vector<PlanMetrics> per_run(spec.runs);
+  std::vector<char> done(spec.runs, 0);
+  if (control.journal != nullptr) {
+    for (std::size_t run = 0; run < spec.runs; ++run) {
+      const std::string* payload =
+          control.journal->lookup(cell_key(control.cell_prefix, run));
+      if (payload == nullptr) continue;
+      auto decoded = decode_metrics(*payload);
+      if (!decoded.has_value()) return decoded.fault();
+      per_run[run] = decoded.value();
+      done[run] = 1;
+    }
+  }
+
+  // Chunked sweep: compute missing cells chunk by chunk, journal each
+  // chunk atomically, and poll cancellation at every chunk boundary. The
+  // chunking affects only when results are persisted, never their values
+  // or the (serial, in-run-order) aggregation below.
+  for (std::size_t lo = 0; lo < spec.runs; lo += control.chunk) {
+    const std::size_t hi = std::min(spec.runs, lo + control.chunk);
+    if (std::all_of(done.begin() + static_cast<std::ptrdiff_t>(lo),
+                    done.begin() + static_cast<std::ptrdiff_t>(hi),
+                    [](char d) { return d != 0; })) {
+      continue;
+    }
+    if (control.cancel.cancelled()) {
+      if (control.journal != nullptr) {
+        auto flushed = control.journal->flush();
+        if (!flushed.has_value()) return flushed.fault();
+      }
+      std::size_t completed = 0;
+      for (const char d : done) completed += static_cast<std::size_t>(d);
+      return support::Fault{
+          support::FaultKind::kBudgetExhausted,
+          "experiment cancelled after " + std::to_string(completed) + "/" +
+              std::to_string(spec.runs) + " runs (completed cells journaled)"};
+    }
+    const std::vector<PlanMetrics> chunk_results =
+        support::parallel_map<PlanMetrics>(
+            hi - lo, /*grain=*/1, [&](std::size_t offset) {
+              const std::size_t run = lo + offset;
+              return done[run] != 0 ? per_run[run] : run_cell(spec, run);
+            });
+    for (std::size_t run = lo; run < hi; ++run) {
+      if (done[run] != 0) continue;
+      per_run[run] = chunk_results[run - lo];
+      done[run] = 1;
+      if (control.journal != nullptr) {
+        control.journal->record(cell_key(control.cell_prefix, run),
+                                encode_metrics(per_run[run]));
+      }
+    }
+    if (control.journal != nullptr) {
+      auto flushed = control.journal->flush();
+      if (!flushed.has_value()) return flushed.fault();
+    }
+  }
+
   AggregateMetrics aggregate;
   for (const PlanMetrics& metrics : per_run) {
     aggregate.add(metrics);

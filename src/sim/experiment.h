@@ -10,9 +10,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "net/deployment.h"
+#include "sim/checkpoint.h"
 #include "sim/evaluate.h"
+#include "support/deadline.h"
+#include "support/expected.h"
 #include "support/parallel.h"
 #include "support/rng.h"
 #include "support/stats.h"
@@ -62,6 +66,32 @@ struct ExperimentSpec {
 // parallel on the global pool; results are identical to a serial sweep.
 // Preconditions: spec.make_deployment set, spec.runs >= 1.
 AggregateMetrics run_experiment(const ExperimentSpec& spec);
+
+// Journaling and cancellation wrapper around one experiment's run sweep.
+struct ExperimentControl {
+  // Completed-cell journal (nullptr = no checkpointing). Cells already
+  // journaled under this experiment's keys are decoded instead of
+  // recomputed; new cells are recorded and flushed once per chunk.
+  CheckpointJournal* journal = nullptr;
+  // Names this experiment's cells inside the journal, e.g. "r=20/alg=BC";
+  // must be unique per (config) cell of the enclosing sweep and
+  // whitespace-free. Required when `journal` is set.
+  std::string cell_prefix;
+  // Cooperative cancellation, polled between chunks: on trip the journal
+  // is flushed and a kBudgetExhausted fault returned — completed cells
+  // survive for --resume.
+  support::CancelToken cancel{};
+  // Runs computed between journal flushes / cancellation polls.
+  std::size_t chunk = 16;
+};
+
+// run_experiment with crash-safe checkpointing and cooperative
+// cancellation. The aggregate is bit-identical to run_experiment(spec) —
+// journaled cells round-trip their doubles exactly (hexfloat), chunking
+// never reorders the serial in-order aggregation, and a kill + resume
+// therefore reproduces the uninterrupted output byte for byte.
+support::Expected<AggregateMetrics> run_experiment_resumable(
+    const ExperimentSpec& spec, const ExperimentControl& control);
 
 // Convenience factory for the paper's main workload: n sensors uniform
 // over the given field.

@@ -1,0 +1,100 @@
+#include "support/atomic_file.h"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+#include <sys/stat.h>
+
+namespace bc::support {
+
+namespace {
+
+std::array<std::uint32_t, 256> build_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+int current_pid() {
+#ifdef _WIN32
+  return _getpid();
+#else
+  return static_cast<int>(::getpid());
+#endif
+}
+
+Fault io_fault(const std::string& what, const std::string& path) {
+  return Fault{FaultKind::kInvalidInput,
+               what + " '" + path + "': " + std::strerror(errno)};
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = build_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Expected<bool> write_file_atomic(const std::string& path,
+                                 std::string_view contents) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(current_pid());
+  // stdio instead of ofstream: fsync needs the file descriptor, and a
+  // rename of unsynced data could survive the rename yet lose the bytes.
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return io_fault("cannot create", tmp);
+  const bool wrote =
+      contents.empty() ||
+      std::fwrite(contents.data(), 1, contents.size(), file) ==
+          contents.size();
+  bool synced = wrote && std::fflush(file) == 0;
+#ifndef _WIN32
+  synced = synced && ::fsync(fileno(file)) == 0;
+#endif
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !synced || !closed) {
+    std::remove(tmp.c_str());
+    return io_fault("cannot write", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return io_fault("cannot rename into", path);
+  }
+  return true;
+}
+
+Expected<std::string> read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return io_fault("cannot open", path);
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  if (file.bad()) return io_fault("cannot read", path);
+  return std::move(contents).str();
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace bc::support

@@ -1,0 +1,39 @@
+// Crash-safe file helpers for checkpoint persistence.
+//
+// A checkpoint that can be torn by a crash is worse than none: a resumed
+// sweep would silently trust half-written state. Writers therefore go
+// through write-temp-then-rename — POSIX rename(2) atomically replaces the
+// destination, so readers observe either the old complete file or the new
+// complete file, never a prefix — and records carry CRC-32 checksums so a
+// corrupted journal is detected instead of replayed.
+
+#ifndef BUNDLECHARGE_SUPPORT_ATOMIC_FILE_H_
+#define BUNDLECHARGE_SUPPORT_ATOMIC_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/expected.h"
+
+namespace bc::support {
+
+// CRC-32 (IEEE 802.3 / zlib polynomial, reflected) of `data`.
+std::uint32_t crc32(std::string_view data);
+
+// Writes `contents` to `path` atomically: write to `<path>.tmp.<pid>`,
+// flush + fsync, rename over `path`. On any failure the destination is
+// untouched and the temp file is removed. Faults use kInvalidInput with
+// the failing path in the message.
+Expected<bool> write_file_atomic(const std::string& path,
+                                 std::string_view contents);
+
+// Reads a whole file; kInvalidInput fault when it cannot be opened/read.
+Expected<std::string> read_file(const std::string& path);
+
+// True iff `path` names an existing filesystem entry.
+bool file_exists(const std::string& path);
+
+}  // namespace bc::support
+
+#endif  // BUNDLECHARGE_SUPPORT_ATOMIC_FILE_H_

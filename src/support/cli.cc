@@ -185,4 +185,22 @@ void CliFlags::print_help(std::ostream& os) const {
   }
 }
 
+void define_budget_flags(CliFlags& flags) {
+  flags.define_double(
+      "deadline", 0.0,
+      "wall-clock budget per planning call in seconds (0 = none); "
+      "a nondeterministic cutoff — results depend on machine speed");
+  flags.define_int(
+      "node-budget", 0,
+      "unit-of-work cap per planning call (0 = none); a deterministic "
+      "cutoff — results are bit-identical at every thread count");
+}
+
+Budget budget_from_flags(const CliFlags& flags) {
+  Budget budget;
+  budget.deadline_s = flags.get_double("deadline");
+  budget.node_cap = static_cast<std::size_t>(flags.get_int("node-budget"));
+  return budget;
+}
+
 }  // namespace bc::support

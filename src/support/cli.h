@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "support/deadline.h"
+
 namespace bc::support {
 
 class CliFlags {
@@ -62,6 +64,16 @@ class CliFlags {
   std::vector<std::string> declaration_order_;
   bool help_requested_ = false;
 };
+
+// Declares the shared solver-budget flags: --deadline (wall-clock seconds
+// per planning call, 0 = none, nondeterministic cutoff) and --node-budget
+// (deterministic unit-of-work cap per planning call, 0 = none).
+void define_budget_flags(CliFlags& flags);
+
+// Builds a Budget from the flags declared by define_budget_flags. The
+// returned budget carries a fresh CancelToken; callers that want Ctrl-C to
+// cancel solvers can pass it to cancel_on_signals.
+Budget budget_from_flags(const CliFlags& flags);
 
 }  // namespace bc::support
 

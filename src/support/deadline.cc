@@ -1,0 +1,50 @@
+#include "support/deadline.h"
+
+#include <csignal>
+
+namespace bc::support {
+
+namespace {
+
+// The flag the signal handlers write through. A raw pointer into shared
+// state kept alive by g_signal_token below; only ever swapped from
+// cancel_on_signals (normal context), only read from handlers.
+std::atomic<std::atomic<bool>*> g_signal_flag{nullptr};
+
+void handle_cancel_signal(int /*signum*/) {
+  std::atomic<bool>* flag = g_signal_flag.load(std::memory_order_relaxed);
+  if (flag != nullptr) flag->store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void cancel_on_signals(const CancelToken& token) {
+  // Keep every installed token's shared state alive forever (leaked by
+  // design): a handler racing a re-install must never observe a dangling
+  // flag, and processes install at most a handful of tokens.
+  auto* holder = new std::shared_ptr<std::atomic<bool>>(token.flag_);
+  g_signal_flag.store(holder->get(), std::memory_order_relaxed);
+  std::signal(SIGINT, handle_cancel_signal);
+  std::signal(SIGTERM, handle_cancel_signal);
+}
+
+std::string to_string(BudgetTrip trip) {
+  switch (trip) {
+    case BudgetTrip::kNone:
+      return "none";
+    case BudgetTrip::kNodeCap:
+      return "node-cap";
+    case BudgetTrip::kDeadline:
+      return "deadline";
+    case BudgetTrip::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+std::string describe_trip(const BudgetMeter& meter) {
+  return "budget exhausted (" + to_string(meter.trip()) + ") after " +
+         std::to_string(meter.nodes_used()) + " units";
+}
+
+}  // namespace bc::support

@@ -20,6 +20,8 @@ std::string_view to_string(FaultKind kind) {
       return "coverage-gap";
     case FaultKind::kInvalidInput:
       return "invalid-input";
+    case FaultKind::kBudgetExhausted:
+      return "budget-exhausted";
     case FaultKind::kNumFaultKinds:
       break;
   }

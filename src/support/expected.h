@@ -33,6 +33,7 @@ enum class FaultKind {
   kReplanExhausted,    // bounded-retry replanning ran out of attempts
   kCoverageGap,        // a candidate replan failed to cover every sensor
   kInvalidInput,       // malformed external input (IO, config)
+  kBudgetExhausted,    // a resource budget (deadline/node cap/cancel) tripped
   kNumFaultKinds,      // count sentinel, not a fault
 };
 

@@ -23,6 +23,7 @@
 
 #include "charging/model.h"
 #include "charging/movement.h"
+#include "support/deadline.h"
 #include "tour/plan.h"
 
 namespace bc::tour {
@@ -37,6 +38,10 @@ struct AnnealOptions {
   // Position-jitter scale (metres); annealed together with temperature.
   double jitter_m = 15.0;
   std::uint64_t seed = 17;
+  // Deadline / node cap / cancellation. The annealer is intrinsically
+  // anytime — the best plan so far is returned when the budget trips. One
+  // budget unit is charged per annealing iteration.
+  support::Budget budget{};
 };
 
 struct AnnealResult {
@@ -54,12 +59,15 @@ double plan_energy_j(const net::Deployment& deployment,
                      const charging::MovementModel& movement);
 
 // Runs the annealer from `initial`. The result's energy never exceeds the
-// input's. Precondition: `initial` partitions the deployment's sensors.
+// input's — including when `options.budget` (or a caller-supplied shared
+// `meter`) trips mid-anneal. Precondition: `initial` partitions the
+// deployment's sensors.
 AnnealResult anneal_plan(const net::Deployment& deployment,
                          const ChargingPlan& initial,
                          const charging::ChargingModel& charging,
                          const charging::MovementModel& movement,
-                         const AnnealOptions& options = AnnealOptions{});
+                         const AnnealOptions& options = AnnealOptions{},
+                         support::BudgetMeter* meter = nullptr);
 
 }  // namespace bc::tour
 

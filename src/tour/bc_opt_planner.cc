@@ -48,10 +48,15 @@ double conservative_time_s(const StopGeometry& g,
 }  // namespace
 
 ChargingPlan plan_bc_opt(const net::Deployment& deployment,
-                         const PlannerConfig& config) {
+                         const PlannerConfig& config,
+                         support::BudgetMeter* meter) {
   support::require(config.opt.radius_steps >= 1,
                    "BC-OPT needs at least one displacement step");
-  ChargingPlan plan = plan_bc(deployment, config);
+  support::BudgetMeter local_meter(config.budget);
+  const bool metered = meter != nullptr || !config.budget.unlimited();
+  if (meter == nullptr) meter = &local_meter;
+
+  ChargingPlan plan = plan_bc(deployment, config, metered ? meter : nullptr);
   plan.algorithm = "BC-OPT";
   if (plan.stops.empty()) return plan;
 
@@ -96,7 +101,14 @@ ChargingPlan plan_bc_opt(const net::Deployment& deployment,
   const std::size_t n = plan.stops.size();
   for (std::size_t round = 0; round < config.opt.max_rounds; ++round) {
     bool improved = false;
+    bool tripped = false;
     for (std::size_t i = 0; i < n; ++i) {
+      // Anytime: every accepted displacement leaves a valid plan, so a
+      // tripped budget just stops the Algorithm-3 sweep where it stands.
+      if (metered && !meter->charge()) {
+        tripped = true;
+        break;
+      }
       const Point2 prev = i == 0 ? plan.depot : plan.stops[i - 1].position;
       const Point2 next =
           i + 1 == n ? plan.depot : plan.stops[i + 1].position;
@@ -149,7 +161,7 @@ ChargingPlan plan_bc_opt(const net::Deployment& deployment,
         improved = true;
       }
     }
-    if (!improved) break;
+    if (tripped || !improved) break;
   }
   return plan;
 }

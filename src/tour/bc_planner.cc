@@ -10,12 +10,17 @@
 namespace bc::tour {
 
 ChargingPlan plan_bc(const net::Deployment& deployment,
-                     const PlannerConfig& config) {
+                     const PlannerConfig& config,
+                     support::BudgetMeter* meter) {
   support::require(config.bundle_radius > 0.0,
                    "BC needs a positive bundle radius");
+  support::BudgetMeter local_meter(config.budget);
+  const bool metered = meter != nullptr || !config.budget.unlimited();
+  if (meter == nullptr) meter = &local_meter;
+
   const std::vector<bundle::Bundle> bundles =
       bundle::generate_bundles(deployment, config.bundle_radius,
-                               config.generator);
+                               config.generator, metered ? meter : nullptr);
 
   ChargingPlan plan;
   plan.algorithm = "BC";
@@ -24,7 +29,8 @@ ChargingPlan plan_bc(const net::Deployment& deployment,
   for (const bundle::Bundle& b : bundles) {
     plan.stops.push_back(Stop{b.anchor, b.members});
   }
-  order_stops_by_tsp(plan.depot, plan.stops, config.tsp);
+  order_stops_by_tsp(plan.depot, plan.stops, config.tsp,
+                     metered ? meter : nullptr);
   return plan;
 }
 

@@ -22,18 +22,19 @@ std::string_view to_string(Algorithm algorithm) {
 
 ChargingPlan plan_charging_tour(const net::Deployment& deployment,
                                 Algorithm algorithm,
-                                const PlannerConfig& config) {
+                                const PlannerConfig& config,
+                                support::BudgetMeter* meter) {
   switch (algorithm) {
     case Algorithm::kSc:
-      return plan_sc(deployment, config);
+      return plan_sc(deployment, config, meter);
     case Algorithm::kCss:
-      return plan_css(deployment, config);
+      return plan_css(deployment, config, meter);
     case Algorithm::kBc:
-      return plan_bc(deployment, config);
+      return plan_bc(deployment, config, meter);
     case Algorithm::kBcOpt:
-      return plan_bc_opt(deployment, config);
+      return plan_bc_opt(deployment, config, meter);
     case Algorithm::kTspn:
-      return plan_tspn(deployment, config);
+      return plan_tspn(deployment, config, meter);
   }
   support::ensure(false, "unreachable planner algorithm");
   return {};

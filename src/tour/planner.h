@@ -28,6 +28,7 @@
 #include "charging/model.h"
 #include "charging/movement.h"
 #include "net/deployment.h"
+#include "support/deadline.h"
 #include "tour/plan.h"
 #include "tsp/solver.h"
 
@@ -68,26 +69,39 @@ struct PlannerConfig {
   charging::MovementModel movement = charging::MovementModel::icdcs2019();
   tsp::SolverOptions tsp{};
   BcOptOptions opt{};
+  // Deadline / node cap / cancellation shared across every solver stage
+  // the planner touches (bundle generation, TSP ordering, refinement
+  // passes). Every planner is *anytime* under a budget: a trip stops the
+  // current refinement and returns the best valid plan so far — the plan
+  // is still a partition of the sensors, just less optimised.
+  support::Budget budget{};
 };
 
 // Plans a charging tour with the requested algorithm. The returned plan is
-// always a partition of the deployment's sensors over its stops.
+// always a partition of the deployment's sensors over its stops — even
+// when `config.budget` (or a caller-supplied `meter`) trips mid-plan.
 // Preconditions: bundle_radius > 0 for CSS/BC/BC-OPT.
 ChargingPlan plan_charging_tour(const net::Deployment& deployment,
                                 Algorithm algorithm,
-                                const PlannerConfig& config);
+                                const PlannerConfig& config,
+                                support::BudgetMeter* meter = nullptr);
 
 // Individual planners (same contracts); exposed for tests and ablations.
 ChargingPlan plan_sc(const net::Deployment& deployment,
-                     const PlannerConfig& config);
+                     const PlannerConfig& config,
+                     support::BudgetMeter* meter = nullptr);
 ChargingPlan plan_css(const net::Deployment& deployment,
-                      const PlannerConfig& config);
+                      const PlannerConfig& config,
+                      support::BudgetMeter* meter = nullptr);
 ChargingPlan plan_bc(const net::Deployment& deployment,
-                     const PlannerConfig& config);
+                     const PlannerConfig& config,
+                     support::BudgetMeter* meter = nullptr);
 ChargingPlan plan_bc_opt(const net::Deployment& deployment,
-                         const PlannerConfig& config);
+                         const PlannerConfig& config,
+                         support::BudgetMeter* meter = nullptr);
 ChargingPlan plan_tspn(const net::Deployment& deployment,
-                       const PlannerConfig& config);
+                       const PlannerConfig& config,
+                       support::BudgetMeter* meter = nullptr);
 
 }  // namespace bc::tour
 

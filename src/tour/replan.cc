@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "bundle/candidates.h"
 #include "bundle/exact_cover.h"
 #include "bundle/generator.h"
 #include "support/require.h"
@@ -73,7 +74,8 @@ void order_stops_from(geometry::Point2 start, std::vector<Stop>& stops) {
 Expected<ChargingPlan> replan_tour(const net::Deployment& deployment,
                                    const ReplanRequest& request,
                                    const PlannerConfig& config,
-                                   const ReplanOptions& options) {
+                                   const ReplanOptions& options,
+                                   support::BudgetMeter* meter) {
   support::require(request.remaining.size() == request.deficits_j.size(),
                    "one deficit per remaining sensor");
   support::require(std::is_sorted(request.remaining.begin(),
@@ -86,6 +88,10 @@ Expected<ChargingPlan> replan_tour(const net::Deployment& deployment,
   support::require(
       options.budget_backoff > 0.0 && options.budget_backoff < 1.0,
       "budget backoff must shrink the budget");
+
+  support::BudgetMeter local_meter(options.budget);
+  const bool metered = meter != nullptr || !options.budget.unlimited();
+  if (meter == nullptr) meter = &local_meter;
 
   ChargingPlan plan;
   plan.algorithm = "REPLAN";
@@ -111,23 +117,35 @@ Expected<ChargingPlan> replan_tour(const net::Deployment& deployment,
   const std::vector<Rung> ladder = build_ladder(config, options);
   std::string attempts_log;
   for (const Rung& rung : ladder) {
+    // Cooperative cancellation: once the shared ladder budget trips, stop
+    // trying rungs — a replan must never keep computing past its deadline.
+    if (metered && !meter->check()) {
+      attempts_log += "(ladder budget tripped: ";
+      attempts_log += support::to_string(meter->trip());
+      attempts_log += ") ";
+      break;
+    }
     std::vector<bundle::Bundle> bundles;
     if (rung.kind == bundle::GeneratorKind::kExact) {
       bundle::ExactCoverOptions exact = config.generator.exact;
       exact.max_nodes = rung.node_budget;
-      auto found =
-          bundle::optimal_bundles(remaining, config.bundle_radius, exact);
-      if (!found.has_value()) {
+      const std::vector<bundle::Bundle> candidates = bundle::
+          enumerate_candidates(remaining, config.bundle_radius,
+                               bundle::CandidateOptions{},
+                               metered ? meter : nullptr);
+      auto found = bundle::exact_cover_anytime(remaining, candidates, exact,
+                                               metered ? meter : nullptr);
+      if (!found.has_value() || !found.value().optimal) {
         attempts_log += std::string(bundle::to_string(rung.kind)) + "(budget " +
                         std::to_string(rung.node_budget) + ") ";
         continue;  // budget exhausted: back off or fall down the ladder
       }
-      bundles = std::move(*found);
+      bundles = std::move(found.value().bundles);
     } else {
       bundle::GeneratorOptions generator = config.generator;
       generator.kind = rung.kind;
       bundles = bundle::generate_bundles(remaining, config.bundle_radius,
-                                         generator);
+                                         generator, metered ? meter : nullptr);
     }
     if (!bundle::is_partition(remaining, bundles)) {
       attempts_log += std::string(bundle::to_string(rung.kind)) + "(gap) ";
@@ -151,6 +169,13 @@ Expected<ChargingPlan> replan_tour(const net::Deployment& deployment,
     return plan;
   }
 
+  if (metered && meter->exhausted()) {
+    return Fault{FaultKind::kBudgetExhausted,
+                 "replan ladder budget tripped (" +
+                     support::describe_trip(*meter) + ") before any rung " +
+                     "covered " + std::to_string(request.remaining.size()) +
+                     " sensors (tried: " + attempts_log + ")"};
+  }
   return Fault{FaultKind::kReplanExhausted,
                "no generator rung produced a covering partition for " +
                    std::to_string(request.remaining.size()) +

@@ -9,14 +9,15 @@
 namespace bc::tour {
 
 void order_stops_by_tsp(geometry::Point2 depot, std::vector<Stop>& stops,
-                        const tsp::SolverOptions& options) {
+                        const tsp::SolverOptions& options,
+                        support::BudgetMeter* meter) {
   if (stops.size() < 2) return;
   std::vector<geometry::Point2> points;
   points.reserve(stops.size() + 1);
   points.push_back(depot);  // index 0 = depot
   for (const Stop& s : stops) points.push_back(s.position);
 
-  tsp::Tour order = tsp::solve_tsp(points, options);
+  tsp::Tour order = tsp::solve_tsp(points, options, meter);
   tsp::rotate_to_front(order, 0);
   support::ensure(order.size() == stops.size() + 1,
                   "tsp order must cover depot and all stops");

@@ -16,9 +16,11 @@ namespace bc::tour {
 // positions, with the depot first (so stops follow the charger's visiting
 // order). The tour orientation is normalised so that the first stop after
 // the depot has the lower index of the two possible directions, making
-// results deterministic.
+// results deterministic. A non-null `meter` bounds the TSP solve; the
+// result is always a valid (possibly less optimised) ordering.
 void order_stops_by_tsp(geometry::Point2 depot, std::vector<Stop>& stops,
-                        const tsp::SolverOptions& options);
+                        const tsp::SolverOptions& options,
+                        support::BudgetMeter* meter = nullptr);
 
 }  // namespace bc::tour
 

@@ -8,7 +8,12 @@
 namespace bc::tour {
 
 ChargingPlan plan_sc(const net::Deployment& deployment,
-                     const PlannerConfig& config) {
+                     const PlannerConfig& config,
+                     support::BudgetMeter* meter) {
+  support::BudgetMeter local_meter(config.budget);
+  const bool metered = meter != nullptr || !config.budget.unlimited();
+  if (meter == nullptr) meter = &local_meter;
+
   ChargingPlan plan;
   plan.algorithm = "SC";
   plan.depot = deployment.depot();
@@ -16,7 +21,8 @@ ChargingPlan plan_sc(const net::Deployment& deployment,
   for (const net::Sensor& s : deployment.sensors()) {
     plan.stops.push_back(Stop{s.position, {s.id}});
   }
-  order_stops_by_tsp(plan.depot, plan.stops, config.tsp);
+  order_stops_by_tsp(plan.depot, plan.stops, config.tsp,
+                     metered ? meter : nullptr);
   return plan;
 }
 

@@ -47,10 +47,15 @@ Point2 reach_point(Point2 prev, Point2 next, Point2 center, double radius) {
 }  // namespace
 
 ChargingPlan plan_tspn(const net::Deployment& deployment,
-                       const PlannerConfig& config) {
+                       const PlannerConfig& config,
+                       support::BudgetMeter* meter) {
   support::require(config.bundle_radius > 0.0,
                    "TSPN needs a positive neighbourhood radius");
-  ChargingPlan plan = plan_bc(deployment, config);
+  support::BudgetMeter local_meter(config.budget);
+  const bool metered = meter != nullptr || !config.budget.unlimited();
+  if (meter == nullptr) meter = &local_meter;
+
+  ChargingPlan plan = plan_bc(deployment, config, metered ? meter : nullptr);
   plan.algorithm = "TSPN";
   if (plan.stops.empty()) return plan;
 
@@ -63,6 +68,8 @@ ChargingPlan plan_tspn(const net::Deployment& deployment,
 
   const std::size_t n = plan.stops.size();
   for (std::size_t pass = 0; pass < 8; ++pass) {
+    // Anytime: stops are valid boundary points after every accepted move.
+    if (metered && !meter->charge(n)) break;
     bool moved = false;
     for (std::size_t i = 0; i < n; ++i) {
       const Point2 prev = i == 0 ? plan.depot : plan.stops[i - 1].position;

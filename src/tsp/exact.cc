@@ -9,7 +9,12 @@ namespace bc::tsp {
 
 using geometry::Point2;
 
-Tour held_karp_tour(std::span<const Point2> points) {
+namespace {
+
+// Shared DP core; a null meter runs unmetered. Returns nullopt only when
+// the meter trips (one charge per subset `mask`).
+std::optional<Tour> held_karp_impl(std::span<const Point2> points,
+                                   support::BudgetMeter* meter) {
   const std::size_t n = points.size();
   support::require(n >= 1, "held_karp_tour needs points");
   support::require(n <= kHeldKarpLimit, "held_karp_tour instance too large");
@@ -34,6 +39,7 @@ Tour held_karp_tour(std::span<const Point2> points) {
 
   for (std::size_t mask = 1; mask < full; ++mask) {
     if ((mask & 1) == 0) continue;  // paths always include the start 0
+    if (meter != nullptr && !meter->charge()) return std::nullopt;
     for (std::size_t v = 0; v < n; ++v) {
       if ((mask & (std::size_t{1} << v)) == 0) continue;
       const double here = dp[mask * n + v];
@@ -76,6 +82,19 @@ Tour held_karp_tour(std::span<const Point2> points) {
   order[0] = 0;
   support::ensure(is_valid_tour(order, n), "held_karp output must be a tour");
   return order;
+}
+
+}  // namespace
+
+Tour held_karp_tour(std::span<const Point2> points) {
+  auto tour = held_karp_impl(points, nullptr);
+  support::ensure(tour.has_value(), "unmetered held_karp cannot trip");
+  return std::move(*tour);
+}
+
+std::optional<Tour> held_karp_tour_budgeted(std::span<const Point2> points,
+                                            support::BudgetMeter& meter) {
+  return held_karp_impl(points, &meter);
 }
 
 }  // namespace bc::tsp

@@ -7,8 +7,10 @@
 #ifndef BUNDLECHARGE_TSP_EXACT_H_
 #define BUNDLECHARGE_TSP_EXACT_H_
 
+#include <optional>
 #include <span>
 
+#include "support/deadline.h"
 #include "tsp/tour.h"
 
 namespace bc::tsp {
@@ -18,6 +20,12 @@ inline constexpr std::size_t kHeldKarpLimit = 18;
 
 // Optimal closed tour. Preconditions: 1 <= points.size() <= kHeldKarpLimit.
 Tour held_karp_tour(std::span<const geometry::Point2> points);
+
+// Budgeted variant: charges `meter` one unit per DP subset processed and
+// returns nullopt when the budget trips mid-table (Held-Karp has no
+// incumbent to fall back on — callers degrade to a heuristic tour).
+std::optional<Tour> held_karp_tour_budgeted(
+    std::span<const geometry::Point2> points, support::BudgetMeter& meter);
 
 }  // namespace bc::tsp
 

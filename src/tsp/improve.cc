@@ -18,7 +18,7 @@ double edge(const std::span<const Point2>& points, std::uint32_t a,
 }  // namespace
 
 double two_opt(std::span<const Point2> points, Tour& order,
-               const ImproveOptions& options) {
+               const ImproveOptions& options, support::BudgetMeter* meter) {
   support::require(is_valid_tour(order, order.size()) &&
                        order.size() <= points.size(),
                    "two_opt needs a valid tour");
@@ -26,6 +26,7 @@ double two_opt(std::span<const Point2> points, Tour& order,
   if (n < 4) return 0.0;
   double total_gain = 0.0;
   for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    if (meter != nullptr && !meter->charge()) break;
     bool improved = false;
     // Reversing order[i+1..j] replaces edges (i,i+1) and (j,j+1) with
     // (i,j) and (i+1,j+1).
@@ -54,7 +55,7 @@ double two_opt(std::span<const Point2> points, Tour& order,
 }
 
 double or_opt(std::span<const Point2> points, Tour& order,
-              const ImproveOptions& options) {
+              const ImproveOptions& options, support::BudgetMeter* meter) {
   support::require(is_valid_tour(order, order.size()) &&
                        order.size() <= points.size(),
                    "or_opt needs a valid tour");
@@ -62,6 +63,7 @@ double or_opt(std::span<const Point2> points, Tour& order,
   if (n < 5) return 0.0;
   double total_gain = 0.0;
   for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    if (meter != nullptr && !meter->charge()) break;
     bool improved = false;
     for (std::size_t chain = 1; chain <= 3 && chain + 2 <= n; ++chain) {
       for (std::size_t i = 0; i + chain < n && !improved; ++i) {
@@ -123,11 +125,13 @@ double or_opt(std::span<const Point2> points, Tour& order,
 }
 
 double improve_tour(std::span<const Point2> points, Tour& order,
-                    const ImproveOptions& options) {
+                    const ImproveOptions& options,
+                    support::BudgetMeter* meter) {
   double total_gain = 0.0;
   for (std::size_t round = 0; round < options.max_passes; ++round) {
-    const double gain = two_opt(points, order, options) +
-                        or_opt(points, order, options);
+    if (meter != nullptr && meter->exhausted()) break;
+    const double gain = two_opt(points, order, options, meter) +
+                        or_opt(points, order, options, meter);
     total_gain += gain;
     if (gain <= options.min_gain) break;
   }

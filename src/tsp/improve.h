@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <span>
 
+#include "support/deadline.h"
 #include "tsp/tour.h"
 
 namespace bc::tsp {
@@ -26,16 +27,22 @@ struct ImproveOptions {
 
 // First-improvement 2-opt until no move helps. Returns total gain (length
 // reduction, >= 0). `order` must be a valid tour over `points`.
+// All three improvers are anytime by construction: the tour is valid after
+// every accepted move, so a non-null `meter` (charged one unit per pass)
+// simply stops the search at the next pass boundary when it trips.
 double two_opt(std::span<const geometry::Point2> points, Tour& order,
-               const ImproveOptions& options = ImproveOptions{});
+               const ImproveOptions& options = ImproveOptions{},
+               support::BudgetMeter* meter = nullptr);
 
 // Or-opt: tries moving chains of length 1..3 between all other edges.
 double or_opt(std::span<const geometry::Point2> points, Tour& order,
-              const ImproveOptions& options = ImproveOptions{});
+              const ImproveOptions& options = ImproveOptions{},
+              support::BudgetMeter* meter = nullptr);
 
 // Alternates 2-opt and Or-opt until neither improves.
 double improve_tour(std::span<const geometry::Point2> points, Tour& order,
-                    const ImproveOptions& options = ImproveOptions{});
+                    const ImproveOptions& options = ImproveOptions{},
+                    support::BudgetMeter* meter = nullptr);
 
 }  // namespace bc::tsp
 

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <span>
 
+#include "support/deadline.h"
 #include "tsp/improve.h"
 #include "tsp/tour.h"
 
@@ -24,11 +25,18 @@ struct SolverOptions {
   // greedy-edge construction is always tried as well.
   std::size_t nn_starts = 4;
   ImproveOptions improve;
+  // Resource limits; unlimited by default. When a budget trips the solver
+  // degrades instead of hanging: a tripped Held-Karp falls back to the
+  // heuristic path, local search stops at a pass boundary, and remaining
+  // multi-starts are skipped — the returned tour is always valid.
+  support::Budget budget{};
 };
 
 // Returns a closed tour over all points. Empty input yields an empty tour.
+// A non-null `meter` overrides options.budget (shared ladder budgets).
 Tour solve_tsp(std::span<const geometry::Point2> points,
-               const SolverOptions& options = SolverOptions{});
+               const SolverOptions& options = SolverOptions{},
+               support::BudgetMeter* meter = nullptr);
 
 }  // namespace bc::tsp
 

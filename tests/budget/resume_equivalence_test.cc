@@ -1,0 +1,150 @@
+// Resume-equivalence tests: an interrupted, journaled sweep that resumes
+// must reproduce the uninterrupted aggregate bit for bit, at any thread
+// count. This is the in-process counterpart of the CI kill/resume job,
+// which exercises the same guarantee across a real SIGKILL.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/checkpoint.h"
+#include "sim/experiment.h"
+#include "support/atomic_file.h"
+#include "support/parallel.h"
+#include "tour/planner.h"
+
+namespace bc::sim {
+namespace {
+
+// Fresh path for this test: TempDir persists across gtest invocations, so
+// a leftover journal from a previous run must not leak into this one.
+std::string fresh_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+ExperimentSpec small_spec(std::size_t runs) {
+  ExperimentSpec spec;
+  spec.make_deployment = uniform_factory(25, net::FieldSpec{});
+  spec.algorithm = tour::Algorithm::kBc;
+  spec.planner.bundle_radius = 60.0;
+  spec.runs = runs;
+  spec.base_seed = 77;
+  return spec;
+}
+
+// Bitwise equality of two aggregates, field by field. Doubles are compared
+// with ==, which is exactly what "bit for bit" demands here (no NaNs in
+// metrics by construction).
+void expect_identical(const AggregateMetrics& a, const AggregateMetrics& b) {
+  const auto same = [](const support::RunningStat& x,
+                       const support::RunningStat& y) {
+    ASSERT_EQ(x.count(), y.count());
+    ASSERT_EQ(x.mean(), y.mean());
+    ASSERT_EQ(x.variance(), y.variance());
+    ASSERT_EQ(x.min(), y.min());
+    ASSERT_EQ(x.max(), y.max());
+  };
+  same(a.num_stops, b.num_stops);
+  same(a.tour_length_m, b.tour_length_m);
+  same(a.move_energy_j, b.move_energy_j);
+  same(a.charge_time_s, b.charge_time_s);
+  same(a.charge_energy_j, b.charge_energy_j);
+  same(a.total_energy_j, b.total_energy_j);
+  same(a.total_time_s, b.total_time_s);
+  same(a.avg_charge_time_per_sensor_s, b.avg_charge_time_per_sensor_s);
+  same(a.min_demand_fraction, b.min_demand_fraction);
+}
+
+TEST(ResumeEquivalenceTest, ResumableMatchesPlainRunner) {
+  const ExperimentSpec spec = small_spec(10);
+  const AggregateMetrics plain = run_experiment(spec);
+
+  const std::string path = fresh_path("bc_resume_plain.ckpt");
+  auto journal = CheckpointJournal::open(path, "equivalence");
+  ASSERT_TRUE(journal.has_value());
+  ExperimentControl control;
+  control.journal = &journal.value();
+  control.cell_prefix = "cell";
+  control.chunk = 3;  // chunking must not affect the aggregate
+  const auto resumable = run_experiment_resumable(spec, control);
+  ASSERT_TRUE(resumable.has_value());
+  expect_identical(resumable.value(), plain);
+  EXPECT_EQ(journal.value().size(), spec.runs);
+}
+
+TEST(ResumeEquivalenceTest, InterruptedThenResumedIsBitIdentical) {
+  const std::string path = fresh_path("bc_resume_partial.ckpt");
+  const ExperimentSpec full = small_spec(12);
+
+  // "Interrupt" after 5 runs: journal a prefix of the sweep, exactly what
+  // a killed process leaves behind (cells are keyed by run index alone).
+  {
+    auto journal = CheckpointJournal::open(path, "kill-resume");
+    ASSERT_TRUE(journal.has_value());
+    ExperimentControl control;
+    control.journal = &journal.value();
+    control.cell_prefix = "cell";
+    control.chunk = 2;
+    ASSERT_TRUE(
+        run_experiment_resumable(small_spec(5), control).has_value());
+    EXPECT_EQ(journal.value().size(), 5u);
+  }
+
+  // Resume the full sweep from the journal on disk: runs 0-4 are decoded,
+  // 5-11 computed fresh. The aggregate must match an uninterrupted run
+  // bit for bit — at several thread counts, each resuming from the same
+  // 5-cell journal (a resume fills the file, so restore it in between).
+  const std::string partial_journal = support::read_file(path).value();
+  const AggregateMetrics uninterrupted = run_experiment(full);
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    support::set_thread_count(threads);
+    ASSERT_TRUE(support::write_file_atomic(path, partial_journal).has_value());
+    auto journal = CheckpointJournal::open(path, "kill-resume");
+    ASSERT_TRUE(journal.has_value());
+    EXPECT_EQ(journal.value().size(), 5u);
+    ExperimentControl control;
+    control.journal = &journal.value();
+    control.cell_prefix = "cell";
+    const auto resumed = run_experiment_resumable(full, control);
+    ASSERT_TRUE(resumed.has_value()) << "threads=" << threads;
+    expect_identical(resumed.value(), uninterrupted);
+  }
+  support::set_thread_count(0);
+}
+
+TEST(ResumeEquivalenceTest, CancelledSweepFlushesAndReportsBudgetFault) {
+  const std::string path = fresh_path("bc_resume_cancel.ckpt");
+  auto journal = CheckpointJournal::open(path, "cancelled");
+  ASSERT_TRUE(journal.has_value());
+  ExperimentControl control;
+  control.journal = &journal.value();
+  control.cell_prefix = "cell";
+  control.cancel.request_cancel();  // trip at the first chunk boundary
+  const auto result = run_experiment_resumable(small_spec(8), control);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.fault().kind, support::FaultKind::kBudgetExhausted);
+  EXPECT_NE(result.fault().message.find("cancelled"), std::string::npos);
+  // The journal was flushed on the way out (header present on disk).
+  EXPECT_TRUE(support::file_exists(path));
+}
+
+TEST(ResumeEquivalenceTest, CorruptJournaledCellFaultsInsteadOfAveraging) {
+  const std::string path = fresh_path("bc_resume_poison.ckpt");
+  auto journal = CheckpointJournal::open(path, "poison");
+  ASSERT_TRUE(journal.has_value());
+  // A well-formed record whose payload is not a metrics encoding.
+  journal.value().record(cell_key("cell", 0), "not-metrics");
+  ExperimentControl control;
+  control.journal = &journal.value();
+  control.cell_prefix = "cell";
+  const auto result = run_experiment_resumable(small_spec(4), control);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.fault().kind, support::FaultKind::kInvalidInput);
+}
+
+}  // namespace
+}  // namespace bc::sim

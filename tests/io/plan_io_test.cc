@@ -1,8 +1,9 @@
-// Tests for plan JSON export.
+// Tests for plan JSON export and the hardened read path.
 
 #include "io/plan_io.h"
 
 #include <fstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -91,6 +92,137 @@ TEST(PlanIoTest, WritesFile) {
   EXPECT_EQ(contents, plan_to_json(f.deployment, f.plan, f.evaluation));
   EXPECT_FALSE(write_plan_json_file(f.deployment, f.plan, f.evaluation,
                                     "/no/such/dir/plan.json"));
+}
+
+// --- read path -----------------------------------------------------------
+
+TEST(PlanIoReadTest, RoundTripsExportedPlan) {
+  const Fixture f = make_fixture();
+  const std::string json = plan_to_json(f.deployment, f.plan, f.evaluation);
+  const auto loaded = read_plan_json(json, f.deployment.size());
+  ASSERT_TRUE(loaded.has_value()) << support::describe(loaded.fault());
+  const LoadedPlan& back = loaded.value();
+  EXPECT_EQ(back.plan.algorithm, f.plan.algorithm);
+  EXPECT_EQ(back.plan.depot.x, f.plan.depot.x);
+  EXPECT_EQ(back.plan.depot.y, f.plan.depot.y);
+  ASSERT_EQ(back.plan.stops.size(), f.plan.stops.size());
+  ASSERT_EQ(back.stop_times_s.size(), f.plan.stops.size());
+  for (std::size_t i = 0; i < back.plan.stops.size(); ++i) {
+    EXPECT_EQ(back.plan.stops[i].members, f.plan.stops[i].members);
+    EXPECT_GE(back.stop_times_s[i], 0.0);
+  }
+  EXPECT_TRUE(tour::plan_is_partition(f.deployment, back.plan));
+}
+
+TEST(PlanIoReadTest, RoundTripsViaFile) {
+  const Fixture f = make_fixture();
+  const std::string path = ::testing::TempDir() + "/bc_plan_rt.json";
+  ASSERT_TRUE(
+      write_plan_json_file(f.deployment, f.plan, f.evaluation, path));
+  const auto loaded = read_plan_json_file(path, f.deployment.size());
+  ASSERT_TRUE(loaded.has_value()) << support::describe(loaded.fault());
+  EXPECT_EQ(loaded.value().plan.stops.size(), f.plan.stops.size());
+
+  const auto missing = read_plan_json_file("/no/such/plan.json", 0);
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_EQ(missing.fault().kind, support::FaultKind::kInvalidInput);
+}
+
+// Minimal hand-written document accepted by the reader; the tests below
+// mutate it one defect at a time.
+std::string tiny_plan() {
+  return R"({
+  "algorithm": "BC",
+  "depot": [0, 0],
+  "stops": [
+    {"position": [1, 2], "stop_time_s": 3.5, "members": [0, 2]},
+    {"position": [4, 5], "stop_time_s": 0, "members": [1]}
+  ]
+})";
+}
+
+TEST(PlanIoReadTest, AcceptsTinyPlanAndIgnoresMetricsBlock) {
+  const auto loaded = read_plan_json(tiny_plan(), 3);
+  ASSERT_TRUE(loaded.has_value()) << support::describe(loaded.fault());
+  EXPECT_EQ(loaded.value().plan.stops.size(), 2u);
+  EXPECT_EQ(loaded.value().stop_times_s[0], 3.5);
+}
+
+TEST(PlanIoReadTest, RejectsNonFiniteNumbers) {
+  for (const char* bad : {"1e999", "-1e999"}) {
+    std::string json = tiny_plan();
+    json.replace(json.find("3.5"), 3, bad);
+    const auto loaded = read_plan_json(json, 3);
+    ASSERT_FALSE(loaded.has_value()) << bad;
+    EXPECT_EQ(loaded.fault().kind, support::FaultKind::kInvalidInput);
+    EXPECT_NE(loaded.fault().message.find("non-finite"), std::string::npos);
+  }
+  // JSON has no NaN/Infinity literals; they must fail the parse, not
+  // silently read as zero.
+  std::string json = tiny_plan();
+  json.replace(json.find("3.5"), 3, "NaN");
+  EXPECT_FALSE(read_plan_json(json, 3).has_value());
+}
+
+TEST(PlanIoReadTest, RejectsWrongDepotArity) {
+  std::string json = tiny_plan();
+  json.replace(json.find("[0, 0]"), 6, "[0, 0, 0]");
+  const auto loaded = read_plan_json(json, 3);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_NE(loaded.fault().message.find("2-element"), std::string::npos);
+  // The error names the offending line (depot is on line 3).
+  EXPECT_NE(loaded.fault().message.find("line 3"), std::string::npos);
+}
+
+TEST(PlanIoReadTest, RejectsMemberIndexOutOfRange) {
+  const auto loaded = read_plan_json(tiny_plan(), 2);  // member 2 invalid
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_NE(loaded.fault().message.find("out of range"), std::string::npos);
+  EXPECT_NE(loaded.fault().message.find("line 5"), std::string::npos);
+}
+
+TEST(PlanIoReadTest, RejectsDoubleAndMissingAssignment) {
+  std::string dup = tiny_plan();
+  dup.replace(dup.find("\"members\": [1]"), 14, "\"members\": [1, 0]");
+  const auto doubled = read_plan_json(dup, 3);
+  ASSERT_FALSE(doubled.has_value());
+  EXPECT_NE(doubled.fault().message.find("more than one stop"),
+            std::string::npos);
+
+  const auto uncovered = read_plan_json(tiny_plan(), 4);  // sensor 3 unused
+  ASSERT_FALSE(uncovered.has_value());
+  EXPECT_NE(uncovered.fault().message.find("not assigned"),
+            std::string::npos);
+
+  // expected_sensors = 0 skips the partition checks entirely.
+  EXPECT_TRUE(read_plan_json(tiny_plan(), 0).has_value());
+}
+
+TEST(PlanIoReadTest, RejectsStructuralDamage) {
+  const std::string json = tiny_plan();
+  // Truncation at any point must fail cleanly, never crash or accept.
+  for (std::size_t cut = 0; cut < json.size(); cut += 7) {
+    const auto loaded = read_plan_json(json.substr(0, cut), 3);
+    EXPECT_FALSE(loaded.has_value()) << "cut at " << cut;
+  }
+  std::string nul = json;
+  nul[nul.find("BC")] = '\0';
+  EXPECT_FALSE(read_plan_json(nul, 3).has_value());
+
+  std::string negative_time = json;
+  negative_time.replace(negative_time.find("3.5"), 3, "-1");
+  const auto neg = read_plan_json(negative_time, 3);
+  ASSERT_FALSE(neg.has_value());
+  EXPECT_NE(neg.fault().message.find("negative stop time"),
+            std::string::npos);
+
+  std::string fractional_member = json;
+  fractional_member.replace(fractional_member.find("[0, 2]"), 6, "[0.5, 2]");
+  EXPECT_FALSE(read_plan_json(fractional_member, 3).has_value());
+
+  EXPECT_FALSE(read_plan_json("", 3).has_value());
+  EXPECT_FALSE(read_plan_json("[1, 2, 3]", 3).has_value());
+  EXPECT_FALSE(read_plan_json(json + "trailing", 3).has_value());
 }
 
 }  // namespace

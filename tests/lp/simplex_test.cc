@@ -172,5 +172,112 @@ TEST(SimplexTest, MatchesVertexEnumerationOnTwoVariables) {
   }
 }
 
+// --- termination, anti-cycling, budgets ----------------------------------
+
+TEST(SimplexTest, StatusStringsAndFaultKinds) {
+  EXPECT_EQ(to_string(Status::kOptimal), "optimal");
+  EXPECT_EQ(to_string(Status::kInfeasible), "infeasible");
+  EXPECT_EQ(to_string(Status::kUnbounded), "unbounded");
+  EXPECT_EQ(to_string(Status::kIterationLimit), "iteration-limit");
+  EXPECT_EQ(to_string(Status::kBudgetExhausted), "budget-exhausted");
+
+  EXPECT_EQ(to_fault_kind(Status::kOptimal), support::FaultKind::kNone);
+  EXPECT_EQ(to_fault_kind(Status::kInfeasible),
+            support::FaultKind::kInvalidInput);
+  EXPECT_EQ(to_fault_kind(Status::kUnbounded),
+            support::FaultKind::kInvalidInput);
+  EXPECT_EQ(to_fault_kind(Status::kIterationLimit),
+            support::FaultKind::kBudgetExhausted);
+  EXPECT_EQ(to_fault_kind(Status::kBudgetExhausted),
+            support::FaultKind::kBudgetExhausted);
+}
+
+TEST(SimplexTest, IterationCapReportsLimit) {
+  SimplexOptions options;
+  options.max_iterations = 1;  // phase 1 alone needs more than one pivot
+  const Solution s = solve(
+      make_problem(2, {1.0, 1.0}, {{1.0, 2.0}, {3.0, 1.0}}, {4.0, 6.0}),
+      options);
+  EXPECT_EQ(s.status, Status::kIterationLimit);
+}
+
+TEST(SimplexTest, NodeBudgetTripsAsBudgetExhausted) {
+  SimplexOptions options;
+  options.budget.node_cap = 1;  // one pivot allowed, solve needs more
+  const Solution s = solve(
+      make_problem(2, {1.0, 1.0}, {{1.0, 2.0}, {3.0, 1.0}}, {4.0, 6.0}),
+      options);
+  EXPECT_EQ(s.status, Status::kBudgetExhausted);
+}
+
+TEST(SimplexTest, SharedMeterIsChargedAndHonoured) {
+  const Problem p =
+      make_problem(2, {1.0, 1.0}, {{1.0, 2.0}, {3.0, 1.0}}, {4.0, 6.0});
+
+  support::Budget budget;
+  budget.node_cap = 100000;
+  support::BudgetMeter meter(budget);
+  const Solution s = solve(p, SimplexOptions{}, &meter);
+  EXPECT_EQ(s.status, Status::kOptimal);
+  EXPECT_GT(meter.nodes_used(), 0u);  // every pivot charged the caller
+
+  // A meter another solver already exhausted stops the LP immediately.
+  support::Budget tiny;
+  tiny.node_cap = 1;
+  support::BudgetMeter drained(tiny);
+  while (drained.charge()) {
+  }
+  const Solution stopped = solve(p, SimplexOptions{}, &drained);
+  EXPECT_EQ(stopped.status, Status::kBudgetExhausted);
+}
+
+TEST(SimplexTest, DegenerateVertexTerminates) {
+  // Many constraints active at the same optimal vertex (2, 2): scaled
+  // duplicates force degenerate pivots, the classic cycling hazard under
+  // Dantzig pricing. The Bland fallback must still reach the optimum.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {1.0, 1.0};
+  for (double k = 1.0; k <= 8.0; k += 1.0) {
+    p.rows.push_back({k, k});
+    p.rhs.push_back(4.0 * k);
+    p.rows.push_back({k, 2.0 * k});
+    p.rhs.push_back(6.0 * k);
+    p.rows.push_back({2.0 * k, k});
+    p.rhs.push_back(6.0 * k);
+  }
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-7);
+}
+
+TEST(SimplexTest, EarlyBlandSwitchMatchesDantzig) {
+  // Forcing the anti-cycling fallback after a single degenerate pivot must
+  // not change any optimum — only the pivot path.
+  support::Rng rng(4242);
+  SimplexOptions eager;
+  eager.degenerate_pivot_switch = 1;
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 1 + rng.below(5);
+    const std::size_t m = 1 + rng.below(6);
+    Problem p;
+    p.num_vars = n;
+    p.objective.assign(n, 0.0);
+    for (auto& c : p.objective) c = rng.uniform(0.5, 3.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<double> row(n);
+      for (auto& a : row) a = rng.uniform(0.1, 2.0);
+      p.rows.push_back(std::move(row));
+      p.rhs.push_back(rng.uniform(1.0, 10.0));
+    }
+    const Solution dantzig = solve(p);
+    const Solution bland = solve(p, eager);
+    ASSERT_EQ(dantzig.status, Status::kOptimal);
+    ASSERT_EQ(bland.status, Status::kOptimal);
+    ASSERT_NEAR(dantzig.objective, bland.objective, 1e-6)
+        << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace bc::lp

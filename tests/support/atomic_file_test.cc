@@ -1,0 +1,64 @@
+// Tests for the crash-safe file helpers backing checkpoint persistence.
+
+#include "support/atomic_file.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace bc::support {
+namespace {
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // The IEEE 802.3 check value every CRC-32 implementation must hit.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  // Sensitive to every byte, including NULs.
+  EXPECT_NE(crc32(std::string("a\0b", 3)), crc32(std::string("ab", 2)));
+}
+
+TEST(AtomicFileTest, WritesAndReadsBack) {
+  const std::string path = ::testing::TempDir() + "/bc_atomic_rt.txt";
+  const std::string contents = "line one\nline two\n";
+  const auto wrote = write_file_atomic(path, contents);
+  ASSERT_TRUE(wrote.has_value()) << describe(wrote.fault());
+  EXPECT_TRUE(file_exists(path));
+  const auto read = read_file(path);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read.value(), contents);
+}
+
+TEST(AtomicFileTest, OverwriteReplacesWholeFile) {
+  const std::string path = ::testing::TempDir() + "/bc_atomic_ow.txt";
+  ASSERT_TRUE(write_file_atomic(path, "a long first version\n").has_value());
+  ASSERT_TRUE(write_file_atomic(path, "short\n").has_value());
+  const auto read = read_file(path);
+  ASSERT_TRUE(read.has_value());
+  // rename(2) replaced the file; no stale suffix of the longer version.
+  EXPECT_EQ(read.value(), "short\n");
+}
+
+TEST(AtomicFileTest, EmptyAndBinaryContents) {
+  const std::string path = ::testing::TempDir() + "/bc_atomic_bin.txt";
+  ASSERT_TRUE(write_file_atomic(path, "").has_value());
+  EXPECT_EQ(read_file(path).value(), "");
+  const std::string binary("\x00\x01\xff\n\r\x7f", 6);
+  ASSERT_TRUE(write_file_atomic(path, binary).has_value());
+  EXPECT_EQ(read_file(path).value(), binary);
+}
+
+TEST(AtomicFileTest, FailuresReportInvalidInputWithPath) {
+  const auto wrote = write_file_atomic("/no/such/dir/file.txt", "x");
+  ASSERT_FALSE(wrote.has_value());
+  EXPECT_EQ(wrote.fault().kind, FaultKind::kInvalidInput);
+  EXPECT_NE(wrote.fault().message.find("/no/such/dir"), std::string::npos);
+
+  const auto read = read_file("/no/such/file.txt");
+  ASSERT_FALSE(read.has_value());
+  EXPECT_EQ(read.fault().kind, FaultKind::kInvalidInput);
+  EXPECT_FALSE(file_exists("/no/such/file.txt"));
+}
+
+}  // namespace
+}  // namespace bc::support
