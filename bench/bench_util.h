@@ -4,6 +4,7 @@
 #ifndef BUNDLECHARGE_BENCH_BENCH_UTIL_H_
 #define BUNDLECHARGE_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -11,6 +12,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/bundlecharge.h"
 #include "sim/checkpoint.h"
@@ -177,6 +179,143 @@ inline void print_table(const support::CliFlags& flags,
     table.print(std::cout);
   }
 }
+
+// --- Perf-regression reporting ------------------------------------------
+//
+// Machine-readable micro-bench records: one `BENCH_<kernel>.json` file per
+// kernel so the bench trajectory accumulates as CI artifacts and can be
+// diffed against the committed baseline (`bench/baselines/`) by
+// `tools/check_bench_regression.py`. Schema (see DESIGN.md §8):
+//
+//   {
+//     "bench": "<kernel>",
+//     "schema_version": 1,
+//     "threads": <worker threads the run used>,
+//     "cases": [
+//       {"name": "n=300", "wall_ms": 12.345, "repeats": 5,
+//        "counters": {"nodes_expanded": 50001},
+//        "metrics": {"tour_len_after": 8123.4}}
+//     ]
+//   }
+//
+// `wall_ms` is the minimum over `repeats` timed runs (minimum, not mean:
+// it is the least noisy estimator of the true kernel cost on a shared
+// machine). `counters` are exact integers (work done — nodes expanded,
+// candidates enumerated, moves applied) and must be deterministic for a
+// given build; `metrics` are informational doubles.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  class Case {
+   public:
+    Case& counter(const std::string& key, std::int64_t value) {
+      counters_.emplace_back(key, value);
+      return *this;
+    }
+    Case& metric(const std::string& key, double value) {
+      metrics_.emplace_back(key, value);
+      return *this;
+    }
+
+   private:
+    friend class BenchReporter;
+    std::string name_;
+    double wall_ms_ = 0.0;
+    std::size_t repeats_ = 0;
+    std::vector<std::pair<std::string, std::int64_t>> counters_;
+    std::vector<std::pair<std::string, double>> metrics_;
+  };
+
+  // Records one case; `wall_ms` should be the min over `repeats` runs.
+  Case& add_case(const std::string& name, double wall_ms,
+                 std::size_t repeats) {
+    cases_.emplace_back();
+    cases_.back().name_ = name;
+    cases_.back().wall_ms_ = wall_ms;
+    cases_.back().repeats_ = repeats;
+    return cases_.back();
+  }
+
+  // Times `fn` `repeats` times and records the minimum wall time.
+  template <typename Fn>
+  Case& time_case(const std::string& name, std::size_t repeats, Fn&& fn) {
+    double best_ms = 0.0;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      fn();
+      const auto stop = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    return add_case(name, best_ms, repeats);
+  }
+
+  // Serialises to `<dir>/BENCH_<bench>.json` (atomic write) and echoes a
+  // one-line summary per case to stdout.
+  void write(const std::string& dir, std::size_t threads) const {
+    std::string json = "{\n";
+    json += "  \"bench\": \"" + bench_name_ + "\",\n";
+    json += "  \"schema_version\": 1,\n";
+    json += "  \"threads\": " + std::to_string(threads) + ",\n";
+    json += "  \"cases\": [\n";
+    for (std::size_t i = 0; i < cases_.size(); ++i) {
+      const Case& c = cases_[i];
+      json += "    {\"name\": \"" + c.name_ + "\", ";
+      json += "\"wall_ms\": " + fmt_double(c.wall_ms_, 3) + ", ";
+      json += "\"repeats\": " + std::to_string(c.repeats_);
+      json += json_map(c.counters_, "counters");
+      json += json_map(c.metrics_, "metrics");
+      json += "}";
+      if (i + 1 < cases_.size()) json += ",";
+      json += "\n";
+      std::printf("%-24s %10.3f ms  (min of %zu)\n", c.name_.c_str(),
+                  c.wall_ms_, c.repeats_);
+    }
+    json += "  ]\n}\n";
+    const std::string path = dir + "/BENCH_" + bench_name_ + ".json";
+    auto written = support::write_file_atomic(path, json);
+    if (!written.has_value()) {
+      std::cerr << support::describe(written.fault()) << "\n";
+      std::exit(1);
+    }
+  }
+
+ private:
+  static std::string fmt_double(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+  }
+  static std::string json_map(
+      const std::vector<std::pair<std::string, std::int64_t>>& entries,
+      const std::string& key) {
+    if (entries.empty()) return "";
+    std::string out = ", \"" + key + "\": {";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + entries[i].first +
+             "\": " + std::to_string(entries[i].second);
+    }
+    return out + "}";
+  }
+  static std::string json_map(
+      const std::vector<std::pair<std::string, double>>& entries,
+      const std::string& key) {
+    if (entries.empty()) return "";
+    std::string out = ", \"" + key + "\": {";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + entries[i].first + "\": " + fmt_double(entries[i].second, 3);
+    }
+    return out + "}";
+  }
+
+  std::string bench_name_;
+  std::vector<Case> cases_;
+};
 
 }  // namespace bc::bench
 

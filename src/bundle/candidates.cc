@@ -1,8 +1,10 @@
 #include "bundle/candidates.h"
 
 #include <algorithm>
-#include <set>
+#include <cstdint>
 #include <span>
+#include <unordered_set>
+#include <utility>
 
 #include "geometry/circle.h"
 #include "net/spatial_index.h"
@@ -15,35 +17,137 @@ using geometry::Point2;
 
 namespace {
 
-// Pair-circle enumeration seeded at sensors [begin, end): for each i, the
-// two radius-r circles through every pair (i, j > i) within 2r, collecting
-// the sensors inside each circle. Pure function of the geometry, so chunks
-// can run on any thread.
-std::vector<std::vector<net::SensorId>> enumerate_seeded_at(
-    std::span<const Point2> positions, const net::SpatialIndex& index,
-    double r, std::size_t begin, std::size_t end) {
-  std::vector<std::vector<net::SensorId>> found;
+// SplitMix64-style hash over a canonical (ascending-id) member vector.
+// Keys the dedup hash set; the canonical order itself is restored by one
+// final sort, so insertion order never leaks into the result.
+struct MemberSetHash {
+  std::size_t operator()(const std::vector<net::SensorId>& members) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ members.size();
+    for (const net::SensorId id : members) {
+      std::uint64_t z = h + 0x9e3779b97f4a7c15ULL + id;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      h = z ^ (z >> 31);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+using MemberSetTable =
+    std::unordered_set<std::vector<net::SensorId>, MemberSetHash>;
+
+// Pair-circle enumeration seeded at sensors [begin, end): for each seed i,
+// the two radius-r circles through every pair (i, j > i) within 2r, with
+// the sensors inside each circle collected and handed to `emit` (member
+// sets of size >= 2, ascending ids; the buffer is reused across calls).
+// `emit` returns false to stop the scan early (candidate cap); a non-null
+// meter is charged one unit per seed pair and also stops the scan when it
+// trips. Returns true iff the scan ran to completion.
+//
+// This one body serves both the serial metered path and the parallel
+// chunked path — it is a pure function of the geometry and the scan
+// interval, so chunks can run on any thread (with a null meter).
+template <typename Emit>
+bool enumerate_seeded_at(std::span<const Point2> positions,
+                         const net::SpatialIndex& index, double r,
+                         std::size_t begin, std::size_t end,
+                         support::BudgetMeter* meter, Emit&& emit) {
+  // Relative slack: the defining pair sits exactly on the circle boundary
+  // and must not be lost to rounding in the construction of `center`.
+  const double member_r = r * (1.0 + 1e-9) + 1e-12;
+  const double member_r2 = member_r * member_r;
+  const double pair_r2 = 4.0 * r * r;
+  // Every member of an r-circle through i lies within dist(i, center) +
+  // member_r <= 2r + slack of i, so one padded 2r query per seed serves as
+  // the candidate pool for every circle seeded there — the inner loops
+  // then filter by exact distance instead of re-querying the grid.
+  const double pool_r = 2.0 * r + 1e-6 * (r + 1.0);
   std::vector<net::SensorId> near_i;
   std::vector<net::SensorId> members;
   for (std::size_t i = begin; i < end; ++i) {
-    // Partners within 2r of i; j > i avoids enumerating each pair twice.
-    index.within(positions[i], 2.0 * r, near_i);
+    index.within(positions[i], pool_r, near_i);
     for (const net::SensorId j : near_i) {
       if (j <= i) continue;
+      // The padded pool can hold partners just beyond 2r; skip them before
+      // the meter charge so budget cut points match the unpadded scan.
+      if (geometry::distance_squared(positions[i], positions[j]) > pair_r2) {
+        continue;
+      }
+      if (meter != nullptr && !meter->charge()) return false;
       const auto centers =
           geometry::circles_through_pair(positions[i], positions[j], r);
       if (!centers.has_value()) continue;
       for (const Point2 center : {centers->first, centers->second}) {
-        // Relative slack: the defining pair sits exactly on the circle
-        // boundary and must not be lost to rounding in the construction
-        // of `center`.
-        index.within(center, r * (1.0 + 1e-9) + 1e-12, members);
+        members.clear();
+        for (const net::SensorId s : near_i) {
+          if (geometry::distance_squared(positions[s], center) <= member_r2) {
+            members.push_back(s);  // near_i is id-sorted, so members is too
+          }
+        }
         if (members.size() < 2) continue;
-        found.push_back(members);
+        if (!emit(members)) return false;
       }
     }
   }
-  return found;
+  return true;
+}
+
+// Removes every set strictly contained in another, in place. Size-bucketed
+// bitset subset tests replace the old O(m^2) std::includes scan: sets are
+// processed largest-first, every kept set is registered in an inverted
+// sensor -> kept-set index with its members packed into a bitset, and a
+// candidate only tests the strictly larger kept sets containing its first
+// member — each test is then a handful of word-indexed bit probes.
+//
+// Precondition: `sets` is deduplicated and lexicographically sorted.
+// Postcondition: survivors ordered by (size desc, lexicographic asc).
+void prune_dominated_sets(std::vector<std::vector<net::SensorId>>& sets,
+                          std::size_t n) {
+  const std::size_t words = (n + 63) / 64;
+  // Stable size-desc sort of the lex-sorted input pins the output order.
+  std::stable_sort(sets.begin(), sets.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.size() > b.size();
+                   });
+
+  std::vector<std::uint64_t> kept_bits;          // kept-major packed bitsets
+  std::vector<std::uint32_t> kept_size;          // member count per kept set
+  std::vector<std::vector<std::uint32_t>> by_member(n);  // sensor -> kept ids
+  std::vector<std::vector<net::SensorId>> kept;
+
+  for (auto& candidate : sets) {
+    bool dominated = false;
+    // Only a strictly larger kept set containing the first member can
+    // dominate; by_member keeps that probe list short. Checking kept sets
+    // alone is complete: had a dominating set itself been dominated, its
+    // dominator (kept, by induction) also contains this candidate.
+    for (const std::uint32_t k : by_member[candidate.front()]) {
+      if (kept_size[k] <= candidate.size()) continue;
+      const std::uint64_t* super = kept_bits.data() + k * words;
+      bool subset = true;
+      for (const net::SensorId id : candidate) {
+        if (((super[id >> 6] >> (id & 63)) & 1u) == 0) {
+          subset = false;
+          break;
+        }
+      }
+      if (subset) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    const auto kept_id = static_cast<std::uint32_t>(kept.size());
+    kept_bits.resize(kept_bits.size() + words, 0);
+    std::uint64_t* bits = kept_bits.data() + kept_id * words;
+    for (const net::SensorId id : candidate) {
+      bits[id >> 6] |= std::uint64_t{1} << (id & 63);
+      by_member[id].push_back(kept_id);
+    }
+    kept_size.push_back(static_cast<std::uint32_t>(candidate.size()));
+    kept.push_back(std::move(candidate));
+  }
+  sets = std::move(kept);
 }
 
 }  // namespace
@@ -56,12 +160,15 @@ std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
   const auto positions = deployment.positions();
   const std::size_t n = deployment.size();
 
-  // Collect distinct member sets; std::set gives deduplication for free,
-  // and its lexicographic iteration order is the canonical candidate order
-  // every later stage sees. Parallel chunks below merge through this set,
-  // so the canonical order — and every downstream cover and tour — is
-  // independent of how many threads enumerated.
-  std::set<std::vector<net::SensorId>> member_sets;
+  // Collect distinct member sets. The hash set only deduplicates; the
+  // canonical candidate order every later stage sees is produced by one
+  // lexicographic sort below, so it is independent of insertion order —
+  // and therefore of how many threads enumerated.
+  // Reserve well past the expected distinct-set count (dense fields emit
+  // ~10 sets per sensor); incremental rehashing of a growing table showed
+  // up as >20% of enumeration time in profiles.
+  MemberSetTable member_sets;
+  member_sets.reserve(64 + 16 * n);
 
   // Singletons guarantee feasibility of the cover.
   for (net::SensorId id = 0; id < n; ++id) {
@@ -73,32 +180,19 @@ std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
     if (options.max_candidates != 0 || meter != nullptr) {
       // The candidate cap and the budget are early-exits whose cut points
       // depend on visit order, so honour them with the serial scan.
-      std::vector<net::SensorId> near_i;
-      std::vector<net::SensorId> members;
-      for (net::SensorId i = 0; i < n; ++i) {
-        index.within(positions[i], 2.0 * r, near_i);
-        for (const net::SensorId j : near_i) {
-          if (j <= i) continue;
-          if (meter != nullptr && !meter->charge()) goto enumeration_done;
-          const auto centers =
-              geometry::circles_through_pair(positions[i], positions[j], r);
-          if (!centers.has_value()) continue;
-          for (const Point2 center : {centers->first, centers->second}) {
-            index.within(center, r * (1.0 + 1e-9) + 1e-12, members);
-            if (members.size() < 2) continue;
+      enumerate_seeded_at(
+          positions, index, r, 0, n, meter,
+          [&](const std::vector<net::SensorId>& members) {
             member_sets.insert(members);
-            if (options.max_candidates != 0 &&
-                member_sets.size() >= options.max_candidates) {
-              goto enumeration_done;
-            }
-          }
-        }
-      }
+            return options.max_candidates == 0 ||
+                   member_sets.size() < options.max_candidates;
+          });
     } else {
       // Uncapped path: the O(n^2)-pairs scan dominates bundle generation,
       // so fan the seed sensors out over the pool. The grain is fixed (not
       // derived from the thread count) and each chunk returns its own
-      // partial list; the set merge above makes the union order-blind.
+      // partial list; the order-blind dedup + final sort make the merged
+      // result identical at every thread count.
       constexpr std::size_t kGrain = 8;
       const std::size_t num_chunks = (n + kGrain - 1) / kGrain;
       auto partials =
@@ -106,8 +200,18 @@ std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
               num_chunks, 1, [&](std::size_t chunk) {
                 const std::size_t begin = chunk * kGrain;
                 const std::size_t end = std::min(n, begin + kGrain);
-                return enumerate_seeded_at(positions, index, r, begin, end);
+                std::vector<std::vector<net::SensorId>> found;
+                enumerate_seeded_at(
+                    positions, index, r, begin, end, nullptr,
+                    [&](std::vector<net::SensorId>& members) {
+                      found.push_back(members);
+                      return true;
+                    });
+                return found;
               });
+      std::size_t total = member_sets.size();
+      for (const auto& partial : partials) total += partial.size();
+      member_sets.reserve(total);  // merge without a single rehash
       for (auto& partial : partials) {
         for (auto& members : partial) {
           member_sets.insert(std::move(members));
@@ -115,29 +219,17 @@ std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
       }
     }
   }
-enumeration_done:
 
-  std::vector<std::vector<net::SensorId>> sets(member_sets.begin(),
-                                               member_sets.end());
+  std::vector<std::vector<net::SensorId>> sets;
+  sets.reserve(member_sets.size());
+  while (!member_sets.empty()) {
+    sets.push_back(std::move(member_sets.extract(member_sets.begin()).value()));
+  }
+  // Canonical lexicographic order (what iterating the old std::set gave).
+  std::sort(sets.begin(), sets.end());
 
   if (options.prune_dominated) {
-    // A set is dominated if some other set strictly contains it. Sort by
-    // descending size, then test inclusion against kept supersets. The
-    // sets are small (bounded by local density), so the bitset-free check
-    // is fine at the paper's scales.
-    std::sort(sets.begin(), sets.end(),
-              [](const auto& a, const auto& b) { return a.size() > b.size(); });
-    std::vector<std::vector<net::SensorId>> kept;
-    for (auto& candidate : sets) {
-      const bool dominated = std::any_of(
-          kept.begin(), kept.end(), [&](const auto& super) {
-            return super.size() > candidate.size() &&
-                   std::includes(super.begin(), super.end(),
-                                 candidate.begin(), candidate.end());
-          });
-      if (!dominated) kept.push_back(std::move(candidate));
-    }
-    sets = std::move(kept);
+    prune_dominated_sets(sets, n);
   }
 
   std::vector<Bundle> candidates;

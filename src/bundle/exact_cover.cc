@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <functional>
 #include <utility>
 
 #include "bundle/candidates.h"
@@ -14,129 +15,206 @@ namespace bc::bundle {
 
 namespace {
 
-// Fixed-width-word dynamic bitset tailored to the cover search.
-class BitSet {
- public:
-  explicit BitSet(std::size_t bits)
-      : bits_(bits), words_((bits + 63) / 64, 0) {}
+// The branch & bound keeps every bitset it touches in preallocated flat
+// storage — candidate masks in one candidate-major array, the per-depth
+// uncovered sets in a depth-major pool — so "a bitset" below is a span of
+// `words` 64-bit words and the inner loops never allocate.
 
-  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
-  bool test(std::size_t i) const {
-    return (words_[i >> 6] >> (i & 63)) & 1u;
-  }
-  void set_all() {
-    for (auto& w : words_) w = ~std::uint64_t{0};
-    trim();
-  }
-  std::size_t count() const {
-    std::size_t total = 0;
-    for (const auto w : words_) total += std::popcount(w);
-    return total;
-  }
-  bool none() const {
-    return std::all_of(words_.begin(), words_.end(),
-                       [](std::uint64_t w) { return w == 0; });
-  }
-  // Index of the lowest set bit; precondition: !none().
-  std::size_t first() const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      if (words_[w] != 0) {
-        return (w << 6) + static_cast<std::size_t>(std::countr_zero(words_[w]));
-      }
-    }
-    support::ensure(false, "BitSet::first on empty set");
-    return 0;
-  }
-  std::size_t intersect_count(const BitSet& other) const {
-    std::size_t total = 0;
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      total += std::popcount(words_[w] & other.words_[w]);
-    }
-    return total;
-  }
-  void subtract(const BitSet& other) {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      words_[w] &= ~other.words_[w];
+// Index of the lowest set bit; precondition: some bit is set.
+inline std::size_t first_set_bit(const std::uint64_t* w, std::size_t words) {
+  for (std::size_t i = 0; i < words; ++i) {
+    if (w[i] != 0) {
+      return (i << 6) + static_cast<std::size_t>(std::countr_zero(w[i]));
     }
   }
-  bool intersects(const BitSet& other) const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      if (words_[w] & other.words_[w]) return true;
-    }
-    return false;
-  }
+  support::ensure(false, "first_set_bit on an empty set");
+  return 0;
+}
 
- private:
-  void trim() {
-    const std::size_t extra = words_.size() * 64 - bits_;
-    if (extra > 0 && !words_.empty()) {
-      words_.back() &= (~std::uint64_t{0}) >> extra;
-    }
-  }
+inline std::size_t intersect_count(const std::uint64_t* a,
+                                   const std::uint64_t* b, std::size_t words) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words; ++i) total += std::popcount(a[i] & b[i]);
+  return total;
+}
 
-  std::size_t bits_;
-  std::vector<std::uint64_t> words_;
+// Fused dst = src & ~mask, returning the number of bits cleared from src.
+// The caller threads the cleared count through as the child's uncovered
+// count, so the search never re-popcounts a whole set for its lower bound.
+inline std::size_t subtract_and_count(std::uint64_t* dst,
+                                      const std::uint64_t* src,
+                                      const std::uint64_t* mask,
+                                      std::size_t words) {
+  std::size_t cleared = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    cleared += static_cast<std::size_t>(std::popcount(src[i] & mask[i]));
+    dst[i] = src[i] & ~mask[i];
+  }
+  return cleared;
+}
+
+// Candidate masks plus the inverted pivot -> candidate index: for each
+// sensor, the ascending-id list of candidates containing it (CSR layout).
+// Branch enumeration walks exactly the candidates containing the pivot
+// instead of scanning every mask for the pivot bit.
+struct CandidateIndex {
+  std::size_t words = 0;
+  std::size_t max_candidate_size = 1;
+  std::vector<std::uint64_t> masks;      // candidate-major, m * words
+  std::vector<std::uint32_t> inv_start;  // n + 1 offsets into inv_items
+  std::vector<std::uint32_t> inv_items;  // candidate ids, ascending per row
+
+  const std::uint64_t* mask(std::uint32_t c) const {
+    return masks.data() + std::size_t{c} * words;
+  }
 };
 
-struct SearchState {
-  const std::vector<BitSet>* masks = nullptr;
-  std::size_t max_candidate_size = 1;
+CandidateIndex build_index(std::size_t n, std::span<const Bundle> candidates) {
+  CandidateIndex index;
+  index.words = (n + 63) / 64;
+  index.masks.assign(candidates.size() * index.words, 0);
+  index.inv_start.assign(n + 2, 0);
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    const Bundle& b = candidates[c];
+    index.max_candidate_size =
+        std::max(index.max_candidate_size, b.members.size());
+    std::uint64_t* mask = index.masks.data() + c * index.words;
+    for (const net::SensorId id : b.members) {
+      mask[id >> 6] |= std::uint64_t{1} << (id & 63);
+      ++index.inv_start[id + 1];
+    }
+  }
+  for (std::size_t s = 1; s + 1 < index.inv_start.size(); ++s) {
+    index.inv_start[s + 1] += index.inv_start[s];
+  }
+  index.inv_items.resize(index.inv_start[n]);
+  std::vector<std::uint32_t> cursor(index.inv_start.begin(),
+                                    index.inv_start.begin() +
+                                        static_cast<std::ptrdiff_t>(n));
+  for (std::uint32_t c = 0; c < candidates.size(); ++c) {
+    for (const net::SensorId id : candidates[c].members) {
+      index.inv_items[cursor[id]++] = c;
+    }
+  }
+  index.inv_start.pop_back();  // back to the usual n + 1 CSR offsets
+  return index;
+}
+
+// Depth-first branch & bound with all per-node scratch preallocated: one
+// uncovered bitset per depth in `pool` and one branch vector per depth in
+// `scratch`, both reused across the whole DFS. Branch order is pinned to
+// (covered count desc, candidate id asc) so results are reproducible by
+// any reimplementation (the perf-diff reference suite relies on this).
+struct Searcher {
+  const CandidateIndex* index = nullptr;
   std::size_t node_budget = 0;  // per-call cap (0 = unlimited)
-  std::size_t nodes = 0;
-  bool aborted = false;
   // Shared meter charged one unit per node; null = unmetered. Node-cap
   // trips are a function of the serial expansion count alone, so they are
   // bit-identical at every thread count.
   support::BudgetMeter* meter = nullptr;
+  std::size_t nodes = 0;
+  bool aborted = false;
+  // chosen[0..depth) is the current partial cover — a flat buffer indexed
+  // by depth (sized by reserve), not a push/pop stack.
   std::vector<std::uint32_t> chosen;
   std::vector<std::uint32_t> best;
   std::size_t best_size = 0;  // incumbent bound (strictly improve on it)
-};
 
-void search(SearchState& state, BitSet uncovered) {
-  if (state.aborted) return;
-  ++state.nodes;
-  if (state.node_budget != 0 && state.nodes > state.node_budget) {
-    state.aborted = true;
-    return;
+  // A branch packs (covered count, candidate id) into one word ordered so
+  // that a plain descending sort yields count desc, id asc — the pinned
+  // branch order.
+  static std::uint64_t pack_branch(std::size_t count, std::uint32_t id) {
+    return (static_cast<std::uint64_t>(count) << 32) |
+           static_cast<std::uint32_t>(~id);
   }
-  if (state.meter != nullptr && !state.meter->charge()) {
-    state.aborted = true;
-    return;
+  static std::uint32_t branch_id(std::uint64_t packed) {
+    return ~static_cast<std::uint32_t>(packed);
   }
-  if (uncovered.none()) {
-    if (state.chosen.size() < state.best_size) {
-      state.best = state.chosen;
-      state.best_size = state.chosen.size();
+
+  std::vector<std::uint64_t> pool;                  // depth-major uncovered
+  std::vector<std::vector<std::uint64_t>> scratch;  // per-depth branch lists
+
+  // Sizes the arena for searches up to `depth_cap` levels deep. The prune
+  // `chosen.size() + lower >= best_size` keeps every visited depth below
+  // best_size, so the initial incumbent size + 1 is always enough.
+  void reserve(std::size_t depth_cap) {
+    pool.assign((depth_cap + 1) * index->words, 0);
+    scratch.resize(depth_cap + 1);
+    chosen.assign(depth_cap + 1, 0);
+  }
+
+  std::uint64_t* slot(std::size_t depth) {
+    return pool.data() + depth * index->words;
+  }
+
+  // Searches the subtree whose uncovered set sits in slot(depth) and has
+  // `remaining` bits set; chosen[0..depth) is the partial cover so far.
+  // `from` is a word hint: slot(depth) is zero below word `from` (and only
+  // guaranteed *initialised* from `from` on), because the pivot is always
+  // the lowest uncovered bit, so a child can never regain a bit below the
+  // parent's pivot word. Every word loop starts there.
+  void search(std::size_t depth, std::size_t remaining, std::size_t from) {
+    ++nodes;
+    if (node_budget != 0 && nodes > node_budget) {
+      aborted = true;
+      return;
     }
-    return;
-  }
-  // Lower bound: even perfect candidates need this many more sets.
-  const std::size_t remaining = uncovered.count();
-  const std::size_t lower =
-      (remaining + state.max_candidate_size - 1) / state.max_candidate_size;
-  if (state.chosen.size() + lower >= state.best_size) return;
+    if (meter != nullptr && !meter->charge()) {
+      aborted = true;
+      return;
+    }
+    if (remaining == 0) {
+      if (depth < best_size) {
+        best.assign(chosen.begin(),
+                    chosen.begin() + static_cast<std::ptrdiff_t>(depth));
+        best_size = depth;
+      }
+      return;
+    }
+    // Lower bound: even perfect candidates need ceil(remaining / max_size)
+    // more sets; prune unless that still strictly beats the incumbent.
+    // (Division-free form of depth + ceil(remaining / max) >= best_size.)
+    if (best_size <= depth + 1) return;
+    if (remaining > (best_size - depth - 1) * index->max_candidate_size) {
+      return;
+    }
 
-  // Branch on the lowest uncovered sensor: some chosen set must contain it.
-  const std::size_t pivot = uncovered.first();
-  std::vector<std::pair<std::size_t, std::uint32_t>> branches;
-  for (std::uint32_t c = 0; c < state.masks->size(); ++c) {
-    const BitSet& mask = (*state.masks)[c];
-    if (!mask.test(pivot)) continue;
-    branches.emplace_back(mask.intersect_count(uncovered), c);
+    // Branch on the lowest uncovered sensor: some chosen set must contain
+    // it. The inverted index yields exactly those sets.
+    const std::uint64_t* uncovered = slot(depth);
+    const std::size_t tail = index->words - from;
+    const std::size_t pivot =
+        (from << 6) + first_set_bit(uncovered + from, tail);
+    std::vector<std::uint64_t>& branches = scratch[depth];
+    branches.clear();
+    for (std::uint32_t k = index->inv_start[pivot];
+         k < index->inv_start[pivot + 1]; ++k) {
+      const std::uint32_t c = index->inv_items[k];
+      branches.push_back(pack_branch(
+          intersect_count(uncovered + from, index->mask(c) + from, tail), c));
+    }
+    // Try high-coverage candidates first for early tight incumbents; ties
+    // go to the lower candidate id. Branch lists are tiny (one inverted
+    // row), so an insertion sort beats std::sort's dispatch overhead.
+    for (std::size_t i = 1; i < branches.size(); ++i) {
+      const std::uint64_t key = branches[i];
+      std::size_t j = i;
+      for (; j > 0 && branches[j - 1] < key; --j) branches[j] = branches[j - 1];
+      branches[j] = key;
+    }
+    const std::size_t child_from = pivot >> 6;
+    const std::size_t child_tail = index->words - child_from;
+    for (const std::uint64_t packed : branches) {
+      const std::uint32_t id = branch_id(packed);
+      const std::size_t cleared = subtract_and_count(
+          slot(depth + 1) + child_from, uncovered + child_from,
+          index->mask(id) + child_from, child_tail);
+      chosen[depth] = id;
+      search(depth + 1, remaining - cleared, child_from);
+      if (aborted) return;
+    }
   }
-  // Try high-coverage candidates first for early tight incumbents.
-  std::sort(branches.begin(), branches.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
-  for (const auto& [gain, c] : branches) {
-    BitSet next = uncovered;
-    next.subtract((*state.masks)[c]);
-    state.chosen.push_back(c);
-    search(state, std::move(next));
-    state.chosen.pop_back();
-    if (state.aborted) return;
-  }
-}
+};
 
 // Materialise chosen candidates as a partition (first bundle keeps shared
 // sensors), mirroring greedy's post-processing.
@@ -161,6 +239,13 @@ std::vector<Bundle> materialise(const net::Deployment& deployment,
   return result;
 }
 
+void set_all(std::uint64_t* w, std::size_t bits) {
+  const std::size_t words = (bits + 63) / 64;
+  for (std::size_t i = 0; i < words; ++i) w[i] = ~std::uint64_t{0};
+  const std::size_t extra = words * 64 - bits;
+  if (extra > 0 && words > 0) w[words - 1] &= (~std::uint64_t{0}) >> extra;
+}
+
 }  // namespace
 
 support::Expected<CoverSolution> exact_cover_anytime(
@@ -177,30 +262,20 @@ support::Expected<CoverSolution> exact_cover_anytime(
   }
 
   const std::size_t n = deployment.size();
-  std::vector<BitSet> masks;
-  masks.reserve(candidates.size());
-  std::size_t max_size = 1;
-  for (const Bundle& b : candidates) {
-    BitSet mask(n);
-    for (const net::SensorId id : b.members) mask.set(id);
-    max_size = std::max(max_size, b.members.size());
-    masks.push_back(std::move(mask));
-  }
+  const CandidateIndex index = build_index(n, candidates);
 
   // Greedy incumbent provides the initial upper bound — and the anytime
   // answer if the budget trips before the search finds anything better.
   const std::vector<Bundle> incumbent = greedy_cover(deployment, candidates);
+  const std::size_t bound0 = incumbent.size() + 1;  // allow matching greedy
 
-  SearchState state;
-  state.masks = &masks;
-  state.max_candidate_size = max_size;
+  Searcher state;
+  state.index = &index;
   state.node_budget = options.max_nodes;
   state.meter = metered ? meter : nullptr;
-  state.best_size = incumbent.size() + 1;  // allow matching the greedy size
+  state.best_size = bound0;
 
-  BitSet uncovered(n);
-  uncovered.set_all();
-  if (options.max_nodes == 0 && !metered) {
+  if (n > 0 && options.max_nodes == 0 && !metered) {
     // Unlimited budget: fan the root branches out over the pool. Each
     // branch subtree is searched independently with the greedy bound, and
     // the per-branch winners are merged serially in branch order with the
@@ -211,16 +286,21 @@ support::Expected<CoverSolution> exact_cover_anytime(
     // reproduces the serial result bit for bit. (A shared node counter
     // would make abortion order scheduling-dependent, which is why every
     // budgeted path stays serial.)
-    const std::size_t lower = (n + max_size - 1) / max_size;
+    const std::size_t lower =
+        (n + index.max_candidate_size - 1) / index.max_candidate_size;
     if (lower < state.best_size) {
-      const std::size_t pivot = uncovered.first();
-      std::vector<std::pair<std::size_t, std::uint32_t>> branches;
-      for (std::uint32_t c = 0; c < masks.size(); ++c) {
-        if (!masks[c].test(pivot)) continue;
-        branches.emplace_back(masks[c].intersect_count(uncovered), c);
+      std::vector<std::uint64_t> root(index.words, 0);
+      set_all(root.data(), n);
+      const std::size_t pivot = first_set_bit(root.data(), index.words);
+      std::vector<std::uint64_t> branches;
+      for (std::uint32_t k = index.inv_start[pivot];
+           k < index.inv_start[pivot + 1]; ++k) {
+        const std::uint32_t c = index.inv_items[k];
+        branches.push_back(Searcher::pack_branch(
+            intersect_count(root.data(), index.mask(c), index.words), c));
       }
       std::sort(branches.begin(), branches.end(),
-                [](const auto& a, const auto& b) { return a.first > b.first; });
+                std::greater<std::uint64_t>());
 
       struct BranchResult {
         std::vector<std::uint32_t> best;  // empty = nothing under the bound
@@ -228,14 +308,15 @@ support::Expected<CoverSolution> exact_cover_anytime(
       };
       const auto results = support::parallel_map<BranchResult>(
           branches.size(), /*grain=*/1, [&](std::size_t b) {
-            SearchState branch_state;
-            branch_state.masks = &masks;
-            branch_state.max_candidate_size = max_size;
-            branch_state.best_size = incumbent.size() + 1;
-            branch_state.chosen.push_back(branches[b].second);
-            BitSet next = uncovered;
-            next.subtract(masks[branches[b].second]);
-            search(branch_state, std::move(next));
+            const std::uint32_t id = Searcher::branch_id(branches[b]);
+            Searcher branch_state;
+            branch_state.index = &index;
+            branch_state.best_size = bound0;
+            branch_state.reserve(bound0 + 1);
+            branch_state.chosen[0] = id;
+            const std::size_t cleared = subtract_and_count(
+                branch_state.slot(1), root.data(), index.mask(id), index.words);
+            branch_state.search(1, n - cleared, 0);
             return BranchResult{std::move(branch_state.best),
                                 branch_state.nodes};
           });
@@ -248,7 +329,9 @@ support::Expected<CoverSolution> exact_cover_anytime(
       }
     }
   } else {
-    search(state, std::move(uncovered));
+    state.reserve(bound0 + 1);
+    set_all(state.slot(0), n);
+    state.search(0, n, 0);
   }
 
   CoverSolution solution;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <utility>
 
 #include "support/require.h"
 
@@ -60,27 +62,110 @@ void SpatialIndex::within(Point2 query, double radius,
   support::require(radius >= 0.0, "radius must be non-negative");
   out.clear();
   const double r2 = radius * radius;
-  const auto reach = static_cast<std::ptrdiff_t>(radius / cell_size_) + 1;
+  // ceil(radius / cell) rings suffice: the query sits inside its own cell,
+  // so any point within `radius` is at most that many cells away on each
+  // axis. (floor + 1 would scan a whole extra ring whenever the radius is
+  // an exact multiple of the cell size — the common r == cell case.)
+  const auto reach =
+      static_cast<std::ptrdiff_t>(std::ceil(radius / cell_size_));
   const auto qx = static_cast<std::ptrdiff_t>(
       std::floor((query.x - bounds_.lo.x) / cell_size_));
   const auto qy = static_cast<std::ptrdiff_t>(
       std::floor((query.y - bounds_.lo.y) / cell_size_));
-  for (std::ptrdiff_t gy = qy - reach; gy <= qy + reach; ++gy) {
-    if (gy < 0 || gy >= static_cast<std::ptrdiff_t>(rows_)) continue;
-    for (std::ptrdiff_t gx = qx - reach; gx <= qx + reach; ++gx) {
-      if (gx < 0 || gx >= static_cast<std::ptrdiff_t>(cols_)) continue;
-      const std::size_t cell = static_cast<std::size_t>(gy) * cols_ +
-                               static_cast<std::size_t>(gx);
-      for (std::uint32_t i = cell_start_[cell]; i < cell_start_[cell + 1];
-           ++i) {
-        const SensorId id = cell_items_[i];
-        if (geometry::distance_squared(positions_[id], query) <= r2) {
-          out.push_back(id);
-        }
+  const std::ptrdiff_t gx_lo = std::max<std::ptrdiff_t>(qx - reach, 0);
+  const std::ptrdiff_t gx_hi =
+      std::min(qx + reach, static_cast<std::ptrdiff_t>(cols_) - 1);
+  const std::ptrdiff_t gy_lo = std::max<std::ptrdiff_t>(qy - reach, 0);
+  const std::ptrdiff_t gy_hi =
+      std::min(qy + reach, static_cast<std::ptrdiff_t>(rows_) - 1);
+  if (gx_lo > gx_hi) {
+    return;  // query column band entirely off-grid
+  }
+  for (std::ptrdiff_t gy = gy_lo; gy <= gy_hi; ++gy) {
+    // The cells of one row are adjacent in the CSR layout, so the whole
+    // gx band is a single contiguous item range — one scan per row
+    // instead of a bounds-checked loop per cell.
+    const std::size_t row = static_cast<std::size_t>(gy) * cols_;
+    const std::uint32_t begin =
+        cell_start_[row + static_cast<std::size_t>(gx_lo)];
+    const std::uint32_t end =
+        cell_start_[row + static_cast<std::size_t>(gx_hi) + 1];
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const SensorId id = cell_items_[i];
+      if (geometry::distance_squared(positions_[id], query) <= r2) {
+        out.push_back(id);
       }
     }
   }
   std::sort(out.begin(), out.end());
+}
+
+void SpatialIndex::k_nearest(Point2 query, std::size_t k,
+                             std::vector<SensorId>& out) const {
+  out.clear();
+  if (k == 0) return;
+  k = std::min(k, positions_.size());
+
+  // Nominal (unclamped) cell coordinates of the query; the query point
+  // lies inside that cell's square even when it falls outside the grid,
+  // which is what the ring distance bound below relies on.
+  const auto qx = static_cast<std::ptrdiff_t>(
+      std::floor((query.x - bounds_.lo.x) / cell_size_));
+  const auto qy = static_cast<std::ptrdiff_t>(
+      std::floor((query.y - bounds_.lo.y) / cell_size_));
+  const auto cols = static_cast<std::ptrdiff_t>(cols_);
+  const auto rows = static_cast<std::ptrdiff_t>(rows_);
+  const std::ptrdiff_t max_ring =
+      std::max(std::max(std::abs(qx), std::abs(cols - 1 - qx)),
+               std::max(std::abs(qy), std::abs(rows - 1 - qy)));
+
+  std::vector<std::pair<double, SensorId>> found;
+  const auto scan_cell_span = [&](std::ptrdiff_t gy, std::ptrdiff_t gx_lo,
+                                  std::ptrdiff_t gx_hi) {
+    if (gy < 0 || gy >= rows) return;
+    gx_lo = std::max<std::ptrdiff_t>(gx_lo, 0);
+    gx_hi = std::min(gx_hi, cols - 1);
+    if (gx_lo > gx_hi) return;
+    const std::size_t row = static_cast<std::size_t>(gy) * cols_;
+    const std::uint32_t begin =
+        cell_start_[row + static_cast<std::size_t>(gx_lo)];
+    const std::uint32_t end =
+        cell_start_[row + static_cast<std::size_t>(gx_hi) + 1];
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const SensorId id = cell_items_[i];
+      found.emplace_back(geometry::distance_squared(positions_[id], query),
+                         id);
+    }
+  };
+
+  for (std::ptrdiff_t ring = 0; ring <= max_ring; ++ring) {
+    if (ring == 0) {
+      scan_cell_span(qy, qx, qx);
+    } else {
+      scan_cell_span(qy - ring, qx - ring, qx + ring);
+      scan_cell_span(qy + ring, qx - ring, qx + ring);
+      for (std::ptrdiff_t gy = qy - ring + 1; gy <= qy + ring - 1; ++gy) {
+        scan_cell_span(gy, qx - ring, qx - ring);
+        scan_cell_span(gy, qx + ring, qx + ring);
+      }
+    }
+    if (found.size() >= k) {
+      // A point in a cell at Chebyshev cell-distance m from the query's
+      // cell is at least (m - 1) * cell_size_ away, so everything in rings
+      // > `ring` lies beyond ring * cell_size_. Once the k-th best found
+      // distance beats that bound, no further ring can improve the answer.
+      std::nth_element(found.begin(),
+                       found.begin() + static_cast<std::ptrdiff_t>(k) - 1,
+                       found.end());
+      const double bound = static_cast<double>(ring) * cell_size_;
+      if (found[k - 1].first <= bound * bound) break;
+    }
+  }
+
+  std::sort(found.begin(), found.end());  // (distance asc, id asc)
+  found.resize(std::min(found.size(), k));
+  out.reserve(found.size());
+  for (const auto& [d2, id] : found) out.push_back(id);
 }
 
 }  // namespace bc::net

@@ -32,6 +32,16 @@ class SpatialIndex {
   void within(geometry::Point2 query, double radius,
               std::vector<SensorId>& out) const;
 
+  // Ids of the (up to) k indexed points nearest to `query`, written to
+  // `out` (cleared first) ordered by ascending distance with an
+  // ascending-id tie-break. A query coinciding with an indexed point
+  // returns that point first (distance 0); callers wanting "neighbours of
+  // point i" ask for k + 1 and drop i. Expected O(k) for uniform densities
+  // via a ring-expanding cell scan: rings stop once the k-th best distance
+  // is provably closer than anything an unscanned ring can hold.
+  void k_nearest(geometry::Point2 query, std::size_t k,
+                 std::vector<SensorId>& out) const;
+
   std::size_t size() const { return positions_.size(); }
 
  private:

@@ -23,6 +23,12 @@ struct ImproveOptions {
   // A move must improve the tour by more than this to be taken, which
   // keeps floating-point noise from cycling.
   double min_gain = 1e-9;
+  // Candidate-move neighbourhood of the optimized improvers: each city
+  // only proposes moves towards its `neighbors` nearest cities (0 = all).
+  // Quality is not capped by this: a full-scan certification sweep runs
+  // whenever the restricted search converges, so a returned tour is a
+  // genuine full-neighbourhood local optimum either way.
+  std::size_t neighbors = 12;
 };
 
 // First-improvement 2-opt until no move helps. Returns total gain (length
@@ -43,6 +49,16 @@ double or_opt(std::span<const geometry::Point2> points, Tour& order,
 double improve_tour(std::span<const geometry::Point2> points, Tour& order,
                     const ImproveOptions& options = ImproveOptions{},
                     support::BudgetMeter* meter = nullptr);
+
+// Reference implementations: the original naive full-scan first-improvement
+// bodies, kept verbatim as the differential-testing oracle for the
+// neighbour-list versions above. `options.neighbors` is ignored.
+double two_opt_reference(std::span<const geometry::Point2> points, Tour& order,
+                         const ImproveOptions& options = ImproveOptions{},
+                         support::BudgetMeter* meter = nullptr);
+double or_opt_reference(std::span<const geometry::Point2> points, Tour& order,
+                        const ImproveOptions& options = ImproveOptions{},
+                        support::BudgetMeter* meter = nullptr);
 
 }  // namespace bc::tsp
 

@@ -4,6 +4,7 @@
 #include "net/spatial_index.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -93,6 +94,68 @@ TEST(SpatialIndexTest, ReusableOutputBufferIsCleared) {
   std::vector<SensorId> buffer{99, 98, 97};
   index.within({0.0, 0.0}, 0.5, buffer);
   EXPECT_EQ(buffer, (std::vector<SensorId>{0}));
+}
+
+// Brute-force k-nearest oracle with the documented (distance asc, id asc)
+// order.
+std::vector<SensorId> brute_k_nearest(const std::vector<Point2>& pts,
+                                      Point2 query, std::size_t k) {
+  std::vector<std::pair<double, SensorId>> ranked;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    ranked.emplace_back(geometry::distance_squared(pts[i], query),
+                        static_cast<SensorId>(i));
+  }
+  std::sort(ranked.begin(), ranked.end());
+  ranked.resize(std::min(ranked.size(), k));
+  std::vector<SensorId> out;
+  for (const auto& [d2, id] : ranked) out.push_back(id);
+  return out;
+}
+
+TEST(SpatialIndexKNearestTest, MatchesBruteForceAcrossCellSizesAndK) {
+  support::Rng rng(23);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.uniform(0, 200), rng.uniform(0, 200)});
+  }
+  for (const double cell : {2.0, 11.0, 60.0, 500.0}) {
+    const SpatialIndex index(pts, cell);
+    std::vector<SensorId> got;
+    for (int q = 0; q < 40; ++q) {
+      const Point2 query{rng.uniform(-30, 230), rng.uniform(-30, 230)};
+      for (const std::size_t k : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{16}, pts.size() + 5}) {
+        index.k_nearest(query, k, got);
+        ASSERT_EQ(got, brute_k_nearest(pts, query, k))
+            << "cell=" << cell << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(SpatialIndexKNearestTest, TiesBreakOnAscendingId) {
+  // Four points equidistant from the centre query plus two coincident
+  // duplicates: equal distances must come back in ascending-id order.
+  const std::vector<Point2> pts{{1.0, 0.0}, {0.0, 1.0},  {-1.0, 0.0},
+                                {0.0, -1.0}, {1.0, 0.0}, {0.0, 1.0}};
+  const SpatialIndex index(pts, 1.0);
+  std::vector<SensorId> got;
+  index.k_nearest({0.0, 0.0}, 6, got);
+  EXPECT_EQ(got, (std::vector<SensorId>{0, 1, 2, 3, 4, 5}));
+  index.k_nearest({0.0, 0.0}, 3, got);
+  EXPECT_EQ(got, (std::vector<SensorId>{0, 1, 2}));
+}
+
+TEST(SpatialIndexKNearestTest, IncludesSelfAndHandlesEdgeCases) {
+  const std::vector<Point2> pts{{0.0, 0.0}, {5.0, 0.0}, {10.0, 0.0}};
+  const SpatialIndex index(pts, 2.0);
+  std::vector<SensorId> got{42};
+  index.k_nearest({5.0, 0.0}, 0, got);
+  EXPECT_TRUE(got.empty());  // k = 0 clears the buffer
+  index.k_nearest({5.0, 0.0}, 1, got);
+  EXPECT_EQ(got, (std::vector<SensorId>{1}));  // self first at distance 0
+  index.k_nearest({-100.0, 40.0}, 2, got);     // query far off the grid
+  EXPECT_EQ(got, (std::vector<SensorId>{0, 1}));
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+// Differential suite for hash-set candidate enumeration and the bitset
+// domination prune (`ctest -L perf-diff`): an in-test reference rebuilds
+// the canonical result the slow way — `std::set` dedup (lexicographic
+// iteration order) and an O(m^2) `std::includes` domination scan with the
+// pinned (size desc, lexicographic asc) survivor order — and
+// `enumerate_candidates` must match it exactly at BC_THREADS = 1, 2 and 8.
+
+#include "bundle/candidates.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bundlecharge.h"
+#include "geometry/circle.h"
+#include "net/deployment.h"
+#include "net/spatial_index.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+
+namespace bc::bundle {
+namespace {
+
+using geometry::Point2;
+using MemberLists = std::vector<std::vector<net::SensorId>>;
+
+// Old-style enumeration: singletons plus both radius-r circles through
+// every sensor pair within 2r, deduplicated through an ordered set.
+MemberLists reference_candidates(const net::Deployment& deployment, double r,
+                                 bool prune_dominated) {
+  const auto positions = deployment.positions();
+  const std::size_t n = deployment.size();
+  std::set<std::vector<net::SensorId>> member_sets;
+  for (net::SensorId id = 0; id < n; ++id) member_sets.insert({id});
+  if (r > 0.0 && n > 1) {
+    const net::SpatialIndex index(positions, std::max(r, 1e-9));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const net::SensorId j : index.within(positions[i], 2.0 * r)) {
+        if (j <= i) continue;
+        const auto centers =
+            geometry::circles_through_pair(positions[i], positions[j], r);
+        if (!centers.has_value()) continue;
+        for (const Point2 center : {centers->first, centers->second}) {
+          const auto members =
+              index.within(center, r * (1.0 + 1e-9) + 1e-12);
+          if (members.size() >= 2) member_sets.insert(members);
+        }
+      }
+    }
+  }
+  MemberLists sets(member_sets.begin(), member_sets.end());
+  if (prune_dominated) {
+    std::stable_sort(sets.begin(), sets.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.size() > b.size();
+                     });
+    MemberLists kept;
+    for (const auto& candidate : sets) {
+      bool dominated = false;
+      for (const auto& other : kept) {
+        if (other.size() > candidate.size() &&
+            std::includes(other.begin(), other.end(), candidate.begin(),
+                          candidate.end())) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) kept.push_back(candidate);
+    }
+    sets = std::move(kept);
+  }
+  return sets;
+}
+
+MemberLists enumerated_members(const net::Deployment& deployment, double r,
+                               const CandidateOptions& options) {
+  MemberLists out;
+  for (const Bundle& b : enumerate_candidates(deployment, r, options)) {
+    out.push_back(b.members);
+  }
+  return out;
+}
+
+TEST(CandidatesDifferentialTest, MatchesSetBasedReferenceAcrossThreadCounts) {
+  for (const std::size_t n : {10, 40, 120}) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      support::Rng rng(6000 + 7 * n + seed);
+      const auto deployment = net::uniform_random_deployment(
+          n, core::icdcs2019_simulation_profile().field, rng);
+      for (const double r : {25.0, 60.0}) {
+        for (const bool prune : {false, true}) {
+          const MemberLists expected =
+              reference_candidates(deployment, r, prune);
+          CandidateOptions options;
+          options.prune_dominated = prune;
+          for (const std::size_t threads : {1, 2, 8}) {
+            support::set_thread_count(threads);
+            ASSERT_EQ(enumerated_members(deployment, r, options), expected)
+                << "n=" << n << " seed=" << seed << " r=" << r
+                << " prune=" << prune << " threads=" << threads;
+          }
+        }
+      }
+    }
+  }
+  support::set_thread_count(1);
+}
+
+}  // namespace
+}  // namespace bc::bundle

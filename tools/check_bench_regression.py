@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare BENCH_<kernel>.json files against a committed baseline.
+
+Usage:
+    tools/check_bench_regression.py --baseline bench/baselines --current out/
+        [--threshold 0.25]
+
+Every case present in the baseline must exist in the current results and
+must not be slower than ``wall_ms * (1 + threshold)``. Counters that exist
+on both sides must match exactly — they are deterministic per build, so a
+counter drift means the kernel changed behaviour, not just speed. Exits
+non-zero on any regression, printing how to refresh the baseline when the
+change is intentional.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_cases(path):
+    data = json.loads(path.read_text())
+    return data, {case["name"]: case for case in data.get("cases", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=pathlib.Path,
+                        help="directory holding the committed BENCH_*.json")
+    parser.add_argument("--current", required=True, type=pathlib.Path,
+                        help="directory holding freshly produced BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional wall-clock slowdown "
+                             "(default 0.25 = 25%%)")
+    args = parser.parse_args()
+
+    baseline_files = sorted(args.baseline.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"error: no BENCH_*.json under {args.baseline}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for base_path in baseline_files:
+        cur_path = args.current / base_path.name
+        if not cur_path.is_file():
+            failures.append(f"{base_path.name}: missing from {args.current}")
+            continue
+        base_data, base_cases = load_cases(base_path)
+        _, cur_cases = load_cases(cur_path)
+        bench = base_data.get("bench", base_path.stem)
+        for name, base_case in base_cases.items():
+            cur_case = cur_cases.get(name)
+            if cur_case is None:
+                failures.append(f"{bench}/{name}: case missing from current run")
+                continue
+            base_ms = base_case["wall_ms"]
+            cur_ms = cur_case["wall_ms"]
+            limit = base_ms * (1.0 + args.threshold)
+            ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+            status = "ok"
+            if cur_ms > limit:
+                status = "REGRESSION"
+                failures.append(
+                    f"{bench}/{name}: {cur_ms:.3f} ms vs baseline "
+                    f"{base_ms:.3f} ms ({ratio:.2f}x, limit "
+                    f"{1.0 + args.threshold:.2f}x)")
+            print(f"{bench:>12}/{name:<16} {cur_ms:10.3f} ms  "
+                  f"baseline {base_ms:10.3f} ms  {ratio:5.2f}x  {status}")
+            for key, base_val in base_case.get("counters", {}).items():
+                cur_val = cur_case.get("counters", {}).get(key)
+                if cur_val is not None and cur_val != base_val:
+                    failures.append(
+                        f"{bench}/{name}: counter '{key}' drifted "
+                        f"{base_val} -> {cur_val} (kernel behaviour changed)")
+
+    if failures:
+        print("\nperf-smoke failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print(
+            "\nIf this slowdown or counter change is intentional, refresh the\n"
+            "baseline and commit it together with the change:\n"
+            "    cmake --build build -j --target bench_perf_kernels\n"
+            "    ./build/bench/bench_perf_kernels --out-dir=bench/baselines "
+            "--repeats=9\n",
+            file=sys.stderr)
+        return 1
+    print("perf-smoke: all cases within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
