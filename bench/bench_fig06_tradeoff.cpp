@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   flags.define_int("nodes", 100, "number of sensors");
   if (!flags.parse(argc, argv, std::cerr)) return 1;
   if (flags.help_requested()) return 0;
+  bc::bench::ObsControl obs(flags);
 
   const bc::core::Profile profile = bc::bench::profile_from_flags(flags);
   const auto n = static_cast<std::size_t>(flags.get_int("nodes"));

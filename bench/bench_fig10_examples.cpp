@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
                       "(BC solid black, BC-OPT dashed red) there");
   if (!flags.parse(argc, argv, std::cerr)) return 1;
   if (flags.help_requested()) return 0;
+  bc::bench::ObsControl obs(flags);
 
   const bc::core::Profile profile = bc::bench::profile_from_flags(flags);
   bc::support::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));

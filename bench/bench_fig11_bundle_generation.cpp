@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   flags.define_double("radius", 60.0, "bundle radius for the node sweep");
   if (!flags.parse(argc, argv, std::cerr)) return 1;
   if (flags.help_requested()) return 0;
+  bc::bench::ObsControl obs(flags);
 
   const bc::core::Profile profile = bc::bench::profile_from_flags(flags);
   const auto runs = static_cast<std::size_t>(flags.get_int("runs"));

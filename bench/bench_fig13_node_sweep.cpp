@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   flags.define_double("radius", 70.0, "bundle radius (m)");
   if (!flags.parse(argc, argv, std::cerr)) return 1;
   if (flags.help_requested()) return 0;
+  bc::bench::ObsControl obs(flags);
 
   const bc::core::Profile profile = bc::bench::profile_from_flags(flags);
   const double r = flags.get_double("radius");

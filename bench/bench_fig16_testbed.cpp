@@ -15,6 +15,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/bundlecharge.h"
 #include "support/cli.h"
 #include "support/table.h"
@@ -22,8 +23,10 @@
 int main(int argc, char** argv) {
   bc::support::CliFlags flags("Fig. 16: simulated §VII testbed replay");
   flags.define_bool("csv", false, "emit CSV instead of an aligned table");
+  bc::bench::define_obs_flags(flags);
   if (!flags.parse(argc, argv, std::cerr)) return 1;
   if (flags.help_requested()) return 0;
+  bc::bench::ObsControl obs(flags);
 
   const bc::core::Profile profile = bc::core::testbed_profile();
   const bc::net::Deployment deployment = bc::net::testbed_deployment();

@@ -133,8 +133,10 @@ int main(int argc, char** argv) {
   flags.define_int("threads", 1,
                    "worker threads (acceptance numbers use 1; counters are "
                    "identical at every thread count)");
+  bc::bench::define_obs_flags(flags);
   if (!flags.parse(argc, argv, std::cerr)) return 2;
   if (flags.help_requested()) return 0;
+  bc::bench::ObsControl obs(flags);
 
   const auto threads = static_cast<std::size_t>(flags.get_int("threads"));
   const auto repeats = static_cast<std::size_t>(flags.get_int("repeats"));

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "core/bundlecharge.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/checkpoint.h"
 #include "support/atomic_file.h"
 #include "support/cli.h"
@@ -23,6 +25,70 @@
 #include "support/table.h"
 
 namespace bc::bench {
+
+// Observability flags shared by every bench binary. Kept separate from
+// define_common_flags so benches with bespoke flag sets (the perf
+// kernels) can opt in without the simulation flags.
+inline void define_obs_flags(support::CliFlags& flags) {
+  flags.define_string("trace-out", "",
+                      "write a JSONL trace journal of the run to this path");
+  flags.define_string("metrics-out", "",
+                      "write the merged metrics snapshot (JSON) to this path");
+  flags.define_string(
+      "trace-clock", "steady",
+      "trace timestamp source: steady (wall time) or virtual (logical "
+      "ticks; byte-stable across runs and thread counts)");
+}
+
+// Honours --trace-out/--metrics-out/--trace-clock for the lifetime of the
+// object: installs a trace journal while alive, writes the journal and the
+// metrics snapshot on destruction. Declare one at the top of main(), after
+// flag parsing.
+class ObsControl {
+ public:
+  explicit ObsControl(const support::CliFlags& flags)
+      : trace_path_(flags.get_string("trace-out")),
+        metrics_path_(flags.get_string("metrics-out")) {
+    const std::string clock = flags.get_string("trace-clock");
+    if (clock != "steady" && clock != "virtual") {
+      std::cerr << "--trace-clock must be 'steady' or 'virtual', got '"
+                << clock << "'\n";
+      std::exit(2);
+    }
+    if (!trace_path_.empty()) {
+      journal_.emplace(clock == "virtual"
+                           ? std::make_unique<obs::VirtualTraceClock>()
+                           : nullptr);
+      scope_.emplace(journal_.value());
+    }
+  }
+
+  ~ObsControl() {
+    if (journal_.has_value()) {
+      scope_.reset();  // uninstall before serialising
+      auto written = journal_->write(trace_path_);
+      if (!written.has_value()) {
+        std::cerr << support::describe(written.fault()) << "\n";
+      }
+    }
+    if (!metrics_path_.empty()) {
+      auto written = obs::write_metrics_json(
+          metrics_path_, obs::global_metrics().snapshot());
+      if (!written.has_value()) {
+        std::cerr << support::describe(written.fault()) << "\n";
+      }
+    }
+  }
+
+  ObsControl(const ObsControl&) = delete;
+  ObsControl& operator=(const ObsControl&) = delete;
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::optional<obs::TraceJournal> journal_;
+  std::optional<obs::ScopedTraceJournal> scope_;
+};
 
 // Declares the flags every simulation bench shares. The defaults follow
 // §VI-A; `runs` defaults below the paper's 100 to keep a full bench suite
@@ -48,6 +114,7 @@ inline void define_common_flags(support::CliFlags& flags) {
       "resume", "",
       "like --checkpoint, but the journal must already exist — guards "
       "against typos silently starting a sweep from scratch");
+  define_obs_flags(flags);  // --trace-out, --metrics-out, --trace-clock
 }
 
 // Builds the ICDCS'19 profile honouring the common flags, and applies the
@@ -189,14 +256,19 @@ inline void print_table(const support::CliFlags& flags,
 //
 //   {
 //     "bench": "<kernel>",
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "threads": <worker threads the run used>,
 //     "cases": [
 //       {"name": "n=300", "wall_ms": 12.345, "repeats": 5,
 //        "counters": {"nodes_expanded": 50001},
 //        "metrics": {"tour_len_after": 8123.4}}
-//     ]
+//     ],
+//     "observability": { ...obs::MetricsSnapshot::to_json()... }
 //   }
+//
+// v2 added the "observability" block — the process-wide metrics snapshot
+// at write time (deterministic integers, see src/obs/metrics.h). v1 files
+// (no such block) remain readable by check_bench_regression.py.
 //
 // `wall_ms` is the minimum over `repeats` timed runs (minimum, not mean:
 // it is the least noisy estimator of the true kernel cost on a shared
@@ -258,7 +330,7 @@ class BenchReporter {
   void write(const std::string& dir, std::size_t threads) const {
     std::string json = "{\n";
     json += "  \"bench\": \"" + bench_name_ + "\",\n";
-    json += "  \"schema_version\": 1,\n";
+    json += "  \"schema_version\": 2,\n";
     json += "  \"threads\": " + std::to_string(threads) + ",\n";
     json += "  \"cases\": [\n";
     for (std::size_t i = 0; i < cases_.size(); ++i) {
@@ -274,7 +346,9 @@ class BenchReporter {
       std::printf("%-24s %10.3f ms  (min of %zu)\n", c.name_.c_str(),
                   c.wall_ms_, c.repeats_);
     }
-    json += "  ]\n}\n";
+    json += "  ],\n";
+    json += "  \"observability\": " +
+            obs::global_metrics().snapshot().to_json("  ") + "\n}\n";
     const std::string path = dir + "/BENCH_" + bench_name_ + ".json";
     auto written = support::write_file_atomic(path, json);
     if (!written.has_value()) {

@@ -25,13 +25,67 @@
 //                         [--pos-noise=2] [--mc-battery=8000] [--no-replan]
 
 #include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
 
 #include "core/bundlecharge.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/lifetime.h"
 #include "support/cli.h"
 #include "support/table.h"
 
 namespace {
+
+// Minimal observability wiring (the bench harness has the full-featured
+// version in bench/bench_util.h; examples carry their own copy so they
+// stay includable without the bench tree). Installs a trace journal for
+// main()'s lifetime and writes the journal / metrics snapshot on exit.
+class ObsOutputs {
+ public:
+  explicit ObsOutputs(const bc::support::CliFlags& flags)
+      : trace_path_(flags.get_string("trace-out")),
+        metrics_path_(flags.get_string("metrics-out")) {
+    const std::string clock = flags.get_string("trace-clock");
+    if (clock != "steady" && clock != "virtual") {
+      std::cerr << "invalid --trace-clock (want steady|virtual): " << clock
+                << "\n";
+      std::exit(1);
+    }
+    if (!trace_path_.empty()) {
+      journal_.emplace(clock == "virtual"
+                           ? std::make_unique<bc::obs::VirtualTraceClock>()
+                           : nullptr);
+      scope_.emplace(journal_.value());
+    }
+  }
+
+  ~ObsOutputs() {
+    scope_.reset();
+    if (journal_.has_value()) {
+      auto written = journal_->write(trace_path_);
+      if (!written) {
+        std::cerr << "trace write failed: "
+                  << bc::support::describe(written.fault()) << "\n";
+      }
+    }
+    if (!metrics_path_.empty()) {
+      auto written = bc::obs::write_metrics_json(
+          metrics_path_, bc::obs::global_metrics().snapshot());
+      if (!written) {
+        std::cerr << "metrics write failed: "
+                  << bc::support::describe(written.fault()) << "\n";
+      }
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::optional<bc::obs::TraceJournal> journal_;
+  std::optional<bc::obs::ScopedTraceJournal> scope_;
+};
 
 // Runs the faulted loop under one degradation posture and returns stats.
 bc::sim::FaultLifetimeStats run_faulted(
@@ -88,8 +142,16 @@ int main(int argc, char** argv) {
   flags.define_bool("no-replan", false,
                     "skip the with-replanning run (--faults)");
   bc::support::define_budget_flags(flags);  // --deadline, --node-budget
+  flags.define_string("trace-out", "",
+                      "write a JSONL trace journal here (empty = off)");
+  flags.define_string("metrics-out", "",
+                      "write a metrics snapshot JSON here (empty = off)");
+  flags.define_string("trace-clock", "steady",
+                      "trace timestamps: steady|virtual (virtual is "
+                      "deterministic, for diffing runs)");
   if (!flags.parse(argc, argv, std::cerr)) return 1;
   if (flags.help_requested()) return 0;
+  ObsOutputs obs(flags);
 
   const bc::core::Profile profile = bc::core::icdcs2019_simulation_profile();
   bc::support::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));

@@ -8,6 +8,8 @@
 
 #include "geometry/circle.h"
 #include "net/spatial_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/parallel.h"
 #include "support/require.h"
 
@@ -160,6 +162,12 @@ std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
   const auto positions = deployment.positions();
   const std::size_t n = deployment.size();
 
+  obs::TraceSpan span("candidates.enumerate");
+  span.attr("n", static_cast<std::int64_t>(n)).attr("r", r);
+  // Emitted pair-circle sets, counted across both scan paths; dedup hits
+  // are recovered afterwards from the table growth.
+  std::uint64_t sets_emitted = 0;
+
   // Collect distinct member sets. The hash set only deduplicates; the
   // canonical candidate order every later stage sees is produced by one
   // lexicographic sort below, so it is independent of insertion order —
@@ -183,6 +191,7 @@ std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
       enumerate_seeded_at(
           positions, index, r, 0, n, meter,
           [&](const std::vector<net::SensorId>& members) {
+            ++sets_emitted;
             member_sets.insert(members);
             return options.max_candidates == 0 ||
                    member_sets.size() < options.max_candidates;
@@ -211,6 +220,7 @@ std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
               });
       std::size_t total = member_sets.size();
       for (const auto& partial : partials) total += partial.size();
+      sets_emitted = total - member_sets.size();
       member_sets.reserve(total);  // merge without a single rehash
       for (auto& partial : partials) {
         for (auto& members : partial) {
@@ -220,6 +230,11 @@ std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
     }
   }
 
+  // Emitted sets all have size >= 2, so distinct non-singleton sets =
+  // table size - n singletons; the rest of the emissions were dedup hits.
+  const std::uint64_t distinct_pairsets = member_sets.size() - n;
+  const std::uint64_t dedup_hits = sets_emitted - distinct_pairsets;
+
   std::vector<std::vector<net::SensorId>> sets;
   sets.reserve(member_sets.size());
   while (!member_sets.empty()) {
@@ -228,9 +243,28 @@ std::vector<Bundle> enumerate_candidates(const net::Deployment& deployment,
   // Canonical lexicographic order (what iterating the old std::set gave).
   std::sort(sets.begin(), sets.end());
 
+  const std::uint64_t before_prune = sets.size();
   if (options.prune_dominated) {
     prune_dominated_sets(sets, n);
   }
+  const std::uint64_t dominated_pruned = before_prune - sets.size();
+
+  {
+    static const obs::Counter calls("candidates.calls");
+    static const obs::Counter emitted("candidates.sets_emitted");
+    static const obs::Counter dedup("candidates.dedup_hits");
+    static const obs::Counter dominated("candidates.dominated_pruned");
+    static const obs::Counter enumerated("candidates.enumerated");
+    calls.add();
+    emitted.add(sets_emitted);
+    dedup.add(dedup_hits);
+    dominated.add(dominated_pruned);
+    enumerated.add(sets.size());
+  }
+  span.attr("sets_emitted", sets_emitted)
+      .attr("dedup_hits", dedup_hits)
+      .attr("dominated_pruned", dominated_pruned)
+      .attr("candidates", static_cast<std::uint64_t>(sets.size()));
 
   std::vector<Bundle> candidates;
   candidates.reserve(sets.size());

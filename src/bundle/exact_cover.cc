@@ -8,6 +8,8 @@
 
 #include "bundle/candidates.h"
 #include "bundle/greedy_cover.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/parallel.h"
 #include "support/require.h"
 
@@ -113,6 +115,8 @@ struct Searcher {
   // bit-identical at every thread count.
   support::BudgetMeter* meter = nullptr;
   std::size_t nodes = 0;
+  std::size_t incumbent_updates = 0;
+  std::size_t max_depth = 0;
   bool aborted = false;
   // chosen[0..depth) is the current partial cover — a flat buffer indexed
   // by depth (sized by reserve), not a push/pop stack.
@@ -163,11 +167,13 @@ struct Searcher {
       aborted = true;
       return;
     }
+    if (depth > max_depth) max_depth = depth;
     if (remaining == 0) {
       if (depth < best_size) {
         best.assign(chosen.begin(),
                     chosen.begin() + static_cast<std::ptrdiff_t>(depth));
         best_size = depth;
+        ++incumbent_updates;
       }
       return;
     }
@@ -264,6 +270,10 @@ support::Expected<CoverSolution> exact_cover_anytime(
   const std::size_t n = deployment.size();
   const CandidateIndex index = build_index(n, candidates);
 
+  obs::TraceSpan span("exact_cover.search");
+  span.attr("n", static_cast<std::int64_t>(n))
+      .attr("candidates", static_cast<std::uint64_t>(candidates.size()));
+
   // Greedy incumbent provides the initial upper bound — and the anytime
   // answer if the budget trips before the search finds anything better.
   const std::vector<Bundle> incumbent = greedy_cover(deployment, candidates);
@@ -305,6 +315,8 @@ support::Expected<CoverSolution> exact_cover_anytime(
       struct BranchResult {
         std::vector<std::uint32_t> best;  // empty = nothing under the bound
         std::size_t nodes = 0;
+        std::size_t incumbent_updates = 0;
+        std::size_t max_depth = 0;
       };
       const auto results = support::parallel_map<BranchResult>(
           branches.size(), /*grain=*/1, [&](std::size_t b) {
@@ -318,10 +330,14 @@ support::Expected<CoverSolution> exact_cover_anytime(
                 branch_state.slot(1), root.data(), index.mask(id), index.words);
             branch_state.search(1, n - cleared, 0);
             return BranchResult{std::move(branch_state.best),
-                                branch_state.nodes};
+                                branch_state.nodes,
+                                branch_state.incumbent_updates,
+                                branch_state.max_depth};
           });
       for (const BranchResult& result : results) {
         state.nodes += result.nodes;
+        state.incumbent_updates += result.incumbent_updates;
+        state.max_depth = std::max(state.max_depth, result.max_depth);
         if (!result.best.empty() && result.best.size() < state.best_size) {
           state.best = result.best;
           state.best_size = result.best.size();
@@ -344,6 +360,29 @@ support::Expected<CoverSolution> exact_cover_anytime(
   solution.bundles = state.best.empty()
                          ? incumbent
                          : materialise(deployment, candidates, state.best);
+
+  {
+    // Every per-branch searcher in the parallel fan-out sizes its arena
+    // the same way, so the reserve size doubles as the high-water mark.
+    const std::uint64_t arena_words = (bound0 + 2) * index.words;
+    static const obs::Counter calls("exact_cover.calls");
+    static const obs::Counter nodes("exact_cover.nodes_expanded");
+    static const obs::Counter incumbents("exact_cover.incumbent_updates");
+    static const obs::Counter trips("exact_cover.budget_trips");
+    static const obs::Gauge depth_hw("exact_cover.max_depth");
+    static const obs::Gauge arena_hw("exact_cover.arena_words");
+    calls.add();
+    nodes.add(state.nodes);
+    incumbents.add(state.incumbent_updates);
+    trips.add(state.aborted ? 1 : 0);
+    depth_hw.record(state.max_depth);
+    arena_hw.record(arena_words);
+  }
+  span.attr("nodes", static_cast<std::uint64_t>(state.nodes))
+      .attr("incumbent_updates",
+            static_cast<std::uint64_t>(state.incumbent_updates))
+      .attr("optimal", solution.optimal)
+      .attr("bundles", static_cast<std::uint64_t>(solution.bundles.size()));
   return solution;
 }
 

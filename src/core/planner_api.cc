@@ -1,5 +1,6 @@
 #include "core/planner_api.h"
 
+#include "obs/trace.h"
 #include "support/parallel.h"
 #include "support/require.h"
 
@@ -11,11 +12,16 @@ BundleChargingPlanner::BundleChargingPlanner(Profile profile)
 PlanResult BundleChargingPlanner::plan(const net::Deployment& deployment,
                                        tour::Algorithm algorithm) const {
   profile_.threads.apply();
+  obs::TraceSpan span("core.plan");
+  span.attr("algorithm", tour::to_string(algorithm))
+      .attr("n", static_cast<std::uint64_t>(deployment.size()));
   PlanResult result;
   result.plan =
       tour::plan_charging_tour(deployment, algorithm, profile_.planner);
   result.metrics =
       sim::evaluate_plan(deployment, result.plan, profile_.evaluation);
+  span.attr("stops", static_cast<std::uint64_t>(result.plan.stops.size()))
+      .attr("total_energy_j", result.metrics.total_energy_j);
   return result;
 }
 
@@ -23,6 +29,9 @@ support::Expected<ExecutionResult> BundleChargingPlanner::plan_under_faults(
     const net::Deployment& deployment, tour::Algorithm algorithm,
     const sim::FaultModel& faults, const sim::ExecutorConfig& executor) const {
   profile_.threads.apply();
+  obs::TraceSpan span("core.plan_under_faults");
+  span.attr("algorithm", tour::to_string(algorithm))
+      .attr("n", static_cast<std::uint64_t>(deployment.size()));
   ExecutionResult result;
   result.plan =
       tour::plan_charging_tour(deployment, algorithm, profile_.planner);
@@ -51,6 +60,10 @@ RadiusSweep BundleChargingPlanner::sweep_radius(
                    "need 0 < min_radius <= max_radius");
   support::require(steps >= 1, "need at least one sweep step");
   profile_.threads.apply();
+  obs::TraceSpan span("core.sweep_radius");
+  span.attr("steps", static_cast<std::uint64_t>(steps))
+      .attr("min_radius", min_radius)
+      .attr("max_radius", max_radius);
 
   // Sweep cells are independent (planning draws no randomness), so each
   // radius plans on its own worker; per-cell results land in index order

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "geometry/ellipse.h"
+#include "obs/metrics.h"
 #include "support/require.h"
 
 namespace bc::geometry {
@@ -76,9 +77,15 @@ AnchorSearchResult optimal_point_on_circle(Point2 a, Point2 b, Point2 center,
   const double d_lo = detour_derivative(a, b, center, radius, lo);
   const double d_hi = detour_derivative(a, b, center, radius, hi);
 
+  // This runs per tour edge inside hot solver loops: counters only (one
+  // batched flush below), no trace spans.
+  std::uint64_t bisection_iters = 0;
+  std::uint64_t golden_iters = 0;
+  const bool bracketed = d_lo < 0.0 && d_hi > 0.0;
   double theta = best_theta;
-  if (d_lo < 0.0 && d_hi > 0.0) {
+  if (bracketed) {
     while (hi - lo > options.angle_tolerance) {
+      ++bisection_iters;
       const double mid = (lo + hi) / 2.0;
       if (detour_derivative(a, b, center, radius, mid) < 0.0) {
         lo = mid;
@@ -94,6 +101,7 @@ AnchorSearchResult optimal_point_on_circle(Point2 a, Point2 b, Point2 center,
     double f1 = focal_sum(a, b, on_circle(center, radius, x1));
     double f2 = focal_sum(a, b, on_circle(center, radius, x2));
     while (hi - lo > options.angle_tolerance) {
+      ++golden_iters;
       if (f1 <= f2) {
         hi = x2;
         x2 = x1;
@@ -109,6 +117,16 @@ AnchorSearchResult optimal_point_on_circle(Point2 a, Point2 b, Point2 center,
       }
     }
     theta = (lo + hi) / 2.0;
+  }
+  {
+    static const obs::Counter calls("anchor.calls");
+    static const obs::Counter bisections("anchor.bisection_iters");
+    static const obs::Counter goldens("anchor.golden_iters");
+    static const obs::Counter fallbacks("anchor.golden_fallbacks");
+    calls.add();
+    bisections.add(bisection_iters);
+    goldens.add(golden_iters);
+    fallbacks.add(bracketed ? 0 : 1);
   }
 
   const Point2 p = on_circle(center, radius, theta);

@@ -60,6 +60,12 @@ std::optional<std::vector<geometry::Point2>> read_positions_csv(
   };
   while (std::getline(in, line)) {
     ++line_number;
+    // A UTF-8 BOM on the first line would otherwise make a numeric row
+    // look non-numeric and be swallowed by the header heuristic below,
+    // silently dropping the first sensor.
+    if (line_number == 1 && line.rfind("\xEF\xBB\xBF", 0) == 0) {
+      line.erase(0, 3);
+    }
     // getline stops at '\n' only; an embedded NUL would silently truncate
     // strtod's view of the token, so it is malformed input, not whitespace.
     if (line.find('\0') != std::string::npos) {

@@ -1,0 +1,167 @@
+// Deterministic metrics registry: counters, high-water gauges, and
+// fixed-bucket histograms.
+//
+// The registry exists so behavioural regressions — extra search nodes,
+// lost pruning, skipped stops — are machine-checkable, which only works if
+// a snapshot is *bit-identical at every BC_THREADS*. Three design rules
+// buy that determinism:
+//
+//   1. Every stored quantity is an integer and every merge operator is
+//      commutative and associative (counters add, gauges take the max,
+//      histogram buckets add). Thread-local shards can then be merged in
+//      any order — the registry merges them in shard-registration order —
+//      and the result depends only on the multiset of recorded events,
+//      which the library's determinism-by-construction contract already
+//      pins. Floating-point sums are deliberately excluded: their value
+//      depends on merge order, which depends on scheduling.
+//   2. Metric *names* are interned into one process-wide table, so a
+//      handle (Counter/Gauge/Histogram) is registry-independent and can be
+//      cached in a function-local static even when tests swap the current
+//      registry underneath it.
+//   3. Snapshots emit entries sorted by name with fixed integer
+//      formatting, so equal registries serialise to equal bytes.
+//
+// Hot paths batch: solvers count locally in registers/members and flush
+// aggregate deltas once per call, so instrumentation adds a handful of
+// shard additions per solver invocation, not per inner-loop iteration.
+
+#ifndef BUNDLECHARGE_OBS_METRICS_H_
+#define BUNDLECHARGE_OBS_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/expected.h"
+
+namespace bc::obs {
+
+class MetricsRegistry;
+
+// Process-wide default registry (never destroyed before exit).
+MetricsRegistry& global_metrics();
+
+// The registry instrumentation currently records into. Defaults to
+// global_metrics(); ScopedMetricsRegistry overrides it.
+MetricsRegistry& metrics();
+
+// Installs `registry` as the current one for the lifetime of the scope.
+// Swapping must not race recording (tests swap between runs, CLI tools
+// install once at startup) — concurrent recorders could land events on
+// either side of the swap.
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(MetricsRegistry& registry);
+  ~ScopedMetricsRegistry();
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+// Monotonically increasing count. Construction interns the name (mutex +
+// hash lookup); add() is lock-free on a thread-local shard — cache handles
+// in function-local statics at hot call sites.
+class Counter {
+ public:
+  explicit Counter(std::string_view name);
+  void add(std::uint64_t delta = 1) const;
+
+ private:
+  std::uint32_t id_;
+};
+
+// High-water mark: record() keeps the maximum value ever seen. Max is
+// commutative, so the merged value is thread-count-invariant.
+class Gauge {
+ public:
+  explicit Gauge(std::string_view name);
+  void record(std::uint64_t value) const;
+
+ private:
+  std::uint32_t id_;
+};
+
+// Fixed-bucket histogram over doubles: bucket i counts observations
+// <= upper_bounds[i] (first match), with one implicit overflow bucket.
+// Bounds are fixed at interning time; re-interning the same name must pass
+// identical bounds. Only counts are stored — see the header comment.
+class Histogram {
+ public:
+  Histogram(std::string_view name, std::span<const double> upper_bounds);
+  void observe(double value) const;
+
+ private:
+  std::uint32_t id_;
+};
+
+// Point-in-time merged view of a registry, ready for diffing and
+// serialisation. Entries are name-sorted; to_json() is byte-stable for
+// equal snapshots.
+struct MetricsSnapshot {
+  struct HistogramEntry {
+    std::string name;
+    std::vector<double> upper_bounds;   // one count per bound...
+    std::vector<std::uint64_t> counts;  // ...plus a final overflow count
+    std::uint64_t total = 0;
+  };
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::uint64_t>> gauges;
+  std::vector<HistogramEntry> histograms;
+
+  // Lookup helpers for tests and reporters; absent names read as 0/null.
+  std::uint64_t counter(std::string_view name) const;
+  std::uint64_t gauge(std::string_view name) const;
+  const HistogramEntry* histogram(std::string_view name) const;
+
+  // The snapshot as one JSON object: {"counters": {...}, "gauges": {...},
+  // "histograms": {...}} with name-sorted keys. Embeddable (BENCH_*.json
+  // v2) or wrappable (write_metrics_json adds the schema version).
+  std::string to_json(const std::string& indent = "") const;
+};
+
+// Storage for one stream of metrics: a set of thread-local shards over the
+// interned metric table. Recording threads register a shard lazily on
+// first touch; shards of exited threads are retained so no counts are
+// lost when the pool restarts.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Merges all shards (registration order; integer ops make the order
+  // irrelevant) into a name-sorted snapshot. Must not race recording —
+  // take snapshots between parallel sections, i.e. after parallel_for
+  // joined (the join is the happens-before edge that makes shard reads
+  // safe).
+  MetricsSnapshot snapshot() const;
+
+  // Zeroes every shard. Same non-concurrency contract as snapshot().
+  void reset();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  std::uint64_t* slots(std::uint32_t id);
+
+  struct Impl;
+  Impl* impl_;
+};
+
+// Writes `{"schema": "bc-metrics", "version": 1, "metrics": {...}}` to
+// `path` atomically.
+support::Expected<bool> write_metrics_json(const std::string& path,
+                                           const MetricsSnapshot& snapshot);
+
+}  // namespace bc::obs
+
+#endif  // BUNDLECHARGE_OBS_METRICS_H_

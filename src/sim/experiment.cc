@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/parallel.h"
 #include "support/require.h"
 
@@ -48,6 +50,9 @@ AggregateMetrics run_experiment(const ExperimentSpec& spec) {
 
   spec.threads.apply();
 
+  obs::TraceSpan span("experiment.run");
+  span.attr("runs", static_cast<std::uint64_t>(spec.runs));
+
   // Every run is an independent cell of the sweep: its RNG stream is
   // derived from (base_seed + run) — the Rng constructor expands that seed
   // through SplitMix64, so nearby cells get uncorrelated streams — and is
@@ -66,6 +71,8 @@ AggregateMetrics run_experiment(const ExperimentSpec& spec) {
   for (const PlanMetrics& metrics : per_run) {
     aggregate.add(metrics);
   }
+  static const obs::Counter cells("experiment.cells_computed");
+  cells.add(spec.runs);
   return aggregate;
 }
 
@@ -79,6 +86,9 @@ support::Expected<AggregateMetrics> run_experiment_resumable(
   support::require(control.chunk >= 1, "chunk must be at least 1");
 
   spec.threads.apply();
+
+  obs::TraceSpan span("experiment.run_resumable");
+  span.attr("runs", static_cast<std::uint64_t>(spec.runs));
 
   // Pre-fill cells the journal already holds. A decode failure is a
   // corrupt journal, not a recoverable cell: fault out rather than mix
@@ -96,6 +106,8 @@ support::Expected<AggregateMetrics> run_experiment_resumable(
       done[run] = 1;
     }
   }
+  std::uint64_t journal_resumed = 0;
+  for (const char d : done) journal_resumed += static_cast<std::uint64_t>(d);
 
   // Chunked sweep: compute missing cells chunk by chunk, journal each
   // chunk atomically, and poll cancellation at every chunk boundary. The
@@ -144,6 +156,13 @@ support::Expected<AggregateMetrics> run_experiment_resumable(
   AggregateMetrics aggregate;
   for (const PlanMetrics& metrics : per_run) {
     aggregate.add(metrics);
+  }
+  {
+    static const obs::Counter computed("experiment.cells_computed");
+    static const obs::Counter from_journal("experiment.cells_resumed");
+    computed.add(spec.runs - journal_resumed);
+    from_journal.add(journal_resumed);
+    span.attr("cells_resumed", journal_resumed);
   }
   return aggregate;
 }

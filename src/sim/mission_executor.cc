@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/require.h"
 
 namespace bc::sim {
@@ -78,7 +80,13 @@ support::Expected<MissionReport> execute_mission(
   std::vector<tour::Stop> stops = plan.stops;
   std::size_t next = 0;
 
+  obs::TraceSpan span("executor.mission");
+  span.attr("stops_planned", static_cast<std::uint64_t>(plan.stops.size()));
+
   const auto disrupt = [&](FaultKind kind, std::string message) {
+    obs::TracePoint("executor.disruption")
+        .attr("kind", support::to_string(kind))
+        .attr("visit", static_cast<std::uint64_t>(visit));
     report.disruptions.push_back({kind, visit, std::move(message)});
   };
 
@@ -287,6 +295,27 @@ support::Expected<MissionReport> execute_mission(
       break;
     }
   }
+
+  {
+    static const obs::Counter missions("executor.missions");
+    static const obs::Counter visited("executor.stops_visited");
+    static const obs::Counter skipped("executor.stops_skipped");
+    static const obs::Counter disruptions("executor.disruptions");
+    static const obs::Counter replans("executor.replans");
+    static const obs::Counter strandings("executor.strandings");
+    missions.add();
+    visited.add(report.stops_visited);
+    skipped.add(report.stops_skipped);
+    disruptions.add(report.disruptions.size());
+    replans.add(report.replans);
+    strandings.add(report.stranded ? 1 : 0);
+  }
+  span.attr("stops_visited", static_cast<std::uint64_t>(report.stops_visited))
+      .attr("stops_skipped", static_cast<std::uint64_t>(report.stops_skipped))
+      .attr("disruptions", static_cast<std::uint64_t>(report.disruptions.size()))
+      .attr("replans", static_cast<std::uint64_t>(report.replans))
+      .attr("completed", report.completed)
+      .attr("stranded", report.stranded);
   return report;
 }
 

@@ -23,6 +23,17 @@ constexpr std::size_t kMaxThreads = 1024;
 
 thread_local bool t_in_worker = false;
 
+// Depth of parallel_for chunk execution on this thread. Unlike
+// t_in_worker it is also set on the *inline* path, so "am I inside a
+// parallel region" answers the same on every thread count — the property
+// the obs layer needs to suppress trace emission consistently.
+thread_local int t_region_depth = 0;
+
+struct RegionGuard {
+  RegionGuard() { ++t_region_depth; }
+  ~RegionGuard() { --t_region_depth; }
+};
+
 std::size_t auto_thread_count() {
   if (const char* env = std::getenv("BC_THREADS")) {
     char* end = nullptr;
@@ -60,6 +71,7 @@ struct Job {
       const std::size_t begin = chunk * grain;
       const std::size_t end = std::min(n, begin + grain);
       try {
+        RegionGuard region;
         (*fn)(begin, end);
       } catch (...) {
         // Keep the exception from the lowest-indexed throwing chunk so the
@@ -204,6 +216,7 @@ void run_inline(std::size_t n, std::size_t grain,
   std::exception_ptr error;
   for (std::size_t begin = 0; begin < n; begin += grain) {
     try {
+      RegionGuard region;
       fn(begin, std::min(n, begin + grain));
     } catch (...) {
       if (!error) error = std::current_exception();
@@ -223,6 +236,8 @@ void set_thread_count(std::size_t n) {
 }
 
 bool in_parallel_worker() { return t_in_worker; }
+
+bool in_parallel_region() { return t_region_depth > 0 || t_in_worker; }
 
 void parallel_for(std::size_t n, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& fn) {

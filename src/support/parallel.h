@@ -40,6 +40,15 @@ void set_thread_count(std::size_t n);
 // deadlocking the pool.
 bool in_parallel_worker();
 
+// True while executing a parallel_for chunk, on *any* path — pool worker,
+// the caller participating in a pooled run, or the serial inline fallback
+// (worker count 1, single chunk, nested section). Code whose output must
+// be identical at every BC_THREADS (e.g. trace-span emission in the obs
+// layer) keys off this instead of in_parallel_worker(): the inline path
+// never sets the worker flag, so suppressing only on workers would make
+// single-threaded runs emit records that multi-threaded runs drop.
+bool in_parallel_region();
+
 // Chunked parallel loop over [0, n): partitions the range into contiguous
 // chunks of `grain` indices (the tail chunk may be shorter) and invokes
 // fn(begin, end) once per chunk, in parallel. grain = 0 picks a chunk size

@@ -1,5 +1,7 @@
 #include "tour/planner.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/require.h"
 
 namespace bc::tour {
@@ -24,20 +26,37 @@ ChargingPlan plan_charging_tour(const net::Deployment& deployment,
                                 Algorithm algorithm,
                                 const PlannerConfig& config,
                                 support::BudgetMeter* meter) {
+  obs::TraceSpan span("plan");
+  span.attr("algorithm", to_string(algorithm))
+      .attr("n", static_cast<std::uint64_t>(deployment.size()));
+  ChargingPlan plan;
   switch (algorithm) {
     case Algorithm::kSc:
-      return plan_sc(deployment, config, meter);
+      plan = plan_sc(deployment, config, meter);
+      break;
     case Algorithm::kCss:
-      return plan_css(deployment, config, meter);
+      plan = plan_css(deployment, config, meter);
+      break;
     case Algorithm::kBc:
-      return plan_bc(deployment, config, meter);
+      plan = plan_bc(deployment, config, meter);
+      break;
     case Algorithm::kBcOpt:
-      return plan_bc_opt(deployment, config, meter);
+      plan = plan_bc_opt(deployment, config, meter);
+      break;
     case Algorithm::kTspn:
-      return plan_tspn(deployment, config, meter);
+      plan = plan_tspn(deployment, config, meter);
+      break;
+    default:
+      support::ensure(false, "unreachable planner algorithm");
   }
-  support::ensure(false, "unreachable planner algorithm");
-  return {};
+  {
+    static const obs::Counter plans("planner.plans");
+    static const obs::Counter stops("planner.stops");
+    plans.add();
+    stops.add(plan.stops.size());
+  }
+  span.attr("stops", static_cast<std::uint64_t>(plan.stops.size()));
+  return plan;
 }
 
 }  // namespace bc::tour

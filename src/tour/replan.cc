@@ -9,6 +9,8 @@
 #include "bundle/candidates.h"
 #include "bundle/exact_cover.h"
 #include "bundle/generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/require.h"
 
 namespace bc::tour {
@@ -93,10 +95,30 @@ Expected<ChargingPlan> replan_tour(const net::Deployment& deployment,
   const bool metered = meter != nullptr || !options.budget.unlimited();
   if (meter == nullptr) meter = &local_meter;
 
+  obs::TraceSpan span("replan");
+  span.attr("remaining", static_cast<std::uint64_t>(request.remaining.size()));
+  std::uint64_t rungs_attempted = 0;
+  const auto flush = [&](bool ok, std::string_view algorithm) {
+    static const obs::Counter calls("replan.calls");
+    static const obs::Counter rungs("replan.rungs_attempted");
+    static const obs::Counter successes("replan.successes");
+    static const obs::Counter failures("replan.failures");
+    calls.add();
+    rungs.add(rungs_attempted);
+    successes.add(ok ? 1 : 0);
+    failures.add(ok ? 0 : 1);
+    span.attr("rungs_attempted", rungs_attempted)
+        .attr("ok", ok)
+        .attr("algorithm", algorithm);
+  };
+
   ChargingPlan plan;
   plan.algorithm = "REPLAN";
   plan.depot = deployment.depot();
-  if (request.remaining.empty()) return plan;
+  if (request.remaining.empty()) {
+    flush(true, plan.algorithm);
+    return plan;
+  }
 
   // Sub-deployment over the remaining sensors; ids are remapped back to
   // the original deployment when stops are emitted. Planning uses surveyed
@@ -125,6 +147,7 @@ Expected<ChargingPlan> replan_tour(const net::Deployment& deployment,
       attempts_log += ") ";
       break;
     }
+    ++rungs_attempted;
     std::vector<bundle::Bundle> bundles;
     if (rung.kind == bundle::GeneratorKind::kExact) {
       bundle::ExactCoverOptions exact = config.generator.exact;
@@ -166,10 +189,14 @@ Expected<ChargingPlan> replan_tour(const net::Deployment& deployment,
     order_stops_from(request.current_position, plan.stops);
     plan.algorithm =
         "REPLAN(" + std::string(bundle::to_string(rung.kind)) + ")";
+    flush(true, plan.algorithm);
     return plan;
   }
 
+  flush(false, "none");
   if (metered && meter->exhausted()) {
+    static const obs::Counter trips("replan.budget_trips");
+    trips.add();
     return Fault{FaultKind::kBudgetExhausted,
                  "replan ladder budget tripped (" +
                      support::describe_trip(*meter) + ") before any rung " +

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "net/spatial_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/require.h"
 
 namespace bc::tsp {
@@ -51,6 +53,9 @@ class NeighborSearch {
   bool parked(std::uint32_t a) const { return dont_look_[a] != 0; }
   void park(std::uint32_t a) { dont_look_[a] = 1; }
   std::size_t size() const { return n_; }
+  std::uint64_t moves() const { return moves_; }
+  std::uint64_t dont_look_resets() const { return dont_look_resets_; }
+  const std::vector<double>& move_gains() const { return move_gains_; }
 
   void write_back(Tour& out) const {
     for (std::size_t i = 0; i < n_; ++i) out[i] = cities_[order_[i]];
@@ -83,6 +88,7 @@ class NeighborSearch {
           if (gain > min_gain_) {
             apply_two_opt(dir == 0 ? pa : pred(pa), dir == 0 ? pc : pred(pc));
             gain_sum_ += gain;
+            note_move(gain);
             wake(a, b, c, d);
             found = any = true;
             break;
@@ -109,6 +115,7 @@ class NeighborSearch {
         if (gain > min_gain_) {
           apply_two_opt(i, j);
           gain_sum_ += gain;
+          note_move(gain);
           wake(a, b, c, d);
           return true;
         }
@@ -192,9 +199,22 @@ class NeighborSearch {
   bool in_chain(std::uint32_t c, std::size_t pf, std::size_t chain) const {
     return wrap(pos_[c] + n_ - pf) < chain;
   }
+  void wake_one(std::uint32_t a) {
+    if (dont_look_[a] != 0) {
+      dont_look_[a] = 0;
+      ++dont_look_resets_;
+    }
+  }
   void wake(std::uint32_t a, std::uint32_t b, std::uint32_t c,
             std::uint32_t d) {
-    dont_look_[a] = dont_look_[b] = dont_look_[c] = dont_look_[d] = 0;
+    wake_one(a);
+    wake_one(b);
+    wake_one(c);
+    wake_one(d);
+  }
+  void note_move(double gain) {
+    ++moves_;
+    move_gains_.push_back(gain);
   }
 
   // k nearest cities per city (distance-ascending, ascending-id ties) from
@@ -268,8 +288,10 @@ class NeighborSearch {
     if (gain <= min_gain_) return false;
     apply_or_opt(pf, chain, u, reversed);
     gain_sum_ += gain;
+    note_move(gain);
     wake(prev, next, u, v);
-    dont_look_[first] = dont_look_[last] = 0;
+    wake_one(first);
+    wake_one(last);
     return true;
   }
 
@@ -302,6 +324,9 @@ class NeighborSearch {
   std::size_t k_ = 0;
   double min_gain_;
   double gain_sum_ = 0.0;
+  std::uint64_t moves_ = 0;
+  std::uint64_t dont_look_resets_ = 0;
+  std::vector<double> move_gains_;
   std::vector<std::uint32_t> cities_;  // local id -> original city id
   std::vector<Point2> pts_;            // local id -> position
   std::vector<std::uint32_t> nbr_;     // n * k, distance-ascending
@@ -310,6 +335,10 @@ class NeighborSearch {
   std::vector<char> dont_look_;
   std::vector<std::uint32_t> scratch_;
 };
+
+// Improving-move gains in metres. The buckets span the range seen across
+// the paper's deployment scales (fields up to ~1 km across).
+constexpr double kGainBounds[] = {1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0};
 
 }  // namespace
 
@@ -320,9 +349,14 @@ double two_opt(std::span<const Point2> points, Tour& order,
                    "two_opt needs a valid tour");
   const std::size_t n = order.size();
   if (n < 4) return 0.0;
+  obs::TraceSpan span("tsp.two_opt");
+  span.attr("n", static_cast<std::int64_t>(n));
   NeighborSearch search(points, order, options);
+  std::uint64_t passes = 0;
+  std::uint64_t certify_sweeps = 0;
   for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
     if (meter != nullptr && !meter->charge()) break;
+    ++passes;
     bool improved = false;
     for (std::uint32_t a = 0; a < n; ++a) {
       if (search.parked(a)) continue;
@@ -334,9 +368,30 @@ double two_opt(std::span<const Point2> points, Tour& order,
     }
     // Restricted search done: certify against the full neighbourhood. A
     // move found here wakes its endpoints and the passes continue.
-    if (!improved && !search.certify_two_opt()) break;
+    if (!improved) {
+      ++certify_sweeps;
+      if (!search.certify_two_opt()) break;
+    }
   }
   search.write_back(order);
+  {
+    static const obs::Counter calls("tsp.two_opt.calls");
+    static const obs::Counter moves("tsp.two_opt.moves");
+    static const obs::Counter resets("tsp.two_opt.dont_look_resets");
+    static const obs::Counter sweeps("tsp.two_opt.certify_sweeps");
+    static const obs::Counter pass_count("tsp.two_opt.passes");
+    static const obs::Histogram gains("tsp.two_opt.move_gain", kGainBounds);
+    calls.add();
+    moves.add(search.moves());
+    resets.add(search.dont_look_resets());
+    sweeps.add(certify_sweeps);
+    pass_count.add(passes);
+    for (const double gain : search.move_gains()) gains.observe(gain);
+  }
+  span.attr("passes", passes)
+      .attr("moves", search.moves())
+      .attr("certify_sweeps", certify_sweeps)
+      .attr("gain", search.gain_sum());
   return search.gain_sum();
 }
 
@@ -347,9 +402,14 @@ double or_opt(std::span<const Point2> points, Tour& order,
                    "or_opt needs a valid tour");
   const std::size_t n = order.size();
   if (n < 5) return 0.0;
+  obs::TraceSpan span("tsp.or_opt");
+  span.attr("n", static_cast<std::int64_t>(n));
   NeighborSearch search(points, order, options);
+  std::uint64_t passes = 0;
+  std::uint64_t certify_sweeps = 0;
   for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
     if (meter != nullptr && !meter->charge()) break;
+    ++passes;
     bool improved = false;
     for (std::uint32_t a = 0; a < n; ++a) {
       if (search.parked(a)) continue;
@@ -359,9 +419,30 @@ double or_opt(std::span<const Point2> points, Tour& order,
         search.park(a);
       }
     }
-    if (!improved && !search.certify_or_opt()) break;
+    if (!improved) {
+      ++certify_sweeps;
+      if (!search.certify_or_opt()) break;
+    }
   }
   search.write_back(order);
+  {
+    static const obs::Counter calls("tsp.or_opt.calls");
+    static const obs::Counter moves("tsp.or_opt.moves");
+    static const obs::Counter resets("tsp.or_opt.dont_look_resets");
+    static const obs::Counter sweeps("tsp.or_opt.certify_sweeps");
+    static const obs::Counter pass_count("tsp.or_opt.passes");
+    static const obs::Histogram gains("tsp.or_opt.move_gain", kGainBounds);
+    calls.add();
+    moves.add(search.moves());
+    resets.add(search.dont_look_resets());
+    sweeps.add(certify_sweeps);
+    pass_count.add(passes);
+    for (const double gain : search.move_gains()) gains.observe(gain);
+  }
+  span.attr("passes", passes)
+      .attr("moves", search.moves())
+      .attr("certify_sweeps", certify_sweeps)
+      .attr("gain", search.gain_sum());
   return search.gain_sum();
 }
 
@@ -388,6 +469,7 @@ double two_opt_reference(std::span<const Point2> points, Tour& order,
   const std::size_t n = order.size();
   if (n < 4) return 0.0;
   double total_gain = 0.0;
+  std::uint64_t moves = 0;
   for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
     if (meter != nullptr && !meter->charge()) break;
     bool improved = false;
@@ -407,12 +489,19 @@ double two_opt_reference(std::span<const Point2> points, Tour& order,
           std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i) + 1,
                        order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
           total_gain += gain;
+          ++moves;
           improved = true;
           break;  // edge (i, i+1) changed; restart the inner scan
         }
       }
     }
     if (!improved) break;
+  }
+  {
+    static const obs::Counter calls("tsp.two_opt_reference.calls");
+    static const obs::Counter move_count("tsp.two_opt_reference.moves");
+    calls.add();
+    move_count.add(moves);
   }
   return total_gain;
 }
@@ -426,6 +515,7 @@ double or_opt_reference(std::span<const Point2> points, Tour& order,
   const std::size_t n = order.size();
   if (n < 5) return 0.0;
   double total_gain = 0.0;
+  std::uint64_t moves = 0;
   for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
     if (meter != nullptr && !meter->charge()) break;
     bool improved = false;
@@ -476,6 +566,7 @@ double or_opt_reference(std::span<const Point2> points, Tour& order,
                             "or_opt move must preserve the tour");
             order = std::move(moved);
             total_gain += gain;
+            ++moves;
             improved = true;
             break;
           }
@@ -484,6 +575,12 @@ double or_opt_reference(std::span<const Point2> points, Tour& order,
       if (improved) break;
     }
     if (!improved) break;
+  }
+  {
+    static const obs::Counter calls("tsp.or_opt_reference.calls");
+    static const obs::Counter move_count("tsp.or_opt_reference.moves");
+    calls.add();
+    move_count.add(moves);
   }
   return total_gain;
 }

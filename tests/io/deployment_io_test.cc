@@ -148,6 +148,46 @@ TEST(DeploymentIoHardeningTest, HeaderToleranceIsExactlyOneTwoFieldRow) {
   EXPECT_TRUE(read_positions_csv(ok, &error).has_value());
 }
 
+TEST(DeploymentIoHardeningTest, CrlfLineEndingsParse) {
+  // Files written on Windows arrive with \r\n; \r must not leak into the
+  // last field of any row (header, data, or comment).
+  std::string error;
+  std::istringstream crlf("x,y\r\n1.5,2.5\r\n# note\r\n3,4\r\n");
+  const auto positions = read_positions_csv(crlf, &error);
+  ASSERT_TRUE(positions.has_value()) << error;
+  ASSERT_EQ(positions->size(), 2u);
+  EXPECT_DOUBLE_EQ((*positions)[0].x, 1.5);
+  EXPECT_DOUBLE_EQ((*positions)[0].y, 2.5);
+  EXPECT_DOUBLE_EQ((*positions)[1].x, 3.0);
+  EXPECT_DOUBLE_EQ((*positions)[1].y, 4.0);
+}
+
+TEST(DeploymentIoHardeningTest, Utf8BomIsStrippedFromFirstLine) {
+  // A BOM before a header parses as before.
+  std::string error;
+  std::istringstream bom_header("\xEF\xBB\xBFx,y\n1,2\n");
+  const auto with_header = read_positions_csv(bom_header, &error);
+  ASSERT_TRUE(with_header.has_value()) << error;
+  EXPECT_EQ(with_header->size(), 1u);
+
+  // A BOM before a data row must not turn the row into a fake header:
+  // the first sensor was silently dropped before the BOM strip existed.
+  std::istringstream bom_data("\xEF\xBB\xBF" "1,2\n3,4\n");
+  const auto with_data = read_positions_csv(bom_data, &error);
+  ASSERT_TRUE(with_data.has_value()) << error;
+  ASSERT_EQ(with_data->size(), 2u);
+  EXPECT_DOUBLE_EQ((*with_data)[0].x, 1.0);
+  EXPECT_DOUBLE_EQ((*with_data)[0].y, 2.0);
+}
+
+TEST(DeploymentIoHardeningTest, BomOnlyOnFirstLine) {
+  // A BOM sequence mid-file is real (malformed) content, not stripped.
+  std::string error;
+  std::istringstream late_bom("1,2\n\xEF\xBB\xBF" "3,4\n");
+  EXPECT_FALSE(read_positions_csv(late_bom, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
 TEST(DeploymentIoTest, DeploymentFromPositionsIncludesDepot) {
   const net::Deployment d = deployment_from_positions(
       {{10.0, 10.0}, {20.0, 5.0}}, {0.0, 0.0}, 2.0);

@@ -1,0 +1,168 @@
+// Unit tests for the deterministic metrics registry (`ctest -L obs`):
+// merge semantics per kind, scoped registry swapping, snapshot lookups
+// and serialisation, and cross-thread recording through the pool.
+
+#include "obs/metrics.h"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/parallel.h"
+
+namespace bc::obs {
+namespace {
+
+TEST(MetricsTest, CounterAccumulates) {
+  MetricsRegistry registry;
+  ScopedMetricsRegistry scope(registry);
+  const Counter c("test.metrics.counter_accumulates");
+  c.add();
+  c.add(41);
+  c.add(0);  // no-op, must not create spurious entries elsewhere
+  EXPECT_EQ(registry.snapshot().counter("test.metrics.counter_accumulates"),
+            42u);
+}
+
+TEST(MetricsTest, GaugeKeepsHighWater) {
+  MetricsRegistry registry;
+  ScopedMetricsRegistry scope(registry);
+  const Gauge g("test.metrics.gauge_high_water");
+  g.record(7);
+  g.record(100);
+  g.record(3);
+  EXPECT_EQ(registry.snapshot().gauge("test.metrics.gauge_high_water"), 100u);
+}
+
+TEST(MetricsTest, HistogramBucketsByFirstMatchingBound) {
+  MetricsRegistry registry;
+  ScopedMetricsRegistry scope(registry);
+  constexpr std::array<double, 3> kBounds = {1.0, 10.0, 100.0};
+  const Histogram h("test.metrics.histogram_buckets", kBounds);
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (inclusive upper bound)
+  h.observe(5.0);    // bucket 1
+  h.observe(1000);   // overflow bucket
+  const MetricsSnapshot snap = registry.snapshot();
+  const auto* entry = snap.histogram("test.metrics.histogram_buckets");
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(entry->counts[0], 2u);
+  EXPECT_EQ(entry->counts[1], 1u);
+  EXPECT_EQ(entry->counts[2], 0u);
+  EXPECT_EQ(entry->counts[3], 1u);
+  EXPECT_EQ(entry->total, 4u);
+}
+
+TEST(MetricsTest, ScopedRegistryIsolatesAndRestores) {
+  MetricsRegistry outer;
+  ScopedMetricsRegistry outer_scope(outer);
+  const Counter c("test.metrics.scoped_isolation");
+  c.add(1);
+  {
+    MetricsRegistry inner;
+    ScopedMetricsRegistry inner_scope(inner);
+    c.add(10);  // same handle, different registry
+    EXPECT_EQ(inner.snapshot().counter("test.metrics.scoped_isolation"), 10u);
+  }
+  c.add(1);
+  EXPECT_EQ(outer.snapshot().counter("test.metrics.scoped_isolation"), 2u);
+}
+
+TEST(MetricsTest, ResetZeroesWithoutForgettingNames) {
+  MetricsRegistry registry;
+  ScopedMetricsRegistry scope(registry);
+  const Counter c("test.metrics.reset");
+  c.add(5);
+  registry.reset();
+  EXPECT_EQ(registry.snapshot().counter("test.metrics.reset"), 0u);
+  c.add(2);  // handle still valid after reset
+  EXPECT_EQ(registry.snapshot().counter("test.metrics.reset"), 2u);
+}
+
+TEST(MetricsTest, ZeroValuedEntriesAreOmittedFromSnapshots) {
+  MetricsRegistry registry;
+  ScopedMetricsRegistry scope(registry);
+  const Counter c("test.metrics.zero_omitted");
+  c.add(0);
+  const MetricsSnapshot snap = registry.snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_NE(name, "test.metrics.zero_omitted");
+  }
+}
+
+TEST(MetricsTest, ParallelRecordingMergesAllShards) {
+  // Record from pool workers; the snapshot must see the full sum and the
+  // global max regardless of which worker handled which chunk.
+  MetricsRegistry registry;
+  ScopedMetricsRegistry scope(registry);
+  const Counter c("test.metrics.parallel_sum");
+  const Gauge g("test.metrics.parallel_max");
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    registry.reset();
+    support::set_thread_count(threads);
+    support::parallel_for(
+        1000, /*grain=*/16, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            c.add(1);
+            g.record(static_cast<std::uint64_t>(i));
+          }
+        });
+    const MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counter("test.metrics.parallel_sum"), 1000u)
+        << "threads=" << threads;
+    EXPECT_EQ(snap.gauge("test.metrics.parallel_max"), 999u)
+        << "threads=" << threads;
+  }
+  support::set_thread_count(0);
+}
+
+TEST(MetricsTest, SnapshotJsonIsNameSortedAndStable) {
+  MetricsRegistry registry;
+  ScopedMetricsRegistry scope(registry);
+  const Counter b("test.metrics.json.bbb");
+  const Counter a("test.metrics.json.aaa");
+  b.add(2);
+  a.add(1);
+  const std::string json = registry.snapshot().to_json();
+  const auto pos_a = json.find("test.metrics.json.aaa");
+  const auto pos_b = json.find("test.metrics.json.bbb");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+  // Equal registries serialise to equal bytes.
+  EXPECT_EQ(json, registry.snapshot().to_json());
+}
+
+TEST(MetricsTest, WriteMetricsJsonEmitsSchemaHeader) {
+  MetricsRegistry registry;
+  ScopedMetricsRegistry scope(registry);
+  const Counter c("test.metrics.file_write");
+  c.add(3);
+  const std::string path =
+      testing::TempDir() + "/bc_obs_metrics_test_write.json";
+  auto written = write_metrics_json(path, registry.snapshot());
+  ASSERT_TRUE(written.has_value());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("\"schema\": \"bc-metrics\""), std::string::npos);
+  EXPECT_NE(text.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"test.metrics.file_write\": 3"), std::string::npos);
+}
+
+TEST(MetricsTest, AbsentNamesReadAsZeroOrNull) {
+  MetricsRegistry registry;
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("test.metrics.never_recorded"), 0u);
+  EXPECT_EQ(snap.gauge("test.metrics.never_recorded"), 0u);
+  EXPECT_EQ(snap.histogram("test.metrics.never_recorded"), nullptr);
+}
+
+}  // namespace
+}  // namespace bc::obs

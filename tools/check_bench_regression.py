@@ -9,7 +9,8 @@ Every case present in the baseline must exist in the current results and
 must not be slower than ``wall_ms * (1 + threshold)``. Counters that exist
 on both sides must match exactly — they are deterministic per build, so a
 counter drift means the kernel changed behaviour, not just speed. Exits
-non-zero on any regression, printing how to refresh the baseline when the
+non-zero on any regression, on malformed/missing input files, or on an
+unknown schema version, printing how to refresh the baseline when the
 change is intentional.
 """
 
@@ -18,10 +19,36 @@ import json
 import pathlib
 import sys
 
+# Schema v1: bench/threads/cases. Schema v2 adds an "observability" block
+# (metrics snapshot) that this checker ignores; cases diff identically.
+KNOWN_SCHEMA_VERSIONS = (1, 2)
+
+
+class BenchFormatError(ValueError):
+    """A BENCH_*.json file that cannot be diffed."""
+
 
 def load_cases(path):
-    data = json.loads(path.read_text())
-    return data, {case["name"]: case for case in data.get("cases", [])}
+    try:
+        data = json.loads(path.read_text())
+    except OSError as err:
+        raise BenchFormatError(f"{path}: unreadable ({err})") from err
+    except json.JSONDecodeError as err:
+        raise BenchFormatError(f"{path}: invalid JSON ({err})") from err
+    if not isinstance(data, dict):
+        raise BenchFormatError(f"{path}: top level is not a JSON object")
+    version = data.get("schema_version")
+    if version not in KNOWN_SCHEMA_VERSIONS:
+        known = ", ".join(str(v) for v in KNOWN_SCHEMA_VERSIONS)
+        raise BenchFormatError(
+            f"{path}: unknown schema_version {version!r} (known: {known})")
+    cases = {}
+    for case in data.get("cases", []):
+        if "name" not in case or "wall_ms" not in case:
+            raise BenchFormatError(
+                f"{path}: case missing 'name'/'wall_ms': {case!r}")
+        cases[case["name"]] = case
+    return data, cases
 
 
 def main():
@@ -35,6 +62,10 @@ def main():
                              "(default 0.25 = 25%%)")
     args = parser.parse_args()
 
+    if not args.baseline.is_dir():
+        print(f"error: baseline directory {args.baseline} does not exist",
+              file=sys.stderr)
+        return 2
     baseline_files = sorted(args.baseline.glob("BENCH_*.json"))
     if not baseline_files:
         print(f"error: no BENCH_*.json under {args.baseline}", file=sys.stderr)
@@ -46,8 +77,12 @@ def main():
         if not cur_path.is_file():
             failures.append(f"{base_path.name}: missing from {args.current}")
             continue
-        base_data, base_cases = load_cases(base_path)
-        _, cur_cases = load_cases(cur_path)
+        try:
+            base_data, base_cases = load_cases(base_path)
+            _, cur_cases = load_cases(cur_path)
+        except BenchFormatError as err:
+            failures.append(str(err))
+            continue
         bench = base_data.get("bench", base_path.stem)
         for name, base_case in base_cases.items():
             cur_case = cur_cases.get(name)

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Tests for check_bench_regression.py.
+
+Runs under pytest (CI) or standalone (``python3
+tools/test_check_bench_regression.py``) for environments without pytest.
+Each test drives the checker through its CLI entry point against
+temporary baseline/current directories, asserting on exit codes so the
+tests pin exactly what the CI perf-smoke job observes.
+"""
+
+import json
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import check_bench_regression as cbr  # noqa: E402
+
+
+def _bench_json(wall_ms, schema_version=1, counters=None, extra=None):
+    data = {
+        "bench": "candidates",
+        "schema_version": schema_version,
+        "threads": 1,
+        "cases": [{
+            "name": "n=100",
+            "wall_ms": wall_ms,
+            "repeats": 3,
+            "counters": counters or {"candidates": 74},
+        }],
+    }
+    if extra:
+        data.update(extra)
+    return json.dumps(data)
+
+
+def _run(baseline_files, current_files, threshold=0.25):
+    """Materialise the two directories and invoke the checker's main()."""
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        base_dir = root / "baseline"
+        cur_dir = root / "current"
+        base_dir.mkdir()
+        cur_dir.mkdir()
+        for name, text in baseline_files.items():
+            (base_dir / name).write_text(text)
+        for name, text in current_files.items():
+            (cur_dir / name).write_text(text)
+        argv = sys.argv
+        sys.argv = ["check_bench_regression.py",
+                    "--baseline", str(base_dir),
+                    "--current", str(cur_dir),
+                    "--threshold", str(threshold)]
+        try:
+            return cbr.main()
+        finally:
+            sys.argv = argv
+
+
+def test_within_threshold_passes():
+    rc = _run({"BENCH_candidates.json": _bench_json(1.0)},
+              {"BENCH_candidates.json": _bench_json(1.1)})
+    assert rc == 0
+
+
+def test_slowdown_beyond_threshold_fails():
+    rc = _run({"BENCH_candidates.json": _bench_json(1.0)},
+              {"BENCH_candidates.json": _bench_json(2.0)})
+    assert rc == 1
+
+
+def test_counter_drift_fails_even_when_fast():
+    rc = _run({"BENCH_candidates.json": _bench_json(1.0)},
+              {"BENCH_candidates.json":
+               _bench_json(0.5, counters={"candidates": 75})})
+    assert rc == 1
+
+
+def test_missing_baseline_dir_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        cur_dir = root / "current"
+        cur_dir.mkdir()
+        (cur_dir / "BENCH_candidates.json").write_text(_bench_json(1.0))
+        argv = sys.argv
+        sys.argv = ["check_bench_regression.py",
+                    "--baseline", str(root / "nope"),
+                    "--current", str(cur_dir)]
+        try:
+            assert cbr.main() == 2
+        finally:
+            sys.argv = argv
+
+
+def test_empty_baseline_dir_fails():
+    rc = _run({}, {"BENCH_candidates.json": _bench_json(1.0)})
+    assert rc == 2
+
+
+def test_missing_current_file_fails():
+    rc = _run({"BENCH_candidates.json": _bench_json(1.0)}, {})
+    assert rc == 1
+
+
+def test_unknown_schema_version_fails():
+    rc = _run({"BENCH_candidates.json": _bench_json(1.0)},
+              {"BENCH_candidates.json": _bench_json(1.0, schema_version=99)})
+    assert rc == 1
+
+
+def test_invalid_json_fails():
+    rc = _run({"BENCH_candidates.json": _bench_json(1.0)},
+              {"BENCH_candidates.json": "{not json"})
+    assert rc == 1
+
+
+def test_v2_current_against_v1_baseline_passes():
+    """The bench writer emits schema v2; committed baselines are v1."""
+    v2 = _bench_json(1.0, schema_version=2,
+                     extra={"observability": {"counters": {"x.calls": 3}}})
+    rc = _run({"BENCH_candidates.json": _bench_json(1.0)},
+              {"BENCH_candidates.json": v2})
+    assert rc == 0
+
+
+def main():
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError:
+            failed += 1
+            print(f"FAIL {name}")
+    print(f"{len(tests) - failed}/{len(tests)} passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Summarise a bc-trace JSONL journal (written via --trace-out).
+
+Usage:
+    tools/trace_summary.py trace.jsonl [--top 10] [--tree]
+
+Prints, per span name: call count, total/mean/max duration, and the
+attribute keys seen. With --tree, additionally reprints the journal as an
+indented call tree in sequence order. Works on both steady- and
+virtual-clock journals (virtual durations are synthetic step counts, but
+call counts and the tree are exact either way).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_journal(path):
+    header = None
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as err:
+                sys.exit(f"{path}:{lineno}: invalid JSON ({err})")
+            if lineno == 1:
+                if obj.get("schema") != "bc-trace":
+                    sys.exit(f"{path}: not a bc-trace journal "
+                             f"(schema={obj.get('schema')!r})")
+                if obj.get("version") != 1:
+                    sys.exit(f"{path}: unknown bc-trace version "
+                             f"{obj.get('version')!r} (known: 1)")
+                header = obj
+            else:
+                records.append(obj)
+    if header is None:
+        sys.exit(f"{path}: empty journal (missing header line)")
+    return header, records
+
+
+def duration_ns(record):
+    if record.get("type") == "span":
+        return record["t1_ns"] - record["t0_ns"]
+    return 0
+
+
+def summarize(records):
+    stats = {}
+    for rec in records:
+        name = rec["name"]
+        entry = stats.setdefault(
+            name, {"kind": rec.get("type", "?"), "count": 0, "total_ns": 0,
+                   "max_ns": 0, "attr_keys": set()})
+        entry["count"] += 1
+        dur = duration_ns(rec)
+        entry["total_ns"] += dur
+        entry["max_ns"] = max(entry["max_ns"], dur)
+        entry["attr_keys"].update(rec.get("attrs", {}).keys())
+    return stats
+
+
+def fmt_ns(ns):
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1_000:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns}ns"
+
+
+def print_tree(records, out):
+    # Spans are journaled at span end; replay in sequence order and indent
+    # by the recorded nesting depth.
+    for rec in records:
+        indent = "  " * rec.get("depth", 0)
+        attrs = rec.get("attrs", {})
+        attr_text = ", ".join(f"{k}={v}" for k, v in attrs.items())
+        if rec.get("type") == "span":
+            out.write(f"{indent}{rec['name']} [{fmt_ns(duration_ns(rec))}]"
+                      f"{'  ' + attr_text if attr_text else ''}\n")
+        else:
+            out.write(f"{indent}* {rec['name']}"
+                      f"{'  ' + attr_text if attr_text else ''}\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("journal", help="JSONL file from --trace-out")
+    parser.add_argument("--top", type=int, default=0,
+                        help="only show the N span names with the largest "
+                             "total duration (default: all)")
+    parser.add_argument("--tree", action="store_true",
+                        help="also print the journal as an indented tree")
+    args = parser.parse_args()
+
+    header, records = load_journal(args.journal)
+    stats = summarize(records)
+
+    print(f"journal: {args.journal} ({len(records)} records, "
+          f"clock={header.get('clock', '?')})")
+    rows = sorted(stats.items(),
+                  key=lambda kv: (-kv[1]["total_ns"], kv[0]))
+    if args.top > 0:
+        rows = rows[:args.top]
+    name_width = max([len(name) for name, _ in rows], default=4)
+    print(f"{'name':<{name_width}}  {'kind':<5} {'count':>7} "
+          f"{'total':>10} {'mean':>10} {'max':>10}  attrs")
+    for name, entry in rows:
+        mean = entry["total_ns"] // entry["count"] if entry["count"] else 0
+        keys = ",".join(sorted(entry["attr_keys"]))
+        print(f"{name:<{name_width}}  {entry['kind']:<5} "
+              f"{entry['count']:>7} {fmt_ns(entry['total_ns']):>10} "
+              f"{fmt_ns(mean):>10} {fmt_ns(entry['max_ns']):>10}  {keys}")
+
+    if args.tree:
+        print("\ncall tree (sequence order):")
+        print_tree(records, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `trace_summary.py ... | head`
+        sys.exit(0)
