@@ -1,0 +1,154 @@
+// City-scale end-to-end tier: plans a constant-density deployment with the
+// hierarchical BC-SHARD planner at n in the tens of thousands and records
+// wall time, deterministic work counters, and memory high-water marks.
+//
+// Density is pinned to the paper's §VI-A setting (200 sensors per
+// 1000 m x 1000 m field), so the field side grows as sqrt(n / 200) * 1 km
+// and every tier exercises the same local geometry — n=100k is a ~22.4 km
+// square city block, not a denser thicket.
+//
+// The n=10k tier runs in the CI perf-smoke job against a committed
+// baseline (exact counter equality + wall-time threshold); the n=100k tier
+// runs in the manually-triggered / nightly `scale` workflow. The
+// --plan-out / --metrics-out / --trace-out outputs are the byte-identity
+// artifacts the simd-matrix job diffs across BC_SIMD legs.
+//
+// Memory reporting: deterministic high-water gauges (exact_cover arena
+// words, shard tile sizes, trace buffers) travel in the observability
+// block; the process peak RSS (VmHWM) is also captured as an informational
+// metric — it is OS-dependent, so it is never a counter.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "bundle/shard.h"
+#include "core/bundlecharge.h"
+#include "io/plan_io.h"
+#include "net/deployment.h"
+#include "support/cli.h"
+#include "support/rng.h"
+#include "support/simd.h"
+#include "tour/plan.h"
+#include "tour/planner.h"
+
+namespace {
+
+// Peak resident set size in MiB from /proc/self/status (0 when the file or
+// the VmHWM line is unavailable — non-Linux or restricted /proc).
+double peak_rss_mib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    long kb = 0;
+    if (std::sscanf(line.c_str(), "VmHWM: %ld kB", &kb) == 1) {
+      return static_cast<double>(kb) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+std::string tier_name(std::size_t n) {
+  if (n % 1000 == 0) return std::to_string(n / 1000) + "k";
+  return std::to_string(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bc::support::CliFlags flags(
+      "End-to-end BC-SHARD planning at city scale; writes "
+      "BENCH_scale_<tier>.json.");
+  flags.define_string("out-dir", ".", "directory for BENCH_scale_<tier>.json");
+  flags.define_int("n", 10000, "sensor count (field scales to keep density)");
+  flags.define_int("repeats", 3, "timed repetitions (min is kept)");
+  flags.define_int("seed", 2019, "deployment RNG seed");
+  flags.define_double("radius", 60.0, "bundle generation radius (m)");
+  flags.define_int("target-shard", 512, "target sensors per spatial shard");
+  flags.define_int("threads", 1,
+                   "worker threads (0 = BC_THREADS env or hardware); "
+                   "results are identical at every thread count");
+  flags.define_string("simd", "",
+                      "kernel ISA: scalar | avx2 | neon | auto (empty = "
+                      "BC_SIMD env, else auto); unsupported falls back to "
+                      "scalar");
+  flags.define_string("plan-out", "",
+                      "write the planned tour as JSON to this path (the "
+                      "byte-identity artifact for the simd-matrix job)");
+  bc::bench::define_obs_flags(flags);
+  if (!flags.parse(argc, argv, std::cerr)) return 2;
+  if (flags.help_requested()) return 0;
+  bc::bench::ObsControl obs(flags);
+
+  const std::string simd_flag = flags.get_string("simd");
+  if (!simd_flag.empty()) {
+    bc::support::simd::Isa requested;
+    if (!bc::support::simd::parse_isa(simd_flag, requested)) {
+      std::cerr << "--simd must be scalar, avx2, neon, or auto; got '"
+                << simd_flag << "'\n";
+      return 2;
+    }
+    bc::support::simd::set_isa(requested);
+  }
+  std::cout << "simd isa: "
+            << bc::support::simd::to_string(bc::support::simd::active_isa())
+            << "\n";
+
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads"));
+  bc::support::set_thread_count(threads);
+  const auto n = static_cast<std::size_t>(flags.get_int("n"));
+  const auto repeats = static_cast<std::size_t>(flags.get_int("repeats"));
+  const double radius = flags.get_double("radius");
+
+  // Constant paper density: 200 sensors per km^2.
+  const double side =
+      1000.0 * std::sqrt(static_cast<double>(n) / 200.0);
+  bc::net::FieldSpec spec;
+  spec.field = {{0.0, 0.0}, {side, side}};
+  spec.depot = {0.0, 0.0};
+  bc::support::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const bc::net::Deployment deployment =
+      bc::net::uniform_random_deployment(n, spec, rng);
+
+  bc::tour::PlannerConfig config =
+      bc::core::icdcs2019_simulation_profile().planner;
+  config.bundle_radius = radius;
+  config.shard.target_shard_sensors =
+      static_cast<std::size_t>(flags.get_int("target-shard"));
+
+  const bc::bundle::ShardGrid grid =
+      bc::bundle::build_shard_grid(deployment, radius, config.shard);
+
+  bc::tour::ChargingPlan plan;
+  bc::bench::BenchReporter reporter("scale_" + tier_name(n));
+  reporter
+      .time_case("bc_shard/n=" + std::to_string(n), repeats,
+                 [&] {
+                   plan = bc::tour::plan_charging_tour(
+                       deployment, bc::tour::Algorithm::kBcSharded, config);
+                 })
+      .counter("stops", static_cast<std::int64_t>(plan.stops.size()))
+      .counter("sensors", static_cast<std::int64_t>(n))
+      .counter("shard_tiles", static_cast<std::int64_t>(grid.tiles()))
+      .metric("tour_len_m", bc::tour::plan_tour_length(plan))
+      .metric("field_side_m", side)
+      .metric("peak_rss_mib", peak_rss_mib());
+  reporter.write(flags.get_string("out-dir"), threads);
+
+  const std::string plan_out = flags.get_string("plan-out");
+  if (!plan_out.empty()) {
+    const auto evaluation =
+        bc::core::icdcs2019_simulation_profile().evaluation;
+    if (!bc::io::write_plan_json_file(deployment, plan, evaluation,
+                                      plan_out)) {
+      std::cerr << "failed to write " << plan_out << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

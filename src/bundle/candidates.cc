@@ -12,6 +12,7 @@
 #include "obs/trace.h"
 #include "support/parallel.h"
 #include "support/require.h"
+#include "support/simd.h"
 
 namespace bc::bundle {
 
@@ -66,8 +67,19 @@ bool enumerate_seeded_at(std::span<const Point2> positions,
   const double pool_r = 2.0 * r + 1e-6 * (r + 1.0);
   std::vector<net::SensorId> near_i;
   std::vector<net::SensorId> members;
+  // SoA shadow of the pool: the per-circle membership scan is a streaming
+  // distance filter (support::simd) instead of an id-indirected gather,
+  // and it runs twice per in-range pair.
+  std::vector<double> pool_xs;
+  std::vector<double> pool_ys;
   for (std::size_t i = begin; i < end; ++i) {
     index.within(positions[i], pool_r, near_i);
+    pool_xs.resize(near_i.size());
+    pool_ys.resize(near_i.size());
+    for (std::size_t t = 0; t < near_i.size(); ++t) {
+      pool_xs[t] = positions[near_i[t]].x;
+      pool_ys[t] = positions[near_i[t]].y;
+    }
     for (const net::SensorId j : near_i) {
       if (j <= i) continue;
       // The padded pool can hold partners just beyond 2r; skip them before
@@ -81,11 +93,11 @@ bool enumerate_seeded_at(std::span<const Point2> positions,
       if (!centers.has_value()) continue;
       for (const Point2 center : {centers->first, centers->second}) {
         members.clear();
-        for (const net::SensorId s : near_i) {
-          if (geometry::distance_squared(positions[s], center) <= member_r2) {
-            members.push_back(s);  // near_i is id-sorted, so members is too
-          }
-        }
+        // near_i is id-sorted and filter_within appends in scan order, so
+        // members comes out id-sorted too.
+        support::simd::filter_within(pool_xs.data(), pool_ys.data(),
+                                     near_i.data(), near_i.size(), center.x,
+                                     center.y, member_r2, members);
         if (members.size() < 2) continue;
         if (!emit(members)) return false;
       }

@@ -1,0 +1,268 @@
+#include "bundle/shard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "bundle/greedy_cover.h"
+#include "geometry/minidisk.h"
+#include "net/spatial_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/parallel.h"
+#include "support/require.h"
+
+namespace bc::bundle {
+
+using geometry::Point2;
+
+namespace {
+
+// Distance from `v` to the nearest interior grid line of a `count`-cell
+// axis with cell size `cell` (coordinates relative to the field edge).
+double axis_border_distance(double v, double cell, std::size_t count) {
+  if (count < 2 || cell <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Interior lines sit at k * cell for k = 1 .. count-1.
+  double k = std::round(v / cell);
+  k = std::clamp(k, 1.0, static_cast<double>(count) - 1.0);
+  return std::abs(v - k * cell);
+}
+
+// Solves one tile with the monolithic pipeline and maps the result back to
+// global sensor ids. The sub-deployment uses the very same coordinates, so
+// the bundles' anchors and radii transfer unchanged; only member ids need
+// remapping (ascending local -> ascending global, since the tile member
+// list is ascending).
+std::vector<Bundle> solve_tile(const net::Deployment& deployment, double r,
+                               const std::vector<net::SensorId>& ids,
+                               support::BudgetMeter* meter) {
+  if (ids.empty()) return {};
+  std::vector<Point2> positions;
+  std::vector<double> demands;
+  positions.reserve(ids.size());
+  demands.reserve(ids.size());
+  for (const net::SensorId id : ids) {
+    positions.push_back(deployment.positions()[id]);
+    demands.push_back(deployment.sensor(id).demand_j);
+  }
+  const geometry::Box2 box = geometry::bounding_box(positions);
+  const net::Deployment sub(std::move(positions), box, deployment.depot(),
+                            std::move(demands));
+  std::vector<Bundle> bundles = greedy_bundles(sub, r, meter);
+  for (Bundle& b : bundles) {
+    for (net::SensorId& member : b.members) member = ids[member];
+  }
+  return bundles;
+}
+
+void sort_by_front_member(std::vector<Bundle>& bundles) {
+  std::sort(bundles.begin(), bundles.end(),
+            [](const Bundle& a, const Bundle& b) {
+              return a.members.front() < b.members.front();
+            });
+}
+
+}  // namespace
+
+double ShardGrid::border_distance(Point2 p) const {
+  return std::min(axis_border_distance(p.x - field.lo.x, tile_w, cols),
+                  axis_border_distance(p.y - field.lo.y, tile_h, rows));
+}
+
+ShardGrid build_shard_grid(const net::Deployment& deployment, double r,
+                           const ShardOptions& options) {
+  support::require(r > 0.0, "shard grid needs a positive radius");
+  const std::size_t n = deployment.size();
+  ShardGrid grid;
+  grid.field = deployment.field();
+
+  // Target tile side from the field's average density, floored at a few r
+  // so the 2r stitch band stays a band, not the whole tile.
+  const double width = grid.field.width();
+  const double height = grid.field.height();
+  const double area = width * height;
+  const std::size_t target = std::max<std::size_t>(options.target_shard_sensors,
+                                                   1);
+  double side = std::numeric_limits<double>::infinity();
+  if (area > 0.0 && n > 0) {
+    side = std::sqrt(area * static_cast<double>(target) /
+                     static_cast<double>(n));
+  }
+  side = std::max(side, options.min_tile_factor * r);
+
+  const auto axis_tiles = [&](double extent) {
+    if (!(extent > 0.0) || !(side > 0.0) ||
+        side == std::numeric_limits<double>::infinity()) {
+      return std::size_t{1};
+    }
+    return std::max<std::size_t>(static_cast<std::size_t>(extent / side), 1);
+  };
+  grid.cols = axis_tiles(width);
+  grid.rows = axis_tiles(height);
+  grid.tile_w = grid.cols > 0 ? width / static_cast<double>(grid.cols) : 0.0;
+  grid.tile_h = grid.rows > 0 ? height / static_cast<double>(grid.rows) : 0.0;
+
+  grid.tile_members.assign(grid.tiles(), {});
+  const auto axis_cell = [](double v, double cell, std::size_t count) {
+    if (count < 2 || cell <= 0.0) return std::size_t{0};
+    const double g = std::floor(v / cell);
+    return static_cast<std::size_t>(
+        std::clamp(g, 0.0, static_cast<double>(count) - 1.0));
+  };
+  const auto positions = deployment.positions();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t gx =
+        axis_cell(positions[i].x - grid.field.lo.x, grid.tile_w, grid.cols);
+    const std::size_t gy =
+        axis_cell(positions[i].y - grid.field.lo.y, grid.tile_h, grid.rows);
+    grid.tile_members[gy * grid.cols + gx].push_back(
+        static_cast<net::SensorId>(i));
+  }
+  return grid;
+}
+
+std::vector<Bundle> stitch_bundles(const net::Deployment& deployment,
+                                   double r, const ShardGrid& grid,
+                                   std::vector<Bundle> bundles) {
+  sort_by_front_member(bundles);
+  if (grid.tiles() < 2 || bundles.size() < 2) return bundles;
+
+  // Slightly padded band / pair radius so a borderline-exact merge cannot
+  // be lost to rounding in the anchor arithmetic; the minidisk test is the
+  // actual gate.
+  const double band = 2.0 * r + 1e-6 * (r + 1.0);
+
+  // Bundles anchored in the stitch band, in canonical (ascending front
+  // member) order; border_ids[k] is the k-th such bundle's index into
+  // `bundles`, so the anchor index below speaks ascending canonical order.
+  std::vector<std::uint32_t> border_ids;
+  std::vector<Point2> border_anchors;
+  for (std::size_t b = 0; b < bundles.size(); ++b) {
+    if (grid.border_distance(bundles[b].anchor) <= band) {
+      border_ids.push_back(static_cast<std::uint32_t>(b));
+      border_anchors.push_back(bundles[b].anchor);
+    }
+  }
+  std::uint64_t merges = 0;
+  if (border_anchors.size() >= 2) {
+    const net::SpatialIndex anchor_index(border_anchors, std::max(band, 1e-9));
+    std::vector<char> dead(bundles.size(), 0);
+    std::vector<net::SensorId> near;
+    std::vector<net::SensorId> merged_members;
+    std::vector<Point2> merged_points;
+    const auto positions = deployment.positions();
+    for (std::size_t k = 0; k < border_ids.size(); ++k) {
+      const std::uint32_t i = border_ids[k];
+      if (dead[i] != 0) continue;
+      // Any partner of a feasible merge lies inside the same radius-r disk
+      // as this anchor, hence within 2r of it.
+      anchor_index.within(bundles[i].anchor, band, near);
+      bool grew = false;
+      for (const net::SensorId nk : near) {
+        if (nk <= k) continue;  // canonical order: only absorb forward
+        const std::uint32_t j = border_ids[nk];
+        if (dead[j] != 0) continue;
+        merged_members.clear();
+        std::set_union(bundles[i].members.begin(), bundles[i].members.end(),
+                       bundles[j].members.begin(), bundles[j].members.end(),
+                       std::back_inserter(merged_members));
+        merged_points.clear();
+        for (const net::SensorId id : merged_members) {
+          merged_points.push_back(positions[id]);
+        }
+        if (!geometry::fits_in_radius(merged_points, r)) continue;
+        bundles[i].members = merged_members;
+        dead[j] = 1;
+        grew = true;
+        ++merges;
+      }
+      if (grew) {
+        // Retighten the anchor once per absorbing bundle. The query list
+        // is not refreshed for the moved anchor — the stitch is a single
+        // canonical greedy pass, not a fixpoint iteration.
+        bundles[i] = make_bundle(deployment, std::move(bundles[i].members));
+      }
+    }
+    std::vector<Bundle> alive;
+    alive.reserve(bundles.size());
+    for (std::size_t b = 0; b < bundles.size(); ++b) {
+      if (dead[b] == 0) alive.push_back(std::move(bundles[b]));
+    }
+    bundles = std::move(alive);
+  }
+  {
+    static const obs::Counter stitch_merges("shard.stitch_merges");
+    static const obs::Counter border("shard.border_bundles");
+    stitch_merges.add(merges);
+    border.add(border_ids.size());
+  }
+  return bundles;
+}
+
+std::vector<Bundle> sharded_bundles(const net::Deployment& deployment,
+                                    double r, const ShardOptions& options,
+                                    support::BudgetMeter* meter) {
+  support::require(r > 0.0, "sharded bundles need a positive radius");
+  const ShardGrid grid = build_shard_grid(deployment, r, options);
+
+  obs::TraceSpan span("shard.solve");
+  span.attr("n", static_cast<std::uint64_t>(deployment.size()))
+      .attr("r", r)
+      .attr("cols", static_cast<std::uint64_t>(grid.cols))
+      .attr("rows", static_cast<std::uint64_t>(grid.rows));
+
+  std::size_t max_tile = 0;
+  for (const auto& members : grid.tile_members) {
+    max_tile = std::max(max_tile, members.size());
+  }
+  {
+    static const obs::Counter calls("shard.calls");
+    static const obs::Counter tiles("shard.tiles_solved");
+    static const obs::Gauge tile_hw("shard.max_tile_sensors");
+    calls.add();
+    tiles.add(grid.tiles());
+    tile_hw.record(max_tile);
+  }
+
+  if (grid.tiles() == 1) {
+    // Degenerate grid: exactly the monolithic pipeline (the oracle the
+    // shard property tests rely on), including its output order.
+    std::vector<Bundle> bundles = greedy_bundles(deployment, r, meter);
+    span.attr("bundles", static_cast<std::uint64_t>(bundles.size()));
+    return bundles;
+  }
+
+  std::vector<Bundle> all;
+  if (meter != nullptr) {
+    // Metered path stays serial so budget cut points are a function of the
+    // charge sequence alone, not of thread scheduling. A mid-solve trip
+    // degrades later tiles to singleton covers (greedy_bundles' fallback).
+    for (const auto& members : grid.tile_members) {
+      std::vector<Bundle> tile = solve_tile(deployment, r, members, meter);
+      all.insert(all.end(), std::move_iterator(tile.begin()),
+                 std::move_iterator(tile.end()));
+    }
+  } else {
+    auto per_tile = support::parallel_map<std::vector<Bundle>>(
+        grid.tiles(), /*grain=*/1, [&](std::size_t t) {
+          return solve_tile(deployment, r, grid.tile_members[t], nullptr);
+        });
+    for (auto& tile : per_tile) {
+      all.insert(all.end(), std::move_iterator(tile.begin()),
+                 std::move_iterator(tile.end()));
+    }
+  }
+
+  if (options.stitch) {
+    all = stitch_bundles(deployment, r, grid, std::move(all));
+  } else {
+    sort_by_front_member(all);
+  }
+  span.attr("bundles", static_cast<std::uint64_t>(all.size()));
+  return all;
+}
+
+}  // namespace bc::bundle

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "support/require.h"
+#include "support/simd.h"
 
 namespace bc::net {
 
@@ -38,6 +39,13 @@ SpatialIndex::SpatialIndex(std::span<const Point2> positions, double cell_size)
   for (std::size_t i = 0; i < positions_.size(); ++i) {
     cell_items_[cursor[cell_of(positions_[i])]++] =
         static_cast<SensorId>(i);
+  }
+  // SoA shadow of cell_items_ for the vectorised row scans.
+  item_xs_.resize(cell_items_.size());
+  item_ys_.resize(cell_items_.size());
+  for (std::size_t i = 0; i < cell_items_.size(); ++i) {
+    item_xs_[i] = positions_[cell_items_[i]].x;
+    item_ys_[i] = positions_[cell_items_[i]].y;
   }
 }
 
@@ -90,12 +98,10 @@ void SpatialIndex::within(Point2 query, double radius,
         cell_start_[row + static_cast<std::size_t>(gx_lo)];
     const std::uint32_t end =
         cell_start_[row + static_cast<std::size_t>(gx_hi) + 1];
-    for (std::uint32_t i = begin; i < end; ++i) {
-      const SensorId id = cell_items_[i];
-      if (geometry::distance_squared(positions_[id], query) <= r2) {
-        out.push_back(id);
-      }
-    }
+    support::simd::filter_within(item_xs_.data() + begin,
+                                 item_ys_.data() + begin,
+                                 cell_items_.data() + begin, end - begin,
+                                 query.x, query.y, r2, out);
   }
   std::sort(out.begin(), out.end());
 }

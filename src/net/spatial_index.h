@@ -53,8 +53,13 @@ class SpatialIndex {
   std::size_t cols_ = 0;
   std::size_t rows_ = 0;
   // CSR layout: cell_start_[c]..cell_start_[c+1] indexes into cell_items_.
+  // item_xs_/item_ys_ mirror cell_items_ (SoA): slot i holds the
+  // coordinates of sensor cell_items_[i], so a row scan is a contiguous
+  // streaming distance kernel instead of an id-indirected gather.
   std::vector<std::uint32_t> cell_start_;
   std::vector<SensorId> cell_items_;
+  std::vector<double> item_xs_;
+  std::vector<double> item_ys_;
 };
 
 }  // namespace bc::net

@@ -1,0 +1,392 @@
+#include "support/simd.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define BC_SIMD_HAVE_AVX2_BUILD 1
+#include <immintrin.h>
+#endif
+
+#if defined(__aarch64__)
+#define BC_SIMD_HAVE_NEON_BUILD 1
+#include <arm_neon.h>
+#endif
+
+namespace bc::support::simd {
+
+namespace {
+
+// --- scalar oracle --------------------------------------------------------
+
+std::size_t subtract_and_count_scalar(std::uint64_t* dst,
+                                      const std::uint64_t* src,
+                                      const std::uint64_t* mask,
+                                      std::size_t words) {
+  std::size_t cleared = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    cleared += static_cast<std::size_t>(std::popcount(src[i] & mask[i]));
+    dst[i] = src[i] & ~mask[i];
+  }
+  return cleared;
+}
+
+std::size_t intersect_count_scalar(const std::uint64_t* a,
+                                   const std::uint64_t* b,
+                                   std::size_t words) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+void filter_within_scalar(const double* xs, const double* ys,
+                          const std::uint32_t* ids, std::size_t count,
+                          double qx, double qy, double r2,
+                          std::vector<std::uint32_t>& out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double dx = xs[i] - qx;
+    const double dy = ys[i] - qy;
+    if (dx * dx + dy * dy <= r2) out.push_back(ids[i]);
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    &subtract_and_count_scalar,
+    &intersect_count_scalar,
+    &filter_within_scalar,
+};
+
+// --- AVX2 -----------------------------------------------------------------
+//
+// The target attribute (avx2 only — deliberately NOT fma, so the compiler
+// cannot contract the explicit mul/add pairs below into fused ops that
+// would round differently from the scalar oracle) lets these bodies live
+// in a TU compiled without -mavx2; dispatch guards execution at runtime.
+
+#if BC_SIMD_HAVE_AVX2_BUILD
+
+// 4 parallel 64-bit popcounts via the nibble-LUT (vpshufb) algorithm.
+__attribute__((target("avx2"))) inline __m256i popcount_epi64(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  // Horizontal byte sums per 64-bit lane.
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) std::size_t subtract_and_count_avx2(
+    std::uint64_t* dst, const std::uint64_t* src, const std::uint64_t* mask,
+    std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i m =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    acc = _mm256_add_epi64(acc, popcount_epi64(_mm256_and_si256(s, m)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_andnot_si256(m, s));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::size_t cleared = static_cast<std::size_t>(lanes[0] + lanes[1] +
+                                                 lanes[2] + lanes[3]);
+  for (; i < words; ++i) {
+    cleared += static_cast<std::size_t>(std::popcount(src[i] & mask[i]));
+    dst[i] = src[i] & ~mask[i];
+  }
+  return cleared;
+}
+
+__attribute__((target("avx2"))) std::size_t intersect_count_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, popcount_epi64(_mm256_and_si256(va, vb)));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::size_t total = static_cast<std::size_t>(lanes[0] + lanes[1] +
+                                               lanes[2] + lanes[3]);
+  for (; i < words; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) void filter_within_avx2(
+    const double* xs, const double* ys, const std::uint32_t* ids,
+    std::size_t count, double qx, double qy, double r2,
+    std::vector<std::uint32_t>& out) {
+  const __m256d vqx = _mm256_set1_pd(qx);
+  const __m256d vqy = _mm256_set1_pd(qy);
+  const __m256d vr2 = _mm256_set1_pd(r2);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(xs + i), vqx);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(ys + i), vqy);
+    // Separate mul and add intrinsics: elementwise IEEE identical to the
+    // scalar dx*dx + dy*dy (no FMA feature enabled, so no contraction).
+    const __m256d d2 =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    unsigned m = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(d2, vr2, _CMP_LE_OQ)));
+    while (m != 0) {
+      out.push_back(ids[i + static_cast<std::size_t>(std::countr_zero(m))]);
+      m &= m - 1;
+    }
+  }
+  for (; i < count; ++i) {
+    const double dx = xs[i] - qx;
+    const double dy = ys[i] - qy;
+    if (dx * dx + dy * dy <= r2) out.push_back(ids[i]);
+  }
+}
+
+constexpr KernelTable kAvx2Table = {
+    &subtract_and_count_avx2,
+    &intersect_count_avx2,
+    &filter_within_avx2,
+};
+
+#endif  // BC_SIMD_HAVE_AVX2_BUILD
+
+// --- NEON -----------------------------------------------------------------
+//
+// aarch64 NEON is baseline (no runtime probe needed). 128-bit lanes; the
+// float64x2 scans keep mul and add as separate intrinsic statements for
+// the same no-contraction reason as the AVX2 path.
+
+#if BC_SIMD_HAVE_NEON_BUILD
+
+inline std::uint64_t popcount_u64x2(uint64x2_t v) {
+  const uint8x16_t counts = vcntq_u8(vreinterpretq_u8_u64(v));
+  return vaddlvq_u8(counts);
+}
+
+std::size_t subtract_and_count_neon(std::uint64_t* dst,
+                                    const std::uint64_t* src,
+                                    const std::uint64_t* mask,
+                                    std::size_t words) {
+  std::uint64_t cleared = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    const uint64x2_t s = vld1q_u64(src + i);
+    const uint64x2_t m = vld1q_u64(mask + i);
+    cleared += popcount_u64x2(vandq_u64(s, m));
+    vst1q_u64(dst + i, vbicq_u64(s, m));  // s & ~m
+  }
+  for (; i < words; ++i) {
+    cleared += static_cast<std::uint64_t>(std::popcount(src[i] & mask[i]));
+    dst[i] = src[i] & ~mask[i];
+  }
+  return static_cast<std::size_t>(cleared);
+}
+
+std::size_t intersect_count_neon(const std::uint64_t* a,
+                                 const std::uint64_t* b, std::size_t words) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    total += popcount_u64x2(vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < words; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  return static_cast<std::size_t>(total);
+}
+
+void filter_within_neon(const double* xs, const double* ys,
+                        const std::uint32_t* ids, std::size_t count,
+                        double qx, double qy, double r2,
+                        std::vector<std::uint32_t>& out) {
+  const float64x2_t vqx = vdupq_n_f64(qx);
+  const float64x2_t vqy = vdupq_n_f64(qy);
+  const float64x2_t vr2 = vdupq_n_f64(r2);
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const float64x2_t dx = vsubq_f64(vld1q_f64(xs + i), vqx);
+    const float64x2_t dy = vsubq_f64(vld1q_f64(ys + i), vqy);
+    const float64x2_t dx2 = vmulq_f64(dx, dx);
+    const float64x2_t dy2 = vmulq_f64(dy, dy);
+    const uint64x2_t le = vcleq_f64(vaddq_f64(dx2, dy2), vr2);
+    if (vgetq_lane_u64(le, 0) != 0) out.push_back(ids[i]);
+    if (vgetq_lane_u64(le, 1) != 0) out.push_back(ids[i + 1]);
+  }
+  for (; i < count; ++i) {
+    const double dx = xs[i] - qx;
+    const double dy = ys[i] - qy;
+    if (dx * dx + dy * dy <= r2) out.push_back(ids[i]);
+  }
+}
+
+constexpr KernelTable kNeonTable = {
+    &subtract_and_count_neon,
+    &intersect_count_neon,
+    &filter_within_neon,
+};
+
+#endif  // BC_SIMD_HAVE_NEON_BUILD
+
+// --- resolution and dispatch ----------------------------------------------
+
+const KernelTable* table_for(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &kScalarTable;
+    case Isa::kAvx2:
+#if BC_SIMD_HAVE_AVX2_BUILD
+      return &kAvx2Table;
+#else
+      return nullptr;
+#endif
+    case Isa::kNeon:
+#if BC_SIMD_HAVE_NEON_BUILD
+      return &kNeonTable;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+Isa resolve_from_env() {
+  const char* env = std::getenv("BC_SIMD");
+  Isa requested = best_supported_isa();
+  if (env != nullptr && *env != '\0') {
+    // Unparseable values resolve to auto: an ISA typo should degrade to
+    // the best supported path, never crash a long-running bench.
+    if (!parse_isa(env, requested)) requested = best_supported_isa();
+  }
+  return isa_supported(requested) ? requested : Isa::kScalar;
+}
+
+// The active table, published with the active ISA; dispatch loads it with
+// a single relaxed atomic read. -1 means "not resolved yet".
+std::atomic<const KernelTable*> g_table{nullptr};
+std::atomic<int> g_isa{-1};
+
+const KernelTable* active_table() {
+  const KernelTable* t = g_table.load(std::memory_order_acquire);
+  if (t != nullptr) return t;
+  const Isa isa = resolve_from_env();
+  // Racing first calls resolve to the same value (pure function of env +
+  // CPU), so last-writer-wins is benign.
+  g_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+  t = table_for(isa);
+  g_table.store(t, std::memory_order_release);
+  return t;
+}
+
+}  // namespace
+
+std::string_view to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool parse_isa(std::string_view text, Isa& out) {
+  if (text == "scalar") {
+    out = Isa::kScalar;
+  } else if (text == "avx2") {
+    out = Isa::kAvx2;
+  } else if (text == "neon") {
+    out = Isa::kNeon;
+  } else if (text == "auto") {
+    out = best_supported_isa();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool isa_compiled(Isa isa) { return table_for(isa) != nullptr; }
+
+bool isa_supported(Isa isa) {
+  if (!isa_compiled(isa)) return false;
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if BC_SIMD_HAVE_AVX2_BUILD
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+      // NEON is architecturally mandatory on aarch64; compiled-in implies
+      // runnable.
+      return true;
+  }
+  return false;
+}
+
+Isa best_supported_isa() {
+  if (isa_supported(Isa::kAvx2)) return Isa::kAvx2;
+  if (isa_supported(Isa::kNeon)) return Isa::kNeon;
+  return Isa::kScalar;
+}
+
+Isa active_isa() {
+  active_table();  // force resolution
+  return static_cast<Isa>(g_isa.load(std::memory_order_relaxed));
+}
+
+Isa set_isa(Isa isa) {
+  const Isa installed = isa_supported(isa) ? isa : Isa::kScalar;
+  g_isa.store(static_cast<int>(installed), std::memory_order_relaxed);
+  g_table.store(table_for(installed), std::memory_order_release);
+  return installed;
+}
+
+std::size_t subtract_and_count(std::uint64_t* dst, const std::uint64_t* src,
+                               const std::uint64_t* mask, std::size_t words) {
+  // Small sets (the paper-scale instances) stay on the inlined-able scalar
+  // path: an indirect call costs more than it saves below a few words.
+  if (words < 8) return subtract_and_count_scalar(dst, src, mask, words);
+  return active_table()->subtract_and_count(dst, src, mask, words);
+}
+
+std::size_t intersect_count(const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t words) {
+  if (words < 8) return intersect_count_scalar(a, b, words);
+  return active_table()->intersect_count(a, b, words);
+}
+
+void filter_within(const double* xs, const double* ys,
+                   const std::uint32_t* ids, std::size_t count, double qx,
+                   double qy, double r2, std::vector<std::uint32_t>& out) {
+  if (count < 8) {
+    filter_within_scalar(xs, ys, ids, count, qx, qy, r2, out);
+    return;
+  }
+  active_table()->filter_within(xs, ys, ids, count, qx, qy, r2, out);
+}
+
+const KernelTable& kernels(Isa isa) {
+  const KernelTable* t = table_for(isa);
+  return t != nullptr ? *t : kScalarTable;
+}
+
+}  // namespace bc::support::simd

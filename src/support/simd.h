@@ -1,0 +1,98 @@
+// Runtime SIMD dispatch for the word-level bitset kernels and the
+// coordinate distance scans that dominate large-n planning.
+//
+// Three rules keep vectorisation from ever changing behaviour:
+//
+//   1. The scalar implementation is the oracle. Every vector kernel is an
+//      exact reimplementation — integer popcounts are exact by nature, and
+//      the distance scans perform the same IEEE multiply/add/compare per
+//      element as the scalar loop (no FMA contraction: the AVX2 bodies use
+//      explicit mul/add intrinsics and are compiled without the fma target
+//      feature), so results are byte-identical at every ISA.
+//   2. One process-wide ISA choice, resolved once: set_isa() override,
+//      else the BC_SIMD environment variable (scalar | avx2 | neon |
+//      auto), else auto. Requesting an ISA the build or the CPU cannot
+//      run falls back to scalar — a missing feature degrades speed, never
+//      correctness or availability.
+//   3. Dispatch is a single relaxed-atomic table-pointer load per call.
+//      Like set_thread_count(), set_isa() must not race in-flight kernels;
+//      call it between solves (benches and tests do).
+
+#ifndef BUNDLECHARGE_SUPPORT_SIMD_H_
+#define BUNDLECHARGE_SUPPORT_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace bc::support::simd {
+
+enum class Isa {
+  kScalar = 0,  // portable reference; the bit-exact oracle
+  kAvx2 = 1,    // x86-64 AVX2 (256-bit)
+  kNeon = 2,    // aarch64 NEON (128-bit)
+};
+
+std::string_view to_string(Isa isa);
+
+// Parses "scalar" / "avx2" / "neon" / "auto". Returns true and writes
+// `out` on success ("auto" maps to best_supported_isa()).
+bool parse_isa(std::string_view text, Isa& out);
+
+// True when this binary contains code for `isa` (compile-time support).
+bool isa_compiled(Isa isa);
+
+// True when `isa` is compiled in AND the running CPU can execute it.
+bool isa_supported(Isa isa);
+
+// The fastest supported ISA (kScalar when nothing better is available).
+Isa best_supported_isa();
+
+// The ISA kernels currently dispatch to. First call resolves BC_SIMD.
+Isa active_isa();
+
+// Overrides the active ISA. An unsupported request falls back to kScalar
+// (mirroring the env-var behaviour) and returns the ISA actually
+// installed. Must not race in-flight kernels.
+Isa set_isa(Isa isa);
+
+// --- dispatched kernels ---------------------------------------------------
+
+// Fused dst = src & ~mask over `words` 64-bit words, returning
+// popcount(src & mask) (the number of bits cleared). `dst` may alias `src`
+// exactly, but must not partially overlap `src` or `mask`.
+std::size_t subtract_and_count(std::uint64_t* dst, const std::uint64_t* src,
+                               const std::uint64_t* mask, std::size_t words);
+
+// popcount(a & b) over `words` 64-bit words.
+std::size_t intersect_count(const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t words);
+
+// Appends ids[i] to `out` (not cleared) for every i in [0, count) with
+// (xs[i] - qx)^2 + (ys[i] - qy)^2 <= r2, in ascending i order. The SoA
+// distance scan behind every spatial-index row walk and candidate member
+// collection.
+void filter_within(const double* xs, const double* ys,
+                   const std::uint32_t* ids, std::size_t count, double qx,
+                   double qy, double r2, std::vector<std::uint32_t>& out);
+
+// --- per-ISA entry points (differential tests; not for hot paths) ---------
+
+struct KernelTable {
+  std::size_t (*subtract_and_count)(std::uint64_t*, const std::uint64_t*,
+                                    const std::uint64_t*, std::size_t);
+  std::size_t (*intersect_count)(const std::uint64_t*, const std::uint64_t*,
+                                 std::size_t);
+  void (*filter_within)(const double*, const double*, const std::uint32_t*,
+                        std::size_t, double, double, double,
+                        std::vector<std::uint32_t>&);
+};
+
+// The kernel table for `isa`. Precondition: isa_supported(isa) — tests
+// guard with it; calling an unsupported table is undefined (SIGILL).
+const KernelTable& kernels(Isa isa);
+
+}  // namespace bc::support::simd
+
+#endif  // BUNDLECHARGE_SUPPORT_SIMD_H_

@@ -18,6 +18,8 @@ std::string_view to_string(Algorithm algorithm) {
       return "BC-OPT";
     case Algorithm::kTspn:
       return "TSPN";
+    case Algorithm::kBcSharded:
+      return "BC-SHARD";
   }
   return "unknown";
 }
@@ -45,6 +47,9 @@ ChargingPlan plan_charging_tour(const net::Deployment& deployment,
       break;
     case Algorithm::kTspn:
       plan = plan_tspn(deployment, config, meter);
+      break;
+    case Algorithm::kBcSharded:
+      plan = plan_bc_sharded(deployment, config, meter);
       break;
     default:
       support::ensure(false, "unreachable planner algorithm");

@@ -25,6 +25,7 @@
 #include <string_view>
 
 #include "bundle/generator.h"
+#include "bundle/shard.h"
 #include "charging/model.h"
 #include "charging/movement.h"
 #include "net/deployment.h"
@@ -34,7 +35,7 @@
 
 namespace bc::tour {
 
-enum class Algorithm { kSc, kCss, kBc, kBcOpt, kTspn };
+enum class Algorithm { kSc, kCss, kBc, kBcOpt, kTspn, kBcSharded };
 
 std::string_view to_string(Algorithm algorithm);
 
@@ -69,6 +70,14 @@ struct PlannerConfig {
   charging::MovementModel movement = charging::MovementModel::icdcs2019();
   tsp::SolverOptions tsp{};
   BcOptOptions opt{};
+  // BC-SHARD: tiling for the hierarchical large-n generator
+  // (bundle/shard.h). Stop counts at or below the cutover are toured
+  // through the exact solver facade like BC (so a degenerate single-tile
+  // shard plan matches BC bit for bit); larger plans switch to the snake
+  // construction + uncertified neighbour-list 2-opt, whose cost stays
+  // near-linear in the stop count.
+  bundle::ShardOptions shard{};
+  std::size_t shard_tsp_cutover = 1000;
   // Deadline / node cap / cancellation shared across every solver stage
   // the planner touches (bundle generation, TSP ordering, refinement
   // passes). Every planner is *anytime* under a budget: a trip stops the
@@ -102,6 +111,9 @@ ChargingPlan plan_bc_opt(const net::Deployment& deployment,
 ChargingPlan plan_tspn(const net::Deployment& deployment,
                        const PlannerConfig& config,
                        support::BudgetMeter* meter = nullptr);
+ChargingPlan plan_bc_sharded(const net::Deployment& deployment,
+                             const PlannerConfig& config,
+                             support::BudgetMeter* meter = nullptr);
 
 }  // namespace bc::tour
 

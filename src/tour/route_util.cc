@@ -1,9 +1,12 @@
 #include "tour/route_util.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <utility>
 
 #include "support/require.h"
+#include "tsp/improve.h"
 #include "tsp/tour.h"
 
 namespace bc::tour {
@@ -32,6 +35,80 @@ void order_stops_by_tsp(geometry::Point2 depot, std::vector<Stop>& stops,
   ordered.reserve(stops.size());
   for (std::size_t i = 1; i < order.size(); ++i) {
     ordered.push_back(std::move(stops[order[i] - 1]));
+  }
+  stops = std::move(ordered);
+}
+
+void order_stops_snake(geometry::Point2 depot, std::vector<Stop>& stops,
+                       const tsp::SolverOptions& options,
+                       support::BudgetMeter* meter) {
+  if (stops.size() < 2) return;
+  const std::size_t n = stops.size();
+
+  // Boustrophedon construction: slice the bounding box into horizontal
+  // strips (~sqrt(n/2) of them — the classic strip-heuristic ratio), sort
+  // each strip by x, and alternate the direction strip to strip. The sort
+  // key closes ties by the pre-sort stop index, so the order is a pure
+  // function of the input sequence.
+  std::vector<geometry::Point2> positions;
+  positions.reserve(n);
+  for (const Stop& s : stops) positions.push_back(s.position);
+  const geometry::Box2 box = geometry::bounding_box(positions);
+  const double height = box.height();
+  const std::size_t strips = std::max<std::size_t>(
+      static_cast<std::size_t>(std::sqrt(static_cast<double>(n) / 2.0)), 1);
+  const double strip_h = height > 0.0 ? height / static_cast<double>(strips)
+                                      : 0.0;
+  struct Key {
+    std::uint32_t strip;
+    double x;       // already direction-adjusted: ascending sort snakes
+    double y;
+    std::uint32_t index;
+  };
+  std::vector<Key> keys;
+  keys.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::size_t strip = 0;
+    if (strip_h > 0.0) {
+      strip = std::min(static_cast<std::size_t>(
+                           (positions[i].y - box.lo.y) / strip_h),
+                       strips - 1);
+    }
+    const bool reversed = (strip % 2) != 0;
+    keys.push_back(Key{static_cast<std::uint32_t>(strip),
+                       reversed ? -positions[i].x : positions[i].x,
+                       positions[i].y, i});
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.strip != b.strip) return a.strip < b.strip;
+    if (a.x != b.x) return a.x < b.x;
+    if (a.y != b.y) return a.y < b.y;
+    return a.index < b.index;
+  });
+
+  // Improve over {depot} ∪ stops. Only 2-opt (no Or-opt: its accepted
+  // moves rebuild the whole order, which large instances cannot afford)
+  // and no certification sweep.
+  std::vector<geometry::Point2> points;
+  points.reserve(n + 1);
+  points.push_back(depot);
+  for (const Key& k : keys) points.push_back(positions[k.index]);
+  tsp::Tour order(points.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  tsp::ImproveOptions improve = options.improve;
+  improve.certify = false;
+  tsp::two_opt(points, order, improve, meter);
+
+  tsp::rotate_to_front(order, 0);
+  support::ensure(order.size() == n + 1,
+                  "snake order must cover depot and all stops");
+  if (order.size() >= 3 && order[1] > order.back()) {
+    std::reverse(order.begin() + 1, order.end());
+  }
+  std::vector<Stop> ordered;
+  ordered.reserve(n);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    ordered.push_back(std::move(stops[keys[order[i] - 1].index]));
   }
   stops = std::move(ordered);
 }

@@ -22,6 +22,15 @@ void order_stops_by_tsp(geometry::Point2 depot, std::vector<Stop>& stops,
                         const tsp::SolverOptions& options,
                         support::BudgetMeter* meter = nullptr);
 
+// Large-instance variant: boustrophedon (snake) strip construction plus
+// neighbour-list 2-opt with the O(n^2) certification sweep disabled, so
+// the cost stays near-linear in the stop count. Same orientation
+// normalisation and determinism contract as order_stops_by_tsp; the tour
+// is a neighbour-list (not full-neighbourhood) local optimum.
+void order_stops_snake(geometry::Point2 depot, std::vector<Stop>& stops,
+                       const tsp::SolverOptions& options,
+                       support::BudgetMeter* meter = nullptr);
+
 }  // namespace bc::tour
 
 #endif  // BUNDLECHARGE_TOUR_ROUTE_UTIL_H_

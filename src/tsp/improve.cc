@@ -369,6 +369,7 @@ double two_opt(std::span<const Point2> points, Tour& order,
     // Restricted search done: certify against the full neighbourhood. A
     // move found here wakes its endpoints and the passes continue.
     if (!improved) {
+      if (!options.certify) break;
       ++certify_sweeps;
       if (!search.certify_two_opt()) break;
     }
@@ -420,6 +421,7 @@ double or_opt(std::span<const Point2> points, Tour& order,
       }
     }
     if (!improved) {
+      if (!options.certify) break;
       ++certify_sweeps;
       if (!search.certify_or_opt()) break;
     }

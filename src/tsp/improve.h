@@ -29,6 +29,12 @@ struct ImproveOptions {
   // whenever the restricted search converges, so a returned tour is a
   // genuine full-neighbourhood local optimum either way.
   std::size_t neighbors = 12;
+  // When false, skip the O(n^2) certification sweep and stop at restricted
+  // convergence. The returned tour is then only a neighbour-list local
+  // optimum — the trade the sharded large-n planner makes, where a single
+  // certification sweep over tens of thousands of stops would dwarf the
+  // entire solve.
+  bool certify = true;
 };
 
 // First-improvement 2-opt until no move helps. Returns total gain (length

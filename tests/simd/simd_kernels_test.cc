@@ -1,0 +1,206 @@
+// Differential tests for the runtime SIMD dispatch shim: every compiled
+// ISA must reproduce the scalar oracle bit for bit — integer counts,
+// written words, and the FP distance-filter's accept set and order.
+
+#include "support/simd.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace bc::support::simd {
+namespace {
+
+// Restores the ISA active before the test so dispatch-mutating tests
+// cannot leak into each other.
+class IsaGuard {
+ public:
+  IsaGuard() : saved_(active_isa()) {}
+  ~IsaGuard() { set_isa(saved_); }
+
+ private:
+  Isa saved_;
+};
+
+std::vector<std::uint64_t> random_words(std::size_t words,
+                                        support::Rng& rng) {
+  std::vector<std::uint64_t> out(words);
+  for (auto& w : out) {
+    w = rng.next();
+  }
+  return out;
+}
+
+std::vector<Isa> compiled_supported_isas() {
+  std::vector<Isa> isas;
+  for (const Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kNeon}) {
+    if (isa_supported(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+TEST(SimdParseTest, RoundTripsNames) {
+  Isa isa;
+  ASSERT_TRUE(parse_isa("scalar", isa));
+  EXPECT_EQ(isa, Isa::kScalar);
+  ASSERT_TRUE(parse_isa("avx2", isa));
+  EXPECT_EQ(isa, Isa::kAvx2);
+  ASSERT_TRUE(parse_isa("neon", isa));
+  EXPECT_EQ(isa, Isa::kNeon);
+  ASSERT_TRUE(parse_isa("auto", isa));
+  EXPECT_EQ(isa, best_supported_isa());
+  EXPECT_FALSE(parse_isa("sse9", isa));
+  EXPECT_FALSE(parse_isa("", isa));
+  EXPECT_EQ(to_string(Isa::kScalar), "scalar");
+  EXPECT_EQ(to_string(Isa::kAvx2), "avx2");
+  EXPECT_EQ(to_string(Isa::kNeon), "neon");
+}
+
+TEST(SimdDispatchTest, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(isa_compiled(Isa::kScalar));
+  EXPECT_TRUE(isa_supported(Isa::kScalar));
+  // Exactly one of AVX2/NEON can be compiled into one binary.
+  EXPECT_FALSE(isa_compiled(Isa::kAvx2) && isa_compiled(Isa::kNeon));
+}
+
+TEST(SimdDispatchTest, UnsupportedRequestFallsBackToScalar) {
+  IsaGuard guard;
+  // At most one vector ISA is supported; the other must degrade.
+  const Isa missing =
+      isa_supported(Isa::kAvx2) ? Isa::kNeon : Isa::kAvx2;
+  if (!isa_supported(missing)) {
+    EXPECT_EQ(set_isa(missing), Isa::kScalar);
+    EXPECT_EQ(active_isa(), Isa::kScalar);
+  }
+  for (const Isa isa : compiled_supported_isas()) {
+    EXPECT_EQ(set_isa(isa), isa);
+    EXPECT_EQ(active_isa(), isa);
+  }
+}
+
+TEST(SimdKernelTest, SubtractAndCountMatchesScalarEverywhere) {
+  support::Rng rng(7);
+  const KernelTable& scalar = kernels(Isa::kScalar);
+  for (const Isa isa : compiled_supported_isas()) {
+    const KernelTable& table = kernels(isa);
+    for (std::size_t words = 0; words <= 37; ++words) {
+      const auto src = random_words(words, rng);
+      const auto mask = random_words(words, rng);
+      std::vector<std::uint64_t> dst_scalar(words, 0xfeed);
+      std::vector<std::uint64_t> dst_vec(words, 0xbeef);
+      const std::size_t want = scalar.subtract_and_count(
+          dst_scalar.data(), src.data(), mask.data(), words);
+      const std::size_t got = table.subtract_and_count(
+          dst_vec.data(), src.data(), mask.data(), words);
+      ASSERT_EQ(got, want) << to_string(isa) << " words=" << words;
+      ASSERT_EQ(dst_vec, dst_scalar) << to_string(isa) << " words=" << words;
+
+      // Exact aliasing (dst == src) is part of the contract.
+      auto alias = src;
+      const std::size_t aliased = table.subtract_and_count(
+          alias.data(), alias.data(), mask.data(), words);
+      ASSERT_EQ(aliased, want);
+      ASSERT_EQ(alias, dst_scalar);
+    }
+  }
+}
+
+TEST(SimdKernelTest, IntersectCountMatchesScalarEverywhere) {
+  support::Rng rng(11);
+  const KernelTable& scalar = kernels(Isa::kScalar);
+  for (const Isa isa : compiled_supported_isas()) {
+    const KernelTable& table = kernels(isa);
+    for (std::size_t words = 0; words <= 37; ++words) {
+      const auto a = random_words(words, rng);
+      const auto b = random_words(words, rng);
+      ASSERT_EQ(table.intersect_count(a.data(), b.data(), words),
+                scalar.intersect_count(a.data(), b.data(), words))
+          << to_string(isa) << " words=" << words;
+    }
+  }
+}
+
+TEST(SimdKernelTest, FilterWithinMatchesScalarEverywhere) {
+  support::Rng rng(13);
+  const KernelTable& scalar = kernels(Isa::kScalar);
+  for (const Isa isa : compiled_supported_isas()) {
+    const KernelTable& table = kernels(isa);
+    for (const std::size_t count : {0u, 1u, 3u, 7u, 8u, 13u, 64u, 257u}) {
+      std::vector<double> xs(count);
+      std::vector<double> ys(count);
+      std::vector<std::uint32_t> ids(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        xs[i] = rng.uniform(0.0, 100.0);
+        ys[i] = rng.uniform(0.0, 100.0);
+        ids[i] = static_cast<std::uint32_t>(1000 + i);
+      }
+      const double qx = rng.uniform(0.0, 100.0);
+      const double qy = rng.uniform(0.0, 100.0);
+      for (const double r2 : {0.0, 100.0, 900.0, 40000.0}) {
+        std::vector<std::uint32_t> want{42};  // appends, never clears
+        std::vector<std::uint32_t> got{42};
+        scalar.filter_within(xs.data(), ys.data(), ids.data(), count, qx, qy,
+                             r2, want);
+        table.filter_within(xs.data(), ys.data(), ids.data(), count, qx, qy,
+                            r2, got);
+        ASSERT_EQ(got, want)
+            << to_string(isa) << " count=" << count << " r2=" << r2;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, BoundaryPointsFilterIdentically) {
+  // Points exactly on the radius: the <= compare must agree across ISAs.
+  const KernelTable& scalar = kernels(Isa::kScalar);
+  const std::size_t count = 16;
+  std::vector<double> xs(count);
+  std::vector<double> ys(count, 0.0);
+  std::vector<std::uint32_t> ids(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    xs[i] = static_cast<double>(i);  // distance i from the origin query
+    ids[i] = static_cast<std::uint32_t>(i);
+  }
+  for (const Isa isa : compiled_supported_isas()) {
+    const KernelTable& table = kernels(isa);
+    for (std::size_t r = 0; r < count; ++r) {
+      const double r2 = static_cast<double>(r) * static_cast<double>(r);
+      std::vector<std::uint32_t> want;
+      std::vector<std::uint32_t> got;
+      scalar.filter_within(xs.data(), ys.data(), ids.data(), count, 0.0, 0.0,
+                           r2, want);
+      table.filter_within(xs.data(), ys.data(), ids.data(), count, 0.0, 0.0,
+                          r2, got);
+      ASSERT_EQ(got, want) << to_string(isa) << " r=" << r;
+      ASSERT_EQ(want.size(), r + 1);  // 0..r inclusive: <= semantics
+    }
+  }
+}
+
+TEST(SimdKernelTest, DispatchedEntryPointsFollowActiveIsa) {
+  IsaGuard guard;
+  support::Rng rng(17);
+  const std::size_t words = 16;
+  const auto src = random_words(words, rng);
+  const auto mask = random_words(words, rng);
+  std::vector<std::uint64_t> dst_a(words);
+  const std::size_t want =
+      kernels(Isa::kScalar)
+          .subtract_and_count(dst_a.data(), src.data(), mask.data(), words);
+  for (const Isa isa : compiled_supported_isas()) {
+    set_isa(isa);
+    std::vector<std::uint64_t> dst_b(words);
+    EXPECT_EQ(subtract_and_count(dst_b.data(), src.data(), mask.data(), words),
+              want);
+    EXPECT_EQ(dst_b, dst_a);
+    EXPECT_EQ(intersect_count(src.data(), mask.data(), words),
+              kernels(Isa::kScalar)
+                  .intersect_count(src.data(), mask.data(), words));
+  }
+}
+
+}  // namespace
+}  // namespace bc::support::simd

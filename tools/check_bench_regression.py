@@ -79,11 +79,26 @@ def main():
             continue
         try:
             base_data, base_cases = load_cases(base_path)
-            _, cur_cases = load_cases(cur_path)
+            cur_data, cur_cases = load_cases(cur_path)
         except BenchFormatError as err:
             failures.append(str(err))
             continue
         bench = base_data.get("bench", base_path.stem)
+        # A baseline that names a kernel the candidate run did not execute
+        # must fail loudly: a silently skipped suite would make every
+        # regression in it invisible.
+        cur_bench = cur_data.get("bench", cur_path.stem)
+        if bench != cur_bench:
+            failures.append(
+                f"{base_path.name}: baseline benches '{bench}' but the "
+                f"current run produced '{cur_bench}' — the kernel named by "
+                "the baseline was not run")
+            continue
+        if not base_cases:
+            failures.append(
+                f"{base_path.name}: baseline has no cases — nothing would "
+                "be checked; refresh or delete the baseline")
+            continue
         for name, base_case in base_cases.items():
             cur_case = cur_cases.get(name)
             if cur_case is None:

@@ -115,6 +115,24 @@ def test_invalid_json_fails():
     assert rc == 1
 
 
+def test_bench_name_mismatch_fails():
+    """A baseline naming a kernel absent from the candidate run must fail."""
+    renamed = json.loads(_bench_json(1.0))
+    renamed["bench"] = "exact_cover"
+    rc = _run({"BENCH_candidates.json": _bench_json(1.0)},
+              {"BENCH_candidates.json": json.dumps(renamed)})
+    assert rc == 1
+
+
+def test_empty_baseline_cases_fails():
+    """A baseline with zero cases checks nothing and must not pass."""
+    empty = json.loads(_bench_json(1.0))
+    empty["cases"] = []
+    rc = _run({"BENCH_candidates.json": json.dumps(empty)},
+              {"BENCH_candidates.json": _bench_json(1.0)})
+    assert rc == 1
+
+
 def test_v2_current_against_v1_baseline_passes():
     """The bench writer emits schema v2; committed baselines are v1."""
     v2 = _bench_json(1.0, schema_version=2,
