@@ -1,0 +1,183 @@
+// Service-layer throughput bench: full HTTP round trips against an
+// in-process bundlecharged server, covering the four request shapes that
+// dominate a deployment — health probes, cold plan solves, cached plan
+// hits, and replans. Results are written as `BENCH_service_throughput.json`
+// (schema: DESIGN.md §8) for the CI perf-smoke job to diff against
+// `bench/baselines/`.
+//
+// Wall times are the minimum over --repeats runs. The counters come from
+// the server's own stats endpoint bookkeeping (completed solves, cache
+// hits/misses) and are deterministic per build: a drift means the service
+// changed behaviour — e.g. a cache keying bug turning hits into misses —
+// not just speed.
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "support/cli.h"
+
+namespace {
+
+using bc::service::Server;
+using bc::service::ServerOptions;
+using bc::service::ServerStats;
+
+constexpr std::size_t kSensors = 40;
+constexpr std::size_t kHealthRoundtrips = 200;
+constexpr std::size_t kColdBodies = 8;
+constexpr std::size_t kHotRoundtrips = 50;
+constexpr std::size_t kReplanRoundtrips = 5;
+
+std::string positions_line(std::size_t n, std::size_t salt) {
+  std::string out = "positions=";
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = i + salt * 1000;
+    out += std::to_string((j * 131 + 17) % 997) + "," +
+           std::to_string((j * 197 + 5) % 991);
+    if (i + 1 < n) out += ";";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string plan_body(std::size_t salt) {
+  return "algorithm=BC\nradius=120\n" + positions_line(kSensors, salt) +
+         "depot=0,0\n";
+}
+
+std::unique_ptr<Server> must_start() {
+  auto server = Server::start(ServerOptions{});
+  if (!server.has_value()) {
+    std::cerr << "server start failed: " << server.fault().message << "\n";
+    std::exit(1);
+  }
+  return std::move(server.value());
+}
+
+void must_request(std::uint16_t port, const std::string& method,
+                  const std::string& path, const std::string& body) {
+  auto response = bc::service::http_roundtrip(port, method, path, body);
+  if (!response.has_value()) {
+    std::cerr << "roundtrip failed: " << response.fault().message << "\n";
+    std::exit(1);
+  }
+  if (response.value().status != 200) {
+    std::cerr << "unexpected status " << response.value().status << " for "
+              << method << " " << path << ": " << response.value().body
+              << "\n";
+    std::exit(1);
+  }
+}
+
+void bench_service(const std::string& out_dir, std::size_t repeats,
+                   std::size_t threads) {
+  bc::bench::BenchReporter reporter("service_throughput");
+
+  // Health probes: pure wire + dispatch overhead, no solver work.
+  {
+    auto server = must_start();
+    reporter
+        .time_case("healthz", repeats,
+                   [&] {
+                     for (std::size_t i = 0; i < kHealthRoundtrips; ++i) {
+                       must_request(server->port(), "GET", "/healthz", "");
+                     }
+                   })
+        .counter("roundtrips",
+                 static_cast<std::int64_t>(kHealthRoundtrips));
+  }
+
+  // Cold plan solves: a fresh (memory-only) server per repetition so every
+  // request misses the cache and runs the full planning pipeline.
+  {
+    ServerStats stats;
+    double best_ms = 0.0;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      auto server = must_start();
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t salt = 0; salt < kColdBodies; ++salt) {
+        must_request(server->port(), "POST", "/v1/plan", plan_body(salt));
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+      stats = server->stats();
+    }
+    reporter.add_case("plan_cold", best_ms, repeats)
+        .counter("completed", static_cast<std::int64_t>(stats.completed))
+        .counter("cache_misses",
+                 static_cast<std::int64_t>(stats.cache_misses));
+  }
+
+  // Cached plan hits: one server pre-warmed with a single body, then the
+  // same request repeatedly — decode + serialize, no solving.
+  {
+    auto server = must_start();
+    const std::string body = plan_body(0);
+    must_request(server->port(), "POST", "/v1/plan", body);
+    reporter
+        .time_case("plan_hot", repeats,
+                   [&] {
+                     for (std::size_t i = 0; i < kHotRoundtrips; ++i) {
+                       must_request(server->port(), "POST", "/v1/plan", body);
+                     }
+                   })
+        .counter("roundtrips", static_cast<std::int64_t>(kHotRoundtrips));
+    const ServerStats stats = server->stats();
+    // One miss from the warm-up; everything timed must have hit.
+    if (stats.cache_misses != 1) {
+      std::cerr << "plan_hot: expected 1 cache miss, saw "
+                << stats.cache_misses << "\n";
+      std::exit(1);
+    }
+  }
+
+  // Replans: uncacheable by design (they depend on charger position and
+  // per-sensor deficits), so every request solves.
+  {
+    auto server = must_start();
+    const std::string body =
+        plan_body(0) + "current=500,500\nremaining=0:1.5;5:0.5;9:2\n";
+    reporter
+        .time_case("replan", repeats,
+                   [&] {
+                     for (std::size_t i = 0; i < kReplanRoundtrips; ++i) {
+                       must_request(server->port(), "POST", "/v1/replan",
+                                    body);
+                     }
+                   })
+        .counter("roundtrips",
+                 static_cast<std::int64_t>(kReplanRoundtrips));
+  }
+
+  reporter.write(out_dir, threads);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bc::support::CliFlags flags(
+      "Planning-service throughput bench; writes "
+      "BENCH_service_throughput.json.");
+  flags.define_string("out-dir", ".",
+                      "directory for BENCH_service_throughput.json");
+  flags.define_int("repeats", 5, "timed repetitions per case (min is kept)");
+  bc::bench::define_obs_flags(flags);
+  if (!flags.parse(argc, argv, std::cerr)) return 2;
+  if (flags.help_requested()) return 0;
+  bc::bench::ObsControl obs(flags);
+
+  const auto repeats = static_cast<std::size_t>(flags.get_int("repeats"));
+  // Request handling forces solver parallel sections inline (per-request
+  // metrics isolation), so thread count is not a knob here.
+  bench_service(flags.get_string("out-dir"), repeats, /*threads=*/1);
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "core/request_mapping.h"
+
+#include <cmath>
+#include <utility>
+
+namespace bc::core {
+
+namespace {
+
+using support::Expected;
+using support::Fault;
+using support::FaultKind;
+
+}  // namespace
+
+Expected<Profile> profile_by_name(std::string_view name) {
+  if (name.empty() || name == "icdcs2019") {
+    return icdcs2019_simulation_profile();
+  }
+  if (name == "paper-cost") return icdcs2019_paper_cost_profile();
+  if (name == "testbed") return testbed_profile();
+  return Fault{FaultKind::kInvalidInput,
+               "unknown profile '" + std::string(name) +
+                   "' (known: " + known_profile_names() + ")"};
+}
+
+std::string known_profile_names() { return "icdcs2019, paper-cost, testbed"; }
+
+Expected<tour::Algorithm> algorithm_by_name(std::string_view name) {
+  for (const tour::Algorithm algorithm :
+       {tour::Algorithm::kSc, tour::Algorithm::kCss, tour::Algorithm::kBc,
+        tour::Algorithm::kBcOpt, tour::Algorithm::kTspn,
+        tour::Algorithm::kBcSharded}) {
+    if (name == tour::to_string(algorithm)) return algorithm;
+  }
+  return Fault{FaultKind::kInvalidInput,
+               "unknown algorithm '" + std::string(name) +
+                   "' (known: " + known_algorithm_names() + ")"};
+}
+
+std::string known_algorithm_names() {
+  return "SC, CSS, BC, BC-OPT, TSPN, BC-SHARD";
+}
+
+Expected<ResolvedPlanRequest> resolve_plan_request(
+    std::string_view profile_name, std::string_view algorithm_name,
+    double radius_m, double deadline_s) {
+  auto profile = profile_by_name(profile_name);
+  if (!profile.has_value()) return profile.fault();
+  auto algorithm = algorithm_by_name(
+      algorithm_name.empty() ? "BC" : algorithm_name);
+  if (!algorithm.has_value()) return algorithm.fault();
+  if (!std::isfinite(radius_m)) {
+    return Fault{FaultKind::kInvalidInput, "radius must be finite"};
+  }
+  ResolvedPlanRequest resolved;
+  resolved.profile = std::move(profile.value());
+  resolved.algorithm = algorithm.value();
+  if (radius_m > 0.0) resolved.profile.planner.bundle_radius = radius_m;
+  if (deadline_s > 0.0 && std::isfinite(deadline_s)) {
+    resolved.profile.planner.budget.deadline_s = deadline_s;
+  }
+  return resolved;
+}
+
+}  // namespace bc::core

@@ -1,0 +1,56 @@
+// Mapping from service-level plan requests onto planner configuration.
+//
+// The planning daemon (src/service) receives requests naming a profile, an
+// algorithm, and a bundle radius as *strings* off the wire. This module
+// owns the resolution of those strings into the core types — profiles by
+// name, algorithms by name, and the override of the request's radius and
+// deadline onto the profile's PlannerConfig — so the service layer never
+// hand-builds planner state and every CLI/daemon surface resolves names
+// identically. All failures are structured kInvalidInput faults listing
+// the accepted values: the wire is untrusted input.
+
+#ifndef BUNDLECHARGE_CORE_REQUEST_MAPPING_H_
+#define BUNDLECHARGE_CORE_REQUEST_MAPPING_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/profiles.h"
+#include "support/expected.h"
+#include "tour/planner.h"
+
+namespace bc::core {
+
+// Profile registry: "icdcs2019" (simulation, the default), "paper-cost"
+// (literal 0.9 J/min charging consumption), "testbed" (§VII office).
+support::Expected<Profile> profile_by_name(std::string_view name);
+
+// Accepted names, comma-separated, for diagnostics and --help text.
+std::string known_profile_names();
+
+// Algorithm registry over tour::to_string names: "SC", "CSS", "BC",
+// "BC-OPT", "TSPN", "BC-SHARD" (case-sensitive, matching every other
+// surface of the repo).
+support::Expected<tour::Algorithm> algorithm_by_name(std::string_view name);
+
+std::string known_algorithm_names();
+
+// A fully resolved plan request: the profile with the request's overrides
+// applied. `config` is the profile's planner config with bundle_radius
+// replaced (when radius > 0) and the per-request deadline installed.
+struct ResolvedPlanRequest {
+  Profile profile;
+  tour::Algorithm algorithm = tour::Algorithm::kBc;
+};
+
+// Resolves (profile, algorithm, radius) strings into planner state.
+// radius <= 0 keeps the profile's default radius; deadline_s <= 0 means no
+// deadline. The returned profile's planner budget carries the deadline —
+// callers pass a BudgetMeter over it to detect degraded (anytime) plans.
+support::Expected<ResolvedPlanRequest> resolve_plan_request(
+    std::string_view profile_name, std::string_view algorithm_name,
+    double radius_m, double deadline_s);
+
+}  // namespace bc::core
+
+#endif  // BUNDLECHARGE_CORE_REQUEST_MAPPING_H_

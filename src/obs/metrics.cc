@@ -107,6 +107,11 @@ thread_local ShardCacheEntry t_shard_cache[kShardCacheSize];
 
 MetricsRegistry* g_current = nullptr;
 
+// Per-thread override (ScopedThreadMetrics); wins over g_current so a
+// server worker's request registry captures everything the request
+// records, while unrelated threads keep the process-wide registry.
+thread_local MetricsRegistry* t_current = nullptr;
+
 }  // namespace
 
 MetricsRegistry::MetricsRegistry() : impl_(new Impl()) {
@@ -214,6 +219,7 @@ MetricsRegistry& global_metrics() {
 }
 
 MetricsRegistry& metrics() {
+  if (t_current != nullptr) return *t_current;
   return g_current != nullptr ? *g_current : global_metrics();
 }
 
@@ -223,6 +229,13 @@ ScopedMetricsRegistry::ScopedMetricsRegistry(MetricsRegistry& registry)
 }
 
 ScopedMetricsRegistry::~ScopedMetricsRegistry() { g_current = previous_; }
+
+ScopedThreadMetrics::ScopedThreadMetrics(MetricsRegistry& registry)
+    : previous_(t_current) {
+  t_current = &registry;
+}
+
+ScopedThreadMetrics::~ScopedThreadMetrics() { t_current = previous_; }
 
 Counter::Counter(std::string_view name)
     : id_(InternTable::instance().intern(name, Kind::kCounter, {})) {}

@@ -63,6 +63,25 @@ class ScopedMetricsRegistry {
   MetricsRegistry* previous_;
 };
 
+// Installs `registry` as the current one *for this thread only*, taking
+// precedence over the process-wide ScopedMetricsRegistry. This is the
+// concurrency-safe per-request isolation the planning service uses: each
+// server worker installs a fresh registry around one request, so two
+// requests in flight never share shards — something the process-global
+// swap cannot provide (swapping it races concurrent recorders). Callers
+// must keep the work thread-confined (support::ScopedInlineExecution);
+// pool workers know nothing about this thread's override. Nestable.
+class ScopedThreadMetrics {
+ public:
+  explicit ScopedThreadMetrics(MetricsRegistry& registry);
+  ~ScopedThreadMetrics();
+  ScopedThreadMetrics(const ScopedThreadMetrics&) = delete;
+  ScopedThreadMetrics& operator=(const ScopedThreadMetrics&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
 // Monotonically increasing count. Construction interns the name (mutex +
 // hash lookup); add() is lock-free on a thread-local shard — cache handles
 // in function-local statics at hot call sites.

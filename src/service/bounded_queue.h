@@ -1,0 +1,77 @@
+// Bounded MPMC work queue — the admission-control point of the daemon.
+//
+// Accept threads call try_push, which NEVER blocks: a full queue is an
+// immediate `false`, which the connection handler turns into a structured
+// 503 + Retry-After response. This is load shedding by construction — an
+// overloaded daemon answers fast instead of queueing unboundedly and
+// missing every deadline at once. Workers block in pop until work arrives
+// or the queue is closed for shutdown.
+
+#ifndef BUNDLECHARGE_SERVICE_BOUNDED_QUEUE_H_
+#define BUNDLECHARGE_SERVICE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace bc::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Non-blocking admission: false when the queue is full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained;
+  // nullopt signals the worker to exit.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Stops admission and wakes every blocked worker. Queued items still
+  // drain — shutdown finishes accepted work rather than dropping it.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace bc::service
+
+#endif  // BUNDLECHARGE_SERVICE_BOUNDED_QUEUE_H_

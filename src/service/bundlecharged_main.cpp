@@ -1,0 +1,124 @@
+// bundlecharged — the planning daemon. See src/service/server.h for the
+// architecture and DESIGN.md §11 for the wire protocol.
+//
+//   bundlecharged [--port N] [--workers N] [--queue-capacity N]
+//                 [--cache PATH] [--default-deadline-ms N]
+//                 [--io-timeout-ms N] [--enable-test-hooks]
+//
+// Prints "bundlecharged listening on 127.0.0.1:<port>" once serving (tools
+// and tests parse this line to learn an ephemeral port), then runs until
+// SIGINT/SIGTERM, which triggers an orderly drain-and-stop.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "service/server.h"
+#include "support/socket.h"
+
+namespace {
+
+std::atomic<bool> g_stop_requested{false};
+
+void handle_stop_signal(int) { g_stop_requested.store(true); }
+
+bool parse_flag_value(int argc, char** argv, int* i, const char* name,
+                      std::string* out) {
+  if (std::string(argv[*i]) != name) return false;
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "bundlecharged: %s requires a value\n", name);
+    std::exit(2);
+  }
+  *out = argv[++*i];
+  return true;
+}
+
+long parse_long_or_die(const std::string& text, const char* name) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < 0) {
+    std::fprintf(stderr, "bundlecharged: bad value for %s: '%s'\n", name,
+                 text.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+void print_usage() {
+  std::fprintf(
+      stderr,
+      "usage: bundlecharged [--port N] [--workers N] [--queue-capacity N]\n"
+      "                     [--cache PATH] [--default-deadline-ms N]\n"
+      "                     [--io-timeout-ms N] [--enable-test-hooks]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bc::service::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (parse_flag_value(argc, argv, &i, "--port", &value)) {
+      const long port = parse_long_or_die(value, "--port");
+      if (port > 65535) {
+        std::fprintf(stderr, "bundlecharged: --port out of range\n");
+        return 2;
+      }
+      options.port = static_cast<std::uint16_t>(port);
+    } else if (parse_flag_value(argc, argv, &i, "--workers", &value)) {
+      options.workers =
+          static_cast<std::size_t>(parse_long_or_die(value, "--workers"));
+    } else if (parse_flag_value(argc, argv, &i, "--queue-capacity", &value)) {
+      options.queue_capacity = static_cast<std::size_t>(
+          parse_long_or_die(value, "--queue-capacity"));
+    } else if (parse_flag_value(argc, argv, &i, "--cache", &value)) {
+      options.cache_path = value;
+    } else if (parse_flag_value(argc, argv, &i, "--default-deadline-ms",
+                                &value)) {
+      options.default_deadline_s =
+          static_cast<double>(
+              parse_long_or_die(value, "--default-deadline-ms")) /
+          1000.0;
+    } else if (parse_flag_value(argc, argv, &i, "--io-timeout-ms", &value)) {
+      options.io_timeout_s =
+          static_cast<double>(parse_long_or_die(value, "--io-timeout-ms")) /
+          1000.0;
+    } else if (std::string(argv[i]) == "--enable-test-hooks") {
+      options.enable_test_hooks = true;
+    } else if (std::string(argv[i]) == "--help" ||
+               std::string(argv[i]) == "-h") {
+      print_usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "bundlecharged: unknown flag '%s'\n", argv[i]);
+      print_usage();
+      return 2;
+    }
+  }
+
+  bc::support::ignore_sigpipe();
+  auto server = bc::service::Server::start(options);
+  if (!server.has_value()) {
+    std::fprintf(stderr, "bundlecharged: %s\n",
+                 server.fault().message.c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  std::printf("bundlecharged listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.value()->port()));
+  std::fflush(stdout);
+
+  while (!g_stop_requested.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("bundlecharged: stopping\n");
+  server.value()->stop();
+  return 0;
+}

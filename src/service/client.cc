@@ -1,0 +1,27 @@
+#include "service/client.h"
+
+#include "support/socket.h"
+
+namespace bc::service {
+
+support::Expected<HttpResponse> http_roundtrip(std::uint16_t port,
+                                               const std::string& method,
+                                               const std::string& path,
+                                               const std::string& body,
+                                               double timeout_s,
+                                               const WireLimits& limits) {
+  auto fd = support::connect_loopback(port);
+  if (!fd.has_value()) return fd.fault();
+  support::set_io_timeout(fd.value(), timeout_s);
+  auto sent =
+      support::write_all(fd.value(), serialize_request(method, path, body));
+  if (!sent.has_value()) {
+    support::close_fd(fd.value());
+    return sent.fault();
+  }
+  auto response = read_http_response(fd.value(), limits);
+  support::close_fd(fd.value());
+  return response;
+}
+
+}  // namespace bc::service

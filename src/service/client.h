@@ -1,0 +1,26 @@
+// Minimal loopback HTTP client for tests, benches, and tools.
+
+#ifndef BUNDLECHARGE_SERVICE_CLIENT_H_
+#define BUNDLECHARGE_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "service/wire.h"
+#include "support/expected.h"
+
+namespace bc::service {
+
+// One request/response exchange with a bundlecharged server on
+// 127.0.0.1:`port`. Connects, sends, reads the full response, closes.
+// `timeout_s` bounds every socket operation.
+support::Expected<HttpResponse> http_roundtrip(std::uint16_t port,
+                                               const std::string& method,
+                                               const std::string& path,
+                                               const std::string& body,
+                                               double timeout_s = 30.0,
+                                               const WireLimits& limits = {});
+
+}  // namespace bc::service
+
+#endif  // BUNDLECHARGE_SERVICE_CLIENT_H_

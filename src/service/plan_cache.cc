@@ -1,0 +1,263 @@
+#include "service/plan_cache.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "support/atomic_file.h"
+
+namespace bc::service {
+
+namespace {
+
+using support::Expected;
+using support::Fault;
+using support::FaultKind;
+
+constexpr std::string_view kJournalHeader = "bundlecharged-plancache v1";
+constexpr std::string_view kPayloadVersion = "v1";
+
+Fault payload_fault(const std::string& detail) {
+  return Fault{FaultKind::kInvalidInput, "plan payload: " + detail};
+}
+
+Fault journal_fault(const std::string& path, const std::string& detail) {
+  return Fault{FaultKind::kInvalidInput,
+               "plan cache '" + path + "': " + detail};
+}
+
+// C99 hexfloat rendering: bit-exact round-trips through strtod, no
+// locale or precision dependence.
+std::string hex_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%a", value);
+  return buffer;
+}
+
+// Strict full-token parse of a finite hexfloat (also accepts any strtod
+// form; the encoder only emits hexfloats).
+bool parse_double_token(std::string_view token, double* out) {
+  if (token.empty() || token.size() >= 63) return false;
+  char buffer[64];
+  token.copy(buffer, token.size());
+  buffer[token.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer, &end);
+  if (end != buffer + token.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_u32_token(std::string_view token, std::uint32_t* out) {
+  if (token.empty() || token.size() > 10) return false;
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value > 0xffffffffull) return false;
+  *out = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+std::vector<std::string_view> split(std::string_view text, char separator) {
+  std::vector<std::string_view> tokens;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(separator, start);
+    if (pos == std::string_view::npos) {
+      tokens.push_back(text.substr(start));
+      return tokens;
+    }
+    tokens.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool parse_point(std::string_view token, geometry::Point2* out) {
+  const std::size_t comma = token.find(',');
+  if (comma == std::string_view::npos) return false;
+  return parse_double_token(token.substr(0, comma), &out->x) &&
+         parse_double_token(token.substr(comma + 1), &out->y);
+}
+
+void append_point(std::string* out, const geometry::Point2& point) {
+  *out += hex_double(point.x);
+  *out += ',';
+  *out += hex_double(point.y);
+}
+
+}  // namespace
+
+std::string hash_fingerprint(std::string_view fingerprint) {
+  // FNV-1a 64.
+  std::uint64_t fnv = 14695981039346656037ull;
+  for (const char c : fingerprint) {
+    fnv ^= static_cast<unsigned char>(c);
+    fnv *= 1099511628211ull;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%016llx%08lx",
+                static_cast<unsigned long long>(fnv),
+                static_cast<unsigned long>(support::crc32(fingerprint)));
+  return buffer;
+}
+
+std::string encode_plan(const tour::ChargingPlan& plan) {
+  // v1|<algorithm>|<depot_x>,<depot_y>|<stop>|...  with each stop
+  // <ax>,<ay>:<id>.<id>...  — every separator is disjoint from hexfloat
+  // ('0x1.8p+3') and decimal-id alphabets, so splitting is unambiguous.
+  std::string out(kPayloadVersion);
+  out += '|';
+  out += plan.algorithm;
+  out += '|';
+  append_point(&out, plan.depot);
+  for (const tour::Stop& stop : plan.stops) {
+    out += '|';
+    append_point(&out, stop.position);
+    out += ':';
+    bool first = true;
+    for (const net::SensorId member : stop.members) {
+      if (!first) out += '.';
+      first = false;
+      out += std::to_string(member);
+    }
+  }
+  return out;
+}
+
+Expected<tour::ChargingPlan> decode_plan(std::string_view payload) {
+  const std::vector<std::string_view> tokens = split(payload, '|');
+  if (tokens.size() < 3) return payload_fault("fewer than 3 fields");
+  if (tokens[0] != kPayloadVersion) {
+    return payload_fault("unsupported version '" + std::string(tokens[0]) +
+                         "'");
+  }
+  if (tokens[1].empty()) return payload_fault("empty algorithm");
+  tour::ChargingPlan plan;
+  plan.algorithm = std::string(tokens[1]);
+  if (!parse_point(tokens[2], &plan.depot)) {
+    return payload_fault("malformed depot '" + std::string(tokens[2]) + "'");
+  }
+  plan.stops.reserve(tokens.size() - 3);
+  for (std::size_t i = 3; i < tokens.size(); ++i) {
+    const std::string_view token = tokens[i];
+    const std::size_t colon = token.find(':');
+    if (colon == std::string_view::npos) {
+      return payload_fault("stop without ':' separator");
+    }
+    tour::Stop stop;
+    if (!parse_point(token.substr(0, colon), &stop.position)) {
+      return payload_fault("malformed stop anchor '" +
+                           std::string(token.substr(0, colon)) + "'");
+    }
+    const std::string_view member_list = token.substr(colon + 1);
+    if (!member_list.empty()) {
+      for (const std::string_view id_token : split(member_list, '.')) {
+        std::uint32_t id = 0;
+        if (!parse_u32_token(id_token, &id)) {
+          return payload_fault("malformed member id '" +
+                               std::string(id_token) + "'");
+        }
+        stop.members.push_back(id);
+      }
+    }
+    plan.stops.push_back(std::move(stop));
+  }
+  return plan;
+}
+
+Expected<PlanCache> PlanCache::open(std::string path) {
+  PlanCache cache(std::move(path));
+  if (cache.path_.empty() || !support::file_exists(cache.path_)) {
+    return cache;
+  }
+  auto contents = support::read_file(cache.path_);
+  if (!contents.has_value()) return contents.fault();
+  std::string_view rest = contents.value();
+
+  const auto next_line = [&rest](std::string_view* line) {
+    if (rest.empty()) return false;
+    const std::size_t pos = rest.find('\n');
+    if (pos == std::string_view::npos) {
+      *line = rest;
+      rest = {};
+    } else {
+      *line = rest.substr(0, pos);
+      rest.remove_prefix(pos + 1);
+    }
+    return true;
+  };
+
+  std::string_view line;
+  if (!next_line(&line) || line != kJournalHeader) {
+    return journal_fault(cache.path_, "missing or wrong header");
+  }
+  while (next_line(&line)) {
+    const bool is_last = rest.empty();
+    // A record is only trustworthy when its CRC verifies. A bad *final*
+    // record is a torn tail (partial external copy): drop it, keep the
+    // prefix. A bad interior record means the file itself is damaged.
+    const auto reject = [&](const std::string& detail) -> Expected<PlanCache> {
+      if (is_last) return cache;
+      return journal_fault(cache.path_, "corrupt interior record: " + detail);
+    };
+    const std::vector<std::string_view> fields = split(line, ' ');
+    if (fields.size() != 4 || fields[0] != "entry") {
+      return reject("expected 'entry <crc> <key> <payload>'");
+    }
+    std::string checked(fields[2]);
+    checked += ' ';
+    checked += fields[3];
+    char expected_crc[16];
+    std::snprintf(expected_crc, sizeof expected_crc, "%08lx",
+                  static_cast<unsigned long>(support::crc32(checked)));
+    if (fields[1] != expected_crc) return reject("CRC mismatch");
+    if (fields[2].empty() || fields[3].empty()) {
+      return reject("empty key or payload");
+    }
+    cache.entries_[std::string(fields[2])] = std::string(fields[3]);
+  }
+  return cache;
+}
+
+const std::string* PlanCache::lookup(const std::string& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void PlanCache::put(const std::string& key, std::string payload) {
+  entries_[key] = std::move(payload);
+}
+
+Expected<bool> PlanCache::flush() const {
+  if (path_.empty()) return true;
+  std::string out(kJournalHeader);
+  out += '\n';
+  // std::map iterates key-sorted: the file bytes are a pure function of
+  // the entry set, which is what makes crash-recovery byte-identical.
+  for (const auto& [key, payload] : entries_) {
+    std::string record = key;
+    record += ' ';
+    record += payload;
+    char crc[16];
+    std::snprintf(crc, sizeof crc, "%08lx",
+                  static_cast<unsigned long>(support::crc32(record)));
+    out += "entry ";
+    out += crc;
+    out += ' ';
+    out += record;
+    out += '\n';
+  }
+  return support::write_file_atomic(path_, out);
+}
+
+}  // namespace bc::service

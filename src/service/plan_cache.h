@@ -1,0 +1,81 @@
+// Crash-safe plan cache for the planning daemon.
+//
+// Serving the same deployment twice must not cost two solves: requests are
+// fingerprinted (service::canonical_fingerprint) and completed plans are
+// kept in a journal that survives SIGKILL. The journal borrows the proven
+// checkpoint design (sim/checkpoint.h): one whitespace-free record per
+// entry with a CRC-32 over its content, flushed atomically through
+// support::write_file_atomic in key-sorted order — so the bytes on disk
+// depend only on the *set* of cached plans, never on insertion order or
+// timing, and a killed-and-restarted daemon recovers a cache file that is
+// byte-identical to one written by an uninterrupted daemon holding the
+// same entries.
+//
+// On-disk format (version 1), one record per line:
+//
+//   bundlecharged-plancache v1
+//   entry <crc32hex> <key> <payload>
+//
+// Keys are request-fingerprint hashes (hash_fingerprint), payloads are
+// encode_plan documents. Only *deterministic* plans belong here: degraded
+// (budget-tripped) plans depend on wall-clock timing and are never cached,
+// which is what keeps cache hits bit-identical to cold solves.
+
+#ifndef BUNDLECHARGE_SERVICE_PLAN_CACHE_H_
+#define BUNDLECHARGE_SERVICE_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "support/expected.h"
+#include "tour/plan.h"
+
+namespace bc::service {
+
+// 96-bit cache key over a canonical fingerprint: FNV-1a 64 plus CRC-32,
+// hex-encoded (24 chars, whitespace-free). Two hashes make an accidental
+// collision — which would serve the wrong plan — astronomically unlikely
+// even across millions of cached deployments.
+std::string hash_fingerprint(std::string_view fingerprint);
+
+// ChargingPlan <-> whitespace-free payload token. Doubles round-trip
+// exactly (C99 hexfloat), so a decoded plan re-serialises (and re-renders
+// through io::plan_to_json) byte-identically to the freshly solved one.
+std::string encode_plan(const tour::ChargingPlan& plan);
+support::Expected<tour::ChargingPlan> decode_plan(std::string_view payload);
+
+class PlanCache {
+ public:
+  // Opens `path`, creating an empty cache when the file does not exist.
+  // An empty path is a purely in-memory cache (flush is a no-op). A
+  // journal with a wrong header or an interior corrupted record is a
+  // kInvalidInput fault — recomputing plans beats serving garbage — while
+  // a torn *final* record (external tampering or a partial copy; atomic
+  // flushes never produce one) is dropped with the prefix kept.
+  static support::Expected<PlanCache> open(std::string path);
+
+  const std::string& path() const { return path_; }
+  std::size_t size() const { return entries_.size(); }
+
+  // Payload for `key`, or nullptr when not cached.
+  const std::string* lookup(const std::string& key) const;
+
+  // Records an entry in memory (last write wins). Preconditions: key and
+  // payload non-empty and whitespace-free.
+  void put(const std::string& key, std::string payload);
+
+  // Atomically persists the header plus every entry, key-sorted.
+  support::Expected<bool> flush() const;
+
+ private:
+  explicit PlanCache(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace bc::service
+
+#endif  // BUNDLECHARGE_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,15 @@
+#include "service/retry.h"
+
+namespace bc::service {
+
+bool fault_is_transient(support::FaultKind kind) {
+  switch (kind) {
+    case support::FaultKind::kReplanExhausted:
+    case support::FaultKind::kCoverageGap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace bc::service

@@ -1,0 +1,76 @@
+// Bounded retry with capped exponential backoff for transient faults.
+//
+// Replanning can fail transiently — kReplanExhausted (the bounded ladder
+// ran out of attempts) and kCoverageGap (a candidate failed to cover every
+// sensor) both describe *this attempt*, not the request: a retry with the
+// same inputs may succeed because replan's own ladder is stateful in its
+// diagnostics but deterministic in its search, so the service retries a
+// small, capped number of times. Everything else is permanent for the
+// request's lifetime — kInvalidInput will never parse differently and
+// kBudgetExhausted means the deadline is already gone — and is surfaced
+// immediately. Backoff respects the request deadline: sleeping past it to
+// earn another attempt would be strictly worse than failing now.
+
+#ifndef BUNDLECHARGE_SERVICE_RETRY_H_
+#define BUNDLECHARGE_SERVICE_RETRY_H_
+
+#include <chrono>
+#include <thread>
+
+#include "support/deadline.h"
+#include "support/expected.h"
+
+namespace bc::service {
+
+// True for fault kinds worth a second attempt.
+bool fault_is_transient(support::FaultKind kind);
+
+struct RetryPolicy {
+  int max_attempts = 3;  // total attempts, including the first
+  double initial_backoff_ms = 5.0;
+  double multiplier = 2.0;
+  double max_backoff_ms = 50.0;
+};
+
+struct RetryOutcome {
+  int attempts = 0;  // attempts actually made
+};
+
+// Runs `operation` (a callable returning support::Expected<T>) up to
+// policy.max_attempts times, backing off between attempts. Stops early on
+// success, on a permanent fault, or when `meter` (nullable) would expire
+// before the next attempt could usefully run. `outcome` (nullable)
+// reports the attempt count for response metadata.
+template <typename Operation>
+auto with_retry(const RetryPolicy& policy, support::BudgetMeter* meter,
+                Operation&& operation, RetryOutcome* outcome = nullptr)
+    -> decltype(operation()) {
+  double backoff_ms = policy.initial_backoff_ms;
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  auto result = operation();
+  int attempts = 1;
+  while (!result.has_value() && attempts < max_attempts &&
+         fault_is_transient(result.fault().kind)) {
+    if (meter != nullptr) {
+      // Never sleep through the deadline: if the remaining wall budget is
+      // smaller than the backoff, report the transient fault as-is.
+      const double remaining_s = meter->remaining_deadline_s();
+      if (remaining_s >= 0.0 && remaining_s * 1000.0 <= backoff_ms) break;
+      if (!meter->check()) break;
+    }
+    if (backoff_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+    }
+    backoff_ms = backoff_ms * policy.multiplier;
+    if (backoff_ms > policy.max_backoff_ms) backoff_ms = policy.max_backoff_ms;
+    result = operation();
+    ++attempts;
+  }
+  if (outcome != nullptr) outcome->attempts = attempts;
+  return result;
+}
+
+}  // namespace bc::service
+
+#endif  // BUNDLECHARGE_SERVICE_RETRY_H_

@@ -1,0 +1,435 @@
+#include "service/server.h"
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "core/request_mapping.h"
+#include "io/deployment_io.h"
+#include "io/plan_io.h"
+#include "obs/metrics.h"
+#include "support/parallel.h"
+#include "tour/plan.h"
+#include "tour/replan.h"
+
+namespace bc::service {
+
+namespace {
+
+using support::Expected;
+using support::Fault;
+using support::FaultKind;
+
+HttpResponse json_response(int status, const std::string& reason,
+                           std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.reason = reason;
+  response.headers.emplace_back("Content-Type", "application/json");
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse error_response(int status, const std::string& reason,
+                            std::string_view error, std::string_view detail) {
+  std::string body = "{\n  \"error\": \"";
+  body += json_escape(error);
+  body += "\",\n  \"detail\": \"";
+  body += json_escape(detail);
+  body += "\"\n}\n";
+  return json_response(status, reason, std::move(body));
+}
+
+// Compact stop list for replan responses, which cannot go through
+// io::plan_to_json (evaluate_plan requires a full-deployment partition;
+// a replan covers only the remaining sensors). %.17g round-trips doubles.
+std::string replan_plan_json(const tour::ChargingPlan& plan) {
+  char buffer[64];
+  const auto number = [&buffer](double value) {
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return std::string(buffer);
+  };
+  std::string out = "{\n    \"algorithm\": \"";
+  out += json_escape(plan.algorithm);
+  out += "\",\n    \"depot\": [" + number(plan.depot.x) + ", " +
+         number(plan.depot.y) + "],\n    \"tour_length_m\": " +
+         number(tour::plan_tour_length(plan)) + ",\n    \"stops\": [";
+  for (std::size_t i = 0; i < plan.stops.size(); ++i) {
+    const tour::Stop& stop = plan.stops[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "      {\"position\": [" + number(stop.position.x) + ", " +
+           number(stop.position.y) + "], \"members\": [";
+    for (std::size_t m = 0; m < stop.members.size(); ++m) {
+      if (m != 0) out += ", ";
+      out += std::to_string(stop.members[m]);
+    }
+    out += "]}";
+  }
+  out += plan.stops.empty() ? "]\n  }" : "\n    ]\n  }";
+  return out;
+}
+
+}  // namespace
+
+struct Server::Job {
+  PlanRequest request;
+  bool replan = false;
+  std::promise<HttpResponse> result;
+};
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Expected<std::unique_ptr<Server>> Server::start(ServerOptions options) {
+  support::ignore_sigpipe();
+  if (options.workers == 0) options.workers = 1;
+  if (options.queue_capacity == 0) options.queue_capacity = 1;
+
+  auto cache = PlanCache::open(options.cache_path);
+  if (!cache.has_value()) return cache.fault();
+  auto listener = support::listen_loopback(options.port);
+  if (!listener.has_value()) return listener.fault();
+
+  std::unique_ptr<Server> server(new Server(std::move(options)));
+  server->cache_ = std::make_unique<PlanCache>(std::move(cache.value()));
+  server->listener_ = listener.value();
+  server->port_ = server->listener_.port;
+  server->queue_ =
+      std::make_unique<BoundedQueue<Job>>(server->options_.queue_capacity);
+  for (std::size_t i = 0; i < server->options_.workers; ++i) {
+    server->worker_threads_.emplace_back([raw = server.get()] {
+      raw->worker_loop();
+    });
+  }
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->accept_loop();
+  });
+  return server;
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_relaxed);
+  // Unblock the accept loop, stop admission, and cut in-flight solves
+  // short through the anytime contract. Queued jobs still drain.
+  // shutdown(2), not close(2), wakes the accept thread: closing the fd
+  // from this thread leaves it sleeping in accept(2) forever on Linux.
+  // The fd itself is closed only after the join, so the accept thread
+  // never races the teardown (or a reused descriptor number).
+  cancel_.request_cancel();
+  support::shutdown_socket(listener_.fd);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  support::close_fd(listener_.fd);
+  listener_.fd = -1;
+  queue_->close();
+  for (std::thread& worker : worker_threads_) {
+    if (worker.joinable()) worker.join();
+  }
+  std::unique_lock<std::mutex> lock(handlers_mutex_);
+  handlers_idle_.wait(lock, [this] { return active_handlers_ == 0; });
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto fd = support::accept_connection(listener_.fd);
+    if (!fd.has_value()) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      continue;  // transient accept failure (e.g. ECONNABORTED)
+    }
+    {
+      std::lock_guard<std::mutex> lock(handlers_mutex_);
+      ++active_handlers_;
+    }
+    std::thread([this, connection = fd.value()] {
+      handle_connection(connection);
+      std::lock_guard<std::mutex> lock(handlers_mutex_);
+      if (--active_handlers_ == 0) handlers_idle_.notify_all();
+    }).detach();
+  }
+}
+
+void Server::handle_connection(int fd) {
+  support::set_io_timeout(fd, options_.io_timeout_s);
+  auto request = read_http_request(fd, options_.limits);
+  HttpResponse response;
+  if (!request.has_value()) {
+    response = error_response(400, "Bad Request", "malformed_request",
+                              request.fault().message);
+  } else {
+    response = process_request(request.value());
+  }
+  support::write_all(fd, serialize_response(response));
+  support::close_fd(fd);
+}
+
+HttpResponse Server::process_request(const HttpRequest& http) {
+  if (http.method == "GET" && http.path == "/healthz") {
+    return json_response(200, "OK", "{\n  \"status\": \"ok\"\n}\n");
+  }
+  if (http.method == "GET" && http.path == "/statsz") {
+    return stats_response();
+  }
+  const bool replan = http.path == "/v1/replan";
+  if (http.method != "POST" || (!replan && http.path != "/v1/plan")) {
+    return error_response(404, "Not Found", "unknown_route",
+                          http.method + " " + http.path);
+  }
+
+  auto parsed = parse_plan_request(http.body, options_.limits);
+  if (!parsed.has_value()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.failed;
+    return error_response(400, "Bad Request", "invalid_request",
+                          parsed.fault().message);
+  }
+  if (parsed.value().stall_ms > 0.0 && !options_.enable_test_hooks) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.failed;
+    return error_response(400, "Bad Request", "invalid_request",
+                          "stall_ms requires --enable-test-hooks");
+  }
+
+  // Admission control: a full queue sheds *now* with advisory backoff —
+  // the one response a saturated server can still afford to send.
+  Job job;
+  job.request = std::move(parsed.value());
+  job.replan = replan;
+  std::future<HttpResponse> result = job.result.get_future();
+  if (!queue_->try_push(std::move(job))) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.shed;
+    }
+    const long retry_after_s = static_cast<long>(
+        (options_.retry_after_ms + 999.0) / 1000.0);
+    HttpResponse response = error_response(
+        503, "Service Unavailable", "overloaded",
+        "queue full; retry after " +
+            std::to_string(static_cast<long>(options_.retry_after_ms)) +
+            " ms");
+    response.headers.emplace_back("Retry-After",
+                                  std::to_string(retry_after_s));
+    return response;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.accepted;
+  }
+  return result.get();
+}
+
+void Server::worker_loop() {
+  while (true) {
+    std::optional<Job> job = queue_->pop();
+    if (!job.has_value()) return;
+    HttpResponse response = process_plan(job->request, job->replan);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (response.status == 200) {
+        ++stats_.completed;
+      } else {
+        ++stats_.failed;
+      }
+    }
+    job->result.set_value(std::move(response));
+  }
+}
+
+HttpResponse Server::process_plan(const PlanRequest& request, bool replan) {
+  if (request.stall_ms > 0.0) {
+    // Test hook (gated at admission): deterministic worker occupancy for
+    // the overload chaos tests.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(request.stall_ms));
+  }
+
+  const double deadline_s = request.deadline_ms > 0.0
+                                ? request.deadline_ms / 1000.0
+                                : options_.default_deadline_s;
+  auto resolved = core::resolve_plan_request(request.profile,
+                                             request.algorithm,
+                                             request.radius_m, deadline_s);
+  if (!resolved.has_value()) {
+    return error_response(400, "Bad Request", "invalid_request",
+                          resolved.fault().message);
+  }
+  core::Profile& profile = resolved.value().profile;
+  const tour::Algorithm algorithm = resolved.value().algorithm;
+  // Server shutdown cancels in-flight solves through the shared token; the
+  // anytime contract turns that into a fast degraded response.
+  profile.planner.budget.cancel = cancel_;
+
+  for (const net::SensorId id : request.remaining) {
+    if (id >= request.positions.size()) {
+      return error_response(400, "Bad Request", "invalid_request",
+                            "remaining: sensor id " + std::to_string(id) +
+                                " out of range");
+    }
+  }
+
+  net::Deployment deployment = io::deployment_from_positions(
+      request.positions, request.depot, request.demand_j);
+
+  // Per-request isolation: a fresh registry installed for this thread
+  // only, with solver parallel sections forced inline so every metric this
+  // request records lands in — and only in — its own registry. This is
+  // what makes concurrent snapshots identical to serial ones.
+  obs::MetricsRegistry request_metrics;
+  obs::ScopedThreadMetrics scoped_metrics(request_metrics);
+  support::ScopedInlineExecution inline_execution;
+  support::BudgetMeter meter(profile.planner.budget);
+
+  std::string body = "{\n  \"mode\": \"";
+  body += replan ? "replan" : "plan";
+  body += "\",\n  \"algorithm\": \"";
+  body += json_escape(tour::to_string(algorithm));
+  body += "\",\n";
+
+  if (replan) {
+    tour::ReplanRequest replan_request;
+    replan_request.current_position = request.current;
+    replan_request.remaining = request.remaining;
+    replan_request.deficits_j = request.deficits_j;
+    if (replan_request.remaining.empty()) {
+      // Empty `remaining` = everything still owed at full demand.
+      replan_request.remaining.reserve(request.positions.size());
+      replan_request.deficits_j.assign(request.positions.size(),
+                                       request.demand_j);
+      for (std::size_t i = 0; i < request.positions.size(); ++i) {
+        replan_request.remaining.push_back(static_cast<net::SensorId>(i));
+      }
+    }
+    RetryOutcome outcome;
+    auto result = with_retry(
+        options_.retry, &meter,
+        [&] {
+          return tour::replan_tour(deployment, replan_request,
+                                   profile.planner, tour::ReplanOptions{},
+                                   &meter);
+        },
+        &outcome);
+    if (outcome.attempts > 1) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.retry_attempts +=
+          static_cast<std::uint64_t>(outcome.attempts - 1);
+    }
+    if (!result.has_value()) {
+      const Fault& fault = result.fault();
+      if (fault.kind == FaultKind::kInvalidInput) {
+        return error_response(400, "Bad Request", "invalid_request",
+                              fault.message);
+      }
+      if (fault.kind == FaultKind::kBudgetExhausted) {
+        return error_response(504, "Gateway Timeout", "deadline_exceeded",
+                              fault.message);
+      }
+      return error_response(
+          500, "Internal Server Error", "replan_failed",
+          std::string(support::to_string(fault.kind)) + ": " + fault.message +
+              " (after " + std::to_string(outcome.attempts) + " attempts)");
+    }
+    const bool degraded = meter.exhausted();
+    if (degraded) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.degraded;
+    }
+    body += "  \"degraded\": ";
+    body += degraded ? "true" : "false";
+    body += ",\n  \"attempts\": " + std::to_string(outcome.attempts);
+    body += ",\n  \"plan\": " + replan_plan_json(result.value());
+  } else {
+    const std::string key =
+        hash_fingerprint(canonical_fingerprint(request));
+    tour::ChargingPlan plan;
+    bool cached = false;
+    bool degraded = false;
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      if (const std::string* payload = cache_->lookup(key)) {
+        auto decoded = decode_plan(*payload);
+        // An undecodable payload cannot happen through this code path
+        // (records are CRC-checked); treat it as a miss out of caution.
+        if (decoded.has_value()) {
+          plan = std::move(decoded.value());
+          cached = true;
+        }
+      }
+    }
+    if (cached) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.cache_hits;
+    } else {
+      plan = tour::plan_charging_tour(deployment, algorithm, profile.planner,
+                                      &meter);
+      degraded = meter.exhausted();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.cache_misses;
+        if (degraded) ++stats_.degraded;
+      }
+      if (!degraded) {
+        // Only deterministic results are cacheable: a degraded plan
+        // depends on wall-clock timing, and caching it would break the
+        // cache-hit == cold-solve bit-identity guarantee.
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        cache_->put(key, encode_plan(plan));
+        cache_->flush();  // journal every insert: SIGKILL-safe by rename
+      }
+    }
+    body += "  \"cached\": ";
+    body += cached ? "true" : "false";
+    body += ",\n  \"degraded\": ";
+    body += degraded ? "true" : "false";
+    body += ",\n  \"cache_key\": \"" + key + "\"";
+    body += ",\n  \"plan\": " +
+            io::plan_to_json(deployment, plan, profile.evaluation);
+  }
+
+  body += ",\n  \"metrics\": " + request_metrics.snapshot().to_json("  ");
+  body += "\n}\n";
+  return json_response(200, "OK", std::move(body));
+}
+
+HttpResponse Server::stats_response() const {
+  const ServerStats snapshot = stats();
+  const std::size_t queue_depth = queue_->size();
+  std::size_t cache_entries = 0;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_entries = cache_->size();
+  }
+  std::string body = "{\n";
+  const auto field = [&body](std::string_view name, std::uint64_t value,
+                             bool last = false) {
+    body += "  \"";
+    body += name;
+    body += "\": " + std::to_string(value) + (last ? "\n" : ",\n");
+  };
+  field("accepted", snapshot.accepted);
+  field("shed", snapshot.shed);
+  field("completed", snapshot.completed);
+  field("failed", snapshot.failed);
+  field("degraded", snapshot.degraded);
+  field("cache_hits", snapshot.cache_hits);
+  field("cache_misses", snapshot.cache_misses);
+  field("retry_attempts", snapshot.retry_attempts);
+  field("queue_depth", queue_depth);
+  field("cache_entries", cache_entries);
+  field("workers", options_.workers);
+  field("queue_capacity", options_.queue_capacity, /*last=*/true);
+  body += "}\n";
+  return json_response(200, "OK", std::move(body));
+}
+
+}  // namespace bc::service

@@ -1,0 +1,145 @@
+// bundlecharged: the hardened planning-as-a-service daemon.
+//
+// A long-lived process that turns the library's anytime planners into a
+// localhost HTTP service with explicit robustness machinery:
+//
+//   admission control   connection handlers parse, then try_push into a
+//                       BoundedQueue; a full queue is an *immediate* 503
+//                       with Retry-After — overload sheds, never queues
+//                       unboundedly.
+//   deadline            each request's deadline_ms (or the server default)
+//   propagation         becomes a support::Budget deadline; the solver's
+//                       anytime contract returns the incumbent plan with
+//                       degraded=true instead of blowing the deadline.
+//   retry/backoff       transient replan faults (kReplanExhausted,
+//                       kCoverageGap) are retried under capped exponential
+//                       backoff that never sleeps through the deadline;
+//                       permanent faults surface immediately.
+//   crash-safe cache    non-degraded /v1/plan results are journaled via
+//                       PlanCache after every insert — SIGKILL at any
+//                       instant recovers a byte-identical cache file.
+//   request isolation   workers solve inline (ScopedInlineExecution) under
+//                       a per-request registry (ScopedThreadMetrics), so
+//                       concurrent requests produce metrics snapshots
+//                       identical to serial runs; parallelism is *across*
+//                       requests (the worker count), not within one.
+//
+// Threading: one accept thread; one short-lived handler thread per
+// connection (parse, shed/enqueue, wait, respond — all socket I/O under
+// SO_RCVTIMEO/SO_SNDTIMEO so a stalled peer cannot wedge shutdown); a
+// fixed pool of worker threads popping the bounded queue. stop() closes
+// the listener, drains accepted work, cancels in-flight solves through the
+// shared CancelToken, and joins everything.
+
+#ifndef BUNDLECHARGE_SERVICE_SERVER_H_
+#define BUNDLECHARGE_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/bounded_queue.h"
+#include "service/plan_cache.h"
+#include "service/retry.h"
+#include "service/wire.h"
+#include "support/deadline.h"
+#include "support/expected.h"
+#include "support/socket.h"
+
+namespace bc::service {
+
+struct ServerOptions {
+  std::uint16_t port = 0;        // 0 = ephemeral, read back via port()
+  std::size_t workers = 2;       // solver threads (= max concurrent solves)
+  std::size_t queue_capacity = 16;  // admission bound (excludes in-flight)
+  std::string cache_path;        // "" = in-memory cache only
+  double default_deadline_s = 0.0;  // applied when a request sends none
+  double io_timeout_s = 10.0;    // per-socket read/write timeout
+  double retry_after_ms = 100.0;  // advisory backoff in 503 responses
+  RetryPolicy retry{};           // transient-replan-fault retry policy
+  WireLimits limits{};
+  // Honour the request's stall_ms sleep (chaos tests build deterministic
+  // overload with it). Production servers reject stall_ms outright.
+  bool enable_test_hooks = false;
+};
+
+// Monotonic request accounting for /statsz and tests. Deliberately plain
+// integers: deterministic given a request sequence, snapshot-safe while
+// the server runs.
+struct ServerStats {
+  std::uint64_t accepted = 0;       // requests admitted to the queue
+  std::uint64_t shed = 0;           // 503s from a full queue
+  std::uint64_t completed = 0;      // 200s
+  std::uint64_t failed = 0;         // 4xx/5xx after admission
+  std::uint64_t degraded = 0;       // 200s with degraded=true
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t retry_attempts = 0;  // replan solver attempts beyond first
+};
+
+class Server {
+ public:
+  // Binds 127.0.0.1:options.port, loads (or creates) the plan cache, and
+  // starts the accept/worker threads. Faults: socket errors, corrupt
+  // cache journal.
+  static support::Expected<std::unique_ptr<Server>> start(
+      ServerOptions options);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  // Idempotent orderly shutdown: stop admission, drain accepted work,
+  // cancel in-flight solves, join every thread.
+  void stop();
+
+  ServerStats stats() const;
+
+ private:
+  struct Job;
+
+  explicit Server(ServerOptions options);
+
+  void accept_loop();
+  void worker_loop();
+  void handle_connection(int fd);
+  HttpResponse process_request(const HttpRequest& http);
+  HttpResponse process_plan(const PlanRequest& request, bool replan);
+  HttpResponse stats_response() const;
+
+  ServerOptions options_;
+  support::ListenSocket listener_{};
+  std::uint16_t port_ = 0;
+  support::CancelToken cancel_{};
+  std::unique_ptr<PlanCache> cache_;
+  mutable std::mutex cache_mutex_;
+
+  std::unique_ptr<BoundedQueue<Job>> queue_;
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;
+  std::mutex stop_mutex_;
+
+  // Detached handler threads are tracked by count so stop() can wait for
+  // the last one to finish writing its response.
+  std::mutex handlers_mutex_;
+  std::condition_variable handlers_idle_;
+  std::size_t active_handlers_ = 0;
+
+  // Stats counters are atomics internally; stats() returns a plain copy.
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace bc::service
+
+#endif  // BUNDLECHARGE_SERVICE_SERVER_H_

@@ -4,12 +4,13 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
 #ifdef _WIN32
+#include <fstream>
 #include <process.h>
+#include <sstream>
 #else
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -55,22 +56,105 @@ std::uint32_t crc32(std::string_view data) {
   return c ^ 0xFFFFFFFFu;
 }
 
+#ifndef _WIN32
+
+// POSIX implementation on raw descriptors. Every loop retries EINTR and
+// the write loop continues after short writes: a checkpoint or cache
+// flush interrupted by a signal (SIGCHLD, a profiler, the daemon's own
+// shutdown signals) must either complete or fail loudly — a partially
+// flushed buffer surfacing as "spurious corruption" on the next open is
+// the failure mode this file exists to prevent.
+
+namespace {
+
+int open_retry(const char* path, int flags, mode_t mode) {
+  for (;;) {
+    const int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+bool write_fully(int fd, std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t wrote =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool fsync_retry(int fd) {
+  for (;;) {
+    if (::fsync(fd) == 0) return true;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
 Expected<bool> write_file_atomic(const std::string& path,
                                  std::string_view contents) {
-  const std::string tmp =
-      path + ".tmp." + std::to_string(current_pid());
-  // stdio instead of ofstream: fsync needs the file descriptor, and a
-  // rename of unsynced data could survive the rename yet lose the bytes.
+  const std::string tmp = path + ".tmp." + std::to_string(current_pid());
+  const int fd =
+      open_retry(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return io_fault("cannot create", tmp);
+  const bool wrote = write_fully(fd, contents);
+  // fsync before rename: a rename of unsynced data could survive the
+  // rename yet lose the bytes on power failure.
+  const bool synced = wrote && fsync_retry(fd);
+  // close() is not retried on EINTR — POSIX leaves the fd unspecified and
+  // a retry can close an unrelated reused descriptor. The data is already
+  // synced, so an EINTR'd close is a success for durability purposes.
+  const bool closed = ::close(fd) == 0 || errno == EINTR;
+  if (!wrote || !synced || !closed) {
+    std::remove(tmp.c_str());
+    return io_fault("cannot write", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return io_fault("cannot rename into", path);
+  }
+  return true;
+}
+
+Expected<std::string> read_file(const std::string& path) {
+  const int fd = open_retry(path.c_str(), O_RDONLY, 0);
+  if (fd < 0) return io_fault("cannot open", path);
+  std::string contents;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t got = ::read(fd, buffer, sizeof(buffer));
+    if (got > 0) {
+      contents.append(buffer, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got == 0) break;
+    if (errno == EINTR) continue;
+    const Fault fault = io_fault("cannot read", path);
+    ::close(fd);
+    return fault;
+  }
+  ::close(fd);
+  return contents;
+}
+
+#else  // _WIN32: stdio fallback (no fsync-by-fd portability concerns here).
+
+Expected<bool> write_file_atomic(const std::string& path,
+                                 std::string_view contents) {
+  const std::string tmp = path + ".tmp." + std::to_string(current_pid());
   std::FILE* file = std::fopen(tmp.c_str(), "wb");
   if (file == nullptr) return io_fault("cannot create", tmp);
   const bool wrote =
       contents.empty() ||
       std::fwrite(contents.data(), 1, contents.size(), file) ==
           contents.size();
-  bool synced = wrote && std::fflush(file) == 0;
-#ifndef _WIN32
-  synced = synced && ::fsync(fileno(file)) == 0;
-#endif
+  const bool synced = wrote && std::fflush(file) == 0;
   const bool closed = std::fclose(file) == 0;
   if (!wrote || !synced || !closed) {
     std::remove(tmp.c_str());
@@ -91,6 +175,8 @@ Expected<std::string> read_file(const std::string& path) {
   if (file.bad()) return io_fault("cannot read", path);
   return std::move(contents).str();
 }
+
+#endif
 
 bool file_exists(const std::string& path) {
   struct stat st{};

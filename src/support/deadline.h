@@ -144,8 +144,26 @@ class BudgetMeter {
   }
 
   bool exhausted() const { return trip_ != BudgetTrip::kNone; }
+  // True when the node budget has no headroom left (already tripped, or
+  // exactly at the cap so the next charge must trip). Ladder-style callers
+  // use this to fail fast instead of burning retry rungs whose very first
+  // unit of work is doomed.
+  bool node_budget_depleted() const {
+    return trip_ == BudgetTrip::kNodeCap ||
+           (node_cap_ != 0 && nodes_ >= node_cap_);
+  }
   BudgetTrip trip() const { return trip_; }
   std::size_t nodes_used() const { return nodes_; }
+
+  // Seconds left on the wall deadline (clamped at 0), or negative when the
+  // meter has none. For callers that must decide whether waiting (retry
+  // backoff, queue dwell) can still pay off before the deadline.
+  double remaining_deadline_s() const {
+    if (!has_deadline_) return -1.0;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline_) return 0.0;
+    return std::chrono::duration<double>(deadline_ - now).count();
+  }
 
  private:
   std::size_t node_cap_ = 0;

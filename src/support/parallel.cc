@@ -237,6 +237,12 @@ void set_thread_count(std::size_t n) {
 
 bool in_parallel_worker() { return t_in_worker; }
 
+ScopedInlineExecution::ScopedInlineExecution() : previous_(t_in_worker) {
+  t_in_worker = true;
+}
+
+ScopedInlineExecution::~ScopedInlineExecution() { t_in_worker = previous_; }
+
 bool in_parallel_region() { return t_region_depth > 0 || t_in_worker; }
 
 void parallel_for(std::size_t n, std::size_t grain,

@@ -49,6 +49,25 @@ bool in_parallel_worker();
 // single-threaded runs emit records that multi-threaded runs drop.
 bool in_parallel_region();
 
+// Forces every parallel section entered by *this thread* to run inline for
+// the lifetime of the scope, exactly as if the thread were a pool worker.
+// Servers that parallelise *across* requests (one worker thread per
+// request) install this at the top of each request: the solver's internal
+// parallel_for calls then stay on the request's thread, which keeps
+// per-request state (scoped metrics registries, budgets) thread-confined
+// and makes concurrent requests independent of the shared pool. Nestable;
+// restores the previous state on destruction.
+class ScopedInlineExecution {
+ public:
+  ScopedInlineExecution();
+  ~ScopedInlineExecution();
+  ScopedInlineExecution(const ScopedInlineExecution&) = delete;
+  ScopedInlineExecution& operator=(const ScopedInlineExecution&) = delete;
+
+ private:
+  bool previous_;
+};
+
 // Chunked parallel loop over [0, n): partitions the range into contiguous
 // chunks of `grain` indices (the tail chunk may be shorter) and invokes
 // fn(begin, end) once per chunk, in parallel. grain = 0 picks a chunk size

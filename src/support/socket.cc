@@ -1,0 +1,199 @@
+#include "support/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+namespace bc::support {
+
+namespace {
+
+Fault socket_fault(const std::string& what) {
+  return Fault{FaultKind::kInvalidInput, what + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+#ifndef _WIN32
+
+void ignore_sigpipe() {
+  // Idempotent and async-signal-trivial: SIG_IGN survives fork/exec of
+  // children only when they do not reset it, which is exactly what a
+  // supervised daemon wants.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+Expected<ListenSocket> listen_loopback(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return socket_fault("socket");
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    const Fault fault = socket_fault("setsockopt(SO_REUSEADDR)");
+    close_fd(fd);
+    return fault;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Fault fault = socket_fault("bind 127.0.0.1:" + std::to_string(port));
+    close_fd(fd);
+    return fault;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Fault fault = socket_fault("listen");
+    close_fd(fd);
+    return fault;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Fault fault = socket_fault("getsockname");
+    close_fd(fd);
+    return fault;
+  }
+  return ListenSocket{fd, ntohs(bound.sin_port)};
+}
+
+Expected<int> accept_connection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return socket_fault("accept");
+  }
+}
+
+void shutdown_socket(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+Expected<int> connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return socket_fault("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) {
+      // POSIX: an EINTR'd connect continues asynchronously; the portable
+      // recovery is to wait for writability. For a loopback connect the
+      // simplest correct handling is retrying the connect — EISCONN then
+      // reports the (already established) connection.
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0 ||
+          errno == EISCONN) {
+        return fd;
+      }
+    }
+    const Fault fault =
+        socket_fault("connect 127.0.0.1:" + std::to_string(port));
+    close_fd(fd);
+    return fault;
+  }
+}
+
+Expected<bool> set_io_timeout(int fd, double timeout_s) {
+  if (timeout_s <= 0.0) return true;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_s - static_cast<double>(
+                                                         tv.tv_sec)) *
+                                        1e6);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return socket_fault("setsockopt(SO_RCVTIMEO)");
+  }
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return socket_fault("setsockopt(SO_SNDTIMEO)");
+  }
+  return true;
+}
+
+Expected<std::size_t> read_some(int fd, char* buffer, std::size_t capacity) {
+  for (;;) {
+    const ssize_t got = ::read(fd, buffer, capacity);
+    if (got >= 0) return static_cast<std::size_t>(got);
+    if (errno == EINTR) continue;
+    return socket_fault("read");
+  }
+}
+
+Expected<bool> write_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a dead peer must produce EPIPE on *this* call, not a
+    // process-wide signal. send() fails with ENOTSOCK on regular files;
+    // fall back to write() there so the helper works for any fd.
+    ssize_t wrote = ::send(fd, data.data() + sent, data.size() - sent,
+                           MSG_NOSIGNAL);
+    if (wrote < 0 && errno == ENOTSOCK) {
+      wrote = ::write(fd, data.data() + sent, data.size() - sent);
+    }
+    if (wrote < 0) {
+      if (errno == EINTR) continue;  // retry; `sent` already tracks progress
+      return socket_fault("write");
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+#else  // _WIN32: the daemon is POSIX-only; stubs keep the library linking.
+
+void ignore_sigpipe() {}
+
+Expected<ListenSocket> listen_loopback(std::uint16_t, int) {
+  return Fault{FaultKind::kInvalidInput,
+               "loopback sockets are not supported on this platform"};
+}
+
+Expected<int> accept_connection(int) {
+  return Fault{FaultKind::kInvalidInput,
+               "loopback sockets are not supported on this platform"};
+}
+
+Expected<int> connect_loopback(std::uint16_t) {
+  return Fault{FaultKind::kInvalidInput,
+               "loopback sockets are not supported on this platform"};
+}
+
+void shutdown_socket(int) {}
+
+Expected<bool> set_io_timeout(int, double) { return true; }
+
+Expected<std::size_t> read_some(int, char*, std::size_t) {
+  return Fault{FaultKind::kInvalidInput,
+               "loopback sockets are not supported on this platform"};
+}
+
+Expected<bool> write_all(int, std::string_view) {
+  return Fault{FaultKind::kInvalidInput,
+               "loopback sockets are not supported on this platform"};
+}
+
+void close_fd(int) {}
+
+#endif
+
+}  // namespace bc::support

@@ -1,0 +1,80 @@
+// Loopback TCP sockets and EINTR-safe file-descriptor I/O.
+//
+// The planning daemon (src/service) talks HTTP over 127.0.0.1 with no
+// third-party networking dependency, so the socket plumbing lives here:
+// thin wrappers over the POSIX calls whose error handling is easy to get
+// subtly wrong in a long-lived server. Every loop retries EINTR — a signal
+// delivered mid-read must never surface as a spurious protocol error — and
+// every write loop handles short writes, which regular files rarely
+// produce but sockets produce routinely.
+//
+// All functions report failures as structured faults (kInvalidInput with
+// errno text), never exceptions: a disconnecting client is an outcome the
+// server handles, not a bug.
+
+#ifndef BUNDLECHARGE_SUPPORT_SOCKET_H_
+#define BUNDLECHARGE_SUPPORT_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/expected.h"
+
+namespace bc::support {
+
+// Ignores SIGPIPE process-wide (idempotent). A daemon must call this
+// before serving: without it, writing a response to a client that already
+// disconnected kills the whole process instead of failing the one write
+// with EPIPE. Individual sends additionally pass MSG_NOSIGNAL where
+// available, but that does not cover every path (e.g. writev via stdio).
+void ignore_sigpipe();
+
+// A listening TCP socket bound to 127.0.0.1. `port` on return is the
+// actually bound port (useful with requested port 0 = ephemeral).
+struct ListenSocket {
+  int fd = -1;
+  std::uint16_t port = 0;
+};
+
+// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral
+// port) with SO_REUSEADDR. Loopback only by construction: the daemon is a
+// localhost service and must not be reachable from the network.
+Expected<ListenSocket> listen_loopback(std::uint16_t port, int backlog = 64);
+
+// Accepts one connection, retrying EINTR. Returns the connected fd.
+// A shut-down/invalid listening fd is reported as a fault (the server's
+// shutdown path calls shutdown_socket on the listen fd to unblock the
+// accept loop — close(2) alone does NOT wake a thread blocked in accept).
+Expected<int> accept_connection(int listen_fd);
+
+// shutdown(2) both directions. The one reliable way to wake another
+// thread blocked in accept(2)/read(2) on this fd; closing the descriptor
+// from a different thread leaves the blocked call sleeping on Linux.
+void shutdown_socket(int fd);
+
+// Connects to 127.0.0.1:`port`, retrying EINTR.
+Expected<int> connect_loopback(std::uint16_t port);
+
+// Sets SO_RCVTIMEO/SO_SNDTIMEO so a stalled peer cannot wedge a handler
+// thread forever. timeout_s <= 0 leaves the socket blocking.
+Expected<bool> set_io_timeout(int fd, double timeout_s);
+
+// Reads up to `capacity` bytes, retrying EINTR. Returns the byte count
+// (0 = orderly EOF). A receive timeout (EAGAIN/EWOULDBLOCK) and any other
+// error are faults.
+Expected<std::size_t> read_some(int fd, char* buffer, std::size_t capacity);
+
+// Writes all of `data`, retrying EINTR and continuing after short writes.
+// Uses send(MSG_NOSIGNAL) on sockets so a dead peer yields EPIPE instead
+// of a signal even if ignore_sigpipe() was not called.
+Expected<bool> write_all(int fd, std::string_view data);
+
+// close(2) wrapper. EINTR after close is not retried (POSIX leaves the fd
+// state unspecified; retrying can close a reused descriptor).
+void close_fd(int fd);
+
+}  // namespace bc::support
+
+#endif  // BUNDLECHARGE_SUPPORT_SOCKET_H_

@@ -138,12 +138,21 @@ Expected<ChargingPlan> replan_tour(const net::Deployment& deployment,
 
   const std::vector<Rung> ladder = build_ladder(config, options);
   std::string attempts_log;
+  bool budget_blocked = false;
   for (const Rung& rung : ladder) {
     // Cooperative cancellation: once the shared ladder budget trips, stop
     // trying rungs — a replan must never keep computing past its deadline.
-    if (metered && !meter->check()) {
-      attempts_log += "(ladder budget tripped: ";
-      attempts_log += support::to_string(meter->trip());
+    // A meter whose node budget is already depleted fails fast the same
+    // way: every rung's first charge would trip, so attempting the ladder
+    // would burn a full pass of doomed rungs before reporting the same
+    // kBudgetExhausted (the meter passes check(), which only polls the
+    // clock and cancellation, so the depletion must be tested explicitly).
+    if (metered && (meter->node_budget_depleted() || !meter->check())) {
+      budget_blocked = true;
+      attempts_log += "(ladder budget ";
+      attempts_log += meter->exhausted()
+                          ? "tripped: " + support::to_string(meter->trip())
+                          : std::string("depleted: node cap");
       attempts_log += ") ";
       break;
     }
@@ -194,13 +203,18 @@ Expected<ChargingPlan> replan_tour(const net::Deployment& deployment,
   }
 
   flush(false, "none");
-  if (metered && meter->exhausted()) {
+  if (metered && (budget_blocked || meter->exhausted())) {
     static const obs::Counter trips("replan.budget_trips");
     trips.add();
+    const std::string cause = meter->exhausted()
+                                  ? support::describe_trip(*meter)
+                                  : "node budget already depleted after " +
+                                        std::to_string(meter->nodes_used()) +
+                                        " units";
     return Fault{FaultKind::kBudgetExhausted,
-                 "replan ladder budget tripped (" +
-                     support::describe_trip(*meter) + ") before any rung " +
-                     "covered " + std::to_string(request.remaining.size()) +
+                 "replan ladder budget tripped (" + cause +
+                     ") before any rung covered " +
+                     std::to_string(request.remaining.size()) +
                      " sensors (tried: " + attempts_log + ")"};
   }
   return Fault{FaultKind::kReplanExhausted,

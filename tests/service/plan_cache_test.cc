@@ -1,0 +1,211 @@
+// Plan-cache crash safety: the journal must survive SIGKILL at any
+// instant and reload byte-identically, the codec must round-trip plans
+// bit-exactly, and corruption must be detected, never replayed.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/plan_cache.h"
+#include "support/atomic_file.h"
+
+namespace bc {
+namespace {
+
+using service::PlanCache;
+
+std::string temp_path(const char* tag) {
+  return ::testing::TempDir() + "plan_cache_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+tour::ChargingPlan sample_plan() {
+  tour::ChargingPlan plan;
+  plan.algorithm = "BC-OPT";
+  plan.depot = {0.0, 0.0};
+  plan.stops.push_back({{10.5, -3.25}, {0, 2, 5}});
+  plan.stops.push_back({{0.1 + 0.2, 1e-17}, {1, 3, 4}});  // non-exact doubles
+  plan.stops.push_back({{-7.0, 42.0}, {}});               // empty members
+  return plan;
+}
+
+TEST(PlanCodecTest, RoundTripsBitExactly) {
+  const tour::ChargingPlan plan = sample_plan();
+  const std::string payload = service::encode_plan(plan);
+  EXPECT_EQ(payload.find(' '), std::string::npos)
+      << "payload must be whitespace-free (journal field separator)";
+  auto decoded = service::decode_plan(payload);
+  ASSERT_TRUE(decoded.has_value()) << decoded.fault().message;
+  // Bit-exact: re-encoding the decoded plan reproduces the payload.
+  EXPECT_EQ(service::encode_plan(decoded.value()), payload);
+  ASSERT_EQ(decoded.value().stops.size(), plan.stops.size());
+  EXPECT_EQ(decoded.value().stops[0].members, plan.stops[0].members);
+  EXPECT_EQ(decoded.value().stops[1].position.x, plan.stops[1].position.x);
+}
+
+TEST(PlanCodecTest, MalformedPayloadsAreFaults) {
+  const char* bad[] = {
+      "",
+      "v2|BC|0x0p+0,0x0p+0",                  // wrong version
+      "v1||0x0p+0,0x0p+0",                    // empty algorithm
+      "v1|BC|0x0p+0",                         // depot not a pair
+      "v1|BC|0x0p+0,0x0p+0|1,2",              // stop without ':'
+      "v1|BC|0x0p+0,0x0p+0|zz,1:0",           // bad anchor
+      "v1|BC|0x0p+0,0x0p+0|0x1p+1,0x1p+1:x",  // bad member id
+  };
+  for (const char* payload : bad) {
+    EXPECT_FALSE(service::decode_plan(payload).has_value())
+        << "accepted: " << payload;
+  }
+}
+
+TEST(PlanCacheTest, HashIsStableAndCollisionResistant) {
+  const std::string key = service::hash_fingerprint("v1|profile=x");
+  EXPECT_EQ(key.size(), 24u);
+  EXPECT_EQ(key, service::hash_fingerprint("v1|profile=x"));
+  EXPECT_NE(key, service::hash_fingerprint("v1|profile=y"));
+}
+
+TEST(PlanCacheTest, FlushAndReopenPreservesEntries) {
+  const std::string path = temp_path("reopen");
+  {
+    auto cache = PlanCache::open(path);
+    ASSERT_TRUE(cache.has_value());
+    cache.value().put("k2", service::encode_plan(sample_plan()));
+    cache.value().put("k1", "v1|BC|0x0p+0,0x0p+0");
+    ASSERT_TRUE(cache.value().flush().has_value());
+  }
+  auto reloaded = PlanCache::open(path);
+  ASSERT_TRUE(reloaded.has_value()) << reloaded.fault().message;
+  EXPECT_EQ(reloaded.value().size(), 2u);
+  ASSERT_NE(reloaded.value().lookup("k2"), nullptr);
+  EXPECT_EQ(*reloaded.value().lookup("k2"),
+            service::encode_plan(sample_plan()));
+  EXPECT_EQ(reloaded.value().lookup("absent"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(PlanCacheTest, FileBytesDependOnlyOnTheEntrySet) {
+  const std::string path_a = temp_path("order_a");
+  const std::string path_b = temp_path("order_b");
+  auto a = PlanCache::open(path_a);
+  auto b = PlanCache::open(path_b);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  a.value().put("alpha", "v1|BC|0x0p+0,0x0p+0");
+  a.value().put("beta", "v1|SC|0x0p+0,0x0p+0");
+  b.value().put("beta", "v1|SC|0x0p+0,0x0p+0");  // reversed insert order
+  b.value().put("alpha", "v1|BC|0x0p+0,0x0p+0");
+  ASSERT_TRUE(a.value().flush().has_value());
+  ASSERT_TRUE(b.value().flush().has_value());
+  auto bytes_a = support::read_file(path_a);
+  auto bytes_b = support::read_file(path_b);
+  ASSERT_TRUE(bytes_a.has_value() && bytes_b.has_value());
+  EXPECT_EQ(bytes_a.value(), bytes_b.value());
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(PlanCacheTest, InteriorCorruptionIsFatalTornTailIsDropped) {
+  const std::string path = temp_path("corrupt");
+  auto cache = PlanCache::open(path);
+  ASSERT_TRUE(cache.has_value());
+  cache.value().put("k1", "payload1");
+  cache.value().put("k2", "payload2");
+  ASSERT_TRUE(cache.value().flush().has_value());
+  auto bytes = support::read_file(path);
+  ASSERT_TRUE(bytes.has_value());
+
+  // Truncate mid-final-record: a torn tail, tolerated with the prefix kept.
+  const std::string torn = bytes.value().substr(0, bytes.value().size() - 5);
+  ASSERT_TRUE(support::write_file_atomic(path, torn).has_value());
+  auto tolerant = PlanCache::open(path);
+  ASSERT_TRUE(tolerant.has_value()) << tolerant.fault().message;
+  EXPECT_EQ(tolerant.value().size(), 1u);
+  EXPECT_NE(tolerant.value().lookup("k1"), nullptr);
+
+  // Flip a payload byte in the *interior* record: fatal.
+  std::string flipped = bytes.value();
+  const std::size_t at = flipped.find("payload1");
+  ASSERT_NE(at, std::string::npos);
+  flipped[at] = 'X';
+  ASSERT_TRUE(support::write_file_atomic(path, flipped).has_value());
+  EXPECT_FALSE(PlanCache::open(path).has_value());
+
+  // Wrong header: fatal.
+  ASSERT_TRUE(
+      support::write_file_atomic(path, "some-other-format v9\n").has_value());
+  EXPECT_FALSE(PlanCache::open(path).has_value());
+  std::remove(path.c_str());
+}
+
+// The SIGKILL chaos test: a child process journals entries in a loop and
+// is killed at an arbitrary instant with no chance to clean up. Because
+// every flush is write-temp + fsync + rename, the surviving file must
+// always (a) reload cleanly and (b) be byte-identical to a clean flush of
+// exactly the entries it claims to hold — never a torn or interleaved
+// state.
+TEST(PlanCacheChaosTest, SigkillMidFlushRecoversByteIdentically) {
+  const std::string path = temp_path("sigkill");
+  const auto entry_payload = [](int i) {
+    tour::ChargingPlan plan = sample_plan();
+    plan.stops[0].position.x = static_cast<double>(i);
+    return service::encode_plan(plan);
+  };
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    // Child: flush an ever-growing cache as fast as possible.
+    auto cache = PlanCache::open(path);
+    if (!cache.has_value()) ::_exit(1);
+    for (int i = 0; i < 100000; ++i) {
+      cache.value().put("key" + std::to_string(i), entry_payload(i));
+      if (!cache.value().flush().has_value()) ::_exit(1);
+    }
+    ::_exit(0);
+  }
+  // Parent: let some flushes land, then SIGKILL — no handler can run.
+  for (int spin = 0; spin < 2000 && !support::file_exists(path); ++spin) {
+    ::usleep(1000);
+  }
+  ::usleep(20000);
+  ::kill(child, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "child exited before the kill landed; raise the iteration count";
+
+  auto recovered = PlanCache::open(path);
+  ASSERT_TRUE(recovered.has_value()) << recovered.fault().message;
+  const std::size_t n = recovered.value().size();
+  ASSERT_GT(n, 0u) << "no flush landed before the kill";
+  // Byte-identity: rebuild a cache with the same entries cleanly and
+  // compare raw file bytes.
+  const std::string clean_path = temp_path("sigkill_clean");
+  auto clean = PlanCache::open(clean_path);
+  ASSERT_TRUE(clean.has_value());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::string* payload = recovered.value().lookup(key);
+    ASSERT_NE(payload, nullptr) << "missing " << key << " of " << n;
+    EXPECT_EQ(*payload, entry_payload(static_cast<int>(i)));
+    clean.value().put(key, entry_payload(static_cast<int>(i)));
+  }
+  ASSERT_TRUE(clean.value().flush().has_value());
+  auto killed_bytes = support::read_file(path);
+  auto clean_bytes = support::read_file(clean_path);
+  ASSERT_TRUE(killed_bytes.has_value() && clean_bytes.has_value());
+  EXPECT_EQ(killed_bytes.value(), clean_bytes.value());
+  std::remove(path.c_str());
+  std::remove(clean_path.c_str());
+}
+
+}  // namespace
+}  // namespace bc

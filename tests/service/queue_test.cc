@@ -1,0 +1,82 @@
+// BoundedQueue semantics: non-blocking admission at capacity, blocking
+// pop, and close() that drains accepted work but refuses new work.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/bounded_queue.h"
+
+namespace bc {
+namespace {
+
+using service::BoundedQueue;
+
+TEST(BoundedQueueTest, TryPushRefusesBeyondCapacityWithoutBlocking) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // full: immediate refusal, no wait
+  EXPECT_EQ(queue.size(), 2u);
+  auto popped = queue.pop();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped.value(), 1);
+  EXPECT_TRUE(queue.try_push(3));  // slot freed
+}
+
+TEST(BoundedQueueTest, CloseDrainsAcceptedWorkThenReleasesPoppers) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.try_push(7));
+  ASSERT_TRUE(queue.try_push(8));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(9)) << "closed queue must refuse admission";
+  EXPECT_EQ(queue.pop().value(), 7);
+  EXPECT_EQ(queue.pop().value(), 8);
+  EXPECT_FALSE(queue.pop().has_value()) << "drained + closed = worker exit";
+}
+
+TEST(BoundedQueueTest, BlockedPopperIsWokenByPush) {
+  BoundedQueue<int> queue(1);
+  int received = 0;
+  std::thread popper([&] { received = queue.pop().value_or(-1); });
+  ASSERT_TRUE(queue.try_push(42));
+  popper.join();
+  EXPECT_EQ(received, 42);
+}
+
+TEST(BoundedQueueTest, CloseWakesEveryBlockedPopper) {
+  BoundedQueue<int> queue(1);
+  std::vector<std::thread> poppers;
+  std::atomic<int> exited{0};
+  for (int i = 0; i < 4; ++i) {
+    poppers.emplace_back([&] {
+      while (queue.pop().has_value()) {
+      }
+      exited.fetch_add(1);
+    });
+  }
+  queue.close();
+  for (std::thread& t : poppers) t.join();
+  EXPECT_EQ(exited.load(), 4);
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersNeverExceedCapacity) {
+  BoundedQueue<int> queue(8);
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        if (queue.try_push(i)) admitted.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_LE(queue.size(), 8u);
+  EXPECT_EQ(static_cast<std::size_t>(admitted.load()), queue.size());
+}
+
+}  // namespace
+}  // namespace bc

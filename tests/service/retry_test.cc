@@ -1,0 +1,131 @@
+// Retry/backoff policy: transient faults earn bounded retries, permanent
+// faults surface immediately, and backoff never sleeps past the deadline.
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "service/retry.h"
+
+namespace bc {
+namespace {
+
+using support::Expected;
+using support::Fault;
+using support::FaultKind;
+
+service::RetryPolicy fast_policy() {
+  service::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ms = 0.1;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 0.5;
+  return policy;
+}
+
+TEST(RetryTest, TransientFaultClassification) {
+  EXPECT_TRUE(service::fault_is_transient(FaultKind::kReplanExhausted));
+  EXPECT_TRUE(service::fault_is_transient(FaultKind::kCoverageGap));
+  EXPECT_FALSE(service::fault_is_transient(FaultKind::kInvalidInput));
+  EXPECT_FALSE(service::fault_is_transient(FaultKind::kBudgetExhausted));
+  EXPECT_FALSE(service::fault_is_transient(FaultKind::kSensorDead));
+}
+
+TEST(RetryTest, SucceedsOnFirstAttemptWithoutRetrying) {
+  service::RetryOutcome outcome;
+  auto result = service::with_retry(
+      fast_policy(), nullptr, [] { return Expected<int>(7); }, &outcome);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value(), 7);
+  EXPECT_EQ(outcome.attempts, 1);
+}
+
+TEST(RetryTest, TransientFaultIsRetriedUntilSuccess) {
+  int calls = 0;
+  service::RetryOutcome outcome;
+  auto result = service::with_retry(
+      fast_policy(), nullptr,
+      [&]() -> Expected<int> {
+        if (++calls < 3) {
+          return Fault{FaultKind::kCoverageGap, "transient"};
+        }
+        return 99;
+      },
+      &outcome);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value(), 99);
+  EXPECT_EQ(outcome.attempts, 3);
+}
+
+TEST(RetryTest, TransientFaultExhaustsAtMaxAttempts) {
+  int calls = 0;
+  service::RetryOutcome outcome;
+  auto result = service::with_retry(
+      fast_policy(), nullptr,
+      [&]() -> Expected<int> {
+        ++calls;
+        return Fault{FaultKind::kReplanExhausted, "still failing"};
+      },
+      &outcome);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.fault().kind, FaultKind::kReplanExhausted);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(outcome.attempts, 4);
+}
+
+TEST(RetryTest, PermanentFaultIsNeverRetried) {
+  int calls = 0;
+  auto result = service::with_retry(fast_policy(), nullptr,
+                                    [&]() -> Expected<int> {
+                                      ++calls;
+                                      return Fault{FaultKind::kInvalidInput,
+                                                   "permanent"};
+                                    });
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, BackoffNeverSleepsThroughTheDeadline) {
+  // A deadline far smaller than the first backoff: the retry loop must
+  // give up after the first attempt instead of sleeping past it.
+  service::RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_ms = 200.0;
+  support::Budget budget;
+  budget.deadline_s = 0.05;
+  support::BudgetMeter meter(budget);
+  int calls = 0;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = service::with_retry(policy, &meter,
+                                    [&]() -> Expected<int> {
+                                      ++calls;
+                                      return Fault{FaultKind::kCoverageGap,
+                                                   "transient"};
+                                    });
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(calls, 1);
+  EXPECT_LT(elapsed_s, 0.15) << "slept through the deadline";
+}
+
+TEST(RetryTest, ExpiredMeterStopsRetriesImmediately) {
+  support::Budget budget;
+  budget.cancel.request_cancel();  // trips on the first check()
+  support::BudgetMeter meter(budget);
+  service::RetryPolicy policy = fast_policy();
+  policy.initial_backoff_ms = 0.0;  // backoff smaller than any remaining
+  int calls = 0;
+  auto result = service::with_retry(policy, &meter,
+                                    [&]() -> Expected<int> {
+                                      ++calls;
+                                      return Fault{FaultKind::kCoverageGap,
+                                                   "transient"};
+                                    });
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace bc

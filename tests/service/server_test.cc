@@ -1,0 +1,390 @@
+// End-to-end chaos suite for the bundlecharged daemon: admission control
+// under 4x overload, deadline propagation into degraded anytime answers,
+// crash-safe cache reuse across a restart with bit-identical plan blocks,
+// and per-request metrics isolation (concurrent == serial snapshots).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/client.h"
+#include "service/server.h"
+#include "support/atomic_file.h"
+
+namespace bc {
+namespace {
+
+using service::HttpResponse;
+using service::Server;
+using service::ServerOptions;
+
+std::string positions_line(std::size_t n, std::size_t salt = 0) {
+  // Deterministic pseudo-random-ish scatter in a 1000 x 1000 field.
+  std::string out = "positions=";
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = i + salt * 1000;
+    out += std::to_string((j * 131 + 17) % 997) + "," +
+           std::to_string((j * 197 + 5) % 991);
+    if (i + 1 < n) out += ";";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string small_body(std::size_t salt = 0) {
+  return "algorithm=BC\nradius=120\n" + positions_line(40, salt) +
+         "depot=0,0\n";
+}
+
+HttpResponse must_roundtrip(std::uint16_t port, const std::string& method,
+                            const std::string& path,
+                            const std::string& body) {
+  auto response = service::http_roundtrip(port, method, path, body);
+  EXPECT_TRUE(response.has_value()) << response.fault().message;
+  return response.has_value() ? response.value() : HttpResponse{};
+}
+
+// Value of an integer stats field, e.g. field_u64(body, "shed").
+std::uint64_t field_u64(const std::string& body, const std::string& name) {
+  const std::string needle = "\"" + name + "\": ";
+  const std::size_t at = body.find(needle);
+  EXPECT_NE(at, std::string::npos) << name << " missing in: " << body;
+  if (at == std::string::npos) return 0;
+  return std::strtoull(body.c_str() + at + needle.size(), nullptr, 10);
+}
+
+std::string field_str(const std::string& body, const std::string& name) {
+  const std::string needle = "\"" + name + "\": ";
+  const std::size_t at = body.find(needle);
+  EXPECT_NE(at, std::string::npos) << name << " missing in: " << body;
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + needle.size();
+  std::size_t end = body.find_first_of(",\n", start);
+  if (end == std::string::npos) end = body.size();
+  return body.substr(start, end - start);
+}
+
+// The embedded plan document: from `"plan": ` up to the metrics key.
+// Byte-exact comparisons of this block are the cache-identity oracle.
+std::string plan_block(const std::string& body) {
+  const std::size_t start = body.find("\"plan\": ");
+  const std::size_t end = body.find(",\n  \"metrics\":");
+  EXPECT_NE(start, std::string::npos);
+  EXPECT_NE(end, std::string::npos);
+  if (start == std::string::npos || end == std::string::npos) return {};
+  return body.substr(start, end - start);
+}
+
+// The embedded per-request metrics snapshot (to the end of the envelope).
+std::string metrics_block(const std::string& body) {
+  const std::size_t start = body.find("\"metrics\": ");
+  EXPECT_NE(start, std::string::npos);
+  if (start == std::string::npos) return {};
+  return body.substr(start);
+}
+
+std::unique_ptr<Server> must_start(ServerOptions options) {
+  auto server = Server::start(std::move(options));
+  EXPECT_TRUE(server.has_value()) << server.fault().message;
+  return server.has_value() ? std::move(server.value()) : nullptr;
+}
+
+TEST(ServerTest, HealthAndStatsEndpoints) {
+  auto server = must_start(ServerOptions{});
+  ASSERT_NE(server, nullptr);
+  const HttpResponse health =
+      must_roundtrip(server->port(), "GET", "/healthz", "");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"ok\""), std::string::npos);
+  const HttpResponse stats =
+      must_roundtrip(server->port(), "GET", "/statsz", "");
+  EXPECT_EQ(stats.status, 200);
+  EXPECT_EQ(field_u64(stats.body, "accepted"), 0u);
+  EXPECT_EQ(field_u64(stats.body, "queue_depth"), 0u);
+}
+
+TEST(ServerTest, MalformedAndUnknownRequestsAreStructuredErrors) {
+  auto server = must_start(ServerOptions{});
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(must_roundtrip(server->port(), "GET", "/nope", "").status, 404);
+  EXPECT_EQ(must_roundtrip(server->port(), "POST", "/v1/plan",
+                           "positions=1,borked\n")
+                .status,
+            400);
+  // Test hooks are rejected unless explicitly enabled.
+  EXPECT_EQ(must_roundtrip(server->port(), "POST", "/v1/plan",
+                           small_body() + "stall_ms=50\n")
+                .status,
+            400);
+  const HttpResponse stats =
+      must_roundtrip(server->port(), "GET", "/statsz", "");
+  EXPECT_EQ(field_u64(stats.body, "failed"), 2u);
+}
+
+TEST(ServerTest, PlanSolvesThenServesCacheHitBitIdentically) {
+  auto server = must_start(ServerOptions{});
+  ASSERT_NE(server, nullptr);
+  const HttpResponse cold =
+      must_roundtrip(server->port(), "POST", "/v1/plan", small_body());
+  ASSERT_EQ(cold.status, 200) << cold.body;
+  EXPECT_EQ(field_str(cold.body, "cached"), "false");
+  EXPECT_EQ(field_str(cold.body, "degraded"), "false");
+
+  const HttpResponse hot =
+      must_roundtrip(server->port(), "POST", "/v1/plan", small_body());
+  ASSERT_EQ(hot.status, 200);
+  EXPECT_EQ(field_str(hot.body, "cached"), "true");
+  // The guarantee the whole cache design serves: a hit is byte-identical
+  // to the cold solve, plan document included.
+  EXPECT_EQ(plan_block(hot.body), plan_block(cold.body));
+
+  // A deadline-only difference shares the entry (cutoffs are not inputs).
+  const HttpResponse deadline = must_roundtrip(
+      server->port(), "POST", "/v1/plan", small_body() + "deadline_ms=60000\n");
+  ASSERT_EQ(deadline.status, 200);
+  EXPECT_EQ(field_str(deadline.body, "cached"), "true");
+
+  const HttpResponse stats =
+      must_roundtrip(server->port(), "GET", "/statsz", "");
+  EXPECT_EQ(field_u64(stats.body, "cache_misses"), 1u);
+  EXPECT_EQ(field_u64(stats.body, "cache_hits"), 2u);
+  EXPECT_EQ(field_u64(stats.body, "completed"), 3u);
+}
+
+TEST(ServerTest, ReplanEndpointCoversRemainingSensors) {
+  auto server = must_start(ServerOptions{});
+  ASSERT_NE(server, nullptr);
+  const std::string body = small_body() +
+                           "current=500,500\nremaining=3:1.5;7:0.5;11:2\n";
+  const HttpResponse response =
+      must_roundtrip(server->port(), "POST", "/v1/replan", body);
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_NE(response.body.find("\"mode\": \"replan\""), std::string::npos);
+  EXPECT_EQ(field_str(response.body, "degraded"), "false");
+  // Every remaining sensor appears in some stop's member list.
+  const std::string plan = plan_block(response.body);
+  for (const char* id : {"3", "7", "11"}) {
+    EXPECT_NE(plan.find(id), std::string::npos) << plan;
+  }
+}
+
+TEST(ServerTest, ExpiredReplanDeadlineFailsFastWith504) {
+  auto server = must_start(ServerOptions{});
+  ASSERT_NE(server, nullptr);
+  // A deadline of 1 ns is already gone by the first ladder checkpoint:
+  // the fail-fast path must answer 504 without burning a ladder pass.
+  const std::string body =
+      small_body() + "current=0,0\ndeadline_ms=0.000001\n";
+  const auto start = std::chrono::steady_clock::now();
+  const HttpResponse response =
+      must_roundtrip(server->port(), "POST", "/v1/replan", body);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(response.status, 504) << response.body;
+  EXPECT_NE(response.body.find("deadline_exceeded"), std::string::npos);
+  EXPECT_LT(elapsed_s, 5.0) << "fail-fast path burned a ladder pass";
+}
+
+TEST(ServerTest, ExpiredPlanDeadlineReturnsDegradedIncumbent) {
+  auto server = must_start(ServerOptions{});
+  ASSERT_NE(server, nullptr);
+  // Large instance, 5 ms deadline: the anytime contract must return a
+  // valid (partition) plan promptly with degraded=true — never hang until
+  // the full solve finishes.
+  const std::string body = "algorithm=BC\nradius=60\n" +
+                           positions_line(800) + "depot=0,0\ndeadline_ms=5\n";
+  const HttpResponse response =
+      must_roundtrip(server->port(), "POST", "/v1/plan", body);
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_EQ(field_str(response.body, "degraded"), "true");
+  EXPECT_EQ(field_str(response.body, "cached"), "false");
+  // Degraded results are timing-dependent and must never be cached.
+  const HttpResponse again =
+      must_roundtrip(server->port(), "POST", "/v1/plan", body);
+  ASSERT_EQ(again.status, 200);
+  EXPECT_EQ(field_str(again.body, "cached"), "false");
+}
+
+TEST(ServerChaosTest, FourTimesOverloadShedsDeterministically) {
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  options.enable_test_hooks = true;
+  options.retry_after_ms = 250.0;
+  auto server = must_start(std::move(options));
+  ASSERT_NE(server, nullptr);
+  const std::uint16_t port = server->port();
+
+  // Occupy the single worker, then fill both queue slots, with stalled
+  // requests — the hook makes the overload state deterministic, not a
+  // race against solver speed.
+  std::vector<std::thread> stalled;
+  std::atomic<int> ok{0};
+  const auto stalled_request = [port, &ok] {
+    auto response = service::http_roundtrip(
+        port, "POST", "/v1/plan", small_body() + "stall_ms=2000\n", 60.0);
+    if (response.has_value() && response.value().status == 200) {
+      ok.fetch_add(1);
+    }
+  };
+  stalled.emplace_back(stalled_request);
+  // Wait until the worker popped it (accepted=1, queue back to empty).
+  for (int spin = 0; spin < 4000; ++spin) {
+    const HttpResponse stats = must_roundtrip(port, "GET", "/statsz", "");
+    if (field_u64(stats.body, "accepted") == 1 &&
+        field_u64(stats.body, "queue_depth") == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stalled.emplace_back(stalled_request);
+  stalled.emplace_back(stalled_request);
+  for (int spin = 0; spin < 4000; ++spin) {
+    const HttpResponse stats = must_roundtrip(port, "GET", "/statsz", "");
+    if (field_u64(stats.body, "queue_depth") == 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(field_u64(must_roundtrip(port, "GET", "/statsz", "").body,
+                      "queue_depth"),
+            2u)
+      << "queue never filled; stalled requests were not admitted";
+
+  // 4x overload: capacity is 3 in flight (1 solving + 2 queued); the next
+  // 9 must every one shed immediately with 503 + Retry-After — none may
+  // block behind the stalled work.
+  const auto shed_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 9; ++i) {
+    const HttpResponse shed =
+        must_roundtrip(port, "POST", "/v1/plan", small_body(i + 1));
+    EXPECT_EQ(shed.status, 503) << shed.body;
+    EXPECT_EQ(shed.header("retry-after"), "1");
+    EXPECT_NE(shed.body.find("overloaded"), std::string::npos);
+  }
+  const double shed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    shed_start)
+          .count();
+  EXPECT_LT(shed_s, 5.0) << "shedding blocked behind stalled workers";
+
+  for (std::thread& t : stalled) t.join();
+  EXPECT_EQ(ok.load(), 3) << "admitted requests must still complete";
+  const HttpResponse stats = must_roundtrip(port, "GET", "/statsz", "");
+  EXPECT_EQ(field_u64(stats.body, "shed"), 9u);
+  EXPECT_EQ(field_u64(stats.body, "accepted"), 3u);
+  EXPECT_EQ(field_u64(stats.body, "completed"), 3u);
+}
+
+TEST(ServerChaosTest, RestartWithJournaledCacheServesBitIdenticalPlans) {
+  const std::string cache_path = ::testing::TempDir() + "server_cache_" +
+                                 std::to_string(::getpid()) + ".journal";
+  std::remove(cache_path.c_str());
+  std::string cold_plan;
+  std::string file_after_first;
+  {
+    ServerOptions options;
+    options.cache_path = cache_path;
+    auto server = must_start(std::move(options));
+    ASSERT_NE(server, nullptr);
+    const HttpResponse cold =
+        must_roundtrip(server->port(), "POST", "/v1/plan", small_body());
+    ASSERT_EQ(cold.status, 200) << cold.body;
+    EXPECT_EQ(field_str(cold.body, "cached"), "false");
+    cold_plan = plan_block(cold.body);
+    server->stop();
+    auto bytes = support::read_file(cache_path);
+    ASSERT_TRUE(bytes.has_value()) << "cache journal was never flushed";
+    file_after_first = bytes.value();
+  }
+  {
+    // A new process generation: the journal is all that survives.
+    ServerOptions options;
+    options.cache_path = cache_path;
+    auto server = must_start(std::move(options));
+    ASSERT_NE(server, nullptr);
+    const HttpResponse hot =
+        must_roundtrip(server->port(), "POST", "/v1/plan", small_body());
+    ASSERT_EQ(hot.status, 200) << hot.body;
+    EXPECT_EQ(field_str(hot.body, "cached"), "true");
+    EXPECT_EQ(plan_block(hot.body), cold_plan);
+    server->stop();
+  }
+  // Serving a hit must not rewrite the journal.
+  auto bytes = support::read_file(cache_path);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(bytes.value(), file_after_first);
+  std::remove(cache_path.c_str());
+}
+
+TEST(ServerChaosTest, ConcurrentMetricsSnapshotsMatchSerialRuns) {
+  constexpr std::size_t kRequests = 6;
+  // Serial oracle: one worker, distinct deployments, record each
+  // response's metrics snapshot keyed by its cache fingerprint hash.
+  std::unordered_map<std::string, std::string> serial_metrics;
+  std::unordered_map<std::string, std::string> serial_plans;
+  {
+    ServerOptions options;
+    options.workers = 1;
+    auto server = must_start(std::move(options));
+    ASSERT_NE(server, nullptr);
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      const HttpResponse response = must_roundtrip(
+          server->port(), "POST", "/v1/plan", small_body(i + 1));
+      ASSERT_EQ(response.status, 200) << response.body;
+      const std::string key = field_str(response.body, "cache_key");
+      serial_metrics[key] = metrics_block(response.body);
+      serial_plans[key] = plan_block(response.body);
+    }
+  }
+  ASSERT_EQ(serial_metrics.size(), kRequests) << "cache keys collided";
+
+  // Concurrent run on a fresh server: every request in flight at once on
+  // 4 workers. Per-request isolation means each response's snapshot (and
+  // plan) must equal the serial oracle byte for byte.
+  ServerOptions options;
+  options.workers = 4;
+  options.queue_capacity = kRequests;
+  auto server = must_start(std::move(options));
+  ASSERT_NE(server, nullptr);
+  std::vector<std::string> bodies(kRequests);
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    clients.emplace_back([&, i] {
+      auto response = service::http_roundtrip(
+          server->port(), "POST", "/v1/plan", small_body(i + 1), 120.0);
+      if (response.has_value()) bodies[i] = response.value().body;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    ASSERT_FALSE(bodies[i].empty()) << "request " << i << " got no response";
+    const std::string key = field_str(bodies[i], "cache_key");
+    ASSERT_EQ(serial_metrics.count(key), 1u) << "unknown key " << key;
+    EXPECT_EQ(metrics_block(bodies[i]), serial_metrics[key])
+        << "request " << i
+        << ": concurrent metrics diverged from the serial oracle";
+    EXPECT_EQ(plan_block(bodies[i]), serial_plans[key]);
+  }
+}
+
+TEST(ServerTest, StopIsIdempotentAndDrainsCleanly) {
+  auto server = must_start(ServerOptions{});
+  ASSERT_NE(server, nullptr);
+  must_roundtrip(server->port(), "POST", "/v1/plan", small_body());
+  server->stop();
+  server->stop();  // second call is a no-op
+  // Connections after stop are refused (listener closed).
+  EXPECT_FALSE(
+      service::http_roundtrip(server->port(), "GET", "/healthz", "", 2.0)
+          .has_value());
+}
+
+}  // namespace
+}  // namespace bc

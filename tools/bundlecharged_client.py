@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Command-line client for the bundlecharged planning daemon.
+
+Talks the daemon's localhost HTTP protocol (DESIGN.md §11) using only the
+standard library. Subcommands map one-to-one onto endpoints:
+
+    tools/bundlecharged_client.py health --port 8410
+    tools/bundlecharged_client.py stats  --port 8410
+    tools/bundlecharged_client.py plan   --port 8410 \
+        --positions "10,10;20,20;700,300" --radius 120 --deadline-ms 2000
+    tools/bundlecharged_client.py replan --port 8410 \
+        --positions "10,10;20,20" --current 500,500 --remaining "0:1.5;1:0.5"
+
+``plan``/``replan`` read ``--positions-file`` (one ``x,y`` per line) as an
+alternative to ``--positions``. The response body (JSON) is printed to
+stdout unchanged. Exit status: 0 on HTTP 200, 3 on 503 (overloaded — the
+``Retry-After`` header is echoed to stderr), 4 on 504 (deadline exceeded),
+1 on any other error.
+"""
+
+import argparse
+import http.client
+import json
+import pathlib
+import sys
+
+
+def build_body(args):
+    lines = []
+    if args.profile:
+        lines.append(f"profile={args.profile}")
+    if args.algorithm:
+        lines.append(f"algorithm={args.algorithm}")
+    if args.radius is not None:
+        lines.append(f"radius={args.radius:g}")
+    if args.deadline_ms is not None:
+        lines.append(f"deadline_ms={args.deadline_ms:g}")
+    if args.demand is not None:
+        lines.append(f"demand={args.demand:g}")
+    lines.append(f"depot={args.depot}")
+
+    if args.positions_file:
+        points = [
+            line.strip()
+            for line in pathlib.Path(args.positions_file).read_text().splitlines()
+            if line.strip()
+        ]
+        lines.append("positions=" + ";".join(points))
+    elif args.positions:
+        lines.append("positions=" + args.positions)
+    else:
+        sys.exit("error: --positions or --positions-file is required")
+
+    if args.command == "replan":
+        lines.append(f"current={args.current}")
+        if args.remaining:
+            lines.append(f"remaining={args.remaining}")
+    return "\n".join(lines) + "\n"
+
+
+def request(args, method, path, body=""):
+    connection = http.client.HTTPConnection("127.0.0.1", args.port,
+                                            timeout=args.timeout)
+    try:
+        connection.request(method, path, body=body.encode(),
+                           headers={"Content-Type": "text/plain"})
+        response = connection.getresponse()
+        payload = response.read().decode(errors="replace")
+    except (ConnectionError, OSError) as err:
+        sys.exit(f"error: cannot reach bundlecharged on port {args.port}: "
+                 f"{err}")
+    finally:
+        connection.close()
+
+    print(payload, end="" if payload.endswith("\n") else "\n")
+    if response.status == 200:
+        return 0
+    if response.status == 503:
+        retry_after = response.getheader("Retry-After", "?")
+        print(f"server overloaded; retry after {retry_after} s",
+              file=sys.stderr)
+        return 3
+    if response.status == 504:
+        print("deadline exceeded before a plan was ready", file=sys.stderr)
+        return 4
+    print(f"HTTP {response.status} {response.reason}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--port", type=int, required=True,
+                        help="bundlecharged port (it prints this at startup)")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="socket timeout in seconds (default 30)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("health", help="GET /healthz")
+    sub.add_parser("stats", help="GET /statsz")
+
+    for name, help_text in (("plan", "POST /v1/plan"),
+                            ("replan", "POST /v1/replan")):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--positions",
+                         help="semicolon-separated x,y pairs")
+        cmd.add_argument("--positions-file",
+                         help="file with one x,y pair per line")
+        cmd.add_argument("--depot", default="0,0", help="depot x,y")
+        cmd.add_argument("--profile", default="",
+                         help="named profile (default icdcs2019)")
+        cmd.add_argument("--algorithm", default="",
+                         help="planning algorithm (default BC)")
+        cmd.add_argument("--radius", type=float, default=None,
+                         help="bundle radius in metres")
+        cmd.add_argument("--deadline-ms", type=float, default=None,
+                         help="request deadline; expiry yields a degraded "
+                              "anytime plan (plan) or 504 (replan)")
+        cmd.add_argument("--demand", type=float, default=None,
+                         help="per-sensor energy demand in joules")
+        if name == "replan":
+            cmd.add_argument("--current", default="0,0",
+                             help="charger's current x,y")
+            cmd.add_argument("--remaining", default="",
+                             help="id:deficit pairs, semicolon-separated "
+                                  "(empty = all sensors at full demand)")
+
+    args = parser.parse_args()
+    if args.command == "health":
+        return request(args, "GET", "/healthz")
+    if args.command == "stats":
+        return request(args, "GET", "/statsz")
+    path = "/v1/plan" if args.command == "plan" else "/v1/replan"
+    return request(args, "POST", path, build_body(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())
