@@ -114,7 +114,20 @@ void bench_service(const std::string& out_dir, std::size_t repeats,
     reporter.add_case("plan_cold", best_ms, repeats)
         .counter("completed", static_cast<std::int64_t>(stats.completed))
         .counter("cache_misses",
-                 static_cast<std::int64_t>(stats.cache_misses));
+                 static_cast<std::int64_t>(stats.cache_misses))
+        // Robustness counters, all deterministically zero in a healthy
+        // unsaturated run: a nonzero value means the bench rig itself
+        // started shedding, watchdog-killing, or losing journal writes —
+        // behaviour drift the perf-smoke diff must flag.
+        .counter("shed", static_cast<std::int64_t>(stats.shed))
+        .counter("watchdog_kills",
+                 static_cast<std::int64_t>(stats.watchdog_kills))
+        .counter("cache_flush_failures",
+                 static_cast<std::int64_t>(stats.cache_flush_failures))
+        .counter("degraded_mode_entries",
+                 static_cast<std::int64_t>(stats.degraded_mode_entries))
+        .counter("fault_recoveries",
+                 static_cast<std::int64_t>(stats.fault_recoveries));
   }
 
   // Cached plan hits: one server pre-warmed with a single body, then the

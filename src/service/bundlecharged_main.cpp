@@ -2,8 +2,10 @@
 // architecture and DESIGN.md §11 for the wire protocol.
 //
 //   bundlecharged [--port N] [--workers N] [--queue-capacity N]
-//                 [--cache PATH] [--default-deadline-ms N]
-//                 [--io-timeout-ms N] [--enable-test-hooks]
+//                 [--cache PATH] [--cache-max-entries N]
+//                 [--default-deadline-ms N] [--io-timeout-ms N]
+//                 [--watchdog-grace N] [--no-watchdog]
+//                 [--enable-test-hooks]
 //
 // Prints "bundlecharged listening on 127.0.0.1:<port>" once serving (tools
 // and tests parse this line to learn an ephemeral port), then runs until
@@ -52,8 +54,10 @@ void print_usage() {
   std::fprintf(
       stderr,
       "usage: bundlecharged [--port N] [--workers N] [--queue-capacity N]\n"
-      "                     [--cache PATH] [--default-deadline-ms N]\n"
-      "                     [--io-timeout-ms N] [--enable-test-hooks]\n");
+      "                     [--cache PATH] [--cache-max-entries N]\n"
+      "                     [--default-deadline-ms N] [--io-timeout-ms N]\n"
+      "                     [--watchdog-grace N] [--no-watchdog]\n"
+      "                     [--enable-test-hooks]\n");
 }
 
 }  // namespace
@@ -77,6 +81,21 @@ int main(int argc, char** argv) {
           parse_long_or_die(value, "--queue-capacity"));
     } else if (parse_flag_value(argc, argv, &i, "--cache", &value)) {
       options.cache_path = value;
+    } else if (parse_flag_value(argc, argv, &i, "--cache-max-entries",
+                                &value)) {
+      options.cache_limits.max_entries = static_cast<std::size_t>(
+          parse_long_or_die(value, "--cache-max-entries"));
+    } else if (parse_flag_value(argc, argv, &i, "--watchdog-grace", &value)) {
+      const long grace = parse_long_or_die(value, "--watchdog-grace");
+      if (grace == 0) {
+        std::fprintf(stderr,
+                     "bundlecharged: --watchdog-grace must be positive "
+                     "(use --no-watchdog to disable)\n");
+        return 2;
+      }
+      options.watchdog_grace = static_cast<double>(grace);
+    } else if (std::string(argv[i]) == "--no-watchdog") {
+      options.enable_watchdog = false;
     } else if (parse_flag_value(argc, argv, &i, "--default-deadline-ms",
                                 &value)) {
       options.default_deadline_s =

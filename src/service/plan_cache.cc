@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "support/atomic_file.h"
 
 namespace bc::service {
@@ -175,89 +176,64 @@ Expected<tour::ChargingPlan> decode_plan(std::string_view payload) {
   return plan;
 }
 
-Expected<PlanCache> PlanCache::open(std::string path) {
-  PlanCache cache(std::move(path));
-  if (cache.path_.empty() || !support::file_exists(cache.path_)) {
-    return cache;
-  }
-  auto contents = support::read_file(cache.path_);
-  if (!contents.has_value()) return contents.fault();
-  std::string_view rest = contents.value();
-
-  const auto next_line = [&rest](std::string_view* line) {
-    if (rest.empty()) return false;
-    const std::size_t pos = rest.find('\n');
-    if (pos == std::string_view::npos) {
-      *line = rest;
-      rest = {};
-    } else {
-      *line = rest.substr(0, pos);
-      rest.remove_prefix(pos + 1);
+Expected<PlanCache> PlanCache::open(std::string path, PlanCacheLimits limits) {
+  support::JournalFormat format;
+  format.header_line = std::string(kJournalHeader);
+  format.record_tag = "entry";
+  const std::string path_copy = path;
+  format.validate_header =
+      [path_copy](const std::string& line,
+                  std::size_t /*line_no*/) -> Expected<bool> {
+    if (line != kJournalHeader) {
+      return journal_fault(path_copy, "missing or wrong header");
     }
     return true;
   };
-
-  std::string_view line;
-  if (!next_line(&line) || line != kJournalHeader) {
-    return journal_fault(cache.path_, "missing or wrong header");
-  }
-  while (next_line(&line)) {
-    const bool is_last = rest.empty();
-    // A record is only trustworthy when its CRC verifies. A bad *final*
-    // record is a torn tail (partial external copy): drop it, keep the
-    // prefix. A bad interior record means the file itself is damaged.
-    const auto reject = [&](const std::string& detail) -> Expected<PlanCache> {
-      if (is_last) return cache;
-      return journal_fault(cache.path_, "corrupt interior record: " + detail);
-    };
-    const std::vector<std::string_view> fields = split(line, ' ');
-    if (fields.size() != 4 || fields[0] != "entry") {
-      return reject("expected 'entry <crc> <key> <payload>'");
-    }
-    std::string checked(fields[2]);
-    checked += ' ';
-    checked += fields[3];
-    char expected_crc[16];
-    std::snprintf(expected_crc, sizeof expected_crc, "%08lx",
-                  static_cast<unsigned long>(support::crc32(checked)));
-    if (fields[1] != expected_crc) return reject("CRC mismatch");
-    if (fields[2].empty() || fields[3].empty()) {
-      return reject("empty key or payload");
-    }
-    cache.entries_[std::string(fields[2])] = std::string(fields[3]);
-  }
-  return cache;
+  format.record_fault = [path_copy](std::size_t /*line_no*/,
+                                    const std::string& why) {
+    return journal_fault(path_copy, "corrupt interior record: " + why);
+  };
+  support::JournalLimits journal_limits;
+  journal_limits.max_entries = limits.max_entries;
+  journal_limits.compact_threshold_bytes = limits.compact_threshold_bytes;
+  auto journal = support::AppendJournal::open(std::move(path),
+                                              std::move(format),
+                                              journal_limits);
+  if (!journal.has_value()) return journal.fault();
+  return PlanCache(std::move(journal.value()));
 }
 
 const std::string* PlanCache::lookup(const std::string& key) const {
-  const auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second;
+  return journal_.lookup(key);
 }
 
 void PlanCache::put(const std::string& key, std::string payload) {
-  entries_[key] = std::move(payload);
+  journal_.put(key, std::move(payload));
 }
 
-Expected<bool> PlanCache::flush() const {
-  if (path_.empty()) return true;
-  std::string out(kJournalHeader);
-  out += '\n';
-  // std::map iterates key-sorted: the file bytes are a pure function of
-  // the entry set, which is what makes crash-recovery byte-identical.
-  for (const auto& [key, payload] : entries_) {
-    std::string record = key;
-    record += ' ';
-    record += payload;
-    char crc[16];
-    std::snprintf(crc, sizeof crc, "%08lx",
-                  static_cast<unsigned long>(support::crc32(record)));
-    out += "entry ";
-    out += crc;
-    out += ' ';
-    out += record;
-    out += '\n';
+void PlanCache::publish_telemetry() {
+  static const obs::Counter compactions("service.plan_cache.compactions");
+  static const obs::Counter evictions("service.plan_cache.evictions");
+  if (journal_.compactions() > reported_compactions_) {
+    compactions.add(journal_.compactions() - reported_compactions_);
+    reported_compactions_ = journal_.compactions();
   }
-  return support::write_file_atomic(path_, out);
+  if (journal_.evictions() > reported_evictions_) {
+    evictions.add(journal_.evictions() - reported_evictions_);
+    reported_evictions_ = journal_.evictions();
+  }
+}
+
+Expected<bool> PlanCache::flush() {
+  auto synced = journal_.sync();
+  publish_telemetry();
+  return synced;
+}
+
+Expected<bool> PlanCache::compact() {
+  auto compacted = journal_.compact();
+  publish_telemetry();
+  return compacted;
 }
 
 }  // namespace bc::service

@@ -2,16 +2,16 @@
 //
 // Serving the same deployment twice must not cost two solves: requests are
 // fingerprinted (service::canonical_fingerprint) and completed plans are
-// kept in a journal that survives SIGKILL. The journal borrows the proven
-// checkpoint design (sim/checkpoint.h): one whitespace-free record per
-// entry with a CRC-32 over its content, flushed atomically through
-// support::write_file_atomic in key-sorted order — so the bytes on disk
-// depend only on the *set* of cached plans, never on insertion order or
-// timing, and a killed-and-restarted daemon recovers a cache file that is
-// byte-identical to one written by an uninterrupted daemon holding the
-// same entries.
+// kept in a journal that survives SIGKILL. Since PR 8 the journal is a
+// support::AppendJournal: a flush appends only the new CRC'd records
+// (O(delta), not O(cache)), and the file self-heals — size-triggered
+// compaction rewrites the live entries through support::write_file_atomic
+// in key-sorted order, so compacted bytes depend only on the *set* of
+// cached plans, never on insertion order, timing, or crash history. A
+// bounded cache (max_entries) evicts oldest-inserted entries at
+// compaction, deterministically.
 //
-// On-disk format (version 1), one record per line:
+// On-disk format (version 1, unchanged), one record per line:
 //
 //   bundlecharged-plancache v1
 //   entry <crc32hex> <key> <payload>
@@ -25,11 +25,12 @@
 #define BUNDLECHARGE_SERVICE_PLAN_CACHE_H_
 
 #include <cstddef>
-#include <map>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
 #include "support/expected.h"
+#include "support/journal.h"
 #include "tour/plan.h"
 
 namespace bc::service {
@@ -46,18 +47,28 @@ std::string hash_fingerprint(std::string_view fingerprint);
 std::string encode_plan(const tour::ChargingPlan& plan);
 support::Expected<tour::ChargingPlan> decode_plan(std::string_view payload);
 
+struct PlanCacheLimits {
+  // Maximum cached plans; 0 = unbounded. Enforced by deterministic FIFO
+  // eviction at compaction time.
+  std::size_t max_entries = 0;
+  // Journal size that triggers a compacting rewrite instead of an append.
+  std::size_t compact_threshold_bytes = 1u << 20;
+};
+
 class PlanCache {
  public:
   // Opens `path`, creating an empty cache when the file does not exist.
   // An empty path is a purely in-memory cache (flush is a no-op). A
-  // journal with a wrong header or an interior corrupted record is a
+  // journal with a wrong header or a corrupted complete record is a
   // kInvalidInput fault — recomputing plans beats serving garbage — while
-  // a torn *final* record (external tampering or a partial copy; atomic
-  // flushes never produce one) is dropped with the prefix kept.
-  static support::Expected<PlanCache> open(std::string path);
+  // a torn *final* line (a flush that lost power mid-append) is dropped
+  // with the prefix kept, and the next flush compacts the file. Stale
+  // temp files from a crashed writer are garbage-collected here.
+  static support::Expected<PlanCache> open(std::string path,
+                                           PlanCacheLimits limits = {});
 
-  const std::string& path() const { return path_; }
-  std::size_t size() const { return entries_.size(); }
+  const std::string& path() const { return journal_.path(); }
+  std::size_t size() const { return journal_.size(); }
 
   // Payload for `key`, or nullptr when not cached.
   const std::string* lookup(const std::string& key) const;
@@ -66,14 +77,34 @@ class PlanCache {
   // payload non-empty and whitespace-free.
   void put(const std::string& key, std::string payload);
 
-  // Atomically persists the header plus every entry, key-sorted.
-  support::Expected<bool> flush() const;
+  // Persists entries put since the last flush: an append when the tail
+  // is healthy and under the size threshold, a full compaction
+  // otherwise. On failure the pending entries are retained for retry.
+  support::Expected<bool> flush();
+
+  // Forces a compacting rewrite; the resulting bytes are a pure function
+  // of the surviving entry set.
+  support::Expected<bool> compact();
+
+  // Robustness telemetry (mirrored into obs counters by flush/compact).
+  std::uint64_t compactions() const { return journal_.compactions(); }
+  std::uint64_t evictions() const { return journal_.evictions(); }
+  std::uint64_t stale_temps_removed() const {
+    return journal_.stale_temps_removed();
+  }
+  std::uint64_t torn_tails_dropped() const {
+    return journal_.torn_tails_dropped();
+  }
 
  private:
-  explicit PlanCache(std::string path) : path_(std::move(path)) {}
+  explicit PlanCache(support::AppendJournal journal)
+      : journal_(std::move(journal)) {}
 
-  std::string path_;
-  std::map<std::string, std::string> entries_;
+  void publish_telemetry();
+
+  support::AppendJournal journal_;
+  std::uint64_t reported_compactions_ = 0;
+  std::uint64_t reported_evictions_ = 0;
 };
 
 }  // namespace bc::service

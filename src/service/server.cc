@@ -1,5 +1,6 @@
 #include "service/server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -87,7 +88,7 @@ Expected<std::unique_ptr<Server>> Server::start(ServerOptions options) {
   if (options.workers == 0) options.workers = 1;
   if (options.queue_capacity == 0) options.queue_capacity = 1;
 
-  auto cache = PlanCache::open(options.cache_path);
+  auto cache = PlanCache::open(options.cache_path, options.cache_limits);
   if (!cache.has_value()) return cache.fault();
   auto listener = support::listen_loopback(options.port);
   if (!listener.has_value()) return listener.fault();
@@ -98,9 +99,13 @@ Expected<std::unique_ptr<Server>> Server::start(ServerOptions options) {
   server->port_ = server->listener_.port;
   server->queue_ =
       std::make_unique<BoundedQueue<Job>>(server->options_.queue_capacity);
+  server->watchdog_slots_.resize(server->options_.workers);
+  server->watchdog_thread_ = std::thread([raw = server.get()] {
+    raw->watchdog_loop();
+  });
   for (std::size_t i = 0; i < server->options_.workers; ++i) {
-    server->worker_threads_.emplace_back([raw = server.get()] {
-      raw->worker_loop();
+    server->worker_threads_.emplace_back([raw = server.get(), i] {
+      raw->worker_loop(i);
     });
   }
   server->accept_thread_ = std::thread([raw = server.get()] {
@@ -117,12 +122,19 @@ void Server::stop() {
   stopped_ = true;
   stopping_.store(true, std::memory_order_relaxed);
   // Unblock the accept loop, stop admission, and cut in-flight solves
-  // short through the anytime contract. Queued jobs still drain.
-  // shutdown(2), not close(2), wakes the accept thread: closing the fd
-  // from this thread leaves it sleeping in accept(2) forever on Linux.
-  // The fd itself is closed only after the join, so the accept thread
-  // never races the teardown (or a reused descriptor number).
-  cancel_.request_cancel();
+  // short through their per-request tokens (arm_watchdog pre-cancels any
+  // token armed after this point, so there is no race window). Queued
+  // jobs still drain. shutdown(2), not close(2), wakes the accept
+  // thread: closing the fd from this thread leaves it sleeping in
+  // accept(2) forever on Linux. The fd itself is closed only after the
+  // join, so the accept thread never races the teardown (or a reused
+  // descriptor number).
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    for (WatchdogSlot& slot : watchdog_slots_) {
+      if (slot.armed) slot.token.request_cancel();
+    }
+  }
   support::shutdown_socket(listener_.fd);
   if (accept_thread_.joinable()) accept_thread_.join();
   support::close_fd(listener_.fd);
@@ -131,6 +143,12 @@ void Server::stop() {
   for (std::thread& worker : worker_threads_) {
     if (worker.joinable()) worker.join();
   }
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
   std::unique_lock<std::mutex> lock(handlers_mutex_);
   handlers_idle_.wait(lock, [this] { return active_handlers_ == 0; });
 }
@@ -138,6 +156,73 @@ void Server::stop() {
 ServerStats Server::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
+}
+
+support::CancelToken Server::arm_watchdog(std::size_t worker,
+                                          double deadline_s) {
+  std::lock_guard<std::mutex> lock(watchdog_mutex_);
+  WatchdogSlot& slot = watchdog_slots_[worker];
+  slot.token = support::CancelToken{};  // fresh shared flag per request
+  slot.killed = false;
+  slot.armed = true;
+  slot.kill_at = std::chrono::steady_clock::time_point::max();
+  if (options_.enable_watchdog && deadline_s > 0.0) {
+    const double window = std::max(deadline_s * options_.watchdog_grace,
+                                   options_.watchdog_min_window_s);
+    slot.kill_at = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(window));
+    watchdog_cv_.notify_all();  // the monitor recomputes its next wake
+  }
+  // A request armed during shutdown is cancelled immediately — stop()
+  // already swept the slots, so this closes the set-flag/arm race.
+  if (stopping_.load(std::memory_order_relaxed)) slot.token.request_cancel();
+  return slot.token;
+}
+
+bool Server::disarm_watchdog(std::size_t worker) {
+  std::lock_guard<std::mutex> lock(watchdog_mutex_);
+  WatchdogSlot& slot = watchdog_slots_[worker];
+  slot.armed = false;
+  return slot.killed;
+}
+
+void Server::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    const auto now = std::chrono::steady_clock::now();
+    auto wake = now + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(
+                              options_.watchdog_poll_s));
+    std::uint64_t kills = 0;
+    for (WatchdogSlot& slot : watchdog_slots_) {
+      if (!slot.armed || slot.killed) continue;
+      if (slot.kill_at <= now) {
+        // The solve overran deadline * grace: fire its token. The
+        // budget's cancel check turns this into a prompt return; the
+        // worker survives and the request becomes a 504.
+        slot.token.request_cancel();
+        slot.killed = true;
+        ++kills;
+      } else if (slot.kill_at < wake) {
+        wake = slot.kill_at;
+      }
+    }
+    if (kills > 0) {
+      lock.unlock();
+      static const obs::Counter kill_counter("service.watchdog.kills");
+      kill_counter.add(kills);
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        stats_.watchdog_kills += kills;
+      }
+      lock.lock();
+      continue;
+    }
+    watchdog_cv_.wait_until(lock, wake);
+  }
 }
 
 void Server::accept_loop() {
@@ -168,6 +253,12 @@ void Server::handle_connection(int fd) {
                               request.fault().message);
   } else {
     response = process_request(request.value());
+  }
+  if (cache_degraded()) {
+    // Every response advertises the degraded persistence mode: plans are
+    // still served (and solved) normally, but cache inserts are not
+    // reaching disk until the journal heals.
+    response.headers.emplace_back("X-BC-Cache-Degraded", "journal");
   }
   support::write_all(fd, serialize_response(response));
   support::close_fd(fd);
@@ -229,11 +320,11 @@ HttpResponse Server::process_request(const HttpRequest& http) {
   return result.get();
 }
 
-void Server::worker_loop() {
+void Server::worker_loop(std::size_t worker) {
   while (true) {
     std::optional<Job> job = queue_->pop();
     if (!job.has_value()) return;
-    HttpResponse response = process_plan(job->request, job->replan);
+    HttpResponse response = process_plan(job->request, job->replan, worker);
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       if (response.status == 200) {
@@ -246,17 +337,34 @@ void Server::worker_loop() {
   }
 }
 
-HttpResponse Server::process_plan(const PlanRequest& request, bool replan) {
-  if (request.stall_ms > 0.0) {
-    // Test hook (gated at admission): deterministic worker occupancy for
-    // the overload chaos tests.
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(request.stall_ms));
-  }
-
+HttpResponse Server::process_plan(const PlanRequest& request, bool replan,
+                                  std::size_t worker) {
   const double deadline_s = request.deadline_ms > 0.0
                                 ? request.deadline_ms / 1000.0
                                 : options_.default_deadline_s;
+  // Arm before any work — including the stall_ms test hook, which is
+  // exactly the kind of wedged solve the watchdog exists to kill.
+  const support::CancelToken cancel = arm_watchdog(worker, deadline_s);
+  if (request.stall_ms > 0.0) {
+    // Test hook (gated at admission): deterministic worker occupancy for
+    // the overload and watchdog chaos tests.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(request.stall_ms));
+  }
+  HttpResponse response = solve_plan(request, replan, deadline_s, cancel);
+  if (disarm_watchdog(worker)) {
+    return error_response(
+        504, "Gateway Timeout", "watchdog_timeout",
+        "request overran its deadline by more than the grace factor (" +
+            std::to_string(options_.watchdog_grace) +
+            "x) and was cancelled by the watchdog");
+  }
+  return response;
+}
+
+HttpResponse Server::solve_plan(const PlanRequest& request, bool replan,
+                                double deadline_s,
+                                const support::CancelToken& cancel) {
   auto resolved = core::resolve_plan_request(request.profile,
                                              request.algorithm,
                                              request.radius_m, deadline_s);
@@ -266,9 +374,10 @@ HttpResponse Server::process_plan(const PlanRequest& request, bool replan) {
   }
   core::Profile& profile = resolved.value().profile;
   const tour::Algorithm algorithm = resolved.value().algorithm;
-  // Server shutdown cancels in-flight solves through the shared token; the
-  // anytime contract turns that into a fast degraded response.
-  profile.planner.budget.cancel = cancel_;
+  // The per-request token: fired by the watchdog past the grace window
+  // and by stop() at shutdown; the anytime contract turns either into a
+  // fast degraded/budget-exhausted return instead of a wedged worker.
+  profile.planner.budget.cancel = cancel;
 
   for (const net::SensorId id : request.remaining) {
     if (id >= request.positions.size()) {
@@ -382,9 +491,34 @@ HttpResponse Server::process_plan(const PlanRequest& request, bool replan) {
         // Only deterministic results are cacheable: a degraded plan
         // depends on wall-clock timing, and caching it would break the
         // cache-hit == cold-solve bit-identity guarantee.
-        std::lock_guard<std::mutex> lock(cache_mutex_);
-        cache_->put(key, encode_plan(plan));
-        cache_->flush();  // journal every insert: SIGKILL-safe by rename
+        Expected<bool> flushed = true;
+        {
+          std::lock_guard<std::mutex> lock(cache_mutex_);
+          cache_->put(key, encode_plan(plan));
+          // Journal every insert (O(new entries): fsynced append, with
+          // self-healing compaction underneath). A failing journal —
+          // disk full, dead disk — must never take the daemon down:
+          // the entry stays in memory, the flush is retried on the next
+          // insert, and the daemon flags itself cache-degraded until a
+          // retry lands.
+          flushed = cache_->flush();
+        }
+        if (!flushed.has_value()) {
+          const bool entered = !cache_degraded_.exchange(
+              true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.cache_flush_failures;
+          if (entered) ++stats_.degraded_mode_entries;
+        } else if (cache_degraded_.exchange(false,
+                                            std::memory_order_relaxed)) {
+          // A flush landed again: the journal healed itself (pending
+          // entries were retried through a compacting rewrite).
+          static const obs::Counter recoveries(
+              "service.plan_cache.fault_recoveries");
+          recoveries.add(1);
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.fault_recoveries;
+        }
       }
     }
     body += "  \"cached\": ";
@@ -405,9 +539,13 @@ HttpResponse Server::stats_response() const {
   const ServerStats snapshot = stats();
   const std::size_t queue_depth = queue_->size();
   std::size_t cache_entries = 0;
+  std::uint64_t cache_compactions = 0;
+  std::uint64_t cache_evictions = 0;
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     cache_entries = cache_->size();
+    cache_compactions = cache_->compactions();
+    cache_evictions = cache_->evictions();
   }
   std::string body = "{\n";
   const auto field = [&body](std::string_view name, std::uint64_t value,
@@ -424,6 +562,13 @@ HttpResponse Server::stats_response() const {
   field("cache_hits", snapshot.cache_hits);
   field("cache_misses", snapshot.cache_misses);
   field("retry_attempts", snapshot.retry_attempts);
+  field("watchdog_kills", snapshot.watchdog_kills);
+  field("cache_flush_failures", snapshot.cache_flush_failures);
+  field("degraded_mode_entries", snapshot.degraded_mode_entries);
+  field("fault_recoveries", snapshot.fault_recoveries);
+  field("cache_degraded", cache_degraded() ? 1 : 0);
+  field("cache_compactions", cache_compactions);
+  field("cache_evictions", cache_evictions);
   field("queue_depth", queue_depth);
   field("cache_entries", cache_entries);
   field("workers", options_.workers);

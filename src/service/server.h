@@ -23,18 +23,30 @@
 //                       concurrent requests produce metrics snapshots
 //                       identical to serial runs; parallelism is *across*
 //                       requests (the worker count), not within one.
+//   hung-solve          a monitor thread tracks every in-flight request's
+//   watchdog            per-request CancelToken and fires it when the
+//                       request overruns its deadline by a grace factor —
+//                       the request returns 504 and the worker goes back
+//                       to the pool instead of wedging forever.
+//   degraded            a failing cache journal (disk full, dead disk)
+//   cache-bypass        never takes the daemon down: flush failures flip
+//                       a cache-degraded flag (X-BC-Cache-Degraded header
+//                       + /statsz), solves keep serving from memory, and
+//                       the first successful re-flush self-heals the
+//                       journal and clears the flag.
 //
 // Threading: one accept thread; one short-lived handler thread per
 // connection (parse, shed/enqueue, wait, respond — all socket I/O under
 // SO_RCVTIMEO/SO_SNDTIMEO so a stalled peer cannot wedge shutdown); a
-// fixed pool of worker threads popping the bounded queue. stop() closes
-// the listener, drains accepted work, cancels in-flight solves through the
-// shared CancelToken, and joins everything.
+// fixed pool of worker threads popping the bounded queue; one watchdog
+// thread. stop() closes the listener, drains accepted work, cancels
+// in-flight solves through the per-request tokens, and joins everything.
 
 #ifndef BUNDLECHARGE_SERVICE_SERVER_H_
 #define BUNDLECHARGE_SERVICE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -64,6 +76,21 @@ struct ServerOptions {
   double retry_after_ms = 100.0;  // advisory backoff in 503 responses
   RetryPolicy retry{};           // transient-replan-fault retry policy
   WireLimits limits{};
+  // Plan-cache bounds: max_entries (FIFO-evicted at compaction) and the
+  // journal size that triggers a compacting rewrite.
+  PlanCacheLimits cache_limits{};
+  // Hung-solve watchdog: a request is killed (CancelToken fired, 504)
+  // when it runs past max(deadline * watchdog_grace, watchdog_min_window_s).
+  // Requests without a deadline are never killed, only cancelled at
+  // shutdown. The floor exists because the anytime contract's deadline
+  // overshoot is wall-clock noise (budget polls every kClockPollStride
+  // nodes, CPU contention stretches it): killing a tiny-deadline solve
+  // that was about to return its degraded incumbent trades a valid plan
+  // for a 504. Chaos tests lower the floor to provoke kills quickly.
+  bool enable_watchdog = true;
+  double watchdog_grace = 4.0;
+  double watchdog_min_window_s = 1.0;
+  double watchdog_poll_s = 0.01;  // monitor wake-up cadence
   // Honour the request's stall_ms sleep (chaos tests build deterministic
   // overload with it). Production servers reject stall_ms outright.
   bool enable_test_hooks = false;
@@ -81,6 +108,10 @@ struct ServerStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t retry_attempts = 0;  // replan solver attempts beyond first
+  std::uint64_t watchdog_kills = 0;  // CancelTokens fired past the grace
+  std::uint64_t cache_flush_failures = 0;   // journal syncs that faulted
+  std::uint64_t degraded_mode_entries = 0;  // healthy -> cache-degraded flips
+  std::uint64_t fault_recoveries = 0;       // cache-degraded -> healthy flips
 };
 
 class Server {
@@ -103,24 +134,49 @@ class Server {
 
   ServerStats stats() const;
 
+  // True while the cache journal is failing and persistence is bypassed.
+  bool cache_degraded() const {
+    return cache_degraded_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Job;
+
+  // One per worker: the in-flight request's cancellation token and its
+  // watchdog kill time. Guarded by watchdog_mutex_.
+  struct WatchdogSlot {
+    support::CancelToken token{};
+    std::chrono::steady_clock::time_point kill_at{};
+    bool armed = false;
+    bool killed = false;
+  };
 
   explicit Server(ServerOptions options);
 
   void accept_loop();
-  void worker_loop();
+  void worker_loop(std::size_t worker);
+  void watchdog_loop();
+  // Installs a fresh per-request token in `worker`'s slot and schedules
+  // the watchdog kill (deadline * grace; never for deadline 0). Returns
+  // the token to thread into the solve's Budget.
+  support::CancelToken arm_watchdog(std::size_t worker, double deadline_s);
+  // Clears the slot; true when the watchdog killed this request.
+  bool disarm_watchdog(std::size_t worker);
   void handle_connection(int fd);
   HttpResponse process_request(const HttpRequest& http);
-  HttpResponse process_plan(const PlanRequest& request, bool replan);
+  HttpResponse process_plan(const PlanRequest& request, bool replan,
+                            std::size_t worker);
+  HttpResponse solve_plan(const PlanRequest& request, bool replan,
+                          double deadline_s,
+                          const support::CancelToken& cancel);
   HttpResponse stats_response() const;
 
   ServerOptions options_;
   support::ListenSocket listener_{};
   std::uint16_t port_ = 0;
-  support::CancelToken cancel_{};
   std::unique_ptr<PlanCache> cache_;
   mutable std::mutex cache_mutex_;
+  std::atomic<bool> cache_degraded_{false};
 
   std::unique_ptr<BoundedQueue<Job>> queue_;
   std::thread accept_thread_;
@@ -128,6 +184,13 @@ class Server {
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;
   std::mutex stop_mutex_;
+
+  // Watchdog state: one slot per worker, a cv-driven monitor thread.
+  mutable std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  std::vector<WatchdogSlot> watchdog_slots_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_thread_;
 
   // Detached handler threads are tracked by count so stop() can wait for
   // the last one to finish writing its response.

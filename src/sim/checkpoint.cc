@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "support/atomic_file.h"
 #include "support/require.h"
 
@@ -37,12 +38,6 @@ std::vector<std::string> tokens_of(const std::string& line) {
   return out;
 }
 
-std::string crc_hex(std::string_view data) {
-  char buf[16];
-  std::snprintf(buf, sizeof(buf), "%08" PRIx32, support::crc32(data));
-  return buf;
-}
-
 Fault corrupt(const std::string& path, std::size_t line_no,
               const std::string& why) {
   return Fault{FaultKind::kInvalidInput,
@@ -53,70 +48,56 @@ Fault corrupt(const std::string& path, std::size_t line_no,
 }  // namespace
 
 Expected<CheckpointJournal> CheckpointJournal::open(std::string path,
-                                                    std::string sweep_id) {
+                                                    std::string sweep_id,
+                                                    CheckpointLimits limits) {
   support::require(is_clean_token(sweep_id),
                    "sweep id must be a non-empty whitespace-free token");
-  CheckpointJournal journal(std::move(path), std::move(sweep_id));
-  if (!support::file_exists(journal.path_)) return journal;
-
-  auto contents = support::read_file(journal.path_);
-  if (!contents.has_value()) return contents.fault();
-
-  std::istringstream in(contents.value());
-  std::string line;
-  std::size_t line_no = 0;
-  bool saw_header = false;
-  while (std::getline(in, line)) {
-    ++line_no;
-    // A torn final line (no trailing newline and fewer fields than a
-    // record needs) is dropped: it can only be the last append of a
-    // crashed writer that bypassed the atomic path.
-    const bool is_final_torn = in.eof() && !contents.value().empty() &&
-                               contents.value().back() != '\n';
-    if (line.empty()) continue;
+  support::JournalFormat format;
+  format.header_line = std::string(kMagic);
+  format.header_line += ' ';
+  format.header_line += kVersion;
+  format.header_line += ' ';
+  format.header_line += sweep_id;
+  format.record_tag = "cell";
+  const std::string path_copy = path;
+  const std::string sweep_copy = sweep_id;
+  format.validate_header =
+      [path_copy, sweep_copy](const std::string& line,
+                              std::size_t line_no) -> Expected<bool> {
     const std::vector<std::string> fields = tokens_of(line);
-    if (!saw_header) {
-      if (fields.size() != 3 || fields[0] != kMagic) {
-        return corrupt(journal.path_, line_no, "missing header");
-      }
-      if (fields[1] != kVersion) {
-        return corrupt(journal.path_, line_no,
-                       "unsupported version " + fields[1]);
-      }
-      if (fields[2] != journal.sweep_id_) {
-        return Fault{FaultKind::kInvalidInput,
-                     journal.path_ + ": sweep id mismatch (journal " +
-                         fields[2] + ", caller " + journal.sweep_id_ +
-                         ") — refusing to mix sweeps"};
-      }
-      saw_header = true;
-      continue;
+    if (fields.size() != 3 || fields[0] != kMagic) {
+      return corrupt(path_copy, line_no, "missing header");
     }
-    if (fields.size() != 4 || fields[0] != "cell") {
-      if (is_final_torn) break;
-      return corrupt(journal.path_, line_no, "malformed record");
+    if (fields[1] != kVersion) {
+      return corrupt(path_copy, line_no, "unsupported version " + fields[1]);
     }
-    const std::string body = fields[2] + " " + fields[3];
-    if (crc_hex(body) != fields[1]) {
-      if (is_final_torn) break;
-      return corrupt(journal.path_, line_no, "CRC mismatch for " + fields[2]);
+    if (fields[2] != sweep_copy) {
+      return Fault{FaultKind::kInvalidInput,
+                   path_copy + ": sweep id mismatch (journal " + fields[2] +
+                       ", caller " + sweep_copy +
+                       ") — refusing to mix sweeps"};
     }
-    journal.cells_[fields[2]] = fields[3];
-  }
-  if (!saw_header) {
-    // Empty file: treat as a fresh journal (e.g. touch(1) before running).
-    journal.cells_.clear();
-  }
-  return journal;
+    return true;
+  };
+  format.record_fault = [path_copy](std::size_t line_no,
+                                    const std::string& why) {
+    return corrupt(path_copy, line_no, why);
+  };
+  support::JournalLimits journal_limits;
+  journal_limits.compact_threshold_bytes = limits.compact_threshold_bytes;
+  auto journal = support::AppendJournal::open(std::move(path),
+                                              std::move(format),
+                                              journal_limits);
+  if (!journal.has_value()) return journal.fault();
+  return CheckpointJournal(std::move(journal.value()), std::move(sweep_id));
 }
 
 bool CheckpointJournal::contains(const std::string& key) const {
-  return cells_.find(key) != cells_.end();
+  return journal_.contains(key);
 }
 
 const std::string* CheckpointJournal::lookup(const std::string& key) const {
-  const auto it = cells_.find(key);
-  return it == cells_.end() ? nullptr : &it->second;
+  return journal_.lookup(key);
 }
 
 void CheckpointJournal::record(const std::string& key,
@@ -124,27 +105,27 @@ void CheckpointJournal::record(const std::string& key,
   support::require(is_clean_token(key), "cell key must be whitespace-free");
   support::require(is_clean_token(payload),
                    "cell payload must be whitespace-free");
-  cells_[key] = payload;
+  journal_.put(key, payload);
 }
 
-Expected<bool> CheckpointJournal::flush() const {
-  std::string out;
-  out.reserve(64 + cells_.size() * 96);
-  out.append(kMagic);
-  out.push_back(' ');
-  out.append(kVersion);
-  out.push_back(' ');
-  out.append(sweep_id_);
-  out.push_back('\n');
-  for (const auto& [key, payload] : cells_) {
-    const std::string body = key + " " + payload;
-    out.append("cell ");
-    out.append(crc_hex(body));
-    out.push_back(' ');
-    out.append(body);
-    out.push_back('\n');
+void CheckpointJournal::publish_telemetry() {
+  static const obs::Counter compactions("sim.checkpoint.compactions");
+  if (journal_.compactions() > reported_compactions_) {
+    compactions.add(journal_.compactions() - reported_compactions_);
+    reported_compactions_ = journal_.compactions();
   }
-  return support::write_file_atomic(path_, out);
+}
+
+Expected<bool> CheckpointJournal::flush() {
+  auto synced = journal_.sync();
+  publish_telemetry();
+  return synced;
+}
+
+Expected<bool> CheckpointJournal::compact() {
+  auto compacted = journal_.compact();
+  publish_telemetry();
+  return compacted;
 }
 
 std::string encode_metrics(const PlanMetrics& metrics) {

@@ -20,37 +20,49 @@
 // hexfloats so a decoded cell is bit-identical to the computed one. Each
 // record carries a CRC-32 (IEEE) over "<key> <payload>".
 //
-// Durability: flush() rewrites the whole file through
-// support::write_file_atomic (write temp, fsync, rename), so a crash
-// leaves either the old or the new journal, never a torn one. A torn
-// *final* line (possible only with external tampering or partial copies)
-// is tolerated and dropped; corruption anywhere else is an
-// kInvalidInput fault — better to recompute a sweep than to average
-// garbage.
+// Durability: flush() appends the newly recorded cells with an fsync
+// (support::append_file_durable) — O(new cells), which matters when a
+// sweep journals thousands of cells chunk by chunk. A crash can tear at
+// most the final line; open() drops a torn tail, keeps every complete
+// record, and schedules a self-healing compaction. When the file grows
+// past a size threshold (or an append ever fails), flush() falls back to
+// a full key-sorted rewrite through support::write_file_atomic, whose
+// bytes are a pure function of the recorded cell set. Complete-but-wrong
+// records are a kInvalidInput fault — better to recompute a sweep than
+// to average garbage.
 
 #ifndef BUNDLECHARGE_SIM_CHECKPOINT_H_
 #define BUNDLECHARGE_SIM_CHECKPOINT_H_
 
 #include <cstddef>
-#include <map>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "sim/evaluate.h"
 #include "support/expected.h"
+#include "support/journal.h"
 
 namespace bc::sim {
+
+struct CheckpointLimits {
+  // Journal size that triggers a compacting rewrite instead of an
+  // append. Cells are never evicted — a checkpoint exists to avoid
+  // recomputation, so it is bounded by compaction alone.
+  std::size_t compact_threshold_bytes = 1u << 20;
+};
 
 class CheckpointJournal {
  public:
   // Opens `path`, creating an empty journal if the file does not exist.
-  // An existing file must carry a matching version and sweep id.
-  static support::Expected<CheckpointJournal> open(std::string path,
-                                                   std::string sweep_id);
+  // An existing file must carry a matching version and sweep id. Stale
+  // temp files from a crashed writer are garbage-collected here.
+  static support::Expected<CheckpointJournal> open(
+      std::string path, std::string sweep_id, CheckpointLimits limits = {});
 
-  const std::string& path() const { return path_; }
+  const std::string& path() const { return journal_.path(); }
   const std::string& sweep_id() const { return sweep_id_; }
-  std::size_t size() const { return cells_.size(); }
+  std::size_t size() const { return journal_.size(); }
 
   bool contains(const std::string& key) const;
   // Payload for `key`, or nullptr when the cell is not journaled.
@@ -60,18 +72,33 @@ class CheckpointJournal {
   // key and payload are non-empty and contain no whitespace/newlines.
   void record(const std::string& key, const std::string& payload);
 
-  // Atomically persists header + every recorded cell. Record order is
-  // sorted by key, so the bytes on disk are independent of completion
-  // order (and therefore of thread count and resume history).
-  support::Expected<bool> flush() const;
+  // Persists cells recorded since the last flush (append or, when the
+  // tail is unhealthy or the size threshold trips, a compaction). On
+  // failure the pending cells are retained for retry.
+  support::Expected<bool> flush();
+
+  // Forces the compacting rewrite: header + cells, key-sorted — bytes
+  // independent of completion order, thread count, and resume history.
+  support::Expected<bool> compact();
+
+  // Robustness telemetry (mirrored into obs counters by flush/compact).
+  std::uint64_t compactions() const { return journal_.compactions(); }
+  std::uint64_t stale_temps_removed() const {
+    return journal_.stale_temps_removed();
+  }
+  std::uint64_t torn_tails_dropped() const {
+    return journal_.torn_tails_dropped();
+  }
 
  private:
-  CheckpointJournal(std::string path, std::string sweep_id)
-      : path_(std::move(path)), sweep_id_(std::move(sweep_id)) {}
+  CheckpointJournal(support::AppendJournal journal, std::string sweep_id)
+      : journal_(std::move(journal)), sweep_id_(std::move(sweep_id)) {}
 
-  std::string path_;
+  void publish_telemetry();
+
+  support::AppendJournal journal_;
   std::string sweep_id_;
-  std::map<std::string, std::string> cells_;  // key -> payload
+  std::uint64_t reported_compactions_ = 0;
 };
 
 // PlanMetrics <-> whitespace-free payload token. Doubles round-trip

@@ -10,11 +10,14 @@
 #include <process.h>
 #include <sstream>
 #else
+#include <dirent.h>
 #include <fcntl.h>
 #include <unistd.h>
 #endif
 
 #include <sys/stat.h>
+
+#include "support/iofault.h"
 
 namespace bc::support {
 
@@ -56,6 +59,8 @@ std::uint32_t crc32(std::string_view data) {
   return c ^ 0xFFFFFFFFu;
 }
 
+std::string temp_prefix(const std::string& path) { return path + ".tmp."; }
+
 #ifndef _WIN32
 
 // POSIX implementation on raw descriptors. Every loop retries EINTR and
@@ -64,6 +69,10 @@ std::uint32_t crc32(std::string_view data) {
 // shutdown signals) must either complete or fail loudly — a partially
 // flushed buffer surfacing as "spurious corruption" on the next open is
 // the failure mode this file exists to prevent.
+//
+// Each syscall is armed through iofault first; an injected kind turns
+// into the corresponding errno so callers see exactly what a real
+// failing disk would produce.
 
 namespace {
 
@@ -95,31 +104,146 @@ bool fsync_retry(int fd) {
   }
 }
 
+int guarded_open(const char* path, int flags, mode_t mode) {
+  const iofault::Kind kind = iofault::arm(iofault::Op::kOpen);
+  if (kind != iofault::Kind::kNone) {
+    errno = kind == iofault::Kind::kEnospc ? ENOSPC : EIO;
+    return -1;
+  }
+  return open_retry(path, flags, mode);
+}
+
+bool guarded_write(int fd, std::string_view data) {
+  const iofault::Kind kind = iofault::arm(iofault::Op::kWrite);
+  if (kind == iofault::Kind::kShortWrite) {
+    // Persist a genuine prefix before failing so recovery code faces a
+    // real torn tail, not a cleanly absent write.
+    write_fully(fd, data.substr(0, data.size() / 2));
+    errno = EIO;
+    return false;
+  }
+  if (kind != iofault::Kind::kNone) {
+    errno = kind == iofault::Kind::kEnospc ? ENOSPC : EIO;
+    return false;
+  }
+  return write_fully(fd, data);
+}
+
+bool guarded_fsync(int fd) {
+  const iofault::Kind kind = iofault::arm(iofault::Op::kFsync);
+  if (kind != iofault::Kind::kNone) {
+    errno = EIO;
+    return false;
+  }
+  return fsync_retry(fd);
+}
+
+bool guarded_close(int fd) {
+  const iofault::Kind kind = iofault::arm(iofault::Op::kClose);
+  if (kind != iofault::Kind::kNone) {
+    ::close(fd);  // still release the descriptor; only the result lies
+    errno = EIO;
+    return false;
+  }
+  // close() is not retried on EINTR — POSIX leaves the fd unspecified and
+  // a retry can close an unrelated reused descriptor. The data is already
+  // synced, so an EINTR'd close is a success for durability purposes.
+  return ::close(fd) == 0 || errno == EINTR;
+}
+
 }  // namespace
 
 Expected<bool> write_file_atomic(const std::string& path,
                                  std::string_view contents) {
-  const std::string tmp = path + ".tmp." + std::to_string(current_pid());
+  const std::string tmp = temp_prefix(path) + std::to_string(current_pid());
   const int fd =
-      open_retry(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      guarded_open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return io_fault("cannot create", tmp);
-  const bool wrote = write_fully(fd, contents);
+  const bool wrote = guarded_write(fd, contents);
   // fsync before rename: a rename of unsynced data could survive the
   // rename yet lose the bytes on power failure.
-  const bool synced = wrote && fsync_retry(fd);
-  // close() is not retried on EINTR — POSIX leaves the fd unspecified and
-  // a retry can close an unrelated reused descriptor. The data is already
-  // synced, so an EINTR'd close is a success for durability purposes.
-  const bool closed = ::close(fd) == 0 || errno == EINTR;
+  const bool synced = wrote && guarded_fsync(fd);
+  const bool closed = (wrote && synced) ? guarded_close(fd)
+                                        : (::close(fd) == 0 || errno == EINTR);
   if (!wrote || !synced || !closed) {
+    const int saved_errno = errno;
     std::remove(tmp.c_str());
+    errno = saved_errno;
     return io_fault("cannot write", tmp);
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  const iofault::Kind rename_kind = iofault::arm(iofault::Op::kRename);
+  if (rename_kind == iofault::Kind::kCrashBeforeRename) {
+    // Simulated kill between fsync and rename: the temp survives (as it
+    // would under a real SIGKILL) and the destination is untouched.
+    // remove_stale_temps() on the next journal open is the GC path.
+    return Fault{FaultKind::kInvalidInput,
+                 "simulated crash before rename of '" + tmp + "'"};
+  }
+  if (rename_kind == iofault::Kind::kCrashAfterRename) {
+    // Simulated kill just after the commit point: the rename happens,
+    // but the caller never learns it succeeded — recovery must treat
+    // "failed" flushes as possibly-committed.
+    std::rename(tmp.c_str(), path.c_str());
+    return Fault{FaultKind::kInvalidInput,
+                 "simulated crash after rename into '" + path + "'"};
+  }
+  if (rename_kind != iofault::Kind::kNone) {
     std::remove(tmp.c_str());
+    errno = EIO;
+    return io_fault("cannot rename into", path);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved_errno = errno;
+    std::remove(tmp.c_str());
+    errno = saved_errno;
     return io_fault("cannot rename into", path);
   }
   return true;
+}
+
+Expected<bool> append_file_durable(const std::string& path,
+                                   std::string_view data) {
+  const int fd =
+      guarded_open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return io_fault("cannot open for append", path);
+  const bool wrote = guarded_write(fd, data);
+  const bool synced = wrote && guarded_fsync(fd);
+  const bool closed = (wrote && synced) ? guarded_close(fd)
+                                        : (::close(fd) == 0 || errno == EINTR);
+  if (!wrote || !synced || !closed) {
+    // The file may now carry a torn final line; journal recovery drops
+    // it on read and the next sync compacts the file atomically.
+    return io_fault("cannot append to", path);
+  }
+  return true;
+}
+
+std::size_t remove_stale_temps(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::string prefix = base + ".tmp.";
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return 0;
+  std::size_t removed = 0;
+  for (;;) {
+    errno = 0;
+    struct dirent* entry = ::readdir(handle);
+    if (entry == nullptr) break;
+    const std::string name = entry->d_name;
+    if (name.size() <= prefix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string victim =
+        (dir == "/" ? std::string("/") : dir + "/") + name;
+    if (std::remove(victim.c_str()) == 0) ++removed;
+  }
+  ::closedir(handle);
+  return removed;
 }
 
 Expected<std::string> read_file(const std::string& path) {
@@ -143,11 +267,12 @@ Expected<std::string> read_file(const std::string& path) {
   return contents;
 }
 
-#else  // _WIN32: stdio fallback (no fsync-by-fd portability concerns here).
+#else  // _WIN32: stdio fallback (no fsync-by-fd portability concerns here,
+       // and no fault injection — chaos suites are POSIX/CI-only).
 
 Expected<bool> write_file_atomic(const std::string& path,
                                  std::string_view contents) {
-  const std::string tmp = path + ".tmp." + std::to_string(current_pid());
+  const std::string tmp = temp_prefix(path) + std::to_string(current_pid());
   std::FILE* file = std::fopen(tmp.c_str(), "wb");
   if (file == nullptr) return io_fault("cannot create", tmp);
   const bool wrote =
@@ -165,6 +290,25 @@ Expected<bool> write_file_atomic(const std::string& path,
     return io_fault("cannot rename into", path);
   }
   return true;
+}
+
+Expected<bool> append_file_durable(const std::string& path,
+                                   std::string_view data) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) return io_fault("cannot open for append", path);
+  const bool wrote = data.empty() ||
+                     std::fwrite(data.data(), 1, data.size(), file) ==
+                         data.size();
+  const bool synced = wrote && std::fflush(file) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !synced || !closed) return io_fault("cannot append to", path);
+  return true;
+}
+
+std::size_t remove_stale_temps(const std::string& path) {
+  // Best effort without dirent: reap this process's own temp name.
+  const std::string tmp = temp_prefix(path) + std::to_string(current_pid());
+  return std::remove(tmp.c_str()) == 0 ? 1u : 0u;
 }
 
 Expected<std::string> read_file(const std::string& path) {

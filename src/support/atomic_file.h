@@ -6,6 +6,10 @@
 // destination, so readers observe either the old complete file or the new
 // complete file, never a prefix — and records carry CRC-32 checksums so a
 // corrupted journal is detected instead of replayed.
+//
+// On POSIX every open/write/fsync/close/rename here passes through
+// `support/iofault`, so chaos tests can fail any individual syscall
+// deterministically (ENOSPC, EIO, short writes, torn renames).
 
 #ifndef BUNDLECHARGE_SUPPORT_ATOMIC_FILE_H_
 #define BUNDLECHARGE_SUPPORT_ATOMIC_FILE_H_
@@ -24,9 +28,30 @@ std::uint32_t crc32(std::string_view data);
 // Writes `contents` to `path` atomically: write to `<path>.tmp.<pid>`,
 // flush + fsync, rename over `path`. On any failure the destination is
 // untouched and the temp file is removed. Faults use kInvalidInput with
-// the failing path in the message.
+// the failing path in the message. The one exception to temp cleanup is
+// an injected crash-before-rename, which deliberately leaves the temp
+// behind — that is what a real SIGKILL between fsync and rename leaves,
+// and `remove_stale_temps` is the recovery path for it.
 Expected<bool> write_file_atomic(const std::string& path,
                                  std::string_view contents);
+
+// Appends `data` to `path` (creating it if absent) with O_APPEND, then
+// fsyncs. On failure the file may be left with a torn tail — a partial
+// final line. Callers that append framed records (support/journal)
+// tolerate exactly one torn final line on read and heal it by rewriting
+// the file atomically on the next sync.
+Expected<bool> append_file_durable(const std::string& path,
+                                   std::string_view data);
+
+// Removes leftover `<path>.tmp.*` files abandoned by a writer that
+// crashed between creating its temp and renaming it into place.
+// Returns the number of files removed. Journal open() calls this so a
+// crashed predecessor can never leak temps indefinitely.
+std::size_t remove_stale_temps(const std::string& path);
+
+// The `<path>.tmp.` prefix write_file_atomic uses for its temp files —
+// exposed so leak-regression tests can scan a directory for strays.
+std::string temp_prefix(const std::string& path);
 
 // Reads a whole file; kInvalidInput fault when it cannot be opened/read.
 Expected<std::string> read_file(const std::string& path);

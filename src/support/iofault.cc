@@ -1,0 +1,228 @@
+#include "support/iofault.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "support/rng.h"
+
+namespace bc::support::iofault {
+
+namespace {
+
+// 0 = env not yet consulted, 1 = disabled (fast path), 2 = enabled.
+std::atomic<int> g_state{0};
+
+std::mutex g_mutex;
+Plan g_plan;                 // guarded by g_mutex
+std::uint64_t g_ops = 0;     // guarded by g_mutex
+std::uint64_t g_injected = 0;  // guarded by g_mutex
+std::vector<Op> g_trace;     // guarded by g_mutex
+
+// A runaway loop retrying a sticky fault could otherwise grow the trace
+// without bound; sweeps never need more points than this.
+constexpr std::size_t kTraceCap = 1 << 16;
+
+// Called under g_mutex with g_state == 0: consult BC_IOFAULT once.
+void load_env_locked() {
+  const char* spec = std::getenv("BC_IOFAULT");
+  if (spec == nullptr || *spec == '\0') {
+    g_state.store(1, std::memory_order_release);
+    return;
+  }
+  Plan plan;
+  if (!parse_plan(spec, &plan)) {
+    std::fprintf(stderr, "bundlecharge: ignoring malformed BC_IOFAULT=%s\n",
+                 spec);
+    g_state.store(1, std::memory_order_release);
+    return;
+  }
+  g_plan = plan;
+  g_ops = 0;
+  g_injected = 0;
+  g_trace.clear();
+  g_state.store(2, std::memory_order_release);
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char ch : text) {
+    if (ch < '0' || ch > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(ch - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+Kind kind_from_name(const std::string& name) {
+  for (int k = 0; k < static_cast<int>(Kind::kNumKinds); ++k) {
+    if (name == kind_name(static_cast<Kind>(k))) return static_cast<Kind>(k);
+  }
+  return Kind::kNumKinds;
+}
+
+}  // namespace
+
+bool kind_applies(Kind kind, Op op) {
+  switch (kind) {
+    case Kind::kEnospc:
+      return op == Op::kOpen || op == Op::kWrite;
+    case Kind::kEio:
+      return op == Op::kOpen || op == Op::kWrite || op == Op::kFsync;
+    case Kind::kShortWrite:
+      return op == Op::kWrite;
+    case Kind::kFsyncFail:
+      return op == Op::kFsync;
+    case Kind::kCloseFail:
+      return op == Op::kClose;
+    case Kind::kRenameFail:
+    case Kind::kCrashBeforeRename:
+    case Kind::kCrashAfterRename:
+      return op == Op::kRename;
+    case Kind::kNone:
+    case Kind::kNumKinds:
+      return false;
+  }
+  return false;
+}
+
+void set_plan(const Plan& plan) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_plan = plan;
+  g_ops = 0;
+  g_injected = 0;
+  g_trace.clear();
+  g_state.store(2, std::memory_order_release);
+}
+
+void clear() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_plan = Plan{};
+  g_ops = 0;
+  g_injected = 0;
+  g_trace.clear();
+  g_state.store(0, std::memory_order_release);
+}
+
+Kind arm(Op op) {
+  int state = g_state.load(std::memory_order_acquire);
+  if (state == 1) return Kind::kNone;  // the production fast path
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_state.load(std::memory_order_relaxed) == 0) load_env_locked();
+  if (g_state.load(std::memory_order_relaxed) != 2) return Kind::kNone;
+  const std::uint64_t index = g_ops++;
+  if (g_trace.size() < kTraceCap) g_trace.push_back(op);
+  const bool hit =
+      g_plan.sticky ? index >= g_plan.at_op : index == g_plan.at_op;
+  if (!hit || !kind_applies(g_plan.kind, op)) return Kind::kNone;
+  ++g_injected;
+  return g_plan.kind;
+}
+
+std::uint64_t ops_observed() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return g_ops;
+}
+
+std::uint64_t injected() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return g_injected;
+}
+
+std::vector<Op> trace() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return g_trace;
+}
+
+Plan plan_from_seed(std::uint64_t seed) {
+  SplitMix64 stream(seed);
+  Plan plan;
+  const std::uint64_t n_kinds = static_cast<std::uint64_t>(Kind::kNumKinds);
+  plan.kind = static_cast<Kind>(1 + stream.next() % (n_kinds - 1));
+  // Journals touch a handful of fault points per sync; 24 keeps most
+  // seeds landing on a live point while still probing "past the end"
+  // (which must be a clean no-fault run).
+  plan.at_op = stream.next() % 24;
+  plan.sticky = (stream.next() & 1u) != 0;
+  return plan;
+}
+
+bool parse_plan(const std::string& spec, Plan* out) {
+  if (spec == "trace") {
+    *out = Plan{};
+    return true;
+  }
+  const std::string seed_prefix = "seed:";
+  if (spec.rfind(seed_prefix, 0) == 0) {
+    std::uint64_t seed = 0;
+    if (!parse_u64(spec.substr(seed_prefix.size()), &seed)) return false;
+    *out = plan_from_seed(seed);
+    return true;
+  }
+  const std::size_t at = spec.find('@');
+  if (at == std::string::npos) return false;
+  Plan plan;
+  plan.kind = kind_from_name(spec.substr(0, at));
+  if (plan.kind == Kind::kNumKinds || plan.kind == Kind::kNone) return false;
+  std::string rest = spec.substr(at + 1);
+  const std::string sticky_suffix = ":sticky";
+  if (rest.size() >= sticky_suffix.size() &&
+      rest.compare(rest.size() - sticky_suffix.size(), sticky_suffix.size(),
+                   sticky_suffix) == 0) {
+    plan.sticky = true;
+    rest.resize(rest.size() - sticky_suffix.size());
+  }
+  if (!parse_u64(rest, &plan.at_op)) return false;
+  *out = plan;
+  return true;
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kOpen:
+      return "open";
+    case Op::kWrite:
+      return "write";
+    case Op::kFsync:
+      return "fsync";
+    case Op::kClose:
+      return "close";
+    case Op::kRename:
+      return "rename";
+    case Op::kNumOps:
+      break;
+  }
+  return "?";
+}
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kEnospc:
+      return "enospc";
+    case Kind::kEio:
+      return "eio";
+    case Kind::kShortWrite:
+      return "short_write";
+    case Kind::kFsyncFail:
+      return "fsync_fail";
+    case Kind::kCloseFail:
+      return "close_fail";
+    case Kind::kRenameFail:
+      return "rename_fail";
+    case Kind::kCrashBeforeRename:
+      return "crash_before_rename";
+    case Kind::kCrashAfterRename:
+      return "crash_after_rename";
+    case Kind::kNumKinds:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace bc::support::iofault

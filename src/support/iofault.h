@@ -1,0 +1,121 @@
+// Deterministic system-I/O fault injection.
+//
+// The planner side of the repo has had a seeded fault model since PR 2
+// (`sim/faults`): sensor deaths and battery shortfalls are drawn from a
+// SplitMix64 stream so every disruption scenario is replayable from one
+// integer. The serving side had nothing comparable — disk-full during a
+// cache flush, EIO on fsync, or a rename torn by a crash were simply
+// untested. This header brings the same discipline to system I/O: every
+// guarded syscall in `support/atomic_file` (and therefore every journal
+// built on it) passes through `iofault::arm()`, which assigns the call a
+// process-wide fault-point index and consults the active plan. A chaos
+// test first records a clean run to enumerate the fault points, then
+// replays the same workload once per point with an injected failure —
+// the sweep over *all* points is exhaustive by construction, not by
+// sampling.
+//
+// Disabled (the default) the layer is a single relaxed atomic load per
+// guarded call; production binaries pay essentially nothing.
+//
+// Plans come from the test API (`set_plan`) or from the `BC_IOFAULT`
+// environment variable:
+//
+//   BC_IOFAULT=enospc@7          inject ENOSPC at fault point 7
+//   BC_IOFAULT=eio@3:sticky      EIO at point 3 and every later point
+//                                (a persistently failing disk)
+//   BC_IOFAULT=seed:42           derive {kind, point, stickiness} from
+//                                SplitMix64(42) — the nightly sweep mode
+//   BC_IOFAULT=trace             inject nothing, just count fault points
+
+#ifndef BUNDLECHARGE_SUPPORT_IOFAULT_H_
+#define BUNDLECHARGE_SUPPORT_IOFAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bc::support::iofault {
+
+// The guarded operation classes. Each call to `arm` names the operation
+// it is about to perform; the plan decides whether that call fails.
+enum class Op : std::uint8_t {
+  kOpen = 0,
+  kWrite,
+  kFsync,
+  kClose,
+  kRename,
+  kNumOps,  // count sentinel
+};
+
+// What to inject. Crash kinds model a process killed around the
+// rename(2) commit point: "before" leaves only the temp file (the
+// caller sees a fault and the destination is stale), "after" commits
+// the rename but the caller never learns it succeeded — the classic
+// ambiguous-outcome window that recovery code must tolerate.
+enum class Kind : std::uint8_t {
+  kNone = 0,
+  kEnospc,             // open/write fails with ENOSPC
+  kEio,                // open/write/fsync fails with EIO
+  kShortWrite,         // write persists a prefix, then fails
+  kFsyncFail,          // fsync fails with EIO (data may be lost)
+  kCloseFail,          // close fails with EIO
+  kRenameFail,         // rename fails with EIO, destination untouched
+  kCrashBeforeRename,  // simulated kill: temp left behind, no rename
+  kCrashAfterRename,   // simulated kill: rename done, result lost
+  kNumKinds,           // count sentinel
+};
+
+struct Plan {
+  Kind kind = Kind::kNone;
+  // Fault-point index (0-based, process-wide across all guarded ops) at
+  // which the fault fires. With `sticky`, every compatible op at index
+  // >= at_op fails — a disk that stays broken, not a one-off glitch.
+  std::uint64_t at_op = 0;
+  bool sticky = false;
+};
+
+// True iff `kind` can be injected at operation class `op` (e.g. a short
+// write only makes sense on kWrite). `arm` returns kNone at
+// non-compatible points even when the index matches.
+bool kind_applies(Kind kind, Op op);
+
+// Installs `plan` and resets the fault-point counter, the trace, and
+// the injection count. Passing a kNone plan still enables tracing.
+void set_plan(const Plan& plan);
+
+// Disables the layer entirely and clears all recorded state. The next
+// `arm` call will re-read BC_IOFAULT (tests call `clear` + `set_plan`
+// before the env is ever consulted, so the two modes do not interact).
+void clear();
+
+// The guarded hook. Assigns the next fault-point index to this call and
+// returns the fault to inject, or Kind::kNone to proceed normally.
+Kind arm(Op op);
+
+// Number of fault points observed since the last set_plan/clear.
+std::uint64_t ops_observed();
+
+// Number of faults actually injected since the last set_plan/clear.
+std::uint64_t injected();
+
+// The operation class of every fault point observed so far, in order.
+// A clean traced run of a workload yields the exhaustive fault-point
+// list that sweep tests iterate over.
+std::vector<Op> trace();
+
+// Parses a BC_IOFAULT-style spec ("enospc@7", "eio@3:sticky",
+// "seed:42", "trace"). Returns false on a malformed spec.
+bool parse_plan(const std::string& spec, Plan* out);
+
+// Expands a sweep seed into a concrete plan via SplitMix64 — the same
+// derivation `BC_IOFAULT=seed:<n>` uses, exposed so the nightly sweep
+// can enumerate seeds in-process.
+Plan plan_from_seed(std::uint64_t seed);
+
+// Human-readable names, for test output and the /statsz snapshot.
+const char* op_name(Op op);
+const char* kind_name(Kind kind);
+
+}  // namespace bc::support::iofault
+
+#endif  // BUNDLECHARGE_SUPPORT_IOFAULT_H_

@@ -1,0 +1,231 @@
+// Exhaustive fault-point sweep over support/atomic_file: every guarded
+// syscall in write_file_atomic and append_file_durable is failed in
+// every compatible way, and after each failure the invariants must
+// hold:
+//
+//   * write_file_atomic: the destination holds either the complete old
+//     content or the complete new content — never a mix, never a torn
+//     file. No temp file survives, except under crash_before_rename
+//     (a simulated SIGKILL genuinely leaves its temp) where
+//     remove_stale_temps is the documented recovery path.
+//   * append_file_durable: the file is always the old content plus some
+//     prefix of the appended data (a torn tail at worst) — callers
+//     (AppendJournal) treat a failed append as "tail in doubt" and
+//     compact.
+//
+// The sweep enumerates fault points from a traced clean run rather than
+// hard-coding indices, so it stays exhaustive if the implementation
+// gains or loses syscalls.
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/atomic_file.h"
+#include "support/iofault.h"
+
+namespace bc {
+namespace {
+
+namespace iofault = support::iofault;
+using iofault::Kind;
+using iofault::Op;
+
+std::string temp_dir() { return ::testing::TempDir(); }
+
+std::string target_path(const char* tag) {
+  return temp_dir() + "atomic_chaos_" + tag + "_" + std::to_string(::getpid());
+}
+
+// Every sibling of `path` that matches its temp prefix.
+std::vector<std::string> list_temps(const std::string& path) {
+  std::string dir = ".";
+  std::string prefix = support::temp_prefix(path);
+  const std::size_t slash = prefix.find_last_of('/');
+  if (slash != std::string::npos) {
+    dir = prefix.substr(0, slash);
+    prefix = prefix.substr(slash + 1);
+  }
+  std::vector<std::string> temps;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return temps;
+  while (struct dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name.rfind(prefix, 0) == 0) temps.push_back(dir + "/" + name);
+  }
+  ::closedir(handle);
+  return temps;
+}
+
+void write_clean(const std::string& path, const std::string& content) {
+  iofault::clear();
+  ASSERT_TRUE(support::write_file_atomic(path, content).has_value());
+}
+
+// All kinds compatible with `op`, per the matrix.
+std::vector<Kind> kinds_for(Op op) {
+  std::vector<Kind> kinds;
+  for (int k = 1; k < static_cast<int>(Kind::kNumKinds); ++k) {
+    if (iofault::kind_applies(static_cast<Kind>(k), op)) {
+      kinds.push_back(static_cast<Kind>(k));
+    }
+  }
+  return kinds;
+}
+
+class AtomicFileChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { iofault::clear(); }
+};
+
+TEST_F(AtomicFileChaosTest, WriteFileAtomicSweepNeverTearsOrLeaks) {
+  const std::string path = target_path("write_sweep");
+  const std::string old_content = "old content line\n";
+  const std::string new_content = "replacement content, longer than old\n";
+
+  // Enumerate the fault points of one atomic write via a traced run.
+  write_clean(path, old_content);
+  iofault::set_plan(iofault::Plan{});  // trace mode
+  ASSERT_TRUE(support::write_file_atomic(path, new_content).has_value());
+  const std::vector<Op> points = iofault::trace();
+  iofault::clear();
+  ASSERT_EQ(points.size(), 5u) << "expected open/write/fsync/close/rename";
+
+  int cases = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (const Kind kind : kinds_for(points[i])) {
+      SCOPED_TRACE(std::string("point ") + std::to_string(i) + " op " +
+                   iofault::op_name(points[i]) + " kind " +
+                   iofault::kind_name(kind));
+      ++cases;
+      write_clean(path, old_content);
+
+      iofault::set_plan({kind, i, /*sticky=*/false});
+      auto result = support::write_file_atomic(path, new_content);
+      const std::uint64_t fired = iofault::injected();
+      iofault::clear();
+
+      EXPECT_EQ(fired, 1u);
+      // Every injected fault surfaces as a structured fault — including
+      // crash_after_rename, whose rename actually committed but whose
+      // caller must be told the outcome is unknown.
+      ASSERT_FALSE(result.has_value());
+      EXPECT_FALSE(result.fault().message.empty());
+
+      auto content = support::read_file(path);
+      ASSERT_TRUE(content.has_value());
+      if (kind == Kind::kCrashAfterRename) {
+        EXPECT_EQ(content.value(), new_content);
+      } else {
+        EXPECT_EQ(content.value(), old_content);
+      }
+
+      if (kind == Kind::kCrashBeforeRename) {
+        // The one sanctioned leak: a kill before rename leaves the temp,
+        // and remove_stale_temps is the GC that heals it.
+        EXPECT_EQ(list_temps(path).size(), 1u);
+        EXPECT_EQ(support::remove_stale_temps(path), 1u);
+      }
+      EXPECT_TRUE(list_temps(path).empty())
+          << "temp file leaked: " << list_temps(path).front();
+    }
+  }
+  // The matrix above must actually cover every kind somewhere.
+  EXPECT_GE(cases, 9);
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileChaosTest, AppendDurableSweepLeavesAtWorstATornTail) {
+  const std::string path = target_path("append_sweep");
+  const std::string base = "base line\n";
+  const std::string tail = "appended tail line\n";
+  const std::string full = base + tail;
+
+  write_clean(path, base);
+  iofault::set_plan(iofault::Plan{});  // trace mode
+  ASSERT_TRUE(support::append_file_durable(path, tail).has_value());
+  const std::vector<Op> points = iofault::trace();
+  iofault::clear();
+  ASSERT_EQ(points.size(), 4u) << "expected open/write/fsync/close";
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (const Kind kind : kinds_for(points[i])) {
+      SCOPED_TRACE(std::string("point ") + std::to_string(i) + " op " +
+                   iofault::op_name(points[i]) + " kind " +
+                   iofault::kind_name(kind));
+      write_clean(path, base);
+
+      iofault::set_plan({kind, i, /*sticky=*/false});
+      auto result = support::append_file_durable(path, tail);
+      iofault::clear();
+      ASSERT_FALSE(result.has_value());
+      // Structured error naming the operation and the path.
+      EXPECT_NE(result.fault().message.find("append"), std::string::npos)
+          << result.fault().message;
+      EXPECT_NE(result.fault().message.find(path), std::string::npos)
+          << result.fault().message;
+
+      // Invariant: the base content survives untouched and anything
+      // after it is a prefix of the appended data — the torn-tail shape
+      // AppendJournal::open is built to drop.
+      auto content = support::read_file(path);
+      ASSERT_TRUE(content.has_value());
+      EXPECT_EQ(content.value().rfind(base, 0), 0u)
+          << "append destroyed existing content";
+      EXPECT_LE(content.value().size(), full.size());
+      EXPECT_EQ(full.rfind(content.value(), 0), 0u)
+          << "file is not a prefix of base+tail: " << content.value();
+      // Appends never create temp files, so nothing can leak.
+      EXPECT_TRUE(list_temps(path).empty());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileChaosTest, ShortWriteInjectionActuallyTearsTheTail) {
+  // Prove the short-write kind persists a strict prefix (not nothing,
+  // not everything) so the journal torn-tail recovery path is exercised
+  // by real torn bytes, not just error returns.
+  const std::string path = target_path("short_write");
+  const std::string base = "header\n";
+  const std::string tail = "0123456789\n";
+  write_clean(path, base);
+  // Fault point 1 is the write (0 is the open).
+  iofault::set_plan({Kind::kShortWrite, 1, /*sticky=*/false});
+  ASSERT_FALSE(support::append_file_durable(path, tail).has_value());
+  iofault::clear();
+  auto content = support::read_file(path);
+  ASSERT_TRUE(content.has_value());
+  EXPECT_GT(content.value().size(), base.size()) << "nothing was torn on";
+  EXPECT_LT(content.value().size(), base.size() + tail.size())
+      << "short write persisted everything";
+  std::remove(path.c_str());
+}
+
+TEST_F(AtomicFileChaosTest, RemoveStaleTempsTouchesOnlyMatchingTemps) {
+  const std::string path = target_path("gc");
+  const std::string sibling = path + "_sibling";
+  write_clean(path, "live\n");
+  write_clean(sibling, "sibling\n");
+  const std::string stale_a = support::temp_prefix(path) + "1234";
+  const std::string stale_b = support::temp_prefix(path) + "zz";
+  write_clean(stale_a, "stale\n");
+  write_clean(stale_b, "stale\n");
+
+  EXPECT_EQ(support::remove_stale_temps(path), 2u);
+  EXPECT_FALSE(support::file_exists(stale_a));
+  EXPECT_FALSE(support::file_exists(stale_b));
+  EXPECT_TRUE(support::file_exists(path));
+  EXPECT_TRUE(support::file_exists(sibling));
+  EXPECT_EQ(support::remove_stale_temps(path), 0u);
+  std::remove(path.c_str());
+  std::remove(sibling.c_str());
+}
+
+}  // namespace
+}  // namespace bc

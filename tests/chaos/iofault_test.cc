@@ -1,0 +1,195 @@
+// The fault-injection layer itself: spec parsing, the kind/op
+// compatibility matrix, trace mode, exact-index targeting, sticky
+// semantics, and seed-derived plans. Everything here is pure in-memory
+// state machinery — no file I/O — so the sweep tests in this directory
+// can lean on it without re-proving it.
+//
+// These tests mutate process-wide injection state; every test restores
+// the disabled default with iofault::clear() before returning so the
+// rest of the binary runs clean.
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "support/iofault.h"
+
+namespace bc {
+namespace {
+
+namespace iofault = support::iofault;
+using iofault::Kind;
+using iofault::Op;
+
+class IofaultTest : public ::testing::Test {
+ protected:
+  // The disabled-state assertions depend on BC_IOFAULT being absent;
+  // scrub it so a sweep wrapper's environment cannot leak in.
+  void SetUp() override { ::unsetenv("BC_IOFAULT"); }
+  void TearDown() override { iofault::clear(); }
+};
+
+TEST_F(IofaultTest, KindAppliesMatrix) {
+  // ENOSPC: the filesystem runs out of space on open (temp creation)
+  // or write, never on close/rename.
+  EXPECT_TRUE(iofault::kind_applies(Kind::kEnospc, Op::kOpen));
+  EXPECT_TRUE(iofault::kind_applies(Kind::kEnospc, Op::kWrite));
+  EXPECT_FALSE(iofault::kind_applies(Kind::kEnospc, Op::kFsync));
+  EXPECT_FALSE(iofault::kind_applies(Kind::kEnospc, Op::kRename));
+  // EIO: any data-path op.
+  EXPECT_TRUE(iofault::kind_applies(Kind::kEio, Op::kOpen));
+  EXPECT_TRUE(iofault::kind_applies(Kind::kEio, Op::kWrite));
+  EXPECT_TRUE(iofault::kind_applies(Kind::kEio, Op::kFsync));
+  EXPECT_FALSE(iofault::kind_applies(Kind::kEio, Op::kClose));
+  // Short write is a write-only phenomenon.
+  EXPECT_TRUE(iofault::kind_applies(Kind::kShortWrite, Op::kWrite));
+  EXPECT_FALSE(iofault::kind_applies(Kind::kShortWrite, Op::kOpen));
+  EXPECT_FALSE(iofault::kind_applies(Kind::kShortWrite, Op::kFsync));
+  // fsync/close failures hit exactly their own op class.
+  EXPECT_TRUE(iofault::kind_applies(Kind::kFsyncFail, Op::kFsync));
+  EXPECT_FALSE(iofault::kind_applies(Kind::kFsyncFail, Op::kWrite));
+  EXPECT_TRUE(iofault::kind_applies(Kind::kCloseFail, Op::kClose));
+  EXPECT_FALSE(iofault::kind_applies(Kind::kCloseFail, Op::kFsync));
+  // All three rename kinds target the rename commit point only.
+  for (Kind kind : {Kind::kRenameFail, Kind::kCrashBeforeRename,
+                    Kind::kCrashAfterRename}) {
+    EXPECT_TRUE(iofault::kind_applies(kind, Op::kRename));
+    EXPECT_FALSE(iofault::kind_applies(kind, Op::kWrite));
+    EXPECT_FALSE(iofault::kind_applies(kind, Op::kClose));
+  }
+  // kNone applies nowhere.
+  for (int op = 0; op < static_cast<int>(Op::kNumOps); ++op) {
+    EXPECT_FALSE(iofault::kind_applies(Kind::kNone, static_cast<Op>(op)));
+  }
+}
+
+TEST_F(IofaultTest, ParsePlanAcceptsTheDocumentedSpecs) {
+  iofault::Plan plan;
+  ASSERT_TRUE(iofault::parse_plan("enospc@7", &plan));
+  EXPECT_EQ(plan.kind, Kind::kEnospc);
+  EXPECT_EQ(plan.at_op, 7u);
+  EXPECT_FALSE(plan.sticky);
+
+  ASSERT_TRUE(iofault::parse_plan("eio@3:sticky", &plan));
+  EXPECT_EQ(plan.kind, Kind::kEio);
+  EXPECT_EQ(plan.at_op, 3u);
+  EXPECT_TRUE(plan.sticky);
+
+  ASSERT_TRUE(iofault::parse_plan("crash_before_rename@0", &plan));
+  EXPECT_EQ(plan.kind, Kind::kCrashBeforeRename);
+
+  ASSERT_TRUE(iofault::parse_plan("trace", &plan));
+  EXPECT_EQ(plan.kind, Kind::kNone);
+
+  // seed:N must match the in-process derivation exactly.
+  ASSERT_TRUE(iofault::parse_plan("seed:42", &plan));
+  const iofault::Plan derived = iofault::plan_from_seed(42);
+  EXPECT_EQ(plan.kind, derived.kind);
+  EXPECT_EQ(plan.at_op, derived.at_op);
+  EXPECT_EQ(plan.sticky, derived.sticky);
+}
+
+TEST_F(IofaultTest, ParsePlanRejectsMalformedSpecs) {
+  iofault::Plan plan;
+  const char* bad[] = {
+      "",          "enospc",      "enospc@",   "@7",
+      "bogus@1",   "enospc@x",    "enospc@1:", "enospc@1:bogus",
+      "seed:",     "seed:x",      "none@1",    "eio@-1",
+  };
+  for (const char* spec : bad) {
+    EXPECT_FALSE(iofault::parse_plan(spec, &plan)) << "accepted: " << spec;
+  }
+}
+
+TEST_F(IofaultTest, TraceModeCountsWithoutInjecting) {
+  iofault::set_plan(iofault::Plan{});  // kNone = trace-only
+  EXPECT_EQ(iofault::arm(Op::kOpen), Kind::kNone);
+  EXPECT_EQ(iofault::arm(Op::kWrite), Kind::kNone);
+  EXPECT_EQ(iofault::arm(Op::kFsync), Kind::kNone);
+  EXPECT_EQ(iofault::arm(Op::kClose), Kind::kNone);
+  EXPECT_EQ(iofault::arm(Op::kRename), Kind::kNone);
+  EXPECT_EQ(iofault::ops_observed(), 5u);
+  EXPECT_EQ(iofault::injected(), 0u);
+  const std::vector<Op> trace = iofault::trace();
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace[0], Op::kOpen);
+  EXPECT_EQ(trace[4], Op::kRename);
+}
+
+TEST_F(IofaultTest, TargetedInjectionFiresExactlyOnce) {
+  iofault::set_plan({Kind::kEnospc, 1, /*sticky=*/false});
+  EXPECT_EQ(iofault::arm(Op::kWrite), Kind::kNone);    // index 0
+  EXPECT_EQ(iofault::arm(Op::kWrite), Kind::kEnospc);  // index 1: fires
+  EXPECT_EQ(iofault::arm(Op::kWrite), Kind::kNone);    // index 2
+  EXPECT_EQ(iofault::injected(), 1u);
+  EXPECT_EQ(iofault::ops_observed(), 3u);
+}
+
+TEST_F(IofaultTest, IncompatibleOpAtTargetIndexStaysClean) {
+  // fsync_fail aimed at index 0, but index 0 is a write: the index is
+  // consumed without injection and the plan never fires.
+  iofault::set_plan({Kind::kFsyncFail, 0, /*sticky=*/false});
+  EXPECT_EQ(iofault::arm(Op::kWrite), Kind::kNone);
+  EXPECT_EQ(iofault::arm(Op::kFsync), Kind::kNone);  // index 1 != 0
+  EXPECT_EQ(iofault::injected(), 0u);
+}
+
+TEST_F(IofaultTest, StickyFailsEveryCompatibleOpFromIndexOn) {
+  iofault::set_plan({Kind::kEio, 1, /*sticky=*/true});
+  EXPECT_EQ(iofault::arm(Op::kWrite), Kind::kNone);  // index 0 < at_op
+  EXPECT_EQ(iofault::arm(Op::kWrite), Kind::kEio);
+  EXPECT_EQ(iofault::arm(Op::kFsync), Kind::kEio);
+  EXPECT_EQ(iofault::arm(Op::kClose), Kind::kNone);  // EIO skips close
+  EXPECT_EQ(iofault::arm(Op::kOpen), Kind::kEio);
+  EXPECT_EQ(iofault::injected(), 3u);
+}
+
+TEST_F(IofaultTest, SeedDerivationIsDeterministicAndNeverKNone) {
+  bool saw_difference = false;
+  iofault::Plan first = iofault::plan_from_seed(0);
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const iofault::Plan a = iofault::plan_from_seed(seed);
+    const iofault::Plan b = iofault::plan_from_seed(seed);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.at_op, b.at_op);
+    EXPECT_EQ(a.sticky, b.sticky);
+    EXPECT_NE(a.kind, Kind::kNone) << "seed " << seed << " injects nothing";
+    EXPECT_LT(static_cast<int>(a.kind), static_cast<int>(Kind::kNumKinds));
+    if (a.kind != first.kind || a.at_op != first.at_op ||
+        a.sticky != first.sticky) {
+      saw_difference = true;
+    }
+  }
+  EXPECT_TRUE(saw_difference) << "64 seeds all derived the same plan";
+}
+
+TEST_F(IofaultTest, ClearResetsAllRecordedState) {
+  iofault::set_plan({Kind::kEio, 0, /*sticky=*/true});
+  EXPECT_EQ(iofault::arm(Op::kWrite), Kind::kEio);
+  iofault::clear();
+  // Disabled again (BC_IOFAULT is unset in the test environment): arms
+  // pass through without counting.
+  EXPECT_EQ(iofault::arm(Op::kWrite), Kind::kNone);
+  EXPECT_EQ(iofault::ops_observed(), 0u);
+  EXPECT_EQ(iofault::injected(), 0u);
+  EXPECT_TRUE(iofault::trace().empty());
+}
+
+TEST_F(IofaultTest, NamesAreStableForSweepOutput) {
+  EXPECT_STREQ(iofault::op_name(Op::kRename), "rename");
+  EXPECT_STREQ(iofault::op_name(Op::kFsync), "fsync");
+  EXPECT_STREQ(iofault::kind_name(Kind::kEnospc), "enospc");
+  EXPECT_STREQ(iofault::kind_name(Kind::kCrashAfterRename),
+               "crash_after_rename");
+  // Every name round-trips through parse_plan (the sweep logs specs).
+  for (int k = 1; k < static_cast<int>(Kind::kNumKinds); ++k) {
+    const Kind kind = static_cast<Kind>(k);
+    iofault::Plan plan;
+    const std::string spec = std::string(iofault::kind_name(kind)) + "@5";
+    ASSERT_TRUE(iofault::parse_plan(spec, &plan)) << spec;
+    EXPECT_EQ(plan.kind, kind) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace bc

@@ -1,0 +1,455 @@
+// The acceptance sweep from the fault-injection design: run a fixed
+// journal workload (plan cache and checkpoint) once cleanly to
+// enumerate its fault points, then replay it once per (fault point x
+// compatible kind x stickiness) with the fault injected. After every
+// replay the journal must either recover every durably-acknowledged
+// entry byte-exactly or fail with a structured fault — never load
+// corrupt data, never leave temp files behind, and always compact to
+// bytes that are a pure function of the surviving entry set.
+//
+// A final seed-mode sweep mirrors the nightly CI leg: BC_IOFAULT's
+// `seed:<n>` derivation is replayed for BC_IOFAULT_SWEEP_SEEDS seeds
+// (default small for interactive runs; CI cranks it up).
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/plan_cache.h"
+#include "sim/checkpoint.h"
+#include "support/atomic_file.h"
+#include "support/iofault.h"
+
+namespace bc {
+namespace {
+
+namespace iofault = support::iofault;
+using iofault::Kind;
+using iofault::Op;
+
+std::string chaos_path(const char* tag) {
+  return ::testing::TempDir() + "journal_chaos_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+std::vector<std::string> list_temps(const std::string& path) {
+  std::string dir = ".";
+  std::string prefix = support::temp_prefix(path);
+  const std::size_t slash = prefix.find_last_of('/');
+  if (slash != std::string::npos) {
+    dir = prefix.substr(0, slash);
+    prefix = prefix.substr(slash + 1);
+  }
+  std::vector<std::string> temps;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return temps;
+  while (struct dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name.rfind(prefix, 0) == 0) temps.push_back(dir + "/" + name);
+  }
+  ::closedir(handle);
+  return temps;
+}
+
+void scrub(const std::string& path) {
+  iofault::clear();
+  std::remove(path.c_str());
+  support::remove_stale_temps(path);
+}
+
+std::vector<Kind> kinds_for(Op op) {
+  std::vector<Kind> kinds;
+  for (int k = 1; k < static_cast<int>(Kind::kNumKinds); ++k) {
+    if (iofault::kind_applies(static_cast<Kind>(k), op)) {
+      kinds.push_back(static_cast<Kind>(k));
+    }
+  }
+  return kinds;
+}
+
+// ---------------------------------------------------------------------------
+// Plan-cache sweep
+
+const std::vector<std::pair<std::string, std::string>>& cache_entries() {
+  static const std::vector<std::pair<std::string, std::string>> entries = {
+      {"alpha", "v1|BC|0x0p+0,0x0p+0"},
+      {"beta", "v1|SC|0x1p+3,0x0p+0"},
+      {"gamma", "v1|BC-OPT|0x0p+0,0x1p-2"},
+  };
+  return entries;
+}
+
+// The fixed workload: two entries + flush (compaction of a fresh file),
+// one more entry + flush (an append), then an explicit compaction.
+// Returns how many leading entries a *successful* persist acknowledged;
+// those must survive recovery no matter what failed afterwards.
+struct RunReport {
+  std::size_t durable_upto = 0;
+};
+
+RunReport run_cache_workload(const std::string& path) {
+  RunReport report;
+  auto cache = service::PlanCache::open(path);
+  // Open performs no guarded I/O on a fresh path; the sweep starts from
+  // a clean slate each time, so this must always succeed.
+  EXPECT_TRUE(cache.has_value())
+      << (cache.has_value() ? "" : cache.fault().message);
+  if (!cache.has_value()) return report;
+  const auto& entries = cache_entries();
+  cache.value().put(entries[0].first, entries[0].second);
+  cache.value().put(entries[1].first, entries[1].second);
+  if (cache.value().flush().has_value()) report.durable_upto = 2;
+  cache.value().put(entries[2].first, entries[2].second);
+  if (cache.value().flush().has_value()) report.durable_upto = 3;
+  if (cache.value().compact().has_value()) report.durable_upto = 3;
+  return report;
+}
+
+// The recovery contract checked after every injected failure.
+void check_cache_recovery(const std::string& path, const RunReport& report) {
+  iofault::clear();
+  auto recovered = service::PlanCache::open(path);
+  // Our own writers must never corrupt the journal: whatever the fault
+  // left on disk, reopening succeeds (at worst a torn tail is dropped).
+  ASSERT_TRUE(recovered.has_value()) << recovered.fault().message;
+  // Opening garbage-collects any crash-leaked temp.
+  EXPECT_TRUE(list_temps(path).empty());
+
+  const auto& entries = cache_entries();
+  // Durably acknowledged entries are sacred.
+  for (std::size_t i = 0; i < report.durable_upto; ++i) {
+    const std::string* payload = recovered.value().lookup(entries[i].first);
+    ASSERT_NE(payload, nullptr) << "lost acknowledged entry "
+                                << entries[i].first;
+    EXPECT_EQ(*payload, entries[i].second);
+  }
+  // Unacknowledged entries may or may not have landed (the ambiguous
+  // crash-after-rename window), but anything present must be byte-exact.
+  EXPECT_LE(recovered.value().size(), entries.size());
+  std::vector<std::pair<std::string, std::string>> present;
+  for (const auto& entry : entries) {
+    const std::string* payload = recovered.value().lookup(entry.first);
+    if (payload != nullptr) {
+      EXPECT_EQ(*payload, entry.second);
+      present.push_back(entry);
+    }
+  }
+  EXPECT_EQ(present.size(), recovered.value().size())
+      << "journal holds a key the workload never wrote";
+
+  // Byte purity: compacting the survivor must produce exactly the bytes
+  // of a clean cache holding the same entry set.
+  ASSERT_TRUE(recovered.value().compact().has_value());
+  const std::string rebuilt_path = path + ".rebuilt";
+  scrub(rebuilt_path);
+  auto rebuilt = service::PlanCache::open(rebuilt_path);
+  ASSERT_TRUE(rebuilt.has_value());
+  for (const auto& entry : present) {
+    rebuilt.value().put(entry.first, entry.second);
+  }
+  ASSERT_TRUE(rebuilt.value().compact().has_value());
+  auto survivor_bytes = support::read_file(path);
+  auto rebuilt_bytes = support::read_file(rebuilt_path);
+  ASSERT_TRUE(survivor_bytes.has_value() && rebuilt_bytes.has_value());
+  EXPECT_EQ(survivor_bytes.value(), rebuilt_bytes.value());
+  scrub(rebuilt_path);
+
+  // And the journal stays fully usable after healing.
+  recovered.value().put("delta", "v1|BC|0x0p+0,0x0p+0");
+  EXPECT_TRUE(recovered.value().flush().has_value());
+}
+
+TEST(JournalChaosSweepTest, PlanCacheSurvivesEveryFaultPoint) {
+  const std::string path = chaos_path("cache_sweep");
+
+  // Phase 1: trace a clean run to enumerate the fault points.
+  scrub(path);
+  iofault::set_plan(iofault::Plan{});
+  const RunReport clean = run_cache_workload(path);
+  const std::vector<Op> points = iofault::trace();
+  scrub(path);
+  ASSERT_EQ(clean.durable_upto, cache_entries().size());
+  // compact-on-fresh (5) + append (4) + compact (5)
+  ASSERT_GE(points.size(), 10u) << "workload shrank; sweep lost coverage";
+
+  // Phase 2: exhaustive (point x kind x stickiness) replay.
+  int cases = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (const Kind kind : kinds_for(points[i])) {
+      for (const bool sticky : {false, true}) {
+        SCOPED_TRACE(std::string(iofault::kind_name(kind)) + "@" +
+                     std::to_string(i) + (sticky ? ":sticky" : "") + " (" +
+                     iofault::op_name(points[i]) + ")");
+        ++cases;
+        scrub(path);
+        iofault::set_plan({kind, i, sticky});
+        const RunReport report = run_cache_workload(path);
+        check_cache_recovery(path, report);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+  EXPECT_GE(cases, 50) << "sweep domain collapsed";
+  scrub(path);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-journal sweep (same contract, second consumer)
+
+constexpr const char* kSweepId = "chaos-sweep";
+
+const std::vector<std::pair<std::string, std::string>>& ckpt_cells() {
+  static const std::vector<std::pair<std::string, std::string>> cells = {
+      {sim::cell_key("r=20/alg=BC", 0), "1,0x1.8p+5,0x0p+0"},
+      {sim::cell_key("r=20/alg=BC", 1), "1,0x1.9p+5,0x0p+0"},
+      {sim::cell_key("r=40/alg=SC", 0), "1,0x1.2p+6,0x1p-1"},
+  };
+  return cells;
+}
+
+RunReport run_ckpt_workload(const std::string& path) {
+  RunReport report;
+  auto journal = sim::CheckpointJournal::open(path, kSweepId);
+  EXPECT_TRUE(journal.has_value())
+      << (journal.has_value() ? "" : journal.fault().message);
+  if (!journal.has_value()) return report;
+  const auto& cells = ckpt_cells();
+  journal.value().record(cells[0].first, cells[0].second);
+  journal.value().record(cells[1].first, cells[1].second);
+  if (journal.value().flush().has_value()) report.durable_upto = 2;
+  journal.value().record(cells[2].first, cells[2].second);
+  if (journal.value().flush().has_value()) report.durable_upto = 3;
+  if (journal.value().compact().has_value()) report.durable_upto = 3;
+  return report;
+}
+
+void check_ckpt_recovery(const std::string& path, const RunReport& report) {
+  iofault::clear();
+  auto recovered = sim::CheckpointJournal::open(path, kSweepId);
+  ASSERT_TRUE(recovered.has_value()) << recovered.fault().message;
+  EXPECT_TRUE(list_temps(path).empty());
+
+  const auto& cells = ckpt_cells();
+  for (std::size_t i = 0; i < report.durable_upto; ++i) {
+    const std::string* payload = recovered.value().lookup(cells[i].first);
+    ASSERT_NE(payload, nullptr) << "lost acknowledged cell "
+                                << cells[i].first;
+    EXPECT_EQ(*payload, cells[i].second);
+  }
+  std::size_t present = 0;
+  for (const auto& cell : cells) {
+    const std::string* payload = recovered.value().lookup(cell.first);
+    if (payload != nullptr) {
+      EXPECT_EQ(*payload, cell.second);
+      ++present;
+    }
+  }
+  EXPECT_EQ(present, recovered.value().size());
+
+  ASSERT_TRUE(recovered.value().compact().has_value());
+  const std::string rebuilt_path = path + ".rebuilt";
+  scrub(rebuilt_path);
+  auto rebuilt = sim::CheckpointJournal::open(rebuilt_path, kSweepId);
+  ASSERT_TRUE(rebuilt.has_value());
+  for (const auto& cell : cells) {
+    const std::string* payload = recovered.value().lookup(cell.first);
+    if (payload != nullptr) rebuilt.value().record(cell.first, *payload);
+  }
+  ASSERT_TRUE(rebuilt.value().compact().has_value());
+  auto survivor_bytes = support::read_file(path);
+  auto rebuilt_bytes = support::read_file(rebuilt_path);
+  ASSERT_TRUE(survivor_bytes.has_value() && rebuilt_bytes.has_value());
+  EXPECT_EQ(survivor_bytes.value(), rebuilt_bytes.value());
+  scrub(rebuilt_path);
+}
+
+TEST(JournalChaosSweepTest, CheckpointJournalSurvivesEveryFaultPoint) {
+  const std::string path = chaos_path("ckpt_sweep");
+  scrub(path);
+  iofault::set_plan(iofault::Plan{});
+  const RunReport clean = run_ckpt_workload(path);
+  const std::vector<Op> points = iofault::trace();
+  scrub(path);
+  ASSERT_EQ(clean.durable_upto, ckpt_cells().size());
+  ASSERT_GE(points.size(), 10u);
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (const Kind kind : kinds_for(points[i])) {
+      for (const bool sticky : {false, true}) {
+        SCOPED_TRACE(std::string(iofault::kind_name(kind)) + "@" +
+                     std::to_string(i) + (sticky ? ":sticky" : "") + " (" +
+                     iofault::op_name(points[i]) + ")");
+        scrub(path);
+        iofault::set_plan({kind, i, sticky});
+        const RunReport report = run_ckpt_workload(path);
+        check_ckpt_recovery(path, report);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+  scrub(path);
+}
+
+// ---------------------------------------------------------------------------
+// Seed mode: the nightly sweep's derivation, replayed in-process.
+
+TEST(JournalChaosSweepTest, SeedModeSweepRecoversForEverySeed) {
+  std::uint64_t seeds = 10;  // interactive default; nightly CI raises it
+  if (const char* env = std::getenv("BC_IOFAULT_SWEEP_SEEDS")) {
+    seeds = std::strtoull(env, nullptr, 10);
+    ASSERT_GT(seeds, 0u) << "bad BC_IOFAULT_SWEEP_SEEDS";
+  }
+  const std::string cache_path = chaos_path("cache_seed");
+  const std::string ckpt_path = chaos_path("ckpt_seed");
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    const iofault::Plan plan = iofault::plan_from_seed(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed) + " -> " +
+                 iofault::kind_name(plan.kind) + "@" +
+                 std::to_string(plan.at_op) + (plan.sticky ? ":sticky" : ""));
+    scrub(cache_path);
+    iofault::set_plan(plan);
+    const RunReport cache_report = run_cache_workload(cache_path);
+    check_cache_recovery(cache_path, cache_report);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    scrub(ckpt_path);
+    iofault::set_plan(plan);
+    const RunReport ckpt_report = run_ckpt_workload(ckpt_path);
+    check_ckpt_recovery(ckpt_path, ckpt_report);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  scrub(cache_path);
+  scrub(ckpt_path);
+}
+
+// ---------------------------------------------------------------------------
+// Journal bounds and self-healing specifics
+
+TEST(JournalBoundsTest, CompactedBytesIgnoreInsertionAndFlushHistory) {
+  const std::string path_a = chaos_path("pure_a");
+  const std::string path_b = chaos_path("pure_b");
+  scrub(path_a);
+  scrub(path_b);
+  // a: incremental appends in one order; b: one bulk flush, reversed.
+  auto a = service::PlanCache::open(path_a);
+  auto b = service::PlanCache::open(path_b);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  a.value().put("k1", "p1");
+  ASSERT_TRUE(a.value().flush().has_value());
+  a.value().put("k2", "p2");
+  ASSERT_TRUE(a.value().flush().has_value());
+  a.value().put("k1", "p1b");  // append-mode update: duplicate on disk
+  ASSERT_TRUE(a.value().flush().has_value());
+  b.value().put("k2", "p2");
+  b.value().put("k1", "p1b");
+  ASSERT_TRUE(b.value().flush().has_value());
+  // Pre-compaction the files differ (a carries history)...
+  auto raw_a = support::read_file(path_a);
+  auto raw_b = support::read_file(path_b);
+  ASSERT_TRUE(raw_a.has_value() && raw_b.has_value());
+  EXPECT_NE(raw_a.value(), raw_b.value());
+  // ...post-compaction they are byte-identical.
+  ASSERT_TRUE(a.value().compact().has_value());
+  ASSERT_TRUE(b.value().compact().has_value());
+  raw_a = support::read_file(path_a);
+  raw_b = support::read_file(path_b);
+  ASSERT_TRUE(raw_a.has_value() && raw_b.has_value());
+  EXPECT_EQ(raw_a.value(), raw_b.value());
+  scrub(path_a);
+  scrub(path_b);
+}
+
+TEST(JournalBoundsTest, SizeThresholdTriggersCompaction) {
+  const std::string path = chaos_path("size_trigger");
+  scrub(path);
+  service::PlanCacheLimits limits;
+  limits.compact_threshold_bytes = 1;  // every sync must compact
+  auto cache = service::PlanCache::open(path, limits);
+  ASSERT_TRUE(cache.has_value());
+  for (int i = 0; i < 5; ++i) {
+    cache.value().put("key" + std::to_string(i), "p" + std::to_string(i));
+    ASSERT_TRUE(cache.value().flush().has_value());
+  }
+  EXPECT_EQ(cache.value().compactions(), 5u)
+      << "threshold of 1 byte must force a compaction per flush";
+  // The file never accumulates duplicate history: reopening finds
+  // exactly the live set.
+  auto reopened = service::PlanCache::open(path, limits);
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened.value().size(), 5u);
+  scrub(path);
+}
+
+TEST(JournalBoundsTest, FifoEvictionIsDeterministic) {
+  const std::string path = chaos_path("fifo");
+  scrub(path);
+  service::PlanCacheLimits limits;
+  limits.max_entries = 2;
+  auto cache = service::PlanCache::open(path, limits);
+  ASSERT_TRUE(cache.has_value());
+  cache.value().put("a", "pa");
+  cache.value().put("b", "pb");
+  ASSERT_TRUE(cache.value().flush().has_value());
+  EXPECT_EQ(cache.value().evictions(), 0u);
+  // Re-putting `a` refreshes its insertion sequence, so `b` is now the
+  // oldest and is the one evicted when `c` pushes the cache over.
+  cache.value().put("a", "pa2");
+  cache.value().put("c", "pc");
+  ASSERT_TRUE(cache.value().flush().has_value());
+  EXPECT_EQ(cache.value().evictions(), 1u);
+  EXPECT_EQ(cache.value().size(), 2u);
+  EXPECT_EQ(cache.value().lookup("b"), nullptr);
+  ASSERT_NE(cache.value().lookup("a"), nullptr);
+  EXPECT_EQ(*cache.value().lookup("a"), "pa2");
+  ASSERT_NE(cache.value().lookup("c"), nullptr);
+  // Reopen under the same limits: the evicted entry is gone from disk.
+  auto reopened = service::PlanCache::open(path, limits);
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened.value().size(), 2u);
+  EXPECT_EQ(reopened.value().lookup("b"), nullptr);
+  scrub(path);
+}
+
+TEST(JournalBoundsTest, TornTailIsDroppedAndHealedByTheNextFlush) {
+  const std::string path = chaos_path("torn_heal");
+  scrub(path);
+  {
+    auto cache = service::PlanCache::open(path);
+    ASSERT_TRUE(cache.has_value());
+    cache.value().put("k1", "p1");
+    cache.value().put("k2", "p2");
+    ASSERT_TRUE(cache.value().flush().has_value());
+  }
+  // Tear the tail the way a mid-append crash would: a final line with
+  // no terminating newline.
+  {
+    std::FILE* raw = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(raw, nullptr);
+    std::fputs("entry deadbeef k3 torn-partial", raw);
+    std::fclose(raw);
+  }
+  auto healed = service::PlanCache::open(path);
+  ASSERT_TRUE(healed.has_value()) << healed.fault().message;
+  EXPECT_EQ(healed.value().size(), 2u);
+  EXPECT_EQ(healed.value().torn_tails_dropped(), 1u);
+  // The next flush must compact (appending after a torn tail would fuse
+  // lines), leaving a file that reopens with zero drops.
+  healed.value().put("k4", "p4");
+  ASSERT_TRUE(healed.value().flush().has_value());
+  EXPECT_EQ(healed.value().compactions(), 1u);
+  auto clean = service::PlanCache::open(path);
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_EQ(clean.value().size(), 3u);
+  EXPECT_EQ(clean.value().torn_tails_dropped(), 0u);
+  scrub(path);
+}
+
+}  // namespace
+}  // namespace bc

@@ -1,0 +1,242 @@
+// In-process chaos for the bundlecharged daemon: a persistently failing
+// cache journal must flip the server into degraded cache-bypass mode
+// (header + /statsz flag) instead of crashing it, the first successful
+// re-flush must self-heal, and the hung-solve watchdog must cancel an
+// overrunning request with a 504 while leaving the worker reusable.
+//
+// These tests drive the real Server through loopback HTTP with
+// support/iofault injecting disk failures underneath the plan cache —
+// the same code paths production takes when a disk actually dies.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "service/client.h"
+#include "service/plan_cache.h"
+#include "service/server.h"
+#include "support/iofault.h"
+
+namespace bc {
+namespace {
+
+namespace iofault = support::iofault;
+using service::HttpResponse;
+using service::Server;
+using service::ServerOptions;
+
+std::string positions_line(std::size_t n, std::size_t salt = 0) {
+  std::string out = "positions=";
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = i + salt * 1000;
+    out += std::to_string((j * 131 + 17) % 997) + "," +
+           std::to_string((j * 197 + 5) % 991);
+    if (i + 1 < n) out += ";";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string small_body(std::size_t salt = 0) {
+  return "algorithm=BC\nradius=120\n" + positions_line(40, salt) +
+         "depot=0,0\n";
+}
+
+HttpResponse must_roundtrip(std::uint16_t port, const std::string& method,
+                            const std::string& path,
+                            const std::string& body) {
+  auto response = service::http_roundtrip(port, method, path, body);
+  EXPECT_TRUE(response.has_value()) << response.fault().message;
+  return response.has_value() ? response.value() : HttpResponse{};
+}
+
+std::uint64_t field_u64(const std::string& body, const std::string& name) {
+  const std::string needle = "\"" + name + "\": ";
+  const std::size_t at = body.find(needle);
+  EXPECT_NE(at, std::string::npos) << name << " missing in: " << body;
+  if (at == std::string::npos) return 0;
+  return std::strtoull(body.c_str() + at + needle.size(), nullptr, 10);
+}
+
+std::unique_ptr<Server> must_start(ServerOptions options) {
+  auto server = Server::start(std::move(options));
+  EXPECT_TRUE(server.has_value()) << server.fault().message;
+  return server.has_value() ? std::move(server.value()) : nullptr;
+}
+
+std::string cache_path(const char* tag) {
+  return ::testing::TempDir() + "server_chaos_" + tag + "_" +
+         std::to_string(::getpid()) + ".journal";
+}
+
+class ServerIofaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { iofault::clear(); }
+};
+
+TEST_F(ServerIofaultTest, PersistentDiskFaultDegradesCacheAndSelfHeals) {
+  const std::string path = cache_path("degraded");
+  std::remove(path.c_str());
+  ServerOptions options;
+  options.workers = 1;
+  options.cache_path = path;
+  auto server = must_start(std::move(options));
+  ASSERT_NE(server, nullptr);
+  const std::uint16_t port = server->port();
+
+  // Healthy baseline: a solve lands in the journal without incident.
+  const HttpResponse healthy =
+      must_roundtrip(port, "POST", "/v1/plan", small_body(0));
+  ASSERT_EQ(healthy.status, 200) << healthy.body;
+  EXPECT_EQ(healthy.header("x-bc-cache-degraded"), "");
+  {
+    const HttpResponse stats = must_roundtrip(port, "GET", "/statsz", "");
+    EXPECT_EQ(field_u64(stats.body, "cache_flush_failures"), 0u);
+    EXPECT_EQ(field_u64(stats.body, "cache_degraded"), 0u);
+  }
+
+  // The disk dies and stays dead: every journal write from here on
+  // fails. The daemon must keep answering — persistence bypassed, flag
+  // raised — rather than crash or 500.
+  iofault::set_plan({iofault::Kind::kEio, 0, /*sticky=*/true});
+  const HttpResponse degraded =
+      must_roundtrip(port, "POST", "/v1/plan", small_body(1));
+  ASSERT_EQ(degraded.status, 200) << degraded.body;
+  EXPECT_EQ(degraded.header("x-bc-cache-degraded"), "journal");
+  {
+    const HttpResponse stats = must_roundtrip(port, "GET", "/statsz", "");
+    EXPECT_EQ(field_u64(stats.body, "cache_degraded"), 1u);
+    EXPECT_GE(field_u64(stats.body, "cache_flush_failures"), 1u);
+    EXPECT_EQ(field_u64(stats.body, "degraded_mode_entries"), 1u);
+    // /statsz itself carries the degraded header too.
+    EXPECT_EQ(stats.header("x-bc-cache-degraded"), "journal");
+  }
+
+  // Still degraded on the next request, but the healthy->degraded flip
+  // is counted once, not per failure.
+  const HttpResponse still =
+      must_roundtrip(port, "POST", "/v1/plan", small_body(2));
+  ASSERT_EQ(still.status, 200) << still.body;
+  EXPECT_EQ(still.header("x-bc-cache-degraded"), "journal");
+  {
+    const HttpResponse stats = must_roundtrip(port, "GET", "/statsz", "");
+    EXPECT_EQ(field_u64(stats.body, "degraded_mode_entries"), 1u);
+    EXPECT_GE(field_u64(stats.body, "cache_flush_failures"), 2u);
+  }
+
+  // The disk comes back: the first successful flush self-heals, clears
+  // the flag, and counts a recovery.
+  iofault::clear();
+  const HttpResponse recovered =
+      must_roundtrip(port, "POST", "/v1/plan", small_body(3));
+  ASSERT_EQ(recovered.status, 200) << recovered.body;
+  EXPECT_EQ(recovered.header("x-bc-cache-degraded"), "");
+  {
+    const HttpResponse stats = must_roundtrip(port, "GET", "/statsz", "");
+    EXPECT_EQ(field_u64(stats.body, "cache_degraded"), 0u);
+    EXPECT_EQ(field_u64(stats.body, "fault_recoveries"), 1u);
+  }
+
+  server->stop();
+  server.reset();
+  // Nothing was lost to the outage: failed flushes kept their records
+  // pending, and the healing flush compacted all four solves to disk.
+  auto reloaded = service::PlanCache::open(path);
+  ASSERT_TRUE(reloaded.has_value()) << reloaded.fault().message;
+  EXPECT_EQ(reloaded.value().size(), 4u)
+      << "entries from the degraded window were dropped";
+  std::remove(path.c_str());
+}
+
+TEST_F(ServerIofaultTest, WatchdogKillsOverrunningSolveAndWorkerSurvives) {
+  ServerOptions options;
+  options.workers = 1;
+  options.enable_test_hooks = true;  // unlock stall_ms
+  options.watchdog_grace = 2.0;
+  options.watchdog_min_window_s = 0.05;  // chaos floor: kill fast
+  auto server = must_start(std::move(options));
+  ASSERT_NE(server, nullptr);
+  const std::uint16_t port = server->port();
+
+  // deadline 50ms, grace 2x => kill at ~100ms; the stall wedges the
+  // worker for 1.5s. The watchdog must fire long before the stall ends.
+  const std::string wedged_body =
+      small_body(0) + "deadline_ms=50\nstall_ms=1500\n";
+  const auto start = std::chrono::steady_clock::now();
+  const HttpResponse killed =
+      must_roundtrip(port, "POST", "/v1/plan", wedged_body);
+  EXPECT_EQ(killed.status, 504) << killed.body;
+  EXPECT_NE(killed.body.find("watchdog_timeout"), std::string::npos)
+      << killed.body;
+  {
+    const HttpResponse stats = must_roundtrip(port, "GET", "/statsz", "");
+    EXPECT_EQ(field_u64(stats.body, "watchdog_kills"), 1u);
+    EXPECT_EQ(field_u64(stats.body, "failed"), 1u);
+  }
+  // The response can only arrive after the stall releases the worker,
+  // but never hangs past it.
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, 10.0) << "watchdog kill did not unwedge the request";
+
+  // The killed worker goes straight back to the pool: with workers=1,
+  // this request only completes if that same worker is healthy.
+  const HttpResponse next =
+      must_roundtrip(port, "POST", "/v1/plan", small_body(1));
+  EXPECT_EQ(next.status, 200) << next.body;
+  {
+    const HttpResponse stats = must_roundtrip(port, "GET", "/statsz", "");
+    EXPECT_EQ(field_u64(stats.body, "watchdog_kills"), 1u);
+    EXPECT_EQ(field_u64(stats.body, "completed"), 1u);
+  }
+}
+
+TEST_F(ServerIofaultTest, WatchdogNeverKillsWithinGraceOrWhenDisabled) {
+  // Disabled watchdog: the same overrun shape survives to completion.
+  {
+    ServerOptions options;
+    options.workers = 1;
+    options.enable_test_hooks = true;
+    options.enable_watchdog = false;
+    options.watchdog_min_window_s = 0.05;
+    auto server = must_start(std::move(options));
+    ASSERT_NE(server, nullptr);
+    const HttpResponse response = must_roundtrip(
+        server->port(), "POST", "/v1/plan",
+        small_body(0) + "deadline_ms=50\nstall_ms=400\n");
+    EXPECT_EQ(response.status, 200) << response.body;
+    const HttpResponse stats =
+        must_roundtrip(server->port(), "GET", "/statsz", "");
+    EXPECT_EQ(field_u64(stats.body, "watchdog_kills"), 0u);
+  }
+  // Enabled, but the request finishes inside deadline * grace: no kill,
+  // and a request with no deadline at all is never killed.
+  {
+    ServerOptions options;
+    options.workers = 1;
+    options.enable_test_hooks = true;
+    options.watchdog_grace = 100.0;
+    options.watchdog_min_window_s = 0.05;
+    auto server = must_start(std::move(options));
+    ASSERT_NE(server, nullptr);
+    const HttpResponse in_grace = must_roundtrip(
+        server->port(), "POST", "/v1/plan",
+        small_body(0) + "deadline_ms=50\nstall_ms=100\n");
+    EXPECT_EQ(in_grace.status, 200) << in_grace.body;
+    const HttpResponse no_deadline =
+        must_roundtrip(server->port(), "POST", "/v1/plan", small_body(1));
+    EXPECT_EQ(no_deadline.status, 200) << no_deadline.body;
+    const HttpResponse stats =
+        must_roundtrip(server->port(), "GET", "/statsz", "");
+    EXPECT_EQ(field_u64(stats.body, "watchdog_kills"), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace bc

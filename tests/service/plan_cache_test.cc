@@ -146,11 +146,12 @@ TEST(PlanCacheTest, InteriorCorruptionIsFatalTornTailIsDropped) {
 }
 
 // The SIGKILL chaos test: a child process journals entries in a loop and
-// is killed at an arbitrary instant with no chance to clean up. Because
-// every flush is write-temp + fsync + rename, the surviving file must
-// always (a) reload cleanly and (b) be byte-identical to a clean flush of
-// exactly the entries it claims to hold — never a torn or interleaved
-// state.
+// is killed at an arbitrary instant with no chance to clean up. Flushes
+// are fsynced appends (with atomic compactions underneath), so the
+// surviving file must always (a) reload cleanly — at most the torn final
+// line is lost — and (b) compact to bytes identical to a clean cache
+// holding exactly the entries it claims to hold — never a torn or
+// interleaved state.
 TEST(PlanCacheChaosTest, SigkillMidFlushRecoversByteIdentically) {
   const std::string path = temp_path("sigkill");
   const auto entry_payload = [](int i) {
@@ -186,8 +187,10 @@ TEST(PlanCacheChaosTest, SigkillMidFlushRecoversByteIdentically) {
   ASSERT_TRUE(recovered.has_value()) << recovered.fault().message;
   const std::size_t n = recovered.value().size();
   ASSERT_GT(n, 0u) << "no flush landed before the kill";
-  // Byte-identity: rebuild a cache with the same entries cleanly and
-  // compare raw file bytes.
+  // Byte-purity: compact the survivor, rebuild a cache with the same
+  // entries cleanly, compact that too, and compare raw file bytes — the
+  // kill must leave no trace in the compacted image.
+  ASSERT_TRUE(recovered.value().compact().has_value());
   const std::string clean_path = temp_path("sigkill_clean");
   auto clean = PlanCache::open(clean_path);
   ASSERT_TRUE(clean.has_value());
@@ -198,7 +201,7 @@ TEST(PlanCacheChaosTest, SigkillMidFlushRecoversByteIdentically) {
     EXPECT_EQ(*payload, entry_payload(static_cast<int>(i)));
     clean.value().put(key, entry_payload(static_cast<int>(i)));
   }
-  ASSERT_TRUE(clean.value().flush().has_value());
+  ASSERT_TRUE(clean.value().compact().has_value());
   auto killed_bytes = support::read_file(path);
   auto clean_bytes = support::read_file(clean_path);
   ASSERT_TRUE(killed_bytes.has_value() && clean_bytes.has_value());

@@ -110,6 +110,97 @@ TEST(RetryTest, BackoffNeverSleepsThroughTheDeadline) {
   EXPECT_LT(elapsed_s, 0.15) << "slept through the deadline";
 }
 
+TEST(RetryTest, NegativeRemainingDeadlineStopsEvenWithZeroBackoff) {
+  // The meter is already past its deadline when the retry loop runs.
+  // With backoff 0 the "remaining <= backoff" guard can't fire (the
+  // remaining time is negative, not merely small), so the loop must
+  // catch the expiry via check() instead of spinning max_attempts times.
+  support::Budget budget;
+  budget.deadline_s = 1e-6;
+  support::BudgetMeter meter(budget);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  service::RetryPolicy policy = fast_policy();
+  policy.initial_backoff_ms = 0.0;
+  int calls = 0;
+  auto result = service::with_retry(policy, &meter,
+                                    [&]() -> Expected<int> {
+                                      ++calls;
+                                      return Fault{FaultKind::kCoverageGap,
+                                                   "transient"};
+                                    });
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, DeadlineMs1EdgeNeverEarnsASleepAsLongAsTheDeadline) {
+  // deadline_ms=1 with a backoff of exactly 1ms: remaining time starts
+  // at most equal to the backoff and only shrinks, so the loop must
+  // fail fast rather than sleep through the entire remaining budget.
+  // Timing-robust by construction: a slow machine shrinks `remaining`
+  // further, which can only make the loop stop sooner.
+  service::RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_ms = 1.0;
+  support::Budget budget;
+  budget.deadline_s = 0.001;
+  support::BudgetMeter meter(budget);
+  int calls = 0;
+  service::RetryOutcome outcome;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = service::with_retry(policy, &meter,
+                                    [&]() -> Expected<int> {
+                                      ++calls;
+                                      return Fault{FaultKind::kCoverageGap,
+                                                   "transient"};
+                                    },
+                                    &outcome);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.fault().kind, FaultKind::kCoverageGap);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(outcome.attempts, calls);
+  EXPECT_LT(elapsed_s, 0.1) << "slept on a deadline it could not meet";
+}
+
+TEST(RetryTest, TinyBackoffUnderTinyDeadlineNeverOvershootsByAFullSleep) {
+  // Backoffs much smaller than the 1ms deadline may earn some retries,
+  // but every sleep the loop takes is individually smaller than the
+  // remaining budget at that moment — so the loop can overshoot the
+  // deadline by at most one sub-millisecond backoff, never by a full
+  // scheduled sleep. Attempt counts may legitimately vary with machine
+  // speed (slower machines retry less); the wall-clock bound may not.
+  service::RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff_ms = 0.05;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 0.2;
+  support::Budget budget;
+  budget.deadline_s = 0.001;
+  support::BudgetMeter meter(budget);
+  int calls = 0;
+  service::RetryOutcome outcome;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = service::with_retry(policy, &meter,
+                                    [&]() -> Expected<int> {
+                                      ++calls;
+                                      return Fault{FaultKind::kCoverageGap,
+                                                   "transient"};
+                                    },
+                                    &outcome);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(result.has_value());
+  EXPECT_GE(calls, 1);
+  EXPECT_LE(calls, policy.max_attempts);
+  EXPECT_EQ(outcome.attempts, calls);
+  // Generous scheduling slack; the failure mode being pinned (sleeping
+  // a full backoff ladder past a 1ms deadline) would cost far more.
+  EXPECT_LT(elapsed_s, 0.25) << "backoff ladder ignored the deadline";
+}
+
 TEST(RetryTest, ExpiredMeterStopsRetriesImmediately) {
   support::Budget budget;
   budget.cancel.request_cancel();  // trips on the first check()

@@ -16,6 +16,12 @@ alternative to ``--positions``. The response body (JSON) is printed to
 stdout unchanged. Exit status: 0 on HTTP 200, 3 on 503 (overloaded — the
 ``Retry-After`` header is echoed to stderr), 4 on 504 (deadline exceeded),
 1 on any other error.
+
+``--retries N`` (default 0: fail fast) re-sends a request shed with 503
+up to N times, sleeping the server's advertised ``Retry-After`` between
+attempts — polite backpressure cooperation, never a hot retry loop. Only
+503s are retried: they promise the identical request can succeed later,
+which a 4xx/504 does not.
 """
 
 import argparse
@@ -23,6 +29,7 @@ import http.client
 import json
 import pathlib
 import sys
+import time
 
 
 def build_body(args):
@@ -58,7 +65,7 @@ def build_body(args):
     return "\n".join(lines) + "\n"
 
 
-def request(args, method, path, body=""):
+def roundtrip(args, method, path, body):
     connection = http.client.HTTPConnection("127.0.0.1", args.port,
                                             timeout=args.timeout)
     try:
@@ -71,6 +78,26 @@ def request(args, method, path, body=""):
                  f"{err}")
     finally:
         connection.close()
+    return response, payload
+
+
+def request(args, method, path, body=""):
+    retries = getattr(args, "retries", 0)
+    attempt = 0
+    while True:
+        response, payload = roundtrip(args, method, path, body)
+        if response.status != 503 or attempt >= retries:
+            break
+        # Shed by admission control: honour the server's advisory backoff
+        # before re-sending the identical request.
+        try:
+            retry_after_s = float(response.getheader("Retry-After", "1"))
+        except ValueError:
+            retry_after_s = 1.0
+        attempt += 1
+        print(f"overloaded (503); retry {attempt}/{retries} in "
+              f"{retry_after_s:g} s", file=sys.stderr)
+        time.sleep(max(0.0, retry_after_s))
 
     print(payload, end="" if payload.endswith("\n") else "\n")
     if response.status == 200:
@@ -93,6 +120,10 @@ def main():
                         help="bundlecharged port (it prints this at startup)")
     parser.add_argument("--timeout", type=float, default=30.0,
                         help="socket timeout in seconds (default 30)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-send a 503-shed request up to N times, "
+                             "sleeping the server's Retry-After between "
+                             "attempts (default 0: fail fast)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("health", help="GET /healthz")

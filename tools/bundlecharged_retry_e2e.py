@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""End-to-end shed-then-succeed test for the client's --retries flag.
+
+Boots a real bundlecharged with one worker and a one-slot queue, wedges
+both with stalled requests (the --enable-test-hooks stall_ms knob), then
+runs tools/bundlecharged_client.py with --retries against the saturated
+daemon. The first attempt(s) must be shed with 503 + Retry-After; the
+client must sleep the advertised backoff and eventually land a 200 once
+the stalled work drains. Run by ctest as `client_retry_e2e`:
+
+    tools/bundlecharged_retry_e2e.py --daemon build/src/bundlecharged \
+        --client tools/bundlecharged_client.py
+"""
+
+import argparse
+import http.client
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+STALL_MS = 2000
+POSITIONS = ";".join(
+    f"{(j * 131 + 17) % 997},{(j * 197 + 5) % 991}" for j in range(40)
+)
+
+
+def fail(daemon, message):
+    daemon.terminate()
+    sys.exit(f"FAIL: {message}")
+
+
+def post_plan(port, body, timeout=30.0):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        connection.request("POST", "/v1/plan", body=body.encode(),
+                           headers={"Content-Type": "text/plain"})
+        response = connection.getresponse()
+        return response.status, response.read().decode(errors="replace")
+    finally:
+        connection.close()
+
+
+def stats_field(port, name):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10.0)
+    try:
+        connection.request("GET", "/statsz")
+        body = connection.getresponse().read().decode(errors="replace")
+    finally:
+        connection.close()
+    match = re.search(rf'"{name}": (\d+)', body)
+    if match is None:
+        sys.exit(f"FAIL: /statsz has no field {name}: {body}")
+    return int(match.group(1))
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--daemon", required=True)
+    parser.add_argument("--client", required=True)
+    args = parser.parse_args()
+
+    daemon = subprocess.Popen(
+        [args.daemon, "--port", "0", "--workers", "1",
+         "--queue-capacity", "1", "--enable-test-hooks"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    line = daemon.stdout.readline()
+    match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+    if match is None:
+        fail(daemon, f"daemon did not announce a port: {line!r}")
+    port = int(match.group(1))
+
+    try:
+        # Wedge the single worker and the single queue slot.
+        stall_body = (f"algorithm=BC\nradius=120\nstall_ms={STALL_MS}\n"
+                      f"positions={POSITIONS}\ndepot=0,0\n")
+        stalled = [
+            threading.Thread(target=post_plan, args=(port, stall_body))
+            for _ in range(2)
+        ]
+        stalled[0].start()
+        deadline = time.monotonic() + 30.0
+        while stats_field(port, "accepted") < 1:
+            if time.monotonic() > deadline:
+                fail(daemon, "first stalled request was never admitted")
+            time.sleep(0.01)
+        stalled[1].start()
+        while stats_field(port, "queue_depth") < 1:
+            if time.monotonic() > deadline:
+                fail(daemon, "queue slot never filled")
+            time.sleep(0.01)
+
+        # The saturated daemon must shed the client at least once; with
+        # --retries the client honours Retry-After and ultimately lands.
+        client = subprocess.run(
+            [sys.executable, args.client, "--port", str(port),
+             "--retries", "8", "plan", "--positions", POSITIONS,
+             "--radius", "120"],
+            capture_output=True, text=True, timeout=90)
+        for thread in stalled:
+            thread.join()
+
+        if client.returncode != 0:
+            fail(daemon, f"client failed (exit {client.returncode}):\n"
+                         f"stdout: {client.stdout}\nstderr: {client.stderr}")
+        if '"plan"' not in client.stdout:
+            fail(daemon, f"no plan in client output: {client.stdout}")
+        if "retry" not in client.stderr:
+            fail(daemon, "client was never shed — overload did not happen; "
+                         f"stderr: {client.stderr}")
+        shed = stats_field(port, "shed")
+        completed = stats_field(port, "completed")
+        if shed < 1:
+            fail(daemon, f"daemon sheds not recorded (shed={shed})")
+        if completed != 3:
+            fail(daemon, f"expected 3 completions (2 stalled + client), "
+                         f"got {completed}")
+    finally:
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            daemon.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+
+    print(f"OK: client was shed then succeeded (shed={shed}, "
+          f"completed={completed})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
