@@ -13,6 +13,7 @@ namespace {
 
 TraceJournal* g_current_journal = nullptr;
 thread_local int t_span_depth = 0;
+thread_local bool t_worker_tracing = false;
 
 std::string format_double(double v) {
   char buf[64];
@@ -21,10 +22,16 @@ std::string format_double(double v) {
 }
 
 // Spans are recorded only from deterministic serial control flow: inside
-// a parallel region (pooled worker *or* the caller inlining a chunk) the
-// records' existence and order would depend on BC_THREADS.
+// a parallel_for chunk the records' existence and order would depend on
+// BC_THREADS, so chunks never journal. Threads flagged as workers are
+// suppressed too, *unless* they opted in via ScopedWorkerTracing — a
+// request thread under ScopedInlineExecution runs strictly serially, so
+// its spans are as well-ordered as a main-thread run.
 bool tracing_suppressed() {
-  return g_current_journal == nullptr || support::in_parallel_region();
+  if (g_current_journal == nullptr || support::in_parallel_chunk()) {
+    return true;
+  }
+  return support::in_parallel_worker() && !t_worker_tracing;
 }
 
 }  // namespace
@@ -119,6 +126,12 @@ support::Expected<bool> TraceJournal::write(const std::string& path) const {
 }
 
 TraceJournal* trace_journal() { return g_current_journal; }
+
+ScopedWorkerTracing::ScopedWorkerTracing() : previous_(t_worker_tracing) {
+  t_worker_tracing = true;
+}
+
+ScopedWorkerTracing::~ScopedWorkerTracing() { t_worker_tracing = previous_; }
 
 ScopedTraceJournal::ScopedTraceJournal(TraceJournal& journal)
     : previous_(g_current_journal) {

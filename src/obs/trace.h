@@ -136,6 +136,27 @@ class ScopedTraceJournal {
   TraceJournal* previous_;
 };
 
+// Re-enables span emission on a thread that is flagged as a parallel
+// worker. Request handlers that solve inline (ScopedInlineExecution)
+// install this right after the inline scope: the request runs strictly
+// serially on its thread, so its spans are as well-ordered as a
+// main-thread run, and without the opt-in a serving daemon could never
+// journal its own service.* spans. Spans inside parallel_for chunks stay
+// suppressed either way. Spans from concurrently-served requests
+// interleave in journal order — a daemon trace is a diagnostic timeline,
+// not a byte-stable artifact; drive the daemon serially when comparing
+// journals.
+class ScopedWorkerTracing {
+ public:
+  ScopedWorkerTracing();
+  ~ScopedWorkerTracing();
+  ScopedWorkerTracing(const ScopedWorkerTracing&) = delete;
+  ScopedWorkerTracing& operator=(const ScopedWorkerTracing&) = delete;
+
+ private:
+  bool previous_;
+};
+
 // RAII span: records [construction, destruction] with nesting depth from
 // a thread-local counter. Inactive (all methods no-ops) when no journal
 // is installed or when constructed inside a parallel region.

@@ -33,6 +33,7 @@ class BoundedQueue {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      if (items_.size() > peak_) peak_ = items_.size();
     }
     ready_.notify_one();
     return true;
@@ -64,11 +65,21 @@ class BoundedQueue {
     return items_.size();
   }
 
+  // High-water mark of the queue depth since construction. A peak at
+  // capacity means admission control actually bit (some request saw a
+  // full queue, or came one slot from it) — the saturation signal
+  // /statsz exports as queue_depth_peak.
+  std::size_t peak() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_;
+  }
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   std::deque<T> items_;
+  std::size_t peak_ = 0;
   bool closed_ = false;
 };
 

@@ -5,7 +5,10 @@
 //                 [--cache PATH] [--cache-max-entries N]
 //                 [--default-deadline-ms N] [--io-timeout-ms N]
 //                 [--watchdog-grace N] [--no-watchdog]
-//                 [--enable-test-hooks]
+//                 [--no-incremental] [--no-batching]
+//                 [--max-diff N] [--fallback-ratio-pct N]
+//                 [--batch-max-waiters N] [--enable-test-hooks]
+//                 [--trace-out PATH]
 //
 // Prints "bundlecharged listening on 127.0.0.1:<port>" once serving (tools
 // and tests parse this line to learn an ephemeral port), then runs until
@@ -16,9 +19,11 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <thread>
 
+#include "obs/trace.h"
 #include "service/server.h"
 #include "support/socket.h"
 
@@ -57,13 +62,17 @@ void print_usage() {
       "                     [--cache PATH] [--cache-max-entries N]\n"
       "                     [--default-deadline-ms N] [--io-timeout-ms N]\n"
       "                     [--watchdog-grace N] [--no-watchdog]\n"
-      "                     [--enable-test-hooks]\n");
+      "                     [--no-incremental] [--no-batching]\n"
+      "                     [--max-diff N] [--fallback-ratio-pct N]\n"
+      "                     [--batch-max-waiters N] [--enable-test-hooks]\n"
+      "                     [--trace-out PATH]\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bc::service::ServerOptions options;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (parse_flag_value(argc, argv, &i, "--port", &value)) {
@@ -106,8 +115,31 @@ int main(int argc, char** argv) {
       options.io_timeout_s =
           static_cast<double>(parse_long_or_die(value, "--io-timeout-ms")) /
           1000.0;
+    } else if (std::string(argv[i]) == "--no-incremental") {
+      options.enable_incremental = false;
+    } else if (std::string(argv[i]) == "--no-batching") {
+      options.enable_batching = false;
+    } else if (parse_flag_value(argc, argv, &i, "--max-diff", &value)) {
+      options.incremental.max_diff_sensors =
+          static_cast<std::size_t>(parse_long_or_die(value, "--max-diff"));
+    } else if (parse_flag_value(argc, argv, &i, "--fallback-ratio-pct",
+                                &value)) {
+      // Integer percent (125 = 1.25x) keeps the flag grammar integral.
+      const long pct = parse_long_or_die(value, "--fallback-ratio-pct");
+      if (pct < 100) {
+        std::fprintf(stderr,
+                     "bundlecharged: --fallback-ratio-pct must be >= 100\n");
+        return 2;
+      }
+      options.incremental.fallback_ratio = static_cast<double>(pct) / 100.0;
+    } else if (parse_flag_value(argc, argv, &i, "--batch-max-waiters",
+                                &value)) {
+      options.batch_max_waiters = static_cast<std::size_t>(
+          parse_long_or_die(value, "--batch-max-waiters"));
     } else if (std::string(argv[i]) == "--enable-test-hooks") {
       options.enable_test_hooks = true;
+    } else if (parse_flag_value(argc, argv, &i, "--trace-out", &value)) {
+      trace_path = value;
     } else if (std::string(argv[i]) == "--help" ||
                std::string(argv[i]) == "-h") {
       print_usage();
@@ -120,6 +152,18 @@ int main(int argc, char** argv) {
   }
 
   bc::support::ignore_sigpipe();
+
+  // Install the journal before the workers exist and keep it until after
+  // stop(): service spans fire from worker threads, and the journal's
+  // appends are mutex-protected. Written once on orderly shutdown —
+  // tools/trace_summary.py renders the service-layer funnel from it.
+  std::optional<bc::obs::TraceJournal> trace_journal;
+  std::optional<bc::obs::ScopedTraceJournal> trace_scope;
+  if (!trace_path.empty()) {
+    trace_journal.emplace();
+    trace_scope.emplace(trace_journal.value());
+  }
+
   auto server = bc::service::Server::start(options);
   if (!server.has_value()) {
     std::fprintf(stderr, "bundlecharged: %s\n",
@@ -139,5 +183,15 @@ int main(int argc, char** argv) {
   }
   std::printf("bundlecharged: stopping\n");
   server.value()->stop();
+
+  if (trace_journal.has_value()) {
+    trace_scope.reset();  // uninstall before serialising
+    auto written = trace_journal->write(trace_path);
+    if (!written.has_value()) {
+      std::fprintf(stderr, "bundlecharged: trace write failed: %s\n",
+                   written.fault().message.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

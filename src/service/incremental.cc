@@ -1,0 +1,327 @@
+#include "service/incremental.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "bundle/patch_cover.h"
+#include "geometry/point.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/evaluate.h"
+#include "support/require.h"
+#include "tour/splice.h"
+
+namespace bc::service {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Exact position identity — the same bit-level semantics the canonical
+// fingerprint's hexfloats encode. (-0.0 and 0.0 are distinct here exactly
+// as their hexfloats are.)
+struct PositionBits {
+  std::uint64_t x;
+  std::uint64_t y;
+  bool operator==(const PositionBits&) const = default;
+};
+
+struct PositionBitsHash {
+  std::size_t operator()(const PositionBits& p) const {
+    return static_cast<std::size_t>(splitmix64(p.x ^ splitmix64(p.y)));
+  }
+};
+
+PositionBits bits_of(geometry::Point2 p) {
+  return {std::bit_cast<std::uint64_t>(p.x),
+          std::bit_cast<std::uint64_t>(p.y)};
+}
+
+bool within(geometry::Point2 a, geometry::Point2 b, double radius) {
+  return geometry::distance_squared(a, b) <= radius * radius;
+}
+
+// Canonicalised request fields (the fingerprint's defaulting rules), so a
+// base served as profile="" matches a request naming "icdcs2019"
+// explicitly — their fingerprints differ, but the solves are identical.
+std::string_view profile_or_default(const PlanRequest& request) {
+  return request.profile.empty() ? std::string_view("icdcs2019")
+                                 : std::string_view(request.profile);
+}
+
+std::string_view algorithm_or_default(const PlanRequest& request) {
+  return request.algorithm.empty() ? std::string_view("BC")
+                                   : std::string_view(request.algorithm);
+}
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool compatible(const PlanRequest& a, const PlanRequest& b) {
+  return profile_or_default(a) == profile_or_default(b) &&
+         algorithm_or_default(a) == algorithm_or_default(b) &&
+         same_bits(a.radius_m, b.radius_m) &&
+         same_bits(a.demand_j, b.demand_j) &&
+         bits_of(a.depot) == bits_of(b.depot);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> position_sketch(
+    std::span<const geometry::Point2> positions, double cell_size,
+    std::size_t hashes) {
+  support::require(cell_size > 0.0, "sketch cell size must be positive");
+  std::vector<std::uint64_t> cells;
+  cells.reserve(positions.size());
+  for (const geometry::Point2 p : positions) {
+    const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell_size));
+    const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell_size));
+    cells.push_back(splitmix64(static_cast<std::uint64_t>(cx) ^
+                               splitmix64(static_cast<std::uint64_t>(cy))));
+  }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  if (cells.size() > hashes) cells.resize(hashes);
+  return cells;
+}
+
+std::size_t sketch_overlap(std::span<const std::uint64_t> a,
+                           std::span<const std::uint64_t> b) {
+  std::size_t overlap = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+void BaseStore::insert(BaseEntry entry) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->key == entry.key) {
+      entries_.erase(it);
+      break;
+    }
+  }
+  entries_.push_back(std::move(entry));
+  while (options_.max_bases != 0 && entries_.size() > options_.max_bases) {
+    entries_.pop_front();
+  }
+}
+
+const BaseEntry* BaseStore::nearest(
+    const PlanRequest& request,
+    std::span<const std::uint64_t> sketch) const {
+  const BaseEntry* best = nullptr;
+  std::size_t best_overlap = 0;
+  // Back-to-front: on equal overlap the most recent base wins, which is
+  // the natural anchor for a drifting request stream.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (!compatible(it->request, request)) continue;
+    const std::size_t overlap = sketch_overlap(it->sketch, sketch);
+    if (overlap < options_.min_sketch_overlap) continue;
+    if (overlap > best_overlap) {
+      best_overlap = overlap;
+      best = &*it;
+    }
+  }
+  return best;
+}
+
+RequestDiff diff_requests(const PlanRequest& base,
+                          const PlanRequest& request) {
+  RequestDiff diff;
+  diff.base_to_new.assign(base.positions.size(), RequestDiff::kUnmatched);
+
+  // Multiset match by exact bits: each position key holds the ascending
+  // base ids carrying it; new ids (ascending) consume them front-first,
+  // so the survivor id map is deterministic even with duplicates.
+  std::unordered_map<PositionBits, std::vector<net::SensorId>,
+                     PositionBitsHash>
+      by_position;
+  by_position.reserve(base.positions.size() * 2);
+  for (std::size_t i = 0; i < base.positions.size(); ++i) {
+    by_position[bits_of(base.positions[i])].push_back(
+        static_cast<net::SensorId>(i));
+  }
+  std::unordered_map<PositionBits, std::size_t, PositionBitsHash> consumed;
+  consumed.reserve(by_position.size());
+  for (std::size_t j = 0; j < request.positions.size(); ++j) {
+    const PositionBits key = bits_of(request.positions[j]);
+    auto it = by_position.find(key);
+    std::size_t& used = consumed[key];
+    if (it == by_position.end() || used >= it->second.size()) {
+      diff.added.push_back(static_cast<net::SensorId>(j));
+      continue;
+    }
+    diff.base_to_new[it->second[used]] = static_cast<net::SensorId>(j);
+    ++used;
+  }
+  for (std::size_t i = 0; i < base.positions.size(); ++i) {
+    if (diff.base_to_new[i] == RequestDiff::kUnmatched) {
+      diff.removed.push_back(static_cast<net::SensorId>(i));
+    }
+  }
+  return diff;
+}
+
+std::string_view to_string(PatchVerdict verdict) {
+  switch (verdict) {
+    case PatchVerdict::kPatched:
+      return "patched";
+    case PatchVerdict::kDiffTooLarge:
+      return "diff_too_large";
+    case PatchVerdict::kDiffNotLocal:
+      return "diff_not_local";
+    case PatchVerdict::kNotPartition:
+      return "not_partition";
+    case PatchVerdict::kObjectiveRegressed:
+      return "objective_regressed";
+  }
+  return "unknown";
+}
+
+PatchResult patch_plan(const net::Deployment& deployment,
+                       const PlanRequest& request, const BaseEntry& base,
+                       const core::Profile& profile,
+                       const IncrementalOptions& options,
+                       support::BudgetMeter* meter) {
+  PatchResult result;
+  result.base_objective_j = base.objective_j;
+
+  obs::TraceSpan span("service.incremental.patch");
+  static const obs::Counter attempts("service.incremental.attempts");
+  static const obs::Counter patched("service.incremental.patched");
+  static const obs::Counter rejected("service.incremental.rejected");
+  attempts.add();
+  const auto finish = [&](PatchVerdict verdict) -> PatchResult& {
+    result.verdict = verdict;
+    (verdict == PatchVerdict::kPatched ? patched : rejected).add();
+    span.attr("verdict", to_string(verdict))
+        .attr("added", static_cast<std::uint64_t>(result.diff_added))
+        .attr("removed", static_cast<std::uint64_t>(result.diff_removed))
+        .attr("invalidated",
+              static_cast<std::uint64_t>(result.stops_invalidated));
+    return result;
+  };
+
+  const RequestDiff diff = diff_requests(base.request, request);
+  result.diff_added = diff.added.size();
+  result.diff_removed = diff.removed.size();
+  if (diff.size() > options.max_diff_sensors) {
+    return finish(PatchVerdict::kDiffTooLarge);
+  }
+
+  const double patch_radius = options.patch_radius_factor * base.radius_m;
+
+  // Locality: every added sensor must land near existing coverage (a base
+  // stop anchor) or near a removed sensor (the moved-sensor case). A
+  // far-field addition opens a genuinely new region — cold-solve it.
+  for (const net::SensorId id : diff.added) {
+    const geometry::Point2 p = request.positions[id];
+    bool local = false;
+    for (const tour::Stop& stop : base.plan.stops) {
+      if (within(p, stop.position, patch_radius)) {
+        local = true;
+        break;
+      }
+    }
+    for (std::size_t k = 0; !local && k < diff.removed.size(); ++k) {
+      local = within(p, base.request.positions[diff.removed[k]],
+                     patch_radius);
+    }
+    if (!local) return finish(PatchVerdict::kDiffNotLocal);
+  }
+
+  // Diff positions in both coordinate roles: added sensors at their new
+  // coordinates, removed sensors at their old ones.
+  std::vector<geometry::Point2> diff_positions;
+  diff_positions.reserve(diff.size());
+  for (const net::SensorId id : diff.added) {
+    diff_positions.push_back(request.positions[id]);
+  }
+  for (const net::SensorId id : diff.removed) {
+    diff_positions.push_back(base.request.positions[id]);
+  }
+
+  // Invalidate every stop whose patch-radius neighbourhood intersects the
+  // diff; survivors keep their members (a removed member is always within
+  // r <= patch_radius of its own anchor, so its stop is invalidated by
+  // construction — an untouched stop never loses a sensor).
+  std::vector<tour::Stop> survivors;
+  std::vector<net::SensorId> hole(diff.added.begin(), diff.added.end());
+  for (const tour::Stop& stop : base.plan.stops) {
+    bool invalidated = false;
+    for (const geometry::Point2 d : diff_positions) {
+      if (within(stop.position, d, patch_radius)) {
+        invalidated = true;
+        break;
+      }
+    }
+    std::vector<net::SensorId> members;
+    members.reserve(stop.members.size());
+    for (const net::SensorId id : stop.members) {
+      const net::SensorId mapped = diff.base_to_new[id];
+      if (mapped != RequestDiff::kUnmatched) members.push_back(mapped);
+    }
+    if (invalidated) {
+      ++result.stops_invalidated;
+      hole.insert(hole.end(), members.begin(), members.end());
+    } else if (!members.empty()) {
+      survivors.push_back(tour::Stop{stop.position, std::move(members)});
+    }
+  }
+  std::sort(hole.begin(), hole.end());
+
+  tour::ChargingPlan plan;
+  plan.algorithm = base.plan.algorithm;
+  plan.depot = deployment.depot();
+  plan.stops = std::move(survivors);
+
+  if (!hole.empty()) {
+    bundle::SubsetCoverOptions cover;
+    cover.node_budget = options.node_budget;
+    const std::vector<bundle::Bundle> bundles = bundle::cover_subset(
+        deployment, base.radius_m, hole, cover, meter);
+    std::vector<tour::Stop> patches;
+    patches.reserve(bundles.size());
+    for (const bundle::Bundle& b : bundles) {
+      patches.push_back(tour::Stop{b.anchor, b.members});
+    }
+    result.stops_patched = patches.size();
+    plan = tour::splice_stops(plan, std::move(patches), tour::SpliceOptions{},
+                              meter);
+  }
+
+  if (!tour::plan_is_partition(deployment, plan)) {
+    return finish(PatchVerdict::kNotPartition);
+  }
+  result.objective_j =
+      sim::evaluate_plan(deployment, plan, profile.evaluation).total_energy_j;
+  if (result.objective_j >
+      options.fallback_ratio * result.base_objective_j) {
+    return finish(PatchVerdict::kObjectiveRegressed);
+  }
+  result.plan = std::move(plan);
+  return finish(PatchVerdict::kPatched);
+}
+
+}  // namespace bc::service

@@ -1,0 +1,191 @@
+// Incremental replanning: solve the delta, not the instance.
+//
+// Real charging services see streams of near-duplicate deployments —
+// sensors die, join, or drift between requests — and a request that
+// differs from an already-served deployment by a handful of sensors
+// should not pay for a full cold solve. This module is the service-side
+// fast path:
+//
+//   base store    every non-degraded cold solve is remembered (request,
+//                 plan, objective) in a bounded FIFO, indexed by a
+//                 locality-sensitive min-hash sketch over quantised
+//                 sensor positions. The canonical fingerprint anchors
+//                 exact identity; the sketch finds the *nearest* base
+//                 when fingerprints differ.
+//   diff          base and incoming positions are matched bit-exactly
+//                 (the same hexfloat semantics the fingerprint uses),
+//                 yielding added / removed sensors and an id map for the
+//                 survivors. A moved sensor is one removal plus one
+//                 addition.
+//   classify      the diff is patchable when it is small (|added| +
+//                 |removed| <= max_diff_sensors) and local (every added
+//                 sensor within patch_radius_factor * r of a base stop
+//                 anchor or of a removed sensor); anything else falls
+//                 back to the cold path.
+//   patch         stops whose patch-radius neighbourhood intersects the
+//                 diff are invalidated; their surviving members plus the
+//                 added sensors form the hole, which is re-covered by
+//                 bundle::cover_subset (budgeted exact-cover/greedy
+//                 ladder) and spliced back into the tour by
+//                 tour::splice_stops (cheapest insertion + 2-opt).
+//   guard         the patched plan must partition the new deployment and
+//                 its objective (total energy, the paper's Eq. 3) must
+//                 stay within fallback_ratio of the base objective;
+//                 otherwise the caller cold-solves, so served plans never
+//                 regress past the configured bound.
+//
+// Everything here is a pure, deterministic function of (request, base,
+// options): budgets are node caps, never wall clocks, so a patched plan
+// is byte-identical across runs and thread counts.
+
+#ifndef BUNDLECHARGE_SERVICE_INCREMENTAL_H_
+#define BUNDLECHARGE_SERVICE_INCREMENTAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/profiles.h"
+#include "geometry/point.h"
+#include "net/deployment.h"
+#include "net/sensor.h"
+#include "service/wire.h"
+#include "support/deadline.h"
+#include "tour/plan.h"
+
+namespace bc::service {
+
+struct IncrementalOptions {
+  // Diff size bound: |added| + |removed| at most this (a moved sensor
+  // counts twice). Beyond it, a cold solve is usually cheaper than the
+  // cascade of invalidated bundles.
+  std::size_t max_diff_sensors = 40;
+  // Served plans never regress past this: a patched plan whose total
+  // energy exceeds fallback_ratio x the base objective is discarded and
+  // the request cold-solves.
+  double fallback_ratio = 1.25;
+  // Invalidation / locality radius as a multiple of the bundle radius r:
+  // a stop is invalidated when a diff position is within
+  // patch_radius_factor * r of its anchor (2r = any bundle that could
+  // share a candidate circle with the diff).
+  double patch_radius_factor = 2.0;
+  // Node budget for the hole re-cover (bundle::cover_subset). Holes are
+  // small (<= max_diff_sensors plus displaced bundle members), so a tight
+  // cap keeps the patch an order of magnitude cheaper than a cold solve;
+  // the anytime search returns its best incumbent at the cap and the
+  // objective gate below catches any cover that came out too loose.
+  std::size_t node_budget = 1'000;
+  // Base store bound (FIFO eviction) and sketch shape.
+  std::size_t max_bases = 64;
+  std::size_t sketch_hashes = 16;
+  // Sketch slots that must agree before a base is even diffed; below
+  // this the deployments are unrelated and the exact diff is a waste.
+  std::size_t min_sketch_overlap = 8;
+};
+
+// Min-hash sketch of the occupied-cell set: positions quantised to cells
+// of side `cell_size`, cell coordinates hashed (SplitMix64), and the
+// `hashes` smallest kept in ascending order. Deployments differing by a
+// few sensors share almost every cell, so their sketches agree on most
+// slots; unrelated deployments agree on almost none.
+std::vector<std::uint64_t> position_sketch(
+    std::span<const geometry::Point2> positions, double cell_size,
+    std::size_t hashes);
+
+// Number of common values between two ascending sketches.
+std::size_t sketch_overlap(std::span<const std::uint64_t> a,
+                           std::span<const std::uint64_t> b);
+
+// A remembered cold solve: the full request (positions anchor the diff),
+// the served plan, and its evaluated objective.
+struct BaseEntry {
+  std::string key;  // hash_fingerprint(canonical_fingerprint(request))
+  PlanRequest request;
+  tour::ChargingPlan plan;
+  double objective_j = 0.0;  // sim::evaluate_plan total_energy_j
+  double radius_m = 0.0;     // resolved bundle radius the plan was built with
+  std::vector<std::uint64_t> sketch;
+};
+
+// Bounded FIFO of bases with sketch-nearest lookup. Only *cold* solves
+// are registered — patched plans never become bases, so repair error can
+// not compound across a drifting request stream. Not thread-safe; the
+// server serialises access.
+class BaseStore {
+ public:
+  explicit BaseStore(IncrementalOptions options)
+      : options_(std::move(options)) {}
+
+  // Registers a base; an existing entry with the same key is refreshed
+  // (moved to the back of the FIFO).
+  void insert(BaseEntry entry);
+
+  // The nearest compatible base: identical profile/algorithm/radius/
+  // demand/depot (any of those changing invalidates every bundle), best
+  // sketch overlap >= min_sketch_overlap; ties break toward the most
+  // recently inserted base. nullptr when nothing qualifies. The pointer
+  // is invalidated by the next insert.
+  const BaseEntry* nearest(const PlanRequest& request,
+                           std::span<const std::uint64_t> sketch) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  IncrementalOptions options_;
+  std::deque<BaseEntry> entries_;
+};
+
+// Structured diff between a base request and an incoming one, matched by
+// exact position bits. `base_to_new[i]` maps base sensor i to its new id,
+// or kUnmatched when sensor i disappeared.
+struct RequestDiff {
+  static constexpr net::SensorId kUnmatched =
+      static_cast<net::SensorId>(-1);
+  std::vector<net::SensorId> base_to_new;
+  std::vector<net::SensorId> added;    // new ids with no base twin
+  std::vector<net::SensorId> removed;  // base ids with no new twin
+  std::size_t size() const { return added.size() + removed.size(); }
+};
+
+RequestDiff diff_requests(const PlanRequest& base, const PlanRequest& request);
+
+enum class PatchVerdict {
+  kPatched,            // plan is valid and within the fallback bound
+  kDiffTooLarge,       // |added| + |removed| > max_diff_sensors
+  kDiffNotLocal,       // an added sensor is outside every patch radius
+  kNotPartition,       // repaired plan failed the partition check
+  kObjectiveRegressed  // patched objective > fallback_ratio x base
+};
+
+std::string_view to_string(PatchVerdict verdict);
+
+struct PatchResult {
+  PatchVerdict verdict = PatchVerdict::kDiffTooLarge;
+  tour::ChargingPlan plan;  // meaningful iff verdict == kPatched
+  double objective_j = 0.0;
+  double base_objective_j = 0.0;
+  std::size_t diff_added = 0;
+  std::size_t diff_removed = 0;
+  std::size_t stops_invalidated = 0;
+  std::size_t stops_patched = 0;  // repaired stops spliced back in
+};
+
+// The incremental fast path: diff, classify, and — when patchable —
+// repair base.plan into a plan for `request`. `deployment` must be the
+// deployment built from request.positions; `profile` the resolved profile
+// (its planner config supplies the generator knobs, its evaluation config
+// the objective). Deterministic: two calls with equal inputs produce
+// byte-identical plans at any BC_THREADS.
+PatchResult patch_plan(const net::Deployment& deployment,
+                       const PlanRequest& request, const BaseEntry& base,
+                       const core::Profile& profile,
+                       const IncrementalOptions& options,
+                       support::BudgetMeter* meter = nullptr);
+
+}  // namespace bc::service
+
+#endif  // BUNDLECHARGE_SERVICE_INCREMENTAL_H_

@@ -6,12 +6,16 @@
 #include <future>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "core/request_mapping.h"
 #include "io/deployment_io.h"
 #include "io/plan_io.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/evaluate.h"
 #include "support/parallel.h"
 #include "tour/plan.h"
 #include "tour/replan.h"
@@ -78,7 +82,19 @@ std::string replan_plan_json(const tour::ChargingPlan& plan) {
 struct Server::Job {
   PlanRequest request;
   bool replan = false;
+  // Non-empty on a batch leader: the fingerprint under which waiters are
+  // parked in BatchState until this job completes.
+  std::string batch_key;
   std::promise<HttpResponse> result;
+};
+
+struct Server::BatchState {
+  std::mutex mutex;
+  // Fingerprint of an in-flight /v1/plan leader -> jobs that coalesced
+  // onto it. The leader's worker drains the vector after the leader's
+  // response (and cache insert) lands, so every waiter re-runs the normal
+  // path as a cache hit — byte-identical to a serial arrival order.
+  std::unordered_map<std::string, std::vector<Job>> inflight;
 };
 
 Server::Server(ServerOptions options) : options_(std::move(options)) {}
@@ -95,6 +111,8 @@ Expected<std::unique_ptr<Server>> Server::start(ServerOptions options) {
 
   std::unique_ptr<Server> server(new Server(std::move(options)));
   server->cache_ = std::make_unique<PlanCache>(std::move(cache.value()));
+  server->bases_ = std::make_unique<BaseStore>(server->options_.incremental);
+  server->batch_ = std::make_unique<BatchState>();
   server->listener_ = listener.value();
   server->port_ = server->listener_.port;
   server->queue_ =
@@ -297,10 +315,51 @@ HttpResponse Server::process_request(const HttpRequest& http) {
   job.request = std::move(parsed.value());
   job.replan = replan;
   std::future<HttpResponse> result = job.result.get_future();
+
+  // Cross-request batching: a /v1/plan whose fingerprint is already being
+  // solved parks as a waiter on the in-flight leader instead of taking a
+  // queue slot; the leader's worker serves it from the fresh cache entry
+  // once the leader completes. stall_ms requests are excluded — the chaos
+  // tests rely on each of them occupying a worker. Waiters count toward
+  // accepted/coalesced only when served (or shed, if their leader sheds).
+  std::string batch_key;
+  bool leads = false;
+  if (options_.enable_batching && !replan && job.request.stall_ms <= 0.0) {
+    batch_key = hash_fingerprint(canonical_fingerprint(job.request));
+    bool parked = false;
+    {
+      std::lock_guard<std::mutex> lock(batch_->mutex);
+      auto it = batch_->inflight.find(batch_key);
+      if (it != batch_->inflight.end()) {
+        if (it->second.size() < options_.batch_max_waiters) {
+          it->second.push_back(std::move(job));
+          parked = true;
+        }
+        // A full waiter list falls through to the queue as an ordinary
+        // request (it will be a cache hit by the time a worker gets it).
+      } else {
+        job.batch_key = batch_key;
+        batch_->inflight.emplace(batch_key, std::vector<Job>{});
+        leads = true;
+      }
+    }
+    if (parked) return result.get();
+  }
+
   if (!queue_->try_push(std::move(job))) {
+    // A shed leader sheds its waiters: nobody is coming to drain them.
+    std::vector<Job> orphans;
+    if (leads) {
+      std::lock_guard<std::mutex> lock(batch_->mutex);
+      auto it = batch_->inflight.find(batch_key);
+      if (it != batch_->inflight.end()) {
+        orphans = std::move(it->second);
+        batch_->inflight.erase(it);
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.shed;
+      stats_.shed += 1 + orphans.size();
     }
     const long retry_after_s = static_cast<long>(
         (options_.retry_after_ms + 999.0) / 1000.0);
@@ -311,6 +370,9 @@ HttpResponse Server::process_request(const HttpRequest& http) {
             " ms");
     response.headers.emplace_back("Retry-After",
                                   std::to_string(retry_after_s));
+    for (Job& orphan : orphans) {
+      orphan.result.set_value(response);
+    }
     return response;
   }
   {
@@ -324,17 +386,43 @@ void Server::worker_loop(std::size_t worker) {
   while (true) {
     std::optional<Job> job = queue_->pop();
     if (!job.has_value()) return;
-    HttpResponse response = process_plan(job->request, job->replan, worker);
+    finish_job(*job, worker);
+    if (job->batch_key.empty()) continue;
+    // The leader's response (and, on success, its cache insert) landed:
+    // drain the waiters that coalesced onto it. Each re-runs the normal
+    // path — a cache hit now — so its response is byte-identical to the
+    // one a serial arrival after the leader would have received.
+    std::vector<Job> waiters;
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      if (response.status == 200) {
-        ++stats_.completed;
-      } else {
-        ++stats_.failed;
+      std::lock_guard<std::mutex> lock(batch_->mutex);
+      auto it = batch_->inflight.find(job->batch_key);
+      if (it != batch_->inflight.end()) {
+        waiters = std::move(it->second);
+        batch_->inflight.erase(it);
       }
     }
-    job->result.set_value(std::move(response));
+    for (Job& waiter : waiters) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.accepted;
+        ++stats_.coalesced;
+      }
+      finish_job(waiter, worker);
+    }
   }
+}
+
+void Server::finish_job(Job& job, std::size_t worker) {
+  HttpResponse response = process_plan(job.request, job.replan, worker);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (response.status == 200) {
+      ++stats_.completed;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  job.result.set_value(std::move(response));
 }
 
 HttpResponse Server::process_plan(const PlanRequest& request, bool replan,
@@ -397,6 +485,10 @@ HttpResponse Server::solve_plan(const PlanRequest& request, bool replan,
   obs::MetricsRegistry request_metrics;
   obs::ScopedThreadMetrics scoped_metrics(request_metrics);
   support::ScopedInlineExecution inline_execution;
+  // The inline scope flags this thread as a worker, which by default
+  // suppresses spans; opt back in so a daemon run under --trace-out
+  // journals its service.* spans (the request runs serially here).
+  obs::ScopedWorkerTracing worker_tracing;
   support::BudgetMeter meter(profile.planner.budget);
 
   std::string body = "{\n  \"mode\": \"";
@@ -406,6 +498,7 @@ HttpResponse Server::solve_plan(const PlanRequest& request, bool replan,
   body += "\",\n";
 
   if (replan) {
+    obs::TraceSpan replan_span("service.replan");
     tour::ReplanRequest replan_request;
     replan_request.current_position = request.current;
     replan_request.remaining = request.remaining;
@@ -458,12 +551,15 @@ HttpResponse Server::solve_plan(const PlanRequest& request, bool replan,
     body += ",\n  \"attempts\": " + std::to_string(outcome.attempts);
     body += ",\n  \"plan\": " + replan_plan_json(result.value());
   } else {
+    obs::TraceSpan plan_span("service.plan");
     const std::string key =
         hash_fingerprint(canonical_fingerprint(request));
     tour::ChargingPlan plan;
     bool cached = false;
     bool degraded = false;
+    bool incremental = false;
     {
+      obs::TraceSpan cache_span("service.cache.lookup");
       std::lock_guard<std::mutex> lock(cache_mutex_);
       if (const std::string* payload = cache_->lookup(key)) {
         auto decoded = decode_plan(*payload);
@@ -474,20 +570,71 @@ HttpResponse Server::solve_plan(const PlanRequest& request, bool replan,
           cached = true;
         }
       }
+      cache_span.attr("hit", cached);
     }
     if (cached) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.cache_hits;
     } else {
-      plan = tour::plan_charging_tour(deployment, algorithm, profile.planner,
-                                      &meter);
-      degraded = meter.exhausted();
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.cache_misses;
-        if (degraded) ++stats_.degraded;
       }
-      if (!degraded) {
+      // Incremental fast path: a miss whose deployment is within a small,
+      // local diff of a remembered cold solve is repaired instead of
+      // re-solved. The sketch cell tracks the patch radius, so two
+      // deployments that could share bundles share cells.
+      std::vector<std::uint64_t> sketch;
+      if (options_.enable_incremental) {
+        const double cell =
+            std::max(options_.incremental.patch_radius_factor *
+                         profile.planner.bundle_radius,
+                     1e-6);
+        sketch = position_sketch(request.positions, cell,
+                                 options_.incremental.sketch_hashes);
+        BaseEntry base;
+        bool have_base = false;
+        {
+          std::lock_guard<std::mutex> lock(bases_mutex_);
+          if (const BaseEntry* found = bases_->nearest(request, sketch)) {
+            base = *found;
+            have_base = true;
+          }
+        }
+        if (have_base) {
+          {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.incremental_attempts;
+          }
+          PatchResult patch = patch_plan(deployment, request, base, profile,
+                                         options_.incremental, nullptr);
+          if (patch.verdict == PatchVerdict::kPatched) {
+            plan = std::move(patch.plan);
+            incremental = true;
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.incremental_hits;
+          } else {
+            {
+              std::lock_guard<std::mutex> lock(stats_mutex_);
+              ++stats_.incremental_fallbacks;
+            }
+            // Discard the attempt's metrics: whether a near base existed
+            // depends on request arrival order, so the cold solve below
+            // must snapshot identically either way.
+            request_metrics.reset();
+          }
+        }
+      }
+      if (!incremental) {
+        plan = tour::plan_charging_tour(deployment, algorithm,
+                                        profile.planner, &meter);
+        degraded = meter.exhausted();
+        if (degraded) {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.degraded;
+        }
+      }
+      if (!incremental && !degraded) {
         // Only deterministic results are cacheable: a degraded plan
         // depends on wall-clock timing, and caching it would break the
         // cache-hit == cold-solve bit-identity guarantee.
@@ -519,10 +666,31 @@ HttpResponse Server::solve_plan(const PlanRequest& request, bool replan,
           std::lock_guard<std::mutex> lock(stats_mutex_);
           ++stats_.fault_recoveries;
         }
+        if (options_.enable_incremental) {
+          // Only cold solves become diff bases — never patched plans, so
+          // repair error cannot compound across a drifting stream. The
+          // objective anchors the fallback guard for future patches.
+          BaseEntry entry;
+          entry.key = key;
+          entry.request = request;
+          entry.plan = plan;
+          entry.objective_j =
+              sim::evaluate_plan(deployment, plan, profile.evaluation)
+                  .total_energy_j;
+          entry.radius_m = profile.planner.bundle_radius;
+          entry.sketch = std::move(sketch);
+          std::lock_guard<std::mutex> lock(bases_mutex_);
+          bases_->insert(std::move(entry));
+        }
       }
     }
+    plan_span.attr("cached", cached)
+        .attr("incremental", incremental)
+        .attr("degraded", degraded);
     body += "  \"cached\": ";
     body += cached ? "true" : "false";
+    body += ",\n  \"incremental\": ";
+    body += incremental ? "true" : "false";
     body += ",\n  \"degraded\": ";
     body += degraded ? "true" : "false";
     body += ",\n  \"cache_key\": \"" + key + "\"";
@@ -538,6 +706,12 @@ HttpResponse Server::solve_plan(const PlanRequest& request, bool replan,
 HttpResponse Server::stats_response() const {
   const ServerStats snapshot = stats();
   const std::size_t queue_depth = queue_->size();
+  const std::size_t queue_depth_peak = queue_->peak();
+  std::size_t base_entries = 0;
+  {
+    std::lock_guard<std::mutex> lock(bases_mutex_);
+    base_entries = bases_->size();
+  }
   std::size_t cache_entries = 0;
   std::uint64_t cache_compactions = 0;
   std::uint64_t cache_evictions = 0;
@@ -561,6 +735,10 @@ HttpResponse Server::stats_response() const {
   field("degraded", snapshot.degraded);
   field("cache_hits", snapshot.cache_hits);
   field("cache_misses", snapshot.cache_misses);
+  field("incremental_attempts", snapshot.incremental_attempts);
+  field("incremental_hits", snapshot.incremental_hits);
+  field("incremental_fallbacks", snapshot.incremental_fallbacks);
+  field("coalesced", snapshot.coalesced);
   field("retry_attempts", snapshot.retry_attempts);
   field("watchdog_kills", snapshot.watchdog_kills);
   field("cache_flush_failures", snapshot.cache_flush_failures);
@@ -570,7 +748,9 @@ HttpResponse Server::stats_response() const {
   field("cache_compactions", cache_compactions);
   field("cache_evictions", cache_evictions);
   field("queue_depth", queue_depth);
+  field("queue_depth_peak", queue_depth_peak);
   field("cache_entries", cache_entries);
+  field("base_entries", base_entries);
   field("workers", options_.workers);
   field("queue_capacity", options_.queue_capacity, /*last=*/true);
   body += "}\n";

@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "service/bounded_queue.h"
+#include "service/incremental.h"
 #include "service/plan_cache.h"
 #include "service/retry.h"
 #include "service/wire.h"
@@ -94,6 +95,21 @@ struct ServerOptions {
   // Honour the request's stall_ms sleep (chaos tests build deterministic
   // overload with it). Production servers reject stall_ms outright.
   bool enable_test_hooks = false;
+  // Incremental replanning fast path (service/incremental.h): a cache
+  // miss whose deployment is within a small diff of a remembered cold
+  // solve is repaired locally instead of solved from scratch. Patched
+  // plans are never journaled (the plan cache's hit == cold-solve
+  // bit-identity stays intact) and never become diff bases themselves.
+  bool enable_incremental = true;
+  IncrementalOptions incremental{};
+  // Cross-request batching: /v1/plan requests whose canonical fingerprint
+  // matches one already being solved are parked as waiters instead of
+  // occupying queue slots; when the leader finishes (and caches), the
+  // waiters are served through the normal path — each response is
+  // byte-identical to the cache hit a serial arrival order would have
+  // produced. A shed leader sheds its waiters.
+  bool enable_batching = true;
+  std::size_t batch_max_waiters = 8;
 };
 
 // Monotonic request accounting for /statsz and tests. Deliberately plain
@@ -112,6 +128,10 @@ struct ServerStats {
   std::uint64_t cache_flush_failures = 0;   // journal syncs that faulted
   std::uint64_t degraded_mode_entries = 0;  // healthy -> cache-degraded flips
   std::uint64_t fault_recoveries = 0;       // cache-degraded -> healthy flips
+  std::uint64_t incremental_attempts = 0;   // cache misses with a near base
+  std::uint64_t incremental_hits = 0;       // served by the patched plan
+  std::uint64_t incremental_fallbacks = 0;  // patch rejected -> cold solve
+  std::uint64_t coalesced = 0;  // requests served as batch waiters
 };
 
 class Server {
@@ -141,6 +161,7 @@ class Server {
 
  private:
   struct Job;
+  struct BatchState;  // in-flight fingerprint -> parked waiter jobs
 
   // One per worker: the in-flight request's cancellation token and its
   // watchdog kill time. Guarded by watchdog_mutex_.
@@ -166,6 +187,9 @@ class Server {
   HttpResponse process_request(const HttpRequest& http);
   HttpResponse process_plan(const PlanRequest& request, bool replan,
                             std::size_t worker);
+  // process_plan + stats accounting + promise fulfilment, shared by the
+  // leader path and the batched-waiter drain.
+  void finish_job(Job& job, std::size_t worker);
   HttpResponse solve_plan(const PlanRequest& request, bool replan,
                           double deadline_s,
                           const support::CancelToken& cancel);
@@ -177,6 +201,13 @@ class Server {
   std::unique_ptr<PlanCache> cache_;
   mutable std::mutex cache_mutex_;
   std::atomic<bool> cache_degraded_{false};
+
+  // Incremental fast path: remembered cold solves, sketch-indexed.
+  std::unique_ptr<BaseStore> bases_;
+  mutable std::mutex bases_mutex_;
+
+  // Cross-request batching state (definition local to server.cc).
+  std::unique_ptr<BatchState> batch_;
 
   std::unique_ptr<BoundedQueue<Job>> queue_;
   std::thread accept_thread_;

@@ -245,6 +245,8 @@ ScopedInlineExecution::~ScopedInlineExecution() { t_in_worker = previous_; }
 
 bool in_parallel_region() { return t_region_depth > 0 || t_in_worker; }
 
+bool in_parallel_chunk() { return t_region_depth > 0; }
+
 void parallel_for(std::size_t n, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;

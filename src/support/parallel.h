@@ -49,6 +49,14 @@ bool in_parallel_worker();
 // single-threaded runs emit records that multi-threaded runs drop.
 bool in_parallel_region();
 
+// True only while executing a parallel_for chunk body on this thread —
+// a strict subset of in_parallel_region(), which is also true for the
+// whole lifetime of a ScopedInlineExecution. Lets span emission
+// distinguish "inside a chunk" (never journal: order is BC_THREADS-
+// dependent) from "on a request thread that merely solves inline"
+// (journalable when the request handler opts in).
+bool in_parallel_chunk();
+
 // Forces every parallel section entered by *this thread* to run inline for
 // the lifetime of the scope, exactly as if the thread were a pool worker.
 // Servers that parallelise *across* requests (one worker thread per

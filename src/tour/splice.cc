@@ -1,0 +1,79 @@
+#include "tour/splice.h"
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "geometry/point.h"
+#include "obs/trace.h"
+#include "tsp/tour.h"
+
+namespace bc::tour {
+
+namespace {
+
+double edge_detour(geometry::Point2 prev, geometry::Point2 next,
+                   geometry::Point2 candidate) {
+  return geometry::distance(prev, candidate) +
+         geometry::distance(candidate, next) - geometry::distance(prev, next);
+}
+
+}  // namespace
+
+ChargingPlan splice_stops(const ChargingPlan& base, std::vector<Stop> patches,
+                          const SpliceOptions& options,
+                          support::BudgetMeter* meter) {
+  ChargingPlan plan = base;
+  if (patches.empty()) return plan;
+
+  obs::TraceSpan span("tour.splice");
+  span.attr("base_stops", static_cast<std::uint64_t>(plan.stops.size()))
+      .attr("patches", static_cast<std::uint64_t>(patches.size()));
+
+  // Cheapest insertion, one patch at a time. Edge i joins position i-1 to
+  // position i of the cycle depot -> stops -> depot; i = 0 and
+  // i = stops.size() are the two depot legs. Strict `<` keeps the first
+  // (earliest-edge) minimum, so the construction is order-deterministic.
+  for (Stop& patch : patches) {
+    std::size_t best_edge = 0;
+    double best_detour = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i <= plan.stops.size(); ++i) {
+      const geometry::Point2 prev =
+          i == 0 ? plan.depot : plan.stops[i - 1].position;
+      const geometry::Point2 next =
+          i == plan.stops.size() ? plan.depot : plan.stops[i].position;
+      const double detour = edge_detour(prev, next, patch.position);
+      if (detour < best_detour) {
+        best_detour = detour;
+        best_edge = i;
+      }
+    }
+    plan.stops.insert(
+        plan.stops.begin() + static_cast<std::ptrdiff_t>(best_edge),
+        std::move(patch));
+  }
+
+  if (options.improve && plan.stops.size() >= 3) {
+    // 2-opt over the closed cycle with the depot pinned as point 0; the
+    // tour is rotated back so the plan still starts at the depot.
+    std::vector<geometry::Point2> points;
+    points.reserve(plan.stops.size() + 1);
+    points.push_back(plan.depot);
+    for (const Stop& stop : plan.stops) points.push_back(stop.position);
+    tsp::Tour order(points.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<std::uint32_t>(i);
+    }
+    tsp::two_opt(points, order, options.improve_options, meter);
+    tsp::rotate_to_front(order, 0);
+    std::vector<Stop> reordered;
+    reordered.reserve(plan.stops.size());
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      reordered.push_back(std::move(plan.stops[order[i] - 1]));
+    }
+    plan.stops = std::move(reordered);
+  }
+  return plan;
+}
+
+}  // namespace bc::tour

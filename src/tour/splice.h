@@ -1,0 +1,44 @@
+// Local tour repair: splicing repaired stops into an existing plan.
+//
+// The incremental replanning engine keeps most of a cached plan's stops
+// and re-covers only a small hole; the repaired stops then have to rejoin
+// the tour without re-solving the TSP. splice_stops inserts each patch
+// stop at the detour-minimising edge of the existing cycle (cheapest
+// insertion, deterministic tie-breaks) and then runs the neighbour-list
+// 2-opt over the full cycle, so the spliced tour is a genuine
+// full-neighbourhood local optimum rather than a nearest-edge guess.
+// Cost is O(p·n) insertion plus the near-linear neighbour-list 2-opt —
+// independent of how expensive the original solve was.
+
+#ifndef BUNDLECHARGE_TOUR_SPLICE_H_
+#define BUNDLECHARGE_TOUR_SPLICE_H_
+
+#include <vector>
+
+#include "support/deadline.h"
+#include "tour/plan.h"
+#include "tsp/improve.h"
+
+namespace bc::tour {
+
+struct SpliceOptions {
+  // When true (default) the spliced cycle is polished with the
+  // neighbour-list 2-opt (tsp::two_opt, certified); insertion order alone
+  // is already a valid tour, so this only shortens it.
+  bool improve = true;
+  tsp::ImproveOptions improve_options{};
+};
+
+// Returns `base` with `patches` inserted into its stop cycle. Each patch
+// stop is placed at the edge (including the two depot legs) minimising
+// the added detour; ties break toward the earlier edge, and patches are
+// inserted in their given order, so the result is deterministic. The
+// returned plan keeps base.algorithm and base.depot. A non-null `meter`
+// bounds the 2-opt passes (anytime: the tour is valid at every step).
+ChargingPlan splice_stops(const ChargingPlan& base, std::vector<Stop> patches,
+                          const SpliceOptions& options = {},
+                          support::BudgetMeter* meter = nullptr);
+
+}  // namespace bc::tour
+
+#endif  // BUNDLECHARGE_TOUR_SPLICE_H_

@@ -1,0 +1,127 @@
+// canonical_fingerprint stability: pinned goldens, wire-body field
+// reordering, default-vs-explicit equivalence, and hexfloat round-trips.
+// The fingerprint keys the plan cache and anchors the incremental diff,
+// so any byte of drift silently invalidates every cached deployment.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "service/plan_cache.h"
+#include "service/wire.h"
+
+namespace bc {
+namespace {
+
+using service::PlanRequest;
+using service::WireLimits;
+
+PlanRequest must_parse(const std::string& body) {
+  auto parsed = service::parse_plan_request(body, WireLimits{});
+  EXPECT_TRUE(parsed.has_value()) << parsed.fault().message;
+  return parsed.has_value() ? parsed.value() : PlanRequest{};
+}
+
+TEST(FingerprintTest, PinnedGoldenFingerprints) {
+  PlanRequest request;
+  request.algorithm = "BC";
+  request.radius_m = 120.0;
+  request.positions = {{17.0, 5.0}, {131.0, 202.0}, {0.125, 997.0}};
+  EXPECT_EQ(service::canonical_fingerprint(request),
+            "v1|profile=icdcs2019|alg=BC|r=0x1.ep+6|demand=0x1p+1|"
+            "depot=0x0p+0,0x0p+0|n=3|0x1.1p+4,0x1.4p+2|"
+            "0x1.06p+7,0x1.94p+7|0x1p-3,0x1.f28p+9");
+  EXPECT_EQ(service::hash_fingerprint(service::canonical_fingerprint(request)),
+            "2b1b5cd6d8ef34162f412722");
+
+  PlanRequest awkward;
+  awkward.profile = "icdcs2019";
+  awkward.radius_m = 120.0;
+  awkward.positions = {{0.1, -0.0}, {1.0 / 3.0, 1e-9}};
+  EXPECT_EQ(service::canonical_fingerprint(awkward),
+            "v1|profile=icdcs2019|alg=BC|r=0x1.ep+6|demand=0x1p+1|"
+            "depot=0x0p+0,0x0p+0|n=2|0x1.999999999999ap-4,-0x0p+0|"
+            "0x1.5555555555555p-2,0x1.12e0be826d695p-30");
+  EXPECT_EQ(service::hash_fingerprint(service::canonical_fingerprint(awkward)),
+            "653047d68b5ca6196e2c72fb");
+}
+
+TEST(FingerprintTest, WireFieldOrderDoesNotChangeTheFingerprint) {
+  const PlanRequest a = must_parse(
+      "algorithm=BC\nradius=120\npositions=1,2;3,4\ndepot=5,5\ndemand=2\n");
+  const PlanRequest b = must_parse(
+      "demand=2\ndepot=5,5\npositions=1,2;3,4\nradius=120\nalgorithm=BC\n");
+  EXPECT_EQ(service::canonical_fingerprint(a),
+            service::canonical_fingerprint(b));
+}
+
+TEST(FingerprintTest, DefaultsAndExplicitValuesShareAFingerprint) {
+  // "" resolves to icdcs2019/BC inside the fingerprint, so a client that
+  // names the defaults explicitly hits the same cache entries.
+  PlanRequest implicit;
+  implicit.radius_m = 120.0;
+  implicit.positions = {{1.0, 2.0}};
+  PlanRequest explicit_request = implicit;
+  explicit_request.profile = "icdcs2019";
+  explicit_request.algorithm = "BC";
+  EXPECT_EQ(service::canonical_fingerprint(implicit),
+            service::canonical_fingerprint(explicit_request));
+}
+
+TEST(FingerprintTest, HexfloatRoundTripsPreserveTheFingerprint) {
+  PlanRequest request;
+  request.radius_m = 120.0;
+  request.positions = {{0.1, 1.0 / 3.0}, {1e-9, 2.5e17}, {-0.0, 0.062913}};
+
+  // %.17g round-trips every double: re-parsing the rendered wire body
+  // must reproduce the fingerprint bit for bit.
+  std::string body = "radius=120\npositions=";
+  char buffer[64];
+  for (std::size_t i = 0; i < request.positions.size(); ++i) {
+    std::snprintf(buffer, sizeof buffer, "%.17g,%.17g",
+                  request.positions[i].x, request.positions[i].y);
+    body += buffer;
+    if (i + 1 < request.positions.size()) body += ";";
+  }
+  body += "\n";
+  EXPECT_EQ(service::canonical_fingerprint(request),
+            service::canonical_fingerprint(must_parse(body)));
+
+  // The hexfloats inside the canonical string parse back to the exact
+  // same doubles (%a is lossless by construction).
+  const std::string canon = service::canonical_fingerprint(request);
+  const std::size_t tail = canon.find("|n=3|");
+  ASSERT_NE(tail, std::string::npos);
+  std::size_t at = tail + 5;
+  for (const auto& p : request.positions) {
+    char* end = nullptr;
+    EXPECT_EQ(std::strtod(canon.c_str() + at, &end), p.x);
+    ASSERT_EQ(*end, ',');
+    at = static_cast<std::size_t>(end - canon.c_str()) + 1;
+    EXPECT_EQ(std::strtod(canon.c_str() + at, &end), p.y);
+    at = static_cast<std::size_t>(end - canon.c_str()) + 1;
+  }
+}
+
+TEST(FingerprintTest, BitLevelDistinctionsAreFingerprintDistinctions) {
+  PlanRequest zero;
+  zero.radius_m = 120.0;
+  zero.positions = {{0.0, 0.0}};
+  PlanRequest negative_zero = zero;
+  negative_zero.positions = {{-0.0, 0.0}};
+  EXPECT_NE(service::canonical_fingerprint(zero),
+            service::canonical_fingerprint(negative_zero));
+
+  PlanRequest nudged = zero;
+  nudged.positions = {{std::nextafter(0.1, 1.0), 0.0}};
+  PlanRequest tenth = zero;
+  tenth.positions = {{0.1, 0.0}};
+  EXPECT_NE(service::canonical_fingerprint(tenth),
+            service::canonical_fingerprint(nudged));
+}
+
+}  // namespace
+}  // namespace bc

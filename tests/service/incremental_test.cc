@@ -1,0 +1,450 @@
+// Incremental replanning engine: sketch/diff/classify units, the
+// differential mutation corpus (patched plans must be valid partitions
+// within the fallback bound of a cold solve), determinism, and the
+// server-level fast path + cross-request batching.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/request_mapping.h"
+#include "geometry/point.h"
+#include "io/deployment_io.h"
+#include "service/client.h"
+#include "service/incremental.h"
+#include "service/plan_cache.h"
+#include "service/server.h"
+#include "service/wire.h"
+#include "sim/evaluate.h"
+#include "support/deadline.h"
+#include "tour/plan.h"
+
+namespace bc {
+namespace {
+
+using service::BaseEntry;
+using service::BaseStore;
+using service::HttpResponse;
+using service::IncrementalOptions;
+using service::PatchResult;
+using service::PatchVerdict;
+using service::PlanRequest;
+using service::Server;
+using service::ServerOptions;
+
+constexpr double kRadius = 120.0;
+
+// Deterministic LCG scatter; `span` controls the field side.
+std::vector<geometry::Point2> scatter(std::size_t n, std::uint64_t seed,
+                                      double span = 2000.0) {
+  std::vector<geometry::Point2> out;
+  out.reserve(n);
+  std::uint64_t state = seed * 2654435761u + 12345u;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>((state >> 33) % 100000) / 100000.0;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = next() * span;
+    const double y = next() * span;
+    out.push_back({x, y});
+  }
+  return out;
+}
+
+PlanRequest make_request(std::vector<geometry::Point2> positions) {
+  PlanRequest request;
+  request.algorithm = "BC";
+  request.radius_m = kRadius;
+  request.positions = std::move(positions);
+  return request;
+}
+
+struct ColdSolve {
+  core::Profile profile;
+  net::Deployment deployment;
+  tour::ChargingPlan plan;
+  double objective_j = 0.0;
+};
+
+ColdSolve cold_solve(const PlanRequest& request) {
+  auto resolved = core::resolve_plan_request(request.profile,
+                                             request.algorithm,
+                                             request.radius_m, 0.0);
+  EXPECT_TRUE(resolved.has_value());
+  ColdSolve cold{resolved.value().profile,
+                 io::deployment_from_positions(request.positions,
+                                               request.depot,
+                                               request.demand_j),
+                 {},
+                 0.0};
+  support::BudgetMeter meter(cold.profile.planner.budget);
+  cold.plan = tour::plan_charging_tour(cold.deployment,
+                                       resolved.value().algorithm,
+                                       cold.profile.planner, &meter);
+  cold.objective_j =
+      sim::evaluate_plan(cold.deployment, cold.plan, cold.profile.evaluation)
+          .total_energy_j;
+  return cold;
+}
+
+BaseEntry make_base(const PlanRequest& request, const ColdSolve& cold,
+                    const IncrementalOptions& options) {
+  BaseEntry base;
+  base.key = service::hash_fingerprint(service::canonical_fingerprint(request));
+  base.request = request;
+  base.plan = cold.plan;
+  base.objective_j = cold.objective_j;
+  base.radius_m = kRadius;
+  base.sketch = service::position_sketch(
+      request.positions, options.patch_radius_factor * kRadius,
+      options.sketch_hashes);
+  return base;
+}
+
+// One mutated request: `kind` 0 = add near existing sensors, 1 = remove,
+// 2 = move by a small delta. All mutations are local by construction.
+PlanRequest mutate(const PlanRequest& base, int kind, std::size_t k,
+                   std::uint64_t seed) {
+  PlanRequest request = base;
+  std::uint64_t state = seed * 0x9e3779b97f4a7c15ULL + 7u;
+  const auto pick = [&state](std::size_t bound) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::size_t>((state >> 33) % bound);
+  };
+  if (kind == 0) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const geometry::Point2 anchor = request.positions[
+          pick(base.positions.size())];
+      const double dx = static_cast<double>(pick(101)) - 50.0;
+      const double dy = static_cast<double>(pick(101)) - 50.0;
+      request.positions.push_back({anchor.x + dx, anchor.y + dy});
+    }
+  } else if (kind == 1) {
+    std::vector<std::size_t> victims;
+    while (victims.size() < k) {
+      const std::size_t id = pick(base.positions.size());
+      if (std::find(victims.begin(), victims.end(), id) == victims.end()) {
+        victims.push_back(id);
+      }
+    }
+    std::sort(victims.rbegin(), victims.rend());
+    for (const std::size_t id : victims) {
+      request.positions.erase(request.positions.begin() +
+                              static_cast<std::ptrdiff_t>(id));
+    }
+  } else {
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t id = pick(request.positions.size());
+      request.positions[id].x += static_cast<double>(pick(61)) - 30.0;
+      request.positions[id].y += static_cast<double>(pick(61)) - 30.0;
+    }
+  }
+  return request;
+}
+
+TEST(IncrementalSketchTest, NearDuplicatesOverlapUnrelatedFieldsDoNot) {
+  const IncrementalOptions options;
+  const auto base = scatter(200, 1);
+  auto moved = base;
+  moved[7].x += 25.0;
+  moved[91].y -= 40.0;
+  moved.push_back({base[3].x + 10.0, base[3].y - 5.0});
+  const double cell = options.patch_radius_factor * kRadius;
+  const auto sketch_base =
+      service::position_sketch(base, cell, options.sketch_hashes);
+  const auto sketch_moved =
+      service::position_sketch(moved, cell, options.sketch_hashes);
+  EXPECT_GE(service::sketch_overlap(sketch_base, sketch_moved),
+            options.min_sketch_overlap);
+
+  // A deployment in a disjoint region of the plane shares no cells.
+  auto far = scatter(200, 2);
+  for (auto& p : far) p.x += 50000.0;
+  const auto sketch_far =
+      service::position_sketch(far, cell, options.sketch_hashes);
+  EXPECT_EQ(service::sketch_overlap(sketch_base, sketch_far), 0u);
+}
+
+TEST(IncrementalDiffTest, MatchesBitExactlyIncludingDuplicatePositions) {
+  PlanRequest base = make_request(
+      {{0.0, 0.0}, {10.0, 10.0}, {10.0, 10.0}, {20.0, 5.0}});
+  // New request: one copy of the duplicate gone, one sensor moved, one new.
+  PlanRequest request = make_request(
+      {{0.0, 0.0}, {10.0, 10.0}, {21.0, 5.0}, {99.0, 99.0}});
+  const service::RequestDiff diff = service::diff_requests(base, request);
+  // Base id 0 -> new id 0; the duplicate at (10,10): base id 1 takes new
+  // id 1 (front-first), base id 2 is removed; base id 3 (moved) removed.
+  EXPECT_EQ(diff.base_to_new[0], 0u);
+  EXPECT_EQ(diff.base_to_new[1], 1u);
+  EXPECT_EQ(diff.base_to_new[2], service::RequestDiff::kUnmatched);
+  EXPECT_EQ(diff.base_to_new[3], service::RequestDiff::kUnmatched);
+  EXPECT_EQ(diff.added, (std::vector<net::SensorId>{2, 3}));
+  EXPECT_EQ(diff.removed, (std::vector<net::SensorId>{2, 3}));
+  EXPECT_EQ(diff.size(), 4u);
+}
+
+TEST(IncrementalClassifyTest, OversizedAndNonLocalDiffsAreRejected) {
+  IncrementalOptions options;
+  const PlanRequest base_request = make_request(scatter(80, 3));
+  const ColdSolve cold = cold_solve(base_request);
+  const BaseEntry base = make_base(base_request, cold, options);
+
+  // Too large: more added sensors than max_diff_sensors.
+  options.max_diff_sensors = 4;
+  PlanRequest big = mutate(base_request, 0, 6, 11);
+  {
+    const auto deployment = io::deployment_from_positions(
+        big.positions, big.depot, big.demand_j);
+    const PatchResult result = service::patch_plan(
+        deployment, big, base, cold.profile, options);
+    EXPECT_EQ(result.verdict, PatchVerdict::kDiffTooLarge);
+  }
+
+  // Not local: an added sensor in untouched far field.
+  options.max_diff_sensors = 40;
+  PlanRequest far = base_request;
+  far.positions.push_back({90000.0, 90000.0});
+  {
+    const auto deployment = io::deployment_from_positions(
+        far.positions, far.depot, far.demand_j);
+    const PatchResult result = service::patch_plan(
+        deployment, far, base, cold.profile, options);
+    EXPECT_EQ(result.verdict, PatchVerdict::kDiffNotLocal);
+  }
+}
+
+TEST(IncrementalBaseStoreTest, FifoEvictionAndNearestBySketchOverlap) {
+  IncrementalOptions options;
+  options.max_bases = 2;
+  options.min_sketch_overlap = 4;
+  BaseStore store(options);
+  const double cell = options.patch_radius_factor * kRadius;
+
+  const auto mk = [&](std::uint64_t seed, const std::string& key) {
+    BaseEntry entry;
+    entry.key = key;
+    entry.request = make_request(scatter(60, seed));
+    entry.radius_m = kRadius;
+    entry.sketch = service::position_sketch(entry.request.positions, cell,
+                                            options.sketch_hashes);
+    return entry;
+  };
+  store.insert(mk(1, "a"));
+  store.insert(mk(2, "b"));
+  EXPECT_EQ(store.size(), 2u);
+  store.insert(mk(1, "a"));  // refresh, not duplicate
+  EXPECT_EQ(store.size(), 2u);
+  store.insert(mk(3, "c"));  // evicts the FIFO head
+  EXPECT_EQ(store.size(), 2u);
+
+  // A near-duplicate of seed-3 finds the "c" base.
+  PlanRequest probe = make_request(scatter(60, 3));
+  probe.positions[5].x += 20.0;
+  const auto sketch = service::position_sketch(probe.positions, cell,
+                                               options.sketch_hashes);
+  const BaseEntry* nearest = store.nearest(probe, sketch);
+  ASSERT_NE(nearest, nullptr);
+  EXPECT_EQ(nearest->key, "c");
+
+  // Different radius = incompatible, even with a perfect sketch.
+  probe.radius_m = kRadius + 1.0;
+  EXPECT_EQ(store.nearest(probe, sketch), nullptr);
+}
+
+// The differential corpus: add/remove/move x K in {1, 4, 16}. Every
+// mutation is local, so the patch must succeed, produce a valid
+// partition, and stay within fallback_ratio of the mutated instance's
+// own cold solve.
+TEST(IncrementalDifferentialTest, PatchedPlansAreValidAndWithinFallbackBound) {
+  const IncrementalOptions options;
+  const PlanRequest base_request = make_request(scatter(120, 17));
+  const ColdSolve base_cold = cold_solve(base_request);
+  const BaseEntry base = make_base(base_request, base_cold, options);
+
+  for (int kind = 0; kind < 3; ++kind) {
+    for (const std::size_t k : {std::size_t{1}, std::size_t{4},
+                                std::size_t{16}}) {
+      SCOPED_TRACE("kind=" + std::to_string(kind) +
+                   " k=" + std::to_string(k));
+      const PlanRequest request =
+          mutate(base_request, kind, k, 1000 + static_cast<std::uint64_t>(
+                                                   kind * 100 + k));
+      const auto deployment = io::deployment_from_positions(
+          request.positions, request.depot, request.demand_j);
+      const PatchResult result = service::patch_plan(
+          deployment, request, base, base_cold.profile, options);
+      ASSERT_EQ(result.verdict, PatchVerdict::kPatched)
+          << service::to_string(result.verdict);
+      EXPECT_TRUE(tour::plan_is_partition(deployment, result.plan));
+      const ColdSolve mutated_cold = cold_solve(request);
+      EXPECT_LE(result.objective_j,
+                options.fallback_ratio * mutated_cold.objective_j)
+          << "patched " << result.objective_j << " vs cold "
+          << mutated_cold.objective_j;
+    }
+  }
+}
+
+TEST(IncrementalDeterminismTest, PatchedPlansAreBitIdenticalAcrossRuns) {
+  const IncrementalOptions options;
+  const PlanRequest base_request = make_request(scatter(100, 23));
+  const ColdSolve cold = cold_solve(base_request);
+  const BaseEntry base = make_base(base_request, cold, options);
+  const PlanRequest request = mutate(base_request, 2, 8, 42);
+  const auto deployment = io::deployment_from_positions(
+      request.positions, request.depot, request.demand_j);
+
+  const PatchResult first = service::patch_plan(
+      deployment, request, base, cold.profile, options);
+  const PatchResult second = service::patch_plan(
+      deployment, request, base, cold.profile, options);
+  ASSERT_EQ(first.verdict, PatchVerdict::kPatched);
+  ASSERT_EQ(second.verdict, PatchVerdict::kPatched);
+  EXPECT_EQ(service::encode_plan(first.plan),
+            service::encode_plan(second.plan));
+  EXPECT_EQ(first.objective_j, second.objective_j);
+}
+
+// ---- Server-level fast path -------------------------------------------
+
+std::string positions_body(const std::vector<geometry::Point2>& positions) {
+  std::string out = "algorithm=BC\nradius=120\npositions=";
+  char buffer[64];
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    std::snprintf(buffer, sizeof buffer, "%.17g,%.17g", positions[i].x,
+                  positions[i].y);
+    out += buffer;
+    if (i + 1 < positions.size()) out += ";";
+  }
+  out += "\ndepot=0,0\n";
+  return out;
+}
+
+HttpResponse must_roundtrip(std::uint16_t port, const std::string& method,
+                            const std::string& path,
+                            const std::string& body) {
+  auto response = service::http_roundtrip(port, method, path, body);
+  EXPECT_TRUE(response.has_value()) << response.fault().message;
+  return response.has_value() ? response.value() : HttpResponse{};
+}
+
+std::string field_str(const std::string& body, const std::string& name) {
+  const std::string needle = "\"" + name + "\": ";
+  const std::size_t at = body.find(needle);
+  EXPECT_NE(at, std::string::npos) << name << " missing in: " << body;
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + needle.size();
+  std::size_t end = body.find_first_of(",\n", start);
+  if (end == std::string::npos) end = body.size();
+  return body.substr(start, end - start);
+}
+
+std::uint64_t field_u64(const std::string& body, const std::string& name) {
+  return std::strtoull(field_str(body, name).c_str(), nullptr, 10);
+}
+
+TEST(ServerIncrementalTest, NearDuplicateRequestIsServedIncrementally) {
+  auto started = Server::start(ServerOptions{});
+  ASSERT_TRUE(started.has_value()) << started.fault().message;
+  auto& server = started.value();
+
+  const auto base = scatter(100, 5, 1000.0);
+  const HttpResponse cold = must_roundtrip(server->port(), "POST", "/v1/plan",
+                                           positions_body(base));
+  ASSERT_EQ(cold.status, 200) << cold.body;
+  EXPECT_EQ(field_str(cold.body, "incremental"), "false");
+
+  auto moved = base;
+  moved[13].x += 30.0;
+  moved[57].y -= 25.0;
+  const HttpResponse patched = must_roundtrip(
+      server->port(), "POST", "/v1/plan", positions_body(moved));
+  ASSERT_EQ(patched.status, 200) << patched.body;
+  EXPECT_EQ(field_str(patched.body, "cached"), "false");
+  EXPECT_EQ(field_str(patched.body, "incremental"), "true");
+
+  const HttpResponse stats =
+      must_roundtrip(server->port(), "GET", "/statsz", "");
+  EXPECT_EQ(field_u64(stats.body, "incremental_attempts"), 1u);
+  EXPECT_EQ(field_u64(stats.body, "incremental_hits"), 1u);
+  EXPECT_EQ(field_u64(stats.body, "incremental_fallbacks"), 0u);
+  EXPECT_EQ(field_u64(stats.body, "cache_misses"), 2u);
+  EXPECT_GE(field_u64(stats.body, "queue_depth_peak"), 1u);
+  EXPECT_EQ(field_u64(stats.body, "base_entries"), 1u);
+}
+
+TEST(ServerIncrementalTest, DisablingTheFastPathColdSolvesEverything) {
+  ServerOptions options;
+  options.enable_incremental = false;
+  auto started = Server::start(options);
+  ASSERT_TRUE(started.has_value()) << started.fault().message;
+  auto& server = started.value();
+
+  const auto base = scatter(60, 6, 1000.0);
+  must_roundtrip(server->port(), "POST", "/v1/plan", positions_body(base));
+  auto moved = base;
+  moved[9].x += 20.0;
+  const HttpResponse second = must_roundtrip(
+      server->port(), "POST", "/v1/plan", positions_body(moved));
+  EXPECT_EQ(field_str(second.body, "incremental"), "false");
+  const HttpResponse stats =
+      must_roundtrip(server->port(), "GET", "/statsz", "");
+  EXPECT_EQ(field_u64(stats.body, "incremental_attempts"), 0u);
+  EXPECT_EQ(field_u64(stats.body, "base_entries"), 0u);
+}
+
+TEST(ServerBatchingTest, ConcurrentDuplicatesCoalesceOntoOneSolve) {
+  ServerOptions options;
+  options.workers = 1;
+  options.enable_test_hooks = true;
+  auto started = Server::start(options);
+  ASSERT_TRUE(started.has_value()) << started.fault().message;
+  auto& server = started.value();
+
+  // Occupy the single worker so the leader stays in-flight long enough
+  // for every duplicate to park on it.
+  const std::string stall_body =
+      positions_body(scatter(30, 7, 1000.0)) + "stall_ms=400\n";
+  std::thread stall([&] {
+    must_roundtrip(server->port(), "POST", "/v1/plan", stall_body);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const std::string body = positions_body(scatter(40, 8, 1000.0));
+  constexpr std::size_t kClients = 5;
+  std::vector<HttpResponse> responses(kClients);
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      responses[i] = must_roundtrip(server->port(), "POST", "/v1/plan", body);
+    });
+  }
+  for (auto& t : clients) t.join();
+  stall.join();
+
+  for (const HttpResponse& response : responses) {
+    ASSERT_EQ(response.status, 200) << response.body;
+  }
+  const HttpResponse stats =
+      must_roundtrip(server->port(), "GET", "/statsz", "");
+  // Exactly one request solved this body; the rest coalesced (and were
+  // served from the cache entry the leader created).
+  EXPECT_EQ(field_u64(stats.body, "coalesced"), kClients - 1);
+  EXPECT_EQ(field_u64(stats.body, "cache_hits"), kClients - 1);
+  // Waiters are served through the normal path, so their bodies match a
+  // serial cache hit byte for byte; the leader's differs only in the
+  // "cached" field.
+  std::size_t cached_count = 0;
+  for (const HttpResponse& response : responses) {
+    if (field_str(response.body, "cached") == "true") ++cached_count;
+  }
+  EXPECT_EQ(cached_count, kClients - 1);
+}
+
+}  // namespace
+}  // namespace bc

@@ -62,6 +62,25 @@ TEST(BoundedQueueTest, CloseWakesEveryBlockedPopper) {
   EXPECT_EQ(exited.load(), 4);
 }
 
+TEST(BoundedQueueTest, PeakTracksTheDepthHighWaterMark) {
+  BoundedQueue<int> queue(4);
+  EXPECT_EQ(queue.peak(), 0u);
+  ASSERT_TRUE(queue.try_push(1));
+  ASSERT_TRUE(queue.try_push(2));
+  ASSERT_TRUE(queue.try_push(3));
+  EXPECT_EQ(queue.peak(), 3u);
+  // Draining never lowers the high-water mark.
+  EXPECT_EQ(queue.pop().value_or(-1), 1);
+  EXPECT_EQ(queue.pop().value_or(-1), 2);
+  EXPECT_EQ(queue.peak(), 3u);
+  // Refilling to capacity raises it; rejected pushes do not overshoot.
+  ASSERT_TRUE(queue.try_push(4));
+  ASSERT_TRUE(queue.try_push(5));
+  ASSERT_TRUE(queue.try_push(6));
+  EXPECT_FALSE(queue.try_push(7));
+  EXPECT_EQ(queue.peak(), 4u);
+}
+
 TEST(BoundedQueueTest, ConcurrentProducersNeverExceedCapacity) {
   BoundedQueue<int> queue(8);
   std::atomic<int> admitted{0};

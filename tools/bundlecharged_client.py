@@ -22,6 +22,16 @@ up to N times, sleeping the server's advertised ``Retry-After`` between
 attempts — polite backpressure cooperation, never a hot retry loop. Only
 503s are retried: they promise the identical request can succeed later,
 which a 4xx/504 does not.
+
+``plan --repeat N`` sends the request N times and prints every response;
+``--mutate K`` additionally nudges K sensors by small deterministic
+offsets before each resend, so repeat ``i`` is a distinct-but-nearby
+deployment. Together they generate the near-duplicate request stream
+that exercises the daemon's incremental fast path (repeat 0 cold-solves
+and becomes the base; later repeats should patch). The mutation schedule
+depends only on the repeat index, so two daemons fed the same flags see
+byte-identical request streams — which is what the CI determinism leg
+compares.
 """
 
 import argparse
@@ -32,7 +42,38 @@ import sys
 import time
 
 
-def build_body(args):
+def positions_text(args):
+    if args.positions_file:
+        points = [
+            line.strip()
+            for line in pathlib.Path(args.positions_file).read_text().splitlines()
+            if line.strip()
+        ]
+        return ";".join(points)
+    if args.positions:
+        return args.positions
+    sys.exit("error: --positions or --positions-file is required")
+
+
+def mutate_positions(text, repeat, k):
+    """Nudge k sensors of the ``x,y;...`` string for repeat index ``repeat``.
+
+    Pure function of (text, repeat, k): the LCG-free integer schedule keeps
+    the stream reproducible across runs and machines.
+    """
+    points = []
+    for pair in text.split(";"):
+        x, y = pair.split(",")
+        points.append([float(x), float(y)])
+    n = len(points)
+    for m in range(k):
+        idx = (repeat * 97 + m * 41 + 3) % n
+        points[idx][0] += (repeat * 31 + m * 17) % 51 - 25
+        points[idx][1] += (repeat * 13 + m * 29) % 51 - 25
+    return ";".join(f"{x:g},{y:g}" for x, y in points)
+
+
+def build_body(args, positions=None):
     lines = []
     if args.profile:
         lines.append(f"profile={args.profile}")
@@ -45,18 +86,8 @@ def build_body(args):
     if args.demand is not None:
         lines.append(f"demand={args.demand:g}")
     lines.append(f"depot={args.depot}")
-
-    if args.positions_file:
-        points = [
-            line.strip()
-            for line in pathlib.Path(args.positions_file).read_text().splitlines()
-            if line.strip()
-        ]
-        lines.append("positions=" + ";".join(points))
-    elif args.positions:
-        lines.append("positions=" + args.positions)
-    else:
-        sys.exit("error: --positions or --positions-file is required")
+    lines.append("positions=" +
+                 (positions if positions is not None else positions_text(args)))
 
     if args.command == "replan":
         lines.append(f"current={args.current}")
@@ -148,6 +179,16 @@ def main():
                               "anytime plan (plan) or 504 (replan)")
         cmd.add_argument("--demand", type=float, default=None,
                          help="per-sensor energy demand in joules")
+        if name == "plan":
+            cmd.add_argument("--repeat", type=int, default=1, metavar="N",
+                             help="send the request N times, printing every "
+                                  "response (default 1)")
+            cmd.add_argument("--mutate", type=int, default=0, metavar="K",
+                             help="with --repeat: nudge K sensors by small "
+                                  "deterministic offsets before each resend, "
+                                  "producing a near-duplicate stream for the "
+                                  "incremental fast path (default 0: exact "
+                                  "duplicates)")
         if name == "replan":
             cmd.add_argument("--current", default="0,0",
                              help="charger's current x,y")
@@ -160,6 +201,16 @@ def main():
         return request(args, "GET", "/healthz")
     if args.command == "stats":
         return request(args, "GET", "/statsz")
+    if args.command == "plan" and args.repeat > 1:
+        base = positions_text(args)
+        for repeat in range(args.repeat):
+            positions = (mutate_positions(base, repeat, args.mutate)
+                         if args.mutate > 0 and repeat > 0 else base)
+            status = request(args, "POST", "/v1/plan",
+                             build_body(args, positions))
+            if status != 0:
+                return status
+        return 0
     path = "/v1/plan" if args.command == "plan" else "/v1/replan"
     return request(args, "POST", path, build_body(args))
 

@@ -82,7 +82,11 @@ def main():
         ]
         stalled[0].start()
         deadline = time.monotonic() + 30.0
-        while stats_field(port, "accepted") < 1:
+        # Wait for the worker to *pop* the first stalled request (admitted
+        # and queue drained) — starting the second one while the first
+        # still holds the queue slot would shed it and wedge nothing.
+        while (stats_field(port, "accepted") < 1
+               or stats_field(port, "queue_depth") > 0):
             if time.monotonic() > deadline:
                 fail(daemon, "first stalled request was never admitted")
             time.sleep(0.01)

@@ -9,6 +9,12 @@ attribute keys seen. With --tree, additionally reprints the journal as an
 indented call tree in sequence order. Works on both steady- and
 virtual-clock journals (virtual durations are synthetic step counts, but
 call counts and the tree are exact either way).
+
+When the journal contains bundlecharged spans (``service.*``), a service
+layer section is appended: the plan-request funnel split by how each
+request was served (cold solve / cache hit / incremental patch), the
+cache hit rate, and the patch attempt outcomes by verdict — the
+at-a-glance answer to "is the fast path actually taking requests".
 """
 
 import argparse
@@ -74,6 +80,68 @@ def fmt_ns(ns):
     return f"{ns}ns"
 
 
+def is_true(value):
+    # Span attrs journal booleans as JSON true/false, but keep this robust
+    # to older journals that rendered them as strings.
+    return value is True or value == "true"
+
+
+def print_service_summary(records, out):
+    plans = [r for r in records
+             if r.get("type") == "span" and r["name"] == "service.plan"]
+    replans = [r for r in records
+               if r.get("type") == "span" and r["name"] == "service.replan"]
+    lookups = [r for r in records
+               if r.get("type") == "span" and r["name"] == "service.cache.lookup"]
+    patches = [r for r in records
+               if r.get("type") == "span"
+               and r["name"] == "service.incremental.patch"]
+    if not (plans or replans or lookups or patches):
+        return
+
+    out.write("\nservice layer:\n")
+    if plans:
+        served = {"cached": [], "incremental": [], "cold": []}
+        degraded = 0
+        for rec in plans:
+            attrs = rec.get("attrs", {})
+            if is_true(attrs.get("cached")):
+                served["cached"].append(rec)
+            elif is_true(attrs.get("incremental")):
+                served["incremental"].append(rec)
+            else:
+                served["cold"].append(rec)
+            if is_true(attrs.get("degraded")):
+                degraded += 1
+        parts = []
+        for how in ("cold", "cached", "incremental"):
+            group = served[how]
+            if group:
+                mean = sum(duration_ns(r) for r in group) // len(group)
+                parts.append(f"{how} {len(group)} (mean {fmt_ns(mean)})")
+        out.write(f"  plan requests   {len(plans):>6}  "
+                  f"{', '.join(parts)}\n")
+        if degraded:
+            out.write(f"  degraded        {degraded:>6}\n")
+    if replans:
+        mean = sum(duration_ns(r) for r in replans) // len(replans)
+        out.write(f"  replan requests {len(replans):>6}  "
+                  f"mean {fmt_ns(mean)}\n")
+    if lookups:
+        hits = sum(1 for r in lookups
+                   if is_true(r.get("attrs", {}).get("hit")))
+        out.write(f"  cache lookups   {len(lookups):>6}  "
+                  f"hits {hits} ({100.0 * hits / len(lookups):.0f}%)\n")
+    if patches:
+        verdicts = {}
+        for rec in patches:
+            verdict = rec.get("attrs", {}).get("verdict", "?")
+            verdicts[verdict] = verdicts.get(verdict, 0) + 1
+        breakdown = ", ".join(f"{v}={n}"
+                              for v, n in sorted(verdicts.items()))
+        out.write(f"  patch attempts  {len(patches):>6}  {breakdown}\n")
+
+
 def print_tree(records, out):
     # Spans are journaled at span end; replay in sequence order and indent
     # by the recorded nesting depth.
@@ -117,6 +185,8 @@ def main():
         print(f"{name:<{name_width}}  {entry['kind']:<5} "
               f"{entry['count']:>7} {fmt_ns(entry['total_ns']):>10} "
               f"{fmt_ns(mean):>10} {fmt_ns(entry['max_ns']):>10}  {keys}")
+
+    print_service_summary(records, sys.stdout)
 
     if args.tree:
         print("\ncall tree (sequence order):")
