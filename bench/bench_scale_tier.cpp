@@ -24,13 +24,16 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "bundle/shard.h"
 #include "core/bundlecharge.h"
 #include "io/plan_io.h"
 #include "net/deployment.h"
+#include "net/metric.h"
 #include "support/cli.h"
 #include "support/rng.h"
 #include "support/simd.h"
@@ -58,6 +61,37 @@ std::string tier_name(std::size_t n) {
   return std::to_string(n);
 }
 
+// Deterministic 25x25 waypoint grid spanning the field, 4-connected with
+// chord-weighted edges and zero obstacles. Every query therefore has line
+// of sight and returns the exact Euclidean distance — the graph tier
+// exercises the GraphMetric dispatch, snapping and cache machinery through
+// the whole sharded planner while staying byte-comparable to the euclid
+// tier.
+bc::net::WaypointGraph field_grid_graph(double side) {
+  constexpr std::uint32_t kPerSide = 25;
+  bc::net::WaypointGraph graph;
+  const double step = side / (kPerSide - 1);
+  for (std::uint32_t row = 0; row < kPerSide; ++row) {
+    for (std::uint32_t col = 0; col < kPerSide; ++col) {
+      graph.nodes.push_back({col * step, row * step});
+    }
+  }
+  auto id = [](std::uint32_t row, std::uint32_t col) {
+    return row * kPerSide + col;
+  };
+  for (std::uint32_t row = 0; row < kPerSide; ++row) {
+    for (std::uint32_t col = 0; col < kPerSide; ++col) {
+      if (col + 1 < kPerSide) {
+        graph.edges.push_back({id(row, col), id(row, col + 1), step});
+      }
+      if (row + 1 < kPerSide) {
+        graph.edges.push_back({id(row, col), id(row + 1, col), step});
+      }
+    }
+  }
+  return graph;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,6 +114,10 @@ int main(int argc, char** argv) {
   flags.define_string("plan-out", "",
                       "write the planned tour as JSON to this path (the "
                       "byte-identity artifact for the simd-matrix job)");
+  flags.define_string("metric", "euclid",
+                      "movement metric: euclid | graph (zero-obstacle "
+                      "waypoint grid over the field; exercises GraphMetric "
+                      "dispatch at scale, writes BENCH_scale_<tier>_graph)");
   bc::bench::define_obs_flags(flags);
   if (!flags.parse(argc, argv, std::cerr)) return 2;
   if (flags.help_requested()) return 0;
@@ -121,11 +159,23 @@ int main(int argc, char** argv) {
   config.shard.target_shard_sensors =
       static_cast<std::size_t>(flags.get_int("target-shard"));
 
+  const std::string metric_flag = flags.get_string("metric");
+  if (metric_flag == "graph") {
+    config.metric =
+        std::make_shared<bc::net::GraphMetric>(field_grid_graph(side));
+  } else if (metric_flag != "euclid") {
+    std::cerr << "--metric must be euclid or graph; got '" << metric_flag
+              << "'\n";
+    return 2;
+  }
+
   const bc::bundle::ShardGrid grid =
       bc::bundle::build_shard_grid(deployment, radius, config.shard);
 
   bc::tour::ChargingPlan plan;
-  bc::bench::BenchReporter reporter("scale_" + tier_name(n));
+  const std::string bench_name =
+      "scale_" + tier_name(n) + (metric_flag == "graph" ? "_graph" : "");
+  bc::bench::BenchReporter reporter(bench_name);
   reporter
       .time_case("bc_shard/n=" + std::to_string(n), repeats,
                  [&] {
@@ -135,7 +185,8 @@ int main(int argc, char** argv) {
       .counter("stops", static_cast<std::int64_t>(plan.stops.size()))
       .counter("sensors", static_cast<std::int64_t>(n))
       .counter("shard_tiles", static_cast<std::int64_t>(grid.tiles()))
-      .metric("tour_len_m", bc::tour::plan_tour_length(plan))
+      .metric("tour_len_m",
+              bc::tour::plan_tour_length(plan, config.metric.get()))
       .metric("field_side_m", side)
       .metric("peak_rss_mib", peak_rss_mib());
   reporter.write(flags.get_string("out-dir"), threads);

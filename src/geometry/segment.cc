@@ -20,4 +20,35 @@ double distance_to_segment(const Segment& seg, Point2 p) {
   return distance(p, closest_point(seg, p));
 }
 
+int orientation(Point2 a, Point2 b, Point2 c) {
+  const double cross =
+      (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  if (cross > 0.0) return 1;
+  if (cross < 0.0) return -1;
+  return 0;
+}
+
+namespace {
+
+// Collinear a,b,c: is c within the bounding box of [a,b]?
+bool on_segment(Point2 a, Point2 b, Point2 c) {
+  return std::min(a.x, b.x) <= c.x && c.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= c.y && c.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool segments_intersect(const Segment& s1, const Segment& s2) {
+  const int o1 = orientation(s1.a, s1.b, s2.a);
+  const int o2 = orientation(s1.a, s1.b, s2.b);
+  const int o3 = orientation(s2.a, s2.b, s1.a);
+  const int o4 = orientation(s2.a, s2.b, s1.b);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && on_segment(s1.a, s1.b, s2.a)) return true;
+  if (o2 == 0 && on_segment(s1.a, s1.b, s2.b)) return true;
+  if (o3 == 0 && on_segment(s2.a, s2.b, s1.a)) return true;
+  if (o4 == 0 && on_segment(s2.a, s2.b, s1.b)) return true;
+  return false;
+}
+
 }  // namespace bc::geometry

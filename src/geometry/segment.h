@@ -26,6 +26,17 @@ Point2 closest_point(const Segment& seg, Point2 p);
 // Euclidean distance from `p` to the segment.
 double distance_to_segment(const Segment& seg, Point2 p);
 
+// Sign of the cross product (b - a) x (c - a): +1 left turn, -1 right
+// turn, 0 collinear. Exact for the sign-of-double comparison it is used
+// for (no epsilon; callers wanting robustness pre-perturb their inputs).
+int orientation(Point2 a, Point2 b, Point2 c);
+
+// True when the closed segments intersect, including touching at an
+// endpoint or overlapping collinearly. The graph metric treats obstacle
+// segments as walls, so a sight-line grazing a wall endpoint counts as
+// blocked; place waypoints strictly off obstacle endpoints.
+bool segments_intersect(const Segment& s1, const Segment& s2);
+
 }  // namespace bc::geometry
 
 #endif  // BUNDLECHARGE_GEOMETRY_SEGMENT_H_

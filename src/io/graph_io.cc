@@ -1,0 +1,261 @@
+#include "io/graph_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace bc::io {
+
+namespace {
+
+using support::Expected;
+using support::Fault;
+using support::FaultKind;
+
+Fault at_line(std::size_t line, std::string what) {
+  return Fault{FaultKind::kInvalidInput,
+               "line " + std::to_string(line) + ": " + std::move(what)};
+}
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Full-field numeric parse: trailing garbage is a parse failure, and a
+// parsed NaN/Inf is rejected by the caller's isfinite check.
+bool parse_double(std::string_view field, double& out) {
+  field = trim(field);
+  if (field.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), out);
+  return ec == std::errc{} && ptr == field.data() + field.size();
+}
+
+bool parse_index(std::string_view field, std::uint32_t& out) {
+  field = trim(field);
+  if (field.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), out);
+  return ec == std::errc{} && ptr == field.data() + field.size();
+}
+
+// Union-find over waypoint nodes; used by the reachability check.
+class Components {
+ public:
+  explicit Components(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+std::size_t nearest_node(const net::WaypointGraph& graph,
+                         geometry::Point2 p) {
+  std::size_t best = 0;
+  double best_d2 = geometry::distance_squared(p, graph.nodes[0]);
+  for (std::size_t i = 1; i < graph.nodes.size(); ++i) {
+    const double d2 = geometry::distance_squared(p, graph.nodes[i]);
+    if (d2 < best_d2) {  // strict: ties keep the lower id
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Expected<net::WaypointGraph> read_waypoint_graph_csv(std::istream& in) {
+  net::WaypointGraph graph;
+  // Edge endpoints may reference nodes declared later in the file, so
+  // range/duplicate checks run after the parse — with the line number
+  // each edge came from.
+  std::vector<std::size_t> edge_lines;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = split_fields(line);
+    const std::string_view kind = trim(fields.front());
+    if (kind == "node") {
+      if (fields.size() != 3) {
+        return at_line(line_no, "node record needs node,x,y");
+      }
+      geometry::Point2 p;
+      if (!parse_double(fields[1], p.x) || !parse_double(fields[2], p.y)) {
+        return at_line(line_no, "node coordinates must be numeric");
+      }
+      if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+        return at_line(line_no, "node coordinates must be finite");
+      }
+      graph.nodes.push_back(p);
+    } else if (kind == "edge") {
+      if (fields.size() != 3 && fields.size() != 4) {
+        return at_line(line_no, "edge record needs edge,u,v[,weight]");
+      }
+      net::GraphEdge e;
+      if (!parse_index(fields[1], e.u) || !parse_index(fields[2], e.v)) {
+        return at_line(line_no, "edge endpoints must be non-negative ints");
+      }
+      if (e.u == e.v) {
+        return at_line(line_no, "self-loop edge " + std::to_string(e.u));
+      }
+      if (fields.size() == 4) {
+        if (!parse_double(fields[3], e.weight)) {
+          return at_line(line_no, "edge weight must be numeric");
+        }
+        if (!std::isfinite(e.weight) || e.weight <= 0.0) {
+          return at_line(line_no, "edge weight must be finite and positive");
+        }
+      } else {
+        e.weight = 0.0;  // filled with the chord length after the parse
+      }
+      graph.edges.push_back(e);
+      edge_lines.push_back(line_no);
+    } else if (kind == "obstacle") {
+      if (fields.size() != 5) {
+        return at_line(line_no, "obstacle record needs obstacle,x1,y1,x2,y2");
+      }
+      geometry::Segment s;
+      if (!parse_double(fields[1], s.a.x) || !parse_double(fields[2], s.a.y) ||
+          !parse_double(fields[3], s.b.x) || !parse_double(fields[4], s.b.y)) {
+        return at_line(line_no, "obstacle coordinates must be numeric");
+      }
+      if (!std::isfinite(s.a.x) || !std::isfinite(s.a.y) ||
+          !std::isfinite(s.b.x) || !std::isfinite(s.b.y)) {
+        return at_line(line_no, "obstacle coordinates must be finite");
+      }
+      graph.obstacles.push_back(s);
+    } else {
+      return at_line(line_no,
+                     "unknown record '" + std::string(kind) +
+                         "' (expected node/edge/obstacle)");
+    }
+  }
+  if (graph.nodes.empty()) {
+    return Fault{FaultKind::kInvalidInput, "graph has no nodes"};
+  }
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> seen;
+  for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+    auto& e = graph.edges[i];
+    const std::size_t line = edge_lines[i];
+    if (e.u >= graph.nodes.size() || e.v >= graph.nodes.size()) {
+      return at_line(line, "dangling edge endpoint (graph has " +
+                               std::to_string(graph.nodes.size()) +
+                               " nodes)");
+    }
+    const std::pair<std::uint32_t, std::uint32_t> key =
+        std::minmax(e.u, e.v);
+    const auto [it, inserted] = seen.emplace(key, line);
+    if (!inserted) {
+      return at_line(line, "duplicate edge " + std::to_string(key.first) +
+                               "-" + std::to_string(key.second) +
+                               " (first at line " +
+                               std::to_string(it->second) + ")");
+    }
+    if (e.weight == 0.0) {
+      e.weight = geometry::distance(graph.nodes[e.u], graph.nodes[e.v]);
+      if (e.weight <= 0.0) {
+        return at_line(line, "defaulted weight is zero (coincident nodes " +
+                                 std::to_string(e.u) + " and " +
+                                 std::to_string(e.v) + ")");
+      }
+    }
+  }
+  return graph;
+}
+
+Expected<net::WaypointGraph> read_waypoint_graph_csv_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Fault{FaultKind::kInvalidInput,
+                 "cannot open waypoint graph file: " + path};
+  }
+  return read_waypoint_graph_csv(in);
+}
+
+void write_waypoint_graph_csv(const net::WaypointGraph& graph,
+                              std::ostream& out) {
+  out << "# waypoint graph: node,x,y | edge,u,v,weight | "
+         "obstacle,x1,y1,x2,y2\n";
+  for (const auto& n : graph.nodes) {
+    out << "node," << n.x << "," << n.y << "\n";
+  }
+  for (const auto& e : graph.edges) {
+    out << "edge," << e.u << "," << e.v << "," << e.weight << "\n";
+  }
+  for (const auto& o : graph.obstacles) {
+    out << "obstacle," << o.a.x << "," << o.a.y << "," << o.b.x << ","
+        << o.b.y << "\n";
+  }
+}
+
+Expected<bool> validate_waypoint_graph(
+    const net::WaypointGraph& graph,
+    std::span<const geometry::Point2> sensors, geometry::Point2 depot) {
+  if (graph.nodes.empty()) {
+    return Fault{FaultKind::kInvalidInput, "graph has no nodes"};
+  }
+  Components components(graph.nodes.size());
+  for (const auto& e : graph.edges) {
+    components.unite(e.u, e.v);
+  }
+  const std::size_t depot_root =
+      components.find(nearest_node(graph, depot));
+  for (std::size_t i = 0; i < sensors.size(); ++i) {
+    const std::size_t node = nearest_node(graph, sensors[i]);
+    if (components.find(node) != depot_root) {
+      return Fault{FaultKind::kDisconnected,
+                   "sensor " + std::to_string(i) +
+                       " snaps to waypoint " + std::to_string(node) +
+                       ", unreachable from the depot's graph component",
+                   i};
+    }
+  }
+  return true;
+}
+
+}  // namespace bc::io

@@ -1,0 +1,59 @@
+// Waypoint-graph persistence and validation.
+//
+// Graph worlds come from site surveys and road-network extracts — i.e.
+// from outside the trust boundary — so this reader rejects malformed
+// input with structured, line-numbered faults instead of asserting:
+// NaN/Inf coordinates or weights, self-loops, dangling edge endpoints and
+// duplicate edges are all kInvalidInput; a graph that cannot reach every
+// sensor (or the depot) from one connected component is kDisconnected.
+//
+// Format: line-oriented CSV, one record per line. Blank lines and lines
+// starting with '#' are skipped.
+//
+//   node,<x>,<y>                 waypoint; ids are assigned 0,1,2,... in
+//                                order of appearance
+//   edge,<u>,<v>[,<weight>]      undirected; weight defaults to the
+//                                Euclidean chord length between u and v
+//   obstacle,<x1>,<y1>,<x2>,<y2> wall segment blocking line of sight
+//
+// See examples/campus_graph.csv for a worked example.
+
+#ifndef BUNDLECHARGE_IO_GRAPH_IO_H_
+#define BUNDLECHARGE_IO_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "net/metric.h"
+#include "support/expected.h"
+
+namespace bc::io {
+
+// Parses and validates a waypoint-graph CSV. Faults are kInvalidInput
+// with messages of the form "line N: <what>".
+support::Expected<net::WaypointGraph> read_waypoint_graph_csv(
+    std::istream& in);
+
+// File variant; an unopenable file is kInvalidInput.
+support::Expected<net::WaypointGraph> read_waypoint_graph_csv_file(
+    const std::string& path);
+
+// Writes the graph back out in the same format (round-trips through
+// read_waypoint_graph_csv).
+void write_waypoint_graph_csv(const net::WaypointGraph& graph,
+                              std::ostream& out);
+
+// Deployment-aware reachability check: every sensor and the depot must
+// snap (nearest waypoint, lower-id tie-break) into one connected graph
+// component. Returns true when reachable; a kDisconnected fault naming
+// the first offending sensor otherwise. Run this once at load time —
+// GraphMetric itself stays total and falls back to chord distances
+// rather than crash, so skipping validation degrades instead of failing.
+support::Expected<bool> validate_waypoint_graph(
+    const net::WaypointGraph& graph,
+    std::span<const geometry::Point2> sensors, geometry::Point2 depot);
+
+}  // namespace bc::io
+
+#endif  // BUNDLECHARGE_IO_GRAPH_IO_H_

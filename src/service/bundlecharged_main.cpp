@@ -8,7 +8,7 @@
 //                 [--no-incremental] [--no-batching]
 //                 [--max-diff N] [--fallback-ratio-pct N]
 //                 [--batch-max-waiters N] [--enable-test-hooks]
-//                 [--trace-out PATH]
+//                 [--trace-out PATH] [--metric-graph PATH]
 //
 // Prints "bundlecharged listening on 127.0.0.1:<port>" once serving (tools
 // and tests parse this line to learn an ephemeral port), then runs until
@@ -65,7 +65,7 @@ void print_usage() {
       "                     [--no-incremental] [--no-batching]\n"
       "                     [--max-diff N] [--fallback-ratio-pct N]\n"
       "                     [--batch-max-waiters N] [--enable-test-hooks]\n"
-      "                     [--trace-out PATH]\n");
+      "                     [--trace-out PATH] [--metric-graph PATH]\n");
 }
 
 }  // namespace
@@ -140,6 +140,8 @@ int main(int argc, char** argv) {
       options.enable_test_hooks = true;
     } else if (parse_flag_value(argc, argv, &i, "--trace-out", &value)) {
       trace_path = value;
+    } else if (parse_flag_value(argc, argv, &i, "--metric-graph", &value)) {
+      options.metric_graph_path = value;
     } else if (std::string(argv[i]) == "--help" ||
                std::string(argv[i]) == "-h") {
       print_usage();

@@ -307,8 +307,13 @@ PatchResult patch_plan(const net::Deployment& deployment,
       patches.push_back(tour::Stop{b.anchor, b.members});
     }
     result.stops_patched = patches.size();
-    plan = tour::splice_stops(plan, std::move(patches), tour::SpliceOptions{},
-                              meter);
+    // Splice under the profile's movement metric, so patched tours are
+    // judged by the same distances the cold solve would use.
+    tour::SpliceOptions splice;
+    if (profile.planner.metric != nullptr) {
+      splice.improve_options.metric = profile.planner.metric.get();
+    }
+    plan = tour::splice_stops(plan, std::move(patches), splice, meter);
   }
 
   if (!tour::plan_is_partition(deployment, plan)) {

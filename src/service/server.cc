@@ -10,8 +10,11 @@
 #include <utility>
 #include <vector>
 
+#include <sstream>
+
 #include "core/request_mapping.h"
 #include "io/deployment_io.h"
+#include "io/graph_io.h"
 #include "io/plan_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -51,7 +54,8 @@ HttpResponse error_response(int status, const std::string& reason,
 // Compact stop list for replan responses, which cannot go through
 // io::plan_to_json (evaluate_plan requires a full-deployment partition;
 // a replan covers only the remaining sensors). %.17g round-trips doubles.
-std::string replan_plan_json(const tour::ChargingPlan& plan) {
+std::string replan_plan_json(const tour::ChargingPlan& plan,
+                             const net::MetricSpace* metric) {
   char buffer[64];
   const auto number = [&buffer](double value) {
     std::snprintf(buffer, sizeof buffer, "%.17g", value);
@@ -61,7 +65,7 @@ std::string replan_plan_json(const tour::ChargingPlan& plan) {
   out += json_escape(plan.algorithm);
   out += "\",\n    \"depot\": [" + number(plan.depot.x) + ", " +
          number(plan.depot.y) + "],\n    \"tour_length_m\": " +
-         number(tour::plan_tour_length(plan)) + ",\n    \"stops\": [";
+         number(tour::plan_tour_length(plan, metric)) + ",\n    \"stops\": [";
   for (std::size_t i = 0; i < plan.stops.size(); ++i) {
     const tour::Stop& stop = plan.stops[i];
     out += i == 0 ? "\n" : ",\n";
@@ -106,10 +110,29 @@ Expected<std::unique_ptr<Server>> Server::start(ServerOptions options) {
 
   auto cache = PlanCache::open(options.cache_path, options.cache_limits);
   if (!cache.has_value()) return cache.fault();
+
+  // Graph world: load the waypoint graph once, salt cache keys with its
+  // canonical serialisation so journals cannot leak plans across metric
+  // configurations. An unloadable graph is a startup fault, not a
+  // degraded mode — serving Euclidean plans for a graph world silently
+  // would be worse than refusing to start.
+  std::shared_ptr<const net::GraphMetric> metric;
+  std::string metric_salt;
+  if (!options.metric_graph_path.empty()) {
+    auto graph = io::read_waypoint_graph_csv_file(options.metric_graph_path);
+    if (!graph.has_value()) return graph.fault();
+    std::ostringstream canonical;
+    io::write_waypoint_graph_csv(graph.value(), canonical);
+    metric_salt = "|metric=graph:" + hash_fingerprint(canonical.str());
+    metric = std::make_shared<net::GraphMetric>(std::move(graph.value()));
+  }
+
   auto listener = support::listen_loopback(options.port);
   if (!listener.has_value()) return listener.fault();
 
   std::unique_ptr<Server> server(new Server(std::move(options)));
+  server->metric_ = std::move(metric);
+  server->metric_salt_ = std::move(metric_salt);
   server->cache_ = std::make_unique<PlanCache>(std::move(cache.value()));
   server->bases_ = std::make_unique<BaseStore>(server->options_.incremental);
   server->batch_ = std::make_unique<BatchState>();
@@ -325,7 +348,7 @@ HttpResponse Server::process_request(const HttpRequest& http) {
   std::string batch_key;
   bool leads = false;
   if (options_.enable_batching && !replan && job.request.stall_ms <= 0.0) {
-    batch_key = hash_fingerprint(canonical_fingerprint(job.request));
+    batch_key = request_key(job.request);
     bool parked = false;
     {
       std::lock_guard<std::mutex> lock(batch_->mutex);
@@ -450,6 +473,12 @@ HttpResponse Server::process_plan(const PlanRequest& request, bool replan,
   return response;
 }
 
+std::string Server::request_key(const PlanRequest& request) const {
+  // The metric salt is empty for Euclidean servers, so pre-metric cache
+  // files keep their exact keys.
+  return hash_fingerprint(canonical_fingerprint(request) + metric_salt_);
+}
+
 HttpResponse Server::solve_plan(const PlanRequest& request, bool replan,
                                 double deadline_s,
                                 const support::CancelToken& cancel) {
@@ -466,6 +495,12 @@ HttpResponse Server::solve_plan(const PlanRequest& request, bool replan,
   // and by stop() at shutdown; the anytime contract turns either into a
   // fast degraded/budget-exhausted return instead of a wedged worker.
   profile.planner.budget.cancel = cancel;
+  if (metric_ != nullptr) {
+    // Graph world: planners and the evaluator judge tour legs under the
+    // same metric, so response tour lengths match what the plan optimised.
+    profile.planner.metric = metric_;
+    profile.evaluation.metric = metric_.get();
+  }
 
   for (const net::SensorId id : request.remaining) {
     if (id >= request.positions.size()) {
@@ -549,11 +584,11 @@ HttpResponse Server::solve_plan(const PlanRequest& request, bool replan,
     body += "  \"degraded\": ";
     body += degraded ? "true" : "false";
     body += ",\n  \"attempts\": " + std::to_string(outcome.attempts);
-    body += ",\n  \"plan\": " + replan_plan_json(result.value());
+    body += ",\n  \"plan\": " +
+            replan_plan_json(result.value(), profile.planner.metric.get());
   } else {
     obs::TraceSpan plan_span("service.plan");
-    const std::string key =
-        hash_fingerprint(canonical_fingerprint(request));
+    const std::string key = request_key(request);
     tour::ChargingPlan plan;
     bool cached = false;
     bool degraded = false;

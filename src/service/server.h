@@ -56,6 +56,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/metric.h"
 #include "service/bounded_queue.h"
 #include "service/incremental.h"
 #include "service/plan_cache.h"
@@ -110,6 +111,13 @@ struct ServerOptions {
   // produced. A shed leader sheds its waiters.
   bool enable_batching = true;
   std::size_t batch_max_waiters = 8;
+  // Movement metric: path to a waypoint-graph CSV (io/graph_io.h); "" =
+  // Euclidean movement. When set, every solve and evaluation runs under
+  // the graph metric and cache keys are salted with the graph's content
+  // hash — a journal written under one metric configuration can never
+  // serve a plan to another. With no graph the salt is empty, so
+  // pre-metric cache files stay byte-compatible.
+  std::string metric_graph_path;
 };
 
 // Monotonic request accounting for /statsz and tests. Deliberately plain
@@ -194,8 +202,14 @@ class Server {
                           double deadline_s,
                           const support::CancelToken& cancel);
   HttpResponse stats_response() const;
+  // Cache/batching key: canonical request fingerprint + the metric salt.
+  std::string request_key(const PlanRequest& request) const;
 
   ServerOptions options_;
+  // Graph movement metric (null = Euclidean) and the cache-key salt
+  // derived from the graph's canonical serialisation ("" for Euclidean).
+  std::shared_ptr<const net::GraphMetric> metric_;
+  std::string metric_salt_;
   support::ListenSocket listener_{};
   std::uint16_t port_ = 0;
   std::unique_ptr<PlanCache> cache_;

@@ -16,7 +16,7 @@ PlanMetrics evaluate_plan(const net::Deployment& deployment,
 
   PlanMetrics m;
   m.num_stops = plan.stops.size();
-  m.tour_length_m = tour::plan_tour_length(plan);
+  m.tour_length_m = tour::plan_tour_length(plan, config.metric);
   m.move_energy_j = config.movement.move_energy_j(m.tour_length_m);
   m.move_time_s = config.movement.move_time_s(m.tour_length_m);
   m.charge_time_s = std::accumulate(times.begin(), times.end(), 0.0);

@@ -14,6 +14,7 @@
 #include "charging/model.h"
 #include "charging/movement.h"
 #include "net/deployment.h"
+#include "net/metric.h"
 #include "sim/schedule.h"
 #include "tour/plan.h"
 
@@ -41,6 +42,9 @@ struct EvaluationConfig {
       charging::ChargingModel::icdcs2019_simulation();
   charging::MovementModel movement = charging::MovementModel::icdcs2019();
   SchedulePolicy policy = SchedulePolicy::kIsolated;
+  // Movement metric for tour legs (null = Euclidean). Stop-to-sensor
+  // charging distances are radio physics and stay Euclidean regardless.
+  const net::MetricSpace* metric = nullptr;
 };
 
 // Evaluates a plan. Precondition: the plan partitions the deployment's

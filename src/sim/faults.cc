@@ -141,6 +141,7 @@ geometry::Point2 FaultModel::true_position(net::SensorId id) const {
 double FaultModel::received_power_w(const charging::ChargingModel& model,
                                     geometry::Point2 charger_pos,
                                     net::SensorId id) const {
+  // metric-exempt: received power over the true air gap (radio physics).
   const double d = geometry::distance(charger_pos, true_position(id));
   return efficiency(id) * model.received_power_w(d);
 }

@@ -111,16 +111,18 @@ LifetimeStats simulate_lifetime(const net::Deployment& deployment,
     const std::vector<double> received = received_energy_j(
         mission, plan, config.evaluation.charging, times);
 
+    // Tour legs follow the planner's movement metric (null = Euclidean).
+    const double tour_length_m =
+        tour::plan_tour_length(plan, config.planner.metric.get());
     double mission_time =
-        config.evaluation.movement.move_time_s(tour::plan_tour_length(plan));
+        config.evaluation.movement.move_time_s(tour_length_m);
     double radiated_time = 0.0;
     for (const double t : times) {
       mission_time += t;
       radiated_time += t;
     }
     stats.charger_energy_j +=
-        config.evaluation.movement.move_energy_j(
-            tour::plan_tour_length(plan)) +
+        config.evaluation.movement.move_energy_j(tour_length_m) +
         config.evaluation.charging.cost_of_stop_j(radiated_time);
     stats.charger_busy_s += mission_time;
     ++stats.missions;

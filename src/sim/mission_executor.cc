@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <utility>
+#include <vector>
 
+#include "net/metric.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/require.h"
@@ -17,6 +19,32 @@ using support::Fault;
 using support::FaultKind;
 
 constexpr double kEps = 1e-9;
+
+// Position `fraction` of the way along the metric route from `from` to
+// `to` whose total length is `total_len`. Euclidean routes interpolate
+// the straight leg exactly as before; graph routes walk the waypoint
+// polyline.
+geometry::Point2 point_along(const net::MetricSpace* metric,
+                             geometry::Point2 from, geometry::Point2 to,
+                             double fraction, double total_len) {
+  if (metric == nullptr) return geometry::lerp(from, to, fraction);
+  std::vector<geometry::Point2> waypoints;
+  metric->path(from, to, waypoints);
+  double remaining = fraction * total_len;
+  for (std::size_t i = 0; i + 1 < waypoints.size(); ++i) {
+    // metric-exempt: chord of one polyline segment of the metric's own
+    // driven path — straight by construction.
+    const double seg = geometry::distance(waypoints[i], waypoints[i + 1]);
+    if (seg >= remaining) {
+      return seg == 0.0
+                 ? waypoints[i]
+                 : geometry::lerp(waypoints[i], waypoints[i + 1],
+                                  remaining / seg);
+    }
+    remaining -= seg;
+  }
+  return to;
+}
 
 }  // namespace
 
@@ -60,6 +88,9 @@ support::Expected<MissionReport> execute_mission(
 
   const charging::ChargingModel& charging = config.charging;
   const charging::MovementModel& movement = config.movement;
+  // Movement legs follow the planner's metric; stop-to-sensor charging
+  // distances below stay Euclidean (radio physics, not driving).
+  const net::MetricSpace* metric = config.planner.metric.get();
   const bool capped = faults.has_battery_cap();
   const bool reckless =
       config.on_battery_shortfall == DisruptionPolicy::kSkip;
@@ -93,12 +124,12 @@ support::Expected<MissionReport> execute_mission(
   // Drives toward `target`; in reckless mode the battery can die mid-leg,
   // leaving the charger stranded part-way. Returns false when stranded.
   const auto travel_to = [&](geometry::Point2 target) {
-    const double dist = geometry::distance(at, target);
+    const double dist = net::metric_distance(metric, at, target);
     if (dist == 0.0) return true;
     const double cost = movement.move_energy_j(dist);
     if (capped && cost > battery + kEps) {
       const double fraction = std::max(0.0, battery / cost);
-      at = geometry::lerp(at, target, fraction);
+      at = point_along(metric, at, target, fraction, dist);
       report.tour_length_m += dist * fraction;
       report.mission_time_s += movement.move_time_s(dist) * fraction;
       report.move_energy_j += battery;
@@ -108,7 +139,7 @@ support::Expected<MissionReport> execute_mission(
       report.completed = false;
       disrupt(FaultKind::kMcStranded,
               "battery died " +
-                  std::to_string(geometry::distance(at, plan.depot)) +
+                  std::to_string(net::metric_distance(metric, at, plan.depot)) +
                   " m short of the depot");
       return false;
     }
@@ -191,6 +222,7 @@ support::Expected<MissionReport> execute_mission(
     // harvesters) versus the faulted world's reality.
     double planned_t = 0.0;
     for (const net::SensorId id : stop.members) {
+      // metric-exempt: stop-to-sensor charging range is radio physics.
       const double d =
           geometry::distance(stop.position, deployment.sensor(id).position);
       planned_t = std::max(planned_t, charging.charge_time_s(d, demand_j[id]));
@@ -225,9 +257,11 @@ support::Expected<MissionReport> execute_mission(
     // physical stranding reachable.
     if (capped && !reckless) {
       const double projected =
-          movement.move_energy_j(geometry::distance(at, stop.position)) +
+          movement.move_energy_j(net::metric_distance(metric, at,
+                                                      stop.position)) +
           charging.cost_of_stop_j(park_t) +
-          movement.move_energy_j(geometry::distance(stop.position, plan.depot));
+          movement.move_energy_j(
+              net::metric_distance(metric, stop.position, plan.depot));
       if (projected > battery + kEps) {
         disrupt(FaultKind::kBatteryShortfall,
                 "stop needs " + std::to_string(projected) + " J, " +
@@ -275,7 +309,7 @@ support::Expected<MissionReport> execute_mission(
       report.final_position = at;
       disrupt(FaultKind::kMcStranded,
               "battery died while charging; parked at stop, " +
-                  std::to_string(geometry::distance(at, plan.depot)) +
+                  std::to_string(net::metric_distance(metric, at, plan.depot)) +
                   " m from the depot");
       break;
     }
@@ -312,7 +346,8 @@ support::Expected<MissionReport> execute_mission(
   }
   span.attr("stops_visited", static_cast<std::uint64_t>(report.stops_visited))
       .attr("stops_skipped", static_cast<std::uint64_t>(report.stops_skipped))
-      .attr("disruptions", static_cast<std::uint64_t>(report.disruptions.size()))
+      .attr("disruptions",
+            static_cast<std::uint64_t>(report.disruptions.size()))
       .attr("replans", static_cast<std::uint64_t>(report.replans))
       .attr("completed", report.completed)
       .attr("stranded", report.stranded);

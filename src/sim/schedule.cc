@@ -33,6 +33,7 @@ std::vector<double> optimal_lp_times(const net::Deployment& deployment,
   for (const net::Sensor& s : deployment.sensors()) {
     std::vector<double> row(problem.num_vars);
     for (std::size_t i = 0; i < plan.stops.size(); ++i) {
+      // metric-exempt: received power over the air gap (radio physics).
       const double d = geometry::distance(plan.stops[i].position, s.position);
       row[i] = model.received_power_w(d);
     }
@@ -77,12 +78,14 @@ std::vector<double> schedule_stop_times(const net::Deployment& deployment,
       const net::Sensor& s = deployment.sensor(id);
       const double deficit = s.demand_j - received[id];
       if (deficit <= 0.0) continue;
+      // metric-exempt: received power over the air gap (radio physics).
       const double d = geometry::distance(stop.position, s.position);
       t = std::max(t, deficit / model.received_power_w(d));
     }
     times.push_back(t);
     if (t > 0.0) {
       for (const net::Sensor& s : deployment.sensors()) {
+        // metric-exempt: received power over the air gap (radio physics).
         const double d = geometry::distance(stop.position, s.position);
         received[s.id] += model.received_power_w(d) * t;
       }
@@ -101,6 +104,7 @@ std::vector<double> received_energy_j(const net::Deployment& deployment,
   for (std::size_t i = 0; i < plan.stops.size(); ++i) {
     if (stop_times_s[i] <= 0.0) continue;
     for (const net::Sensor& s : deployment.sensors()) {
+      // metric-exempt: received power over the air gap (radio physics).
       const double d =
           geometry::distance(plan.stops[i].position, s.position);
       received[s.id] += model.received_power_w(d) * stop_times_s[i];

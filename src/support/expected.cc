@@ -22,6 +22,8 @@ std::string_view to_string(FaultKind kind) {
       return "invalid-input";
     case FaultKind::kBudgetExhausted:
       return "budget-exhausted";
+    case FaultKind::kDisconnected:
+      return "disconnected";
     case FaultKind::kNumFaultKinds:
       break;
   }

@@ -34,6 +34,7 @@ enum class FaultKind {
   kCoverageGap,        // a candidate replan failed to cover every sensor
   kInvalidInput,       // malformed external input (IO, config)
   kBudgetExhausted,    // a resource budget (deadline/node cap/cancel) tripped
+  kDisconnected,       // waypoint graph cannot reach every sensor/depot
   kNumFaultKinds,      // count sentinel, not a fault
 };
 

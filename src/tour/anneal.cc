@@ -19,6 +19,7 @@ struct State {
   const net::Deployment* deployment = nullptr;
   const charging::ChargingModel* charging = nullptr;
   const charging::MovementModel* movement = nullptr;
+  const net::MetricSpace* metric = nullptr;
   ChargingPlan plan;
   std::vector<double> stop_cost_j;  // charge cost per stop
 
@@ -35,7 +36,7 @@ struct State {
   }
 
   double energy() const {
-    double total = movement->move_energy_j(plan_tour_length(plan));
+    double total = movement->move_energy_j(plan_tour_length(plan, metric));
     for (const double c : stop_cost_j) total += c;
     return total;
   }
@@ -56,8 +57,9 @@ Point2 sed_center(const net::Deployment& deployment,
 double plan_energy_j(const net::Deployment& deployment,
                      const ChargingPlan& plan,
                      const charging::ChargingModel& charging,
-                     const charging::MovementModel& movement) {
-  double total = movement.move_energy_j(plan_tour_length(plan));
+                     const charging::MovementModel& movement,
+                     const net::MetricSpace* metric) {
+  double total = movement.move_energy_j(plan_tour_length(plan, metric));
   for (const Stop& stop : plan.stops) {
     total += charging.cost_of_stop_j(
         isolated_stop_time_s(deployment, stop, charging));
@@ -80,6 +82,7 @@ AnnealResult anneal_plan(const net::Deployment& deployment,
   state.deployment = &deployment;
   state.charging = &charging;
   state.movement = &movement;
+  state.metric = options.metric;
   state.plan = initial;
   state.rebuild_costs();
 
@@ -234,6 +237,8 @@ AnnealResult anneal_plan(const net::Deployment& deployment,
         double best_d = 0.0;
         for (std::size_t k = 0; k < n; ++k) {
           if (k == i) continue;
+          // metric-exempt: nearest-stop merge *proposal*; acceptance is
+          // judged on the metric's energy objective.
           const double d = geometry::distance(
               state.plan.stops[i].position, state.plan.stops[k].position);
           if (nearest == n || d < best_d) {

@@ -42,6 +42,10 @@ struct AnnealOptions {
   // anytime — the best plan so far is returned when the budget trips. One
   // budget unit is charged per annealing iteration.
   support::Budget budget{};
+  // Movement metric for the energy objective (null = Euclidean). Move
+  // *proposals* (nearest-stop merge, jitter) stay Euclidean heuristics;
+  // acceptance is always judged on this metric's energy.
+  const net::MetricSpace* metric = nullptr;
 };
 
 struct AnnealResult {
@@ -56,7 +60,8 @@ struct AnnealResult {
 double plan_energy_j(const net::Deployment& deployment,
                      const ChargingPlan& plan,
                      const charging::ChargingModel& charging,
-                     const charging::MovementModel& movement);
+                     const charging::MovementModel& movement,
+                     const net::MetricSpace* metric = nullptr);
 
 // Runs the annealer from `initial`. The result's energy never exceeds the
 // input's — including when `options.budget` (or a caller-supplied shared

@@ -116,20 +116,33 @@ ChargingPlan plan_bc_opt(const net::Deployment& deployment,
 
       double cap = displacement_cap(g);
       // Moving past both neighbours is never useful.
+      // metric-exempt: displacement-cap proposal heuristic; acceptance
+      // below is judged under the configured metric.
       cap = std::min(cap, std::max(geometry::distance(g.home, prev),
                                    geometry::distance(g.home, next)));
       if (cap <= 0.0) continue;
 
+      const net::MetricSpace* metric = config.metric.get();
       const auto stop_cost = [&](Point2 p, double displacement) {
         const double time =
             config.opt.exact_charging_eval
                 ? isolated_stop_time_s(deployment,
                                        Stop{p, plan.stops[i].members}, model)
                 : conservative_time_s(g, model, displacement);
-        return e_m * geometry::focal_sum(prev, next, p) +
-               model.cost_of_stop_j(time);
+        // Movement legs under the configured metric; the null branch keeps
+        // the fused focal_sum (bit-exact Euclidean). Candidate positions
+        // are still proposed by the Euclidean ellipse tangency (Theorem
+        // 4) — a heuristic under a graph metric, but acceptance below is
+        // judged on true driven cost, so accepted moves are genuine.
+        const double legs =
+            metric == nullptr
+                ? geometry::focal_sum(prev, next, p)
+                : metric->distance(prev, p) + metric->distance(p, next);
+        return e_m * legs + model.cost_of_stop_j(time);
       };
 
+      // metric-exempt: displacement from the SED centre is Euclidean by
+      // definition (Theorem 4's d), whatever the movement metric.
       const double current_displacement =
           geometry::distance(plan.stops[i].position, g.home);
       double best_cost =

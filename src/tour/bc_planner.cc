@@ -29,7 +29,7 @@ ChargingPlan plan_bc(const net::Deployment& deployment,
   for (const bundle::Bundle& b : bundles) {
     plan.stops.push_back(Stop{b.anchor, b.members});
   }
-  order_stops_by_tsp(plan.depot, plan.stops, config.tsp,
+  order_stops_by_tsp(plan.depot, plan.stops, tsp_options_with_metric(config),
                      metered ? meter : nullptr);
   return plan;
 }

@@ -49,6 +49,7 @@ Point2 substitute_position(const net::Deployment& deployment,
     for (int cycle = 0; cycle < 16; ++cycle) {
       bool feasible = true;
       for (const Point2& m : pts) {
+        // metric-exempt: radius-r range constraint (radio disk geometry).
         const double d = geometry::distance(p, m);
         if (d > r) {
           // Pull fractionally inside the disk so rounding in the scaling
@@ -62,10 +63,13 @@ Point2 substitute_position(const net::Deployment& deployment,
     return p;
   };
   const auto objective = [&](Point2 p) {
+    // metric-exempt: CSS's substitute slide is the paper's Euclidean
+    // chord descent; the surrounding tour is judged under the metric.
     return geometry::distance(prev, p) + geometry::distance(p, next);
   };
   const auto feasible = [&](Point2 p) {
     return std::all_of(pts.begin(), pts.end(), [&](const Point2& m) {
+      // metric-exempt: radius-r range constraint (radio disk geometry).
       return geometry::distance(p, m) <= r;
     });
   };
@@ -78,6 +82,7 @@ Point2 substitute_position(const net::Deployment& deployment,
   double step = std::max(r, 1e-6);
   for (int iter = 0; iter < 60; ++iter) {
     Point2 grad{0.0, 0.0};
+    // metric-exempt: gradient of the Euclidean chord objective above.
     const double dp = geometry::distance(current, prev);
     if (dp > 0.0) grad += (current - prev) / dp;
     const double dn = geometry::distance(current, next);
@@ -94,8 +99,13 @@ Point2 substitute_position(const net::Deployment& deployment,
 }
 
 // One Substitute sweep; returns true when any stop moved materially.
+// substitute_position proposes candidates by Euclidean descent (a
+// geometric heuristic over the disk intersection — metric-exempt), but
+// acceptance compares true movement distances, so under a graph metric a
+// slide is only kept when the *driven* tour gets shorter.
 bool substitute_pass(const net::Deployment& deployment,
-                     std::vector<Stop>& stops, double r, Point2 depot) {
+                     std::vector<Stop>& stops, double r, Point2 depot,
+                     const net::MetricSpace* metric) {
   bool changed = false;
   for (std::size_t i = 0; i < stops.size(); ++i) {
     const Point2 prev = i == 0 ? depot : stops[i - 1].position;
@@ -103,10 +113,11 @@ bool substitute_pass(const net::Deployment& deployment,
         i + 1 == stops.size() ? depot : stops[i + 1].position;
     const Point2 moved = substitute_position(deployment, stops[i].members, r,
                                              prev, next, stops[i].position);
-    const double before = geometry::distance(prev, stops[i].position) +
-                          geometry::distance(stops[i].position, next);
-    const double after =
-        geometry::distance(prev, moved) + geometry::distance(moved, next);
+    const double before =
+        net::metric_distance(metric, prev, stops[i].position) +
+        net::metric_distance(metric, stops[i].position, next);
+    const double after = net::metric_distance(metric, prev, moved) +
+                         net::metric_distance(metric, moved, next);
     if (after < before - 1e-9) {
       stops[i].position = moved;
       changed = true;
@@ -184,7 +195,8 @@ ChargingPlan plan_css(const net::Deployment& deployment,
   // budget simply stops refining. One unit is charged per stop refined.
   for (std::size_t pass = 0; pass < 8; ++pass) {
     if (metered && !meter->charge(plan.stops.size())) break;
-    const bool moved = substitute_pass(deployment, plan.stops, r, plan.depot);
+    const bool moved = substitute_pass(deployment, plan.stops, r, plan.depot,
+                                       config.metric.get());
     const bool merged = merge_adjacent_pass(deployment, plan.stops, r);
     if (!moved && !merged) break;
   }

@@ -1,0 +1,332 @@
+#include "tour/depots.h"
+
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "support/require.h"
+#include "tour/fleet.h"
+#include "tour/splice.h"
+
+namespace bc::tour {
+
+namespace {
+
+using geometry::Point2;
+using support::Expected;
+using support::Fault;
+using support::FaultKind;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Energy of the slice [first, last) travelled from depot `start` to depot
+// `end` — the battery-feasibility quantity, without materialising a trip.
+double slice_energy_j(const net::Deployment& deployment,
+                      const std::vector<Stop>& stops, std::size_t first,
+                      std::size_t last, Point2 start, Point2 end,
+                      const charging::ChargingModel& charging,
+                      const charging::MovementModel& movement,
+                      const net::MetricSpace* metric) {
+  double length = 0.0;
+  Point2 at = start;
+  for (std::size_t i = first; i < last; ++i) {
+    length += net::metric_distance(metric, at, stops[i].position);
+    at = stops[i].position;
+  }
+  length += net::metric_distance(metric, at, end);
+  double charge = 0.0;
+  for (std::size_t i = first; i < last; ++i) {
+    charge += charging.cost_of_stop_j(
+        isolated_stop_time_s(deployment, stops[i], charging));
+  }
+  return movement.move_energy_j(length) + charge;
+}
+
+}  // namespace
+
+double depot_trip_length_m(const DepotTrip& trip,
+                           std::span<const Point2> depots,
+                           const net::MetricSpace* metric) {
+  support::require(trip.start_depot < depots.size() &&
+                       trip.end_depot < depots.size(),
+                   "trip depot index out of range");
+  double total = 0.0;
+  Point2 at = depots[trip.start_depot];
+  for (const Stop& stop : trip.stops) {
+    total += net::metric_distance(metric, at, stop.position);
+    at = stop.position;
+  }
+  total += net::metric_distance(metric, at, depots[trip.end_depot]);
+  return total;
+}
+
+double depot_trip_energy_j(const net::Deployment& deployment,
+                           const DepotTrip& trip,
+                           std::span<const Point2> depots,
+                           const charging::ChargingModel& charging,
+                           const charging::MovementModel& movement,
+                           const net::MetricSpace* metric) {
+  double charge = 0.0;
+  for (const Stop& stop : trip.stops) {
+    charge += charging.cost_of_stop_j(
+        isolated_stop_time_s(deployment, stop, charging));
+  }
+  return movement.move_energy_j(depot_trip_length_m(trip, depots, metric)) +
+         charge;
+}
+
+double depot_route_time_s(const net::Deployment& deployment,
+                          const DepotRoute& route,
+                          std::span<const Point2> depots,
+                          const charging::ChargingModel& charging,
+                          const charging::MovementModel& movement,
+                          const net::MetricSpace* metric) {
+  double total = 0.0;
+  for (const DepotTrip& trip : route.trips) {
+    total += movement.move_time_s(depot_trip_length_m(trip, depots, metric));
+    for (const Stop& stop : trip.stops) {
+      total += isolated_stop_time_s(deployment, stop, charging);
+    }
+  }
+  return total;
+}
+
+Expected<DepotFleetPlan> split_among_depot_fleet(
+    const net::Deployment& deployment, const ChargingPlan& plan,
+    const charging::ChargingModel& charging,
+    const charging::MovementModel& movement,
+    const DepotFleetOptions& options) {
+  support::require(!options.depots.empty(),
+                   "depot fleet needs at least one depot");
+  support::require(options.num_chargers >= 1,
+                   "depot fleet needs at least one charger");
+  support::require(options.battery_capacity_j >= 0.0,
+                   "battery capacity must be non-negative (0 = unlimited)");
+  const std::span<const Point2> depots(options.depots);
+  const net::MetricSpace* metric = options.metric;
+  const double capacity = options.battery_capacity_j;
+
+  // Phase 1: cut the stop sequence into per-charger routes with the SAME
+  // core as split_among_chargers, judging each candidate route under its
+  // best depot (strict `<` over ascending indices: lowest depot wins
+  // ties). With one depot this is route_time_s verbatim, so the
+  // single-depot reduction is bit-for-bit.
+  const RouteTimeFn best_time = [&](const ChargingPlan& route) {
+    ChargingPlan candidate = route;
+    double best = kInf;
+    for (std::size_t d = 0; d < depots.size(); ++d) {
+      candidate.depot = depots[d];
+      const double t =
+          route_time_s(deployment, candidate, charging, movement, metric);
+      if (t < best) best = t;
+    }
+    return best;
+  };
+  const FleetPlan base =
+      split_routes_minimizing_makespan(plan, options.num_chargers, best_time);
+
+  // Battery precheck: every stop must fit an out-and-back trip from its
+  // best depot, else no split can serve it — fault, never strand.
+  if (capacity > 0.0) {
+    for (std::size_t i = 0; i < plan.stops.size(); ++i) {
+      double best = kInf;
+      for (std::size_t d = 0; d < depots.size(); ++d) {
+        const double e =
+            slice_energy_j(deployment, plan.stops, i, i + 1, depots[d],
+                           depots[d], charging, movement, metric);
+        if (e < best) best = e;
+      }
+      if (best > capacity) {
+        return Fault{FaultKind::kBatteryShortfall,
+                     "stop " + std::to_string(i) +
+                         " exceeds the battery capacity out-and-back from "
+                         "every depot; no trip split can serve it",
+                     i};
+      }
+    }
+  }
+
+  DepotFleetPlan fleet;
+  fleet.routes.reserve(base.routes.size());
+  std::size_t stop_offset = 0;  // global index of each route's first stop
+  for (const ChargingPlan& route : base.routes) {
+    DepotRoute out;
+    // Phase 2: anchor the route at its best ("home") depot.
+    {
+      ChargingPlan candidate = route;
+      double best = kInf;
+      for (std::size_t d = 0; d < depots.size(); ++d) {
+        candidate.depot = depots[d];
+        const double t =
+            route_time_s(deployment, candidate, charging, movement, metric);
+        if (t < best) {
+          best = t;
+          out.home_depot = d;
+        }
+      }
+    }
+    const std::vector<Stop>& stops = route.stops;
+    const std::size_t m = stops.size();
+    const Point2 home = depots[out.home_depot];
+
+    if (m == 0) {
+      fleet.routes.push_back(std::move(out));
+      continue;
+    }
+    if (capacity <= 0.0) {
+      out.trips.push_back(DepotTrip{out.home_depot, out.home_depot, stops});
+      fleet.routes.push_back(std::move(out));
+      stop_offset += m;
+      continue;
+    }
+
+    // Phase 3: cut the route into battery-feasible trips. Greedy in tour
+    // order: grow the current trip while SOME end depot keeps it within
+    // the battery, then close it at the feasible depot whose insertion
+    // between the boundary stops detours least (cheapest insertion,
+    // lowest index on ties). The charger's battery resets at each depot.
+    const auto slice_from = [&](std::size_t first, std::size_t last,
+                                Point2 start, Point2 end) {
+      return slice_energy_j(deployment, stops, first, last, start, end,
+                            charging, movement, metric);
+    };
+    const auto feasible_with_some_end = [&](std::size_t first,
+                                            std::size_t last, Point2 start) {
+      for (std::size_t d = 0; d < depots.size(); ++d) {
+        if (slice_from(first, last, start, depots[d]) <= capacity) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    std::size_t cur = out.home_depot;
+    std::size_t first = 0;
+    while (first < m) {
+      if (!feasible_with_some_end(first, first + 1, depots[cur])) {
+        // The chained start depot is too far for even one stop: deadhead
+        // to the stop's best out-and-back depot (feasible by the
+        // precheck) and retry. The relocation leg itself must fit the
+        // battery, else the depot network is too sparse for this charger.
+        std::size_t best_d = 0;
+        double best_e = kInf;
+        for (std::size_t d = 0; d < depots.size(); ++d) {
+          const double e =
+              slice_from(first, first + 1, depots[d], depots[d]);
+          if (e < best_e) {
+            best_e = e;
+            best_d = d;
+          }
+        }
+        const DepotTrip dead{cur, best_d, {}};
+        if (depot_trip_energy_j(deployment, dead, depots, charging, movement,
+                                metric) > capacity) {
+          return Fault{
+              FaultKind::kBatteryShortfall,
+              "relocating from depot " + std::to_string(cur) + " to depot " +
+                  std::to_string(best_d) + " to reach stop " +
+                  std::to_string(stop_offset + first) +
+                  " exceeds the battery capacity",
+              stop_offset + first};
+        }
+        out.trips.push_back(dead);
+        cur = best_d;
+        continue;
+      }
+      std::size_t last = first + 1;
+      while (last < m &&
+             feasible_with_some_end(first, last + 1, depots[cur])) {
+        ++last;
+      }
+      // Close the trip: the depot visit is inserted between stops[last-1]
+      // and what follows (the next stop, or home when the route ends) via
+      // the cheapest-insertion primitive, restricted to feasible depots.
+      const Point2 boundary_prev = stops[last - 1].position;
+      const Point2 boundary_next = last < m ? stops[last].position : home;
+      std::size_t end = 0;
+      double best_detour = kInf;
+      bool found = false;
+      for (std::size_t d = 0; d < depots.size(); ++d) {
+        if (slice_from(first, last, depots[cur], depots[d]) > capacity) {
+          continue;
+        }
+        const double detour = insertion_detour(metric, boundary_prev,
+                                               boundary_next, depots[d]);
+        if (detour < best_detour) {
+          best_detour = detour;
+          end = d;
+          found = true;
+        }
+      }
+      support::ensure(found, "trip growth stopped at a feasible slice");
+      DepotTrip trip;
+      trip.start_depot = cur;
+      trip.end_depot = end;
+      trip.stops.assign(stops.begin() + static_cast<std::ptrdiff_t>(first),
+                        stops.begin() + static_cast<std::ptrdiff_t>(last));
+      out.trips.push_back(std::move(trip));
+      cur = end;
+      first = last;
+    }
+    // The route must end back home; deadhead if the last trip closed at a
+    // different depot (battery resets there first).
+    if (cur != out.home_depot) {
+      const DepotTrip dead{cur, out.home_depot, {}};
+      if (depot_trip_energy_j(deployment, dead, depots, charging, movement,
+                              metric) > capacity) {
+        return Fault{FaultKind::kBatteryShortfall,
+                     "returning home from depot " + std::to_string(cur) +
+                         " to depot " + std::to_string(out.home_depot) +
+                         " exceeds the battery capacity",
+                     support::kNoStop};
+      }
+      out.trips.push_back(dead);
+    }
+    fleet.routes.push_back(std::move(out));
+    stop_offset += m;
+  }
+  return fleet;
+}
+
+DepotFleetMetrics evaluate_depot_fleet(
+    const net::Deployment& deployment, const DepotFleetPlan& fleet,
+    const DepotFleetOptions& options, const charging::ChargingModel& charging,
+    const charging::MovementModel& movement) {
+  const std::span<const Point2> depots(options.depots);
+  const net::MetricSpace* metric = options.metric;
+  DepotFleetMetrics m;
+  for (const DepotRoute& route : fleet.routes) {
+    bool any_stops = false;
+    double route_time = 0.0;
+    for (const DepotTrip& trip : route.trips) {
+      const double length = depot_trip_length_m(trip, depots, metric);
+      const double energy =
+          depot_trip_energy_j(deployment, trip, depots, charging, movement,
+                              metric);
+      if (trip.stops.empty()) {
+        ++m.num_deadhead_trips;
+      } else {
+        ++m.num_trips;
+        any_stops = true;
+      }
+      // Accumulation order matches route_time_s (move time, then stop
+      // times folded in one at a time) so the single-depot reduction is
+      // bit-identical through the metrics too.
+      route_time += movement.move_time_s(length);
+      for (const Stop& stop : trip.stops) {
+        route_time += isolated_stop_time_s(deployment, stop, charging);
+      }
+      m.total_tour_length_m += length;
+      m.total_energy_j += energy;
+      m.max_trip_energy_j = std::max(m.max_trip_energy_j, energy);
+    }
+    if (any_stops) {
+      ++m.num_routes;
+      m.route_times_s.push_back(route_time);
+      m.makespan_s = std::max(m.makespan_s, route_time);
+    }
+  }
+  return m;
+}
+
+}  // namespace bc::tour

@@ -1,0 +1,143 @@
+// Multi-depot, battery-constrained fleet planning.
+//
+// fleet.h splits a tour among k chargers that all live at one depot.
+// Real deployments (and the multi-charger literature the paper cites in
+// [26, 27]) often have several charging depots — maintenance sheds at the
+// field's corners — and a mobile charger whose battery cannot cover a
+// whole route in one go. This module generalises the fleet splitter along
+// both axes while reusing the exact machinery that already exists:
+//
+//  * The stop sequence is cut into per-charger routes by the SAME shared
+//    core as split_among_chargers (split_routes_minimizing_makespan),
+//    except a route's time is taken under its best depot. With a single
+//    depot the candidate set has one element, so the splitter reduces to
+//    split_among_chargers bit-for-bit — a property the differential tests
+//    pin.
+//  * Each route is anchored at its best ("home") depot, then cut into
+//    battery-feasible trips. Depot visits are inserted into the route at
+//    trip boundaries via the cheapest-insertion primitive
+//    (tour::insertion_detour): among the depots that keep the closing
+//    trip within the battery, the one with the smallest detour between
+//    the boundary stops wins.
+//  * All tie-breaks are deterministic: depot candidates are scanned in
+//    ascending index with strict `<`, so the lowest-index depot wins ties
+//    and results are reproducible across runs and thread counts.
+//
+// The charger's battery resets at every depot visit (swap or recharge), so
+// a trip — the segment between consecutive depot visits — is the unit of
+// battery feasibility, mirroring multi_trip.h. Unlike multi_trip, a trip
+// may start and end at different depots; consecutive trips of a route
+// chain (trip i ends where trip i+1 starts) and the route ends back at
+// its home depot.
+//
+// Infeasibility is a structured fault, never a silent drop: when some
+// stop cannot be served within the battery from any depot pair, the
+// splitter returns FaultKind::kBatteryShortfall naming the stop — a
+// battery-infeasible tour must split, never strand.
+
+#ifndef BUNDLECHARGE_TOUR_DEPOTS_H_
+#define BUNDLECHARGE_TOUR_DEPOTS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "charging/model.h"
+#include "charging/movement.h"
+#include "net/metric.h"
+#include "support/expected.h"
+#include "tour/plan.h"
+
+namespace bc::tour {
+
+struct DepotFleetOptions {
+  // Candidate charging depots; must be non-empty. Index order matters
+  // only for tie-breaking (lowest index wins ties).
+  std::vector<geometry::Point2> depots;
+  std::size_t num_chargers = 1;
+  // Charger battery capacity in joules; 0 disables per-trip splitting
+  // (each route is one depot-closed trip at its home depot).
+  double battery_capacity_j = 0.0;
+  // Movement metric for every leg (null = Euclidean).
+  const net::MetricSpace* metric = nullptr;
+};
+
+// One battery-feasible leg of a route: start depot -> stops -> end depot.
+// A deadhead trip (empty stops) relocates the charger between depots.
+struct DepotTrip {
+  std::size_t start_depot = 0;  // index into DepotFleetOptions::depots
+  std::size_t end_depot = 0;
+  std::vector<Stop> stops;
+};
+
+// One charger's mission: trips chain (trips[i].end_depot ==
+// trips[i+1].start_depot), starting and ending at the home depot.
+struct DepotRoute {
+  std::size_t home_depot = 0;
+  std::vector<DepotTrip> trips;
+};
+
+struct DepotFleetPlan {
+  // One route per charger (possibly with zero trips when idle);
+  // concatenating the routes' stops reproduces the input plan's stops.
+  std::vector<DepotRoute> routes;
+};
+
+struct DepotFleetMetrics {
+  std::size_t num_routes = 0;  // routes with at least one stop
+  std::size_t num_trips = 0;   // trips with at least one stop
+  std::size_t num_deadhead_trips = 0;
+  double makespan_s = 0.0;
+  double total_energy_j = 0.0;
+  double total_tour_length_m = 0.0;
+  double max_trip_energy_j = 0.0;  // <= battery capacity when constrained
+  std::vector<double> route_times_s;  // per non-idle route
+};
+
+// Movement length of one trip under `metric`: start depot -> stops in
+// order -> end depot.
+double depot_trip_length_m(const DepotTrip& trip,
+                           std::span<const geometry::Point2> depots,
+                           const net::MetricSpace* metric = nullptr);
+
+// Battery drain of one trip: movement energy over its length + isolated
+// charging cost at its stops. The quantity the splitter bounds by the
+// battery capacity.
+double depot_trip_energy_j(const net::Deployment& deployment,
+                           const DepotTrip& trip,
+                           std::span<const geometry::Point2> depots,
+                           const charging::ChargingModel& charging,
+                           const charging::MovementModel& movement,
+                           const net::MetricSpace* metric = nullptr);
+
+// Mission time of one route: driving over all trips + isolated stop
+// times. Battery swaps at depots are assumed instantaneous.
+double depot_route_time_s(const net::Deployment& deployment,
+                          const DepotRoute& route,
+                          std::span<const geometry::Point2> depots,
+                          const charging::ChargingModel& charging,
+                          const charging::MovementModel& movement,
+                          const net::MetricSpace* metric = nullptr);
+
+// Splits `plan` among options.num_chargers chargers over
+// options.depots, minimising the fleet makespan, then cuts each route
+// into battery-feasible trips when options.battery_capacity_j > 0.
+// plan.depot is ignored — depots come from the options. Faults with
+// kBatteryShortfall (naming the stop) when a stop cannot be served
+// within the battery from any depot, or when a required depot-to-depot
+// relocation exceeds the battery. Preconditions: depots non-empty,
+// num_chargers >= 1, battery_capacity_j >= 0.
+support::Expected<DepotFleetPlan> split_among_depot_fleet(
+    const net::Deployment& deployment, const ChargingPlan& plan,
+    const charging::ChargingModel& charging,
+    const charging::MovementModel& movement, const DepotFleetOptions& options);
+
+DepotFleetMetrics evaluate_depot_fleet(const net::Deployment& deployment,
+                                       const DepotFleetPlan& fleet,
+                                       const DepotFleetOptions& options,
+                                       const charging::ChargingModel& charging,
+                                       const charging::MovementModel& movement);
+
+}  // namespace bc::tour
+
+#endif  // BUNDLECHARGE_TOUR_DEPOTS_H_

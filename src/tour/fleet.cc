@@ -22,24 +22,20 @@ ChargingPlan route_slice(const ChargingPlan& plan, std::size_t first,
 
 // Greedy consecutive split: true iff the stop sequence fits into at most
 // `k` routes of mission time <= `deadline`.
-bool splits_within(const net::Deployment& deployment,
-                   const ChargingPlan& plan,
-                   const charging::ChargingModel& charging,
-                   const charging::MovementModel& movement, double deadline,
-                   std::size_t k, std::vector<std::size_t>* cuts) {
+bool splits_within(const ChargingPlan& plan, const RouteTimeFn& time_of,
+                   double deadline, std::size_t k,
+                   std::vector<std::size_t>* cuts) {
   if (cuts != nullptr) cuts->clear();
   std::size_t routes = 0;
   std::size_t first = 0;
   while (first < plan.stops.size()) {
     if (++routes > k) return false;
     std::size_t last = first + 1;
-    if (route_time_s(deployment, route_slice(plan, first, last), charging,
-                     movement) > deadline) {
+    if (time_of(route_slice(plan, first, last)) > deadline) {
       return false;  // a single stop alone misses the deadline
     }
     while (last < plan.stops.size() &&
-           route_time_s(deployment, route_slice(plan, first, last + 1),
-                        charging, movement) <= deadline) {
+           time_of(route_slice(plan, first, last + 1)) <= deadline) {
       ++last;
     }
     if (cuts != nullptr) cuts->push_back(last);
@@ -53,19 +49,18 @@ bool splits_within(const net::Deployment& deployment,
 double route_time_s(const net::Deployment& deployment,
                     const ChargingPlan& route,
                     const charging::ChargingModel& charging,
-                    const charging::MovementModel& movement) {
-  double total = movement.move_time_s(plan_tour_length(route));
+                    const charging::MovementModel& movement,
+                    const net::MetricSpace* metric) {
+  double total = movement.move_time_s(plan_tour_length(route, metric));
   for (const Stop& stop : route.stops) {
     total += isolated_stop_time_s(deployment, stop, charging);
   }
   return total;
 }
 
-FleetPlan split_among_chargers(const net::Deployment& deployment,
-                               const ChargingPlan& plan,
-                               const charging::ChargingModel& charging,
-                               const charging::MovementModel& movement,
-                               std::size_t num_chargers) {
+FleetPlan split_routes_minimizing_makespan(const ChargingPlan& plan,
+                                           std::size_t num_chargers,
+                                           const RouteTimeFn& time_of) {
   support::require(num_chargers >= 1, "fleet needs at least one charger");
   FleetPlan fleet;
   if (plan.stops.empty()) {
@@ -79,19 +74,16 @@ FleetPlan split_among_chargers(const net::Deployment& deployment,
   // and the whole-tour mission.
   double lo = 0.0;
   for (std::size_t i = 0; i < plan.stops.size(); ++i) {
-    lo = std::max(lo, route_time_s(deployment, route_slice(plan, i, i + 1),
-                                   charging, movement));
+    lo = std::max(lo, time_of(route_slice(plan, i, i + 1)));
   }
-  double hi = route_time_s(deployment, plan, charging, movement);
+  double hi = time_of(plan);
   std::vector<std::size_t> best_cuts;
-  support::ensure(splits_within(deployment, plan, charging, movement, hi,
-                                num_chargers, &best_cuts),
+  support::ensure(splits_within(plan, time_of, hi, num_chargers, &best_cuts),
                   "the whole tour must fit one charger at its own time");
   for (int iter = 0; iter < 48 && hi - lo > 1e-6 * hi; ++iter) {
     const double mid = (lo + hi) / 2.0;
     std::vector<std::size_t> cuts;
-    if (splits_within(deployment, plan, charging, movement, mid,
-                      num_chargers, &cuts)) {
+    if (splits_within(plan, time_of, mid, num_chargers, &cuts)) {
       hi = mid;
       best_cuts = std::move(cuts);
     } else {
@@ -118,9 +110,7 @@ FleetPlan split_among_chargers(const net::Deployment& deployment,
       ChargingPlan& left = fleet.routes[r];
       ChargingPlan& right = fleet.routes[r + 1];
       if (left.stops.empty() && right.stops.empty()) continue;
-      const double before = std::max(
-          route_time_s(deployment, left, charging, movement),
-          route_time_s(deployment, right, charging, movement));
+      const double before = std::max(time_of(left), time_of(right));
       const auto try_shift = [&](ChargingPlan& from, ChargingPlan& to,
                                  bool from_back) {
         if (from.stops.empty()) return false;
@@ -133,9 +123,7 @@ FleetPlan split_among_chargers(const net::Deployment& deployment,
           new_to.stops.push_back(new_from.stops.front());
           new_from.stops.erase(new_from.stops.begin());
         }
-        const double after = std::max(
-            route_time_s(deployment, new_from, charging, movement),
-            route_time_s(deployment, new_to, charging, movement));
+        const double after = std::max(time_of(new_from), time_of(new_to));
         if (after < before - 1e-9) {
           from = std::move(new_from);
           to = std::move(new_to);
@@ -152,19 +140,32 @@ FleetPlan split_among_chargers(const net::Deployment& deployment,
   return fleet;
 }
 
+FleetPlan split_among_chargers(const net::Deployment& deployment,
+                               const ChargingPlan& plan,
+                               const charging::ChargingModel& charging,
+                               const charging::MovementModel& movement,
+                               std::size_t num_chargers,
+                               const net::MetricSpace* metric) {
+  return split_routes_minimizing_makespan(
+      plan, num_chargers, [&](const ChargingPlan& route) {
+        return route_time_s(deployment, route, charging, movement, metric);
+      });
+}
+
 FleetMetrics evaluate_fleet(const net::Deployment& deployment,
                             const FleetPlan& fleet,
                             const charging::ChargingModel& charging,
-                            const charging::MovementModel& movement) {
+                            const charging::MovementModel& movement,
+                            const net::MetricSpace* metric) {
   FleetMetrics m;
   for (const ChargingPlan& route : fleet.routes) {
     if (route.stops.empty()) continue;
     ++m.num_routes;
     const double time =
-        route_time_s(deployment, route, charging, movement);
+        route_time_s(deployment, route, charging, movement, metric);
     m.route_times_s.push_back(time);
     m.makespan_s = std::max(m.makespan_s, time);
-    const double length = plan_tour_length(route);
+    const double length = plan_tour_length(route, metric);
     m.total_tour_length_m += length;
     double charge_time = 0.0;
     for (const Stop& stop : route.stops) {
@@ -180,12 +181,15 @@ std::size_t minimum_fleet_size(const net::Deployment& deployment,
                                const ChargingPlan& plan,
                                const charging::ChargingModel& charging,
                                const charging::MovementModel& movement,
-                               double deadline_s) {
+                               double deadline_s,
+                               const net::MetricSpace* metric) {
   support::require(deadline_s > 0.0, "deadline must be positive");
+  const RouteTimeFn time_of = [&](const ChargingPlan& route) {
+    return route_time_s(deployment, route, charging, movement, metric);
+  };
   for (std::size_t i = 0; i < plan.stops.size(); ++i) {
     support::require(
-        route_time_s(deployment, route_slice(plan, i, i + 1), charging,
-                     movement) <= deadline_s,
+        time_of(route_slice(plan, i, i + 1)) <= deadline_s,
         "a single stop alone misses the deadline; no fleet size can help");
   }
   if (plan.stops.empty()) return 0;
@@ -193,8 +197,7 @@ std::size_t minimum_fleet_size(const net::Deployment& deployment,
   // with unlimited k is the answer.
   std::vector<std::size_t> cuts;
   const bool ok =
-      splits_within(deployment, plan, charging, movement, deadline_s,
-                    plan.stops.size(), &cuts);
+      splits_within(plan, time_of, deadline_s, plan.stops.size(), &cuts);
   support::ensure(ok, "per-stop feasibility implies a feasible split");
   return cuts.size();
 }

@@ -14,10 +14,12 @@
 #define BUNDLECHARGE_TOUR_FLEET_H_
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "charging/model.h"
 #include "charging/movement.h"
+#include "net/metric.h"
 #include "tour/plan.h"
 
 namespace bc::tour {
@@ -37,12 +39,31 @@ struct FleetMetrics {
   std::vector<double> route_times_s;  // per route (non-empty only)
 };
 
-// Mission time of one route: driving (depot legs included) + isolated
-// stop times.
+// Mission time of one route: driving (depot legs included, under `metric`;
+// null = Euclidean) + isolated stop times.
 double route_time_s(const net::Deployment& deployment,
                     const ChargingPlan& route,
                     const charging::ChargingModel& charging,
-                    const charging::MovementModel& movement);
+                    const charging::MovementModel& movement,
+                    const net::MetricSpace* metric = nullptr);
+
+// Mission time of a candidate route. The shared splitter core below is
+// parameterised on this, so the single-depot splitter (time under one
+// fixed depot) and the multi-depot splitter (time under the best depot)
+// share one binary-search + boundary-shift implementation.
+using RouteTimeFn = std::function<double(const ChargingPlan&)>;
+
+// Shared splitter core: cuts `plan`'s stop sequence into `num_chargers`
+// consecutive routes minimising max time_of(route), by binary search over
+// the makespan with a greedy feasibility check, then a boundary-shift
+// improvement pass. Routes keep plan.depot / plan.algorithm; callers that
+// re-anchor routes (the multi-depot splitter) do so afterwards.
+// split_among_chargers is exactly this core with
+// time_of = route_time_s(...), which is what makes the multi-depot
+// splitter's single-depot reduction bit-for-bit.
+FleetPlan split_routes_minimizing_makespan(const ChargingPlan& plan,
+                                           std::size_t num_chargers,
+                                           const RouteTimeFn& time_of);
 
 // Splits `plan` among `num_chargers` chargers, minimising the makespan.
 // Preconditions: num_chargers >= 1.
@@ -50,12 +71,14 @@ FleetPlan split_among_chargers(const net::Deployment& deployment,
                                const ChargingPlan& plan,
                                const charging::ChargingModel& charging,
                                const charging::MovementModel& movement,
-                               std::size_t num_chargers);
+                               std::size_t num_chargers,
+                               const net::MetricSpace* metric = nullptr);
 
 FleetMetrics evaluate_fleet(const net::Deployment& deployment,
                             const FleetPlan& fleet,
                             const charging::ChargingModel& charging,
-                            const charging::MovementModel& movement);
+                            const charging::MovementModel& movement,
+                            const net::MetricSpace* metric = nullptr);
 
 // Smallest fleet whose makespan meets `deadline_s` (the [26, 27] sizing
 // question). Returns nullopt-like 0 never: there is always some k that
@@ -65,7 +88,8 @@ std::size_t minimum_fleet_size(const net::Deployment& deployment,
                                const ChargingPlan& plan,
                                const charging::ChargingModel& charging,
                                const charging::MovementModel& movement,
-                               double deadline_s);
+                               double deadline_s,
+                               const net::MetricSpace* metric = nullptr);
 
 }  // namespace bc::tour
 

@@ -24,21 +24,23 @@ ChargingPlan make_trip(const ChargingPlan& plan, std::size_t first,
 double trip_energy_j(const net::Deployment& deployment,
                      const ChargingPlan& trip,
                      const charging::ChargingModel& charging,
-                     const charging::MovementModel& movement) {
+                     const charging::MovementModel& movement,
+                     const net::MetricSpace* metric) {
   double charge = 0.0;
   for (const Stop& stop : trip.stops) {
     charge +=
         charging.cost_of_stop_j(isolated_stop_time_s(deployment, stop,
                                                      charging));
   }
-  return movement.move_energy_j(plan_tour_length(trip)) + charge;
+  return movement.move_energy_j(plan_tour_length(trip, metric)) + charge;
 }
 
 MultiTripPlan split_into_trips(const net::Deployment& deployment,
                                const ChargingPlan& plan,
                                const charging::ChargingModel& charging,
                                const charging::MovementModel& movement,
-                               double battery_capacity_j) {
+                               double battery_capacity_j,
+                               const net::MetricSpace* metric) {
   support::require(battery_capacity_j > 0.0,
                    "battery capacity must be positive");
   // Single-stop feasibility: out-and-back plus that stop's charge cost.
@@ -47,7 +49,7 @@ MultiTripPlan split_into_trips(const net::Deployment& deployment,
     lone.depot = plan.depot;
     lone.stops = {stop};
     support::require(
-        trip_energy_j(deployment, lone, charging, movement) <=
+        trip_energy_j(deployment, lone, charging, movement, metric) <=
             battery_capacity_j,
         "a single stop exceeds the battery capacity; no split can help");
   }
@@ -59,7 +61,7 @@ MultiTripPlan split_into_trips(const net::Deployment& deployment,
     std::size_t last = first + 1;
     while (last < plan.stops.size()) {
       const ChargingPlan extended = make_trip(plan, first, last + 1);
-      if (trip_energy_j(deployment, extended, charging, movement) >
+      if (trip_energy_j(deployment, extended, charging, movement, metric) >
           battery_capacity_j) {
         break;
       }
@@ -79,8 +81,8 @@ MultiTripPlan split_into_trips(const net::Deployment& deployment,
       ChargingPlan& left = result.trips[t];
       ChargingPlan& right = result.trips[t + 1];
       const double before =
-          trip_energy_j(deployment, left, charging, movement) +
-          trip_energy_j(deployment, right, charging, movement);
+          trip_energy_j(deployment, left, charging, movement, metric) +
+          trip_energy_j(deployment, right, charging, movement, metric);
 
       // Try moving the head of `right` onto the tail of `left`.
       if (!right.stops.empty()) {
@@ -89,9 +91,9 @@ MultiTripPlan split_into_trips(const net::Deployment& deployment,
         ChargingPlan new_right = right;
         new_right.stops.erase(new_right.stops.begin());
         const double e_left =
-            trip_energy_j(deployment, new_left, charging, movement);
+            trip_energy_j(deployment, new_left, charging, movement, metric);
         const double e_right =
-            trip_energy_j(deployment, new_right, charging, movement);
+            trip_energy_j(deployment, new_right, charging, movement, metric);
         if (e_left <= battery_capacity_j && e_left + e_right < before - 1e-9) {
           left = std::move(new_left);
           right = std::move(new_right);
@@ -107,9 +109,9 @@ MultiTripPlan split_into_trips(const net::Deployment& deployment,
         ChargingPlan new_right = right;
         new_right.stops.insert(new_right.stops.begin(), std::move(moved));
         const double e_left =
-            trip_energy_j(deployment, new_left, charging, movement);
+            trip_energy_j(deployment, new_left, charging, movement, metric);
         const double e_right =
-            trip_energy_j(deployment, new_right, charging, movement);
+            trip_energy_j(deployment, new_right, charging, movement, metric);
         if (e_right <= battery_capacity_j &&
             e_left + e_right < before - 1e-9) {
           left = std::move(new_left);
@@ -129,11 +131,12 @@ MultiTripPlan split_into_trips(const net::Deployment& deployment,
 MultiTripMetrics evaluate_trips(const net::Deployment& deployment,
                                 const MultiTripPlan& trips,
                                 const charging::ChargingModel& charging,
-                                const charging::MovementModel& movement) {
+                                const charging::MovementModel& movement,
+                                const net::MetricSpace* metric) {
   MultiTripMetrics m;
   m.num_trips = trips.trips.size();
   for (const ChargingPlan& trip : trips.trips) {
-    const double length = plan_tour_length(trip);
+    const double length = plan_tour_length(trip, metric);
     double charge_time = 0.0;
     for (const Stop& stop : trip.stops) {
       charge_time += isolated_stop_time_s(deployment, stop, charging);

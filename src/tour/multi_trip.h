@@ -16,6 +16,7 @@
 
 #include "charging/model.h"
 #include "charging/movement.h"
+#include "net/metric.h"
 #include "tour/plan.h"
 
 namespace bc::tour {
@@ -46,20 +47,23 @@ MultiTripPlan split_into_trips(const net::Deployment& deployment,
                                const ChargingPlan& plan,
                                const charging::ChargingModel& charging,
                                const charging::MovementModel& movement,
-                               double battery_capacity_j);
+                               double battery_capacity_j,
+                               const net::MetricSpace* metric = nullptr);
 
 // Energy/latency accounting of a multi-trip plan (isolated stop times).
 MultiTripMetrics evaluate_trips(const net::Deployment& deployment,
                                 const MultiTripPlan& trips,
                                 const charging::ChargingModel& charging,
-                                const charging::MovementModel& movement);
+                                const charging::MovementModel& movement,
+                                const net::MetricSpace* metric = nullptr);
 
 // Energy of one trip (depot legs + movement + charging, isolated times);
 // the feasibility quantity the splitter bounds by the battery capacity.
 double trip_energy_j(const net::Deployment& deployment,
                      const ChargingPlan& trip,
                      const charging::ChargingModel& charging,
-                     const charging::MovementModel& movement);
+                     const charging::MovementModel& movement,
+                     const net::MetricSpace* metric = nullptr);
 
 }  // namespace bc::tour
 

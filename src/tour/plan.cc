@@ -6,20 +6,24 @@
 
 namespace bc::tour {
 
-double plan_tour_length(const ChargingPlan& plan) {
+double plan_tour_length(const ChargingPlan& plan,
+                        const net::MetricSpace* metric) {
   if (plan.stops.empty()) return 0.0;
-  double total = geometry::distance(plan.depot, plan.stops.front().position);
+  double total =
+      net::metric_distance(metric, plan.depot, plan.stops.front().position);
   for (std::size_t i = 0; i + 1 < plan.stops.size(); ++i) {
-    total += geometry::distance(plan.stops[i].position,
-                                plan.stops[i + 1].position);
+    total += net::metric_distance(metric, plan.stops[i].position,
+                                  plan.stops[i + 1].position);
   }
-  total += geometry::distance(plan.stops.back().position, plan.depot);
+  total +=
+      net::metric_distance(metric, plan.stops.back().position, plan.depot);
   return total;
 }
 
 double stop_max_distance(const net::Deployment& deployment, const Stop& stop) {
   double worst = 0.0;
   for (const net::SensorId id : stop.members) {
+    // metric-exempt: stop-to-sensor charging range is radio physics.
     worst = std::max(
         worst, geometry::distance(stop.position,
                                   deployment.sensor(id).position));
@@ -33,6 +37,7 @@ double isolated_stop_time_s(const net::Deployment& deployment,
   double time = 0.0;
   for (const net::SensorId id : stop.members) {
     const net::Sensor& s = deployment.sensor(id);
+    // metric-exempt: stop-to-sensor charging range is radio physics.
     const double d = geometry::distance(stop.position, s.position);
     time = std::max(time, model.charge_time_s(d, s.demand_j));
   }

@@ -15,6 +15,7 @@
 #include "charging/model.h"
 #include "geometry/point.h"
 #include "net/deployment.h"
+#include "net/metric.h"
 #include "net/sensor.h"
 
 namespace bc::tour {
@@ -31,8 +32,11 @@ struct ChargingPlan {
 };
 
 // Closed tour length: depot -> stops... -> depot. A plan with no stops has
-// length 0.
-double plan_tour_length(const ChargingPlan& plan);
+// length 0. `metric` measures the *movement* legs (null = Euclidean);
+// stop-to-sensor charging distances below are radio physics and stay
+// Euclidean regardless of the movement metric.
+double plan_tour_length(const ChargingPlan& plan,
+                        const net::MetricSpace* metric = nullptr);
 
 // Farthest member distance at a stop (0 for an empty member list).
 double stop_max_distance(const net::Deployment& deployment, const Stop& stop);

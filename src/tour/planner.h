@@ -22,6 +22,7 @@
 #ifndef BUNDLECHARGE_TOUR_PLANNER_H_
 #define BUNDLECHARGE_TOUR_PLANNER_H_
 
+#include <memory>
 #include <string_view>
 
 #include "bundle/generator.h"
@@ -78,6 +79,12 @@ struct PlannerConfig {
   // near-linear in the stop count.
   bundle::ShardOptions shard{};
   std::size_t shard_tsp_cutover = 1000;
+  // Movement metric shared by every stage (tour ordering, refinement
+  // acceptance, travel legs). Null = Euclidean free space, the bit-exact
+  // default. Owned here (shared_ptr: configs are copied across profiles
+  // and service threads); planners hand the raw pointer to the TSP stack
+  // via tsp.improve.metric — set *this* field, not that one.
+  std::shared_ptr<const net::MetricSpace> metric;
   // Deadline / node cap / cancellation shared across every solver stage
   // the planner touches (bundle generation, TSP ordering, refinement
   // passes). Every planner is *anytime* under a budget: a trip stops the
@@ -85,6 +92,18 @@ struct PlannerConfig {
   // is still a partition of the sensors, just less optimised.
   support::Budget budget{};
 };
+
+// Stamps config.metric into a copy of config.tsp for the solver stack
+// (tsp options carry the metric via improve.metric, see tsp/solver.h).
+// Every planner routes its TSP calls through this helper.
+inline tsp::SolverOptions tsp_options_with_metric(
+    const PlannerConfig& config) {
+  tsp::SolverOptions options = config.tsp;
+  if (config.metric != nullptr) {
+    options.improve.metric = config.metric.get();
+  }
+  return options;
+}
 
 // Plans a charging tour with the requested algorithm. The returned plan is
 // always a partition of the deployment's sensors over its stops — even

@@ -53,14 +53,20 @@ std::vector<Rung> build_ladder(const PlannerConfig& config,
 
 // Deterministic nearest-neighbour path from `start` over the stops,
 // ending wherever the chain ends (the executor adds the depot leg). Ties
-// break toward the lower stop index, so the order is reproducible.
-void order_stops_from(geometry::Point2 start, std::vector<Stop>& stops) {
+// break toward the lower stop index, so the order is reproducible. A
+// null metric compares squared Euclidean distances (same argmin, no
+// sqrt — the bit-exact pre-metric path).
+void order_stops_from(geometry::Point2 start, std::vector<Stop>& stops,
+                      const net::MetricSpace* metric) {
   geometry::Point2 at = start;
   for (std::size_t filled = 0; filled + 1 < stops.size(); ++filled) {
     std::size_t best = filled;
     double best_d = std::numeric_limits<double>::infinity();
     for (std::size_t j = filled; j < stops.size(); ++j) {
-      const double d = geometry::distance_squared(at, stops[j].position);
+      const double d =
+          metric == nullptr
+              ? geometry::distance_squared(at, stops[j].position)
+              : metric->distance(at, stops[j].position);
       if (d < best_d) {
         best_d = d;
         best = j;
@@ -195,7 +201,8 @@ Expected<ChargingPlan> replan_tour(const net::Deployment& deployment,
       }
       plan.stops.push_back(std::move(stop));
     }
-    order_stops_from(request.current_position, plan.stops);
+    order_stops_from(request.current_position, plan.stops,
+                     config.metric.get());
     plan.algorithm =
         "REPLAN(" + std::string(bundle::to_string(rung.kind)) + ")";
     flush(true, plan.algorithm);

@@ -21,7 +21,7 @@ ChargingPlan plan_sc(const net::Deployment& deployment,
   for (const net::Sensor& s : deployment.sensors()) {
     plan.stops.push_back(Stop{s.position, {s.id}});
   }
-  order_stops_by_tsp(plan.depot, plan.stops, config.tsp,
+  order_stops_by_tsp(plan.depot, plan.stops, tsp_options_with_metric(config),
                      metered ? meter : nullptr);
   return plan;
 }

@@ -33,10 +33,10 @@ ChargingPlan plan_bc_sharded(const net::Deployment& deployment,
     plan.stops.push_back(Stop{b.anchor, b.members});
   }
   if (plan.stops.size() <= config.shard_tsp_cutover) {
-    order_stops_by_tsp(plan.depot, plan.stops, config.tsp,
+    order_stops_by_tsp(plan.depot, plan.stops, tsp_options_with_metric(config),
                        metered ? meter : nullptr);
   } else {
-    order_stops_snake(plan.depot, plan.stops, config.tsp,
+    order_stops_snake(plan.depot, plan.stops, tsp_options_with_metric(config),
                       metered ? meter : nullptr);
   }
   return plan;

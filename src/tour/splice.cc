@@ -10,15 +10,12 @@
 
 namespace bc::tour {
 
-namespace {
-
-double edge_detour(geometry::Point2 prev, geometry::Point2 next,
-                   geometry::Point2 candidate) {
-  return geometry::distance(prev, candidate) +
-         geometry::distance(candidate, next) - geometry::distance(prev, next);
+double insertion_detour(const net::MetricSpace* metric, geometry::Point2 prev,
+                        geometry::Point2 next, geometry::Point2 candidate) {
+  return net::metric_distance(metric, prev, candidate) +
+         net::metric_distance(metric, candidate, next) -
+         net::metric_distance(metric, prev, next);
 }
-
-}  // namespace
 
 ChargingPlan splice_stops(const ChargingPlan& base, std::vector<Stop> patches,
                           const SpliceOptions& options,
@@ -42,7 +39,8 @@ ChargingPlan splice_stops(const ChargingPlan& base, std::vector<Stop> patches,
           i == 0 ? plan.depot : plan.stops[i - 1].position;
       const geometry::Point2 next =
           i == plan.stops.size() ? plan.depot : plan.stops[i].position;
-      const double detour = edge_detour(prev, next, patch.position);
+      const double detour = insertion_detour(options.improve_options.metric,
+                                             prev, next, patch.position);
       if (detour < best_detour) {
         best_detour = detour;
         best_edge = i;

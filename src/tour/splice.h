@@ -26,8 +26,17 @@ struct SpliceOptions {
   // neighbour-list 2-opt (tsp::two_opt, certified); insertion order alone
   // is already a valid tour, so this only shortens it.
   bool improve = true;
+  // improve_options.metric is the movement metric for both the insertion
+  // detours and the 2-opt polish (null = Euclidean).
   tsp::ImproveOptions improve_options{};
 };
+
+// Added movement cost of visiting `candidate` between `prev` and `next`:
+// d(prev, c) + d(c, next) - d(prev, next) under `metric` (null =
+// Euclidean). The cheapest-insertion primitive shared by splice_stops and
+// the multi-depot splitter's depot insertion.
+double insertion_detour(const net::MetricSpace* metric, geometry::Point2 prev,
+                        geometry::Point2 next, geometry::Point2 candidate);
 
 // Returns `base` with `patches` inserted into its stop cycle. Each patch
 // stop is placed at the edge (including the two depot legs) minimising

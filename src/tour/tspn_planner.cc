@@ -35,6 +35,7 @@ using geometry::Point2;
 Point2 reach_point(Point2 prev, Point2 next, Point2 center, double radius) {
   const geometry::Segment chord{prev, next};
   const Point2 on_chord = geometry::closest_point(chord, center);
+  // metric-exempt: disk-membership predicate (free-space radio range).
   if (geometry::distance(on_chord, center) <= radius) {
     // The direct leg already pierces the neighbourhood; stop where it
     // first touches (any chord point inside the disk gives detour |AB|;
@@ -77,9 +78,17 @@ ChargingPlan plan_tspn(const net::Deployment& deployment,
           i + 1 == n ? plan.depot : plan.stops[i + 1].position;
       const Point2 candidate =
           reach_point(prev, next, centers[i], config.bundle_radius);
-      const double before =
-          geometry::focal_sum(prev, next, plan.stops[i].position);
-      const double after = geometry::focal_sum(prev, next, candidate);
+      // reach_point proposes by Euclidean disk geometry (metric-exempt);
+      // acceptance compares driven cost under the configured metric. The
+      // null branch keeps the fused focal_sum, bit-exact.
+      const net::MetricSpace* metric = config.metric.get();
+      const auto legs = [&](Point2 p) {
+        return metric == nullptr
+                   ? geometry::focal_sum(prev, next, p)
+                   : metric->distance(prev, p) + metric->distance(p, next);
+      };
+      const double before = legs(plan.stops[i].position);
+      const double after = legs(candidate);
       if (after < before - 1e-9) {
         plan.stops[i].position = candidate;
         moved = true;

@@ -12,7 +12,8 @@ namespace bc::tsp {
 using geometry::Point2;
 
 Tour nearest_neighbor_tour(std::span<const Point2> points,
-                           std::uint32_t start) {
+                           std::uint32_t start,
+                           const net::MetricSpace* metric) {
   support::require(!points.empty(), "nearest_neighbor_tour needs points");
   support::require(start < points.size(), "start index out of range");
   const std::size_t n = points.size();
@@ -27,8 +28,12 @@ Tour nearest_neighbor_tour(std::span<const Point2> points,
     double best_d2 = std::numeric_limits<double>::infinity();
     for (std::uint32_t candidate = 0; candidate < n; ++candidate) {
       if (visited[candidate]) continue;
+      // Null metric keeps the squared-distance comparison (same argmin,
+      // no sqrt) — the bit-exact pre-metric path.
       const double d2 =
-          geometry::distance_squared(points[current], points[candidate]);
+          metric == nullptr
+              ? geometry::distance_squared(points[current], points[candidate])
+              : metric->distance(points[current], points[candidate]);
       if (d2 < best_d2) {
         best_d2 = d2;
         best = candidate;
@@ -41,7 +46,8 @@ Tour nearest_neighbor_tour(std::span<const Point2> points,
   return order;
 }
 
-Tour greedy_edge_tour(std::span<const Point2> points) {
+Tour greedy_edge_tour(std::span<const Point2> points,
+                      const net::MetricSpace* metric) {
   support::require(!points.empty(), "greedy_edge_tour needs points");
   const std::size_t n = points.size();
   if (n == 1) return Tour{0};
@@ -56,11 +62,28 @@ Tour greedy_edge_tour(std::span<const Point2> points) {
   edges.reserve(n * (n - 1) / 2);
   for (std::uint32_t i = 0; i < n; ++i) {
     for (std::uint32_t j = i + 1; j < n; ++j) {
-      edges.push_back({geometry::distance_squared(points[i], points[j]), i, j});
+      // Squared distances sort identically to distances under Euclid and
+      // skip the sqrt; a real metric needs the true movement distance.
+      const double key =
+          metric == nullptr
+              ? geometry::distance_squared(points[i], points[j])
+              : metric->distance(points[i], points[j]);
+      edges.push_back({key, i, j});
     }
   }
-  std::sort(edges.begin(), edges.end(),
-            [](const Edge& x, const Edge& y) { return x.d2 < y.d2; });
+  if (metric == nullptr) {
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge& x, const Edge& y) { return x.d2 < y.d2; });
+  } else {
+    // Graph distances tie often (shared shortest paths); break ties by
+    // endpoint ids so the greedy order is deterministic.
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge& x, const Edge& y) {
+                if (x.d2 != y.d2) return x.d2 < y.d2;
+                if (x.a != y.a) return x.a < y.a;
+                return x.b < y.b;
+              });
+  }
 
   // Union-find to reject premature subcycles; degree counters to keep the
   // result a single Hamiltonian cycle.

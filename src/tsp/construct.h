@@ -13,15 +13,19 @@
 namespace bc::tsp {
 
 // Starts at `start` and repeatedly visits the closest unvisited point.
-// Precondition: start < points.size(), points non-empty.
+// Precondition: start < points.size(), points non-empty. A null metric
+// is Euclidean (squared-distance comparisons, bit-exact status quo); a
+// graph metric compares true movement distances.
 Tour nearest_neighbor_tour(std::span<const geometry::Point2> points,
-                           std::uint32_t start = 0);
+                           std::uint32_t start = 0,
+                           const net::MetricSpace* metric = nullptr);
 
 // Greedy edge matching: sorts all edges by length and adds an edge unless
 // it would create a vertex of degree 3 or close a premature cycle.
 // Produces a single Hamiltonian cycle; typically a few percent shorter
 // than nearest neighbour.
-Tour greedy_edge_tour(std::span<const geometry::Point2> points);
+Tour greedy_edge_tour(std::span<const geometry::Point2> points,
+                      const net::MetricSpace* metric = nullptr);
 
 }  // namespace bc::tsp
 

@@ -14,7 +14,8 @@ namespace {
 // Shared DP core; a null meter runs unmetered. Returns nullopt only when
 // the meter trips (one charge per subset `mask`).
 std::optional<Tour> held_karp_impl(std::span<const Point2> points,
-                                   support::BudgetMeter* meter) {
+                                   support::BudgetMeter* meter,
+                                   const net::MetricSpace* metric) {
   const std::size_t n = points.size();
   support::require(n >= 1, "held_karp_tour needs points");
   support::require(n <= kHeldKarpLimit, "held_karp_tour instance too large");
@@ -24,7 +25,7 @@ std::optional<Tour> held_karp_impl(std::span<const Point2> points,
   std::vector<double> dist(n * n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
-      dist[i * n + j] = geometry::distance(points[i], points[j]);
+      dist[i * n + j] = net::metric_distance(metric, points[i], points[j]);
     }
   }
 
@@ -86,15 +87,17 @@ std::optional<Tour> held_karp_impl(std::span<const Point2> points,
 
 }  // namespace
 
-Tour held_karp_tour(std::span<const Point2> points) {
-  auto tour = held_karp_impl(points, nullptr);
+Tour held_karp_tour(std::span<const Point2> points,
+                    const net::MetricSpace* metric) {
+  auto tour = held_karp_impl(points, nullptr, metric);
   support::ensure(tour.has_value(), "unmetered held_karp cannot trip");
   return std::move(*tour);
 }
 
 std::optional<Tour> held_karp_tour_budgeted(std::span<const Point2> points,
-                                            support::BudgetMeter& meter) {
-  return held_karp_impl(points, &meter);
+                                            support::BudgetMeter& meter,
+                                            const net::MetricSpace* metric) {
+  return held_karp_impl(points, &meter, metric);
 }
 
 }  // namespace bc::tsp

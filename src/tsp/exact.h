@@ -19,13 +19,17 @@ namespace bc::tsp {
 inline constexpr std::size_t kHeldKarpLimit = 18;
 
 // Optimal closed tour. Preconditions: 1 <= points.size() <= kHeldKarpLimit.
-Tour held_karp_tour(std::span<const geometry::Point2> points);
+// A null metric is Euclidean; otherwise the DP runs over the metric's
+// distance matrix (optimal for that metric).
+Tour held_karp_tour(std::span<const geometry::Point2> points,
+                    const net::MetricSpace* metric = nullptr);
 
 // Budgeted variant: charges `meter` one unit per DP subset processed and
 // returns nullopt when the budget trips mid-table (Held-Karp has no
 // incumbent to fall back on — callers degrade to a heuristic tour).
 std::optional<Tour> held_karp_tour_budgeted(
-    std::span<const geometry::Point2> points, support::BudgetMeter& meter);
+    std::span<const geometry::Point2> points, support::BudgetMeter& meter,
+    const net::MetricSpace* metric = nullptr);
 
 }  // namespace bc::tsp
 

@@ -16,9 +16,10 @@ using geometry::Point2;
 
 namespace {
 
-double edge(const std::span<const Point2>& points, std::uint32_t a,
+double edge(const net::MetricSpace* metric,
+            const std::span<const Point2>& points, std::uint32_t a,
             std::uint32_t b) {
-  return geometry::distance(points[a], points[b]);
+  return net::metric_distance(metric, points[a], points[b]);
 }
 
 // Shared state of the neighbour-list improvers. Cities are renumbered into
@@ -35,6 +36,7 @@ class NeighborSearch {
                  const ImproveOptions& options)
       : n_(tour.size()),
         min_gain_(options.min_gain),
+        metric_(options.metric),
         cities_(tour.begin(), tour.end()) {
     pts_.reserve(n_);
     for (const std::uint32_t city : cities_) pts_.push_back(points[city]);
@@ -190,8 +192,11 @@ class NeighborSearch {
   }
 
  private:
+  // Gain evaluation distance. The null branch is the bit-exact Euclidean
+  // fast path (see net/metric.h); neighbour lists stay Euclidean-built
+  // either way, which only shapes which moves get *proposed*.
   double dist(std::uint32_t a, std::uint32_t b) const {
-    return geometry::distance(pts_[a], pts_[b]);
+    return net::metric_distance(metric_, pts_[a], pts_[b]);
   }
   std::size_t succ(std::size_t p) const { return p + 1 == n_ ? 0 : p + 1; }
   std::size_t pred(std::size_t p) const { return p == 0 ? n_ - 1 : p - 1; }
@@ -323,6 +328,7 @@ class NeighborSearch {
   std::size_t n_;
   std::size_t k_ = 0;
   double min_gain_;
+  const net::MetricSpace* metric_ = nullptr;
   double gain_sum_ = 0.0;
   std::uint64_t moves_ = 0;
   std::uint64_t dont_look_resets_ = 0;
@@ -480,13 +486,14 @@ double two_opt_reference(std::span<const Point2> points, Tour& order,
     for (std::size_t i = 0; i + 2 < n; ++i) {
       const std::uint32_t a = order[i];
       const std::uint32_t b = order[i + 1];
-      const double d_ab = edge(points, a, b);
+      const double d_ab = edge(options.metric, points, a, b);
       for (std::size_t j = i + 2; j < n; ++j) {
         if (i == 0 && j + 1 == n) continue;  // same edge pair
         const std::uint32_t c = order[j];
         const std::uint32_t d = order[(j + 1) % n];
-        const double gain =
-            d_ab + edge(points, c, d) - edge(points, a, c) - edge(points, b, d);
+        const double gain = d_ab + edge(options.metric, points, c, d) -
+                            edge(options.metric, points, a, c) -
+                            edge(options.metric, points, b, d);
         if (gain > options.min_gain) {
           std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i) + 1,
                        order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
@@ -529,9 +536,9 @@ double or_opt_reference(std::span<const Point2> points, Tour& order,
         const std::uint32_t last = order[i + chain];
         const std::uint32_t next = order[(i + chain + 1) % n];
         if (next == prev) continue;
-        const double removed = edge(points, prev, first) +
-                               edge(points, last, next) -
-                               edge(points, prev, next);
+        const double removed = edge(options.metric, points, prev, first) +
+                               edge(options.metric, points, last, next) -
+                               edge(options.metric, points, prev, next);
         // Try to reinsert between every other edge (j, j+1).
         for (std::size_t j = 0; j < n; ++j) {
           // Skip positions overlapping the chain or its former slot.
@@ -539,10 +546,12 @@ double or_opt_reference(std::span<const Point2> points, Tour& order,
           const std::uint32_t u = order[j];
           const std::uint32_t v = order[(j + 1) % n];
           if (u == prev && v == next) continue;
-          const double added_fwd = edge(points, u, first) +
-                                   edge(points, last, v) - edge(points, u, v);
-          const double added_rev = edge(points, u, last) +
-                                   edge(points, first, v) - edge(points, u, v);
+          const double added_fwd = edge(options.metric, points, u, first) +
+                                   edge(options.metric, points, last, v) -
+                                   edge(options.metric, points, u, v);
+          const double added_rev = edge(options.metric, points, u, last) +
+                                   edge(options.metric, points, first, v) -
+                                   edge(options.metric, points, u, v);
           const bool reversed = added_rev < added_fwd;
           const double added = reversed ? added_rev : added_fwd;
           const double gain = removed - added;

@@ -35,6 +35,12 @@ struct ImproveOptions {
   // certification sweep over tens of thousands of stops would dwarf the
   // entire solve.
   bool certify = true;
+  // Movement metric for gain evaluation; null = Euclidean (bit-exact
+  // pre-metric path). Neighbour candidate lists are still built from
+  // Euclidean proximity — a heuristic move proposal — but every accepted
+  // move and the certification sweep are judged under this metric, so
+  // the result is a genuine local optimum of the *metric* tour length.
+  const net::MetricSpace* metric = nullptr;
 };
 
 // First-improvement 2-opt until no move helps. Returns total gain (length

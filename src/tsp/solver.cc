@@ -18,6 +18,7 @@ Tour solve_tsp(std::span<const Point2> points, const SolverOptions& options,
   const bool metered = meter != nullptr || !options.budget.unlimited();
   if (meter == nullptr) meter = &local_meter;
 
+  const net::MetricSpace* metric = options.improve.metric;
   const std::size_t n = points.size();
   if (n == 0) return Tour{};
   if (n <= 3) {
@@ -26,25 +27,25 @@ Tour solve_tsp(std::span<const Point2> points, const SolverOptions& options,
     return trivial;
   }
   if (n <= options.exact_threshold) {
-    if (!metered) return held_karp_tour(points);
+    if (!metered) return held_karp_tour(points, metric);
     // Budgeted exact: fall through to the heuristic path if the DP trips
     // (construction is polynomial, so a tour always comes back).
-    auto exact = held_karp_tour_budgeted(points, *meter);
+    auto exact = held_karp_tour_budgeted(points, *meter, metric);
     if (exact.has_value()) return std::move(*exact);
   }
 
-  Tour best = greedy_edge_tour(points);
+  Tour best = greedy_edge_tour(points, metric);
   improve_tour(points, best, options.improve, metered ? meter : nullptr);
-  double best_len = tour_length(points, best);
+  double best_len = tour_length(points, best, metric);
 
   const std::size_t starts = std::max<std::size_t>(1, options.nn_starts);
   for (std::size_t s = 0; s < starts; ++s) {
     if (metered && !meter->check()) break;
     const auto start = static_cast<std::uint32_t>((s * n) / starts);
-    Tour candidate = nearest_neighbor_tour(points, start);
+    Tour candidate = nearest_neighbor_tour(points, start, metric);
     improve_tour(points, candidate, options.improve,
                  metered ? meter : nullptr);
-    const double len = tour_length(points, candidate);
+    const double len = tour_length(points, candidate, metric);
     if (len < best_len) {
       best_len = len;
       best = std::move(candidate);

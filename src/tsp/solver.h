@@ -24,6 +24,10 @@ struct SolverOptions {
   // Number of nearest-neighbour starts to try (spread over the points);
   // greedy-edge construction is always tried as well.
   std::size_t nn_starts = 4;
+  // improve.metric is the movement metric for the *entire* solve —
+  // construction, exact DP, local search and the keep-the-best length
+  // comparison all read it, so there is a single source of truth. Null =
+  // Euclidean.
   ImproveOptions improve;
   // Resource limits; unlimited by default. When a budget trips the solver
   // degrades instead of hanging: a tripped Held-Karp falls back to the

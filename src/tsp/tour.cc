@@ -17,23 +17,26 @@ bool is_valid_tour(std::span<const std::uint32_t> order, std::size_t n) {
 }
 
 double tour_length(std::span<const geometry::Point2> points,
-                   std::span<const std::uint32_t> order) {
+                   std::span<const std::uint32_t> order,
+                   const net::MetricSpace* metric) {
   if (order.size() < 2) return 0.0;
   double total = 0.0;
   for (std::size_t i = 0; i < order.size(); ++i) {
     const auto a = order[i];
     const auto b = order[(i + 1) % order.size()];
-    total += geometry::distance(points[a], points[b]);
+    total += net::metric_distance(metric, points[a], points[b]);
   }
   return total;
 }
 
 double path_length(std::span<const geometry::Point2> points,
-                   std::span<const std::uint32_t> order) {
+                   std::span<const std::uint32_t> order,
+                   const net::MetricSpace* metric) {
   if (order.size() < 2) return 0.0;
   double total = 0.0;
   for (std::size_t i = 0; i + 1 < order.size(); ++i) {
-    total += geometry::distance(points[order[i]], points[order[i + 1]]);
+    total +=
+        net::metric_distance(metric, points[order[i]], points[order[i + 1]]);
   }
   return total;
 }

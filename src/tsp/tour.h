@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "geometry/point.h"
+#include "net/metric.h"
 
 namespace bc::tsp {
 
@@ -22,13 +23,16 @@ using Tour = std::vector<std::uint32_t>;
 bool is_valid_tour(std::span<const std::uint32_t> order, std::size_t n);
 
 // Length of the closed tour (last point connects back to the first).
-// Empty and single-point tours have length 0.
+// Empty and single-point tours have length 0. A null metric measures
+// Euclidean legs (the repo-wide convention, see net/metric.h).
 double tour_length(std::span<const geometry::Point2> points,
-                   std::span<const std::uint32_t> order);
+                   std::span<const std::uint32_t> order,
+                   const net::MetricSpace* metric = nullptr);
 
 // Length of the open path in visiting order (no closing edge).
 double path_length(std::span<const geometry::Point2> points,
-                   std::span<const std::uint32_t> order);
+                   std::span<const std::uint32_t> order,
+                   const net::MetricSpace* metric = nullptr);
 
 // Rotates a closed tour so that `first` is at the front (tour order and
 // length are invariant under rotation). Precondition: `first` is in the

@@ -1,0 +1,173 @@
+// Graph-input hardening: waypoint-graph CSVs come from outside the trust
+// boundary, so every malformed record must be rejected with a structured,
+// line-numbered fault — and a graph that cannot reach every sensor from
+// the depot's component must fault kDisconnected naming the sensor.
+
+#include "io/graph_io.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "geometry/point.h"
+
+namespace bc::io {
+namespace {
+
+support::Fault must_fault(const std::string& csv) {
+  std::istringstream in(csv);
+  auto graph = read_waypoint_graph_csv(in);
+  EXPECT_FALSE(graph.has_value()) << "accepted: " << csv;
+  return graph.has_value() ? support::Fault{} : graph.fault();
+}
+
+net::WaypointGraph must_read(const std::string& csv) {
+  std::istringstream in(csv);
+  auto graph = read_waypoint_graph_csv(in);
+  EXPECT_TRUE(graph.has_value()) << graph.fault().message;
+  return graph.has_value() ? std::move(graph.value()) : net::WaypointGraph{};
+}
+
+TEST(GraphIoTest, ReadsNodesEdgesAndObstacles) {
+  const net::WaypointGraph g = must_read(
+      "# comment\n"
+      "node,0,0\n"
+      "node,100,0\n"
+      "\n"
+      "edge,0,1\n"
+      "obstacle,50,-10,50,10\n");
+  ASSERT_EQ(g.nodes.size(), 2u);
+  ASSERT_EQ(g.edges.size(), 1u);
+  ASSERT_EQ(g.obstacles.size(), 1u);
+  // Omitted weight defaults to the chord length.
+  EXPECT_EQ(g.edges[0].weight, 100.0);
+}
+
+TEST(GraphIoTest, NanAndInfWeightsAreRejectedWithTheLineNumber) {
+  const support::Fault nan_fault = must_fault(
+      "node,0,0\nnode,1,1\nedge,0,1,nan\n");
+  EXPECT_EQ(nan_fault.kind, support::FaultKind::kInvalidInput);
+  EXPECT_NE(nan_fault.message.find("line 3"), std::string::npos)
+      << nan_fault.message;
+
+  const support::Fault inf_fault = must_fault(
+      "node,0,0\n\nnode,1,1\nedge,0,1,inf\n");
+  EXPECT_NE(inf_fault.message.find("line 4"), std::string::npos)
+      << "blank lines still count: " << inf_fault.message;
+
+  const support::Fault neg_fault = must_fault(
+      "node,0,0\nnode,1,1\nedge,0,1,-5\n");
+  EXPECT_NE(neg_fault.message.find("line 3"), std::string::npos);
+}
+
+TEST(GraphIoTest, NonFiniteCoordinatesAreRejected) {
+  EXPECT_NE(must_fault("node,nan,0\n").message.find("line 1"),
+            std::string::npos);
+  EXPECT_NE(must_fault("node,0,0\nobstacle,0,0,inf,1\n")
+                .message.find("line 2"),
+            std::string::npos);
+}
+
+TEST(GraphIoTest, SelfLoopsAreRejected) {
+  const support::Fault fault =
+      must_fault("node,0,0\nnode,1,1\nedge,1,1,5\n");
+  EXPECT_EQ(fault.kind, support::FaultKind::kInvalidInput);
+  EXPECT_NE(fault.message.find("line 3"), std::string::npos);
+  EXPECT_NE(fault.message.find("self-loop"), std::string::npos);
+}
+
+TEST(GraphIoTest, DanglingEndpointsAreRejected) {
+  const support::Fault fault =
+      must_fault("node,0,0\nnode,1,1\nedge,0,7\n");
+  EXPECT_NE(fault.message.find("line 3"), std::string::npos);
+  EXPECT_NE(fault.message.find("dangling"), std::string::npos);
+}
+
+TEST(GraphIoTest, DuplicateEdgesAreRejectedCitingBothLines) {
+  // The duplicate is reported at its own line and names the first
+  // occurrence — including the reversed-orientation duplicate.
+  const support::Fault fault = must_fault(
+      "node,0,0\nnode,1,1\nedge,0,1,5\nedge,1,0,7\n");
+  EXPECT_NE(fault.message.find("line 4"), std::string::npos)
+      << fault.message;
+  EXPECT_NE(fault.message.find("first at line 3"), std::string::npos)
+      << fault.message;
+}
+
+TEST(GraphIoTest, MalformedRecordsAreRejected) {
+  EXPECT_NE(must_fault("node,1\n").message.find("line 1"),
+            std::string::npos);
+  EXPECT_NE(must_fault("node,0,0\nedge,0\n").message.find("line 2"),
+            std::string::npos);
+  EXPECT_NE(must_fault("node,0,0\nedge,a,b\n").message.find("line 2"),
+            std::string::npos);
+  EXPECT_NE(must_fault("truck,0,0\n").message.find("unknown record"),
+            std::string::npos);
+  EXPECT_NE(must_fault("").message.find("no nodes"), std::string::npos);
+}
+
+TEST(GraphIoTest, CoincidentNodesCannotDefaultTheirWeight) {
+  const support::Fault fault =
+      must_fault("node,5,5\nnode,5,5\nedge,0,1\n");
+  EXPECT_NE(fault.message.find("line 3"), std::string::npos);
+}
+
+TEST(GraphIoTest, RoundTripsThroughWriteAndRead) {
+  net::WaypointGraph g;
+  g.nodes = {{0.0, 0.0}, {250.0, 0.0}, {250.0, 125.0}};
+  g.edges = {{0, 1, 250.0}, {1, 2, 125.0}};
+  g.obstacles = {{{100.0, -50.0}, {100.0, 50.0}}};
+  std::ostringstream out;
+  write_waypoint_graph_csv(g, out);
+  const net::WaypointGraph back = must_read(out.str());
+  ASSERT_EQ(back.nodes.size(), g.nodes.size());
+  ASSERT_EQ(back.edges.size(), g.edges.size());
+  ASSERT_EQ(back.obstacles.size(), g.obstacles.size());
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    EXPECT_EQ(back.nodes[i].x, g.nodes[i].x);
+    EXPECT_EQ(back.nodes[i].y, g.nodes[i].y);
+  }
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    EXPECT_EQ(back.edges[i].u, g.edges[i].u);
+    EXPECT_EQ(back.edges[i].v, g.edges[i].v);
+    EXPECT_EQ(back.edges[i].weight, g.edges[i].weight);
+  }
+}
+
+TEST(GraphIoTest, MissingFileIsInvalidInput) {
+  auto graph = read_waypoint_graph_csv_file("/nonexistent/never.csv");
+  ASSERT_FALSE(graph.has_value());
+  EXPECT_EQ(graph.fault().kind, support::FaultKind::kInvalidInput);
+  EXPECT_NE(graph.fault().message.find("cannot open"), std::string::npos);
+}
+
+TEST(GraphIoTest, DisconnectedGraphNamesTheFirstUnreachableSensor) {
+  // Two components: depot snaps into {0,1}; sensors near node 2 cannot
+  // be reached.
+  net::WaypointGraph g;
+  g.nodes = {{0.0, 0.0}, {100.0, 0.0}, {1000.0, 1000.0}, {900.0, 1000.0}};
+  g.edges = {{0, 1, 100.0}, {2, 3, 100.0}};
+  const std::vector<geometry::Point2> sensors = {
+      {10.0, 10.0}, {980.0, 990.0}, {990.0, 995.0}};
+  auto verdict = validate_waypoint_graph(g, sensors, {0.0, 0.0});
+  ASSERT_FALSE(verdict.has_value());
+  EXPECT_EQ(verdict.fault().kind, support::FaultKind::kDisconnected);
+  EXPECT_NE(verdict.fault().message.find("sensor 1"), std::string::npos)
+      << verdict.fault().message;
+  EXPECT_EQ(verdict.fault().stop_index, 1u);
+}
+
+TEST(GraphIoTest, ConnectedGraphValidates) {
+  net::WaypointGraph g;
+  g.nodes = {{0.0, 0.0}, {500.0, 500.0}, {1000.0, 1000.0}};
+  g.edges = {{0, 1, 720.0}, {1, 2, 720.0}};
+  const std::vector<geometry::Point2> sensors = {{10.0, 10.0},
+                                                 {990.0, 990.0}};
+  auto verdict = validate_waypoint_graph(g, sensors, {0.0, 0.0});
+  ASSERT_TRUE(verdict.has_value()) << verdict.fault().message;
+  EXPECT_TRUE(verdict.value());
+}
+
+}  // namespace
+}  // namespace bc::io

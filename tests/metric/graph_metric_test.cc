@@ -1,0 +1,264 @@
+// Property and fuzz tests for the GraphMetric backend: metric axioms on
+// the memoized node distances (symmetry, triangle inequality), path
+// endpoint contracts, cache-hit == cold-Dijkstra bit-identity, and the
+// line-of-sight shortcut that makes an obstacle-free graph byte-identical
+// to Euclidean.
+
+#include "net/metric.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/point.h"
+#include "support/rng.h"
+
+namespace bc::net {
+namespace {
+
+using geometry::Point2;
+using geometry::Segment;
+
+// Connected random graph: a scatter of nodes joined by a spanning chain
+// plus extra random chords. Chain edges default to chord length; chords
+// get a detour factor so shortest paths are non-trivial.
+WaypointGraph random_graph(std::uint64_t seed, std::size_t n,
+                           std::size_t extra_edges) {
+  support::Rng rng(seed);
+  WaypointGraph graph;
+  graph.nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    graph.nodes.push_back(
+        Point2{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  }
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    graph.edges.push_back(
+        {i, i + 1, geometry::distance(graph.nodes[i], graph.nodes[i + 1])});
+  }
+  for (std::size_t e = 0; e < extra_edges; ++e) {
+    const auto u = static_cast<std::uint32_t>(rng.below(n));
+    const auto v = static_cast<std::uint32_t>(rng.below(n));
+    if (u == v) continue;
+    const double chord = geometry::distance(graph.nodes[u], graph.nodes[v]);
+    graph.edges.push_back({u, v, chord * rng.uniform(1.0, 1.5)});
+  }
+  return graph;
+}
+
+TEST(GraphMetricTest, NodeDistanceIsExactlySymmetric) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const GraphMetric metric(random_graph(seed, 40, 30));
+    support::Rng rng(seed * 977);
+    for (int trial = 0; trial < 200; ++trial) {
+      const auto u = static_cast<std::uint32_t>(rng.below(40));
+      const auto v = static_cast<std::uint32_t>(rng.below(40));
+      EXPECT_EQ(metric.node_distance(u, v), metric.node_distance(v, u))
+          << "seed " << seed << " nodes " << u << "," << v;
+    }
+  }
+}
+
+TEST(GraphMetricTest, NodeDistanceSatisfiesTheTriangleInequality) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const GraphMetric metric(random_graph(seed, 30, 25));
+    for (std::uint32_t u = 0; u < 30; ++u) {
+      for (std::uint32_t v = 0; v < 30; ++v) {
+        for (std::uint32_t w = 0; w < 30; w += 7) {
+          const double direct = metric.node_distance(u, v);
+          const double through =
+              metric.node_distance(u, w) + metric.node_distance(w, v);
+          EXPECT_LE(direct, through + 1e-9 * (1.0 + through))
+              << "seed " << seed << " triangle " << u << "," << v << ","
+              << w;
+        }
+      }
+    }
+  }
+}
+
+TEST(GraphMetricTest, NodeDistanceIsZeroOnTheDiagonalAndPositiveOff) {
+  const GraphMetric metric(random_graph(11, 25, 20));
+  for (std::uint32_t u = 0; u < 25; ++u) {
+    EXPECT_EQ(metric.node_distance(u, u), 0.0);
+    for (std::uint32_t v = 0; v < 25; ++v) {
+      if (u != v) {
+        EXPECT_GT(metric.node_distance(u, v), 0.0);
+      }
+    }
+  }
+}
+
+TEST(GraphMetricTest, CachedRowEqualsColdDijkstraBitForBit) {
+  // Two metrics over the same graph: `hot` is queried twice (second pass
+  // served from the LRU row cache), `cold` once. Every double must match
+  // exactly — cache values are pure functions of the graph.
+  const WaypointGraph graph = random_graph(7, 35, 30);
+  const GraphMetric hot(graph);
+  const GraphMetric cold(graph);
+  std::vector<double> first;
+  for (std::uint32_t u = 0; u < 35; ++u) {
+    for (std::uint32_t v = 0; v < 35; ++v) {
+      first.push_back(hot.node_distance(u, v));
+    }
+  }
+  const auto stats_before = hot.cache_stats();
+  std::size_t i = 0;
+  for (std::uint32_t u = 0; u < 35; ++u) {
+    for (std::uint32_t v = 0; v < 35; ++v, ++i) {
+      EXPECT_EQ(hot.node_distance(u, v), first[i]);
+      EXPECT_EQ(cold.node_distance(u, v), first[i]);
+    }
+  }
+  const auto stats_after = hot.cache_stats();
+  EXPECT_GT(stats_after.row_hits, stats_before.row_hits);
+  EXPECT_EQ(stats_after.row_misses, stats_before.row_misses)
+      << "second pass must not recompute any row";
+}
+
+TEST(GraphMetricTest, TinyRowCacheStillYieldsIdenticalDistances) {
+  // Evicting rows changes only *when* work happens, never the values.
+  const WaypointGraph graph = random_graph(13, 30, 20);
+  GraphMetricOptions tiny;
+  tiny.max_cached_rows = 2;
+  tiny.max_cached_points = 2;
+  const GraphMetric small(graph, tiny);
+  const GraphMetric big(graph);
+  support::Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto u = static_cast<std::uint32_t>(rng.below(30));
+    const auto v = static_cast<std::uint32_t>(rng.below(30));
+    EXPECT_EQ(small.node_distance(u, v), big.node_distance(u, v));
+  }
+}
+
+TEST(GraphMetricTest, NoObstaclesMeansEuclideanByteForByte) {
+  const GraphMetric metric(random_graph(3, 20, 10));
+  support::Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point2 a{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    const Point2 b{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    EXPECT_EQ(metric.distance(a, b), geometry::distance(a, b));
+    EXPECT_EQ(metric.distance(a, b), metric_distance(&metric, a, b));
+  }
+}
+
+TEST(GraphMetricTest, DistanceIsSymmetricAroundObstacles) {
+  WaypointGraph graph = random_graph(5, 30, 25);
+  // A wall through the middle of the field.
+  graph.obstacles.push_back(Segment{{500.0, -100.0}, {500.0, 1100.0}});
+  // Gate nodes so the two halves stay connected around the wall ends.
+  const GraphMetric metric(graph);
+  support::Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point2 a{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    const Point2 b{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    EXPECT_EQ(metric.distance(a, b), metric.distance(b, a));
+    EXPECT_GE(metric.distance(a, b),
+              geometry::distance(a, b) - 1e-9)
+        << "a graph route can never beat the straight line";
+  }
+}
+
+TEST(GraphMetricTest, BlockedQueriesDetourThroughTheGraph) {
+  // Two waypoints above and below a horizontal wall; crossing queries
+  // must route through them and come out strictly longer than the chord.
+  WaypointGraph graph;
+  graph.nodes = {{500.0, 620.0}, {500.0, 380.0}};
+  graph.edges = {{0, 1, 240.0}};
+  graph.obstacles.push_back(Segment{{200.0, 500.0}, {800.0, 500.0}});
+  const GraphMetric metric(graph);
+  const Point2 above{450.0, 700.0};
+  const Point2 below{550.0, 300.0};
+  EXPECT_FALSE(metric.line_of_sight(above, below));
+  EXPECT_GT(metric.distance(above, below), geometry::distance(above, below));
+  // Off to the side the chord clears the wall, so the shortcut applies.
+  const Point2 left_a{100.0, 700.0};
+  const Point2 left_b{100.0, 300.0};
+  EXPECT_TRUE(metric.line_of_sight(left_a, left_b));
+  EXPECT_EQ(metric.distance(left_a, left_b),
+            geometry::distance(left_a, left_b));
+}
+
+TEST(GraphMetricTest, PathEndpointsAreExactAndLengthMatchesDistance) {
+  // Chord-weighted graph: every edge weight is exactly its chord length,
+  // so the driven polyline realises the reported distance. (Inflated
+  // weights are legal but make the polyline shorter than the cost.)
+  WaypointGraph graph = random_graph(9, 25, 20);
+  for (GraphEdge& e : graph.edges) {
+    e.weight = geometry::distance(graph.nodes[e.u], graph.nodes[e.v]);
+  }
+  graph.obstacles.push_back(Segment{{300.0, -50.0}, {300.0, 1050.0}});
+  graph.obstacles.push_back(Segment{{700.0, -50.0}, {700.0, 1050.0}});
+  const GraphMetric metric(graph);
+  support::Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point2 a{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    const Point2 b{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    std::vector<Point2> waypoints;
+    metric.path(a, b, waypoints);
+    ASSERT_GE(waypoints.size(), 2u);
+    EXPECT_EQ(waypoints.front().x, a.x);
+    EXPECT_EQ(waypoints.front().y, a.y);
+    EXPECT_EQ(waypoints.back().x, b.x);
+    EXPECT_EQ(waypoints.back().y, b.y);
+    double length = 0.0;
+    for (std::size_t i = 0; i + 1 < waypoints.size(); ++i) {
+      length += geometry::distance(waypoints[i], waypoints[i + 1]);
+    }
+    // The polyline realises (approximately) the reported distance: LOS
+    // queries match exactly; routed queries within FP accumulation.
+    EXPECT_NEAR(length, metric.distance(a, b),
+                1e-9 * (1.0 + length));
+  }
+}
+
+TEST(GraphMetricTest, RepeatedPointQueriesHitThePointCache) {
+  const GraphMetric metric([] {
+    WaypointGraph g = random_graph(21, 20, 15);
+    g.obstacles.push_back(Segment{{0.0, 500.0}, {1000.0, 500.0}});
+    return g;
+  }());
+  const Point2 a{100.0, 100.0};
+  const Point2 b{900.0, 900.0};
+  const double d1 = metric.distance(a, b);
+  const auto before = metric.cache_stats();
+  const double d2 = metric.distance(a, b);
+  const auto after = metric.cache_stats();
+  EXPECT_EQ(d1, d2);
+  EXPECT_GT(after.point_hits, before.point_hits);
+  EXPECT_EQ(after.point_misses, before.point_misses);
+}
+
+TEST(GraphMetricTest, DistancesFromMatchesScalarDistance) {
+  const GraphMetric metric([] {
+    WaypointGraph g = random_graph(31, 25, 20);
+    g.obstacles.push_back(Segment{{500.0, 0.0}, {500.0, 1000.0}});
+    return g;
+  }());
+  support::Rng rng(5);
+  const Point2 a{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+  std::vector<Point2> targets;
+  for (int i = 0; i < 64; ++i) {
+    targets.push_back(
+        Point2{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  }
+  std::vector<double> batched(targets.size());
+  metric.distances_from(a, targets, batched);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(batched[i], metric.distance(a, targets[i]));
+  }
+}
+
+TEST(GraphMetricTest, EuclideanMetricObjectMatchesTheNullFastPath) {
+  const EuclideanMetric& euclid = EuclideanMetric::instance();
+  support::Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point2 a{rng.uniform(-500.0, 1500.0), rng.uniform(-500.0, 1500.0)};
+    const Point2 b{rng.uniform(-500.0, 1500.0), rng.uniform(-500.0, 1500.0)};
+    EXPECT_EQ(metric_distance(&euclid, a, b), metric_distance(nullptr, a, b));
+  }
+}
+
+}  // namespace
+}  // namespace bc::net

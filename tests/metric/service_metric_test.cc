@@ -1,0 +1,200 @@
+// Service-level differential oracle: a bundlecharged server configured
+// with a zero-obstacle waypoint graph must serve plan blocks byte-
+// identical to a plain Euclidean server, while its cache keys differ (the
+// metric salt keeps journals from leaking plans across configurations).
+// An obstacle graph must actually change the answer.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "service/client.h"
+#include "service/server.h"
+
+namespace bc {
+namespace {
+
+using service::HttpResponse;
+using service::Server;
+using service::ServerOptions;
+
+std::string positions_line(std::size_t n) {
+  std::string out = "positions=";
+  for (std::size_t i = 0; i < n; ++i) {
+    out += std::to_string((i * 131 + 17) % 997) + "," +
+           std::to_string((i * 197 + 5) % 991);
+    if (i + 1 < n) out += ";";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string small_body() {
+  return "algorithm=BC\nradius=120\n" + positions_line(40) + "depot=0,0\n";
+}
+
+HttpResponse must_roundtrip(std::uint16_t port, const std::string& method,
+                            const std::string& path,
+                            const std::string& body) {
+  auto response = service::http_roundtrip(port, method, path, body);
+  EXPECT_TRUE(response.has_value()) << response.fault().message;
+  return response.has_value() ? response.value() : HttpResponse{};
+}
+
+std::string field_str(const std::string& body, const std::string& name) {
+  const std::string needle = "\"" + name + "\": ";
+  const std::size_t at = body.find(needle);
+  EXPECT_NE(at, std::string::npos) << name << " missing in: " << body;
+  if (at == std::string::npos) return {};
+  const std::size_t start = at + needle.size();
+  std::size_t end = body.find_first_of(",\n", start);
+  if (end == std::string::npos) end = body.size();
+  return body.substr(start, end - start);
+}
+
+// The embedded plan document: from `"plan": ` up to the metrics key.
+std::string plan_block(const std::string& body) {
+  const std::size_t start = body.find("\"plan\": ");
+  const std::size_t end = body.find(",\n  \"metrics\":");
+  EXPECT_NE(start, std::string::npos);
+  EXPECT_NE(end, std::string::npos);
+  if (start == std::string::npos || end == std::string::npos) return {};
+  return body.substr(start, end - start);
+}
+
+std::unique_ptr<Server> must_start(ServerOptions options) {
+  auto server = Server::start(std::move(options));
+  EXPECT_TRUE(server.has_value()) << server.fault().message;
+  return server.has_value() ? std::move(server.value()) : nullptr;
+}
+
+class TempGraphFile {
+ public:
+  explicit TempGraphFile(const std::string& contents) {
+    path_ = ::testing::TempDir() + "metric_graph_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".csv";
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempGraphFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// A waypoint grid spanning the 1000x1000 test field, no obstacles.
+std::string empty_obstacle_graph_csv() {
+  std::string csv = "# oracle graph: zero obstacles\n";
+  for (int gx = 0; gx < 3; ++gx) {
+    for (int gy = 0; gy < 3; ++gy) {
+      csv += "node," + std::to_string(gx * 500) + "," +
+             std::to_string(gy * 500) + "\n";
+    }
+  }
+  for (int i = 0; i + 1 < 9; ++i) {
+    csv += "edge," + std::to_string(i) + "," + std::to_string(i + 1) + "\n";
+  }
+  return csv;
+}
+
+TEST(ServiceMetricTest, ZeroObstacleGraphServesByteIdenticalPlans) {
+  const TempGraphFile graph(empty_obstacle_graph_csv());
+  auto plain = must_start(ServerOptions{});
+  ServerOptions with_graph;
+  with_graph.metric_graph_path = graph.path();
+  auto graphed = must_start(with_graph);
+  ASSERT_NE(plain, nullptr);
+  ASSERT_NE(graphed, nullptr);
+
+  const std::string body = small_body();
+  const HttpResponse a =
+      must_roundtrip(plain->port(), "POST", "/v1/plan", body);
+  const HttpResponse b =
+      must_roundtrip(graphed->port(), "POST", "/v1/plan", body);
+  ASSERT_EQ(a.status, 200);
+  ASSERT_EQ(b.status, 200);
+
+  // The entire plan document — stop positions, members, order, metrics
+  // derived in the solve — must match byte for byte.
+  EXPECT_EQ(plan_block(a.body), plan_block(b.body));
+  EXPECT_EQ(field_str(a.body, "tour_length_m"),
+            field_str(b.body, "tour_length_m"));
+
+  // But the cache keys must differ: the graphed server salts its
+  // fingerprints with the graph's content hash.
+  EXPECT_NE(field_str(a.body, "cache_key"),
+            field_str(b.body, "cache_key"));
+}
+
+TEST(ServiceMetricTest, GraphCacheHitsStayByteIdentical) {
+  const TempGraphFile graph(empty_obstacle_graph_csv());
+  ServerOptions options;
+  options.metric_graph_path = graph.path();
+  auto server = must_start(options);
+  ASSERT_NE(server, nullptr);
+  const std::string body = small_body();
+  const HttpResponse cold =
+      must_roundtrip(server->port(), "POST", "/v1/plan", body);
+  const HttpResponse hot =
+      must_roundtrip(server->port(), "POST", "/v1/plan", body);
+  ASSERT_EQ(cold.status, 200);
+  ASSERT_EQ(hot.status, 200);
+  EXPECT_EQ(plan_block(cold.body), plan_block(hot.body));
+  EXPECT_EQ(field_str(cold.body, "cached"), "false");
+  EXPECT_EQ(field_str(hot.body, "cached"), "true");
+}
+
+TEST(ServiceMetricTest, ObstacleGraphChangesTheServedTourLength) {
+  // A wall across the middle of the field with one gap routed through a
+  // two-node corridor: crossing legs must detour, so the graph server's
+  // tour is strictly longer than the Euclidean server's.
+  std::string csv = empty_obstacle_graph_csv();
+  csv += "obstacle,-100,480,1100,480\n";
+  // The grid's column at x=500 crosses y=480; add corridor nodes around
+  // an implied gap far to the right so paths stay finite.
+  csv += "node,1050,470\nnode,1050,490\nedge,9,10\n";
+  csv += "edge,2,9\nedge,0,10\n";
+  const TempGraphFile graph(csv);
+
+  auto plain = must_start(ServerOptions{});
+  ServerOptions with_graph;
+  with_graph.metric_graph_path = graph.path();
+  auto graphed = must_start(with_graph);
+  ASSERT_NE(plain, nullptr);
+  ASSERT_NE(graphed, nullptr);
+
+  const std::string body = small_body();
+  const HttpResponse a =
+      must_roundtrip(plain->port(), "POST", "/v1/plan", body);
+  const HttpResponse b =
+      must_roundtrip(graphed->port(), "POST", "/v1/plan", body);
+  ASSERT_EQ(a.status, 200);
+  ASSERT_EQ(b.status, 200);
+  const double euclid_len =
+      std::stod(field_str(a.body, "tour_length_m"));
+  const double graph_len = std::stod(field_str(b.body, "tour_length_m"));
+  EXPECT_GT(graph_len, euclid_len);
+}
+
+TEST(ServiceMetricTest, UnloadableGraphIsAStartupFault) {
+  ServerOptions options;
+  options.metric_graph_path = "/nonexistent/never/graph.csv";
+  auto server = Server::start(std::move(options));
+  EXPECT_FALSE(server.has_value());
+}
+
+TEST(ServiceMetricTest, MalformedGraphIsAStartupFault) {
+  const TempGraphFile graph("node,0,0\nedge,0,0,5\n");  // self-loop
+  ServerOptions options;
+  options.metric_graph_path = graph.path();
+  auto server = Server::start(std::move(options));
+  ASSERT_FALSE(server.has_value());
+  EXPECT_NE(server.fault().message.find("line"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bc

@@ -1,0 +1,316 @@
+// Multi-depot, battery-constrained fleet planning tests: the single-depot
+// reduction must match split_among_chargers bit for bit, hand-computable
+// 3-depot instances pin home-depot and trip-boundary selection, and
+// battery-infeasible tours must split — never strand — or fault with a
+// structured kBatteryShortfall naming the stop.
+
+#include "tour/depots.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/require.h"
+#include "support/rng.h"
+#include "tour/fleet.h"
+#include "tour/planner.h"
+
+namespace bc::tour {
+namespace {
+
+using geometry::Point2;
+
+struct Fixture {
+  net::Deployment deployment;
+  ChargingPlan plan;
+  charging::ChargingModel charging =
+      charging::ChargingModel::icdcs2019_simulation();
+  charging::MovementModel movement = charging::MovementModel::icdcs2019();
+};
+
+Fixture make_fixture(std::size_t n = 80, std::uint64_t seed = 1,
+                     double radius = 60.0) {
+  support::Rng rng(seed);
+  net::FieldSpec spec;
+  net::Deployment d = net::uniform_random_deployment(n, spec, rng);
+  PlannerConfig config;
+  config.bundle_radius = radius;
+  ChargingPlan plan = plan_bc(d, config);
+  return Fixture{std::move(d), std::move(plan)};
+}
+
+std::vector<net::SensorId> fleet_members(const DepotFleetPlan& fleet) {
+  std::vector<net::SensorId> ids;
+  for (const DepotRoute& route : fleet.routes) {
+    for (const DepotTrip& trip : route.trips) {
+      for (const Stop& stop : trip.stops) {
+        ids.insert(ids.end(), stop.members.begin(), stop.members.end());
+      }
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<net::SensorId> plan_members(const ChargingPlan& plan) {
+  std::vector<net::SensorId> ids;
+  for (const Stop& stop : plan.stops) {
+    ids.insert(ids.end(), stop.members.begin(), stop.members.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// --- Single-depot reduction: bit-for-bit against split_among_chargers ---
+
+TEST(DepotFleetTest, SingleDepotReducesToSplitAmongChargersBitForBit) {
+  for (const std::size_t k : {1u, 2u, 4u, 7u}) {
+    const Fixture f = make_fixture(90, 3);
+    const FleetPlan baseline = split_among_chargers(
+        f.deployment, f.plan, f.charging, f.movement, k);
+
+    DepotFleetOptions options;
+    options.depots = {f.plan.depot};
+    options.num_chargers = k;
+    const auto fleet = split_among_depot_fleet(f.deployment, f.plan,
+                                               f.charging, f.movement,
+                                               options);
+    ASSERT_TRUE(fleet.has_value()) << fleet.fault().message;
+
+    ASSERT_EQ(fleet.value().routes.size(), baseline.routes.size())
+        << "k=" << k;
+    for (std::size_t r = 0; r < baseline.routes.size(); ++r) {
+      const DepotRoute& route = fleet.value().routes[r];
+      const ChargingPlan& base_route = baseline.routes[r];
+      EXPECT_EQ(route.home_depot, 0u);
+      if (base_route.stops.empty()) {
+        EXPECT_TRUE(route.trips.empty()) << "idle charger " << r;
+        continue;
+      }
+      // Unconstrained battery: exactly one trip, home -> stops -> home.
+      ASSERT_EQ(route.trips.size(), 1u) << "k=" << k << " route " << r;
+      const DepotTrip& trip = route.trips[0];
+      EXPECT_EQ(trip.start_depot, 0u);
+      EXPECT_EQ(trip.end_depot, 0u);
+      ASSERT_EQ(trip.stops.size(), base_route.stops.size());
+      for (std::size_t s = 0; s < trip.stops.size(); ++s) {
+        EXPECT_EQ(trip.stops[s].position.x, base_route.stops[s].position.x);
+        EXPECT_EQ(trip.stops[s].position.y, base_route.stops[s].position.y);
+        EXPECT_EQ(trip.stops[s].members, base_route.stops[s].members);
+      }
+    }
+
+    // And the metrics agree exactly: same depots, same legs, same stops.
+    const FleetMetrics mb =
+        evaluate_fleet(f.deployment, baseline, f.charging, f.movement);
+    const DepotFleetMetrics md = evaluate_depot_fleet(
+        f.deployment, fleet.value(), options, f.charging, f.movement);
+    EXPECT_EQ(md.makespan_s, mb.makespan_s) << "k=" << k;
+    EXPECT_EQ(md.num_routes, mb.num_routes) << "k=" << k;
+  }
+}
+
+// --- 3-depot analytic pins on a hand-computable instance ---
+
+// Four sensors on a 1000 m line, depots at both ends and the middle.
+// Demands are tiny so movement dominates every choice.
+struct LineWorld {
+  net::Deployment deployment = [] {
+    std::vector<geometry::Point2> positions = {
+        {100.0, 0.0}, {200.0, 0.0}, {800.0, 0.0}, {900.0, 0.0}};
+    const geometry::Box2 field{{0.0, 0.0}, {1000.0, 10.0}};
+    return net::Deployment(std::move(positions), field, Point2{0.0, 0.0},
+                           100.0);
+  }();
+  ChargingPlan plan = [] {
+    ChargingPlan p;
+    p.depot = Point2{0.0, 0.0};
+    p.stops = {Stop{{100.0, 0.0}, {0}},
+               Stop{{200.0, 0.0}, {1}},
+               Stop{{800.0, 0.0}, {2}},
+               Stop{{900.0, 0.0}, {3}}};
+    return p;
+  }();
+  charging::ChargingModel charging =
+      charging::ChargingModel::icdcs2019_simulation();
+  charging::MovementModel movement = charging::MovementModel::icdcs2019();
+  DepotFleetOptions options = [] {
+    DepotFleetOptions o;
+    o.depots = {Point2{0.0, 0.0}, Point2{500.0, 0.0}, Point2{1000.0, 0.0}};
+    return o;
+  }();
+};
+
+TEST(DepotFleetTest, TwoChargersSplitTheLineBetweenEndDepots) {
+  LineWorld w;
+  w.options.num_chargers = 2;
+  const auto fleet = split_among_depot_fleet(w.deployment, w.plan,
+                                             w.charging, w.movement,
+                                             w.options);
+  ASSERT_TRUE(fleet.has_value()) << fleet.fault().message;
+  // The natural split is {100, 200} | {800, 900}; the left route homes at
+  // depot 0 (x=0) and the right route at depot 2 (x=1000).
+  std::vector<std::size_t> homes;
+  for (const DepotRoute& route : fleet.value().routes) {
+    if (!route.trips.empty()) homes.push_back(route.home_depot);
+  }
+  ASSERT_EQ(homes.size(), 2u);
+  std::sort(homes.begin(), homes.end());
+  EXPECT_EQ(homes[0], 0u);
+  EXPECT_EQ(homes[1], 2u);
+  EXPECT_EQ(fleet_members(fleet.value()), plan_members(w.plan));
+}
+
+TEST(DepotFleetTest, OneChargerHomesAtTheCheapestDepot) {
+  LineWorld w;
+  w.options.num_chargers = 1;
+  const auto fleet = split_among_depot_fleet(w.deployment, w.plan,
+                                             w.charging, w.movement,
+                                             w.options);
+  ASSERT_TRUE(fleet.has_value()) << fleet.fault().message;
+  ASSERT_EQ(fleet.value().routes.size(), 1u);
+  const DepotRoute& route = fleet.value().routes[0];
+  // Out-and-back from x=0 or x=1000 costs 1800 m; from the middle depot
+  // 500 -> 100 -> 900 -> 500 costs 1600 m. The middle depot must win.
+  EXPECT_EQ(route.home_depot, 1u);
+  ASSERT_EQ(route.trips.size(), 1u);
+  EXPECT_EQ(route.trips[0].start_depot, 1u);
+  EXPECT_EQ(route.trips[0].end_depot, 1u);
+}
+
+TEST(DepotFleetTest, DepotTiesBreakTowardTheLowestIndex) {
+  LineWorld w;
+  w.options.num_chargers = 1;
+  // Duplicate the winning middle depot; the earlier copy must be chosen.
+  w.options.depots = {Point2{500.0, 0.0}, Point2{500.0, 0.0},
+                      Point2{0.0, 0.0}};
+  const auto fleet = split_among_depot_fleet(w.deployment, w.plan,
+                                             w.charging, w.movement,
+                                             w.options);
+  ASSERT_TRUE(fleet.has_value()) << fleet.fault().message;
+  EXPECT_EQ(fleet.value().routes[0].home_depot, 0u);
+}
+
+// --- Battery feasibility: split, never strand ---
+
+TEST(DepotFleetTest, TightBatterySplitsIntoFeasibleTrips) {
+  LineWorld w;
+  w.options.num_chargers = 1;
+  // Enough battery for one out-and-back to the farthest stop from the
+  // middle depot, but nowhere near enough for the whole route in one go.
+  const DepotTrip probe{1, 1, {w.plan.stops[3]}};
+  const double worst = depot_trip_energy_j(w.deployment, probe,
+                                           w.options.depots, w.charging,
+                                           w.movement);
+  w.options.battery_capacity_j = worst * 1.3;
+  const auto fleet = split_among_depot_fleet(w.deployment, w.plan,
+                                             w.charging, w.movement,
+                                             w.options);
+  ASSERT_TRUE(fleet.has_value()) << fleet.fault().message;
+  // All stops covered, every trip within the battery.
+  EXPECT_EQ(fleet_members(fleet.value()), plan_members(w.plan));
+  const DepotFleetMetrics m = evaluate_depot_fleet(
+      w.deployment, fleet.value(), w.options, w.charging, w.movement);
+  EXPECT_GT(m.num_trips, 1u) << "a tight battery must force a split";
+  EXPECT_LE(m.max_trip_energy_j, w.options.battery_capacity_j * (1 + 1e-9));
+  // Trips chain and the route closes at home.
+  for (const DepotRoute& route : fleet.value().routes) {
+    if (route.trips.empty()) continue;
+    EXPECT_EQ(route.trips.front().start_depot, route.home_depot);
+    EXPECT_EQ(route.trips.back().end_depot, route.home_depot);
+    for (std::size_t t = 0; t + 1 < route.trips.size(); ++t) {
+      EXPECT_EQ(route.trips[t].end_depot, route.trips[t + 1].start_depot);
+    }
+  }
+}
+
+TEST(DepotFleetTest, RandomPlansSplitFeasiblyUnderManyCapacities) {
+  const Fixture f = make_fixture(70, 21);
+  DepotFleetOptions options;
+  options.depots = {Point2{0.0, 0.0}, Point2{1000.0, 0.0},
+                    Point2{500.0, 1000.0}};
+  options.num_chargers = 2;
+  // Worst single-stop out-and-back from the best depot sets the floor for
+  // a feasible capacity.
+  double floor = 0.0;
+  for (const Stop& stop : f.plan.stops) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t d = 0; d < options.depots.size(); ++d) {
+      const DepotTrip probe{d, d, {stop}};
+      best = std::min(best,
+                      depot_trip_energy_j(f.deployment, probe,
+                                          options.depots, f.charging,
+                                          f.movement));
+    }
+    floor = std::max(floor, best);
+  }
+  for (const double factor : {1.05, 1.5, 3.0, 10.0}) {
+    options.battery_capacity_j = floor * factor;
+    const auto fleet = split_among_depot_fleet(f.deployment, f.plan,
+                                               f.charging, f.movement,
+                                               options);
+    ASSERT_TRUE(fleet.has_value())
+        << "factor " << factor << ": " << fleet.fault().message;
+    EXPECT_EQ(fleet_members(fleet.value()), plan_members(f.plan))
+        << "factor " << factor;
+    const DepotFleetMetrics m = evaluate_depot_fleet(
+        f.deployment, fleet.value(), options, f.charging, f.movement);
+    EXPECT_LE(m.max_trip_energy_j,
+              options.battery_capacity_j * (1 + 1e-9))
+        << "factor " << factor;
+  }
+}
+
+TEST(DepotFleetTest, ImpossibleStopFaultsWithBatteryShortfallNamingIt) {
+  LineWorld w;
+  w.options.num_chargers = 1;
+  // Far too small for even one out-and-back anywhere.
+  w.options.battery_capacity_j = 1.0;
+  const auto fleet = split_among_depot_fleet(w.deployment, w.plan,
+                                             w.charging, w.movement,
+                                             w.options);
+  ASSERT_FALSE(fleet.has_value());
+  EXPECT_EQ(fleet.fault().kind, support::FaultKind::kBatteryShortfall);
+  EXPECT_NE(fleet.fault().message.find("stop"), std::string::npos);
+}
+
+TEST(DepotFleetTest, PreconditionsAreEnforced) {
+  const Fixture f = make_fixture(20, 5);
+  DepotFleetOptions no_depots;
+  EXPECT_THROW(split_among_depot_fleet(f.deployment, f.plan, f.charging,
+                                       f.movement, no_depots),
+               support::PreconditionError);
+  DepotFleetOptions zero_chargers;
+  zero_chargers.depots = {f.plan.depot};
+  zero_chargers.num_chargers = 0;
+  EXPECT_THROW(split_among_depot_fleet(f.deployment, f.plan, f.charging,
+                                       f.movement, zero_chargers),
+               support::PreconditionError);
+}
+
+TEST(DepotFleetTest, MoreDepotsNeverRaiseTheMakespan) {
+  const Fixture f = make_fixture(80, 9);
+  DepotFleetOptions one;
+  one.depots = {f.plan.depot};
+  one.num_chargers = 3;
+  DepotFleetOptions three = one;
+  three.depots.push_back(Point2{1000.0, 1000.0});
+  three.depots.push_back(Point2{500.0, 500.0});
+  const auto a = split_among_depot_fleet(f.deployment, f.plan, f.charging,
+                                         f.movement, one);
+  const auto b = split_among_depot_fleet(f.deployment, f.plan, f.charging,
+                                         f.movement, three);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  const DepotFleetMetrics ma = evaluate_depot_fleet(
+      f.deployment, a.value(), one, f.charging, f.movement);
+  const DepotFleetMetrics mb = evaluate_depot_fleet(
+      f.deployment, b.value(), three, f.charging, f.movement);
+  EXPECT_LE(mb.makespan_s, ma.makespan_s * (1.0 + 1e-5))
+      << "extra depots can only help per-route homes";
+}
+
+}  // namespace
+}  // namespace bc::tour

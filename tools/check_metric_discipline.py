@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Metric-discipline lint: no raw Euclidean distances on movement paths.
+
+Movement distances in the planner stack must go through the MetricSpace
+abstraction (net/metric.h): either net::metric_distance(metric, a, b) or
+an explicit `metric == nullptr` fast-path ternary. A raw
+geometry::distance / geometry::distance_squared call in src/tour, src/tsp
+or src/sim silently hardwires free-space movement and breaks graph-world
+support — exactly the bug class the differential oracle suite exists to
+catch, except the oracle only sees it when a test happens to cross the
+call site. This lint fails the build the moment such a call appears.
+
+Legitimate Euclidean geometry is exempted *explicitly*:
+
+  * a `// metric-exempt: <reason>` comment on the call line or within the
+    three lines above it (radio physics, geometric predicates, proposal
+    heuristics whose acceptance is metric-judged), or
+  * a `metric == nullptr` guard in the same window (the bit-exact
+    null-metric fast-path idiom).
+
+Run from the repository root:  python3 tools/check_metric_discipline.py
+Exit status 0 = clean, 1 = violations (listed file:line), 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+CHECKED_DIRS = ("src/tour", "src/tsp", "src/sim")
+SOURCE_SUFFIXES = {".cc", ".h"}
+CALL_RE = re.compile(r"\bgeometry::distance(_squared)?\s*\(")
+EXEMPT_RE = re.compile(r"metric-exempt")
+NULL_GUARD_RE = re.compile(r"metric\s*==\s*nullptr")
+WINDOW = 3  # lines above the call that may carry the exemption
+
+
+def find_violations(root: pathlib.Path) -> list[str]:
+    violations: list[str] = []
+    for directory in CHECKED_DIRS:
+        base = root / directory
+        if not base.is_dir():
+            violations.append(f"{directory}: checked directory missing")
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES:
+                continue
+            lines = path.read_text(encoding="utf-8").splitlines()
+            for i, line in enumerate(lines):
+                if not CALL_RE.search(line):
+                    continue
+                window = lines[max(0, i - WINDOW) : i + 1]
+                if any(EXEMPT_RE.search(w) for w in window):
+                    continue
+                if any(NULL_GUARD_RE.search(w) for w in window):
+                    continue
+                rel = path.relative_to(root)
+                violations.append(f"{rel}:{i + 1}: {line.strip()}")
+    return violations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root (default: current directory)",
+    )
+    args = parser.parse_args()
+    root = pathlib.Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"error: {root} does not look like the repo root", file=sys.stderr)
+        return 2
+
+    violations = find_violations(root)
+    if violations:
+        print(
+            "metric-discipline violations (route movement distances through\n"
+            "net::metric_distance, or annotate genuine geometry with a\n"
+            "`// metric-exempt: <reason>` comment):\n",
+            file=sys.stderr,
+        )
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print("metric discipline clean: all raw distance calls are exempted")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
